@@ -1,0 +1,90 @@
+// Full baseline comparison on one federation: FedML (2nd order), FOMAML,
+// Reptile, FedAvg, FedProx — meta objective, plain objective, target
+// adaptation, and communication bill, side by side. The one-table summary a
+// practitioner would want before picking an algorithm for a deployment.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedml;
+  util::Cli cli(argc, argv);
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 60));
+  const auto total = static_cast<std::size_t>(cli.get_int("iterations", 200));
+  const auto k = static_cast<std::size_t>(cli.get_int("k", 5));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::string csv = cli.get_string("csv", "");
+  cli.finish();
+
+  // The Sent140-like task is where the algorithms genuinely separate
+  // (conflicting per-node label functions; see EXPERIMENTS.md).
+  auto e = bench::sent140_experiment(nodes, {32, 16}, k, seed);
+  const double alpha = 0.05;
+
+  struct Row {
+    std::string name;
+    core::TrainResult result;
+  };
+  std::vector<Row> rows;
+
+  {
+    core::FedMLConfig cfg;
+    cfg.alpha = alpha;
+    cfg.beta = 0.3;
+    cfg.total_iterations = total;
+    cfg.local_steps = 5;
+    cfg.threads = threads;
+    cfg.track_loss = false;
+    rows.push_back({"FedML", core::train_fedml(*e.model, e.sources, e.theta0, cfg)});
+    cfg.order = core::MetaOrder::kFirstOrder;
+    rows.push_back(
+        {"FOMAML", core::train_fedml(*e.model, e.sources, e.theta0, cfg)});
+  }
+  {
+    core::ReptileConfig cfg;
+    cfg.alpha = alpha;
+    cfg.beta_rep = 0.3;
+    cfg.inner_steps = 3;
+    cfg.total_iterations = total;
+    cfg.local_steps = 5;
+    cfg.threads = threads;
+    cfg.track_loss = false;
+    rows.push_back(
+        {"Reptile", core::train_reptile(*e.model, e.sources, e.theta0, cfg)});
+  }
+  {
+    core::FedAvgConfig cfg;
+    cfg.lr = 0.3;
+    cfg.total_iterations = total;
+    cfg.local_steps = 5;
+    cfg.threads = threads;
+    cfg.track_loss = false;
+    rows.push_back(
+        {"FedAvg", core::train_fedavg(*e.model, e.sources, e.theta0, cfg)});
+  }
+  {
+    core::FedProxConfig cfg;
+    cfg.lr = 0.3;
+    cfg.mu_prox = 0.1;
+    cfg.total_iterations = total;
+    cfg.local_steps = 5;
+    cfg.threads = threads;
+    cfg.track_loss = false;
+    rows.push_back(
+        {"FedProx", core::train_fedprox(*e.model, e.sources, e.theta0, cfg)});
+  }
+
+  util::Table t({"algorithm", "meta objective G", "target acc (1 step)",
+                 "target acc (5 steps)", "target loss (5 steps)", "uplink MB"});
+  for (const auto& row : rows) {
+    util::Rng er(seed + 9);
+    const auto curve = core::evaluate_targets(*e.model, row.result.theta, e.fd,
+                                              e.target_ids, k, alpha, 5, er);
+    t.add_row({row.name,
+               core::global_meta_loss(*e.model, row.result.theta, e.sources, alpha),
+               curve.accuracy[1], curve.accuracy[5], curve.loss[5],
+               row.result.comm.bytes_up / 1e6});
+  }
+  bench::emit(t, "Baseline comparison on Sent140-like (K=5 targets)", csv);
+  return 0;
+}

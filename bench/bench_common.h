@@ -1,0 +1,164 @@
+#pragma once
+
+// Shared setup code for the figure-reproduction harnesses. Each bench binary
+// is a plain executable that prints the rows/series of one table or figure
+// from the paper (and optionally writes CSV via --csv=<path>).
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptation.h"
+#include "core/algorithms.h"
+#include "data/mnist_like.h"
+#include "data/sent140_like.h"
+#include "data/synthetic.h"
+#include "nn/module.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace fedml::bench {
+
+/// A ready-to-train experiment: federation + model + source/target split.
+struct Experiment {
+  data::FederatedDataset fd;
+  std::shared_ptr<nn::Module> model;
+  std::vector<fed::EdgeNode> sources;
+  std::vector<std::size_t> target_ids;
+  nn::ParamList theta0;
+};
+
+/// Build the experiment around a generated federation: 80% of nodes become
+/// sources with a K-shot split, the rest are held-out targets.
+inline Experiment make_experiment(data::FederatedDataset fd,
+                                  std::shared_ptr<nn::Module> model,
+                                  std::size_t k, std::uint64_t seed) {
+  Experiment e;
+  e.fd = std::move(fd);
+  e.model = std::move(model);
+  util::Rng rng(seed);
+  const auto split = data::split_source_target(e.fd.num_nodes(), 0.8, rng);
+  e.sources = fed::make_edge_nodes(e.fd, split.source_ids, k, rng);
+  e.target_ids = split.target_ids;
+  util::Rng init(seed ^ 0xabcdef);
+  e.theta0 = e.model->init_params(init);
+  return e;
+}
+
+inline Experiment synthetic_experiment(double alpha, double beta,
+                                       std::size_t nodes, std::size_t k,
+                                       std::uint64_t seed) {
+  data::SyntheticConfig cfg;
+  cfg.alpha = alpha;
+  cfg.beta = beta;
+  cfg.num_nodes = nodes;
+  cfg.seed = seed;
+  auto fd = data::make_synthetic(cfg);
+  auto model = nn::make_softmax_regression(cfg.input_dim, cfg.num_classes);
+  return make_experiment(std::move(fd), std::move(model), k, seed + 1);
+}
+
+inline Experiment mnist_experiment(std::size_t nodes, std::size_t side,
+                                   std::size_t k, std::uint64_t seed) {
+  data::MnistLikeConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.side = side;
+  cfg.seed = seed;
+  auto fd = data::make_mnist_like(cfg);
+  auto model = nn::make_softmax_regression(fd.input_dim, fd.num_classes);
+  return make_experiment(std::move(fd), std::move(model), k, seed + 1);
+}
+
+inline Experiment sent140_experiment(std::size_t nodes,
+                                     const std::vector<std::size_t>& hidden,
+                                     std::size_t k, std::uint64_t seed) {
+  data::Sent140LikeConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.seed = seed;
+  auto fd = data::make_sent140_like(cfg);
+  auto model = nn::make_mlp(fd.input_dim, hidden, fd.num_classes);
+  return make_experiment(std::move(fd), std::move(model), k, seed + 1);
+}
+
+inline void emit(const util::Table& table, const std::string& title,
+                 const std::string& csv_path);
+
+/// Shared driver for Figures 3(c)–(e): train FedML and FedAvg on the same
+/// sources, then compare fast adaptation at the held-out targets for several
+/// K (target dataset sizes). Prints accuracy-vs-adaptation-step series.
+struct AdaptationComparisonConfig {
+  double alpha = 0.01;          ///< inner rate (and target adaptation rate)
+  double beta = 0.01;           ///< meta rate; FedAvg uses the same (paper)
+  std::size_t total_iterations = 200;
+  std::size_t local_steps = 5;  ///< paper uses T0 = 5 for Figure 3
+  std::vector<std::size_t> ks{5, 10, 20};
+  std::size_t adapt_steps = 5;
+  std::size_t threads = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Rebuild the experiment's sources for dataset `fd` with K-shot splits of
+/// size k (the comparison retrains per K, like the paper's protocol of
+/// varying the training-set size).
+inline void run_adaptation_comparison(
+    const data::FederatedDataset& fd, const std::shared_ptr<nn::Module>& model,
+    const AdaptationComparisonConfig& cfg, const std::string& title,
+    const std::string& csv) {
+  util::Rng split_rng(cfg.seed);
+  const auto split = data::split_source_target(fd.num_nodes(), 0.8, split_rng);
+  util::Rng init(cfg.seed ^ 0xabcdef);
+  const nn::ParamList theta0 = model->init_params(init);
+
+  util::Table t({"K", "adapt step", "FedML acc", "FedAvg acc", "FedML loss",
+                 "FedAvg loss"});
+  for (const auto k : cfg.ks) {
+    util::Rng node_rng(cfg.seed + k);
+    const auto sources = fed::make_edge_nodes(fd, split.source_ids, k, node_rng);
+
+    core::FedMLConfig mcfg;
+    mcfg.alpha = cfg.alpha;
+    mcfg.beta = cfg.beta;
+    mcfg.total_iterations = cfg.total_iterations;
+    mcfg.local_steps = cfg.local_steps;
+    mcfg.threads = cfg.threads;
+    mcfg.track_loss = false;
+    const auto meta = core::train_fedml(*model, sources, theta0, mcfg);
+
+    core::FedAvgConfig acfg;
+    acfg.lr = cfg.beta;  // paper: FedAvg shares FedML's meta rate β
+    acfg.total_iterations = cfg.total_iterations;
+    acfg.local_steps = cfg.local_steps;
+    acfg.threads = cfg.threads;
+    acfg.track_loss = false;
+    const auto avg = core::train_fedavg(*model, sources, theta0, acfg);
+
+    util::Rng e1(cfg.seed + 1000 + k), e2(cfg.seed + 1000 + k);
+    const auto mc = core::evaluate_targets(*model, meta.theta, fd,
+                                           split.target_ids, k, cfg.alpha,
+                                           cfg.adapt_steps, e1);
+    const auto ac = core::evaluate_targets(*model, avg.theta, fd,
+                                           split.target_ids, k, cfg.alpha,
+                                           cfg.adapt_steps, e2);
+    for (std::size_t s = 0; s <= cfg.adapt_steps; ++s) {
+      t.add_row({static_cast<std::int64_t>(k), static_cast<std::int64_t>(s),
+                 mc.accuracy[s], ac.accuracy[s], mc.loss[s], ac.loss[s]});
+    }
+  }
+  emit(t, title, csv);
+}
+
+/// Print a table and optionally write it to --csv=<path>.
+inline void emit(const util::Table& table, const std::string& title,
+                 const std::string& csv_path) {
+  table.print(std::cout, title);
+  if (!csv_path.empty()) {
+    table.write_csv_file(csv_path);
+    std::cout << "(csv written to " << csv_path << ")\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace fedml::bench

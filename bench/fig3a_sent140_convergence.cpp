@@ -1,0 +1,45 @@
+// Figure 3(a): convergence of FedML on the (non-convex) Sent140-like task
+// with T0 = 5. Paper shape: the meta-loss decreases steadily, demonstrating
+// good convergence beyond the convex theory.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedml;
+  util::Cli cli(argc, argv);
+  // 200 nodes by default for CPU budget; pass --nodes=706 for Table-I scale.
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 200));
+  const auto total = static_cast<std::size_t>(cli.get_int("iterations", 150));
+  const auto t0 = static_cast<std::size_t>(cli.get_int("local-steps", 5));
+  const auto k = static_cast<std::size_t>(cli.get_int("k", 5));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::string csv = cli.get_string("csv", "");
+  cli.finish();
+
+  // Paper model: 3 hidden layers (256/128/64) on 300-d GloVe; scaled to
+  // 64/32/16 on 50-d frozen embeddings (see DESIGN.md substitutions).
+  auto e = bench::sent140_experiment(nodes, {64, 32, 16}, k, seed);
+
+  core::FedMLConfig cfg;
+  cfg.alpha = 0.01;  // paper: α = 0.01, β = 0.3 for Sent140
+  cfg.beta = 0.3;
+  cfg.total_iterations = total;
+  cfg.local_steps = t0;
+  cfg.threads = threads;
+
+  util::Stopwatch sw;
+  const auto result = core::train_fedml(*e.model, e.sources, e.theta0, cfg);
+
+  util::Table t({"iteration", "global meta-loss"});
+  for (const auto& rec : result.history) {
+    t.add_row({static_cast<std::int64_t>(rec.iteration), rec.global_loss});
+  }
+  bench::emit(t, "Figure 3(a) — FedML convergence on Sent140-like (T0=5)", csv);
+  std::cout << "sources=" << e.sources.size() << " params="
+            << e.model->num_scalars() << " wall=" << sw.seconds() << "s\n";
+  std::cout << "paper-shape check: loss decreases -> "
+            << result.history.front().global_loss << " -> "
+            << result.history.back().global_loss << "\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Theory meets data: estimate the paper's Assumption-4 constants (δ, σ) —
+// plus B, H, μ, ρ — directly from each generated federation using sampled
+// gradients and exact Hessian-vector products. The estimated heterogeneity
+// should rank the Synthetic(ᾱ,β̄) federations the same way Figure 2(a)'s
+// convergence curves do, tying the empirical figures back to Theorem 2.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "theory/estimate.h"
+
+int main(int argc, char** argv) {
+  using namespace fedml;
+  util::Cli cli(argc, argv);
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 12));
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples", 4));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::string csv = cli.get_string("csv", "");
+  cli.finish();
+
+  util::Table t({"federation", "delta (avg)", "sigma (avg)", "B", "H",
+                 "mu (sampled)", "rho"});
+  const double params[][2] = {{0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}};
+  for (const auto& ab : params) {
+    data::SyntheticConfig cfg;
+    cfg.alpha = ab[0];
+    cfg.beta = ab[1];
+    cfg.num_nodes = nodes;
+    cfg.seed = seed;
+    auto fd = data::make_synthetic(cfg);
+    data::standardize_features(fd);  // compare heterogeneity, not scale
+    const auto model = nn::make_softmax_regression(fd.input_dim, fd.num_classes);
+    util::Rng init(seed + 1);
+    const auto theta0 = model->init_params(init);
+
+    std::vector<double> weights;
+    double total = 0.0;
+    for (const auto& n : fd.nodes) total += static_cast<double>(n.size());
+    for (const auto& n : fd.nodes)
+      weights.push_back(static_cast<double>(n.size()) / total);
+
+    theory::EstimateConfig ecfg;
+    ecfg.parameter_samples = samples;
+    ecfg.pair_samples = samples;
+    ecfg.seed = seed + 2;
+    const auto c =
+        theory::estimate_constants(*model, theta0, fd.nodes, weights, ecfg);
+
+    t.add_row({fd.name, c.delta_bar(), c.sigma_bar(), c.grad_bound, c.smooth_h,
+               c.mu, c.rho});
+  }
+  bench::emit(t, "Assumption-4 heterogeneity constants, estimated from data "
+                 "(exact HVPs, sampled theta)",
+              csv);
+  std::cout << "reading: delta/sigma should grow with (alpha,beta) — the same "
+               "ordering Theorem 2 predicts for Figure 2(a)'s convergence "
+               "errors.\n";
+  return 0;
+}

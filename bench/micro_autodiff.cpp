@@ -1,0 +1,98 @@
+// Microbenchmarks for the autodiff engine (google-benchmark): the relative
+// cost of forward evaluation, first-order backward, and the double-backward
+// MAML meta-gradient — the ablation data behind DESIGN.md's choice of exact
+// second-order meta-gradients.
+
+#include <benchmark/benchmark.h>
+
+#include "core/meta.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/params.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fedml;
+
+struct Setup {
+  std::shared_ptr<nn::Module> model;
+  nn::ParamList theta;
+  data::Dataset train, test;
+
+  Setup(std::size_t dim, std::size_t classes, std::size_t batch) {
+    model = nn::make_softmax_regression(dim, classes);
+    util::Rng rng(1);
+    theta = model->init_params(rng);
+    const auto make = [&](std::uint64_t seed) {
+      util::Rng r(seed);
+      data::Dataset d;
+      d.x = tensor::Tensor::randn(batch, dim, r);
+      d.y.resize(batch);
+      for (auto& y : d.y)
+        y = static_cast<std::size_t>(
+            r.uniform_int(0, static_cast<std::int64_t>(classes) - 1));
+      return d;
+    };
+    train = make(2);
+    test = make(3);
+  }
+};
+
+void BM_ForwardLoss(benchmark::State& state) {
+  Setup s(static_cast<std::size_t>(state.range(0)), 10, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::empirical_loss(*s.model, s.theta, s.train));
+  }
+}
+BENCHMARK(BM_ForwardLoss)->Arg(60)->Arg(196)->Arg(784);
+
+void BM_FirstOrderGradient(benchmark::State& state) {
+  Setup s(static_cast<std::size_t>(state.range(0)), 10, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::loss_gradient(*s.model, s.theta, s.train));
+  }
+}
+BENCHMARK(BM_FirstOrderGradient)->Arg(60)->Arg(196)->Arg(784);
+
+void BM_MetaGradientFirstOrder(benchmark::State& state) {
+  Setup s(static_cast<std::size_t>(state.range(0)), 10, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::meta_gradient(*s.model, s.theta, s.train,
+                                                 s.test, 0.01,
+                                                 core::MetaOrder::kFirstOrder));
+  }
+}
+BENCHMARK(BM_MetaGradientFirstOrder)->Arg(60)->Arg(196)->Arg(784);
+
+void BM_MetaGradientSecondOrder(benchmark::State& state) {
+  Setup s(static_cast<std::size_t>(state.range(0)), 10, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::meta_gradient(*s.model, s.theta, s.train, s.test, 0.01,
+                            core::MetaOrder::kSecondOrder));
+  }
+}
+BENCHMARK(BM_MetaGradientSecondOrder)->Arg(60)->Arg(196)->Arg(784);
+
+void BM_MlpMetaGradientSecondOrder(benchmark::State& state) {
+  // Sent140-like shape: 50-d features through a 64/32/16 MLP.
+  const auto model = nn::make_mlp(50, {64, 32, 16}, 2);
+  util::Rng rng(1);
+  const auto theta = model->init_params(rng);
+  util::Rng dr(2);
+  data::Dataset train, test;
+  train.x = tensor::Tensor::randn(10, 50, dr);
+  train.y.assign(10, 1);
+  test.x = tensor::Tensor::randn(15, 50, dr);
+  test.y.assign(15, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::meta_gradient(*model, theta, train, test, 0.01));
+  }
+}
+BENCHMARK(BM_MlpMetaGradientSecondOrder);
+
+}  // namespace
+
+BENCHMARK_MAIN();

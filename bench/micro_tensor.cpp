@@ -1,0 +1,77 @@
+// Microbenchmarks for the tensor substrate (google-benchmark): the kernels
+// that dominate training time at edge-model scales.
+
+#include <benchmark/benchmark.h>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using fedml::tensor::Tensor;
+
+Tensor random_tensor(std::size_t r, std::size_t c, std::uint64_t seed) {
+  fedml::util::Rng rng(seed);
+  return Tensor::randn(r, c, rng);
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor(n, n, 1);
+  const Tensor b = random_tensor(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedml::tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MatmulBatchByParams(benchmark::State& state) {
+  // The shape that actually occurs in training: K-shot batch × features
+  // times features × classes (e.g. 20×196 · 196×10).
+  const Tensor x = random_tensor(20, 196, 1);
+  const Tensor w = random_tensor(196, 10, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedml::tensor::matmul(x, w));
+  }
+}
+BENCHMARK(BM_MatmulBatchByParams);
+
+void BM_Transpose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor(n, n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedml::tensor::transpose(a));
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(64)->Arg(256);
+
+void BM_Hadamard(benchmark::State& state) {
+  const Tensor a = random_tensor(256, 256, 4);
+  const Tensor b = random_tensor(256, 256, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedml::tensor::hadamard(a, b));
+  }
+}
+BENCHMARK(BM_Hadamard);
+
+void BM_RowSums(benchmark::State& state) {
+  const Tensor a = random_tensor(256, 256, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedml::tensor::row_sums(a));
+  }
+}
+BENCHMARK(BM_RowSums);
+
+void BM_ArgmaxRows(benchmark::State& state) {
+  const Tensor a = random_tensor(1024, 10, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedml::tensor::argmax_rows(a));
+  }
+}
+BENCHMARK(BM_ArgmaxRows);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Scenario: choosing the local-step count T0 for a deployment with a
+// constrained uplink. Theorem 2 says more local steps cut communication but
+// add a convergence-error floor that grows with node dissimilarity. This
+// example sweeps T0 under a concrete link model and picks the best setting
+// for a target meta-loss — the decision the platform operator actually faces.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/algorithms.h"
+#include "data/synthetic.h"
+#include "nn/module.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fedml;
+
+  data::SyntheticConfig dcfg;
+  dcfg.num_nodes = 30;
+  dcfg.alpha = 0.5;
+  dcfg.beta = 0.5;
+  const auto fd = data::make_synthetic(dcfg);
+  const auto model = nn::make_softmax_regression(fd.input_dim, fd.num_classes);
+
+  util::Rng rng(1);
+  const auto split = data::split_source_target(fd.num_nodes(), 0.8, rng);
+  auto sources = fed::make_edge_nodes(fd, split.source_ids, 5, rng);
+  util::Rng init(2);
+  const nn::ParamList theta0 = model->init_params(init);
+
+  // A constrained edge deployment: 1 Mbps uplink, 100 ms round overhead,
+  // 20 ms of compute per local meta-step on the device NPU.
+  fed::CommModel link;
+  link.uplink_mbps = 1.0;
+  link.downlink_mbps = 8.0;
+  link.per_round_overhead_s = 0.1;
+  link.compute_s_per_step = 0.02;
+
+  const double target_loss = 1.10;
+
+  util::Table t({"T0", "final G", "rounds", "uplink MB", "sim seconds",
+                 "meets target"});
+  t.set_precision(3);
+  double best_seconds = 1e300;
+  std::size_t best_t0 = 0;
+  for (const std::size_t t0 : {1, 2, 5, 10, 20, 50}) {
+    core::FedMLConfig cfg;
+    cfg.alpha = 0.05;
+    cfg.beta = 0.02;
+    cfg.total_iterations = 300;
+    cfg.local_steps = t0;
+    cfg.comm = link;
+    const auto r = core::train_fedml(*model, sources, theta0, cfg);
+    const double g = r.history.back().global_loss;
+    const bool ok = g <= target_loss;
+    if (ok && r.comm.sim_seconds < best_seconds) {
+      best_seconds = r.comm.sim_seconds;
+      best_t0 = t0;
+    }
+    t.add_row({static_cast<std::int64_t>(t0), g,
+               static_cast<std::int64_t>(r.comm.aggregations),
+               r.comm.bytes_up / 1e6, r.comm.sim_seconds,
+               std::string(ok ? "yes" : "no")});
+  }
+  t.print(std::cout,
+          "T0 sweep under a 1 Mbps uplink (fixed T = 300 iterations)");
+
+  if (best_t0 != 0) {
+    std::printf("\nrecommendation: T0 = %zu reaches G <= %.2f fastest "
+                "(%.1f simulated seconds end-to-end).\n",
+                best_t0, target_loss, best_seconds);
+  } else {
+    std::printf("\nno T0 met the target loss %.2f within the iteration "
+                "budget; increase T or shrink T0.\n", target_loss);
+  }
+  std::printf("Theorem 2 in action: tiny T0 wastes time on the slow uplink, "
+              "huge T0 hits the dissimilarity error floor.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Scenario: a fleet of industrial vibration sensors. Each machine has its
+// own acoustic signature, so a single global fault classifier underfits any
+// particular machine — exactly the motivating setting of the paper's
+// collaborative learning framework. When a NEW machine comes online, the
+// platform ships the meta-initialization and the sensor specializes with a
+// few labelled bursts, in one or two gradient steps, on-device.
+//
+// This example compares three ways to bring the new sensor up:
+//   (a) train from scratch locally with the K labelled bursts,
+//   (b) fine-tune the FedAvg global model,
+//   (c) fine-tune the FedML meta-initialization (this paper).
+// It also prints the simulated communication bill of the training phase.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/adaptation.h"
+#include "core/algorithms.h"
+#include "data/synthetic.h"
+#include "nn/module.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+// Each "machine" is one node of a Synthetic-style federation: features are
+// 24 spectral-band energies; labels are one of 6 operating/fault states
+// produced by the machine's own signature model. Heterogeneity parameters
+// mimic machines of the same product line but different wear/installation.
+fedml::data::FederatedDataset make_sensor_fleet(std::size_t machines) {
+  fedml::data::SyntheticConfig cfg;
+  cfg.num_nodes = machines;
+  cfg.input_dim = 24;
+  cfg.num_classes = 6;
+  cfg.alpha = 0.4;
+  cfg.beta = 0.6;
+  cfg.min_samples = 20;
+  cfg.max_samples = 60;
+  cfg.seed = 2024;
+  auto fd = fedml::data::make_synthetic(cfg);
+  fd.name = "sensor-fleet";
+  return fd;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fedml;
+
+  const auto fleet = make_sensor_fleet(40);
+  const auto model = nn::make_softmax_regression(fleet.input_dim,
+                                                 fleet.num_classes);
+  const std::size_t k = 8;  // labelled bursts available on a new machine
+
+  util::Rng rng(1);
+  const auto split = data::split_source_target(fleet.num_nodes(), 0.8, rng);
+  auto sources = fed::make_edge_nodes(fleet, split.source_ids, k, rng);
+  util::Rng init(2);
+  const nn::ParamList theta0 = model->init_params(init);
+
+  std::printf("fleet: %zu machines (%zu training, %zu new), %zu-band "
+              "spectra, %zu states\n\n",
+              fleet.num_nodes(), sources.size(), split.target_ids.size(),
+              fleet.input_dim, fleet.num_classes);
+
+  // --- (c) FedML meta-training across the instrumented machines ----------
+  core::FedMLConfig mcfg;
+  mcfg.alpha = 0.05;
+  mcfg.beta = 0.02;
+  mcfg.total_iterations = 200;
+  mcfg.local_steps = 10;  // sensors batch 10 local steps per uplink
+  mcfg.comm.uplink_mbps = 1.0;  // LoRa/-ish constrained uplink
+  mcfg.track_loss = false;
+  const auto meta = core::train_fedml(*model, sources, theta0, mcfg);
+
+  // --- (b) FedAvg baseline on the same fleet -----------------------------
+  core::FedAvgConfig acfg;
+  acfg.lr = 0.02;
+  acfg.total_iterations = 200;
+  acfg.local_steps = 10;
+  acfg.track_loss = false;
+  const auto avg = core::train_fedavg(*model, sources, theta0, acfg);
+
+  // --- bring the new machines online --------------------------------------
+  const std::size_t adapt_steps = 4;
+  util::Rng e1(3), e2(3), e3(3);
+  const auto scratch_curve = core::evaluate_targets(
+      *model, theta0, fleet, split.target_ids, k, mcfg.alpha, adapt_steps, e1);
+  const auto avg_curve = core::evaluate_targets(
+      *model, avg.theta, fleet, split.target_ids, k, mcfg.alpha, adapt_steps, e2);
+  const auto meta_curve = core::evaluate_targets(
+      *model, meta.theta, fleet, split.target_ids, k, mcfg.alpha, adapt_steps,
+      e3);
+
+  util::Table t({"gradient steps", "scratch acc", "FedAvg acc", "FedML acc"});
+  t.set_precision(3);
+  for (std::size_t s = 0; s <= adapt_steps; ++s) {
+    t.add_row({static_cast<std::int64_t>(s), scratch_curve.accuracy[s],
+               avg_curve.accuracy[s], meta_curve.accuracy[s]});
+  }
+  t.print(std::cout, "new-machine fault-state accuracy after on-device adaptation");
+
+  std::printf("\ntraining-phase communication bill (FedML, %zu rounds): "
+              "%.2f MB uplink, %.1f simulated seconds on a %.1f Mbps link\n",
+              meta.comm.aggregations, meta.comm.bytes_up / 1e6,
+              meta.comm.sim_seconds, mcfg.comm.uplink_mbps);
+  std::printf("takeaway: with %zu labelled bursts, one on-device step reaches "
+              "%.1f%% from the meta-initialization and %.1f%% from the FedAvg "
+              "model — both federated starts crush the %.1f%% from-scratch "
+              "baseline. On convex sensor models the two are comparable (see "
+              "EXPERIMENTS.md); the meta-initialization pulls ahead when "
+              "machines disagree about what the same signature means.\n",
+              k, 100 * meta_curve.accuracy[1], 100 * avg_curve.accuracy[1],
+              100 * scratch_curve.accuracy[1]);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Scenario: continual on-device adaptation. A freshly deployed edge node
+// receives labelled samples one at a time (an operator confirms or corrects
+// predictions). Starting from the platform's meta-initialization, the device
+// takes one SGD step per arriving sample and we track its test accuracy as
+// the stream progresses — the "real-time" in real-time edge intelligence.
+//
+// Also demonstrates checkpointing: the platform saves the meta-model to
+// disk and the device loads it back with shape validation, exactly as a
+// deployment would ship θ.
+
+#include <cstdio>
+
+#include "core/adaptation.h"
+#include "core/algorithms.h"
+#include "data/synthetic.h"
+#include "nn/checkpoint.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace fedml;
+
+  // Train the meta-initialization on the source federation.
+  data::SyntheticConfig dcfg;
+  dcfg.num_nodes = 30;
+  const auto fd = data::make_synthetic(dcfg);
+  const auto model = nn::make_softmax_regression(fd.input_dim, fd.num_classes);
+  util::Rng rng(1);
+  const auto split = data::split_source_target(fd.num_nodes(), 0.8, rng);
+  auto sources = fed::make_edge_nodes(fd, split.source_ids, 5, rng);
+  util::Rng init(2);
+
+  core::FedMLConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.03;
+  cfg.total_iterations = 150;
+  cfg.local_steps = 5;
+  cfg.track_loss = false;
+  const auto trained =
+      core::train_fedml(*model, sources, model->init_params(init), cfg);
+
+  // Ship the model: platform writes a checkpoint, device loads it back.
+  const std::string ckpt = "/tmp/fedml_meta_model.ckpt";
+  nn::save_checkpoint(ckpt, *model, trained.theta);
+  nn::ParamList device_params = nn::load_checkpoint_for(ckpt, *model);
+  std::printf("shipped %zu parameters via %s\n\n", model->num_scalars(),
+              ckpt.c_str());
+
+  // The new device: its local task, a stream of labelled samples, and a
+  // fixed held-out test set to monitor.
+  const std::size_t target = split.target_ids.front();
+  util::Rng dev_rng(3);
+  const auto node_data = data::split_k(fd.nodes[target], 8, dev_rng);
+  const data::Dataset& stream = node_data.train;  // arrives one-by-one
+  const data::Dataset& monitor = node_data.test;
+
+  std::printf("online adaptation at node %zu (%zu streaming samples, %zu "
+              "monitor samples):\n",
+              target, stream.size(), monitor.size());
+  std::printf("  %-18s %-10s %s\n", "samples seen", "accuracy", "loss");
+  std::printf("  %-18d %-10.3f %.4f\n", 0,
+              core::empirical_accuracy(*model, device_params, monitor),
+              core::empirical_loss(*model, device_params, monitor));
+
+  for (std::size_t s = 0; s < stream.size(); ++s) {
+    // One labelled sample arrives; take one gradient step on it.
+    data::Dataset sample = data::subset(stream, {s});
+    device_params = core::adapt(*model, device_params, sample, cfg.alpha, 1);
+    std::printf("  %-18zu %-10.3f %.4f\n", s + 1,
+                core::empirical_accuracy(*model, device_params, monitor),
+                core::empirical_loss(*model, device_params, monitor));
+  }
+
+  std::printf("\nthe meta-initialization turns single samples into usable "
+              "accuracy gains — no batch retraining, no uplink.\n");
+  std::remove(ckpt.c_str());
+  return 0;
+}

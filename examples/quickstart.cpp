@@ -1,0 +1,78 @@
+// Quickstart: the whole library in ~60 lines.
+//
+// 1. Generate a federation of edge nodes with related-but-distinct tasks.
+// 2. Train a meta-initialization across the source nodes with FedML
+//    (Algorithm 1 of the paper).
+// 3. Ship it to a held-out target node and adapt with a handful of samples.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/adaptation.h"
+#include "core/algorithms.h"
+#include "data/synthetic.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace fedml;
+
+  // A federation of 30 edge nodes; each node's labels come from its own
+  // softmax model, so the tasks are similar but not identical.
+  data::SyntheticConfig dataset_cfg;
+  dataset_cfg.num_nodes = 30;
+  dataset_cfg.alpha = 0.5;  // model heterogeneity across nodes
+  dataset_cfg.beta = 0.5;   // feature heterogeneity across nodes
+  const data::FederatedDataset fd = data::make_synthetic(dataset_cfg);
+
+  // The shared model family: multinomial logistic regression.
+  const auto model = nn::make_softmax_regression(fd.input_dim, fd.num_classes);
+
+  // 80% of nodes are sources (they train); the rest are targets (they only
+  // ever see the final initialization). K = 5 samples per node drive the
+  // inner adaptation step.
+  const std::size_t k = 5;
+  util::Rng rng(/*seed=*/7);
+  const auto split = data::split_source_target(fd.num_nodes(), 0.8, rng);
+  auto sources = fed::make_edge_nodes(fd, split.source_ids, k, rng);
+
+  // Federated meta-training (Algorithm 1): T0 = 5 local meta-steps between
+  // global aggregations at the platform.
+  core::FedMLConfig cfg;
+  cfg.alpha = 0.05;           // inner (adaptation) learning rate
+  cfg.beta = 0.03;            // meta learning rate
+  cfg.total_iterations = 150; // T
+  cfg.local_steps = 5;        // T0
+  util::Rng init(8);
+  const nn::ParamList theta0 = model->init_params(init);
+  const core::TrainResult result =
+      core::train_fedml(*model, sources, theta0, cfg);
+
+  std::printf("meta-training: G(theta) %.4f -> %.4f over %zu aggregations "
+              "(%.1f kB uplink/node/round)\n",
+              result.history.front().global_loss,
+              result.history.back().global_loss, result.comm.aggregations,
+              result.comm.bytes_up / 1e3 /
+                  static_cast<double>(result.comm.aggregations) /
+                  static_cast<double>(sources.size()));
+
+  // Real-time edge intelligence at the target: adapt the shipped
+  // initialization with K = 5 local samples and a few gradient steps.
+  util::Rng eval_rng(9);
+  const core::AdaptationCurve curve = core::evaluate_targets(
+      *model, result.theta, fd, split.target_ids, k, cfg.alpha,
+      /*steps=*/5, eval_rng);
+
+  std::printf("\ntarget adaptation (avg over %zu held-out nodes):\n",
+              split.target_ids.size());
+  for (std::size_t s = 0; s < curve.loss.size(); ++s) {
+    std::printf("  after %zu gradient step(s): loss %.4f accuracy %.3f\n", s,
+                curve.loss[s], curve.accuracy[s]);
+  }
+  std::printf("\none-step adaptation gained %.1f accuracy points from %zu "
+              "samples.\n",
+              100.0 * (curve.accuracy[1] - curve.accuracy[0]), k);
+  return 0;
+}

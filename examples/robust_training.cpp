@@ -1,0 +1,93 @@
+// Scenario: camera-equipped edge devices classifying visual patterns, where
+// inputs can be adversarially perturbed (stickers, lighting attacks). This
+// example trains Robust FedML (Algorithm 2 — Wasserstein-DRO adversarial
+// augmentation during meta-training) and shows the robustness/accuracy
+// trade-off controlled by the transport penalty λ, evaluated with FGSM.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/adaptation.h"
+#include "core/algorithms.h"
+#include "data/mnist_like.h"
+#include "nn/module.h"
+#include "robust/adversary.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fedml;
+
+  data::MnistLikeConfig dcfg;
+  dcfg.num_nodes = 40;
+  dcfg.side = 12;  // 144-pixel patterns
+  const auto fd = data::make_mnist_like(dcfg);
+  const auto model = nn::make_softmax_regression(fd.input_dim, fd.num_classes);
+  const auto clip = robust::ClipRange{{0.0, 1.0}};  // pixels stay in [0,1]
+  const std::size_t k = 5;
+
+  util::Rng rng(1);
+  const auto split = data::split_source_target(fd.num_nodes(), 0.8, rng);
+  auto sources = fed::make_edge_nodes(fd, split.source_ids, k, rng);
+  util::Rng init(2);
+  const nn::ParamList theta0 = model->init_params(init);
+
+  core::FedMLConfig base;
+  base.alpha = 0.05;
+  base.beta = 0.1;
+  base.total_iterations = 300;
+  base.local_steps = 5;
+  base.track_loss = false;
+
+  std::printf("training FedML and Robust FedML variants on %zu devices...\n\n",
+              sources.size());
+  struct Variant {
+    std::string name;
+    nn::ParamList theta;
+  };
+  std::vector<Variant> variants;
+  variants.push_back(
+      {"FedML (no defense)",
+       core::train_fedml(*model, sources, theta0, base).theta});
+  for (const double lambda : {0.1, 1.0, 10.0}) {
+    core::RobustFedMLConfig rcfg;
+    rcfg.base = base;
+    rcfg.lambda = lambda;       // smaller λ = larger uncertainty set
+    rcfg.nu = 1.0;              // adversarial ascent rate (paper: ν = 1)
+    rcfg.ascent_steps = 10;     // Ta
+    rcfg.rounds_between = 7;    // N0
+    rcfg.max_generations = 2;   // R
+    rcfg.clip = clip;
+    variants.push_back(
+        {"Robust FedML λ=" + std::to_string(lambda).substr(0, 4),
+         core::train_robust_fedml(*model, sources, theta0, rcfg).theta});
+  }
+
+  // Evaluate each variant at the held-out devices: adapt on clean data,
+  // measure on clean and on FGSM-perturbed test sets.
+  const double xi = 0.1;
+  const auto attack = [&](const nn::ParamList& params, const data::Dataset& d) {
+    return robust::fgsm_attack(*model, params, d, xi, clip);
+  };
+
+  util::Table t({"variant", "clean acc", "adv acc (FGSM xi=0.1)",
+                 "robustness gap"});
+  t.set_precision(3);
+  for (const auto& v : variants) {
+    util::Rng e1(3), e2(3);
+    const double clean = core::evaluate_targets(*model, v.theta, fd,
+                                                split.target_ids, k, base.alpha,
+                                                5, e1)
+                             .accuracy.back();
+    const double adv = core::evaluate_targets(*model, v.theta, fd,
+                                              split.target_ids, k, base.alpha,
+                                              5, e2, attack)
+                           .accuracy.back();
+    t.add_row({v.name, clean, adv, clean - adv});
+  }
+  t.print(std::cout, "robustness/accuracy trade-off after 5 adaptation steps (FGSM xi=0.1)");
+
+  std::printf("\nreading: shrinking λ buys adversarial accuracy at a small "
+              "clean-accuracy cost — pick λ to match the threat model.\n");
+  return 0;
+}

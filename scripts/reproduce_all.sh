@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate the full evaluation: build, run every test, run every
+# table/figure harness, and collect CSVs under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build -j "$(nproc)" 2>&1 | tee results/test_output.txt
+
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  echo "===== $name"
+  # Figure harnesses accept --csv; google-benchmark binaries do not.
+  case "$name" in
+    micro_*) "$b" ;;
+    *) "$b" --csv="results/${name}.csv" ;;
+  esac
+done 2>&1 | tee results/bench_output.txt
+
+echo "done — outputs in results/"

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "autodiff/var.h"
+
+namespace fedml::autodiff::ops {
+
+/// Constant (no-grad) leaf holding `t`.
+Var constant(tensor::Tensor t);
+/// Constant 1×1 one — and, for non-scalars, an all-ones constant of t's shape.
+Var ones_like(const tensor::Tensor& t);
+
+// ---- arithmetic ------------------------------------------------------------
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+Var neg(const Var& a);
+/// Elementwise (Hadamard) product.
+Var mul(const Var& a, const Var& b);
+/// Multiply by a compile-time-constant scalar.
+Var smul(const Var& a, double s);
+/// Elementwise reciprocal 1/a.
+Var reciprocal(const Var& a);
+/// Elementwise quotient a/b.
+Var div(const Var& a, const Var& b);
+
+// ---- linear algebra --------------------------------------------------------
+Var matmul(const Var& a, const Var& b);
+Var transpose(const Var& a);
+
+// ---- reductions / broadcasts ------------------------------------------------
+/// Sum of all entries as a 1×1 Var.
+Var sum(const Var& a);
+/// Mean of all entries as a 1×1 Var.
+Var mean(const Var& a);
+/// Broadcast a 1×1 scalar to rows×cols.
+Var expand(const Var& a, std::size_t rows, std::size_t cols);
+/// Per-row sums: R×C → R×1.
+Var row_sums(const Var& a);
+/// Per-column sums: R×C → 1×C.
+Var col_sums(const Var& a);
+/// Replicate an R×1 column across `cols` columns: R×1 → R×cols.
+Var expand_cols(const Var& a, std::size_t cols);
+/// Replicate a 1×C row across `rows` rows: 1×C → rows×C.
+Var expand_rows(const Var& a, std::size_t rows);
+/// Broadcast-add a 1×C row vector to each row of an R×C tensor.
+Var add_rowvec(const Var& a, const Var& v);
+/// Broadcast-multiply each row of an R×C tensor by an R×1 column vector.
+Var mul_colvec(const Var& a, const Var& v);
+
+// ---- nonlinearities ----------------------------------------------------------
+Var exp(const Var& a);
+Var log(const Var& a);
+Var relu(const Var& a);
+Var sigmoid(const Var& a);
+Var tanh(const Var& a);
+/// Elementwise square.
+Var square(const Var& a);
+/// Elementwise absolute value (subgradient 0 at 0).
+Var abs(const Var& a);
+/// Elementwise x^p for constant p (x must stay positive for non-integer p).
+Var pow_scalar(const Var& a, double p);
+/// Elementwise clamp to [lo, hi]; gradient is the in-range indicator.
+Var clamp(const Var& a, double lo, double hi);
+/// Elementwise square root.
+Var sqrt(const Var& a);
+
+// ---- indexing ----------------------------------------------------------------
+/// out[i,0] = a(i, index[i]).
+Var gather_cols(const Var& a, std::vector<std::size_t> index);
+/// Zeros except out(i, index[i]) = v(i, 0); `cols` is the output width.
+Var scatter_cols(const Var& v, std::vector<std::size_t> index, std::size_t cols);
+
+// ---- convolution ---------------------------------------------------------------
+/// Single-channel "valid" 2-D correlation. `x` holds a batch of flattened
+/// h×w images (B×(h·w)); `kernel` is k×k. Output is B×((h−k+1)·(w−k+1)).
+/// Backward is expressed via correlations too (full-padding with the
+/// flipped kernel for the input; image×grad correlation for the kernel), so
+/// the op is exactly differentiable to any order.
+Var conv2d_valid(const Var& x, const Var& kernel, std::size_t h, std::size_t w);
+/// Gradient of conv2d_valid wrt the kernel as a first-class op:
+/// out[p,q] = Σ_b Σ_{i,j} x[b, i+p, j+q] · g[b, i, j], a k×k tensor with
+/// k = h − oh + 1. Bilinear in (x, g); its backward closes over
+/// conv2d_valid, keeping every derivative exact.
+Var conv2d_kernel_grad(const Var& x, const Var& g, std::size_t h, std::size_t w);
+/// Zero-pad each flattened h×w image by `pad` on every side.
+Var pad2d(const Var& x, std::size_t h, std::size_t w, std::size_t pad);
+/// Crop `pad` from every side of each flattened h×w image (inverse of pad2d).
+Var crop2d(const Var& x, std::size_t h, std::size_t w, std::size_t pad);
+/// Rotate each flattened h×w image by 180° (kernel flip).
+Var flip2d(const Var& x, std::size_t h, std::size_t w);
+/// Rotate an R×C matrix by 180° (used to flip convolution kernels).
+Var flip_matrix(const Var& a);
+
+// ---- structural ---------------------------------------------------------------
+/// Stack two tensors with equal column counts: (R1+R2)×C.
+Var concat_rows(const Var& a, const Var& b);
+/// Rows [begin, begin+count) as a count×C tensor.
+Var slice_rows(const Var& a, std::size_t begin, std::size_t count);
+/// Stack two tensors with equal row counts side by side: R×(C1+C2).
+Var concat_cols(const Var& a, const Var& b);
+/// Columns [begin, begin+count) as an R×count tensor.
+Var slice_cols(const Var& a, std::size_t begin, std::size_t count);
+
+// ---- composites ---------------------------------------------------------------
+/// Frobenius inner product as 1×1.
+Var dot(const Var& a, const Var& b);
+/// Squared l2 norm as 1×1.
+Var squared_norm(const Var& a);
+/// Sum of absolute values as 1×1.
+Var l1_norm(const Var& a);
+/// Per-row means: R×C → R×1.
+Var row_means(const Var& a);
+/// Numerically-stable per-row log-sum-exp: R×C → R×1.
+Var logsumexp_rows(const Var& a);
+/// Per-row softmax probabilities (differentiable, stable).
+Var softmax_rows(const Var& a);
+
+}  // namespace fedml::autodiff::ops
+
+namespace fedml::autodiff {
+
+// Operator sugar. `*` between Vars is the elementwise product; use
+// ops::matmul for matrix products.
+inline Var operator+(const Var& a, const Var& b) { return ops::add(a, b); }
+inline Var operator-(const Var& a, const Var& b) { return ops::sub(a, b); }
+inline Var operator-(const Var& a) { return ops::neg(a); }
+inline Var operator*(const Var& a, const Var& b) { return ops::mul(a, b); }
+inline Var operator*(const Var& a, double s) { return ops::smul(a, s); }
+inline Var operator*(double s, const Var& a) { return ops::smul(a, s); }
+
+}  // namespace fedml::autodiff

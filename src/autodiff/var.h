@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedml::autodiff {
+
+class Var;
+
+namespace detail {
+
+/// Graph node. Created once per op application; immutable after creation.
+/// `edges[k].backward` maps the gradient flowing into this node to the
+/// gradient contribution for parent k — and is itself written with
+/// differentiable ops, which is what makes grad-of-grad exact.
+struct Node {
+  tensor::Tensor value;
+  bool requires_grad = false;
+  std::uint64_t id = 0;  ///< creation order; parents always have smaller ids
+
+  struct Edge {
+    std::shared_ptr<Node> parent;
+    std::function<Var(const Var&)> backward;
+  };
+  std::vector<Edge> edges;
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+std::uint64_t next_node_id();
+
+}  // namespace detail
+
+/// Value handle into the dynamic computation graph. Cheap to copy
+/// (shared_ptr). A Var without gradient history is a *leaf*; leaves with
+/// requires_grad=true are trainable parameters.
+class Var {
+ public:
+  /// Empty handle; most operations on it throw.
+  Var() = default;
+
+  /// Leaf variable holding `value`.
+  explicit Var(tensor::Tensor value, bool requires_grad = false);
+
+  /// Leaf from a scalar.
+  static Var scalar(double v, bool requires_grad = false) {
+    return Var(tensor::Tensor::scalar(v), requires_grad);
+  }
+
+  [[nodiscard]] bool defined() const { return node_ != nullptr; }
+  [[nodiscard]] const tensor::Tensor& value() const;
+  [[nodiscard]] std::size_t rows() const { return value().rows(); }
+  [[nodiscard]] std::size_t cols() const { return value().cols(); }
+  [[nodiscard]] double item() const { return value().item(); }
+  [[nodiscard]] bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  /// Leaf copy of the current value with no history and no grad requirement.
+  [[nodiscard]] Var detach() const;
+
+  /// Internal: wrap an existing node.
+  explicit Var(detail::NodePtr node) : node_(std::move(node)) {}
+  [[nodiscard]] const detail::NodePtr& node() const { return node_; }
+
+ private:
+  detail::NodePtr node_;
+};
+
+/// Construct the output of an op: `value` is the forward result, `parents`
+/// pairs each parent Var with the closure computing its gradient
+/// contribution from the output gradient. Parents that do not require grad
+/// are skipped, so dead graph branches are never built.
+Var make_op(tensor::Tensor value,
+            std::vector<std::pair<Var, std::function<Var(const Var&)>>> parents);
+
+struct GradOptions {
+  /// Build a differentiable graph for the returned gradients so they can be
+  /// differentiated again (needed for the MAML meta-gradient).
+  bool create_graph = false;
+  /// If an input is unreachable from the output, return a zero gradient of
+  /// the input's shape instead of throwing.
+  bool allow_unused = true;
+};
+
+/// Reverse-mode gradient of a scalar (1×1) `output` with respect to each of
+/// `inputs`. Returns one Var per input, aligned with `inputs`.
+std::vector<Var> grad(const Var& output, const std::vector<Var>& inputs,
+                      const GradOptions& opts = {});
+
+}  // namespace fedml::autodiff

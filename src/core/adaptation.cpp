@@ -1,0 +1,77 @@
+#include "core/adaptation.h"
+
+#include "nn/params.h"
+#include "util/error.h"
+
+namespace fedml::core {
+
+AdaptationCurve AdaptationCurve::average(const std::vector<AdaptationCurve>& curves) {
+  FEDML_CHECK(!curves.empty(), "cannot average zero curves");
+  AdaptationCurve mean;
+  const std::size_t n = curves[0].loss.size();
+  mean.loss.assign(n, 0.0);
+  mean.accuracy.assign(n, 0.0);
+  for (const auto& c : curves) {
+    FEDML_CHECK(c.loss.size() == n && c.accuracy.size() == n,
+                "curves have inconsistent lengths");
+    for (std::size_t s = 0; s < n; ++s) {
+      mean.loss[s] += c.loss[s];
+      mean.accuracy[s] += c.accuracy[s];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(curves.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    mean.loss[s] *= inv;
+    mean.accuracy[s] *= inv;
+  }
+  return mean;
+}
+
+AdaptationCurve evaluate_adaptation(const nn::Module& model,
+                                    const nn::ParamList& theta,
+                                    const data::Dataset& adapt_set,
+                                    const data::Dataset& eval_set, double alpha,
+                                    std::size_t steps,
+                                    const EvalTransform& transform) {
+  FEDML_CHECK(adapt_set.size() > 0 && eval_set.size() > 0,
+              "evaluate_adaptation: empty dataset");
+  AdaptationCurve curve;
+  curve.loss.reserve(steps + 1);
+  curve.accuracy.reserve(steps + 1);
+
+  nn::ParamList params = nn::clone_leaves(theta, /*requires_grad=*/false);
+  for (std::size_t s = 0; s <= steps; ++s) {
+    if (s > 0) {
+      const nn::ParamList g = loss_gradient(model, params, adapt_set);
+      params = nn::sgd_step_leaf(params, g, alpha);
+    }
+    const data::Dataset measured =
+        transform ? transform(params, eval_set) : eval_set;
+    curve.loss.push_back(empirical_loss(model, params, measured));
+    curve.accuracy.push_back(empirical_accuracy(model, params, measured));
+  }
+  return curve;
+}
+
+AdaptationCurve evaluate_targets(const nn::Module& model, const nn::ParamList& theta,
+                                 const data::FederatedDataset& fd,
+                                 const std::vector<std::size_t>& target_ids,
+                                 std::size_t k, double alpha, std::size_t steps,
+                                 util::Rng& rng,
+                                 const EvalTransform& transform) {
+  std::vector<AdaptationCurve> curves;
+  curves.reserve(target_ids.size());
+  for (const auto id : target_ids) {
+    FEDML_CHECK(id < fd.num_nodes(), "target node id out of range");
+    const auto& local = fd.nodes[id];
+    if (local.size() <= k) continue;  // mirror the source-side K-shot rule
+    util::Rng node_rng = rng.split(id);
+    const data::NodeSplit split = data::split_k(local, k, node_rng);
+    curves.push_back(evaluate_adaptation(model, theta, split.train, split.test,
+                                         alpha, steps, transform));
+  }
+  FEDML_CHECK(!curves.empty(), "no usable target nodes (all smaller than K)");
+  return AdaptationCurve::average(curves);
+}
+
+}  // namespace fedml::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/meta.h"
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace fedml::core {
+
+/// Loss/accuracy measured after 0, 1, ..., `steps` adaptation gradient steps
+/// at the target node — the x-axis of Figures 3(c)–(e) and 4(a)–(d).
+struct AdaptationCurve {
+  std::vector<double> loss;      ///< size steps+1; [0] is pre-adaptation
+  std::vector<double> accuracy;  ///< size steps+1
+
+  /// Pointwise-averaged curve across targets.
+  static AdaptationCurve average(const std::vector<AdaptationCurve>& curves);
+};
+
+/// Optional evaluation-set transform applied before each measurement —
+/// used to evaluate under attack: given the *current adapted parameters* and
+/// the clean eval set, return the (e.g. FGSM-perturbed) set to measure on.
+using EvalTransform = std::function<data::Dataset(const nn::ParamList& params,
+                                                  const data::Dataset& clean)>;
+
+/// Adapt θ on `adapt_set` with `steps` SGD steps of rate α, measuring
+/// loss/accuracy on `eval_set` after every step (and before the first).
+AdaptationCurve evaluate_adaptation(const nn::Module& model,
+                                    const nn::ParamList& theta,
+                                    const data::Dataset& adapt_set,
+                                    const data::Dataset& eval_set, double alpha,
+                                    std::size_t steps,
+                                    const EvalTransform& transform = {});
+
+/// Evaluate fast adaptation on a set of held-out target nodes: each target's
+/// local data is split K-vs-rest (seeded by `rng`), θ adapts on the K-shot
+/// side and is measured on the rest. Returns the pointwise mean curve.
+AdaptationCurve evaluate_targets(const nn::Module& model, const nn::ParamList& theta,
+                                 const data::FederatedDataset& fd,
+                                 const std::vector<std::size_t>& target_ids,
+                                 std::size_t k, double alpha, std::size_t steps,
+                                 util::Rng& rng,
+                                 const EvalTransform& transform = {});
+
+}  // namespace fedml::core

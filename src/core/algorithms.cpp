@@ -1,0 +1,284 @@
+#include "core/algorithms.h"
+
+#include <unordered_map>
+
+#include "data/dataset.h"
+#include "nn/params.h"
+#include "util/error.h"
+
+namespace fedml::core {
+
+namespace {
+
+fed::Platform::Config platform_config(
+    std::size_t total, std::size_t local, std::size_t threads,
+    const fed::CommModel& comm, double participation = 1.0,
+    double upload_failure_prob = 0.0, std::uint64_t seed = 0x9d7f,
+    fed::Platform::Config::UplinkCodec codec = {}) {
+  fed::Platform::Config cfg;
+  cfg.total_iterations = total;
+  cfg.local_steps = local;
+  cfg.threads = threads;
+  cfg.comm = comm;
+  cfg.participation = participation;
+  cfg.upload_failure_prob = upload_failure_prob;
+  cfg.seed = seed;
+  cfg.uplink_codec = std::move(codec);
+  return cfg;
+}
+
+/// One optimizer instance per node, keyed by node id. Instances are created
+/// up-front so the parallel local phase only ever touches distinct entries.
+std::unordered_map<std::size_t, std::unique_ptr<nn::Optimizer>> make_node_optimizers(
+    const std::vector<fed::EdgeNode>& nodes, nn::OptimizerKind kind, double lr) {
+  std::unordered_map<std::size_t, std::unique_ptr<nn::Optimizer>> out;
+  for (const auto& n : nodes) out.emplace(n.id, nn::make_optimizer(kind, lr));
+  return out;
+}
+
+}  // namespace
+
+double global_meta_loss(const nn::Module& model, const nn::ParamList& theta,
+                        const std::vector<fed::EdgeNode>& nodes, double alpha) {
+  double total = 0.0;
+  for (const auto& n : nodes) {
+    total += n.weight * meta_loss(model, theta, n.data.train, n.data.test, alpha);
+  }
+  return total;
+}
+
+double global_empirical_loss(const nn::Module& model, const nn::ParamList& theta,
+                             const std::vector<fed::EdgeNode>& nodes) {
+  double total = 0.0;
+  for (const auto& n : nodes) {
+    total += n.weight * empirical_loss(model, theta, n.local);
+  }
+  return total;
+}
+
+TrainResult train_fedml(const nn::Module& model, std::vector<fed::EdgeNode> nodes,
+                        const nn::ParamList& theta0, const FedMLConfig& config) {
+  FEDML_CHECK(config.inner_steps >= 1, "FedML: inner_steps must be >= 1");
+  auto optimizers =
+      make_node_optimizers(nodes, config.meta_optimizer, config.beta);
+  fed::Platform platform(
+      std::move(nodes),
+      platform_config(config.total_iterations, config.local_steps,
+                      config.threads, config.comm, config.participation,
+                      config.upload_failure_prob, config.platform_seed,
+                      config.uplink_codec));
+  platform.broadcast(theta0);
+
+  TrainResult result;
+  const auto step = [&](fed::EdgeNode& node, std::size_t) {
+    if (config.resample_support) node.resample_support();
+    const nn::ParamList g =
+        config.inner_steps == 1
+            ? meta_gradient(model, node.params, node.data.train,
+                            node.data.test, config.alpha, config.order)
+            : meta_gradient_multistep(model, node.params, node.data.train,
+                                      {&node.data.test}, config.alpha,
+                                      config.inner_steps, config.order);
+    node.params = optimizers.at(node.id)->step(node.params, g);
+  };
+  const auto hook = [&](std::size_t t, const nn::ParamList& theta) {
+    if (!config.track_loss) return;
+    result.history.push_back(
+        {t, global_meta_loss(model, theta, platform.nodes(), config.alpha)});
+  };
+
+  result.comm = platform.run(step, hook);
+  result.theta = nn::clone_leaves(platform.global_params());
+  return result;
+}
+
+TrainResult train_fedavg(const nn::Module& model, std::vector<fed::EdgeNode> nodes,
+                         const nn::ParamList& theta0, const FedAvgConfig& config) {
+  fed::Platform platform(
+      std::move(nodes),
+      platform_config(config.total_iterations, config.local_steps,
+                      config.threads, config.comm, config.participation,
+                      config.upload_failure_prob, config.platform_seed));
+  platform.broadcast(theta0);
+
+  TrainResult result;
+  // FedAvg trains on the node's entire local dataset (paper Section VI-A).
+  const auto step = [&](fed::EdgeNode& node, std::size_t) {
+    const nn::ParamList g = loss_gradient(model, node.params, node.local);
+    node.params = nn::sgd_step_leaf(node.params, g, config.lr);
+  };
+  const auto hook = [&](std::size_t t, const nn::ParamList& theta) {
+    if (!config.track_loss) return;
+    result.history.push_back(
+        {t, global_empirical_loss(model, theta, platform.nodes())});
+  };
+
+  result.comm = platform.run(step, hook);
+  result.theta = nn::clone_leaves(platform.global_params());
+  return result;
+}
+
+TrainResult train_fedprox(const nn::Module& model, std::vector<fed::EdgeNode> nodes,
+                          const nn::ParamList& theta0, const FedProxConfig& config) {
+  FEDML_CHECK(config.mu_prox >= 0.0, "FedProx: mu_prox must be non-negative");
+  // The proximal gradient step multiplies the anchor distance by
+  // (1 − lr·μ) each iteration; lr·μ ≥ 2 oscillates divergently.
+  FEDML_CHECK(config.lr * config.mu_prox < 2.0,
+              "FedProx: lr*mu_prox must be < 2 for stability");
+  fed::Platform platform(
+      std::move(nodes),
+      platform_config(config.total_iterations, config.local_steps,
+                      config.threads, config.comm, config.participation,
+                      config.upload_failure_prob, config.platform_seed));
+  platform.broadcast(theta0);
+
+  TrainResult result;
+  const auto step = [&](fed::EdgeNode& node, std::size_t) {
+    // ∇[L_i(θ) + (μ/2)‖θ − θ_global‖²] = ∇L_i(θ) + μ(θ − θ_global). The
+    // global reference is constant within a block (updated only at
+    // aggregations), so reading it from the platform is race-free.
+    nn::ParamList g = loss_gradient(model, node.params, node.local);
+    const nn::ParamList& anchor = platform.global_params();
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      const tensor::Tensor prox =
+          (node.params[k].value() - anchor[k].value()) * config.mu_prox;
+      g[k] = autodiff::Var(g[k].value() + prox, /*requires_grad=*/false);
+    }
+    node.params = nn::sgd_step_leaf(node.params, g, config.lr);
+  };
+  const auto hook = [&](std::size_t t, const nn::ParamList& theta) {
+    if (!config.track_loss) return;
+    result.history.push_back(
+        {t, global_empirical_loss(model, theta, platform.nodes())});
+  };
+
+  result.comm = platform.run(step, hook);
+  result.theta = nn::clone_leaves(platform.global_params());
+  return result;
+}
+
+TrainResult train_robust_fedml(const nn::Module& model,
+                               std::vector<fed::EdgeNode> nodes,
+                               const nn::ParamList& theta0,
+                               const RobustFedMLConfig& config) {
+  const auto& base = config.base;
+  FEDML_CHECK(config.rounds_between >= 1, "robust FedML: N0 must be >= 1");
+  auto optimizers = make_node_optimizers(nodes, base.meta_optimizer, base.beta);
+  fed::Platform platform(
+      std::move(nodes),
+      platform_config(base.total_iterations, base.local_steps, base.threads,
+                      base.comm, base.participation, base.upload_failure_prob,
+                      base.platform_seed));
+  platform.broadcast(theta0);
+
+  // Per-node adversarial-generation counters r (Algorithm 2 line 3).
+  std::unordered_map<std::size_t, std::size_t> generations;
+  for (const auto& n : platform.nodes()) generations[n.id] = 0;
+
+  const std::size_t generation_period = config.rounds_between * base.local_steps;
+
+  TrainResult result;
+  const auto step = [&](fed::EdgeNode& node, std::size_t t) {
+    if (base.resample_support) node.resample_support();
+    // Local meta-update over D_test ∪ D_adv (Algorithm 2 lines 6–8).
+    std::vector<const data::Dataset*> tests{&node.data.test};
+    if (node.adversarial.size() > 0) tests.push_back(&node.adversarial);
+    const nn::ParamList g = meta_gradient(model, node.params, node.data.train,
+                                          tests, base.alpha, base.order);
+    node.params = optimizers.at(node.id)->step(node.params, g);
+
+    // Adversarial data generation every N0·T0 iterations, at most R times
+    // (Algorithm 2 lines 15–22).
+    auto& r = generations[node.id];
+    if (t % generation_period == 0 && r < config.max_generations) {
+      const data::Dataset comb = data::concat(node.data.test, node.adversarial);
+      // Uniformly resample |D_test| seeds from D_comb.
+      const auto idx = node.rng.sample_without_replacement(
+          comb.size(), std::min(node.data.test.size(), comb.size()));
+      const data::Dataset seed = data::subset(comb, idx);
+      const nn::ParamList phi =
+          adapt(model, node.params, node.data.train, base.alpha, 1);
+      const data::Dataset fresh =
+          robust::generate_adversarial(model, phi, seed, config.lambda, config.nu,
+                                       config.ascent_steps, config.clip);
+      node.adversarial = data::concat(node.adversarial, fresh);
+      ++r;
+    }
+  };
+  const auto hook = [&](std::size_t t, const nn::ParamList& theta) {
+    if (!base.track_loss) return;
+    result.history.push_back(
+        {t, global_meta_loss(model, theta, platform.nodes(), base.alpha)});
+  };
+
+  result.comm = platform.run(step, hook);
+  result.theta = nn::clone_leaves(platform.global_params());
+  return result;
+}
+
+TrainResult train_adversarial_fedml(const nn::Module& model,
+                                    std::vector<fed::EdgeNode> nodes,
+                                    const nn::ParamList& theta0,
+                                    const AdversarialFedMLConfig& config) {
+  const auto& base = config.base;
+  FEDML_CHECK(config.xi >= 0.0, "adversarial FedML: xi must be non-negative");
+  auto optimizers = make_node_optimizers(nodes, base.meta_optimizer, base.beta);
+  fed::Platform platform(
+      std::move(nodes),
+      platform_config(base.total_iterations, base.local_steps, base.threads,
+                      base.comm, base.participation, base.upload_failure_prob,
+                      base.platform_seed));
+  platform.broadcast(theta0);
+
+  TrainResult result;
+  const auto step = [&](fed::EdgeNode& node, std::size_t) {
+    if (base.resample_support) node.resample_support();
+    // FGSM-perturb the test set against the CURRENT adapted model φ, then
+    // meta-update on clean + adversarial outer losses (ADML's arm-wrestle).
+    const nn::ParamList phi =
+        adapt(model, node.params, node.data.train, base.alpha, 1);
+    const data::Dataset adv =
+        robust::fgsm_attack(model, phi, node.data.test, config.xi, config.clip);
+    const nn::ParamList g =
+        meta_gradient(model, node.params, node.data.train,
+                      {&node.data.test, &adv}, base.alpha, base.order);
+    node.params = optimizers.at(node.id)->step(node.params, g);
+  };
+  const auto hook = [&](std::size_t t, const nn::ParamList& theta) {
+    if (!base.track_loss) return;
+    result.history.push_back(
+        {t, global_meta_loss(model, theta, platform.nodes(), base.alpha)});
+  };
+
+  result.comm = platform.run(step, hook);
+  result.theta = nn::clone_leaves(platform.global_params());
+  return result;
+}
+
+TrainResult train_reptile(const nn::Module& model, std::vector<fed::EdgeNode> nodes,
+                          const nn::ParamList& theta0, const ReptileConfig& config) {
+  fed::Platform platform(std::move(nodes),
+                         platform_config(config.total_iterations, config.local_steps,
+                                         config.threads, config.comm));
+  platform.broadcast(theta0);
+
+  TrainResult result;
+  const auto step = [&](fed::EdgeNode& node, std::size_t) {
+    const nn::ParamList phi =
+        adapt(model, node.params, node.local, config.alpha, config.inner_steps);
+    // θ ← θ + β_rep (φ − θ)  ⇔  θ ← (1−β_rep) θ + β_rep φ.
+    node.params = nn::weighted_average({node.params, phi},
+                                       {1.0 - config.beta_rep, config.beta_rep});
+  };
+  const auto hook = [&](std::size_t t, const nn::ParamList& theta) {
+    if (!config.track_loss) return;
+    result.history.push_back(
+        {t, global_meta_loss(model, theta, platform.nodes(), config.alpha)});
+  };
+
+  result.comm = platform.run(step, hook);
+  result.theta = nn::clone_leaves(platform.global_params());
+  return result;
+}
+
+}  // namespace fedml::core

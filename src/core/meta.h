@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace fedml::core {
+
+/// How the meta-gradient treats the inner adaptation step.
+enum class MetaOrder {
+  kSecondOrder,  ///< exact MAML: differentiate through φ(θ) = θ − α∇L_tr(θ)
+  kFirstOrder,   ///< FOMAML: treat the inner gradient as a constant
+};
+
+/// Mean empirical loss L(θ, D) as a plain number (no graph kept).
+double empirical_loss(const nn::Module& model, const nn::ParamList& theta,
+                      const data::Dataset& d);
+
+/// Classification accuracy of the model at θ on d.
+double empirical_accuracy(const nn::Module& model, const nn::ParamList& theta,
+                          const data::Dataset& d);
+
+/// Gradient of the mean empirical loss at θ (detached leaves).
+nn::ParamList loss_gradient(const nn::Module& model, const nn::ParamList& theta,
+                            const data::Dataset& d);
+
+/// MAML meta-gradient ∇_θ L(φ(θ), D_test) with the one-step inner update
+/// φ(θ) = θ − α ∇_θ L(θ, D_train)  (paper eq. (3)–(4)).
+///
+/// `test_sets` may hold several datasets; their mean losses are summed —
+/// Robust FedML (paper eq. (14)) passes {D_test, D_adv}. With
+/// kSecondOrder the result is exact:
+///     ∇ = (I − α∇²L_tr(θ)) · ∇L_te(φ),
+/// obtained by double backward, never by forming the Hessian.
+nn::ParamList meta_gradient(const nn::Module& model, const nn::ParamList& theta,
+                            const data::Dataset& train,
+                            const std::vector<const data::Dataset*>& test_sets,
+                            double alpha, MetaOrder order = MetaOrder::kSecondOrder);
+
+/// Convenience overload for the single-test-set case.
+nn::ParamList meta_gradient(const nn::Module& model, const nn::ParamList& theta,
+                            const data::Dataset& train, const data::Dataset& test,
+                            double alpha, MetaOrder order = MetaOrder::kSecondOrder);
+
+/// Multi-step MAML meta-gradient: the inner loop runs `inner_steps` SGD
+/// steps (each with a fresh gradient at the current inner iterate), and the
+/// outer gradient is taken through the whole chain. `inner_steps = 1`
+/// recovers `meta_gradient`. Exact for any depth thanks to the
+/// double-backward engine — this is the paper's natural "more than one
+/// gradient step at the target" extension.
+nn::ParamList meta_gradient_multistep(
+    const nn::Module& model, const nn::ParamList& theta,
+    const data::Dataset& train, const std::vector<const data::Dataset*>& test_sets,
+    double alpha, std::size_t inner_steps,
+    MetaOrder order = MetaOrder::kSecondOrder);
+
+/// Value of the multi-step per-node meta-objective L(φ^m(θ), D_test).
+double meta_loss_multistep(const nn::Module& model, const nn::ParamList& theta,
+                           const data::Dataset& train, const data::Dataset& test,
+                           double alpha, std::size_t inner_steps);
+
+/// Value of the per-node meta-objective G_i(θ) = L(φ_i(θ), D_test).
+double meta_loss(const nn::Module& model, const nn::ParamList& theta,
+                 const data::Dataset& train, const data::Dataset& test, double alpha);
+
+/// `steps` plain SGD steps on d starting from θ — the target node's fast
+/// adaptation (paper eq. (6) uses steps = 1). Returns detached leaves.
+nn::ParamList adapt(const nn::Module& model, const nn::ParamList& theta,
+                    const data::Dataset& d, double alpha, std::size_t steps);
+
+}  // namespace fedml::core

@@ -1,0 +1,48 @@
+#include "core/personalization.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace fedml::core {
+
+void FleetMetrics::finalize() {
+  FEDML_CHECK(!per_node_accuracy.empty(), "fleet metrics need at least one node");
+  std::vector<double> sorted = per_node_accuracy;
+  std::sort(sorted.begin(), sorted.end());
+  mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+         static_cast<double>(sorted.size());
+  worst = sorted.front();
+  const auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  p10 = quantile(0.10);
+  median = quantile(0.50);
+}
+
+FleetMetrics evaluate_fleet(const nn::Module& model, const nn::ParamList& theta,
+                            const data::FederatedDataset& fd,
+                            const std::vector<std::size_t>& node_ids,
+                            std::size_t k, double alpha, std::size_t steps,
+                            util::Rng& rng) {
+  FleetMetrics out;
+  for (const auto id : node_ids) {
+    FEDML_CHECK(id < fd.num_nodes(), "evaluate_fleet: node id out of range");
+    const auto& local = fd.nodes[id];
+    if (local.size() <= k) continue;
+    util::Rng node_rng = rng.split(id);
+    const data::NodeSplit split = data::split_k(local, k, node_rng);
+    const AdaptationCurve curve = evaluate_adaptation(
+        model, theta, split.train, split.test, alpha, steps);
+    out.per_node_accuracy.push_back(curve.accuracy.back());
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace fedml::core

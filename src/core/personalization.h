@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/adaptation.h"
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace fedml::core {
+
+/// Distribution of post-adaptation performance across nodes. Federated
+/// deployments care about the whole fleet, not just the mean: a meta-init
+/// that lifts the WORST nodes is worth more than one that polishes the best.
+struct FleetMetrics {
+  std::vector<double> per_node_accuracy;  ///< one entry per evaluated node
+  double mean = 0.0;
+  double worst = 0.0;    ///< minimum over nodes
+  double p10 = 0.0;      ///< 10th percentile
+  double median = 0.0;
+
+  /// Compute the summary statistics from per_node_accuracy.
+  void finalize();
+};
+
+/// Adapt θ independently at every listed node (K-shot split, `steps` SGD
+/// steps at rate α) and collect the per-node test accuracy distribution.
+FleetMetrics evaluate_fleet(const nn::Module& model, const nn::ParamList& theta,
+                            const data::FederatedDataset& fd,
+                            const std::vector<std::size_t>& node_ids,
+                            std::size_t k, double alpha, std::size_t steps,
+                            util::Rng& rng);
+
+}  // namespace fedml::core

@@ -1,0 +1,113 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::data {
+
+using tensor::Tensor;
+
+Dataset subset(const Dataset& d, const std::vector<std::size_t>& index) {
+  Dataset out;
+  out.x = Tensor(index.size(), d.x.cols());
+  out.y.reserve(index.size());
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    FEDML_CHECK(index[i] < d.size(), "subset index out of range");
+    for (std::size_t j = 0; j < d.x.cols(); ++j) out.x(i, j) = d.x(index[i], j);
+    out.y.push_back(d.y[index[i]]);
+  }
+  return out;
+}
+
+Dataset concat(const Dataset& a, const Dataset& b) {
+  if (a.size() == 0) return b;
+  if (b.size() == 0) return a;
+  FEDML_CHECK(a.x.cols() == b.x.cols(), "concat: feature width mismatch");
+  Dataset out;
+  out.x = Tensor(a.size() + b.size(), a.x.cols());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < a.x.cols(); ++j) out.x(i, j) = a.x(i, j);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    for (std::size_t j = 0; j < b.x.cols(); ++j) out.x(a.size() + i, j) = b.x(i, j);
+  out.y = a.y;
+  out.y.insert(out.y.end(), b.y.begin(), b.y.end());
+  return out;
+}
+
+NodeSplit split_k(const Dataset& d, std::size_t k, util::Rng& rng) {
+  FEDML_CHECK(k > 0, "split_k: k must be positive");
+  FEDML_CHECK(d.size() > k, "split_k: node needs more than K samples");
+  const auto perm = rng.permutation(d.size());
+  std::vector<std::size_t> train_idx(perm.begin(),
+                                     perm.begin() + static_cast<std::ptrdiff_t>(k));
+  std::vector<std::size_t> test_idx(perm.begin() + static_cast<std::ptrdiff_t>(k),
+                                    perm.end());
+  return {subset(d, train_idx), subset(d, test_idx)};
+}
+
+std::size_t FederatedDataset::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& d : nodes) n += d.size();
+  return n;
+}
+
+SampleStats sample_stats(const FederatedDataset& fd) {
+  SampleStats s;
+  s.nodes = fd.num_nodes();
+  if (s.nodes == 0) return s;
+  double sum = 0.0;
+  for (const auto& d : fd.nodes) sum += static_cast<double>(d.size());
+  s.mean = sum / static_cast<double>(s.nodes);
+  double sq = 0.0;
+  for (const auto& d : fd.nodes) {
+    const double dev = static_cast<double>(d.size()) - s.mean;
+    sq += dev * dev;
+  }
+  s.stdev = std::sqrt(sq / static_cast<double>(s.nodes));
+  return s;
+}
+
+void standardize_features(FederatedDataset& fd) {
+  FEDML_CHECK(fd.num_nodes() > 0 && fd.total_samples() > 0,
+              "standardize_features: empty federation");
+  const std::size_t d = fd.input_dim;
+  std::vector<double> mean(d, 0.0), var(d, 0.0);
+  const double n = static_cast<double>(fd.total_samples());
+  for (const auto& node : fd.nodes) {
+    for (std::size_t i = 0; i < node.size(); ++i)
+      for (std::size_t j = 0; j < d; ++j) mean[j] += node.x(i, j);
+  }
+  for (auto& m : mean) m /= n;
+  for (const auto& node : fd.nodes) {
+    for (std::size_t i = 0; i < node.size(); ++i)
+      for (std::size_t j = 0; j < d; ++j) {
+        const double dev = node.x(i, j) - mean[j];
+        var[j] += dev * dev;
+      }
+  }
+  for (auto& v : var) v = std::max(v / n, 1e-12);
+  for (auto& node : fd.nodes) {
+    for (std::size_t i = 0; i < node.size(); ++i)
+      for (std::size_t j = 0; j < d; ++j)
+        node.x(i, j) = (node.x(i, j) - mean[j]) / std::sqrt(var[j]);
+  }
+}
+
+SourceTargetSplit split_source_target(std::size_t num_nodes, double source_fraction,
+                                      util::Rng& rng) {
+  FEDML_CHECK(source_fraction > 0.0 && source_fraction < 1.0,
+              "source fraction must be in (0, 1)");
+  FEDML_CHECK(num_nodes >= 2, "need at least two nodes to split");
+  auto perm = rng.permutation(num_nodes);
+  auto n_source = static_cast<std::size_t>(
+      std::llround(source_fraction * static_cast<double>(num_nodes)));
+  n_source = std::min(std::max<std::size_t>(n_source, 1), num_nodes - 1);
+  SourceTargetSplit out;
+  out.source_ids.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(n_source));
+  out.target_ids.assign(perm.begin() + static_cast<std::ptrdiff_t>(n_source), perm.end());
+  return out;
+}
+
+}  // namespace fedml::data

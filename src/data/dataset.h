@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedml::util {
+class Rng;
+}
+
+namespace fedml::data {
+
+/// A supervised dataset: features x (N×D) and integer class labels y (N).
+struct Dataset {
+  tensor::Tensor x;
+  std::vector<std::size_t> y;
+
+  [[nodiscard]] std::size_t size() const { return y.size(); }
+  [[nodiscard]] std::size_t dim() const { return x.cols(); }
+};
+
+/// Rows of `d` selected by `index`, in order.
+Dataset subset(const Dataset& d, const std::vector<std::size_t>& index);
+
+/// Concatenate two datasets with equal feature width.
+Dataset concat(const Dataset& a, const Dataset& b);
+
+/// A node's local data split into the K-shot training set used for the inner
+/// (adaptation) step and the held-out test set used for the outer step
+/// (paper: |D_i^train| = K, D_i^test = D_i \ D_i^train).
+struct NodeSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random K-vs-rest split; requires |d| > k so the test side is nonempty.
+NodeSplit split_k(const Dataset& d, std::size_t k, util::Rng& rng);
+
+/// A federation: one local dataset per edge node plus task metadata.
+struct FederatedDataset {
+  std::string name;
+  std::size_t input_dim = 0;
+  std::size_t num_classes = 0;
+  std::vector<Dataset> nodes;
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes.size(); }
+  [[nodiscard]] std::size_t total_samples() const;
+};
+
+/// Sample-per-node statistics (Table I of the paper).
+struct SampleStats {
+  std::size_t nodes = 0;
+  double mean = 0.0;
+  double stdev = 0.0;
+};
+SampleStats sample_stats(const FederatedDataset& fd);
+
+/// Standardize features globally (all nodes pooled) to zero mean and unit
+/// variance per dimension. Per-node distribution differences survive (node
+/// means still differ); only the global scale is removed. Benches use this
+/// to compare federations of different heterogeneity on an equal footing.
+void standardize_features(FederatedDataset& fd);
+
+/// Random disjoint source/target node split (paper: 80% source).
+struct SourceTargetSplit {
+  std::vector<std::size_t> source_ids;
+  std::vector<std::size_t> target_ids;
+};
+SourceTargetSplit split_source_target(std::size_t num_nodes, double source_fraction,
+                                      util::Rng& rng);
+
+}  // namespace fedml::data

@@ -1,0 +1,119 @@
+#include "data/io.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fedml::data {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) out.push_back(field);
+  return out;
+}
+
+double parse_double(const std::string& s, const std::string& context) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    FEDML_CHECK(pos == s.size(), "trailing junk in " + context + ": " + s);
+    return v;
+  } catch (const std::exception&) {
+    FEDML_THROW("expected a number in " + context + ", got: " + s);
+  }
+}
+
+}  // namespace
+
+void save_dataset_csv(const std::string& path, const Dataset& d) {
+  std::ofstream f(path, std::ios::trunc);
+  FEDML_CHECK(f.good(), "cannot open for writing: " + path);
+  f << std::setprecision(17);
+  for (std::size_t j = 0; j < d.dim(); ++j) f << 'f' << j << ',';
+  f << "label\n";
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t j = 0; j < d.dim(); ++j) f << d.x(i, j) << ',';
+    f << d.y[i] << '\n';
+  }
+  FEDML_CHECK(f.good(), "failed writing: " + path);
+}
+
+Dataset load_dataset_csv(const std::string& path) {
+  std::ifstream f(path);
+  FEDML_CHECK(f.good(), "cannot open dataset CSV: " + path);
+  std::string line;
+  FEDML_CHECK(static_cast<bool>(std::getline(f, line)), "empty CSV: " + path);
+  const auto header = split_csv_line(line);
+  FEDML_CHECK(header.size() >= 2 && header.back() == "label",
+              "dataset CSV must end with a 'label' column: " + path);
+  const std::size_t dim = header.size() - 1;
+
+  std::vector<double> flat;
+  std::vector<std::size_t> labels;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line);
+    FEDML_CHECK(fields.size() == dim + 1, "ragged CSV row in " + path);
+    for (std::size_t j = 0; j < dim; ++j)
+      flat.push_back(parse_double(fields[j], path));
+    const double y = parse_double(fields[dim], path);
+    FEDML_CHECK(y >= 0.0 && y == std::floor(y),
+                "labels must be non-negative integers: " + path);
+    labels.push_back(static_cast<std::size_t>(y));
+  }
+  Dataset d;
+  d.x = tensor::Tensor(labels.size(), dim, std::move(flat));
+  d.y = std::move(labels);
+  return d;
+}
+
+void save_federation_csv(const std::string& dir, const FederatedDataset& fd) {
+  std::ofstream meta(dir + "/meta.csv", std::ios::trunc);
+  FEDML_CHECK(meta.good(), "cannot open for writing: " + dir + "/meta.csv");
+  meta << "name,input_dim,num_classes,num_nodes\n";
+  meta << fd.name << ',' << fd.input_dim << ',' << fd.num_classes << ','
+       << fd.num_nodes() << '\n';
+  FEDML_CHECK(meta.good(), "failed writing federation meta");
+  for (std::size_t i = 0; i < fd.num_nodes(); ++i) {
+    save_dataset_csv(dir + "/node_" + std::to_string(i) + ".csv", fd.nodes[i]);
+  }
+}
+
+FederatedDataset load_federation_csv(const std::string& dir) {
+  std::ifstream meta(dir + "/meta.csv");
+  FEDML_CHECK(meta.good(), "cannot open federation meta: " + dir);
+  std::string line;
+  FEDML_CHECK(static_cast<bool>(std::getline(meta, line)), "empty meta file");
+  FEDML_CHECK(static_cast<bool>(std::getline(meta, line)), "meta has no data row");
+  const auto fields = split_csv_line(line);
+  // The name itself may contain commas (e.g. "Synthetic(0.5,0.5)"): the last
+  // three fields are the numbers; everything before them is the name.
+  FEDML_CHECK(fields.size() >= 4, "malformed federation meta row");
+  const std::size_t n = fields.size();
+
+  FederatedDataset fd;
+  fd.name = fields[0];
+  for (std::size_t i = 1; i + 3 < n; ++i) fd.name += "," + fields[i];
+  fd.input_dim = static_cast<std::size_t>(parse_double(fields[n - 3], "meta"));
+  fd.num_classes = static_cast<std::size_t>(parse_double(fields[n - 2], "meta"));
+  const auto nodes = static_cast<std::size_t>(parse_double(fields[n - 1], "meta"));
+  fd.nodes.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    Dataset d = load_dataset_csv(dir + "/node_" + std::to_string(i) + ".csv");
+    FEDML_CHECK(d.dim() == fd.input_dim, "node CSV width mismatch");
+    for (const auto y : d.y)
+      FEDML_CHECK(y < fd.num_classes, "node CSV label out of range");
+    fd.nodes.push_back(std::move(d));
+  }
+  return fd;
+}
+
+}  // namespace fedml::data

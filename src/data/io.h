@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace fedml::data {
+
+/// Write a dataset to CSV: header `f0,...,f{D-1},label`, one row per sample.
+/// Full double precision (round-trips exactly through load_dataset_csv).
+void save_dataset_csv(const std::string& path, const Dataset& d);
+
+/// Read a dataset written by save_dataset_csv. Validates rectangular shape,
+/// numeric fields and label integrality; throws util::Error otherwise.
+Dataset load_dataset_csv(const std::string& path);
+
+/// Export a federation: `<dir>/meta.csv` (name, dims, per-node sizes) plus
+/// one `node_<i>.csv` per node. The directory must already exist.
+void save_federation_csv(const std::string& dir, const FederatedDataset& fd);
+
+/// Load a federation previously written by save_federation_csv.
+FederatedDataset load_federation_csv(const std::string& dir);
+
+}  // namespace fedml::data

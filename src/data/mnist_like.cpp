@@ -1,0 +1,116 @@
+#include "data/mnist_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::data {
+
+using tensor::Tensor;
+
+namespace {
+
+/// Sum of `bumps` signed Gaussian bumps with the given amplitude range —
+/// the building block for both class prototypes and per-node style
+/// deformations.
+Tensor gaussian_bumps(std::size_t side, util::Rng& rng, int bumps,
+                      double amp_lo, double amp_hi, bool signed_amp) {
+  Tensor img(1, side * side);
+  for (int b = 0; b < bumps; ++b) {
+    const double cx = rng.uniform(0.15, 0.85) * static_cast<double>(side);
+    const double cy = rng.uniform(0.15, 0.85) * static_cast<double>(side);
+    const double w = rng.uniform(0.08, 0.22) * static_cast<double>(side);
+    double amp = rng.uniform(amp_lo, amp_hi);
+    if (signed_amp && rng.uniform() < 0.5) amp = -amp;
+    for (std::size_t r = 0; r < side; ++r) {
+      for (std::size_t c = 0; c < side; ++c) {
+        const double dx = (static_cast<double>(c) - cx) / w;
+        const double dy = (static_cast<double>(r) - cy) / w;
+        img(0, r * side + c) += amp * std::exp(-0.5 * (dx * dx + dy * dy));
+      }
+    }
+  }
+  return img;
+}
+
+/// Deterministic smooth prototype for one class: a few Gaussian bumps whose
+/// centres/widths are drawn from a class-seeded stream. Distinct classes get
+/// visually (and linearly) distinguishable patterns.
+Tensor class_prototype(std::size_t cls, std::size_t side, util::Rng rng) {
+  Tensor img = gaussian_bumps(side, rng, 3 + static_cast<int>(cls % 3), 0.5,
+                              1.0, /*signed_amp=*/false);
+  // Clip to [0, 1] like pixel intensities.
+  for (std::size_t j = 0; j < img.size(); ++j)
+    img(0, j) = std::clamp(img(0, j), 0.0, 1.0);
+  return img;
+}
+
+}  // namespace
+
+std::pair<std::size_t, std::size_t> mnist_like_node_digits(std::size_t node,
+                                                           std::size_t num_classes) {
+  // First digit cycles through classes; second is offset by a stride coprime
+  // with the class count, so the pair set varies across nodes.
+  const std::size_t c1 = node % num_classes;
+  const std::size_t c2 = (node + 1 + (node / num_classes) * 3) % num_classes;
+  return {c1, c2 == c1 ? (c1 + 1) % num_classes : c2};
+}
+
+FederatedDataset make_mnist_like(const MnistLikeConfig& config) {
+  FEDML_CHECK(config.num_classes >= 2, "mnist_like: need at least two classes");
+  util::Rng root(config.seed);
+  const std::size_t dim = config.side * config.side;
+
+  std::vector<Tensor> prototypes;
+  prototypes.reserve(config.num_classes);
+  for (std::size_t c = 0; c < config.num_classes; ++c)
+    prototypes.push_back(class_prototype(c, config.side, root.split(1000 + c)));
+
+  FederatedDataset fd;
+  fd.name = "MNIST-like";
+  fd.input_dim = dim;
+  fd.num_classes = config.num_classes;
+  fd.nodes.reserve(config.num_nodes);
+
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    util::Rng rng = root.split(i);
+    const auto [c1, c2] = mnist_like_node_digits(i, config.num_classes);
+    const double shift = rng.normal(0.0, config.node_shift);
+    const double contrast =
+        std::max(0.2, rng.normal(1.0, config.node_contrast));
+
+    // This node's writing style: a smooth signed deformation applied to each
+    // of its digit prototypes (label-relevant heterogeneity).
+    std::vector<Tensor> node_proto(config.num_classes);
+    for (const auto c : {c1, c2}) {
+      const Tensor style = gaussian_bumps(config.side, rng, 3, 0.4, 1.0,
+                                          /*signed_amp=*/true) *
+                           config.style_sigma;
+      node_proto[c] = prototypes[c] + style;
+    }
+
+    const auto n = static_cast<std::size_t>(rng.power_law_count(
+        config.power_law_exponent, static_cast<std::int64_t>(config.min_samples),
+        static_cast<std::int64_t>(config.max_samples)));
+
+    Dataset ds;
+    ds.x = Tensor(n, dim);
+    ds.y.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t cls = (rng.uniform() < 0.5) ? c1 : c2;
+      const Tensor& proto = node_proto[cls];
+      for (std::size_t j = 0; j < dim; ++j) {
+        const double v = contrast * proto(0, j) + shift +
+                         rng.normal(0.0, config.pixel_noise);
+        ds.x(s, j) = std::clamp(v, 0.0, 1.0);
+      }
+      ds.y[s] = cls;
+    }
+    fd.nodes.push_back(std::move(ds));
+  }
+  return fd;
+}
+
+}  // namespace fedml::data

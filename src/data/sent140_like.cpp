@@ -1,0 +1,92 @@
+#include "data/sent140_like.h"
+
+#include <cmath>
+#include <vector>
+
+#include "nn/embedding.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::data {
+
+using tensor::Tensor;
+
+FederatedDataset make_sent140_like(const Sent140LikeConfig& config) {
+  FEDML_CHECK(config.vocab >= 2 && config.seq_len >= 1,
+              "sent140_like: degenerate vocabulary/sequence configuration");
+  util::Rng root(config.seed);
+
+  // Global token sentiment scores and the frozen embedding table are shared
+  // across all nodes (stand-ins for English and GloVe respectively).
+  util::Rng global = root.split(0x5c03eULL);
+  const auto score = global.normal_vector(config.vocab);
+  util::Rng embed_rng = root.split(0xe1beDULL);
+  const auto embedding =
+      nn::FrozenEmbedding::random(config.vocab, config.embed_dim, embed_rng);
+
+  FederatedDataset fd;
+  fd.name = "Sent140-like";
+  fd.input_dim = config.embed_dim;
+  fd.num_classes = 2;
+  fd.nodes.reserve(config.num_nodes);
+
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    util::Rng rng = root.split(1 + i);
+    const auto style = rng.normal_vector(config.vocab, 0.0, config.style_sigma);
+    // Per-token sentiment drift — the node's idiolect. A scalar drift would
+    // cancel in the softmax (constant shift of all token logits), so the
+    // drift must be token-dependent to produce real label heterogeneity.
+    const auto drift = rng.normal_vector(config.vocab, 0.0, config.drift_sigma);
+
+    const auto n = static_cast<std::size_t>(rng.power_law_count(
+        config.power_law_exponent, static_cast<std::int64_t>(config.min_samples),
+        static_cast<std::int64_t>(config.max_samples)));
+
+    std::vector<std::vector<std::size_t>> sequences;
+    sequences.reserve(n);
+    std::vector<std::size_t> labels;
+    labels.reserve(n);
+
+    // Precompute per-class token logits for this node.
+    std::vector<std::vector<double>> cdf(2, std::vector<double>(config.vocab));
+    for (int y = 0; y < 2; ++y) {
+      const double sign = (y == 1) ? 1.0 : -1.0;
+      double maxlogit = -1e300;
+      std::vector<double> logits(config.vocab);
+      for (std::size_t v = 0; v < config.vocab; ++v) {
+        logits[v] = style[v] + sign * (score[v] + drift[v]) * config.temperature;
+        maxlogit = std::max(maxlogit, logits[v]);
+      }
+      double z = 0.0;
+      for (std::size_t v = 0; v < config.vocab; ++v) {
+        z += std::exp(logits[v] - maxlogit);
+        cdf[static_cast<std::size_t>(y)][v] = z;
+      }
+      for (std::size_t v = 0; v < config.vocab; ++v)
+        cdf[static_cast<std::size_t>(y)][v] /= z;
+    }
+    const auto sample_token = [&](std::size_t y) {
+      const double u = rng.uniform();
+      const auto& c = cdf[y];
+      const auto it = std::lower_bound(c.begin(), c.end(), u);
+      return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+          it - c.begin(), static_cast<std::ptrdiff_t>(config.vocab) - 1));
+    };
+
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t y = rng.uniform() < 0.5 ? 0 : 1;
+      std::vector<std::size_t> seq(config.seq_len);
+      for (auto& t : seq) t = sample_token(y);
+      sequences.push_back(std::move(seq));
+      labels.push_back(y);
+    }
+
+    Dataset ds;
+    ds.x = embedding.featurize_batch(sequences);
+    ds.y = std::move(labels);
+    fd.nodes.push_back(std::move(ds));
+  }
+  return fd;
+}
+
+}  // namespace fedml::data

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace fedml::data {
+
+/// Sent140 stand-in (see DESIGN.md, substitutions). The paper treats each
+/// Twitter account as a node, feeds 25-character sequences through a frozen
+/// 300-d GloVe embedding and a 3-hidden-layer MLP, and predicts sentiment.
+/// We reproduce the *structure*: per-node (account) token style, binary
+/// sentiment labels driven by a global token-sentiment score plus per-node
+/// drift, sequences of `seq_len` tokens, mean-pooled through a frozen random
+/// embedding table (featurization happens in nn::FrozenEmbedding; this
+/// generator emits token sequences already featurized into B×dim rows).
+///
+/// Generative model per node i:
+///   style_i[v]  ~ N(0, style_sigma)      — account vocabulary preference
+///   drift_i     ~ N(0, drift_sigma)      — account sentiment polarity drift
+///   label y     ~ Bernoulli(1/2)
+///   token t_j   ∝ exp(style_i[v] + sign(y)·(score[v] + drift_i)·temp)
+/// with a fixed global sentiment score vector score[v] ~ N(0, 1).
+struct Sent140LikeConfig {
+  std::size_t num_nodes = 706;    ///< Table I
+  std::size_t vocab = 128;        ///< character-level vocabulary
+  std::size_t seq_len = 25;       ///< characters per sample (paper: 25)
+  std::size_t embed_dim = 50;     ///< frozen embedding width (paper: 300)
+  double style_sigma = 1.0;
+  double drift_sigma = 2.0;   ///< strong per-node idiolects (label heterogeneity)
+  double temperature = 0.8;
+  double power_law_exponent = 2.4;
+  std::size_t min_samples = 16;
+  std::size_t max_samples = 220;  ///< Table I: mean 42, stdev 35 — heavy tail
+  std::uint64_t seed = 17;
+};
+
+/// Generate the Sent140-like federation with features already mean-pooled
+/// through the frozen embedding (input_dim == embed_dim, num_classes == 2).
+FederatedDataset make_sent140_like(const Sent140LikeConfig& config);
+
+}  // namespace fedml::data

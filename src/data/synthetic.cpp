@@ -1,0 +1,78 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::data {
+
+using tensor::Tensor;
+
+FederatedDataset make_synthetic(const SyntheticConfig& config) {
+  FEDML_CHECK(config.num_nodes > 0, "synthetic: need at least one node");
+  FEDML_CHECK(config.alpha >= 0.0 && config.beta >= 0.0,
+              "synthetic: alpha/beta must be non-negative");
+
+  util::Rng root(config.seed);
+  const std::size_t d = config.input_dim;
+  const std::size_t c = config.num_classes;
+
+  // Per-dimension feature stddev: Σ_kk = k^{-1.2} (k is 1-based).
+  std::vector<double> sigma(d);
+  for (std::size_t k = 0; k < d; ++k)
+    sigma[k] = std::sqrt(std::pow(static_cast<double>(k + 1), -1.2));
+
+  FederatedDataset fd;
+  fd.name = "Synthetic(" + std::to_string(config.alpha) + "," +
+            std::to_string(config.beta) + ")";
+  fd.input_dim = d;
+  fd.num_classes = c;
+  fd.nodes.reserve(config.num_nodes);
+
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    util::Rng rng = root.split(i);
+
+    // Node-level model: W_i, b_i ~ N(u_i, 1) with u_i ~ N(0, ᾱ).
+    // N(0, ᾱ) denotes variance ᾱ, hence stddev sqrt(ᾱ).
+    const double u = rng.normal(0.0, std::sqrt(config.alpha));
+    Tensor w(c, d);
+    for (std::size_t r = 0; r < c; ++r)
+      for (std::size_t k = 0; k < d; ++k) w(r, k) = rng.normal(u, 1.0);
+    Tensor b(c, 1);
+    for (std::size_t r = 0; r < c; ++r) b(r, 0) = rng.normal(u, 1.0);
+
+    // Node-level feature mean: v_i ~ N(B_i, 1), B_i ~ N(0, β̄).
+    const double big_b = rng.normal(0.0, std::sqrt(config.beta));
+    std::vector<double> v(d);
+    for (auto& vk : v) vk = rng.normal(big_b, 1.0);
+
+    const auto n = static_cast<std::size_t>(rng.power_law_count(
+        config.power_law_exponent, static_cast<std::int64_t>(config.min_samples),
+        static_cast<std::int64_t>(config.max_samples)));
+
+    Dataset ds;
+    ds.x = Tensor(n, d);
+    ds.y.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t k = 0; k < d; ++k) ds.x(s, k) = rng.normal(v[k], sigma[k]);
+      // y = argmax(Wx + b); softmax is monotone so the argmax is identical.
+      std::size_t best = 0;
+      double best_score = -1e300;
+      for (std::size_t r = 0; r < c; ++r) {
+        double score = b(r, 0);
+        for (std::size_t k = 0; k < d; ++k) score += w(r, k) * ds.x(s, k);
+        if (score > best_score) {
+          best_score = score;
+          best = r;
+        }
+      }
+      ds.y[s] = best;
+    }
+    fd.nodes.push_back(std::move(ds));
+  }
+  return fd;
+}
+
+}  // namespace fedml::data

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+namespace fedml::fed {
+
+/// Simple platform↔edge communication/computation cost model. The paper's
+/// Theorem 2 is about trading local computation (T0 steps) against
+/// communication rounds; this model lets the benches report that trade-off
+/// in simulated seconds as well as rounds and bytes.
+struct CommModel {
+  double uplink_mbps = 10.0;          ///< edge → platform bandwidth
+  double downlink_mbps = 50.0;        ///< platform → edge bandwidth
+  double per_round_overhead_s = 0.05; ///< handshake / scheduling overhead
+  double compute_s_per_step = 0.01;   ///< one local meta-step on edge silicon
+
+  /// Seconds to move `bytes` over a link of `mbps` megabits per second.
+  [[nodiscard]] static double transfer_seconds(double bytes, double mbps) {
+    return (bytes * 8.0) / (mbps * 1e6);
+  }
+};
+
+/// Accumulated communication/compute totals over a training run.
+struct CommTotals {
+  std::size_t aggregations = 0;  ///< number of global aggregation rounds
+  double bytes_up = 0.0;         ///< total uplink payload (attempted uploads)
+  double bytes_down = 0.0;       ///< total downlink payload
+  double sim_seconds = 0.0;      ///< simulated wall-clock (compute + transfer)
+  std::size_t node_rounds_idle = 0;   ///< node-rounds skipped (participation)
+  std::size_t uploads_dropped = 0;    ///< uploads lost to injected failures
+};
+
+}  // namespace fedml::fed

@@ -1,0 +1,133 @@
+#include "fed/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/error.h"
+#include "util/serialize.h"
+
+namespace fedml::fed {
+
+using tensor::Tensor;
+
+namespace {
+constexpr std::uint32_t kQuantMagic = 0x71383831;  // "q881"
+constexpr std::uint32_t kTopkMagic = 0x746f706b;   // "topk"
+}  // namespace
+
+CompressedBlob quantize_int8(const nn::ParamList& params) {
+  util::ByteWriter w;
+  w.write_u32(kQuantMagic);
+  w.write_u64(params.size());
+  for (const auto& p : params) {
+    const Tensor& t = p.value();
+    double absmax = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i)
+      absmax = std::max(absmax, std::abs(t.data()[i]));
+    const double scale = absmax > 0.0 ? absmax / 127.0 : 1.0;
+    w.write_u64(t.rows());
+    w.write_u64(t.cols());
+    w.write_f64(scale);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const auto q = static_cast<std::int8_t>(
+          std::lround(std::clamp(t.data()[i] / scale, -127.0, 127.0)));
+      w.write_u8(static_cast<std::uint8_t>(q));
+    }
+  }
+  return {w.bytes()};
+}
+
+nn::ParamList dequantize_int8(const CompressedBlob& blob) {
+  util::ByteReader r(blob.bytes);
+  FEDML_CHECK(r.read_u32() == kQuantMagic, "not an int8-quantized blob");
+  const auto arity = r.read_u64();
+  nn::ParamList out;
+  out.reserve(arity);
+  for (std::size_t k = 0; k < arity; ++k) {
+    const auto rows = r.read_u64();
+    const auto cols = r.read_u64();
+    const double scale = r.read_f64();
+    Tensor t(rows, cols);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const auto q = static_cast<std::int8_t>(r.read_u8());
+      t.data()[i] = static_cast<double>(q) * scale;
+    }
+    out.emplace_back(std::move(t), /*requires_grad=*/true);
+  }
+  return out;
+}
+
+CompressedBlob sparsify_topk(const nn::ParamList& params, double fraction) {
+  FEDML_CHECK(fraction > 0.0 && fraction <= 1.0,
+              "top-k fraction must be in (0, 1]");
+  const Tensor flat = nn::flatten(params);
+  const std::size_t total = flat.size();
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(fraction * static_cast<double>(total))));
+
+  // Magnitude threshold for the top `keep` entries.
+  std::vector<double> mags(total);
+  for (std::size_t i = 0; i < total; ++i) mags[i] = std::abs(flat.data()[i]);
+  std::nth_element(mags.begin(),
+                   mags.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                   mags.end(), std::greater<>());
+  const double threshold = mags[keep - 1];
+
+  util::ByteWriter w;
+  w.write_u32(kTopkMagic);
+  w.write_u64(params.size());
+  for (const auto& p : params) {
+    w.write_u64(p.value().rows());
+    w.write_u64(p.value().cols());
+  }
+  // First pass counts exact survivors (ties at the threshold are kept only
+  // until the budget is exhausted, keeping the blob size bounded).
+  std::vector<std::pair<std::uint64_t, double>> entries;
+  entries.reserve(keep);
+  for (std::size_t i = 0; i < total && entries.size() < keep; ++i) {
+    if (std::abs(flat.data()[i]) >= threshold) entries.emplace_back(i, flat.data()[i]);
+  }
+  w.write_u64(entries.size());
+  for (const auto& [index, value] : entries) {
+    w.write_u64(index);
+    w.write_f64(value);
+  }
+  return {w.bytes()};
+}
+
+nn::ParamList desparsify_topk(const CompressedBlob& blob) {
+  util::ByteReader r(blob.bytes);
+  FEDML_CHECK(r.read_u32() == kTopkMagic, "not a top-k blob");
+  const auto arity = r.read_u64();
+  std::vector<nn::ParamShape> shapes(arity);
+  std::size_t total = 0;
+  for (auto& s : shapes) {
+    s.rows = r.read_u64();
+    s.cols = r.read_u64();
+    total += s.rows * s.cols;
+  }
+  const auto count = r.read_u64();
+  std::vector<double> flat(total, 0.0);
+  for (std::size_t e = 0; e < count; ++e) {
+    const auto index = r.read_u64();
+    const double value = r.read_f64();
+    FEDML_CHECK(index < total, "top-k index out of range");
+    flat[index] = value;
+  }
+  return nn::unflatten(Tensor(1, total, std::move(flat)), shapes);
+}
+
+double int8_error_bound(const nn::ParamList& params) {
+  double bound = 0.0;
+  for (const auto& p : params) {
+    double absmax = 0.0;
+    for (std::size_t i = 0; i < p.value().size(); ++i)
+      absmax = std::max(absmax, std::abs(p.value().data()[i]));
+    bound = std::max(bound, absmax / 254.0);
+  }
+  return bound;
+}
+
+}  // namespace fedml::fed

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/params.h"
+
+namespace fedml::fed {
+
+/// Uplink compression for parameter (or update) vectors. The platform↔edge
+/// link is the bottleneck the paper's T0 knob exists for; compression is the
+/// orthogonal lever. Two standard schemes:
+///
+///  * uniform int8 quantization (per-tensor scale, ~8× smaller),
+///  * top-k magnitude sparsification (indices + values of the k largest
+///    entries; the rest are dropped).
+///
+/// Both are lossy; the de-compressors return the decoded values so callers
+/// (e.g. Platform::Config::uplink_codec) can aggregate exactly what crossed
+/// the wire, or implement error feedback.
+struct CompressedBlob {
+  std::vector<std::uint8_t> bytes;
+  [[nodiscard]] std::size_t size() const { return bytes.size(); }
+};
+
+/// Quantize each tensor to int8 with a per-tensor absmax scale.
+CompressedBlob quantize_int8(const nn::ParamList& params);
+/// Inverse of quantize_int8 (lossy).
+nn::ParamList dequantize_int8(const CompressedBlob& blob);
+
+/// Keep the `fraction` (0, 1] largest-magnitude entries of the flattened
+/// list; encode as (index, value) pairs.
+CompressedBlob sparsify_topk(const nn::ParamList& params, double fraction);
+/// Inverse of sparsify_topk; dropped entries decode to zero.
+nn::ParamList desparsify_topk(const CompressedBlob& blob);
+
+/// Worst-case elementwise quantization error of quantize_int8 for the given
+/// values: absmax / 254 per tensor (half a quantization step, symmetric).
+double int8_error_bound(const nn::ParamList& params);
+
+}  // namespace fedml::fed

@@ -1,0 +1,41 @@
+#include "fed/node.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fedml::fed {
+
+std::vector<EdgeNode> make_edge_nodes(const data::FederatedDataset& fd,
+                                      const std::vector<std::size_t>& node_ids,
+                                      std::size_t k, util::Rng& rng) {
+  FEDML_CHECK(!node_ids.empty(), "make_edge_nodes: no node ids");
+  std::vector<EdgeNode> nodes;
+  nodes.reserve(node_ids.size());
+  double total = 0.0;
+  for (const auto id : node_ids) {
+    FEDML_CHECK(id < fd.num_nodes(), "make_edge_nodes: node id out of range");
+    const auto& local = fd.nodes[id];
+    if (local.size() <= k) continue;  // paper assumes |D_i| > K
+    EdgeNode n;
+    n.id = id;
+    n.rng = rng.split(id);
+    n.local = local;
+    n.k = k;
+    n.data = data::split_k(n.local, k, n.rng);
+    n.weight = static_cast<double>(local.size());
+    total += n.weight;
+    nodes.push_back(std::move(n));
+  }
+  FEDML_CHECK(!nodes.empty(), "make_edge_nodes: every node was smaller than K");
+  for (auto& n : nodes) n.weight /= total;
+  return nodes;
+}
+
+void assign_straggler_speeds(std::vector<EdgeNode>& nodes, double sigma,
+                             util::Rng& rng) {
+  FEDML_CHECK(sigma >= 0.0, "straggler sigma must be non-negative");
+  for (auto& n : nodes) n.compute_speed = std::exp(rng.normal(0.0, sigma));
+}
+
+}  // namespace fedml::fed

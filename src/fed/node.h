@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace fedml::fed {
+
+/// One source edge node participating in federated (meta-)training.
+/// Owns its local K-shot split, its current model parameters θ_i^t, an RNG
+/// stream split from the experiment seed by node id, and — for Robust FedML —
+/// its accumulated adversarial dataset D_i^adv.
+struct EdgeNode {
+  std::size_t id = 0;
+  data::Dataset local;        ///< full local dataset D_i
+  std::size_t k = 0;          ///< K-shot support size
+  data::NodeSplit data;       ///< current D_i^train / D_i^test partition
+  data::Dataset adversarial;  ///< D_i^adv (empty unless Robust FedML)
+  double weight = 0.0;        ///< ω_i = |D_i| / Σ_j |D_j|
+  /// Relative compute time per local step (1.0 = nominal; stragglers > 1).
+  /// A synchronous round waits for its slowest participant.
+  double compute_speed = 1.0;
+  nn::ParamList params;       ///< θ_i^t
+  util::Rng rng{0};
+
+  [[nodiscard]] std::size_t local_samples() const { return local.size(); }
+
+  /// Redraw the K-vs-rest partition from the node's own stream. Called per
+  /// local step when support resampling is enabled (standard MAML practice:
+  /// the meta-init must work for ANY K-subset, not one memorized subset).
+  void resample_support() { data = data::split_k(local, k, rng); }
+};
+
+/// Build edge nodes for the given source subset of a federation:
+/// splits each node's data into K train / rest test, computes the
+/// data-proportional aggregation weights ω_i, and assigns per-node RNG
+/// streams. Nodes whose datasets are too small for the K-shot split (|D| <=
+/// K) are skipped, mirroring the paper's assumption |D_i| > K.
+std::vector<EdgeNode> make_edge_nodes(const data::FederatedDataset& fd,
+                                      const std::vector<std::size_t>& node_ids,
+                                      std::size_t k, util::Rng& rng);
+
+/// Draw per-node compute-speed multipliers from a lognormal(0, sigma)
+/// distribution (edge fleets are heterogeneous in silicon too). The
+/// platform's simulated round time waits for the slowest participant.
+void assign_straggler_speeds(std::vector<EdgeNode>& nodes, double sigma,
+                             util::Rng& rng);
+
+}  // namespace fedml::fed

@@ -1,0 +1,154 @@
+#include "fed/platform.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace fedml::fed {
+
+Platform::Platform(std::vector<EdgeNode> nodes, Config config)
+    : nodes_(std::move(nodes)), config_(config), rng_(config.seed) {
+  FEDML_CHECK(!nodes_.empty(), "platform needs at least one edge node");
+  FEDML_CHECK(config_.local_steps >= 1, "T0 must be at least 1");
+  FEDML_CHECK(config_.total_iterations >= 1, "T must be at least 1");
+  FEDML_CHECK(config_.participation > 0.0 && config_.participation <= 1.0,
+              "participation must be in (0, 1]");
+  FEDML_CHECK(config_.upload_failure_prob >= 0.0 &&
+                  config_.upload_failure_prob < 1.0,
+              "upload failure probability must be in [0, 1)");
+  double wsum = 0.0;
+  for (const auto& n : nodes_) wsum += n.weight;
+  FEDML_CHECK(std::abs(wsum - 1.0) < 1e-6, "node weights must sum to 1");
+}
+
+void Platform::broadcast(const nn::ParamList& theta) {
+  global_ = nn::clone_leaves(theta);
+  for (auto& n : nodes_) n.params = nn::clone_leaves(theta);
+}
+
+nn::ParamList Platform::aggregate() const {
+  std::vector<std::size_t> all(nodes_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return aggregate_subset(all);
+}
+
+nn::ParamList Platform::aggregate_subset(
+    const std::vector<std::size_t>& indices) const {
+  FEDML_CHECK(!indices.empty(), "aggregate over an empty subset");
+  std::vector<nn::ParamList> lists;
+  std::vector<double> weights;
+  lists.reserve(indices.size());
+  weights.reserve(indices.size());
+  double total = 0.0;
+  for (const auto i : indices) {
+    FEDML_CHECK(i < nodes_.size(), "aggregate subset index out of range");
+    total += nodes_[i].weight;
+  }
+  for (const auto i : indices) {
+    lists.push_back(nodes_[i].params);
+    weights.push_back(nodes_[i].weight / total);
+  }
+  return nn::weighted_average(lists, weights);
+}
+
+CommTotals Platform::run(const LocalStep& step, const AggregateHook& hook) {
+  FEDML_CHECK(static_cast<bool>(step), "run() needs a local step function");
+  FEDML_CHECK(!global_.empty(), "broadcast initial parameters before run()");
+
+  util::ThreadPool pool(config_.threads);
+  CommTotals totals;
+  const std::size_t payload = nn::serialized_size_bytes(global_);
+  const bool full_participation =
+      config_.participation >= 1.0 && config_.upload_failure_prob == 0.0;
+
+  std::size_t t = 0;
+  while (t < config_.total_iterations) {
+    const std::size_t block =
+        std::min(config_.local_steps, config_.total_iterations - t);
+
+    // Client sampling (FedAvg-style): a fixed-size random subset of nodes
+    // participates in this block. Sampling happens on the platform, before
+    // the parallel phase, so results are thread-count independent.
+    std::vector<std::size_t> active;
+    if (full_participation) {
+      active.resize(nodes_.size());
+      for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
+    } else {
+      const auto count = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::llround(config_.participation *
+                              static_cast<double>(nodes_.size()))));
+      active = rng_.sample_without_replacement(nodes_.size(), count);
+      std::sort(active.begin(), active.end());
+      totals.node_rounds_idle += nodes_.size() - active.size();
+    }
+
+    // Local phase: every active node runs `block` consecutive iterations.
+    pool.parallel_for(active.size(), [&](std::size_t a) {
+      auto& node = nodes_[active[a]];
+      for (std::size_t s = 1; s <= block; ++s) step(node, t + s);
+    });
+    t += block;
+
+    // Upload failures: a participant's update may be lost in transit.
+    std::vector<std::size_t> received;
+    received.reserve(active.size());
+    for (const auto i : active) {
+      if (config_.upload_failure_prob > 0.0 &&
+          rng_.uniform() < config_.upload_failure_prob) {
+        totals.uploads_dropped += 1;
+        continue;
+      }
+      received.push_back(i);
+    }
+
+    // Uplink (optionally through the lossy codec) + aggregation.
+    double round_uplink_bytes = 0.0;
+    if (!received.empty()) {
+      std::vector<nn::ParamList> uploads;
+      std::vector<double> weights;
+      uploads.reserve(received.size());
+      weights.reserve(received.size());
+      double wtotal = 0.0;
+      for (const auto i : received) wtotal += nodes_[i].weight;
+      for (const auto i : received) {
+        if (config_.uplink_codec) {
+          auto [decoded, wire_bytes] = config_.uplink_codec(nodes_[i].params);
+          uploads.push_back(std::move(decoded));
+          round_uplink_bytes += static_cast<double>(wire_bytes);
+        } else {
+          uploads.push_back(nodes_[i].params);
+          round_uplink_bytes += static_cast<double>(payload);
+        }
+        weights.push_back(nodes_[i].weight / wtotal);
+      }
+      broadcast(nn::weighted_average(uploads, weights));
+    } else {
+      // Degenerate round where every upload failed: keep the previous global.
+      broadcast(global_);
+    }
+    // Failed uploads still consumed airtime at the raw payload size.
+    round_uplink_bytes +=
+        static_cast<double>(payload * (active.size() - received.size()));
+
+    totals.aggregations += 1;
+    totals.bytes_up += round_uplink_bytes;
+    totals.bytes_down += static_cast<double>(payload * nodes_.size());
+    // A synchronous round finishes when its slowest participant does.
+    double slowest = 0.0;
+    for (const auto i : active)
+      slowest = std::max(slowest, nodes_[i].compute_speed);
+    totals.sim_seconds +=
+        config_.comm.per_round_overhead_s +
+        config_.comm.compute_s_per_step * slowest * static_cast<double>(block) +
+        CommModel::transfer_seconds(static_cast<double>(payload),
+                                    config_.comm.uplink_mbps) +
+        CommModel::transfer_seconds(static_cast<double>(payload),
+                                    config_.comm.downlink_mbps);
+    if (hook) hook(t, global_);
+  }
+  return totals;
+}
+
+}  // namespace fedml::fed

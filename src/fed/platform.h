@@ -1,0 +1,84 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fed/comm.h"
+#include "fed/node.h"
+#include "nn/params.h"
+
+namespace fedml::fed {
+
+/// The platform of the paper's architecture: holds the global model, drives
+/// the local-update / global-aggregation schedule (Algorithms 1 & 2 share
+/// it), and accounts simulated communication cost.
+///
+/// Execution model: iterations 1..T are partitioned into blocks of T0. Nodes
+/// are independent inside a block, so each block runs all nodes in parallel
+/// (each node owns its RNG stream, preserving determinism), then the platform
+/// aggregates θ ← Σ ω_i θ_i and broadcasts.
+class Platform {
+ public:
+  struct Config {
+    using UplinkCodec = std::function<
+        std::pair<nn::ParamList, std::size_t>(const nn::ParamList&)>;
+    std::size_t total_iterations = 500;  ///< T
+    std::size_t local_steps = 10;        ///< T0
+    std::size_t threads = 0;             ///< 0 → hardware concurrency
+    CommModel comm;
+    /// Fraction of nodes participating in each block (FedAvg-style client
+    /// sampling). 1.0 = every node, every round. At least one node always
+    /// participates.
+    double participation = 1.0;
+    /// Probability that a participant's upload is lost (failure injection).
+    /// Its work is discarded for this round; it still receives the new
+    /// global model.
+    double upload_failure_prob = 0.0;
+    /// Seed for the platform's own randomness (sampling/failures).
+    std::uint64_t seed = 0x9d7f;
+    /// Optional lossy uplink codec (e.g. int8 quantization or top-k
+    /// sparsification from fed/compression.h): applied to each node's
+    /// parameters as they are uploaded. The aggregation uses the DECODED
+    /// values, and the returned wire size replaces the raw payload in the
+    /// communication accounting. Empty = lossless full-precision upload.
+    UplinkCodec uplink_codec;
+  };
+
+  /// Local update performed by a node at iteration t (1-based).
+  using LocalStep = std::function<void(EdgeNode&, std::size_t iteration)>;
+  /// Called after each aggregation with the new global parameters.
+  using AggregateHook =
+      std::function<void(std::size_t iteration, const nn::ParamList& theta)>;
+
+  Platform(std::vector<EdgeNode> nodes, Config config);
+
+  /// Set the global model and copy it into every node (the initial
+  /// broadcast of θ^0, and test-time reinitialization).
+  void broadcast(const nn::ParamList& theta);
+
+  [[nodiscard]] const nn::ParamList& global_params() const { return global_; }
+  [[nodiscard]] std::vector<EdgeNode>& nodes() { return nodes_; }
+  [[nodiscard]] const std::vector<EdgeNode>& nodes() const { return nodes_; }
+
+  /// Weighted average of the current node parameters (paper eq. (5)).
+  [[nodiscard]] nn::ParamList aggregate() const;
+
+  /// Weighted average restricted to the given node indices (weights
+  /// renormalized over the subset) — used when only part of the federation
+  /// reported back this round.
+  [[nodiscard]] nn::ParamList aggregate_subset(
+      const std::vector<std::size_t>& indices) const;
+
+  /// Run the full schedule. `step` is invoked exactly once per node per
+  /// iteration; `hook` after every aggregation (may be empty). Returns the
+  /// accumulated communication totals.
+  CommTotals run(const LocalStep& step, const AggregateHook& hook = {});
+
+ private:
+  std::vector<EdgeNode> nodes_;
+  Config config_;
+  nn::ParamList global_;
+  util::Rng rng_;
+};
+
+}  // namespace fedml::fed

@@ -1,0 +1,44 @@
+#include "fed/secure_agg.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::fed {
+
+using tensor::Tensor;
+
+SecureAggregator::SecureAggregator(std::size_t num_nodes,
+                                   std::uint64_t session_seed)
+    : num_nodes_(num_nodes), session_seed_(session_seed) {
+  FEDML_CHECK(num_nodes >= 2, "secure aggregation needs at least two nodes");
+}
+
+nn::ParamList SecureAggregator::mask_contribution(
+    std::size_t index, const nn::ParamList& weighted_params) const {
+  FEDML_CHECK(index < num_nodes_, "secure agg: node index out of range");
+  nn::ParamList out = nn::clone_leaves(weighted_params, /*requires_grad=*/false);
+  const util::Rng session(session_seed_);
+  for (std::size_t other = 0; other < num_nodes_; ++other) {
+    if (other == index) continue;
+    const std::size_t lo = std::min(index, other);
+    const std::size_t hi = std::max(index, other);
+    // Both endpoints of the pair derive the identical stream.
+    util::Rng pair_rng = session.split(lo * num_nodes_ + hi);
+    const double sign = (index == lo) ? 1.0 : -1.0;
+    for (auto& p : out) {
+      const Tensor mask =
+          Tensor::randn(p.rows(), p.cols(), pair_rng, 0.0, 1.0);
+      p = autodiff::Var(p.value() + mask * sign, /*requires_grad=*/false);
+    }
+  }
+  return out;
+}
+
+nn::ParamList SecureAggregator::sum_contributions(
+    const std::vector<nn::ParamList>& masked) {
+  FEDML_CHECK(!masked.empty(), "secure agg: nothing to sum");
+  std::vector<double> ones(masked.size(), 1.0);
+  return nn::weighted_average(masked, ones, /*requires_grad=*/true);
+}
+
+}  // namespace fedml::fed

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/params.h"
+
+namespace fedml::fed {
+
+/// Simulated secure aggregation with pairwise additive masks (the core idea
+/// of Bonawitz et al., minus the dropout-recovery machinery): every pair of
+/// nodes (i, j) derives the same pseudorandom mask from a shared session
+/// seed; the lower-indexed node ADDS it to its contribution, the higher one
+/// SUBTRACTS it. Each individual upload is statistically garbage to the
+/// platform, but the masks cancel exactly in the sum, so the aggregate —
+/// which is all federated averaging needs — is unchanged.
+///
+/// This is a faithful functional simulation (mask algebra, cancellation,
+/// per-session freshness), not a cryptographic implementation: masks come
+/// from the library RNG, not a DH key exchange.
+class SecureAggregator {
+ public:
+  /// `num_nodes` fixed for the session; `session_seed` must be fresh per
+  /// aggregation round or masks repeat across rounds.
+  SecureAggregator(std::size_t num_nodes, std::uint64_t session_seed);
+
+  /// Node `index`'s masked contribution (its weighted parameters plus the
+  /// signed pairwise masks against every other node).
+  [[nodiscard]] nn::ParamList mask_contribution(
+      std::size_t index, const nn::ParamList& weighted_params) const;
+
+  /// Platform-side: sum the masked contributions. With every node present
+  /// the masks cancel and this equals the plain sum of the unmasked inputs.
+  [[nodiscard]] static nn::ParamList sum_contributions(
+      const std::vector<nn::ParamList>& masked);
+
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  std::size_t num_nodes_;
+  std::uint64_t session_seed_;
+};
+
+}  // namespace fedml::fed

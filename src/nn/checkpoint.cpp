@@ -1,0 +1,64 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "nn/params.h"
+#include "util/error.h"
+#include "util/serialize.h"
+
+namespace fedml::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xfed31337;
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_checkpoint(const std::string& path, const nn::Module& model,
+                     const ParamList& params) {
+  util::ByteWriter w;
+  w.write_u32(kMagic);
+  w.write_u32(kVersion);
+  w.write_string(model.name());
+  serialize(params, w);
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  FEDML_CHECK(f.good(), "cannot open checkpoint file for writing: " + path);
+  f.write(reinterpret_cast<const char*>(w.bytes().data()),
+          static_cast<std::streamsize>(w.size()));
+  FEDML_CHECK(f.good(), "failed to write checkpoint: " + path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  FEDML_CHECK(f.good(), "cannot open checkpoint file: " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  util::ByteReader r(bytes);
+  FEDML_CHECK(r.read_u32() == kMagic, "not a fedml checkpoint: " + path);
+  FEDML_CHECK(r.read_u32() == kVersion, "unsupported checkpoint version");
+  Checkpoint ckpt;
+  ckpt.model_name = r.read_string();
+  ckpt.params = deserialize(r);
+  FEDML_CHECK(r.exhausted(), "trailing bytes in checkpoint: " + path);
+  return ckpt;
+}
+
+ParamList load_checkpoint_for(const std::string& path, const nn::Module& model) {
+  Checkpoint ckpt = load_checkpoint(path);
+  FEDML_CHECK(ckpt.model_name == model.name(),
+              "checkpoint was saved for model '" + ckpt.model_name +
+                  "', not '" + model.name() + "'");
+  const auto shapes = model.param_shapes();
+  FEDML_CHECK(ckpt.params.size() == shapes.size(),
+              "checkpoint parameter count mismatch");
+  for (std::size_t k = 0; k < shapes.size(); ++k) {
+    FEDML_CHECK(ckpt.params[k].rows() == shapes[k].rows &&
+                    ckpt.params[k].cols() == shapes[k].cols,
+                "checkpoint parameter shape mismatch at index " +
+                    std::to_string(k));
+  }
+  return ckpt.params;
+}
+
+}  // namespace fedml::nn

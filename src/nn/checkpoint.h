@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace fedml::nn {
+
+/// Model checkpoint: the trained parameter values plus enough metadata to
+/// refuse loading into an incompatible model. The wire format is the same
+/// shape-prefixed layout the simulated uplink uses.
+struct Checkpoint {
+  std::string model_name;  ///< Module::name() at save time
+  ParamList params;
+};
+
+/// Write a checkpoint to `path` (binary). Throws util::Error on I/O failure.
+void save_checkpoint(const std::string& path, const nn::Module& model,
+                     const ParamList& params);
+
+/// Read a checkpoint from `path`. Throws util::Error on I/O failure or a
+/// corrupt/truncated file.
+Checkpoint load_checkpoint(const std::string& path);
+
+/// Load and validate against `model`: the stored name and every parameter
+/// shape must match. Returns the parameters as trainable leaves.
+ParamList load_checkpoint_for(const std::string& path, const nn::Module& model);
+
+}  // namespace fedml::nn

@@ -1,0 +1,46 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::nn {
+
+using tensor::Tensor;
+
+FrozenEmbedding::FrozenEmbedding(std::size_t vocab, std::size_t dim, Tensor table)
+    : vocab_(vocab), dim_(dim), table_(std::move(table)) {
+  FEDML_CHECK(table_.rows() == vocab_ && table_.cols() == dim_,
+              "embedding table shape must be vocab×dim");
+}
+
+FrozenEmbedding FrozenEmbedding::random(std::size_t vocab, std::size_t dim,
+                                        util::Rng& rng) {
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(dim));
+  return {vocab, dim, Tensor::randn(vocab, dim, rng, 0.0, stddev)};
+}
+
+Tensor FrozenEmbedding::featurize(const std::vector<std::size_t>& tokens) const {
+  FEDML_CHECK(!tokens.empty(), "cannot featurize an empty sequence");
+  Tensor out(1, dim_);
+  for (const auto tok : tokens) {
+    FEDML_CHECK(tok < vocab_, "token id out of vocabulary");
+    for (std::size_t j = 0; j < dim_; ++j) out(0, j) += table_(tok, j);
+  }
+  out *= 1.0 / static_cast<double>(tokens.size());
+  return out;
+}
+
+Tensor FrozenEmbedding::featurize_batch(
+    const std::vector<std::vector<std::size_t>>& sequences) const {
+  FEDML_CHECK(!sequences.empty(), "cannot featurize an empty batch");
+  Tensor out(sequences.size(), dim_);
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    const Tensor row = featurize(sequences[i]);
+    for (std::size_t j = 0; j < dim_; ++j) out(i, j) = row(0, j);
+  }
+  return out;
+}
+
+}  // namespace fedml::nn

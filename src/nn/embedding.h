@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedml::util {
+class Rng;
+}
+
+namespace fedml::nn {
+
+/// Frozen token-embedding table, standing in for the pretrained GloVe
+/// embeddings the paper uses for Sent140. The table is *not* a trainable
+/// parameter (the paper freezes GloVe too), so sequences are featurized once
+/// up front: a sequence of token ids becomes the mean of its embeddings.
+class FrozenEmbedding {
+ public:
+  FrozenEmbedding(std::size_t vocab, std::size_t dim, tensor::Tensor table);
+
+  /// iid N(0, 1/sqrt(dim)) table — a deterministic stand-in for GloVe.
+  static FrozenEmbedding random(std::size_t vocab, std::size_t dim, util::Rng& rng);
+
+  [[nodiscard]] std::size_t vocab() const { return vocab_; }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] const tensor::Tensor& table() const { return table_; }
+
+  /// Mean-pool the embeddings of one token sequence into a 1×dim row.
+  [[nodiscard]] tensor::Tensor featurize(const std::vector<std::size_t>& tokens) const;
+
+  /// Featurize a batch of sequences into a B×dim matrix.
+  [[nodiscard]] tensor::Tensor featurize_batch(
+      const std::vector<std::vector<std::size_t>>& sequences) const;
+
+ private:
+  std::size_t vocab_;
+  std::size_t dim_;
+  tensor::Tensor table_;  // vocab×dim
+};
+
+}  // namespace fedml::nn

@@ -1,0 +1,53 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "autodiff/ops.h"
+#include "util/error.h"
+
+namespace fedml::nn {
+
+using autodiff::Var;
+namespace ops = autodiff::ops;
+using tensor::Tensor;
+
+Var softmax_cross_entropy(const Var& logits, const std::vector<std::size_t>& labels) {
+  FEDML_CHECK(labels.size() == logits.rows(),
+              "softmax_cross_entropy: one label per row required");
+  const Var lse = ops::logsumexp_rows(logits);           // B×1
+  const Var picked = ops::gather_cols(logits, labels);   // B×1
+  return ops::mean(ops::sub(lse, picked));
+}
+
+Var mse_loss(const Var& pred, const Tensor& target) {
+  FEDML_CHECK(pred.value().same_shape(target), "mse_loss: shape mismatch");
+  const Var diff = ops::sub(pred, ops::constant(target));
+  return ops::mean(ops::square(diff));
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  FEDML_CHECK(labels.size() == logits.rows(), "accuracy: one label per row");
+  if (labels.empty()) return 0.0;
+  const auto pred = tensor::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (pred[i] == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor out = logits;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double m = out(i, 0);
+    for (std::size_t j = 1; j < out.cols(); ++j) m = std::max(m, out(i, j));
+    double z = 0.0;
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out(i, j) = std::exp(out(i, j) - m);
+      z += out(i, j);
+    }
+    for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) /= z;
+  }
+  return out;
+}
+
+}  // namespace fedml::nn

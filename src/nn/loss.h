@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "autodiff/var.h"
+
+namespace fedml::nn {
+
+/// Mean softmax cross-entropy over the batch:
+///   (1/B) Σ_b [logsumexp(logits_b) − logits_b[y_b]].
+/// Exact under double backward (the stabilizing row-max shift cancels).
+autodiff::Var softmax_cross_entropy(const autodiff::Var& logits,
+                                    const std::vector<std::size_t>& labels);
+
+/// Mean squared error (1/(B·D)) ‖pred − target‖²; `target` is data (constant).
+autodiff::Var mse_loss(const autodiff::Var& pred, const tensor::Tensor& target);
+
+/// Fraction of rows whose argmax equals the label. Pure metric (no graph).
+double accuracy(const tensor::Tensor& logits, const std::vector<std::size_t>& labels);
+
+/// Row-wise softmax probabilities as a plain tensor (metric/attack helper).
+tensor::Tensor softmax_rows(const tensor::Tensor& logits);
+
+}  // namespace fedml::nn

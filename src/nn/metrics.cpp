@@ -1,0 +1,67 @@
+#include "nn/metrics.h"
+
+#include "util/error.h"
+
+namespace fedml::nn {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  FEDML_CHECK(num_classes >= 2, "confusion matrix needs at least two classes");
+}
+
+void ConfusionMatrix::add(const tensor::Tensor& logits,
+                          const std::vector<std::size_t>& labels) {
+  FEDML_CHECK(logits.rows() == labels.size(), "one label per row required");
+  FEDML_CHECK(logits.cols() == classes_, "logit width must match class count");
+  const auto pred = tensor::argmax_rows(logits);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    FEDML_CHECK(labels[i] < classes_, "label out of range");
+    counts_[labels[i] * classes_ + pred[i]] += 1;
+  }
+  total_ += labels.size();
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth, std::size_t predicted) const {
+  FEDML_CHECK(truth < classes_ && predicted < classes_, "class out of range");
+  return counts_[truth * classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c) correct += counts_[c * classes_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  FEDML_CHECK(cls < classes_, "class out of range");
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < classes_; ++t) predicted += counts_[t * classes_ + cls];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(counts_[cls * classes_ + cls]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  FEDML_CHECK(cls < classes_, "class out of range");
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < classes_; ++p) actual += counts_[cls * classes_ + p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(counts_[cls * classes_ + cls]) /
+         static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < classes_; ++c) sum += f1(c);
+  return sum / static_cast<double>(classes_);
+}
+
+}  // namespace fedml::nn

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedml::nn {
+
+/// Confusion matrix for a C-class problem: entry (i, j) counts samples of
+/// true class i predicted as class j.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  /// Tally predictions (argmax of logits) against labels.
+  void add(const tensor::Tensor& logits, const std::vector<std::size_t>& labels);
+
+  [[nodiscard]] std::size_t count(std::size_t truth, std::size_t predicted) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t num_classes() const { return classes_; }
+
+  /// Overall accuracy (trace / total); 0 when empty.
+  [[nodiscard]] double accuracy() const;
+  /// Per-class precision / recall / F1 (0 when a denominator vanishes).
+  [[nodiscard]] double precision(std::size_t cls) const;
+  [[nodiscard]] double recall(std::size_t cls) const;
+  [[nodiscard]] double f1(std::size_t cls) const;
+  /// Unweighted mean of per-class F1 scores.
+  [[nodiscard]] double macro_f1() const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // row-major classes_×classes_
+};
+
+}  // namespace fedml::nn

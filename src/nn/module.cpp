@@ -1,0 +1,178 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::nn {
+
+using autodiff::Var;
+using tensor::Tensor;
+
+ParamList Module::init_params(util::Rng& rng) const {
+  ParamList params;
+  for (const auto& shape : param_shapes()) {
+    if (shape.rows == 1) {
+      // Treat 1×C parameters as biases: zero init.
+      params.emplace_back(Tensor::zeros(shape.rows, shape.cols),
+                          /*requires_grad=*/true);
+    } else {
+      const double stddev = 1.0 / std::sqrt(static_cast<double>(shape.rows));
+      params.emplace_back(Tensor::randn(shape.rows, shape.cols, rng, 0.0, stddev),
+                          /*requires_grad=*/true);
+    }
+  }
+  return params;
+}
+
+std::size_t Module::num_scalars() const {
+  std::size_t n = 0;
+  for (const auto& s : param_shapes()) n += s.rows * s.cols;
+  return n;
+}
+
+Linear::Linear(std::size_t in, std::size_t out, bool bias)
+    : in_(in), out_(out), bias_(bias) {
+  FEDML_CHECK(in > 0 && out > 0, "Linear dimensions must be positive");
+}
+
+std::vector<ParamShape> Linear::param_shapes() const {
+  std::vector<ParamShape> shapes{{in_, out_}};
+  if (bias_) shapes.push_back({1, out_});
+  return shapes;
+}
+
+Var Linear::forward(const ParamList& params, const Var& x) const {
+  FEDML_CHECK(params.size() == (bias_ ? 2u : 1u), "Linear: wrong param count");
+  FEDML_CHECK(x.cols() == in_, "Linear: input width mismatch");
+  Var y = autodiff::ops::matmul(x, params[0]);
+  if (bias_) y = autodiff::ops::add_rowvec(y, params[1]);
+  return y;
+}
+
+std::string Linear::name() const {
+  return "Linear(" + std::to_string(in_) + "->" + std::to_string(out_) +
+         (bias_ ? "" : ", no bias") + ")";
+}
+
+Var Activation::forward(const ParamList& params, const Var& x) const {
+  FEDML_CHECK(params.empty(), "Activation takes no parameters");
+  switch (kind_) {
+    case Kind::kRelu: return autodiff::ops::relu(x);
+    case Kind::kTanh: return autodiff::ops::tanh(x);
+    case Kind::kSigmoid: return autodiff::ops::sigmoid(x);
+  }
+  FEDML_THROW("unknown activation kind");
+}
+
+std::string Activation::name() const {
+  switch (kind_) {
+    case Kind::kRelu: return "ReLU";
+    case Kind::kTanh: return "Tanh";
+    case Kind::kSigmoid: return "Sigmoid";
+  }
+  return "Activation(?)";
+}
+
+Conv2d::Conv2d(std::size_t side, std::size_t kernel, std::size_t filters)
+    : side_(side), kernel_(kernel), filters_(filters) {
+  FEDML_CHECK(kernel >= 1 && kernel <= side, "Conv2d: kernel must fit the image");
+  FEDML_CHECK(filters >= 1, "Conv2d: need at least one filter");
+}
+
+std::vector<ParamShape> Conv2d::param_shapes() const {
+  // One k×k kernel per filter, then one scalar bias per filter.
+  std::vector<ParamShape> shapes;
+  for (std::size_t f = 0; f < filters_; ++f) shapes.push_back({kernel_, kernel_});
+  for (std::size_t f = 0; f < filters_; ++f) shapes.push_back({1, 1});
+  return shapes;
+}
+
+Var Conv2d::forward(const ParamList& params, const Var& x) const {
+  FEDML_CHECK(params.size() == 2 * filters_, "Conv2d: wrong param count");
+  FEDML_CHECK(x.cols() == side_ * side_, "Conv2d: input width mismatch");
+  Var out;
+  for (std::size_t f = 0; f < filters_; ++f) {
+    Var y = autodiff::ops::conv2d_valid(x, params[f], side_, side_);
+    // Per-filter scalar bias broadcast over every output pixel.
+    y = autodiff::ops::add(
+        y, autodiff::ops::expand(params[filters_ + f], y.rows(), y.cols()));
+    out = out.defined() ? autodiff::ops::concat_cols(out, y) : y;
+  }
+  return out;
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(side_) + "x" + std::to_string(side_) +
+         ", k=" + std::to_string(kernel_) + ", f=" + std::to_string(filters_) +
+         ")";
+}
+
+Sequential::Sequential(std::vector<std::shared_ptr<Module>> layers)
+    : layers_(std::move(layers)) {
+  FEDML_CHECK(!layers_.empty(), "Sequential needs at least one layer");
+  for (const auto& l : layers_) FEDML_CHECK(l != nullptr, "null layer");
+}
+
+std::vector<ParamShape> Sequential::param_shapes() const {
+  std::vector<ParamShape> shapes;
+  for (const auto& l : layers_) {
+    auto s = l->param_shapes();
+    shapes.insert(shapes.end(), s.begin(), s.end());
+  }
+  return shapes;
+}
+
+Var Sequential::forward(const ParamList& params, const Var& x) const {
+  Var h = x;
+  std::size_t offset = 0;
+  for (const auto& l : layers_) {
+    const std::size_t count = l->param_shapes().size();
+    FEDML_CHECK(offset + count <= params.size(), "Sequential: too few params");
+    ParamList slice(params.begin() + static_cast<std::ptrdiff_t>(offset),
+                    params.begin() + static_cast<std::ptrdiff_t>(offset + count));
+    h = l->forward(slice, h);
+    offset += count;
+  }
+  FEDML_CHECK(offset == params.size(), "Sequential: too many params");
+  return h;
+}
+
+std::string Sequential::name() const {
+  std::string s = "Sequential[";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i) s += ", ";
+    s += layers_[i]->name();
+  }
+  return s + "]";
+}
+
+std::shared_ptr<Module> make_softmax_regression(std::size_t in, std::size_t classes) {
+  return std::make_shared<Linear>(in, classes);
+}
+
+std::shared_ptr<Module> make_cnn(std::size_t side, std::size_t kernel,
+                                 std::size_t classes, std::size_t filters) {
+  auto conv = std::make_shared<Conv2d>(side, kernel, filters);
+  const std::size_t flat = filters * conv->out_side() * conv->out_side();
+  std::vector<std::shared_ptr<Module>> layers{
+      std::move(conv), std::make_shared<Activation>(Activation::Kind::kRelu),
+      std::make_shared<Linear>(flat, classes)};
+  return std::make_shared<Sequential>(std::move(layers));
+}
+
+std::shared_ptr<Module> make_mlp(std::size_t in, const std::vector<std::size_t>& hidden,
+                                 std::size_t classes) {
+  std::vector<std::shared_ptr<Module>> layers;
+  std::size_t prev = in;
+  for (const auto h : hidden) {
+    layers.push_back(std::make_shared<Linear>(prev, h));
+    layers.push_back(std::make_shared<Activation>(Activation::Kind::kRelu));
+    prev = h;
+  }
+  layers.push_back(std::make_shared<Linear>(prev, classes));
+  return std::make_shared<Sequential>(std::move(layers));
+}
+
+}  // namespace fedml::nn

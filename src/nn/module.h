@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autodiff/ops.h"
+#include "autodiff/var.h"
+
+namespace fedml::util {
+class Rng;
+}
+
+namespace fedml::nn {
+
+/// Ordered list of parameter tensors (as autodiff leaves or graph nodes).
+/// Models are *functional*: `forward(params, x)` evaluates the model at any
+/// parameter point — in particular at the MAML-adapted φ(θ), which is a graph
+/// node rather than a stored parameter. This is what lets the meta-gradient
+/// flow through the inner adaptation step.
+using ParamList = std::vector<autodiff::Var>;
+
+/// Shape of one parameter tensor.
+struct ParamShape {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+/// Base class for all models/layers.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Shapes of the parameter tensors this module consumes, in order.
+  [[nodiscard]] virtual std::vector<ParamShape> param_shapes() const = 0;
+
+  /// Forward pass at explicit parameters. `x` is a batch (B×D) Var, usually
+  /// a constant wrapping the input data.
+  [[nodiscard]] virtual autodiff::Var forward(const ParamList& params,
+                                              const autodiff::Var& x) const = 0;
+
+  /// Draw a fresh initialization (default: He/Glorot-flavoured normal for
+  /// matrices, zeros for 1×C rows, which we treat as biases).
+  [[nodiscard]] virtual ParamList init_params(util::Rng& rng) const;
+
+  /// Total scalar parameter count.
+  [[nodiscard]] std::size_t num_scalars() const;
+
+  /// Human-readable description for logs.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Affine layer: y = xW + b with W (in×out) and b (1×out).
+class Linear : public Module {
+ public:
+  Linear(std::size_t in, std::size_t out, bool bias = true);
+
+  [[nodiscard]] std::vector<ParamShape> param_shapes() const override;
+  [[nodiscard]] autodiff::Var forward(const ParamList& params,
+                                      const autodiff::Var& x) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  bool bias_;
+};
+
+/// Parameter-free elementwise nonlinearity.
+class Activation : public Module {
+ public:
+  enum class Kind { kRelu, kTanh, kSigmoid };
+
+  explicit Activation(Kind kind) : kind_(kind) {}
+
+  [[nodiscard]] std::vector<ParamShape> param_shapes() const override { return {}; }
+  [[nodiscard]] autodiff::Var forward(const ParamList& params,
+                                      const autodiff::Var& x) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Kind kind_;
+};
+
+/// 2-D convolution over flattened side×side images (valid padding, stride
+/// 1): `filters` independent k×k kernels, each with a scalar bias; channel
+/// outputs are concatenated, so B×(side²) → B×(filters·(side−k+1)²).
+/// Exactly differentiable to any order (the backward is itself built from
+/// convolution ops), so it composes with the second-order MAML machinery
+/// like every other layer.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::size_t side, std::size_t kernel, std::size_t filters = 1);
+
+  [[nodiscard]] std::vector<ParamShape> param_shapes() const override;
+  [[nodiscard]] autodiff::Var forward(const ParamList& params,
+                                      const autodiff::Var& x) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t out_side() const { return side_ - kernel_ + 1; }
+
+ private:
+  std::size_t side_;
+  std::size_t kernel_;
+  std::size_t filters_;
+};
+
+/// Sequential container; concatenates the children's parameter lists.
+class Sequential : public Module {
+ public:
+  explicit Sequential(std::vector<std::shared_ptr<Module>> layers);
+
+  [[nodiscard]] std::vector<ParamShape> param_shapes() const override;
+  [[nodiscard]] autodiff::Var forward(const ParamList& params,
+                                      const autodiff::Var& x) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const std::vector<std::shared_ptr<Module>>& layers() const {
+    return layers_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Module>> layers_;
+};
+
+/// softmax-regression: a single affine layer producing class logits — the
+/// convex model the paper uses for Synthetic and MNIST experiments.
+std::shared_ptr<Module> make_softmax_regression(std::size_t in, std::size_t classes);
+
+/// Multi-layer perceptron with the given hidden widths and ReLU activations,
+/// ending in an affine layer producing class logits.
+std::shared_ptr<Module> make_mlp(std::size_t in, const std::vector<std::size_t>& hidden,
+                                 std::size_t classes);
+
+/// Small CNN for flattened side×side images: Conv2d(kernel, filters) →
+/// ReLU → Linear(filters·(side−kernel+1)², classes).
+std::shared_ptr<Module> make_cnn(std::size_t side, std::size_t kernel,
+                                 std::size_t classes, std::size_t filters = 4);
+
+}  // namespace fedml::nn

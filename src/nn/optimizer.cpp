@@ -1,0 +1,100 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "nn/params.h"
+#include "util/error.h"
+
+namespace fedml::nn {
+
+using tensor::Tensor;
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {
+  FEDML_CHECK(lr > 0.0, "Sgd: learning rate must be positive");
+  FEDML_CHECK(momentum >= 0.0 && momentum < 1.0, "Sgd: momentum must be in [0,1)");
+}
+
+ParamList Sgd::step(const ParamList& params, const ParamList& grads) {
+  FEDML_CHECK(params.size() == grads.size(), "Sgd: arity mismatch");
+  if (momentum_ == 0.0) {
+    return sgd_step_leaf(params, grads, lr_);
+  }
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const auto& p : params)
+      velocity_.emplace_back(p.value().rows(), p.value().cols());
+  }
+  FEDML_CHECK(velocity_.size() == params.size(), "Sgd: state arity changed");
+  ParamList next;
+  next.reserve(params.size());
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    velocity_[k] = velocity_[k] * momentum_ + grads[k].value();
+    next.emplace_back(params[k].value() + velocity_[k] * -lr_,
+                      /*requires_grad=*/true);
+  }
+  return next;
+}
+
+std::string Sgd::name() const {
+  return momentum_ == 0.0 ? "SGD" : "SGD(momentum)";
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double epsilon)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  FEDML_CHECK(lr > 0.0, "Adam: learning rate must be positive");
+  FEDML_CHECK(beta1 >= 0.0 && beta1 < 1.0 && beta2 >= 0.0 && beta2 < 1.0,
+              "Adam: betas must be in [0,1)");
+}
+
+void Adam::reset() {
+  t_ = 0;
+  m_.clear();
+  v_.clear();
+}
+
+ParamList Adam::step(const ParamList& params, const ParamList& grads) {
+  FEDML_CHECK(params.size() == grads.size(), "Adam: arity mismatch");
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const auto& p : params) {
+      m_.emplace_back(p.value().rows(), p.value().cols());
+      v_.emplace_back(p.value().rows(), p.value().cols());
+    }
+  }
+  FEDML_CHECK(m_.size() == params.size(), "Adam: state arity changed");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+
+  ParamList next;
+  next.reserve(params.size());
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    const Tensor& g = grads[k].value();
+    m_[k] = m_[k] * beta1_ + g * (1.0 - beta1_);
+    v_[k] = v_[k] * beta2_ + tensor::hadamard(g, g) * (1.0 - beta2_);
+    Tensor update(g.rows(), g.cols());
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        const double mhat = m_[k](i, j) / bc1;
+        const double vhat = v_[k](i, j) / bc2;
+        update(i, j) = lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+      }
+    }
+    next.emplace_back(params[k].value() - update, /*requires_grad=*/true);
+  }
+  return next;
+}
+
+std::string Adam::name() const { return "Adam"; }
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, double lr) {
+  switch (kind) {
+    case OptimizerKind::kSgd: return std::make_unique<Sgd>(lr);
+    case OptimizerKind::kSgdMomentum: return std::make_unique<Sgd>(lr, 0.9);
+    case OptimizerKind::kAdam: return std::make_unique<Adam>(lr);
+  }
+  FEDML_THROW("unknown optimizer kind");
+}
+
+}  // namespace fedml::nn

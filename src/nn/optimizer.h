@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "nn/module.h"
+
+namespace fedml::nn {
+
+/// Stateful first-order optimizer over a ParamList. Parameters are
+/// functional (immutable leaves), so `step` returns the next parameter point
+/// instead of mutating in place. State (momentum/moments) is keyed by
+/// position in the list and persists across steps.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// One update from `params` along `grads`; returns fresh leaves.
+  virtual ParamList step(const ParamList& params, const ParamList& grads) = 0;
+
+  /// Drop accumulated state (e.g. after a global aggregation replaces the
+  /// iterate wholesale).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Plain SGD with optional heavy-ball momentum:
+///   v ← μv + g,  θ ← θ − lr·v.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+
+  ParamList step(const ParamList& params, const ParamList& grads) override;
+  void reset() override { velocity_.clear(); }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  ParamList step(const ParamList& params, const ParamList& grads) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lr_, beta1_, beta2_, epsilon_;
+  std::size_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+/// Optimizer kinds selectable from trainer configs.
+enum class OptimizerKind { kSgd, kSgdMomentum, kAdam };
+
+/// Factory for the kinds above; `lr` is the base learning rate.
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, double lr);
+
+}  // namespace fedml::nn

@@ -1,0 +1,148 @@
+#include "nn/params.h"
+
+#include <cmath>
+
+#include "autodiff/ops.h"
+#include "util/error.h"
+
+namespace fedml::nn {
+
+using autodiff::Var;
+namespace ops = autodiff::ops;
+using tensor::Tensor;
+
+ParamList clone_leaves(const ParamList& params, bool requires_grad) {
+  ParamList out;
+  out.reserve(params.size());
+  for (const auto& p : params) out.emplace_back(p.value(), requires_grad);
+  return out;
+}
+
+ParamList zeros_like(const std::vector<ParamShape>& shapes) {
+  ParamList out;
+  out.reserve(shapes.size());
+  for (const auto& s : shapes)
+    out.emplace_back(Tensor::zeros(s.rows, s.cols), /*requires_grad=*/false);
+  return out;
+}
+
+ParamList add_scaled(const ParamList& a, const ParamList& b, double s,
+                     bool requires_grad) {
+  FEDML_CHECK(a.size() == b.size(), "add_scaled: arity mismatch");
+  ParamList out;
+  out.reserve(a.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    out.emplace_back(a[k].value() + b[k].value() * s, requires_grad);
+  }
+  return out;
+}
+
+ParamList weighted_average(const std::vector<ParamList>& lists,
+                           const std::vector<double>& weights,
+                           bool requires_grad) {
+  FEDML_CHECK(!lists.empty(), "weighted_average: no inputs");
+  FEDML_CHECK(lists.size() == weights.size(), "weighted_average: arity mismatch");
+  const std::size_t arity = lists[0].size();
+  ParamList out;
+  out.reserve(arity);
+  for (std::size_t k = 0; k < arity; ++k) {
+    Tensor acc = lists[0][k].value() * weights[0];
+    for (std::size_t i = 1; i < lists.size(); ++i) {
+      FEDML_CHECK(lists[i].size() == arity, "weighted_average: ragged inputs");
+      acc += lists[i][k].value() * weights[i];
+    }
+    out.emplace_back(std::move(acc), requires_grad);
+  }
+  return out;
+}
+
+double param_distance(const ParamList& a, const ParamList& b) {
+  FEDML_CHECK(a.size() == b.size(), "param_distance: arity mismatch");
+  double sq = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const Tensor d = a[k].value() - b[k].value();
+    sq += tensor::dot(d, d);
+  }
+  return std::sqrt(sq);
+}
+
+double param_norm(const ParamList& a) {
+  double sq = 0.0;
+  for (const auto& p : a) sq += tensor::dot(p.value(), p.value());
+  return std::sqrt(sq);
+}
+
+Tensor flatten(const ParamList& params) {
+  std::size_t n = 0;
+  for (const auto& p : params) n += p.value().size();
+  std::vector<double> flat;
+  flat.reserve(n);
+  for (const auto& p : params) {
+    const auto& v = p.value().flat();
+    flat.insert(flat.end(), v.begin(), v.end());
+  }
+  return {1, n, std::move(flat)};
+}
+
+ParamList unflatten(const Tensor& flat, const std::vector<ParamShape>& shapes,
+                    bool requires_grad) {
+  ParamList out;
+  out.reserve(shapes.size());
+  std::size_t pos = 0;
+  for (const auto& s : shapes) {
+    const std::size_t n = s.rows * s.cols;
+    FEDML_CHECK(pos + n <= flat.size(), "unflatten: buffer too small");
+    std::vector<double> chunk(flat.data() + pos, flat.data() + pos + n);
+    out.emplace_back(Tensor(s.rows, s.cols, std::move(chunk)), requires_grad);
+    pos += n;
+  }
+  FEDML_CHECK(pos == flat.size(), "unflatten: buffer too large");
+  return out;
+}
+
+ParamList sgd_step_graph(const ParamList& params, const ParamList& grads, double lr) {
+  FEDML_CHECK(params.size() == grads.size(), "sgd_step_graph: arity mismatch");
+  ParamList out;
+  out.reserve(params.size());
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    out.push_back(ops::sub(params[k], ops::smul(grads[k], lr)));
+  }
+  return out;
+}
+
+ParamList sgd_step_leaf(const ParamList& params, const ParamList& grads, double lr) {
+  return add_scaled(params, grads, -lr);
+}
+
+void serialize(const ParamList& params, util::ByteWriter& w) {
+  w.write_u64(params.size());
+  for (const auto& p : params) {
+    w.write_u64(p.value().rows());
+    w.write_u64(p.value().cols());
+    w.write_f64_span(p.value().data(), p.value().size());
+  }
+}
+
+ParamList deserialize(util::ByteReader& r, bool requires_grad) {
+  const auto arity = r.read_u64();
+  ParamList out;
+  out.reserve(arity);
+  for (std::size_t k = 0; k < arity; ++k) {
+    const auto rows = r.read_u64();
+    const auto cols = r.read_u64();
+    auto data = r.read_f64_vector();
+    FEDML_CHECK(data.size() == rows * cols, "deserialize: corrupt tensor");
+    out.emplace_back(Tensor(rows, cols, std::move(data)), requires_grad);
+  }
+  return out;
+}
+
+std::size_t serialized_size_bytes(const ParamList& params) {
+  std::size_t bytes = sizeof(std::uint64_t);
+  for (const auto& p : params) {
+    bytes += 3 * sizeof(std::uint64_t) + p.value().size() * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace fedml::nn

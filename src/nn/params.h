@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/serialize.h"
+
+namespace fedml::nn {
+
+/// Fresh detached leaves holding copies of the values in `params`.
+ParamList clone_leaves(const ParamList& params, bool requires_grad = true);
+
+/// Leaves of zeros matching `shapes`.
+ParamList zeros_like(const std::vector<ParamShape>& shapes);
+
+/// Leaf result of a + s·b (pure tensor math; drops any graph history).
+ParamList add_scaled(const ParamList& a, const ParamList& b, double s,
+                     bool requires_grad = true);
+
+/// Weighted average Σ w_k · lists[k] as fresh leaves — the platform's global
+/// aggregation step (paper eq. (5)). Weights need not sum to one; callers
+/// normalise.
+ParamList weighted_average(const std::vector<ParamList>& lists,
+                           const std::vector<double>& weights,
+                           bool requires_grad = true);
+
+/// l2 distance between two parameter points: sqrt(Σ‖a_k − b_k‖²).
+double param_distance(const ParamList& a, const ParamList& b);
+
+/// l2 norm sqrt(Σ‖a_k‖²).
+double param_norm(const ParamList& a);
+
+/// Flatten all parameter values into a single 1×N tensor (row-major concat).
+tensor::Tensor flatten(const ParamList& params);
+
+/// Inverse of flatten given the shapes.
+ParamList unflatten(const tensor::Tensor& flat, const std::vector<ParamShape>& shapes,
+                    bool requires_grad = true);
+
+/// Differentiable SGD step producing graph nodes φ_k = θ_k − lr·g_k. Used for
+/// the MAML inner step: the returned Vars carry history through both θ and g.
+ParamList sgd_step_graph(const ParamList& params, const ParamList& grads, double lr);
+
+/// Non-differentiable SGD step producing fresh leaves (outer/meta updates).
+ParamList sgd_step_leaf(const ParamList& params, const ParamList& grads, double lr);
+
+/// Serialize parameter values (shape-prefixed) — the simulated uplink format.
+void serialize(const ParamList& params, util::ByteWriter& w);
+
+/// Deserialize a parameter list previously written by `serialize`.
+ParamList deserialize(util::ByteReader& r, bool requires_grad = true);
+
+/// Exact wire size of `serialize(params)` in bytes, for comm accounting.
+std::size_t serialized_size_bytes(const ParamList& params);
+
+}  // namespace fedml::nn

@@ -1,0 +1,100 @@
+#include "robust/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autodiff/ops.h"
+#include "nn/loss.h"
+#include "nn/params.h"
+#include "util/error.h"
+
+namespace fedml::robust {
+
+using autodiff::Var;
+namespace ops = fedml::autodiff::ops;
+using tensor::Tensor;
+
+namespace {
+
+Tensor clamp(Tensor t, const ClipRange& clip) {
+  if (!clip) return t;
+  const auto [lo, hi] = *clip;
+  return t.map([lo, hi](double v) { return std::clamp(v, lo, hi); });
+}
+
+/// Sum (not mean) cross-entropy so each sample's ascent direction is
+/// independent of the batch size.
+Var sum_cross_entropy(const Var& logits, const std::vector<std::size_t>& labels) {
+  return ops::smul(nn::softmax_cross_entropy(logits, labels),
+                   static_cast<double>(labels.size()));
+}
+
+}  // namespace
+
+data::Dataset generate_adversarial(const nn::Module& model, const nn::ParamList& phi,
+                                   const data::Dataset& seed, double lambda,
+                                   double nu, std::size_t steps,
+                                   const ClipRange& clip) {
+  FEDML_CHECK(seed.size() > 0, "generate_adversarial: empty seed set");
+  FEDML_CHECK(lambda >= 0.0 && nu > 0.0, "generate_adversarial: bad λ/ν");
+
+  const nn::ParamList theta = nn::clone_leaves(phi, /*requires_grad=*/false);
+  const Var x0 = ops::constant(seed.x);
+  Tensor x = seed.x;
+
+  const auto objective_at = [&](const Tensor& xt) {
+    Var xv(xt, /*requires_grad=*/true);
+    const Var logits = model.forward(theta, xv);
+    const Var transport = ops::squared_norm(ops::sub(xv, x0));
+    const Var obj =
+        ops::sub(sum_cross_entropy(logits, seed.y), ops::smul(transport, lambda));
+    return std::pair<double, Tensor>(obj.item(),
+                                     autodiff::grad(obj, {xv})[0].value());
+  };
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    const auto [value, g] = objective_at(x);
+    // Backtracking ascent: the surrogate is (λ−H_xx)-strongly concave, so a
+    // fixed ν can overshoot badly when λ is large. Halve the step until the
+    // objective actually increases (bounded number of trials).
+    double step = nu;
+    Tensor candidate = clamp(x + g * step, clip);
+    for (int trial = 0; trial < 20 && objective_at(candidate).first < value;
+         ++trial) {
+      step *= 0.5;
+      candidate = clamp(x + g * step, clip);
+    }
+    if (objective_at(candidate).first < value) break;  // ascent stalled
+    x = std::move(candidate);
+  }
+
+  data::Dataset out;
+  out.x = std::move(x);
+  out.y = seed.y;
+  return out;
+}
+
+data::Dataset fgsm_attack(const nn::Module& model, const nn::ParamList& params,
+                          const data::Dataset& clean, double xi,
+                          const ClipRange& clip) {
+  FEDML_CHECK(clean.size() > 0, "fgsm_attack: empty dataset");
+  const nn::ParamList theta = nn::clone_leaves(params, /*requires_grad=*/false);
+  Var xv(clean.x, /*requires_grad=*/true);
+  const Var loss = sum_cross_entropy(model.forward(theta, xv), clean.y);
+  const Var g = autodiff::grad(loss, {xv})[0];
+
+  data::Dataset out;
+  out.x = clean.x;
+  const Tensor& gv = g.value();
+  for (std::size_t i = 0; i < out.x.rows(); ++i) {
+    for (std::size_t j = 0; j < out.x.cols(); ++j) {
+      const double s = gv(i, j) > 0.0 ? 1.0 : (gv(i, j) < 0.0 ? -1.0 : 0.0);
+      out.x(i, j) += xi * s;
+    }
+  }
+  out.x = clamp(std::move(out.x), clip);
+  out.y = clean.y;
+  return out;
+}
+
+}  // namespace fedml::robust

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace fedml::robust {
+
+/// Optional elementwise clamp applied to perturbed features (e.g. keep
+/// image pixels inside [0,1]).
+using ClipRange = std::optional<std::pair<double, double>>;
+
+/// Wasserstein-DRO inner maximization (paper Lemma 2 / Algorithm 2 lines
+/// 15–21): starting from the seed samples (x0, y0), run `steps` iterations of
+/// gradient ascent with rate `nu` on the robust surrogate
+///     l(φ, (x, y0)) − λ · c((x, y0), (x0, y0)),
+/// with transport cost c = ‖x − x0‖²₂ (labels are never perturbed; the paper
+/// uses cost ∞ on label changes). All samples in `seed` are perturbed
+/// jointly (the per-sample problems are independent, so batching is exact).
+///
+/// `phi` should be detached parameters (the adapted model φ_i^t of Alg. 2).
+data::Dataset generate_adversarial(const nn::Module& model, const nn::ParamList& phi,
+                                   const data::Dataset& seed, double lambda,
+                                   double nu, std::size_t steps,
+                                   const ClipRange& clip = std::nullopt);
+
+/// Fast Gradient Sign Method (evaluation-time attack, paper Section VI-C):
+///     x_adv = x + ξ · sign(∇_x l(θ, (x, y))).
+data::Dataset fgsm_attack(const nn::Module& model, const nn::ParamList& params,
+                          const data::Dataset& clean, double xi,
+                          const ClipRange& clip = std::nullopt);
+
+}  // namespace fedml::robust

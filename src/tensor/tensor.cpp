@@ -1,0 +1,283 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "util/rng.h"
+
+namespace fedml::tensor {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  FEDML_CHECK(data_.size() == rows_ * cols_, "flat buffer size must equal rows*cols");
+}
+
+Tensor::Tensor(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    FEDML_CHECK(r.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Tensor Tensor::full(std::size_t rows, std::size_t cols, double value) {
+  Tensor t(rows, cols);
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::identity(std::size_t n) {
+  Tensor t(n, n);
+  for (std::size_t i = 0; i < n; ++i) t(i, i) = 1.0;
+  return t;
+}
+
+Tensor Tensor::randn(std::size_t rows, std::size_t cols, util::Rng& rng,
+                     double mean, double stddev) {
+  return {rows, cols, rng.normal_vector(rows * cols, mean, stddev)};
+}
+
+double Tensor::item() const {
+  FEDML_CHECK(rows_ == 1 && cols_ == 1, "item() requires a 1x1 tensor");
+  return data_[0];
+}
+
+Tensor Tensor::reshaped(std::size_t rows, std::size_t cols) const {
+  FEDML_CHECK(rows * cols == data_.size(), "reshape must preserve element count");
+  return {rows, cols, data_};
+}
+
+Tensor Tensor::row(std::size_t i) const {
+  FEDML_CHECK(i < rows_, "row index out of range");
+  std::vector<double> r(data_.begin() + static_cast<std::ptrdiff_t>(i * cols_),
+                        data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols_));
+  return {1, cols_, std::move(r)};
+}
+
+Tensor Tensor::map(const std::function<double(double)>& f) const {
+  Tensor out = *this;
+  for (auto& x : out.data_) x = f(x);
+  return out;
+}
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  FEDML_CHECK(same_shape(o), "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  FEDML_CHECK(same_shape(o), "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor operator-(const Tensor& a) { return a * -1.0; }
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  FEDML_CHECK(a.same_shape(b), "shape mismatch in hadamard");
+  Tensor out(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+Tensor operator*(const Tensor& a, double s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+Tensor operator*(double s, const Tensor& a) { return a * s; }
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  FEDML_CHECK(a.cols() == b.rows(), "matmul inner dimensions must agree");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out(m, n);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  // ikj loop order: streams through b and out rows — cache friendly.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = pa[i * k + kk];
+      if (aik == 0.0) continue;
+      const double* brow = pb + kk * n;
+      double* orow = po + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor out(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  return out;
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  FEDML_CHECK(a.same_shape(b), "shape mismatch in dot");
+  double s = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) s += pa[i] * pb[i];
+  return s;
+}
+
+double norm(const Tensor& a) { return std::sqrt(dot(a, a)); }
+
+double sum(const Tensor& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a.data()[i];
+  return s;
+}
+
+double mean(const Tensor& a) {
+  FEDML_CHECK(a.size() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<double>(a.size());
+}
+
+Tensor row_sums(const Tensor& a) {
+  Tensor out(a.rows(), 1);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j);
+    out(i, 0) = s;
+  }
+  return out;
+}
+
+Tensor col_sums(const Tensor& a) {
+  Tensor out(1, a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out(0, j) += a(i, j);
+  return out;
+}
+
+Tensor row_max(const Tensor& a) {
+  FEDML_CHECK(a.cols() > 0, "row_max of empty rows");
+  Tensor out(a.rows(), 1);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double m = a(i, 0);
+    for (std::size_t j = 1; j < a.cols(); ++j) m = std::max(m, a(i, j));
+    out(i, 0) = m;
+  }
+  return out;
+}
+
+Tensor add_rowvec(const Tensor& a, const Tensor& v) {
+  FEDML_CHECK(v.rows() == 1 && v.cols() == a.cols(),
+              "add_rowvec expects a 1xC vector matching a's columns");
+  Tensor out = a;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) += v(0, j);
+  return out;
+}
+
+Tensor sub_colvec(const Tensor& a, const Tensor& v) {
+  FEDML_CHECK(v.cols() == 1 && v.rows() == a.rows(),
+              "sub_colvec expects an Rx1 vector matching a's rows");
+  Tensor out = a;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) -= v(i, 0);
+  return out;
+}
+
+Tensor mul_colvec(const Tensor& a, const Tensor& v) {
+  FEDML_CHECK(v.cols() == 1 && v.rows() == a.rows(),
+              "mul_colvec expects an Rx1 vector matching a's rows");
+  Tensor out = a;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) *= v(i, 0);
+  return out;
+}
+
+Tensor gather_cols(const Tensor& a, const std::vector<std::size_t>& index) {
+  FEDML_CHECK(index.size() == a.rows(), "gather_cols needs one index per row");
+  Tensor out(a.rows(), 1);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    FEDML_CHECK(index[i] < a.cols(), "gather_cols index out of range");
+    out(i, 0) = a(i, index[i]);
+  }
+  return out;
+}
+
+Tensor scatter_cols(const Tensor& v, const std::vector<std::size_t>& index,
+                    std::size_t cols) {
+  FEDML_CHECK(v.cols() == 1, "scatter_cols expects an Rx1 tensor");
+  FEDML_CHECK(index.size() == v.rows(), "scatter_cols needs one index per row");
+  Tensor out(v.rows(), cols);
+  for (std::size_t i = 0; i < v.rows(); ++i) {
+    FEDML_CHECK(index[i] < cols, "scatter_cols index out of range");
+    out(i, index[i]) = v(i, 0);
+  }
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& a) {
+  FEDML_CHECK(a.cols() > 0, "argmax of empty rows");
+  std::vector<std::size_t> out(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < a.cols(); ++j)
+      if (a(i, j) > a(i, best)) best = j;
+    out[i] = best;
+  }
+  return out;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return std::numeric_limits<double>::infinity();
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, double rtol, double atol) {
+  if (!a.same_shape(b)) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a.data()[i], db = b.data()[i];
+    if (std::abs(da - db) > atol + rtol * std::abs(db)) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor(" << t.rows() << "x" << t.cols() << ")[";
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    os << (i ? "; " : "");
+    for (std::size_t j = 0; j < t.cols(); ++j) os << (j ? " " : "") << t(i, j);
+  }
+  return os << "]";
+}
+
+}  // namespace fedml::tensor

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fedml::util {
+class Rng;
+}
+
+namespace fedml::tensor {
+
+/// Dense, row-major, 2-D double tensor. Vectors are represented as 1×N or
+/// N×1 matrices; scalars as 1×1. This is the only numeric container in the
+/// library — small and predictable beats generic here, since edge-scale
+/// models are O(10^2..10^5) parameters.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-filled rows×cols tensor.
+  Tensor(std::size_t rows, std::size_t cols);
+
+  /// rows×cols tensor from a flat row-major buffer (size must match).
+  Tensor(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  /// 2-D initializer list, e.g. Tensor{{1,2},{3,4}}.
+  Tensor(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Tensor zeros(std::size_t rows, std::size_t cols) { return {rows, cols}; }
+  static Tensor full(std::size_t rows, std::size_t cols, double value);
+  static Tensor ones(std::size_t rows, std::size_t cols) { return full(rows, cols, 1.0); }
+  static Tensor identity(std::size_t n);
+  static Tensor scalar(double v) { return {1, 1, {v}}; }
+
+  /// iid N(mean, stddev) entries drawn from rng.
+  static Tensor randn(std::size_t rows, std::size_t cols, util::Rng& rng,
+                      double mean = 0.0, double stddev = 1.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool same_shape(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    FEDML_CHECK(i < rows_ && j < cols_, "tensor index out of range");
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    FEDML_CHECK(i < rows_ && j < cols_, "tensor index out of range");
+    return data_[i * cols_ + j];
+  }
+
+  /// Value of a 1×1 tensor.
+  [[nodiscard]] double item() const;
+
+  double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] const std::vector<double>& flat() const { return data_; }
+
+  /// Return a copy reshaped to rows×cols (element count must match).
+  [[nodiscard]] Tensor reshaped(std::size_t rows, std::size_t cols) const;
+
+  /// Row i as a 1×cols tensor.
+  [[nodiscard]] Tensor row(std::size_t i) const;
+
+  /// Elementwise map.
+  [[nodiscard]] Tensor map(const std::function<double(double)>& f) const;
+
+  // In-place compound ops (shape-checked).
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+  Tensor& operator*=(double s);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- elementwise arithmetic (shape-checked) --------------------------------
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a);
+/// Hadamard (elementwise) product.
+Tensor hadamard(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, double s);
+Tensor operator*(double s, const Tensor& a);
+
+// ---- linear algebra --------------------------------------------------------
+/// Matrix product (a.cols must equal b.rows).
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor transpose(const Tensor& a);
+/// Frobenius inner product sum_ij a_ij b_ij.
+double dot(const Tensor& a, const Tensor& b);
+/// Frobenius / l2 norm.
+double norm(const Tensor& a);
+
+// ---- reductions & broadcasts ----------------------------------------------
+/// Sum of all entries (1×1 not returned; plain double).
+double sum(const Tensor& a);
+double mean(const Tensor& a);
+/// Column vector (rows×1) of per-row sums.
+Tensor row_sums(const Tensor& a);
+/// Row vector (1×cols) of per-column sums.
+Tensor col_sums(const Tensor& a);
+/// Per-row max as rows×1.
+Tensor row_max(const Tensor& a);
+/// Broadcast-add a 1×cols row vector to every row of a rows×cols tensor.
+Tensor add_rowvec(const Tensor& a, const Tensor& v);
+/// Broadcast-subtract a rows×1 column vector from every column.
+Tensor sub_colvec(const Tensor& a, const Tensor& v);
+/// Broadcast-multiply every row elementwise by a rows×1 column vector.
+Tensor mul_colvec(const Tensor& a, const Tensor& v);
+
+// ---- indexing --------------------------------------------------------------
+/// rows×1 tensor with out[i] = a(i, index[i]). Indices are bounds-checked.
+Tensor gather_cols(const Tensor& a, const std::vector<std::size_t>& index);
+/// Inverse of gather_cols: zeros except out(i, index[i]) = v(i, 0).
+Tensor scatter_cols(const Tensor& v, const std::vector<std::size_t>& index,
+                    std::size_t cols);
+/// Per-row argmax.
+std::vector<std::size_t> argmax_rows(const Tensor& a);
+
+// ---- misc ------------------------------------------------------------------
+/// Max |a_ij - b_ij|; infinity when shapes differ.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+/// True iff same shape and all entries within atol + rtol*|b|.
+bool allclose(const Tensor& a, const Tensor& b, double rtol = 1e-9,
+              double atol = 1e-12);
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace fedml::tensor

@@ -1,0 +1,103 @@
+#include "theory/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fedml::theory {
+
+namespace {
+void check_weights(const AssumptionConstants& c) {
+  FEDML_CHECK(c.delta.size() == c.weights.size() && c.sigma.size() == c.weights.size(),
+              "delta/sigma/weights must have one entry per node");
+}
+}  // namespace
+
+double AssumptionConstants::delta_bar() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < delta.size(); ++i) s += weights[i] * delta[i];
+  return s;
+}
+
+double AssumptionConstants::sigma_bar() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < sigma.size(); ++i) s += weights[i] * sigma[i];
+  return s;
+}
+
+double AssumptionConstants::tau() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < delta.size(); ++i)
+    s += weights[i] * delta[i] * sigma[i];
+  return s;
+}
+
+double alpha_max(const AssumptionConstants& c) {
+  FEDML_CHECK(c.mu > 0.0, "alpha_max requires strong convexity (mu > 0)");
+  const double denom = 2.0 * c.mu * c.smooth_h + c.rho * c.grad_bound;
+  const double first = denom > 0.0 ? c.mu / denom : 1.0 / c.mu;
+  return std::min(first, 1.0 / c.mu);
+}
+
+Lemma1Constants lemma1_constants(const AssumptionConstants& c, double alpha) {
+  Lemma1Constants l;
+  const double one_minus_ah = 1.0 - alpha * c.smooth_h;
+  const double one_minus_am = 1.0 - alpha * c.mu;
+  l.mu_prime = c.mu * one_minus_ah * one_minus_ah - alpha * c.rho * c.grad_bound;
+  l.h_prime = c.smooth_h * one_minus_am * one_minus_am + alpha * c.rho * c.grad_bound;
+  return l;
+}
+
+double beta_max(const Lemma1Constants& l) {
+  FEDML_CHECK(l.mu_prime > 0.0 && l.h_prime > 0.0,
+              "beta_max requires positive Lemma-1 constants");
+  return std::min(1.0 / (2.0 * l.mu_prime), 2.0 / l.h_prime);
+}
+
+double theorem1_bound(const AssumptionConstants& c, double alpha, std::size_t node,
+                      double big_c) {
+  check_weights(c);
+  FEDML_CHECK(node < c.delta.size(), "theorem1_bound: node out of range");
+  return c.delta[node] +
+         alpha * big_c *
+             (c.smooth_h * c.delta[node] + c.grad_bound * c.sigma[node] + c.tau());
+}
+
+double h_function(double alpha_prime, double beta, double h_prime, std::size_t x) {
+  const double growth = std::pow(1.0 + beta * h_prime, static_cast<double>(x)) - 1.0;
+  return alpha_prime / (beta * h_prime) * growth -
+         alpha_prime * static_cast<double>(x);
+}
+
+Theorem2Terms theorem2_terms(const AssumptionConstants& c, double alpha, double beta,
+                             std::size_t t0, double big_c) {
+  check_weights(c);
+  FEDML_CHECK(t0 >= 1, "theorem2_terms: T0 must be >= 1");
+  FEDML_CHECK(alpha > 0.0 && alpha <= alpha_max(c) + 1e-12,
+              "alpha violates the Lemma 1 window");
+  const Lemma1Constants l = lemma1_constants(c, alpha);
+  FEDML_CHECK(l.mu_prime > 0.0, "alpha too large: G not provably strongly convex");
+
+  Theorem2Terms t;
+  t.xi = 1.0 - 2.0 * beta * l.mu_prime * (1.0 - l.h_prime * beta / 2.0);
+  FEDML_CHECK(t.xi > 0.0 && t.xi < 1.0, "beta violates the Theorem 2 rate window");
+
+  const double delta = c.delta_bar();
+  const double sigma = c.sigma_bar();
+  t.alpha_prime = beta * (delta + alpha * big_c *
+                                      (c.smooth_h * delta + c.grad_bound * sigma +
+                                       c.tau()));
+  t.h_t0 = h_function(t.alpha_prime, beta, l.h_prime, t0);
+  const double geo = 1.0 - std::pow(t.xi, static_cast<double>(t0));
+  t.error_term = geo > 0.0
+                     ? c.grad_bound * (1.0 - alpha * c.mu) / geo * t.h_t0
+                     : 0.0;
+  return t;
+}
+
+double theorem2_bound(const Theorem2Terms& terms, double initial_gap, std::size_t t) {
+  return std::pow(terms.xi, static_cast<double>(t)) * initial_gap + terms.error_term;
+}
+
+}  // namespace fedml::theory

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedml::theory {
+
+/// The constants of Assumptions 1–4 for a federation of loss functions:
+/// μ-strong convexity, H-smoothness, gradient bound B, ρ-Lipschitz Hessians,
+/// and per-node dissimilarities δ_i (gradients) and σ_i (Hessians), with
+/// aggregation weights ω_i.
+struct AssumptionConstants {
+  double mu = 0.0;
+  double smooth_h = 0.0;  ///< H
+  double rho = 0.0;
+  double grad_bound = 0.0;  ///< B
+  std::vector<double> delta;
+  std::vector<double> sigma;
+  std::vector<double> weights;
+
+  /// δ = Σ ω_i δ_i.
+  [[nodiscard]] double delta_bar() const;
+  /// σ = Σ ω_i σ_i.
+  [[nodiscard]] double sigma_bar() const;
+  /// τ = Σ ω_i δ_i σ_i (Theorem 1).
+  [[nodiscard]] double tau() const;
+};
+
+/// Lemma 1: largest inner rate α for which G is provably strongly convex,
+/// α ≤ min{ μ/(2μH + ρB), 1/μ }.
+double alpha_max(const AssumptionConstants& c);
+
+/// Lemma 1 constants of the meta-objective G:
+/// μ' = μ(1−αH)² − αρB and H' = H(1−αμ)² + αρB.
+struct Lemma1Constants {
+  double mu_prime = 0.0;
+  double h_prime = 0.0;
+};
+Lemma1Constants lemma1_constants(const AssumptionConstants& c, double alpha);
+
+/// Theorem 2: largest meta rate β, β < min{ 1/(2μ'), 2/H' }.
+double beta_max(const Lemma1Constants& l);
+
+/// Theorem 1 bound on the per-node meta-gradient dissimilarity:
+/// ‖∇G_i − ∇G‖ ≤ δ_i + αC(Hδ_i + Bσ_i + τ).
+double theorem1_bound(const AssumptionConstants& c, double alpha, std::size_t node,
+                      double big_c = 1.0);
+
+/// All derived quantities of Theorem 2 for a given (α, β, T0).
+struct Theorem2Terms {
+  double xi = 0.0;           ///< ξ = 1 − 2βμ'(1 − H'β/2)
+  double alpha_prime = 0.0;  ///< α' = β[δ + αC(Hδ + Bσ + τ)]
+  double h_t0 = 0.0;         ///< h(T0)
+  double error_term = 0.0;   ///< B(1−αμ)/(1−ξ^{T0}) · h(T0)
+};
+Theorem2Terms theorem2_terms(const AssumptionConstants& c, double alpha, double beta,
+                             std::size_t t0, double big_c = 1.0);
+
+/// The full Theorem 2 right-hand side after T iterations:
+/// ξ^T [G(θ0) − G(θ*)] + error_term.
+double theorem2_bound(const Theorem2Terms& terms, double initial_gap, std::size_t t);
+
+/// h(x) = (α'/(βH'))[(1+βH')^x − 1] − α'x  (error growth within a block;
+/// h(1) = 0, so T0 = 1 removes the error term — Corollary 1).
+double h_function(double alpha_prime, double beta, double h_prime, std::size_t x);
+
+}  // namespace fedml::theory

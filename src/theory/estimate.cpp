@@ -1,0 +1,176 @@
+#include "theory/estimate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "autodiff/ops.h"
+#include "nn/loss.h"
+#include "nn/params.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::theory {
+
+namespace {
+
+using autodiff::Var;
+namespace ops = fedml::autodiff::ops;
+
+/// Gradient of the mean empirical loss at θ (detached). Local helper so the
+/// theory layer does not depend on the core trainers.
+nn::ParamList gradient_of(const nn::Module& model, const nn::ParamList& theta,
+                          const data::Dataset& d) {
+  nn::ParamList leaves = nn::clone_leaves(theta, /*requires_grad=*/true);
+  const Var loss =
+      nn::softmax_cross_entropy(model.forward(leaves, ops::constant(d.x)), d.y);
+  return autodiff::grad(loss, {leaves.begin(), leaves.end()});
+}
+
+/// Random parameter point within `radius` (l∞ per tensor entry) of θ0.
+nn::ParamList sample_point(const nn::ParamList& theta0, double radius,
+                           util::Rng& rng) {
+  nn::ParamList out;
+  out.reserve(theta0.size());
+  for (const auto& p : theta0) {
+    tensor::Tensor t = p.value();
+    for (std::size_t i = 0; i < t.rows(); ++i)
+      for (std::size_t j = 0; j < t.cols(); ++j)
+        t(i, j) += rng.uniform(-radius, radius);
+    out.emplace_back(std::move(t), /*requires_grad=*/false);
+  }
+  return out;
+}
+
+nn::ParamList random_direction(const nn::ParamList& theta0, util::Rng& rng) {
+  nn::ParamList out;
+  out.reserve(theta0.size());
+  for (const auto& p : theta0) {
+    out.emplace_back(tensor::Tensor::randn(p.rows(), p.cols(), rng),
+                     /*requires_grad=*/false);
+  }
+  // Normalize to unit l2 norm over the whole list.
+  const double n = nn::param_norm(out);
+  for (auto& t : out) t = autodiff::Var(t.value() * (1.0 / n), false);
+  return out;
+}
+
+double list_norm_diff(const nn::ParamList& a, const nn::ParamList& b) {
+  return nn::param_distance(a, b);
+}
+
+double list_inner(const nn::ParamList& a, const nn::ParamList& b) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k)
+    s += tensor::dot(a[k].value(), b[k].value());
+  return s;
+}
+
+/// Weighted gradient of the federation loss L_w = Σ ω_i L_i at θ.
+nn::ParamList weighted_gradient(const nn::Module& model,
+                                const nn::ParamList& theta,
+                                const std::vector<data::Dataset>& datasets,
+                                const std::vector<double>& weights) {
+  std::vector<nn::ParamList> grads;
+  grads.reserve(datasets.size());
+  for (const auto& d : datasets)
+    grads.push_back(gradient_of(model, theta, d));
+  return nn::weighted_average(grads, weights, /*requires_grad=*/false);
+}
+
+}  // namespace
+
+nn::ParamList hessian_vector_product(const nn::Module& model,
+                                     const nn::ParamList& theta,
+                                     const nn::ParamList& v,
+                                     const data::Dataset& d) {
+  nn::ParamList leaves = nn::clone_leaves(theta, /*requires_grad=*/true);
+  const Var x = ops::constant(d.x);
+  const Var loss = nn::softmax_cross_entropy(model.forward(leaves, x), d.y);
+  auto grads = autodiff::grad(loss, {leaves.begin(), leaves.end()},
+                              {.create_graph = true});
+  // gᵀv — a scalar whose gradient wrt θ is ∇²L·v.
+  Var gv;
+  for (std::size_t k = 0; k < grads.size(); ++k) {
+    const Var term = ops::dot(grads[k], ops::constant(v[k].value()));
+    gv = gv.defined() ? ops::add(gv, term) : term;
+  }
+  return autodiff::grad(gv, {leaves.begin(), leaves.end()});
+}
+
+AssumptionConstants estimate_constants(const nn::Module& model,
+                                       const nn::ParamList& theta0,
+                                       const std::vector<data::Dataset>& datasets,
+                                       const std::vector<double>& weights,
+                                       const EstimateConfig& config) {
+  FEDML_CHECK(!datasets.empty() && datasets.size() == weights.size(),
+              "estimate_constants: need one weight per dataset");
+  util::Rng rng(config.seed);
+
+  AssumptionConstants c;
+  c.weights = weights;
+  c.delta.assign(datasets.size(), 0.0);
+  c.sigma.assign(datasets.size(), 0.0);
+  c.mu = std::numeric_limits<double>::infinity();
+
+  // Sampled points and directions (shared across nodes for comparability).
+  std::vector<nn::ParamList> points;
+  for (std::size_t s = 0; s < config.parameter_samples; ++s)
+    points.push_back(sample_point(theta0, config.radius, rng));
+
+  // ---- B and δ_i over the sampled points ---------------------------------
+  for (const auto& theta : points) {
+    const nn::ParamList gw = weighted_gradient(model, theta, datasets, weights);
+    for (std::size_t i = 0; i < datasets.size(); ++i) {
+      const nn::ParamList gi = gradient_of(model, theta, datasets[i]);
+      c.grad_bound = std::max(c.grad_bound, nn::param_norm(gi));
+      c.delta[i] = std::max(c.delta[i], list_norm_diff(gi, gw));
+    }
+  }
+
+  // ---- σ_i via HVP with random unit directions ----------------------------
+  for (const auto& theta : points) {
+    const nn::ParamList v = random_direction(theta0, rng);
+    std::vector<nn::ParamList> hv;
+    hv.reserve(datasets.size());
+    for (const auto& d : datasets)
+      hv.push_back(hessian_vector_product(model, theta, v, d));
+    const nn::ParamList hw = nn::weighted_average(hv, weights, false);
+    for (std::size_t i = 0; i < datasets.size(); ++i)
+      c.sigma[i] = std::max(c.sigma[i], list_norm_diff(hv[i], hw));
+  }
+
+  // ---- H, μ, ρ from sampled pairs -----------------------------------------
+  for (std::size_t s = 0; s < config.pair_samples; ++s) {
+    const nn::ParamList a = sample_point(theta0, config.radius, rng);
+    const nn::ParamList b = sample_point(theta0, config.radius, rng);
+    const double dist = list_norm_diff(a, b);
+    if (dist < 1e-9) continue;
+    const nn::ParamList v = random_direction(theta0, rng);
+    for (std::size_t i = 0; i < datasets.size(); ++i) {
+      const nn::ParamList ga = gradient_of(model, a, datasets[i]);
+      const nn::ParamList gb = gradient_of(model, b, datasets[i]);
+      nn::ParamList gdiff = nn::add_scaled(ga, gb, -1.0, false);
+      c.smooth_h = std::max(c.smooth_h, nn::param_norm(gdiff) / dist);
+      // Monotonicity constant along this pair.
+      nn::ParamList pdiff = nn::add_scaled(a, b, -1.0, false);
+      c.mu = std::min(c.mu, list_inner(gdiff, pdiff) / (dist * dist));
+      // Hessian Lipschitz along this pair in direction v.
+      const nn::ParamList ha = hessian_vector_product(model, a, v, datasets[i]);
+      const nn::ParamList hb = hessian_vector_product(model, b, v, datasets[i]);
+      c.rho = std::max(c.rho, list_norm_diff(ha, hb) / dist);
+    }
+  }
+  if (!std::isfinite(c.mu)) c.mu = 0.0;
+  return c;
+}
+
+double theorem3_bound(double smooth_h, double alpha, double epsilon,
+                      double epsilon_c, double surrogate_distance) {
+  FEDML_CHECK(smooth_h >= 0.0 && alpha >= 0.0, "theorem3_bound: bad H/alpha");
+  const double amp = smooth_h * (1.0 + alpha * smooth_h);
+  return alpha * smooth_h * epsilon + amp * epsilon_c +
+         amp * surrogate_distance;
+}
+
+}  // namespace fedml::theory

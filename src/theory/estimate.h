@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "theory/bounds.h"
+
+namespace fedml::util {
+class Rng;
+}
+
+namespace fedml::theory {
+
+/// Empirical estimation of the paper's assumption constants for an ARBITRARY
+/// model + federation, by sampling the parameter space:
+///
+///   B    — max ‖∇L_i(θ)‖ over sampled θ and nodes,
+///   H    — max ‖∇L_i(θ) − ∇L_i(θ')‖ / ‖θ − θ'‖ over sampled pairs,
+///   μ    — min ⟨∇L_i(θ) − ∇L_i(θ'), θ − θ'⟩ / ‖θ − θ'‖² (may be ≤ 0 for
+///          non-convex models — a diagnostic, not a certificate),
+///   ρ    — max ‖(∇²L_i(θ) − ∇²L_i(θ'))v‖ / (‖θ − θ'‖·‖v‖) via
+///          Hessian-vector products from double backward,
+///   δ_i  — max ‖∇L_i(θ) − ∇L_w(θ)‖ over sampled θ,
+///   σ_i  — max ‖(∇²L_i(θ) − ∇²L_w(θ))v‖ / ‖v‖ over sampled (θ, v).
+///
+/// All Hessian quantities use exact HVPs (never materialized Hessians), so
+/// the procedure scales to any model the autodiff engine can express.
+/// Estimates are LOWER bounds on the true suprema (sampling cannot prove an
+/// upper bound); they are meant to rank federations by heterogeneity and to
+/// instantiate the Theorem 2 terms with data-driven values.
+struct EstimateConfig {
+  std::size_t parameter_samples = 8;  ///< sampled θ points
+  std::size_t pair_samples = 8;       ///< sampled (θ, θ') pairs
+  double radius = 1.0;                ///< sampling ball radius around θ0
+  std::uint64_t seed = 1234;
+};
+
+/// Estimate the constants over the given nodes (local datasets + weights
+/// ω_i). θ0 anchors the sampling ball.
+AssumptionConstants estimate_constants(const nn::Module& model,
+                                       const nn::ParamList& theta0,
+                                       const std::vector<data::Dataset>& datasets,
+                                       const std::vector<double>& weights,
+                                       const EstimateConfig& config);
+
+/// Exact Hessian-vector product (∇²L(θ)·v) of the mean empirical loss, via
+/// double backward. Exposed for tests and for the estimators above.
+nn::ParamList hessian_vector_product(const nn::Module& model,
+                                     const nn::ParamList& theta,
+                                     const nn::ParamList& v,
+                                     const data::Dataset& d);
+
+/// Theorem 3 upper bound on the target adaptation gap:
+///   αHε + H(1+αH)ε_c + H(1+αH)·‖θ_t* − θ_c*‖.
+double theorem3_bound(double smooth_h, double alpha, double epsilon,
+                      double epsilon_c, double surrogate_distance);
+
+}  // namespace fedml::theory

@@ -1,0 +1,225 @@
+#include "theory/quadratic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::theory {
+
+using tensor::Tensor;
+
+double QuadraticTask::loss(const Tensor& theta) const {
+  double s = 0.0;
+  for (std::size_t k = 0; k < theta.rows(); ++k) {
+    const double d = theta(k, 0) - center(k, 0);
+    s += 0.5 * curvature(k, 0) * d * d;
+  }
+  return s;
+}
+
+Tensor QuadraticTask::gradient(const Tensor& theta) const {
+  Tensor g(theta.rows(), 1);
+  for (std::size_t k = 0; k < theta.rows(); ++k)
+    g(k, 0) = curvature(k, 0) * (theta(k, 0) - center(k, 0));
+  return g;
+}
+
+Tensor QuadraticTask::adapted(const Tensor& theta, double alpha) const {
+  return theta - gradient(theta) * alpha;
+}
+
+double QuadraticTask::meta_loss(const Tensor& theta, double alpha) const {
+  return loss(adapted(theta, alpha));
+}
+
+Tensor QuadraticTask::meta_gradient(const Tensor& theta, double alpha) const {
+  // ∇G_i = (I − αA) A (I − αA)(θ − c); everything is diagonal.
+  Tensor g(theta.rows(), 1);
+  for (std::size_t k = 0; k < theta.rows(); ++k) {
+    const double a = curvature(k, 0);
+    const double m = (1.0 - alpha * a);
+    g(k, 0) = m * a * m * (theta(k, 0) - center(k, 0));
+  }
+  return g;
+}
+
+QuadraticFederation::QuadraticFederation(std::vector<QuadraticTask> tasks,
+                                         std::vector<double> weights)
+    : tasks_(std::move(tasks)), weights_(std::move(weights)) {
+  FEDML_CHECK(!tasks_.empty(), "quadratic federation needs at least one task");
+  FEDML_CHECK(tasks_.size() == weights_.size(), "one weight per task required");
+  double s = 0.0;
+  for (const auto w : weights_) s += w;
+  FEDML_CHECK(std::abs(s - 1.0) < 1e-9, "weights must sum to one");
+  for (const auto& t : tasks_) {
+    FEDML_CHECK(t.curvature.rows() == tasks_[0].curvature.rows(),
+                "tasks must share dimensionality");
+    for (std::size_t k = 0; k < t.curvature.rows(); ++k)
+      FEDML_CHECK(t.curvature(k, 0) > 0.0, "curvature must be positive");
+  }
+}
+
+QuadraticFederation QuadraticFederation::shared_curvature(
+    std::size_t nodes, std::size_t dim, double mu, double smooth_h,
+    double center_spread, util::Rng& rng) {
+  FEDML_CHECK(mu > 0.0 && smooth_h >= mu, "need 0 < mu <= H");
+  Tensor a(dim, 1);
+  for (std::size_t k = 0; k < dim; ++k) {
+    // Curvatures interpolate [μ, H], hitting both ends exactly.
+    const double frac = dim == 1 ? 0.0
+                                 : static_cast<double>(k) /
+                                       static_cast<double>(dim - 1);
+    a(k, 0) = mu + (smooth_h - mu) * frac;
+  }
+  std::vector<QuadraticTask> tasks;
+  tasks.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    Tensor c(dim, 1);
+    for (std::size_t k = 0; k < dim; ++k) c(k, 0) = rng.normal(0.0, center_spread);
+    tasks.push_back({a, std::move(c)});
+  }
+  std::vector<double> w(nodes, 1.0 / static_cast<double>(nodes));
+  return {std::move(tasks), std::move(w)};
+}
+
+QuadraticFederation QuadraticFederation::heterogeneous(
+    std::size_t nodes, std::size_t dim, double mu, double smooth_h,
+    double center_spread, util::Rng& rng) {
+  FEDML_CHECK(mu > 0.0 && smooth_h >= mu, "need 0 < mu <= H");
+  std::vector<QuadraticTask> tasks;
+  tasks.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    Tensor a(dim, 1);
+    Tensor c(dim, 1);
+    for (std::size_t k = 0; k < dim; ++k) {
+      a(k, 0) = rng.uniform(mu, smooth_h);
+      c(k, 0) = rng.normal(0.0, center_spread);
+    }
+    tasks.push_back({std::move(a), std::move(c)});
+  }
+  std::vector<double> w(nodes, 1.0 / static_cast<double>(nodes));
+  return {std::move(tasks), std::move(w)};
+}
+
+double QuadraticFederation::global_meta_loss(const Tensor& theta,
+                                             double alpha) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    s += weights_[i] * tasks_[i].meta_loss(theta, alpha);
+  return s;
+}
+
+Tensor QuadraticFederation::meta_minimizer(double alpha) const {
+  // Solve Σ ω_i M_i (θ − c_i) = 0 per coordinate: θ_k = Σ ω_i m_ik c_ik / Σ ω_i m_ik
+  // with m_ik = (1 − α a_ik)² a_ik.
+  const std::size_t d = dim();
+  Tensor theta(d, 1);
+  for (std::size_t k = 0; k < d; ++k) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const double a = tasks_[i].curvature(k, 0);
+      const double m = (1.0 - alpha * a);
+      const double mik = m * a * m;
+      num += weights_[i] * mik * tasks_[i].center(k, 0);
+      den += weights_[i] * mik;
+    }
+    FEDML_CHECK(den > 0.0, "meta objective is degenerate along a coordinate");
+    theta(k, 0) = num / den;
+  }
+  return theta;
+}
+
+AssumptionConstants QuadraticFederation::constants(double radius) const {
+  AssumptionConstants c;
+  c.weights = weights_;
+  const std::size_t d = dim();
+
+  double mu = 1e300, smooth_h = 0.0;
+  for (const auto& t : tasks_) {
+    for (std::size_t k = 0; k < d; ++k) {
+      mu = std::min(mu, t.curvature(k, 0));
+      smooth_h = std::max(smooth_h, t.curvature(k, 0));
+    }
+  }
+  c.mu = mu;
+  c.smooth_h = smooth_h;
+  c.rho = 0.0;  // Hessians are constant
+
+  // Weighted-average curvature/center (the "L_w" loss is Σ ω_i L_i, whose
+  // gradient is Σ ω_i A_i (θ − c_i)).
+  Tensor a_bar(d, 1), ac_bar(d, 1);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (std::size_t k = 0; k < d; ++k) {
+      a_bar(k, 0) += weights_[i] * tasks_[i].curvature(k, 0);
+      ac_bar(k, 0) += weights_[i] * tasks_[i].curvature(k, 0) * tasks_[i].center(k, 0);
+    }
+  }
+
+  // B: max gradient norm over the ball ‖θ‖ ≤ radius:
+  // ‖A_i(θ − c_i)‖ ≤ H(radius + ‖c_i‖).
+  double b = 0.0;
+  for (const auto& t : tasks_) {
+    double cn = 0.0;
+    for (std::size_t k = 0; k < d; ++k) cn += t.center(k, 0) * t.center(k, 0);
+    b = std::max(b, smooth_h * (radius + std::sqrt(cn)));
+  }
+  c.grad_bound = b;
+
+  // δ_i, σ_i. For heterogeneous curvature the gradient difference grows with
+  // ‖θ‖, so take the sup over the same ball; for shared curvature the θ term
+  // vanishes and δ_i is exact.
+  c.delta.resize(tasks_.size());
+  c.sigma.resize(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    double sig = 0.0;
+    double const_term = 0.0;  // ‖A_i c_i − Ā c̄ (weighted)‖ part
+    double lin_term = 0.0;    // max_k |a_ik − ā_k| part
+    for (std::size_t k = 0; k < d; ++k) {
+      const double da = tasks_[i].curvature(k, 0) - a_bar(k, 0);
+      sig = std::max(sig, std::abs(da));
+      lin_term = std::max(lin_term, std::abs(da));
+      const double dc =
+          tasks_[i].curvature(k, 0) * tasks_[i].center(k, 0) - ac_bar(k, 0);
+      const_term += dc * dc;
+    }
+    c.sigma[i] = sig;
+    c.delta[i] = std::sqrt(const_term) + lin_term * radius;
+  }
+  return c;
+}
+
+QuadraticFederation::SimResult QuadraticFederation::simulate_fedml(
+    const Tensor& theta0, double alpha, double beta, std::size_t total_iterations,
+    std::size_t local_steps) const {
+  FEDML_CHECK(local_steps >= 1, "T0 must be >= 1");
+  SimResult out;
+  const Tensor theta_star = meta_minimizer(alpha);
+  const double g_star = global_meta_loss(theta_star, alpha);
+
+  std::vector<Tensor> local(tasks_.size(), theta0);
+  Tensor global = theta0;
+  out.max_iterate_norm = tensor::norm(theta0);
+
+  std::size_t t = 0;
+  while (t < total_iterations) {
+    const std::size_t block = std::min(local_steps, total_iterations - t);
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      for (std::size_t s = 0; s < block; ++s) {
+        local[i] -= tasks_[i].meta_gradient(local[i], alpha) * beta;
+        out.max_iterate_norm = std::max(out.max_iterate_norm, tensor::norm(local[i]));
+      }
+    }
+    t += block;
+    Tensor agg(dim(), 1);
+    for (std::size_t i = 0; i < tasks_.size(); ++i) agg += local[i] * weights_[i];
+    global = agg;
+    for (auto& l : local) l = global;
+    out.gap.push_back(global_meta_loss(global, alpha) - g_star);
+  }
+  out.theta = global;
+  return out;
+}
+
+}  // namespace fedml::theory

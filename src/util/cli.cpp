@@ -1,0 +1,70 @@
+#include "util/cli.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace fedml::util {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    FEDML_CHECK(arg.rfind("--", 0) == 0, "expected --key[=value], got: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      options_[arg] = "true";
+    } else {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Cli::get_string(const std::string& key, const std::string& def) {
+  known_.push_back(key);
+  const auto it = options_.find(key);
+  return it == options_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) {
+  known_.push_back(key);
+  const auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    FEDML_THROW("option --" + key + " expects an integer, got: " + it->second);
+  }
+}
+
+double Cli::get_double(const std::string& key, double def) {
+  known_.push_back(key);
+  const auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    FEDML_THROW("option --" + key + " expects a number, got: " + it->second);
+  }
+}
+
+bool Cli::get_flag(const std::string& key) {
+  known_.push_back(key);
+  const auto it = options_.find(key);
+  return it != options_.end() && it->second != "false" && it->second != "0";
+}
+
+void Cli::finish() const {
+  std::string unknown;
+  for (const auto& [key, value] : options_) {
+    (void)value;
+    if (std::find(known_.begin(), known_.end(), key) == known_.end()) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + key;
+    }
+  }
+  FEDML_CHECK(unknown.empty(), "unknown options for " + program_ + ": " + unknown);
+}
+
+}  // namespace fedml::util

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedml::util {
+
+/// Minimal `--key=value` / `--flag` command-line parser for the bench and
+/// example binaries. Unknown keys are rejected only when `finish()` is
+/// called, so harnesses declare every option they read.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Read an option with a default; records the key as known.
+  std::string get_string(const std::string& key, const std::string& def);
+  std::int64_t get_int(const std::string& key, std::int64_t def);
+  double get_double(const std::string& key, double def);
+  bool get_flag(const std::string& key);
+
+  /// Throws util::Error listing any unrecognised options.
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> known_;
+  std::string program_;
+};
+
+}  // namespace fedml::util

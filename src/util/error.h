@@ -1,0 +1,39 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fedml::util {
+
+/// Error type thrown by FEDML_CHECK / FEDML_THROW. Derives from
+/// std::runtime_error so callers can catch either type.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace fedml::util
+
+/// Throw fedml::util::Error with file/line context.
+#define FEDML_THROW(msg) \
+  ::fedml::util::detail::throw_error(__FILE__, __LINE__, (msg))
+
+/// Precondition/invariant check; always on (cheap relative to the math here).
+#define FEDML_CHECK(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::fedml::util::detail::throw_error(                           \
+          __FILE__, __LINE__,                                       \
+          std::string("check failed: " #cond " — ") + (msg));       \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,51 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace fedml::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_sink_mutex;
+Log::Sink& sink_storage() {
+  static Log::Sink sink;
+  return sink;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  sink_storage() = std::move(sink);
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::lock_guard lock(g_sink_mutex);
+  if (sink_storage()) {
+    sink_storage()(level, message);
+  } else {
+    std::cerr << "[fedml " << level_name(level) << "] " << message << '\n';
+  }
+}
+
+}  // namespace fedml::util

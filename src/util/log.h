@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace fedml::util {
+
+/// Log severities, ordered.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal process-wide logger. Messages below the global level are
+/// discarded before formatting; the sink defaults to stderr and can be
+/// replaced (tests capture output this way). Thread-safe for concurrent
+/// emission (single atomic level; sink swaps are not expected mid-run).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Global minimum level (default kWarning — libraries should be quiet).
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Replace the sink; pass nullptr to restore the default stderr sink.
+  static void set_sink(Sink sink);
+
+  /// Emit (used by the FEDML_LOG macro; callable directly too).
+  static void write(LogLevel level, const std::string& message);
+
+  /// True iff a message at `level` would be emitted.
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+namespace detail {
+/// Stream-style message builder that emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Log::write(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace fedml::util
+
+/// Stream-style logging, e.g. FEDML_LOG(kInfo) << "round " << r;
+/// The message is only formatted if the level is enabled.
+#define FEDML_LOG(severity)                                              \
+  if (!::fedml::util::Log::enabled(::fedml::util::LogLevel::severity)) { \
+  } else                                                                 \
+    ::fedml::util::detail::LogMessage(::fedml::util::LogLevel::severity)

@@ -1,0 +1,48 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace fedml::util {
+
+std::vector<double> Rng::normal_vector(std::size_t n, double mean, double stddev) {
+  std::vector<double> v(n);
+  std::normal_distribution<double> dist(mean, stddev);
+  for (auto& x : v) x = dist(engine_);
+  return v;
+}
+
+std::int64_t Rng::power_law_count(double exponent, std::int64_t min_value,
+                                  std::int64_t max_value) {
+  FEDML_CHECK(exponent > 1.0, "power-law exponent must exceed 1");
+  FEDML_CHECK(min_value >= 1 && max_value >= min_value,
+              "power-law bounds must satisfy 1 <= min <= max");
+  // Inverse-CDF sampling of a Pareto(min_value, exponent-1) variate.
+  const double u = std::max(uniform(), 1e-12);
+  const double x =
+      static_cast<double>(min_value) / std::pow(u, 1.0 / (exponent - 1.0));
+  const auto n = static_cast<std::int64_t>(std::llround(x));
+  return std::clamp(n, min_value, max_value);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  FEDML_CHECK(k <= n, "cannot sample more elements than the population size");
+  auto idx = permutation(n);
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace fedml::util

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace fedml::util {
+
+/// Deterministic, splittable random number generator.
+///
+/// Every experiment owns a root `Rng(seed)`. Per-node / per-phase streams are
+/// derived with `split(stream_id)`, which mixes the stream id into the seed
+/// with SplitMix64 so streams are statistically independent and — crucially —
+/// stable: node 7's stream does not change when the node count changes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : mixed_seed_(mix(seed)), engine_(mixed_seed_) {}
+
+  /// Derive an independent child stream. Deterministic in (seed, stream_id).
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const {
+    Rng child(0);
+    child.mixed_seed_ = mix(mixed_seed_ ^ mix(stream_id + 0x9e3779b97f4a7c15ULL));
+    child.engine_.seed(child.mixed_seed_);
+    return child;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal (mean 0, stddev 1).
+  double normal() { return std::normal_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Normal with the given mean/stddev.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Vector of iid normals.
+  std::vector<double> normal_vector(std::size_t n, double mean = 0.0,
+                                    double stddev = 1.0);
+
+  /// Pareto-flavoured sample count used for "samples per node follows a
+  /// power law" (paper Table I). Clamped to [min_value, max_value].
+  std::int64_t power_law_count(double exponent, std::int64_t min_value,
+                               std::int64_t max_value);
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Sample k distinct indices from [0, n) without replacement.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Access to the raw engine for std distributions not wrapped above.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::uint64_t mixed_seed_ = 0;
+  std::mt19937_64 engine_;
+
+  /// SplitMix64 finalizer — good avalanche, used purely for seed mixing.
+  static std::uint64_t mix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+}  // namespace fedml::util

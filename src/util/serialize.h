@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fedml::util {
+
+/// Append-only binary buffer used to serialize model parameters for the
+/// simulated platform/edge uplink. Little-endian POD layout; this is a
+/// simulator, so we only need a self-consistent wire format plus an accurate
+/// byte count for the communication-cost model.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+  void write_u32(std::uint32_t v) { write_pod(v); }
+  void write_u64(std::uint64_t v) { write_pod(v); }
+  void write_i64(std::int64_t v) { write_pod(v); }
+  void write_f64(double v) { write_pod(v); }
+
+  void write_bytes(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  void write_f64_span(const double* data, std::size_t n) {
+    write_u64(n);
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), bytes, bytes + n * sizeof(double));
+  }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void write_pod(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential reader over a ByteWriter buffer; throws util::Error on
+/// truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t read_u8() { return read_pod<std::uint8_t>(); }
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_pod<std::int64_t>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  std::vector<std::uint8_t> read_bytes(std::size_t n) {
+    require(n);
+    std::vector<std::uint8_t> out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::vector<double> read_f64_vector() {
+    const auto n = read_u64();
+    require(n * sizeof(double));
+    std::vector<double> v(n);
+    std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return v;
+  }
+
+  std::string read_string() {
+    const auto n = read_u64();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void require(std::size_t n) {
+    FEDML_CHECK(pos_ + n <= buf_.size(), "truncated buffer");
+  }
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fedml::util

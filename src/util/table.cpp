@@ -1,0 +1,104 @@
+#include "util/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace fedml::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FEDML_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  FEDML_CHECK(row.size() == headers_.size(),
+              "row arity must match header arity");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render_cell(const Cell& c) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<std::int64_t>(&c)) {
+    os << *i;
+  } else {
+    os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t j = 0; j < headers_.size(); ++j) widths[j] = headers_[j].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      r.push_back(render_cell(row[j]));
+      widths[j] = std::max(widths[j], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  const auto rule = [&] {
+    os << '+';
+    for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      os << ' ' << cells[j] << std::string(widths[j] - cells[j].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& r : rendered) emit(r);
+  rule();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t j = 0; j < headers_.size(); ++j) {
+    if (j) os << ',';
+    os << csv_escape(headers_[j]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j) os << ',';
+      os << csv_escape(render_cell(row[j]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream f(path);
+  FEDML_CHECK(f.good(), "cannot open CSV output file: " + path);
+  write_csv(f);
+}
+
+}  // namespace fedml::util

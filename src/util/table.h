@@ -1,0 +1,45 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fedml::util {
+
+/// One table cell: string, integer, or floating point value.
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Column-aligned ASCII table used by the benchmark harnesses to print the
+/// rows/series the paper reports. Also emits CSV for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<Cell> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// Render the aligned ASCII form (with a title banner if given).
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Render RFC-4180-ish CSV (quotes strings containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: write CSV to a file path; throws util::Error on failure.
+  void write_csv_file(const std::string& path) const;
+
+  /// Floating point precision used when rendering doubles (default 4).
+  void set_precision(int digits) { precision_ = digits; }
+
+ private:
+  [[nodiscard]] std::string render_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace fedml::util

@@ -1,0 +1,113 @@
+// Property-based fuzzing of the autodiff engine: random compositions of
+// smooth ops are generated per seed, and their autodiff gradients (first
+// AND second order, via random Hessian-vector products) are checked against
+// central finite differences. This is the broad-coverage companion to the
+// per-op gradcheck suite.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autodiff/ops.h"
+#include "autodiff/var.h"
+#include "util/rng.h"
+
+namespace fedml::autodiff {
+namespace {
+
+namespace ops = fedml::autodiff::ops;
+using tensor::Tensor;
+
+/// A random smooth scalar function of a 3×2 input, built from a seed. Only
+/// smooth ops participate (no relu/abs/clamp — kinks break finite
+/// differences), and magnitudes are kept tame with tanh/sigmoid squashing.
+std::function<Var(const Var&)> random_program(std::uint64_t seed) {
+  return [seed](const Var& x) {
+    util::Rng rng(seed);
+    Var h = x;  // 3×2 throughout the unary stages
+    const int depth = 2 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int d = 0; d < depth; ++d) {
+      switch (rng.uniform_int(0, 6)) {
+        case 0: h = ops::tanh(h); break;
+        case 1: h = ops::sigmoid(h); break;
+        case 2: h = ops::exp(ops::smul(h, 0.5)); break;
+        case 3: {
+          Tensor c(3, 2);
+          for (std::size_t i = 0; i < 3; ++i)
+            for (std::size_t j = 0; j < 2; ++j) c(i, j) = rng.uniform(0.3, 1.5);
+          h = ops::mul(h, ops::constant(c));
+          break;
+        }
+        case 4: {
+          Tensor w(2, 2);
+          for (std::size_t i = 0; i < 2; ++i)
+            for (std::size_t j = 0; j < 2; ++j) w(i, j) = rng.uniform(-0.8, 0.8);
+          h = ops::matmul(h, ops::constant(w));
+          break;
+        }
+        case 5: h = ops::add(h, ops::smul(ops::square(ops::tanh(h)), 0.3)); break;
+        case 6: h = ops::sub(h, ops::smul(ops::sigmoid(h), 0.4)); break;
+      }
+    }
+    // Random smooth reduction to a scalar.
+    switch (rng.uniform_int(0, 2)) {
+      case 0: return ops::mean(ops::square(h));
+      case 1: return ops::sum(ops::logsumexp_rows(h));
+      default: return ops::squared_norm(ops::softmax_rows(h));
+    }
+  };
+}
+
+class AutodiffFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AutodiffFuzz, GradientMatchesFiniteDifferences) {
+  const auto f = random_program(GetParam());
+  util::Rng rng(GetParam() ^ 0xf00d);
+  Tensor x0 = Tensor::randn(3, 2, rng, 0.0, 0.5);
+
+  Var x(x0, /*requires_grad=*/true);
+  const Var g = grad(f(x), {x})[0];
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      Tensor p = x0, m = x0;
+      p(i, j) += eps;
+      m(i, j) -= eps;
+      const double num = (f(Var(p)).item() - f(Var(m)).item()) / (2 * eps);
+      EXPECT_NEAR(g.value()(i, j), num, 5e-5)
+          << "seed " << GetParam() << " entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(AutodiffFuzz, HvpMatchesFiniteDifferenceOfGradient) {
+  const auto f = random_program(GetParam());
+  util::Rng rng(GetParam() ^ 0xbeef);
+  Tensor x0 = Tensor::randn(3, 2, rng, 0.0, 0.5);
+  Tensor v = Tensor::randn(3, 2, rng);
+
+  // Autodiff HVP via double backward.
+  Var x(x0, /*requires_grad=*/true);
+  const Var g = grad(f(x), {x}, {.create_graph = true})[0];
+  const Var hv = grad(ops::dot(g, ops::constant(v)), {x})[0];
+
+  // Finite difference of the (autodiff) gradient along v.
+  const double eps = 1e-5;
+  const auto grad_at = [&](const Tensor& point) {
+    Var xv(point, true);
+    return grad(f(xv), {xv})[0].value();
+  };
+  const Tensor num =
+      (grad_at(x0 + v * eps) - grad_at(x0 - v * (eps))) * (1.0 / (2 * eps));
+  EXPECT_LT(tensor::max_abs_diff(hv.value(), num), 5e-4)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutodiffFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace fedml::autodiff

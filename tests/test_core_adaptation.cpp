@@ -1,0 +1,157 @@
+#include "core/adaptation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "data/synthetic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::core {
+namespace {
+
+using tensor::Tensor;
+
+data::Dataset toy_task(std::size_t n, std::size_t d, std::size_t classes,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Dataset ds;
+  ds.x = Tensor::randn(n, d, rng);
+  ds.y.resize(n);
+  for (auto& y : ds.y)
+    y = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(classes) - 1));
+  return ds;
+}
+
+TEST(AdaptationCurve, AverageIsPointwise) {
+  AdaptationCurve a{{1.0, 2.0}, {0.1, 0.2}};
+  AdaptationCurve b{{3.0, 4.0}, {0.3, 0.4}};
+  const auto m = AdaptationCurve::average({a, b});
+  EXPECT_DOUBLE_EQ(m.loss[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.loss[1], 3.0);
+  EXPECT_DOUBLE_EQ(m.accuracy[1], 0.3);
+}
+
+TEST(AdaptationCurve, AverageRejectsEmptyOrRagged) {
+  EXPECT_THROW(AdaptationCurve::average({}), util::Error);
+  AdaptationCurve a{{1.0}, {0.1}};
+  AdaptationCurve b{{1.0, 2.0}, {0.1, 0.2}};
+  EXPECT_THROW(AdaptationCurve::average({a, b}), util::Error);
+}
+
+TEST(EvaluateAdaptation, CurveHasStepsPlusOnePoints) {
+  const auto model = nn::make_softmax_regression(4, 3);
+  util::Rng rng(1);
+  const auto theta = model->init_params(rng);
+  const auto curve = evaluate_adaptation(*model, theta, toy_task(6, 4, 3, 2),
+                                         toy_task(9, 4, 3, 3), 0.1, 5);
+  EXPECT_EQ(curve.loss.size(), 6u);
+  EXPECT_EQ(curve.accuracy.size(), 6u);
+}
+
+TEST(EvaluateAdaptation, FirstPointIsPreAdaptation) {
+  const auto model = nn::make_softmax_regression(4, 3);
+  util::Rng rng(1);
+  const auto theta = model->init_params(rng);
+  const auto eval = toy_task(9, 4, 3, 3);
+  const auto curve =
+      evaluate_adaptation(*model, theta, toy_task(6, 4, 3, 2), eval, 0.1, 2);
+  EXPECT_NEAR(curve.loss[0], empirical_loss(*model, theta, eval), 1e-12);
+}
+
+TEST(EvaluateAdaptation, AdaptingOnEvalSetMonotonicallyImproves) {
+  // When adapt and eval sets coincide and the model is convex, every SGD
+  // step with a small rate must reduce the measured loss.
+  const auto model = nn::make_softmax_regression(4, 3);
+  util::Rng rng(7);
+  const auto theta = model->init_params(rng);
+  const auto d = toy_task(12, 4, 3, 8);
+  const auto curve = evaluate_adaptation(*model, theta, d, d, 0.1, 6);
+  for (std::size_t s = 1; s < curve.loss.size(); ++s)
+    EXPECT_LT(curve.loss[s], curve.loss[s - 1]);
+}
+
+TEST(EvaluateAdaptation, TransformSeesCurrentParameters) {
+  const auto model = nn::make_softmax_regression(3, 2);
+  util::Rng rng(5);
+  const auto theta = model->init_params(rng);
+  const auto d = toy_task(5, 3, 2, 6);
+  std::size_t calls = 0;
+  double last_norm = -1.0;
+  const auto transform = [&](const nn::ParamList& params,
+                             const data::Dataset& clean) {
+    ++calls;
+    last_norm = nn::param_norm(params);
+    return clean;
+  };
+  (void)evaluate_adaptation(*model, theta, d, d, 0.1, 3, transform);
+  EXPECT_EQ(calls, 4u);  // steps + 1 evaluations
+  EXPECT_GE(last_norm, 0.0);
+}
+
+TEST(EvaluateAdaptation, RejectsEmptySets) {
+  const auto model = nn::make_softmax_regression(3, 2);
+  util::Rng rng(5);
+  const auto theta = model->init_params(rng);
+  const data::Dataset empty;
+  const auto d = toy_task(5, 3, 2, 6);
+  EXPECT_THROW(evaluate_adaptation(*model, theta, empty, d, 0.1, 1), util::Error);
+  EXPECT_THROW(evaluate_adaptation(*model, theta, d, empty, 0.1, 1), util::Error);
+}
+
+TEST(EvaluateTargets, AveragesOverTargetNodes) {
+  data::SyntheticConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.input_dim = 8;
+  cfg.num_classes = 3;
+  cfg.min_samples = 14;
+  cfg.max_samples = 20;
+  const auto fd = data::make_synthetic(cfg);
+  const auto model = nn::make_softmax_regression(8, 3);
+  util::Rng rng(9);
+  const auto theta = model->init_params(rng);
+  util::Rng eval_rng(10);
+  const auto curve =
+      evaluate_targets(*model, theta, fd, {7, 8, 9}, 5, 0.05, 4, eval_rng);
+  EXPECT_EQ(curve.loss.size(), 5u);
+  for (const auto a : curve.accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(EvaluateTargets, DeterministicGivenSameRngSeed) {
+  data::SyntheticConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.input_dim = 6;
+  cfg.num_classes = 3;
+  const auto fd = data::make_synthetic(cfg);
+  const auto model = nn::make_softmax_regression(6, 3);
+  util::Rng rng(9);
+  const auto theta = model->init_params(rng);
+  util::Rng r1(42), r2(42);
+  const auto a = evaluate_targets(*model, theta, fd, {4, 5}, 5, 0.05, 2, r1);
+  const auto b = evaluate_targets(*model, theta, fd, {4, 5}, 5, 0.05, 2, r2);
+  EXPECT_EQ(a.loss, b.loss);
+}
+
+TEST(EvaluateTargets, SkipsTooSmallNodesButNotAll) {
+  data::SyntheticConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.min_samples = 12;
+  cfg.max_samples = 16;
+  auto fd = data::make_synthetic(cfg);
+  fd.nodes[1] = data::subset(fd.nodes[1], {0, 1});  // too small for K=5
+  const auto model = nn::make_softmax_regression(fd.input_dim, fd.num_classes);
+  util::Rng rng(3);
+  const auto theta = model->init_params(rng);
+  util::Rng er(4);
+  const auto curve = evaluate_targets(*model, theta, fd, {0, 1}, 5, 0.05, 1, er);
+  EXPECT_EQ(curve.loss.size(), 2u);
+  util::Rng er2(4);
+  EXPECT_THROW(evaluate_targets(*model, theta, fd, {1}, 5, 0.05, 1, er2),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace fedml::core

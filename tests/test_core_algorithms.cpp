@@ -1,0 +1,204 @@
+#include "core/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/params.h"
+#include "util/rng.h"
+
+namespace fedml::core {
+namespace {
+
+struct Fixture {
+  data::FederatedDataset fd;
+  std::shared_ptr<nn::Module> model;
+  std::vector<fed::EdgeNode> nodes;
+  nn::ParamList theta0;
+
+  explicit Fixture(std::size_t num_nodes = 8, double alpha_beta = 0.5,
+                   std::uint64_t seed = 3) {
+    data::SyntheticConfig cfg;
+    cfg.num_nodes = num_nodes;
+    cfg.alpha = alpha_beta;
+    cfg.beta = alpha_beta;
+    cfg.input_dim = 10;
+    cfg.num_classes = 4;
+    cfg.min_samples = 14;
+    cfg.max_samples = 24;
+    cfg.seed = seed;
+    fd = data::make_synthetic(cfg);
+    model = nn::make_softmax_regression(cfg.input_dim, cfg.num_classes);
+    std::vector<std::size_t> ids(num_nodes);
+    for (std::size_t i = 0; i < num_nodes; ++i) ids[i] = i;
+    util::Rng rng(seed + 100);
+    nodes = fed::make_edge_nodes(fd, ids, 5, rng);
+    util::Rng init(seed + 200);
+    theta0 = model->init_params(init);
+  }
+};
+
+TEST(FedML, ReducesMetaObjective) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.05;
+  cfg.total_iterations = 60;
+  cfg.local_steps = 5;
+  cfg.threads = 2;
+  const double before = global_meta_loss(*f.model, f.theta0, f.nodes, cfg.alpha);
+  const auto result = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_LT(result.history.back().global_loss, before);
+  EXPECT_EQ(result.history.size(), 12u);  // 60/5 aggregations
+  EXPECT_EQ(result.comm.aggregations, 12u);
+  EXPECT_EQ(result.theta.size(), f.theta0.size());
+}
+
+TEST(FedML, HistoryIterationsAreAggregationBoundaries) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.total_iterations = 20;
+  cfg.local_steps = 7;  // uneven tail block
+  cfg.threads = 1;
+  const auto result = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  ASSERT_EQ(result.history.size(), 3u);
+  EXPECT_EQ(result.history[0].iteration, 7u);
+  EXPECT_EQ(result.history[1].iteration, 14u);
+  EXPECT_EQ(result.history[2].iteration, 20u);
+}
+
+TEST(FedML, TrackLossFalseSkipsHistory) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.total_iterations = 10;
+  cfg.local_steps = 5;
+  cfg.track_loss = false;
+  const auto result = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_TRUE(result.history.empty());
+}
+
+TEST(FedML, DeterministicAcrossRuns) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.total_iterations = 15;
+  cfg.local_steps = 5;
+  cfg.threads = 4;
+  const auto a = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  const auto b = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_DOUBLE_EQ(nn::param_distance(a.theta, b.theta), 0.0);
+}
+
+TEST(FedML, FirstOrderVariantRunsAndDiffers) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.total_iterations = 20;
+  cfg.local_steps = 5;
+  cfg.alpha = 0.3;  // large α so the curvature term matters
+  cfg.beta = 0.05;
+  const auto second = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  cfg.order = MetaOrder::kFirstOrder;
+  const auto first = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_GT(nn::param_distance(second.theta, first.theta), 1e-9);
+}
+
+TEST(FedAvg, ReducesEmpiricalLoss) {
+  Fixture f;
+  FedAvgConfig cfg;
+  cfg.lr = 0.05;
+  cfg.total_iterations = 60;
+  cfg.local_steps = 5;
+  cfg.threads = 2;
+  const double before = global_empirical_loss(*f.model, f.theta0, f.nodes);
+  const auto result = train_fedavg(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_LT(result.history.back().global_loss, before);
+}
+
+TEST(FedAvg, UsesWholeLocalDataset) {
+  // FedAvg must fit the *training* split too (it trains on train∪test), so
+  // its loss on the train split should drop markedly from θ0.
+  Fixture f;
+  FedAvgConfig cfg;
+  cfg.lr = 0.1;
+  cfg.total_iterations = 80;
+  cfg.local_steps = 4;
+  const auto result = train_fedavg(*f.model, f.nodes, f.theta0, cfg);
+  double before = 0.0, after = 0.0;
+  for (const auto& n : f.nodes) {
+    before += n.weight * empirical_loss(*f.model, f.theta0, n.data.train);
+    after += n.weight * empirical_loss(*f.model, result.theta, n.data.train);
+  }
+  EXPECT_LT(after, before * 0.9);
+}
+
+TEST(RobustFedML, GeneratesAdversarialDataOnSchedule) {
+  Fixture f;
+  RobustFedMLConfig cfg;
+  cfg.base.alpha = 0.05;
+  cfg.base.beta = 0.05;
+  cfg.base.total_iterations = 30;
+  cfg.base.local_steps = 5;
+  cfg.base.threads = 2;
+  cfg.rounds_between = 2;   // generate every 10 iterations
+  cfg.max_generations = 2;  // R = 2
+  cfg.ascent_steps = 3;
+  cfg.nu = 0.1;
+  const auto result = train_robust_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_FALSE(result.history.empty());
+  EXPECT_EQ(result.theta.size(), f.theta0.size());
+}
+
+TEST(RobustFedML, StillReducesMetaObjective) {
+  Fixture f;
+  RobustFedMLConfig cfg;
+  cfg.base.alpha = 0.05;
+  cfg.base.beta = 0.05;
+  cfg.base.total_iterations = 40;
+  cfg.base.local_steps = 5;
+  cfg.rounds_between = 4;
+  cfg.nu = 0.05;
+  cfg.ascent_steps = 2;
+  const double before =
+      global_meta_loss(*f.model, f.theta0, f.nodes, cfg.base.alpha);
+  const auto result = train_robust_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_LT(result.history.back().global_loss, before);
+}
+
+TEST(Reptile, ReducesMetaObjective) {
+  Fixture f;
+  ReptileConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta_rep = 0.3;
+  cfg.inner_steps = 3;
+  cfg.total_iterations = 60;
+  cfg.local_steps = 5;
+  const double before = global_meta_loss(*f.model, f.theta0, f.nodes, cfg.alpha);
+  const auto result = train_reptile(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_LT(result.history.back().global_loss, before);
+}
+
+TEST(Trainers, CommCostScalesInverselyWithT0) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.total_iterations = 40;
+  cfg.track_loss = false;
+  cfg.local_steps = 1;
+  const auto freq = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  cfg.local_steps = 10;
+  const auto rare = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_EQ(freq.comm.aggregations, 40u);
+  EXPECT_EQ(rare.comm.aggregations, 4u);
+  EXPECT_NEAR(freq.comm.bytes_up / rare.comm.bytes_up, 10.0, 1e-9);
+}
+
+TEST(GlobalLosses, WeightedByNodeSize) {
+  Fixture f;
+  // Manually recompute the weighted meta loss.
+  double manual = 0.0;
+  for (const auto& n : f.nodes) {
+    manual += n.weight *
+              meta_loss(*f.model, f.theta0, n.data.train, n.data.test, 0.05);
+  }
+  EXPECT_NEAR(global_meta_loss(*f.model, f.theta0, f.nodes, 0.05), manual, 1e-12);
+}
+
+}  // namespace
+}  // namespace fedml::core

@@ -1,0 +1,302 @@
+// Tests for the extension features layered on the paper's core algorithms:
+// multi-step inner loops, optimizer choice for the meta-update, FedProx,
+// client sampling, and upload-failure injection.
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "robust/adversary.h"
+#include "data/synthetic.h"
+#include "nn/params.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace fedml::core {
+namespace {
+
+using tensor::Tensor;
+
+data::Dataset toy_task(std::size_t n, std::size_t d, std::size_t classes,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Dataset ds;
+  ds.x = Tensor::randn(n, d, rng);
+  ds.y.resize(n);
+  for (auto& y : ds.y)
+    y = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(classes) - 1));
+  return ds;
+}
+
+struct Fixture {
+  data::FederatedDataset fd;
+  std::shared_ptr<nn::Module> model;
+  std::vector<fed::EdgeNode> nodes;
+  nn::ParamList theta0;
+
+  Fixture() {
+    data::SyntheticConfig cfg;
+    cfg.num_nodes = 8;
+    cfg.input_dim = 10;
+    cfg.num_classes = 4;
+    cfg.min_samples = 14;
+    cfg.max_samples = 24;
+    cfg.seed = 3;
+    fd = data::make_synthetic(cfg);
+    model = nn::make_softmax_regression(cfg.input_dim, cfg.num_classes);
+    std::vector<std::size_t> ids(8);
+    for (std::size_t i = 0; i < 8; ++i) ids[i] = i;
+    util::Rng rng(103);
+    nodes = fed::make_edge_nodes(fd, ids, 5, rng);
+    util::Rng init(203);
+    theta0 = model->init_params(init);
+  }
+};
+
+// ------------------------------------------------------- multi-step MAML ----
+
+TEST(MultiStepMeta, OneStepMatchesSingleStepApi) {
+  const auto model = nn::make_softmax_regression(4, 3);
+  util::Rng rng(7);
+  const auto theta = model->init_params(rng);
+  const auto train = toy_task(5, 4, 3, 8);
+  const auto test = toy_task(7, 4, 3, 9);
+  const auto g1 = meta_gradient(*model, theta, train, test, 0.1);
+  const auto gm = meta_gradient_multistep(*model, theta, train, {&test}, 0.1, 1);
+  for (std::size_t k = 0; k < g1.size(); ++k)
+    EXPECT_TRUE(tensor::allclose(g1[k].value(), gm[k].value(), 1e-10, 1e-12));
+}
+
+TEST(MultiStepMeta, MatchesFiniteDifferencesAtDepthThree) {
+  const auto model = nn::make_softmax_regression(3, 2);
+  util::Rng rng(17);
+  const auto theta = model->init_params(rng);
+  const auto train = toy_task(5, 3, 2, 18);
+  const auto test = toy_task(6, 3, 2, 19);
+  const double alpha = 0.08;
+  const std::size_t steps = 3;
+
+  const auto g = meta_gradient_multistep(*model, theta, train, {&test}, alpha,
+                                         steps);
+  const auto num = testing::numerical_gradient(
+      [&](const nn::ParamList& p) {
+        return meta_loss_multistep(*model, p, train, test, alpha, steps);
+      },
+      theta);
+  EXPECT_LT(testing::max_param_diff(num, g), 1e-5);
+}
+
+TEST(MultiStepMeta, DeeperInnerLoopChangesGradient) {
+  const auto model = nn::make_softmax_regression(4, 3);
+  util::Rng rng(27);
+  const auto theta = model->init_params(rng);
+  const auto train = toy_task(6, 4, 3, 28);
+  const auto test = toy_task(6, 4, 3, 29);
+  const auto g1 = meta_gradient_multistep(*model, theta, train, {&test}, 0.2, 1);
+  const auto g3 = meta_gradient_multistep(*model, theta, train, {&test}, 0.2, 3);
+  double diff = 0.0;
+  for (std::size_t k = 0; k < g1.size(); ++k)
+    diff = std::max(diff, tensor::max_abs_diff(g1[k].value(), g3[k].value()));
+  EXPECT_GT(diff, 1e-8);
+}
+
+TEST(MultiStepMeta, FedMLWithTwoInnerStepsRuns) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.05;
+  cfg.inner_steps = 2;
+  cfg.total_iterations = 30;
+  cfg.local_steps = 5;
+  cfg.threads = 2;
+  const double before = global_meta_loss(*f.model, f.theta0, f.nodes, cfg.alpha);
+  const auto r = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_LT(r.history.back().global_loss, before);
+}
+
+TEST(MultiStepMeta, RejectsZeroSteps) {
+  const auto model = nn::make_softmax_regression(3, 2);
+  util::Rng rng(1);
+  const auto theta = model->init_params(rng);
+  const auto d = toy_task(5, 3, 2, 2);
+  EXPECT_THROW(meta_gradient_multistep(*model, theta, d, {&d}, 0.1, 0),
+               util::Error);
+}
+
+// ----------------------------------------------------- optimizer plumbing ----
+
+TEST(MetaOptimizer, AdamVariantTrainsAndDiffersFromSgd) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.02;
+  cfg.total_iterations = 30;
+  cfg.local_steps = 5;
+  cfg.track_loss = false;
+  const auto sgd = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  cfg.meta_optimizer = nn::OptimizerKind::kAdam;
+  const auto adam = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_GT(nn::param_distance(sgd.theta, adam.theta), 1e-9);
+}
+
+// ----------------------------------------------------------------- FedProx ----
+
+TEST(FedProx, ReducesLossAndStaysNearAnchorForLargeMu) {
+  Fixture f;
+  FedProxConfig cfg;
+  cfg.lr = 0.05;
+  cfg.total_iterations = 60;
+  cfg.local_steps = 10;
+  const double before = global_empirical_loss(*f.model, f.theta0, f.nodes);
+  const auto r = train_fedprox(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_LT(r.history.back().global_loss, before);
+
+  // A huge proximal coefficient pins the iterates near θ0.
+  FedProxConfig pinned = cfg;
+  pinned.mu_prox = 20.0;  // lr·μ = 1 — max pinning while stable
+  pinned.track_loss = false;
+  const auto rp = train_fedprox(*f.model, f.nodes, f.theta0, pinned);
+  EXPECT_LT(nn::param_distance(rp.theta, f.theta0),
+            nn::param_distance(r.theta, f.theta0));
+}
+
+TEST(FedProx, ZeroMuMatchesFedAvg) {
+  Fixture f;
+  FedProxConfig pcfg;
+  pcfg.lr = 0.05;
+  pcfg.mu_prox = 0.0;
+  pcfg.total_iterations = 20;
+  pcfg.local_steps = 5;
+  pcfg.track_loss = false;
+  FedAvgConfig acfg;
+  acfg.lr = 0.05;
+  acfg.total_iterations = 20;
+  acfg.local_steps = 5;
+  acfg.track_loss = false;
+  const auto prox = train_fedprox(*f.model, f.nodes, f.theta0, pcfg);
+  const auto avg = train_fedavg(*f.model, f.nodes, f.theta0, acfg);
+  EXPECT_NEAR(nn::param_distance(prox.theta, avg.theta), 0.0, 1e-12);
+}
+
+TEST(FedProx, RejectsNegativeMu) {
+  Fixture f;
+  FedProxConfig cfg;
+  cfg.mu_prox = -1.0;
+  EXPECT_THROW(train_fedprox(*f.model, f.nodes, f.theta0, cfg), util::Error);
+}
+
+TEST(FedProx, RejectsUnstableLrMuProduct) {
+  Fixture f;
+  FedProxConfig cfg;
+  cfg.lr = 0.05;
+  cfg.mu_prox = 100.0;  // lr·μ = 5 ≥ 2 — divergent oscillation
+  EXPECT_THROW(train_fedprox(*f.model, f.nodes, f.theta0, cfg), util::Error);
+}
+
+// -------------------------------------------------- adversarial FedML (ADML) --
+
+TEST(AdversarialFedML, TrainsAndImprovesRobustnessOverPlain) {
+  Fixture f;
+  FedMLConfig base;
+  base.alpha = 0.05;
+  base.beta = 0.05;
+  base.total_iterations = 60;
+  base.local_steps = 5;
+  base.threads = 2;
+  base.track_loss = false;
+  const auto plain = train_fedml(*f.model, f.nodes, f.theta0, base);
+
+  AdversarialFedMLConfig acfg;
+  acfg.base = base;
+  acfg.xi = 0.2;
+  const auto at = train_adversarial_fedml(*f.model, f.nodes, f.theta0, acfg);
+
+  // Robustness: average FGSM loss over the source nodes' test sets after a
+  // one-step clean adaptation.
+  const auto adv_loss = [&](const nn::ParamList& theta) {
+    double total = 0.0;
+    for (const auto& n : f.nodes) {
+      const auto phi = adapt(*f.model, theta, n.data.train, base.alpha, 1);
+      const auto adv =
+          robust::fgsm_attack(*f.model, phi, n.data.test, acfg.xi);
+      total += n.weight * empirical_loss(*f.model, phi, adv);
+    }
+    return total;
+  };
+  EXPECT_LT(adv_loss(at.theta), adv_loss(plain.theta));
+}
+
+TEST(AdversarialFedML, RejectsNegativeXi) {
+  Fixture f;
+  AdversarialFedMLConfig cfg;
+  cfg.xi = -0.1;
+  EXPECT_THROW(train_adversarial_fedml(*f.model, f.nodes, f.theta0, cfg),
+               util::Error);
+}
+
+// ----------------------------------------- participation & failure injection --
+
+TEST(Participation, PartialParticipationStillTrains) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.05;
+  cfg.total_iterations = 60;
+  cfg.local_steps = 5;
+  cfg.participation = 0.5;
+  const double before = global_meta_loss(*f.model, f.theta0, f.nodes, cfg.alpha);
+  const auto r = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_LT(r.history.back().global_loss, before);
+  EXPECT_GT(r.comm.node_rounds_idle, 0u);
+  // Uplink bytes reflect only the sampled participants.
+  FedMLConfig full = cfg;
+  full.participation = 1.0;
+  full.track_loss = false;
+  const auto rf = train_fedml(*f.model, f.nodes, f.theta0, full);
+  EXPECT_LT(r.comm.bytes_up, rf.comm.bytes_up);
+}
+
+TEST(Participation, FailureInjectionIsSurvivable) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.05;
+  cfg.total_iterations = 60;
+  cfg.local_steps = 5;
+  cfg.upload_failure_prob = 0.3;
+  const double before = global_meta_loss(*f.model, f.theta0, f.nodes, cfg.alpha);
+  const auto r = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_GT(r.comm.uploads_dropped, 0u);
+  EXPECT_LT(r.history.back().global_loss, before);
+}
+
+TEST(Participation, DeterministicGivenPlatformSeed) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.05;
+  cfg.total_iterations = 30;
+  cfg.local_steps = 5;
+  cfg.participation = 0.5;
+  cfg.upload_failure_prob = 0.2;
+  cfg.threads = 4;
+  cfg.track_loss = false;
+  const auto a = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  const auto b = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_DOUBLE_EQ(nn::param_distance(a.theta, b.theta), 0.0);
+  cfg.platform_seed = 999;
+  const auto c = train_fedml(*f.model, f.nodes, f.theta0, cfg);
+  EXPECT_GT(nn::param_distance(a.theta, c.theta), 0.0);
+}
+
+TEST(Participation, InvalidConfigsRejected) {
+  Fixture f;
+  FedMLConfig cfg;
+  cfg.participation = 0.0;
+  EXPECT_THROW(train_fedml(*f.model, f.nodes, f.theta0, cfg), util::Error);
+  FedMLConfig cfg2;
+  cfg2.upload_failure_prob = 1.0;
+  EXPECT_THROW(train_fedml(*f.model, f.nodes, f.theta0, cfg2), util::Error);
+}
+
+}  // namespace
+}  // namespace fedml::core

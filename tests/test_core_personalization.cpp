@@ -1,0 +1,92 @@
+#include "core/personalization.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "data/synthetic.h"
+#include "fed/node.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::core {
+namespace {
+
+TEST(FleetMetrics, SummaryStatisticsAreCorrect) {
+  FleetMetrics m;
+  m.per_node_accuracy = {0.2, 0.8, 0.5, 1.0, 0.4};
+  m.finalize();
+  EXPECT_NEAR(m.mean, (0.2 + 0.8 + 0.5 + 1.0 + 0.4) / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.worst, 0.2);
+  EXPECT_DOUBLE_EQ(m.median, 0.5);
+  EXPECT_GT(m.p10, 0.2 - 1e-12);
+  EXPECT_LT(m.p10, 0.4);
+}
+
+TEST(FleetMetrics, SingleNode) {
+  FleetMetrics m;
+  m.per_node_accuracy = {0.7};
+  m.finalize();
+  EXPECT_DOUBLE_EQ(m.mean, 0.7);
+  EXPECT_DOUBLE_EQ(m.worst, 0.7);
+  EXPECT_DOUBLE_EQ(m.median, 0.7);
+}
+
+TEST(FleetMetrics, EmptyThrows) {
+  FleetMetrics m;
+  EXPECT_THROW(m.finalize(), util::Error);
+}
+
+TEST(EvaluateFleet, ProducesOneEntryPerUsableNode) {
+  data::SyntheticConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.input_dim = 8;
+  cfg.num_classes = 3;
+  const auto fd = data::make_synthetic(cfg);
+  const auto model = nn::make_softmax_regression(8, 3);
+  util::Rng rng(1);
+  const auto theta = model->init_params(rng);
+  util::Rng er(2);
+  const auto fleet = evaluate_fleet(*model, theta, fd, {0, 1, 2, 3}, 5, 0.05,
+                                    3, er);
+  EXPECT_EQ(fleet.per_node_accuracy.size(), 4u);
+  for (const auto a : fleet.per_node_accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  EXPECT_GE(fleet.mean, fleet.worst);
+  EXPECT_GE(fleet.median, fleet.p10 - 1e-12);
+}
+
+TEST(EvaluateFleet, TrainingImprovesWorstNode) {
+  data::SyntheticConfig cfg;
+  cfg.num_nodes = 12;
+  cfg.input_dim = 10;
+  cfg.num_classes = 4;
+  cfg.seed = 9;
+  const auto fd = data::make_synthetic(cfg);
+  const auto model = nn::make_softmax_regression(10, 4);
+  std::vector<std::size_t> ids(12);
+  for (std::size_t i = 0; i < 12; ++i) ids[i] = i;
+  util::Rng rng(10);
+  auto nodes = fed::make_edge_nodes(fd, ids, 5, rng);
+  util::Rng init(11);
+  const auto theta0 = model->init_params(init);
+
+  FedMLConfig tcfg;
+  tcfg.alpha = 0.05;
+  tcfg.beta = 0.05;
+  tcfg.total_iterations = 80;
+  tcfg.local_steps = 5;
+  tcfg.track_loss = false;
+  const auto trained = train_fedml(*model, nodes, theta0, tcfg);
+
+  util::Rng e1(12), e2(12);
+  const auto before = evaluate_fleet(*model, theta0, fd, ids, 5, 0.05, 3, e1);
+  const auto after =
+      evaluate_fleet(*model, trained.theta, fd, ids, 5, 0.05, 3, e2);
+  EXPECT_GT(after.mean, before.mean);
+  EXPECT_GE(after.worst, before.worst);
+}
+
+}  // namespace
+}  // namespace fedml::core

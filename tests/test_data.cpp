@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/mnist_like.h"
+#include "data/sent140_like.h"
+#include "data/synthetic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::data {
+namespace {
+
+using tensor::Tensor;
+
+Dataset toy_dataset(std::size_t n, std::size_t d) {
+  Dataset ds;
+  ds.x = Tensor(n, d);
+  ds.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) ds.x(i, j) = static_cast<double>(i * d + j);
+    ds.y[i] = i % 3;
+  }
+  return ds;
+}
+
+// ------------------------------------------------------------- dataset ----
+
+TEST(Dataset, SubsetSelectsRows) {
+  const auto ds = toy_dataset(5, 2);
+  const auto s = subset(ds, {4, 0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(s.x(1, 1), 1.0);
+  EXPECT_EQ(s.y[0], 1u);
+  EXPECT_THROW(subset(ds, {9}), util::Error);
+}
+
+TEST(Dataset, ConcatStacksRows) {
+  const auto a = toy_dataset(2, 2);
+  const auto b = toy_dataset(3, 2);
+  const auto c = concat(a, b);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_DOUBLE_EQ(c.x(2, 0), b.x(0, 0));
+  EXPECT_EQ(c.y.size(), 5u);
+}
+
+TEST(Dataset, ConcatWithEmptySide) {
+  const auto a = toy_dataset(2, 2);
+  const Dataset empty;
+  EXPECT_EQ(concat(a, empty).size(), 2u);
+  EXPECT_EQ(concat(empty, a).size(), 2u);
+}
+
+TEST(Dataset, ConcatRejectsWidthMismatch) {
+  EXPECT_THROW(concat(toy_dataset(2, 2), toy_dataset(2, 3)), util::Error);
+}
+
+TEST(Dataset, SplitKPartitionsExactly) {
+  const auto ds = toy_dataset(10, 2);
+  util::Rng rng(1);
+  const auto s = split_k(ds, 3, rng);
+  EXPECT_EQ(s.train.size(), 3u);
+  EXPECT_EQ(s.test.size(), 7u);
+  // No sample appears on both sides (samples are unique by x(⋅,0)).
+  std::set<double> train_ids, test_ids;
+  for (std::size_t i = 0; i < 3; ++i) train_ids.insert(s.train.x(i, 0));
+  for (std::size_t i = 0; i < 7; ++i) test_ids.insert(s.test.x(i, 0));
+  for (const auto v : train_ids) EXPECT_EQ(test_ids.count(v), 0u);
+  EXPECT_EQ(train_ids.size() + test_ids.size(), 10u);
+}
+
+TEST(Dataset, SplitKRequiresStrictlyMoreThanK) {
+  const auto ds = toy_dataset(5, 2);
+  util::Rng rng(1);
+  EXPECT_THROW(split_k(ds, 5, rng), util::Error);
+  EXPECT_THROW(split_k(ds, 0, rng), util::Error);
+}
+
+TEST(Dataset, SampleStats) {
+  FederatedDataset fd;
+  fd.nodes.push_back(toy_dataset(10, 1));
+  fd.nodes.push_back(toy_dataset(20, 1));
+  const auto s = sample_stats(fd);
+  EXPECT_EQ(s.nodes, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 15.0);
+  EXPECT_DOUBLE_EQ(s.stdev, 5.0);
+  EXPECT_EQ(fd.total_samples(), 30u);
+}
+
+TEST(Dataset, SourceTargetSplitIsDisjointAndComplete) {
+  util::Rng rng(2);
+  const auto s = split_source_target(100, 0.8, rng);
+  EXPECT_EQ(s.source_ids.size(), 80u);
+  EXPECT_EQ(s.target_ids.size(), 20u);
+  std::set<std::size_t> all(s.source_ids.begin(), s.source_ids.end());
+  all.insert(s.target_ids.begin(), s.target_ids.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(Dataset, SourceTargetSplitEdgeFractions) {
+  util::Rng rng(2);
+  const auto s = split_source_target(2, 0.99, rng);
+  EXPECT_EQ(s.source_ids.size(), 1u);  // clamped: target side stays nonempty
+  EXPECT_THROW(split_source_target(1, 0.5, rng), util::Error);
+  EXPECT_THROW(split_source_target(10, 1.5, rng), util::Error);
+}
+
+// ----------------------------------------------------------- synthetic ----
+
+TEST(Synthetic, MatchesPaperShape) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 50;
+  const auto fd = make_synthetic(cfg);
+  EXPECT_EQ(fd.num_nodes(), 50u);
+  EXPECT_EQ(fd.input_dim, 60u);
+  EXPECT_EQ(fd.num_classes, 10u);
+  for (const auto& n : fd.nodes) {
+    EXPECT_GE(n.size(), cfg.min_samples);
+    EXPECT_LE(n.size(), cfg.max_samples);
+    for (const auto y : n.y) EXPECT_LT(y, 10u);
+  }
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 5;
+  const auto a = make_synthetic(cfg);
+  const auto b = make_synthetic(cfg);
+  ASSERT_EQ(a.nodes[3].size(), b.nodes[3].size());
+  EXPECT_TRUE(tensor::allclose(a.nodes[3].x, b.nodes[3].x));
+}
+
+TEST(Synthetic, SeedChangesData) {
+  SyntheticConfig a, b;
+  a.num_nodes = b.num_nodes = 5;
+  b.seed = a.seed + 1;
+  const auto fa = make_synthetic(a);
+  const auto fb = make_synthetic(b);
+  EXPECT_FALSE(fa.nodes[0].size() == fb.nodes[0].size() &&
+               tensor::allclose(fa.nodes[0].x, fb.nodes[0].x));
+}
+
+TEST(Synthetic, HeterogeneityGrowsWithAlphaBeta) {
+  // Feature means should spread out more for larger β̄.
+  const auto spread = [](double beta) {
+    SyntheticConfig cfg;
+    cfg.alpha = 0.0;
+    cfg.beta = beta;
+    cfg.num_nodes = 30;
+    const auto fd = make_synthetic(cfg);
+    double var = 0.0;
+    for (const auto& n : fd.nodes) {
+      double m = 0.0;
+      for (std::size_t i = 0; i < n.size(); ++i) m += n.x(i, 0);
+      m /= static_cast<double>(n.size());
+      var += m * m;
+    }
+    return var / 30.0;
+  };
+  EXPECT_GT(spread(4.0), spread(0.0));
+}
+
+TEST(Synthetic, NameEncodesParameters) {
+  SyntheticConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.beta = 0.0;
+  cfg.num_nodes = 2;
+  EXPECT_NE(make_synthetic(cfg).name.find("1.0"), std::string::npos);
+}
+
+// ---------------------------------------------------------- mnist-like ----
+
+TEST(MnistLike, EachNodeHasExactlyTwoDigits) {
+  MnistLikeConfig cfg;
+  cfg.num_nodes = 20;
+  const auto fd = make_mnist_like(cfg);
+  for (const auto& n : fd.nodes) {
+    std::set<std::size_t> classes(n.y.begin(), n.y.end());
+    EXPECT_LE(classes.size(), 2u);
+    EXPECT_GE(classes.size(), 1u);
+  }
+}
+
+TEST(MnistLike, DigitsMatchAssignment) {
+  MnistLikeConfig cfg;
+  cfg.num_nodes = 30;
+  const auto fd = make_mnist_like(cfg);
+  for (std::size_t i = 0; i < fd.num_nodes(); ++i) {
+    const auto [c1, c2] = mnist_like_node_digits(i, cfg.num_classes);
+    EXPECT_NE(c1, c2);
+    for (const auto y : fd.nodes[i].y) EXPECT_TRUE(y == c1 || y == c2);
+  }
+}
+
+TEST(MnistLike, PixelsInUnitInterval) {
+  MnistLikeConfig cfg;
+  cfg.num_nodes = 3;
+  const auto fd = make_mnist_like(cfg);
+  for (const auto& n : fd.nodes) {
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      for (std::size_t j = 0; j < n.dim(); ++j) {
+        EXPECT_GE(n.x(i, j), 0.0);
+        EXPECT_LE(n.x(i, j), 1.0);
+      }
+    }
+  }
+}
+
+TEST(MnistLike, InputDimIsSideSquared) {
+  MnistLikeConfig cfg;
+  cfg.side = 8;
+  cfg.num_nodes = 2;
+  EXPECT_EQ(make_mnist_like(cfg).input_dim, 64u);
+}
+
+TEST(MnistLike, PrototypesAreLinearlySeparableEnough) {
+  // A nearest-prototype classifier on the noiseless prototypes must be
+  // perfect; with noise, samples should still be closest to their own class
+  // prototype most of the time. We check the labels are learnable by
+  // verifying within-class distances are smaller than cross-class on average.
+  MnistLikeConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.pixel_noise = 0.15;
+  const auto fd = make_mnist_like(cfg);
+  // Compute class means over all nodes.
+  std::vector<Tensor> mean(cfg.num_classes, Tensor(1, fd.input_dim));
+  std::vector<std::size_t> count(cfg.num_classes, 0);
+  for (const auto& n : fd.nodes) {
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      for (std::size_t j = 0; j < fd.input_dim; ++j)
+        mean[n.y[i]](0, j) += n.x(i, j);
+      count[n.y[i]]++;
+    }
+  }
+  double within = 0.0, across = 0.0;
+  std::size_t wn = 0, an = 0;
+  for (std::size_t c = 0; c < cfg.num_classes; ++c) {
+    if (count[c] == 0) continue;
+    mean[c] *= 1.0 / static_cast<double>(count[c]);
+  }
+  for (const auto& n : fd.nodes) {
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      for (std::size_t c = 0; c < cfg.num_classes; ++c) {
+        if (count[c] == 0) continue;
+        double d2 = 0.0;
+        for (std::size_t j = 0; j < fd.input_dim; ++j) {
+          const double d = n.x(i, j) - mean[c](0, j);
+          d2 += d * d;
+        }
+        if (c == n.y[i]) {
+          within += d2;
+          ++wn;
+        } else {
+          across += d2;
+          ++an;
+        }
+      }
+    }
+  }
+  EXPECT_LT(within / static_cast<double>(wn), across / static_cast<double>(an));
+}
+
+// --------------------------------------------------------- sent140-like ----
+
+TEST(Sent140Like, ShapeAndLabels) {
+  Sent140LikeConfig cfg;
+  cfg.num_nodes = 12;
+  const auto fd = make_sent140_like(cfg);
+  EXPECT_EQ(fd.num_nodes(), 12u);
+  EXPECT_EQ(fd.input_dim, cfg.embed_dim);
+  EXPECT_EQ(fd.num_classes, 2u);
+  for (const auto& n : fd.nodes) {
+    for (const auto y : n.y) EXPECT_LT(y, 2u);
+  }
+}
+
+TEST(Sent140Like, HeavyTailedSampleCounts) {
+  Sent140LikeConfig cfg;
+  cfg.num_nodes = 300;
+  const auto fd = make_sent140_like(cfg);
+  const auto s = sample_stats(fd);
+  EXPECT_GT(s.stdev, 10.0);  // heavy tail — matches Table I's large stdev
+  EXPECT_GT(s.mean, static_cast<double>(cfg.min_samples));
+}
+
+TEST(Sent140Like, LabelsAreStatisticallyLearnable) {
+  // With per-class token distributions, the mean-embedded features must be
+  // informative: class-conditional feature means should differ.
+  Sent140LikeConfig cfg;
+  cfg.num_nodes = 20;
+  const auto fd = make_sent140_like(cfg);
+  Tensor m0(1, fd.input_dim), m1(1, fd.input_dim);
+  std::size_t n0 = 0, n1 = 0;
+  for (const auto& n : fd.nodes) {
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      for (std::size_t j = 0; j < fd.input_dim; ++j) {
+        if (n.y[i] == 0) m0(0, j) += n.x(i, j);
+        else m1(0, j) += n.x(i, j);
+      }
+      (n.y[i] == 0 ? n0 : n1)++;
+    }
+  }
+  m0 *= 1.0 / static_cast<double>(n0);
+  m1 *= 1.0 / static_cast<double>(n1);
+  EXPECT_GT(tensor::norm(m0 - m1), 0.01);
+}
+
+TEST(Sent140Like, DeterministicInSeed) {
+  Sent140LikeConfig cfg;
+  cfg.num_nodes = 4;
+  const auto a = make_sent140_like(cfg);
+  const auto b = make_sent140_like(cfg);
+  EXPECT_TRUE(tensor::allclose(a.nodes[2].x, b.nodes[2].x));
+}
+
+}  // namespace
+}  // namespace fedml::data

@@ -1,0 +1,121 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::data {
+namespace {
+
+using tensor::Tensor;
+
+class DataIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("fedml_io_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+Dataset sample_dataset() {
+  util::Rng rng(1);
+  Dataset d;
+  d.x = Tensor::randn(7, 3, rng);
+  d.y = {0, 2, 1, 1, 0, 2, 1};
+  return d;
+}
+
+TEST_F(DataIoTest, DatasetRoundTripsExactly) {
+  const auto d = sample_dataset();
+  save_dataset_csv(path("d.csv"), d);
+  const auto back = load_dataset_csv(path("d.csv"));
+  ASSERT_EQ(back.size(), d.size());
+  EXPECT_TRUE(tensor::allclose(back.x, d.x, 0.0, 0.0));  // bit-exact
+  EXPECT_EQ(back.y, d.y);
+}
+
+TEST_F(DataIoTest, HeaderIsValidated) {
+  {
+    std::ofstream f(path("bad.csv"));
+    f << "f0,f1,target\n1,2,0\n";  // wrong label column name
+  }
+  EXPECT_THROW(load_dataset_csv(path("bad.csv")), util::Error);
+}
+
+TEST_F(DataIoTest, RaggedRowsRejected) {
+  {
+    std::ofstream f(path("ragged.csv"));
+    f << "f0,f1,label\n1,2,0\n1,0\n";
+  }
+  EXPECT_THROW(load_dataset_csv(path("ragged.csv")), util::Error);
+}
+
+TEST_F(DataIoTest, NonNumericFieldRejected) {
+  {
+    std::ofstream f(path("alpha.csv"));
+    f << "f0,label\nhello,0\n";
+  }
+  EXPECT_THROW(load_dataset_csv(path("alpha.csv")), util::Error);
+}
+
+TEST_F(DataIoTest, FractionalLabelRejected) {
+  {
+    std::ofstream f(path("frac.csv"));
+    f << "f0,label\n1.0,0.5\n";
+  }
+  EXPECT_THROW(load_dataset_csv(path("frac.csv")), util::Error);
+}
+
+TEST_F(DataIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_dataset_csv(path("nope.csv")), util::Error);
+}
+
+TEST_F(DataIoTest, FederationRoundTrips) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.input_dim = 5;
+  cfg.num_classes = 3;
+  const auto fd = make_synthetic(cfg);
+  save_federation_csv(dir_.string(), fd);
+  const auto back = load_federation_csv(dir_.string());
+  EXPECT_EQ(back.name, fd.name);
+  EXPECT_EQ(back.input_dim, fd.input_dim);
+  EXPECT_EQ(back.num_classes, fd.num_classes);
+  ASSERT_EQ(back.num_nodes(), fd.num_nodes());
+  for (std::size_t i = 0; i < fd.num_nodes(); ++i) {
+    EXPECT_TRUE(tensor::allclose(back.nodes[i].x, fd.nodes[i].x, 0.0, 0.0));
+    EXPECT_EQ(back.nodes[i].y, fd.nodes[i].y);
+  }
+}
+
+TEST_F(DataIoTest, FederationLabelRangeValidated) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.input_dim = 4;
+  cfg.num_classes = 3;
+  const auto fd = make_synthetic(cfg);
+  save_federation_csv(dir_.string(), fd);
+  // Corrupt one node file with an out-of-range label.
+  {
+    std::ofstream f(path("node_1.csv"), std::ios::trunc);
+    f << "f0,f1,f2,f3,label\n0,0,0,0,99\n";
+  }
+  EXPECT_THROW(load_federation_csv(dir_.string()), util::Error);
+}
+
+}  // namespace
+}  // namespace fedml::data

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "data/synthetic.h"
+#include "fed/node.h"
+#include "fed/platform.h"
+#include "nn/params.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::fed {
+namespace {
+
+using tensor::Tensor;
+
+data::FederatedDataset small_federation(std::size_t nodes = 6) {
+  data::SyntheticConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.min_samples = 12;
+  cfg.max_samples = 20;
+  return data::make_synthetic(cfg);
+}
+
+nn::ParamList tiny_params(double value) {
+  nn::ParamList p;
+  p.emplace_back(Tensor::full(2, 2, value), true);
+  return p;
+}
+
+std::vector<EdgeNode> tiny_nodes(std::size_t n) {
+  util::Rng rng(0);
+  const auto fd = small_federation(n);
+  std::vector<std::size_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  return make_edge_nodes(fd, ids, 5, rng);
+}
+
+// ---------------------------------------------------------------- nodes ----
+
+TEST(EdgeNodes, WeightsSumToOneAndAreProportional) {
+  const auto nodes = tiny_nodes(6);
+  double total = 0.0;
+  for (const auto& n : nodes) total += n.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // ω_i ∝ |D_i|
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const double r1 = nodes[i].weight / nodes[0].weight;
+    const double r2 = static_cast<double>(nodes[i].local_samples()) /
+                      static_cast<double>(nodes[0].local_samples());
+    EXPECT_NEAR(r1, r2, 1e-9);
+  }
+}
+
+TEST(EdgeNodes, KShotSplitApplied) {
+  const auto nodes = tiny_nodes(4);
+  for (const auto& n : nodes) {
+    EXPECT_EQ(n.data.train.size(), 5u);
+    EXPECT_GE(n.data.test.size(), 1u);
+  }
+}
+
+TEST(EdgeNodes, SkipsNodesSmallerThanK) {
+  auto fd = small_federation(3);
+  // Shrink node 1 to below K.
+  fd.nodes[1] = data::subset(fd.nodes[1], {0, 1, 2});
+  util::Rng rng(0);
+  const auto nodes = make_edge_nodes(fd, {0, 1, 2}, 5, rng);
+  EXPECT_EQ(nodes.size(), 2u);
+  double total = 0.0;
+  for (const auto& n : nodes) total += n.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(EdgeNodes, ThrowsWhenAllTooSmall) {
+  auto fd = small_federation(2);
+  util::Rng rng(0);
+  EXPECT_THROW(make_edge_nodes(fd, {0, 1}, 50, rng), util::Error);
+  EXPECT_THROW(make_edge_nodes(fd, {}, 5, rng), util::Error);
+  EXPECT_THROW(make_edge_nodes(fd, {99}, 5, rng), util::Error);
+}
+
+// ------------------------------------------------------------- platform ----
+
+TEST(Platform, AggregateIsWeightedAverage) {
+  auto nodes = tiny_nodes(3);
+  const double w0 = nodes[0].weight, w1 = nodes[1].weight, w2 = nodes[2].weight;
+  nodes[0].params = tiny_params(1.0);
+  nodes[1].params = tiny_params(2.0);
+  nodes[2].params = tiny_params(4.0);
+  Platform::Config cfg;
+  Platform p(std::move(nodes), cfg);
+  const auto agg = p.aggregate();
+  EXPECT_NEAR(agg[0].value()(0, 0), w0 * 1.0 + w1 * 2.0 + w2 * 4.0, 1e-12);
+}
+
+TEST(Platform, BroadcastCopiesToAllNodes) {
+  Platform::Config cfg;
+  Platform p(tiny_nodes(3), cfg);
+  p.broadcast(tiny_params(7.0));
+  for (const auto& n : p.nodes())
+    EXPECT_DOUBLE_EQ(n.params[0].value()(1, 1), 7.0);
+  EXPECT_DOUBLE_EQ(p.global_params()[0].value()(0, 0), 7.0);
+}
+
+TEST(Platform, RunInvokesStepExactlyTPerNode) {
+  Platform::Config cfg;
+  cfg.total_iterations = 23;  // deliberately not a multiple of T0
+  cfg.local_steps = 5;
+  cfg.threads = 3;
+  Platform p(tiny_nodes(4), cfg);
+  p.broadcast(tiny_params(0.0));
+  std::atomic<int> calls{0};
+  const auto totals = p.run([&](EdgeNode&, std::size_t t) {
+    EXPECT_GE(t, 1u);
+    EXPECT_LE(t, 23u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 23 * 4);
+  EXPECT_EQ(totals.aggregations, 5u);  // ceil(23/5)
+}
+
+TEST(Platform, IterationNumbersAreSequentialPerNode) {
+  Platform::Config cfg;
+  cfg.total_iterations = 12;
+  cfg.local_steps = 4;
+  cfg.threads = 1;
+  Platform p(tiny_nodes(2), cfg);
+  p.broadcast(tiny_params(0.0));
+  std::vector<std::size_t> seen;
+  std::mutex m;
+  p.run([&](EdgeNode& n, std::size_t t) {
+    if (n.id == 0) {
+      std::lock_guard lock(m);
+      seen.push_back(t);
+    }
+  });
+  ASSERT_EQ(seen.size(), 12u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(Platform, AggregationHappensBetweenBlocks) {
+  // Each node adds its id+1 to its parameter every step; after the first
+  // aggregation the nodes must be synchronized to the weighted average.
+  Platform::Config cfg;
+  cfg.total_iterations = 2;
+  cfg.local_steps = 1;
+  cfg.threads = 1;
+  auto nodes = tiny_nodes(2);
+  const double w0 = nodes[0].weight, w1 = nodes[1].weight;
+  Platform p(std::move(nodes), cfg);
+  p.broadcast(tiny_params(0.0));
+  std::vector<double> first_seen;
+  std::mutex m;
+  p.run([&](EdgeNode& n, std::size_t t) {
+    if (t == 2) {
+      std::lock_guard lock(m);
+      first_seen.push_back(n.params[0].value()(0, 0));
+    }
+    tensor::Tensor v = n.params[0].value();
+    v += Tensor::full(2, 2, static_cast<double>(n.id) + 1.0);
+    n.params[0] = autodiff::Var(v, true);
+  });
+  const double expected = w0 * 1.0 + w1 * 2.0;
+  ASSERT_EQ(first_seen.size(), 2u);
+  EXPECT_NEAR(first_seen[0], expected, 1e-12);
+  EXPECT_NEAR(first_seen[1], expected, 1e-12);
+}
+
+TEST(Platform, CommAccountingMatchesPayload) {
+  Platform::Config cfg;
+  cfg.total_iterations = 10;
+  cfg.local_steps = 5;
+  Platform p(tiny_nodes(3), cfg);
+  const auto theta = tiny_params(0.0);
+  p.broadcast(theta);
+  const auto totals = p.run([](EdgeNode&, std::size_t) {});
+  const double payload = static_cast<double>(nn::serialized_size_bytes(theta));
+  EXPECT_EQ(totals.aggregations, 2u);
+  EXPECT_DOUBLE_EQ(totals.bytes_up, payload * 3 * 2);
+  EXPECT_DOUBLE_EQ(totals.bytes_down, payload * 3 * 2);
+  EXPECT_GT(totals.sim_seconds, 0.0);
+}
+
+TEST(Platform, DeterministicAcrossThreadCounts) {
+  const auto run_with = [](std::size_t threads) {
+    Platform::Config cfg;
+    cfg.total_iterations = 6;
+    cfg.local_steps = 3;
+    cfg.threads = threads;
+    Platform p(tiny_nodes(4), cfg);
+    p.broadcast(tiny_params(1.0));
+    p.run([](EdgeNode& n, std::size_t) {
+      // A deterministic per-node update using the node's own RNG stream.
+      tensor::Tensor v = n.params[0].value();
+      v *= 0.9;
+      v += Tensor::full(2, 2, n.rng.uniform() * 0.01);
+      n.params[0] = autodiff::Var(v, true);
+    });
+    return p.global_params()[0].value();
+  };
+  EXPECT_TRUE(tensor::allclose(run_with(1), run_with(4)));
+}
+
+TEST(Platform, UplinkCodecShapesAggregationAndBytes) {
+  Platform::Config cfg;
+  cfg.total_iterations = 2;
+  cfg.local_steps = 2;
+  // Codec that zeroes every upload and reports a 5-byte wire size.
+  cfg.uplink_codec = [](const nn::ParamList& p) {
+    return std::pair<nn::ParamList, std::size_t>(
+        nn::zeros_like({{p[0].value().rows(), p[0].value().cols()}}), 5);
+  };
+  Platform p(tiny_nodes(3), cfg);
+  p.broadcast(tiny_params(7.0));
+  const auto totals = p.run([](EdgeNode&, std::size_t) {});
+  // The aggregate of zeroed uploads is zero.
+  EXPECT_DOUBLE_EQ(tensor::sum(p.global_params()[0].value()), 0.0);
+  // Uplink counted at the codec's wire size: 3 nodes × 1 round × 5 bytes.
+  EXPECT_DOUBLE_EQ(totals.bytes_up, 15.0);
+}
+
+TEST(Stragglers, SpeedsAreAssignedAndPositive) {
+  auto nodes = tiny_nodes(5);
+  util::Rng rng(3);
+  assign_straggler_speeds(nodes, 0.5, rng);
+  bool any_not_one = false;
+  for (const auto& n : nodes) {
+    EXPECT_GT(n.compute_speed, 0.0);
+    if (std::abs(n.compute_speed - 1.0) > 1e-9) any_not_one = true;
+  }
+  EXPECT_TRUE(any_not_one);
+  EXPECT_THROW(assign_straggler_speeds(nodes, -1.0, rng), util::Error);
+}
+
+TEST(Stragglers, SlowestNodeDictatesRoundTime) {
+  const auto run_sim_time = [&](double slow_speed) {
+    auto nodes = tiny_nodes(3);
+    nodes[1].compute_speed = slow_speed;
+    Platform::Config cfg;
+    cfg.total_iterations = 10;
+    cfg.local_steps = 5;
+    Platform p(std::move(nodes), cfg);
+    p.broadcast(tiny_params(0.0));
+    return p.run([](EdgeNode&, std::size_t) {}).sim_seconds;
+  };
+  EXPECT_GT(run_sim_time(4.0), run_sim_time(1.0));
+}
+
+TEST(Platform, RejectsBadConfiguration) {
+  Platform::Config cfg;
+  cfg.local_steps = 0;
+  EXPECT_THROW(Platform(tiny_nodes(2), cfg), util::Error);
+  Platform::Config cfg2;
+  EXPECT_THROW(Platform({}, cfg2), util::Error);
+}
+
+TEST(Platform, RunRequiresBroadcastAndStep) {
+  Platform::Config cfg;
+  Platform p(tiny_nodes(2), cfg);
+  EXPECT_THROW(p.run([](EdgeNode&, std::size_t) {}), util::Error);  // no θ0
+  p.broadcast(tiny_params(0.0));
+  EXPECT_THROW(p.run(Platform::LocalStep{}), util::Error);  // no step fn
+}
+
+}  // namespace
+}  // namespace fedml::fed

@@ -1,0 +1,156 @@
+#include "fed/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "fed/secure_agg.h"
+#include "nn/params.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::fed {
+namespace {
+
+using tensor::Tensor;
+
+nn::ParamList sample_params(std::uint64_t seed, double scale = 1.0) {
+  util::Rng rng(seed);
+  nn::ParamList p;
+  p.emplace_back(Tensor::randn(4, 3, rng, 0.0, scale), true);
+  p.emplace_back(Tensor::randn(1, 3, rng, 0.0, scale), true);
+  return p;
+}
+
+// ------------------------------------------------------------- int8 ----
+
+TEST(QuantizeInt8, RoundTripWithinErrorBound) {
+  const auto p = sample_params(1);
+  const auto blob = quantize_int8(p);
+  const auto back = dequantize_int8(blob);
+  ASSERT_EQ(back.size(), p.size());
+  const double bound = int8_error_bound(p);
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    EXPECT_LT(tensor::max_abs_diff(back[k].value(), p[k].value()),
+              bound + 1e-12);
+    EXPECT_TRUE(back[k].value().same_shape(p[k].value()));
+  }
+}
+
+TEST(QuantizeInt8, CompressesAboutEightX) {
+  // Use a realistically sized tensor so headers don't dominate.
+  util::Rng rng(2);
+  nn::ParamList p;
+  p.emplace_back(Tensor::randn(196, 10, rng), true);
+  const auto blob = quantize_int8(p);
+  const std::size_t raw = nn::serialized_size_bytes(p);
+  EXPECT_LT(blob.size(), raw / 6);  // ~8× on the payload
+  EXPECT_GT(blob.size(), raw / 10);
+}
+
+TEST(QuantizeInt8, ZeroTensorSurvives) {
+  nn::ParamList p;
+  p.emplace_back(Tensor::zeros(3, 3), true);
+  const auto back = dequantize_int8(quantize_int8(p));
+  EXPECT_DOUBLE_EQ(tensor::sum(back[0].value()), 0.0);
+}
+
+TEST(QuantizeInt8, RejectsForeignBlob) {
+  CompressedBlob blob;
+  blob.bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(dequantize_int8(blob), util::Error);
+}
+
+// ------------------------------------------------------------- top-k ----
+
+TEST(TopK, KeepsLargestEntriesExactly) {
+  nn::ParamList p;
+  p.emplace_back(Tensor{{10.0, 0.1, -20.0}, {0.2, 5.0, -0.3}}, true);
+  const auto back = desparsify_topk(sparsify_topk(p, 0.5));
+  const Tensor& t = back[0].value();
+  EXPECT_DOUBLE_EQ(t(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(t(0, 2), -20.0);
+  EXPECT_DOUBLE_EQ(t(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 0.0);  // dropped
+  EXPECT_DOUBLE_EQ(t(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t(1, 2), 0.0);
+}
+
+TEST(TopK, FullFractionIsLossless) {
+  const auto p = sample_params(3);
+  const auto back = desparsify_topk(sparsify_topk(p, 1.0));
+  for (std::size_t k = 0; k < p.size(); ++k)
+    EXPECT_TRUE(tensor::allclose(back[k].value(), p[k].value(), 0.0, 0.0));
+}
+
+TEST(TopK, BlobShrinksWithFraction) {
+  const auto p = sample_params(4);
+  const auto big = sparsify_topk(p, 1.0);
+  const auto small = sparsify_topk(p, 0.1);
+  EXPECT_LT(small.size(), big.size());
+}
+
+TEST(TopK, RejectsBadFraction) {
+  const auto p = sample_params(5);
+  EXPECT_THROW(sparsify_topk(p, 0.0), util::Error);
+  EXPECT_THROW(sparsify_topk(p, 1.5), util::Error);
+}
+
+TEST(TopK, ShapesPreserved) {
+  const auto p = sample_params(6);
+  const auto back = desparsify_topk(sparsify_topk(p, 0.3));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].rows(), 4u);
+  EXPECT_EQ(back[1].cols(), 3u);
+}
+
+// -------------------------------------------------------- secure agg ----
+
+TEST(SecureAgg, MasksCancelInTheSum) {
+  const std::size_t n = 4;
+  SecureAggregator agg(n, /*session_seed=*/77);
+  std::vector<nn::ParamList> plain, masked;
+  for (std::size_t i = 0; i < n; ++i) {
+    plain.push_back(sample_params(100 + i));
+    masked.push_back(agg.mask_contribution(i, plain[i]));
+  }
+  const auto sum_masked = SecureAggregator::sum_contributions(masked);
+  const auto sum_plain = SecureAggregator::sum_contributions(plain);
+  for (std::size_t k = 0; k < sum_plain.size(); ++k) {
+    EXPECT_LT(tensor::max_abs_diff(sum_masked[k].value(),
+                                   sum_plain[k].value()),
+              1e-9);
+  }
+}
+
+TEST(SecureAgg, IndividualContributionIsHidden) {
+  SecureAggregator agg(3, 11);
+  const auto p = sample_params(7, /*scale=*/0.01);  // tiny true signal
+  const auto masked = agg.mask_contribution(0, p);
+  // The mask magnitude dwarfs the signal, so the upload reveals ~nothing.
+  EXPECT_GT(nn::param_distance(masked, p), 10.0 * nn::param_norm(p));
+}
+
+TEST(SecureAgg, FreshSessionFreshMasks) {
+  const auto p = sample_params(8);
+  SecureAggregator a(3, 1), b(3, 2);
+  const auto ma = a.mask_contribution(0, p);
+  const auto mb = b.mask_contribution(0, p);
+  EXPECT_GT(nn::param_distance(ma, mb), 1e-6);
+}
+
+TEST(SecureAgg, DeterministicWithinSession) {
+  const auto p = sample_params(9);
+  SecureAggregator a(3, 5);
+  const auto m1 = a.mask_contribution(1, p);
+  const auto m2 = a.mask_contribution(1, p);
+  EXPECT_DOUBLE_EQ(nn::param_distance(m1, m2), 0.0);
+}
+
+TEST(SecureAgg, RejectsDegenerateConfigs) {
+  EXPECT_THROW(SecureAggregator(1, 5), util::Error);
+  SecureAggregator agg(2, 5);
+  EXPECT_THROW(agg.mask_contribution(2, sample_params(1)), util::Error);
+  EXPECT_THROW(SecureAggregator::sum_contributions({}), util::Error);
+}
+
+}  // namespace
+}  // namespace fedml::fed

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/params.h"
+#include "tensor/tensor.h"
+
+namespace fedml::testing {
+
+/// Central-difference numerical gradient of a scalar function of a parameter
+/// list. Used to validate autodiff (first order) and meta-gradients (second
+/// order, by differencing a function that itself contains a gradient step).
+inline std::vector<tensor::Tensor> numerical_gradient(
+    const std::function<double(const nn::ParamList&)>& f,
+    const nn::ParamList& params, double eps = 1e-5) {
+  std::vector<tensor::Tensor> grads;
+  grads.reserve(params.size());
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    tensor::Tensor g(params[k].rows(), params[k].cols());
+    for (std::size_t i = 0; i < params[k].rows(); ++i) {
+      for (std::size_t j = 0; j < params[k].cols(); ++j) {
+        nn::ParamList plus = nn::clone_leaves(params, /*requires_grad=*/false);
+        nn::ParamList minus = nn::clone_leaves(params, /*requires_grad=*/false);
+        {
+          tensor::Tensor t = plus[k].value();
+          t(i, j) += eps;
+          plus[k] = autodiff::Var(t, false);
+        }
+        {
+          tensor::Tensor t = minus[k].value();
+          t(i, j) -= eps;
+          minus[k] = autodiff::Var(t, false);
+        }
+        g(i, j) = (f(plus) - f(minus)) / (2.0 * eps);
+      }
+    }
+    grads.push_back(std::move(g));
+  }
+  return grads;
+}
+
+/// Max absolute elementwise difference across two parameter-shaped lists.
+inline double max_param_diff(const std::vector<tensor::Tensor>& a,
+                             const nn::ParamList& b) {
+  double m = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    m = std::max(m, tensor::max_abs_diff(a[k], b[k].value()));
+  }
+  return m;
+}
+
+}  // namespace fedml::testing

@@ -1,0 +1,227 @@
+// End-to-end integration tests: run the full pipeline (generator → federated
+// meta-training → target adaptation) on scaled-down versions of the paper's
+// experiments and assert the qualitative claims of Section VI.
+
+#include <gtest/gtest.h>
+
+#include "core/adaptation.h"
+#include "core/algorithms.h"
+#include "data/mnist_like.h"
+#include "data/sent140_like.h"
+#include "data/synthetic.h"
+#include "robust/adversary.h"
+#include "theory/quadratic.h"
+#include "util/rng.h"
+
+namespace fedml::core {
+namespace {
+
+struct Pipeline {
+  data::FederatedDataset fd;
+  std::shared_ptr<nn::Module> model;
+  std::vector<fed::EdgeNode> sources;
+  std::vector<std::size_t> target_ids;
+  nn::ParamList theta0;
+
+  explicit Pipeline(const data::FederatedDataset& dataset, std::uint64_t seed = 5)
+      : fd(dataset) {
+    model = nn::make_softmax_regression(fd.input_dim, fd.num_classes);
+    util::Rng rng(seed);
+    const auto split = data::split_source_target(fd.num_nodes(), 0.8, rng);
+    sources = fed::make_edge_nodes(fd, split.source_ids, 5, rng);
+    target_ids = split.target_ids;
+    util::Rng init(seed + 1);
+    theta0 = model->init_params(init);
+  }
+};
+
+data::FederatedDataset synthetic(double ab, std::size_t nodes = 15,
+                                 std::uint64_t seed = 42) {
+  data::SyntheticConfig cfg;
+  cfg.alpha = ab;
+  cfg.beta = ab;
+  cfg.num_nodes = nodes;
+  cfg.input_dim = 12;
+  cfg.num_classes = 5;
+  cfg.min_samples = 14;
+  cfg.max_samples = 26;
+  cfg.seed = seed;
+  return data::make_synthetic(cfg);
+}
+
+double final_gap(const TrainResult& r) { return r.history.back().global_loss; }
+
+// Figure 2(a): more similar nodes → smaller convergence error.
+TEST(Integration, ConvergenceErrorDecreasesWithNodeSimilarity) {
+  FedMLConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.03;
+  cfg.total_iterations = 100;
+  cfg.local_steps = 10;
+  cfg.threads = 4;
+
+  Pipeline similar(synthetic(0.0));
+  Pipeline dissimilar(synthetic(1.0));
+  const auto r_sim = train_fedml(*similar.model, similar.sources,
+                                 similar.theta0, cfg);
+  const auto r_dis = train_fedml(*dissimilar.model, dissimilar.sources,
+                                 dissimilar.theta0, cfg);
+  EXPECT_LT(final_gap(r_sim), final_gap(r_dis));
+}
+
+// Figure 2(b): with fixed T, larger T0 leaves a larger final loss.
+TEST(Integration, LargerT0HurtsConvergenceAtFixedT) {
+  Pipeline p(synthetic(0.5));
+  FedMLConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.03;
+  cfg.total_iterations = 100;
+  cfg.threads = 4;
+
+  cfg.local_steps = 1;
+  const auto r1 = train_fedml(*p.model, p.sources, p.theta0, cfg);
+  cfg.local_steps = 25;
+  const auto r25 = train_fedml(*p.model, p.sources, p.theta0, cfg);
+  EXPECT_LT(final_gap(r1), final_gap(r25));
+}
+
+// Figures 3(c)–(e): FedML adapts better than FedAvg at held-out targets.
+// The advantage requires genuinely conflicting per-node label functions
+// (see EXPERIMENTS.md): we use the Sent140-like task, whose per-node
+// sentiment drift makes the single global model a compromise, while the
+// meta-initialization is built to specialize in a few gradient steps.
+TEST(Integration, FedMLBeatsFedAvgAtTargetAdaptation) {
+  data::Sent140LikeConfig tcfg;
+  tcfg.num_nodes = 60;
+  tcfg.seed = 42;
+  const auto fd = data::make_sent140_like(tcfg);
+  const auto model = nn::make_mlp(fd.input_dim, {32, 16}, fd.num_classes);
+
+  util::Rng rng(5);
+  const auto split = data::split_source_target(fd.num_nodes(), 0.8, rng);
+  auto sources = fed::make_edge_nodes(fd, split.source_ids, 5, rng);
+  util::Rng init(6);
+  const auto theta0 = model->init_params(init);
+
+  FedMLConfig mcfg;
+  mcfg.alpha = 0.05;
+  mcfg.beta = 0.3;
+  mcfg.total_iterations = 150;
+  mcfg.local_steps = 5;
+  mcfg.threads = 4;
+  mcfg.track_loss = false;
+  const auto meta = train_fedml(*model, sources, theta0, mcfg);
+
+  FedAvgConfig acfg;
+  acfg.lr = 0.3;
+  acfg.total_iterations = 150;
+  acfg.local_steps = 5;
+  acfg.threads = 4;
+  acfg.track_loss = false;
+  const auto avg = train_fedavg(*model, sources, theta0, acfg);
+
+  util::Rng e1(7), e2(7);
+  const auto meta_curve = evaluate_targets(*model, meta.theta, fd,
+                                           split.target_ids, 5, 0.05, 5, e1);
+  const auto avg_curve = evaluate_targets(*model, avg.theta, fd,
+                                          split.target_ids, 5, 0.05, 5, e2);
+  // Loss is the robust comparator (accuracy quantizes on tiny target test
+  // sets); the meta-initialization must adapt to a strictly better fit at
+  // every positive step count.
+  for (std::size_t s = 1; s < meta_curve.loss.size(); ++s)
+    EXPECT_LT(meta_curve.loss[s], avg_curve.loss[s]) << "step " << s;
+}
+
+// Figure 3(b) / Theorem 3: the fast-adaptation gap at the target grows with
+// the target–source dissimilarity ‖θ_t* − θ_c*‖. On the neural pipeline,
+// cross-dataset accuracy comparisons are confounded by feature scale (see
+// EXPERIMENTS.md), so we verify the monotone relationship on the quadratic
+// testbed where every quantity is exact: the further the target task's
+// optimum sits from the meta-learned initialization, the larger the
+// post-adaptation optimality gap.
+TEST(Integration, AdaptationGapGrowsWithTargetDissimilarity) {
+  util::Rng rng(19);
+  const auto fed =
+      theory::QuadraticFederation::shared_curvature(8, 4, 1.0, 3.0, 1.0, rng);
+  const double alpha = 0.1;
+  const tensor::Tensor theta_c = fed.meta_minimizer(alpha);
+
+  const auto gap_for_target_distance = [&](double dist) {
+    // Target task: same curvature, center at distance `dist` from the
+    // sources' mean center along a fixed direction.
+    theory::QuadraticTask target = fed.tasks()[0];
+    for (std::size_t k = 0; k < 4; ++k)
+      target.center(k, 0) = theta_c(k, 0) + dist / 2.0;
+    const tensor::Tensor phi = target.adapted(theta_c, alpha);
+    return target.loss(phi);  // optimal adapted loss is 0 (at the center)
+  };
+  const double near = gap_for_target_distance(0.5);
+  const double mid = gap_for_target_distance(2.0);
+  const double far = gap_for_target_distance(6.0);
+  EXPECT_LT(near, mid);
+  EXPECT_LT(mid, far);
+}
+
+// Figure 4: Robust FedML degrades less than FedML under FGSM.
+TEST(Integration, RobustFedMLIsMoreRobustToFgsm) {
+  data::MnistLikeConfig dcfg;
+  dcfg.num_nodes = 20;
+  dcfg.side = 8;
+  dcfg.min_samples = 16;
+  dcfg.max_samples = 26;
+  Pipeline p(data::make_mnist_like(dcfg));
+
+  FedMLConfig base;
+  base.alpha = 0.05;
+  base.beta = 0.05;
+  base.total_iterations = 60;
+  base.local_steps = 5;
+  base.threads = 4;
+  base.track_loss = false;
+  const auto plain = train_fedml(*p.model, p.sources, p.theta0, base);
+
+  RobustFedMLConfig rcfg;
+  rcfg.base = base;
+  rcfg.lambda = 0.1;
+  rcfg.nu = 0.5;
+  rcfg.ascent_steps = 5;
+  rcfg.rounds_between = 3;
+  rcfg.max_generations = 2;
+  rcfg.clip = robust::ClipRange{{0.0, 1.0}};
+  const auto robust_run = train_robust_fedml(*p.model, p.sources, p.theta0, rcfg);
+
+  const double xi = 0.2;
+  const auto attack = [&](const nn::ParamList& params, const data::Dataset& d) {
+    return robust::fgsm_attack(*p.model, params, d, xi,
+                               robust::ClipRange{{0.0, 1.0}});
+  };
+  util::Rng e1(13), e2(13);
+  const auto plain_curve = evaluate_targets(*p.model, plain.theta, p.fd,
+                                            p.target_ids, 5, 0.05, 5, e1, attack);
+  const auto robust_curve =
+      evaluate_targets(*p.model, robust_run.theta, p.fd, p.target_ids, 5, 0.05,
+                       5, e2, attack);
+  EXPECT_GT(robust_curve.accuracy.back(), plain_curve.accuracy.back());
+}
+
+// The meta-initialization keeps improving with extra adaptation steps
+// (paper: "improves with additional gradient steps without overfitting").
+TEST(Integration, MetaModelKeepsImprovingWithMoreSteps) {
+  Pipeline p(synthetic(0.5, 20));
+  FedMLConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.03;
+  cfg.total_iterations = 120;
+  cfg.local_steps = 5;
+  cfg.threads = 4;
+  cfg.track_loss = false;
+  const auto meta = train_fedml(*p.model, p.sources, p.theta0, cfg);
+  util::Rng er(17);
+  const auto curve =
+      evaluate_targets(*p.model, meta.theta, p.fd, p.target_ids, 5, 0.05, 8, er);
+  EXPECT_GE(curve.accuracy.back(), curve.accuracy[1] - 0.02);
+  EXPECT_GT(curve.accuracy.back(), curve.accuracy[0]);
+}
+
+}  // namespace
+}  // namespace fedml::core

@@ -1,0 +1,102 @@
+#include "nn/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/params.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::nn {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "fedml_ckpt_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, RoundTripsParameters) {
+  const auto model = make_mlp(4, {3}, 2);
+  util::Rng rng(1);
+  const auto params = model->init_params(rng);
+  save_checkpoint(path_, *model, params);
+
+  const auto loaded = load_checkpoint_for(path_, *model);
+  ASSERT_EQ(loaded.size(), params.size());
+  for (std::size_t k = 0; k < params.size(); ++k)
+    EXPECT_TRUE(tensor::allclose(loaded[k].value(), params[k].value()));
+}
+
+TEST_F(CheckpointTest, StoresModelName) {
+  const auto model = make_softmax_regression(5, 3);
+  util::Rng rng(2);
+  save_checkpoint(path_, *model, model->init_params(rng));
+  const auto ckpt = load_checkpoint(path_);
+  EXPECT_EQ(ckpt.model_name, model->name());
+}
+
+TEST_F(CheckpointTest, RejectsWrongModel) {
+  const auto a = make_softmax_regression(5, 3);
+  const auto b = make_softmax_regression(5, 4);
+  util::Rng rng(3);
+  save_checkpoint(path_, *a, a->init_params(rng));
+  EXPECT_THROW(load_checkpoint_for(path_, *b), util::Error);
+}
+
+TEST_F(CheckpointTest, RejectsShapeMismatchEvenWithSameName) {
+  // Two Linear(5->3) instances share the name; corrupt the shape by saving a
+  // parameter list from a different architecture under model a's metadata.
+  const auto a = make_softmax_regression(5, 3);
+  util::Rng rng(4);
+  auto params = a->init_params(rng);
+  params.pop_back();  // drop the bias
+  save_checkpoint(path_, *a, params);
+  EXPECT_THROW(load_checkpoint_for(path_, *a), util::Error);
+}
+
+TEST_F(CheckpointTest, RejectsGarbageFile) {
+  {
+    std::ofstream f(path_, std::ios::binary);
+    f << "this is not a checkpoint";
+  }
+  EXPECT_THROW(load_checkpoint(path_), util::Error);
+}
+
+TEST_F(CheckpointTest, RejectsTruncatedFile) {
+  const auto model = make_softmax_regression(5, 3);
+  util::Rng rng(5);
+  save_checkpoint(path_, *model, model->init_params(rng));
+  // Truncate the file.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(load_checkpoint(path_), util::Error);
+}
+
+TEST_F(CheckpointTest, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.bin"), util::Error);
+}
+
+TEST_F(CheckpointTest, LoadedParamsAreTrainable) {
+  const auto model = make_softmax_regression(3, 2);
+  util::Rng rng(6);
+  save_checkpoint(path_, *model, model->init_params(rng));
+  const auto loaded = load_checkpoint_for(path_, *model);
+  for (const auto& p : loaded) EXPECT_TRUE(p.requires_grad());
+}
+
+}  // namespace
+}  // namespace fedml::nn

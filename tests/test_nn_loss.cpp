@@ -1,0 +1,127 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/ops.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::nn {
+namespace {
+
+namespace ops = fedml::autodiff::ops;
+using autodiff::Var;
+using tensor::Tensor;
+
+double manual_xent(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    double z = 0.0;
+    for (std::size_t j = 0; j < logits.cols(); ++j) z += std::exp(logits(i, j));
+    total += std::log(z) - logits(i, labels[i]);
+  }
+  return total / static_cast<double>(logits.rows());
+}
+
+TEST(SoftmaxCrossEntropy, MatchesManualComputation) {
+  util::Rng rng(1);
+  const Tensor logits = Tensor::randn(5, 4, rng);
+  const std::vector<std::size_t> labels{0, 3, 1, 2, 2};
+  const Var loss = softmax_cross_entropy(ops::constant(logits), labels);
+  EXPECT_NEAR(loss.item(), manual_xent(logits, labels), 1e-10);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  const Tensor logits = Tensor::zeros(3, 10);
+  const Var loss = softmax_cross_entropy(ops::constant(logits), {1, 5, 9});
+  EXPECT_NEAR(loss.item(), std::log(10.0), 1e-12);
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForLargeLogits) {
+  Tensor logits(1, 3);
+  logits(0, 0) = 1000.0;
+  logits(0, 1) = -1000.0;
+  logits(0, 2) = 0.0;
+  const Var loss = softmax_cross_entropy(ops::constant(logits), {0});
+  EXPECT_NEAR(loss.item(), 0.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOneHot) {
+  util::Rng rng(2);
+  const Tensor logits = Tensor::randn(4, 3, rng);
+  const std::vector<std::size_t> labels{2, 0, 1, 1};
+  Var x(logits, /*requires_grad=*/true);
+  const Var loss = softmax_cross_entropy(x, labels);
+  const Var g = autodiff::grad(loss, {x})[0];
+
+  const Tensor p = softmax_rows(logits);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double expected = (p(i, j) - (labels[i] == j ? 1.0 : 0.0)) / 4.0;
+      EXPECT_NEAR(g.value()(i, j), expected, 1e-10);
+    }
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsLabelArityMismatch) {
+  EXPECT_THROW(softmax_cross_entropy(ops::constant(Tensor(2, 3)), {0}),
+               util::Error);
+}
+
+TEST(MseLoss, KnownValue) {
+  const Var pred = ops::constant(Tensor{{1.0, 2.0}});
+  const Tensor target{{0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(mse_loss(pred, target).item(), (1.0 + 4.0) / 2.0);
+}
+
+TEST(MseLoss, ZeroAtTarget) {
+  const Tensor t{{1.0, -2.0}, {0.5, 3.0}};
+  EXPECT_DOUBLE_EQ(mse_loss(ops::constant(t), t).item(), 0.0);
+}
+
+TEST(MseLoss, GradientIsScaledResidual) {
+  const Tensor p0{{2.0, -1.0}};
+  const Tensor target{{1.0, 1.0}};
+  Var p(p0, true);
+  const Var g = autodiff::grad(mse_loss(p, target), {p})[0];
+  EXPECT_NEAR(g.value()(0, 0), 2.0 * (2.0 - 1.0) / 2.0, 1e-12);
+  EXPECT_NEAR(g.value()(0, 1), 2.0 * (-1.0 - 1.0) / 2.0, 1e-12);
+}
+
+TEST(Accuracy, CountsArgmaxHits) {
+  const Tensor logits{{1.0, 3.0}, {5.0, 0.0}, {0.0, 2.0}};
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0, 1}), 1.0);
+}
+
+TEST(Accuracy, RejectsArityMismatch) {
+  EXPECT_THROW(accuracy(Tensor(2, 2), {0}), util::Error);
+}
+
+TEST(SoftmaxRows, RowsSumToOne) {
+  util::Rng rng(3);
+  const Tensor p = softmax_rows(Tensor::randn(6, 5, rng, 0.0, 3.0));
+  for (std::size_t i = 0; i < 6; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_GT(p(i, j), 0.0);
+      s += p(i, j);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxRows, StableUnderLargeShifts) {
+  Tensor logits(1, 2);
+  logits(0, 0) = 5000.0;
+  logits(0, 1) = 4999.0;
+  const Tensor p = softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(p(0, 0)));
+  EXPECT_NEAR(p(0, 0), 1.0 / (1.0 + std::exp(-1.0)), 1e-9);
+}
+
+}  // namespace
+}  // namespace fedml::nn

@@ -1,0 +1,74 @@
+#include "nn/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace fedml::nn {
+namespace {
+
+using tensor::Tensor;
+
+Tensor logits_for(const std::vector<std::size_t>& preds, std::size_t classes) {
+  Tensor t(preds.size(), classes);
+  for (std::size_t i = 0; i < preds.size(); ++i) t(i, preds[i]) = 1.0;
+  return t;
+}
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  // true:  0 0 1 1 2 2 ; pred: 0 1 1 1 2 0
+  cm.add(logits_for({0, 1, 1, 1, 2, 0}, 3), {0, 0, 1, 1, 2, 2});
+  EXPECT_EQ(cm.total(), 6u);
+  EXPECT_EQ(cm.count(0, 0), 1u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(1, 1), 2u);
+  EXPECT_EQ(cm.count(2, 0), 1u);
+  EXPECT_NEAR(cm.accuracy(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // true: 1 1 1 0 0 ; pred: 1 1 0 0 1
+  cm.add(logits_for({1, 1, 0, 0, 1}, 2), {1, 1, 1, 0, 0});
+  // Class 1: TP=2, FP=1, FN=1 → P=2/3, R=2/3, F1=2/3.
+  EXPECT_NEAR(cm.precision(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.f1(1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, PerfectPredictorScoresOne) {
+  ConfusionMatrix cm(3);
+  cm.add(logits_for({0, 1, 2}, 3), {0, 1, 2});
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, EmptyAndDegenerateClasses) {
+  ConfusionMatrix cm(3);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 0.0);  // nothing predicted as 0
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);     // no true 2s
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+}
+
+TEST(ConfusionMatrix, AccumulatesAcrossBatches) {
+  ConfusionMatrix cm(2);
+  cm.add(logits_for({0}, 2), {0});
+  cm.add(logits_for({1}, 2), {0});
+  EXPECT_EQ(cm.total(), 2u);
+  EXPECT_NEAR(cm.accuracy(), 0.5, 1e-12);
+}
+
+TEST(ConfusionMatrix, Validation) {
+  EXPECT_THROW(ConfusionMatrix(1), util::Error);
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(logits_for({0, 1}, 2), {0}), util::Error);      // arity
+  EXPECT_THROW(cm.add(logits_for({0}, 3), {0}), util::Error);         // width
+  EXPECT_THROW(cm.add(logits_for({0}, 2), {5}), util::Error);         // label
+  EXPECT_THROW((void)cm.count(2, 0), util::Error);
+  EXPECT_THROW((void)cm.precision(9), util::Error);
+}
+
+}  // namespace
+}  // namespace fedml::nn

@@ -1,0 +1,165 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "autodiff/ops.h"
+#include "nn/embedding.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::nn {
+namespace {
+
+namespace ops = fedml::autodiff::ops;
+using autodiff::Var;
+using tensor::Tensor;
+
+TEST(Linear, ShapesAndNames) {
+  const Linear l(3, 2);
+  const auto shapes = l.param_shapes();
+  ASSERT_EQ(shapes.size(), 2u);
+  EXPECT_EQ(shapes[0].rows, 3u);
+  EXPECT_EQ(shapes[0].cols, 2u);
+  EXPECT_EQ(shapes[1].rows, 1u);
+  EXPECT_EQ(shapes[1].cols, 2u);
+  EXPECT_EQ(l.num_scalars(), 8u);
+  EXPECT_NE(l.name().find("Linear(3->2)"), std::string::npos);
+}
+
+TEST(Linear, NoBiasVariant) {
+  const Linear l(3, 2, /*bias=*/false);
+  EXPECT_EQ(l.param_shapes().size(), 1u);
+  EXPECT_EQ(l.num_scalars(), 6u);
+}
+
+TEST(Linear, ForwardKnownValues) {
+  const Linear l(2, 2);
+  ParamList p;
+  p.emplace_back(Tensor{{1.0, 2.0}, {3.0, 4.0}}, false);  // W
+  p.emplace_back(Tensor{{10.0, 20.0}}, false);            // b
+  const Var x = ops::constant(Tensor{{1.0, 1.0}});
+  const Var y = l.forward(p, x);
+  EXPECT_DOUBLE_EQ(y.value()(0, 0), 1 + 3 + 10);
+  EXPECT_DOUBLE_EQ(y.value()(0, 1), 2 + 4 + 20);
+}
+
+TEST(Linear, RejectsBadInputs) {
+  const Linear l(2, 2);
+  util::Rng rng(0);
+  auto p = l.init_params(rng);
+  EXPECT_THROW(l.forward(p, ops::constant(Tensor(1, 3))), util::Error);
+  p.pop_back();
+  EXPECT_THROW(l.forward(p, ops::constant(Tensor(1, 2))), util::Error);
+}
+
+TEST(Module, InitBiasesAreZeroMatricesAreNot) {
+  const Linear l(4, 3);
+  util::Rng rng(1);
+  const auto p = l.init_params(rng);
+  double wnorm = 0.0;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j) wnorm += std::abs(p[0].value()(i, j));
+  EXPECT_GT(wnorm, 0.0);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(p[1].value()(0, j), 0.0);
+  EXPECT_TRUE(p[0].requires_grad());
+}
+
+TEST(Module, InitIsDeterministicPerSeed) {
+  const Linear l(4, 3);
+  util::Rng r1(5), r2(5);
+  const auto a = l.init_params(r1);
+  const auto b = l.init_params(r2);
+  EXPECT_TRUE(tensor::allclose(a[0].value(), b[0].value()));
+}
+
+TEST(Activation, AppliesElementwise) {
+  const Activation relu(Activation::Kind::kRelu);
+  const Var y = relu.forward({}, ops::constant(Tensor{{-1.0, 2.0}}));
+  EXPECT_DOUBLE_EQ(y.value()(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.value()(0, 1), 2.0);
+  const Activation tanh(Activation::Kind::kTanh);
+  EXPECT_NEAR(tanh.forward({}, ops::constant(Tensor{{1.0}})).value()(0, 0),
+              std::tanh(1.0), 1e-12);
+  const Activation sig(Activation::Kind::kSigmoid);
+  EXPECT_NEAR(sig.forward({}, ops::constant(Tensor{{0.0}})).value()(0, 0), 0.5,
+              1e-12);
+}
+
+TEST(Sequential, ThreadsParamsThroughLayers) {
+  const auto mlp = make_mlp(4, {5, 3}, 2);
+  EXPECT_EQ(mlp->param_shapes().size(), 6u);  // 3 Linear layers × (W, b)
+  EXPECT_EQ(mlp->num_scalars(), 4u * 5 + 5 + 5u * 3 + 3 + 3u * 2 + 2);
+  util::Rng rng(2);
+  const auto p = mlp->init_params(rng);
+  const Var y = mlp->forward(p, ops::constant(Tensor(7, 4)));
+  EXPECT_EQ(y.rows(), 7u);
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(Sequential, RejectsWrongParamCount) {
+  const auto mlp = make_mlp(4, {5}, 2);
+  util::Rng rng(2);
+  auto p = mlp->init_params(rng);
+  p.pop_back();
+  EXPECT_THROW(mlp->forward(p, ops::constant(Tensor(1, 4))), util::Error);
+  p = mlp->init_params(rng);
+  p.emplace_back(Tensor(1, 1), false);
+  EXPECT_THROW(mlp->forward(p, ops::constant(Tensor(1, 4))), util::Error);
+}
+
+TEST(Sequential, RejectsEmptyOrNull) {
+  EXPECT_THROW(Sequential(std::vector<std::shared_ptr<Module>>{}), util::Error);
+  EXPECT_THROW(Sequential({nullptr}), util::Error);
+}
+
+TEST(SoftmaxRegression, IsSingleAffineLayer) {
+  const auto m = make_softmax_regression(60, 10);
+  EXPECT_EQ(m->num_scalars(), 60u * 10 + 10);
+}
+
+TEST(Module, GradientFlowsThroughMlp) {
+  const auto mlp = make_mlp(3, {4}, 2);
+  util::Rng rng(3);
+  const auto p = mlp->init_params(rng);
+  const Var y = mlp->forward(p, ops::constant(Tensor::randn(5, 3, rng)));
+  const Var loss = ops::mean(ops::square(y));
+  const auto grads = autodiff::grad(loss, {p.begin(), p.end()});
+  ASSERT_EQ(grads.size(), p.size());
+  double total = 0.0;
+  for (const auto& g : grads) total += tensor::norm(g.value());
+  EXPECT_GT(total, 0.0);
+}
+
+// ------------------------------------------------------------ embedding ----
+
+TEST(FrozenEmbedding, FeaturizeIsMeanOfRows) {
+  const Tensor table{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const FrozenEmbedding emb(3, 2, table);
+  const Tensor f = emb.featurize({0, 2});
+  EXPECT_DOUBLE_EQ(f(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(f(0, 1), 4.0);
+}
+
+TEST(FrozenEmbedding, BatchStacksRows) {
+  const Tensor table{{1.0}, {2.0}};
+  const FrozenEmbedding emb(2, 1, table);
+  const Tensor f = emb.featurize_batch({{0}, {1}, {0, 1}});
+  EXPECT_EQ(f.rows(), 3u);
+  EXPECT_DOUBLE_EQ(f(2, 0), 1.5);
+}
+
+TEST(FrozenEmbedding, RejectsBadTokens) {
+  const FrozenEmbedding emb(2, 1, Tensor(2, 1));
+  EXPECT_THROW(emb.featurize({5}), util::Error);
+  EXPECT_THROW(emb.featurize({}), util::Error);
+}
+
+TEST(FrozenEmbedding, RandomIsDeterministic) {
+  util::Rng r1(9), r2(9);
+  const auto a = FrozenEmbedding::random(4, 3, r1);
+  const auto b = FrozenEmbedding::random(4, 3, r2);
+  EXPECT_TRUE(tensor::allclose(a.table(), b.table()));
+}
+
+}  // namespace
+}  // namespace fedml::nn

@@ -1,0 +1,121 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/params.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::nn {
+namespace {
+
+using tensor::Tensor;
+
+ParamList point(double v) {
+  ParamList p;
+  p.emplace_back(Tensor::full(2, 2, v), true);
+  return p;
+}
+
+ParamList grad_of_quadratic(const ParamList& p) {
+  // L = ½‖θ‖² → ∇L = θ.
+  ParamList g;
+  g.emplace_back(p[0].value(), false);
+  return g;
+}
+
+TEST(Sgd, PlainStepMatchesFormula) {
+  Sgd opt(0.1);
+  const auto p = point(1.0);
+  const auto next = opt.step(p, grad_of_quadratic(p));
+  EXPECT_NEAR(next[0].value()(0, 0), 1.0 - 0.1 * 1.0, 1e-12);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Sgd opt(0.1, 0.9);
+  auto p = point(1.0);
+  const auto g = grad_of_quadratic(point(1.0));  // constant gradient of 1
+  p = opt.step(p, g);
+  EXPECT_NEAR(p[0].value()(0, 0), 1.0 - 0.1, 1e-12);  // v = 1
+  p = opt.step(p, g);
+  // v = 0.9·1 + 1 = 1.9 → θ = 0.9 − 0.19.
+  EXPECT_NEAR(p[0].value()(0, 0), 0.9 - 0.19, 1e-12);
+}
+
+TEST(Sgd, ResetClearsVelocity) {
+  Sgd opt(0.1, 0.9);
+  auto p = point(1.0);
+  const auto g = grad_of_quadratic(point(1.0));
+  p = opt.step(p, g);
+  opt.reset();
+  p = opt.step(point(1.0), g);
+  EXPECT_NEAR(p[0].value()(0, 0), 0.9, 1e-12);  // momentum restarted
+}
+
+TEST(Sgd, RejectsBadHyperparameters) {
+  EXPECT_THROW(Sgd(0.0), util::Error);
+  EXPECT_THROW(Sgd(0.1, 1.0), util::Error);
+  Sgd opt(0.1);
+  auto p = point(1.0);
+  auto g = grad_of_quadratic(p);
+  g.pop_back();
+  EXPECT_THROW(opt.step(p, g), util::Error);
+}
+
+TEST(Adam, FirstStepIsLrSignedGradient) {
+  Adam opt(0.01);
+  const auto p = point(1.0);
+  const auto next = opt.step(p, grad_of_quadratic(p));
+  // With bias correction the first Adam step is ≈ lr·sign(g).
+  EXPECT_NEAR(next[0].value()(0, 0), 1.0 - 0.01, 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam opt(0.05);
+  auto p = point(3.0);
+  for (int i = 0; i < 500; ++i) p = opt.step(p, grad_of_quadratic(p));
+  EXPECT_LT(std::abs(p[0].value()(0, 0)), 0.05);
+}
+
+TEST(Adam, AdaptsPerCoordinateScale) {
+  // Two coordinates with wildly different gradient scales should move at
+  // comparable speed under Adam (scale-invariant), unlike SGD.
+  Adam opt(0.1);
+  ParamList p;
+  p.emplace_back(Tensor{{1.0, 1.0}}, true);
+  for (int i = 0; i < 10; ++i) {
+    ParamList g;
+    g.emplace_back(Tensor{{100.0 * p[0].value()(0, 0), 0.01 * p[0].value()(0, 1)}},
+                   false);
+    p = opt.step(p, g);
+  }
+  const double moved0 = 1.0 - p[0].value()(0, 0);
+  const double moved1 = 1.0 - p[0].value()(0, 1);
+  EXPECT_GT(moved1, 0.3 * moved0);  // tiny-gradient coordinate keeps pace
+}
+
+TEST(Adam, RejectsBadHyperparameters) {
+  EXPECT_THROW(Adam(-1.0), util::Error);
+  EXPECT_THROW(Adam(0.1, 1.0), util::Error);
+  EXPECT_THROW(Adam(0.1, 0.9, 1.5), util::Error);
+}
+
+TEST(Factory, ProducesRequestedKinds) {
+  EXPECT_EQ(make_optimizer(OptimizerKind::kSgd, 0.1)->name(), "SGD");
+  EXPECT_EQ(make_optimizer(OptimizerKind::kSgdMomentum, 0.1)->name(),
+            "SGD(momentum)");
+  EXPECT_EQ(make_optimizer(OptimizerKind::kAdam, 0.1)->name(), "Adam");
+}
+
+TEST(Optimizers, AllConvergeOnConvexProblem) {
+  for (const auto kind : {OptimizerKind::kSgd, OptimizerKind::kSgdMomentum,
+                          OptimizerKind::kAdam}) {
+    auto opt = make_optimizer(kind, 0.05);
+    auto p = point(2.0);
+    for (int i = 0; i < 400; ++i) p = opt->step(p, grad_of_quadratic(p));
+    EXPECT_LT(std::abs(p[0].value()(1, 1)), 0.1) << opt->name();
+  }
+}
+
+}  // namespace
+}  // namespace fedml::nn

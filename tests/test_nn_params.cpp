@@ -1,0 +1,139 @@
+#include "nn/params.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::nn {
+namespace {
+
+using autodiff::Var;
+using tensor::Tensor;
+
+ParamList sample_params(std::uint64_t seed) {
+  util::Rng rng(seed);
+  ParamList p;
+  p.emplace_back(Tensor::randn(3, 2, rng), true);
+  p.emplace_back(Tensor::randn(1, 2, rng), true);
+  return p;
+}
+
+TEST(Params, CloneLeavesCopiesValuesDropsHistory) {
+  const auto p = sample_params(1);
+  const auto c = clone_leaves(p, /*requires_grad=*/false);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_TRUE(tensor::allclose(c[0].value(), p[0].value()));
+  EXPECT_FALSE(c[0].requires_grad());
+}
+
+TEST(Params, ZerosLike) {
+  const auto z = zeros_like({{2, 3}, {1, 4}});
+  EXPECT_EQ(z.size(), 2u);
+  EXPECT_DOUBLE_EQ(tensor::sum(z[0].value()), 0.0);
+  EXPECT_EQ(z[1].value().cols(), 4u);
+}
+
+TEST(Params, AddScaled) {
+  const auto a = sample_params(1);
+  const auto b = sample_params(2);
+  const auto r = add_scaled(a, b, -0.5);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_TRUE(tensor::allclose(r[k].value(),
+                                 a[k].value() + b[k].value() * -0.5));
+  }
+}
+
+TEST(Params, AddScaledRejectsArityMismatch) {
+  auto a = sample_params(1);
+  auto b = sample_params(2);
+  b.pop_back();
+  EXPECT_THROW(add_scaled(a, b, 1.0), util::Error);
+}
+
+TEST(Params, WeightedAverageMatchesManual) {
+  const auto a = sample_params(1);
+  const auto b = sample_params(2);
+  const auto c = sample_params(3);
+  const auto avg = weighted_average({a, b, c}, {0.5, 0.3, 0.2});
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const Tensor manual =
+        a[k].value() * 0.5 + b[k].value() * 0.3 + c[k].value() * 0.2;
+    EXPECT_TRUE(tensor::allclose(avg[k].value(), manual));
+  }
+}
+
+TEST(Params, WeightedAverageOfIdenticalIsIdentity) {
+  const auto a = sample_params(4);
+  const auto avg = weighted_average({a, a}, {0.25, 0.75});
+  for (std::size_t k = 0; k < a.size(); ++k)
+    EXPECT_TRUE(tensor::allclose(avg[k].value(), a[k].value()));
+}
+
+TEST(Params, DistanceAndNorm) {
+  const auto a = sample_params(1);
+  EXPECT_DOUBLE_EQ(param_distance(a, a), 0.0);
+  const auto b = add_scaled(a, a, 1.0);  // 2a
+  EXPECT_NEAR(param_distance(a, b), param_norm(a), 1e-12);
+}
+
+TEST(Params, FlattenUnflattenRoundTrip) {
+  const auto p = sample_params(5);
+  const Tensor flat = flatten(p);
+  EXPECT_EQ(flat.size(), 3u * 2 + 1 * 2);
+  const auto back = unflatten(flat, {{3, 2}, {1, 2}});
+  for (std::size_t k = 0; k < p.size(); ++k)
+    EXPECT_TRUE(tensor::allclose(back[k].value(), p[k].value()));
+}
+
+TEST(Params, UnflattenChecksSizes) {
+  const Tensor flat(1, 5);
+  EXPECT_THROW(unflatten(flat, {{2, 2}}), util::Error);     // too big buffer
+  EXPECT_THROW(unflatten(flat, {{2, 3}}), util::Error);     // too small buffer
+}
+
+TEST(Params, SgdStepLeafMovesAgainstGradient) {
+  const auto p = sample_params(1);
+  const auto g = sample_params(2);
+  const auto next = sgd_step_leaf(p, g, 0.1);
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    EXPECT_TRUE(
+        tensor::allclose(next[k].value(), p[k].value() + g[k].value() * -0.1));
+  }
+}
+
+TEST(Params, SgdStepGraphKeepsGradientFlow) {
+  const auto p = sample_params(1);
+  const auto g = sample_params(2);
+  const auto phi = sgd_step_graph(p, g, 0.1);
+  EXPECT_TRUE(phi[0].requires_grad());
+  // d(sum(phi))/dθ = identity → all-ones gradient.
+  const Var s = autodiff::ops::sum(phi[0]);
+  const auto back = autodiff::grad(s, {p[0]});
+  EXPECT_TRUE(tensor::allclose(back[0].value(), Tensor::ones(3, 2)));
+}
+
+TEST(Params, SerializeRoundTrip) {
+  const auto p = sample_params(6);
+  util::ByteWriter w;
+  serialize(p, w);
+  EXPECT_EQ(w.size(), serialized_size_bytes(p));
+  util::ByteReader r(w.bytes());
+  const auto back = deserialize(r);
+  ASSERT_EQ(back.size(), p.size());
+  for (std::size_t k = 0; k < p.size(); ++k)
+    EXPECT_TRUE(tensor::allclose(back[k].value(), p[k].value()));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Params, DeserializeRejectsCorruptBuffer) {
+  const auto p = sample_params(6);
+  util::ByteWriter w;
+  serialize(p, w);
+  std::vector<std::uint8_t> cut(w.bytes().begin(), w.bytes().end() - 4);
+  util::ByteReader r(cut);
+  EXPECT_THROW(deserialize(r), util::Error);
+}
+
+}  // namespace
+}  // namespace fedml::nn

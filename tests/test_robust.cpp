@@ -1,0 +1,145 @@
+#include "robust/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/meta.h"
+#include "nn/params.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::robust {
+namespace {
+
+using tensor::Tensor;
+
+struct Fixture {
+  std::shared_ptr<nn::Module> model = nn::make_softmax_regression(4, 3);
+  nn::ParamList theta;
+  data::Dataset clean;
+
+  Fixture() {
+    util::Rng rng(1);
+    theta = model->init_params(rng);
+    // Make the model non-trivial so gradients wrt x are nonzero.
+    for (std::size_t s = 0; s < 30; ++s) {
+      clean = sample(rng, 20);
+      const auto g = core::loss_gradient(*model, theta, clean);
+      theta = nn::sgd_step_leaf(theta, g, 0.3);
+    }
+    clean = sample(rng, 16);
+  }
+
+  static data::Dataset sample(util::Rng& rng, std::size_t n) {
+    data::Dataset d;
+    d.x = Tensor::randn(n, 4, rng);
+    d.y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Label by a fixed linear rule so the task is learnable.
+      const double s0 = d.x(i, 0) + d.x(i, 1);
+      const double s1 = d.x(i, 2) - d.x(i, 3);
+      d.y[i] = s0 > s1 ? (s0 > 0 ? 0u : 1u) : (s1 > 0 ? 2u : 1u);
+    }
+    return d;
+  }
+};
+
+TEST(Adversary, IncreasesLossOnPerturbedData) {
+  Fixture f;
+  const double before = core::empirical_loss(*f.model, f.theta, f.clean);
+  const auto adv = generate_adversarial(*f.model, f.theta, f.clean,
+                                        /*lambda=*/0.5, /*nu=*/0.2, /*steps=*/8);
+  const double after = core::empirical_loss(*f.model, f.theta, adv);
+  EXPECT_GT(after, before);
+  EXPECT_EQ(adv.y, f.clean.y);  // labels never perturbed
+}
+
+TEST(Adversary, LargerLambdaMeansSmallerPerturbation) {
+  Fixture f;
+  const auto pert_norm = [&](double lambda) {
+    const auto adv =
+        generate_adversarial(*f.model, f.theta, f.clean, lambda, 0.2, 8);
+    return tensor::norm(adv.x - f.clean.x);
+  };
+  const double loose = pert_norm(0.1);
+  const double tight = pert_norm(10.0);
+  EXPECT_GT(loose, tight);
+  EXPECT_GT(tight, 0.0);
+}
+
+TEST(Adversary, ZeroStepsIsIdentity) {
+  Fixture f;
+  const auto adv = generate_adversarial(*f.model, f.theta, f.clean, 1.0, 0.2, 0);
+  EXPECT_TRUE(tensor::allclose(adv.x, f.clean.x));
+}
+
+TEST(Adversary, ClipKeepsFeaturesInRange) {
+  Fixture f;
+  const auto adv = generate_adversarial(*f.model, f.theta, f.clean, 0.01, 1.0,
+                                        10, ClipRange{{-0.5, 0.5}});
+  for (std::size_t i = 0; i < adv.x.rows(); ++i)
+    for (std::size_t j = 0; j < adv.x.cols(); ++j) {
+      EXPECT_GE(adv.x(i, j), -0.5);
+      EXPECT_LE(adv.x(i, j), 0.5);
+    }
+}
+
+TEST(Adversary, RejectsBadArguments) {
+  Fixture f;
+  const data::Dataset empty;
+  EXPECT_THROW(generate_adversarial(*f.model, f.theta, empty, 1.0, 0.1, 1),
+               util::Error);
+  EXPECT_THROW(generate_adversarial(*f.model, f.theta, f.clean, -1.0, 0.1, 1),
+               util::Error);
+  EXPECT_THROW(generate_adversarial(*f.model, f.theta, f.clean, 1.0, 0.0, 1),
+               util::Error);
+}
+
+TEST(Fgsm, PerturbationIsSignScaled) {
+  Fixture f;
+  const double xi = 0.07;
+  const auto adv = fgsm_attack(*f.model, f.theta, f.clean, xi);
+  for (std::size_t i = 0; i < adv.x.rows(); ++i) {
+    for (std::size_t j = 0; j < adv.x.cols(); ++j) {
+      const double d = std::abs(adv.x(i, j) - f.clean.x(i, j));
+      EXPECT_TRUE(d < 1e-12 || std::abs(d - xi) < 1e-12);
+    }
+  }
+}
+
+TEST(Fgsm, IncreasesLoss) {
+  Fixture f;
+  const double before = core::empirical_loss(*f.model, f.theta, f.clean);
+  const auto adv = fgsm_attack(*f.model, f.theta, f.clean, 0.3);
+  EXPECT_GT(core::empirical_loss(*f.model, f.theta, adv), before);
+}
+
+TEST(Fgsm, ZeroXiIsIdentity) {
+  Fixture f;
+  const auto adv = fgsm_attack(*f.model, f.theta, f.clean, 0.0);
+  EXPECT_TRUE(tensor::allclose(adv.x, f.clean.x));
+}
+
+TEST(Fgsm, StrongerAttackHurtsMore) {
+  Fixture f;
+  const auto l = [&](double xi) {
+    return core::empirical_loss(*f.model, f.theta,
+                                fgsm_attack(*f.model, f.theta, f.clean, xi));
+  };
+  EXPECT_LE(l(0.05), l(0.4));
+}
+
+TEST(Fgsm, ClipRespected) {
+  Fixture f;
+  const auto adv =
+      fgsm_attack(*f.model, f.theta, f.clean, 5.0, ClipRange{{0.0, 1.0}});
+  for (std::size_t i = 0; i < adv.x.rows(); ++i)
+    for (std::size_t j = 0; j < adv.x.cols(); ++j) {
+      EXPECT_GE(adv.x(i, j), 0.0);
+      EXPECT_LE(adv.x(i, j), 1.0);
+    }
+}
+
+}  // namespace
+}  // namespace fedml::robust

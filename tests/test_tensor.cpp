@@ -1,0 +1,199 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::tensor {
+namespace {
+
+TEST(Tensor, ZeroConstruction) {
+  const Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(t(i, j), 0.0);
+}
+
+TEST(Tensor, InitializerList) {
+  const Tensor t{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(t(0, 0), 1.0);
+  EXPECT_EQ(t(1, 2), 6.0);
+}
+
+TEST(Tensor, InitializerListRejectsRagged) {
+  EXPECT_THROW((Tensor{{1, 2}, {3}}), util::Error);
+}
+
+TEST(Tensor, FlatBufferSizeChecked) {
+  EXPECT_THROW(Tensor(2, 2, {1.0, 2.0, 3.0}), util::Error);
+}
+
+TEST(Tensor, IndexBoundsChecked) {
+  Tensor t(2, 2);
+  EXPECT_THROW(t(2, 0), util::Error);
+  EXPECT_THROW(t(0, 2), util::Error);
+}
+
+TEST(Tensor, FullOnesIdentityScalar) {
+  EXPECT_EQ(Tensor::full(2, 2, 3.0)(1, 1), 3.0);
+  EXPECT_EQ(Tensor::ones(1, 4)(0, 3), 1.0);
+  const Tensor eye = Tensor::identity(3);
+  EXPECT_EQ(eye(1, 1), 1.0);
+  EXPECT_EQ(eye(0, 1), 0.0);
+  EXPECT_EQ(Tensor::scalar(5.0).item(), 5.0);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  EXPECT_THROW((void)Tensor(1, 2).item(), util::Error);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  const Tensor t{{1, 2, 3}, {4, 5, 6}};
+  const Tensor r = t.reshaped(3, 2);
+  EXPECT_EQ(r(0, 1), 2.0);
+  EXPECT_EQ(r(2, 1), 6.0);
+  EXPECT_THROW(t.reshaped(4, 2), util::Error);
+}
+
+TEST(Tensor, RowExtraction) {
+  const Tensor t{{1, 2}, {3, 4}};
+  const Tensor r = t.row(1);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r(0, 0), 3.0);
+  EXPECT_THROW(t.row(2), util::Error);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  const Tensor a{{1, 2}, {3, 4}};
+  const Tensor b{{10, 20}, {30, 40}};
+  EXPECT_TRUE(allclose(a + b, Tensor{{11, 22}, {33, 44}}));
+  EXPECT_TRUE(allclose(b - a, Tensor{{9, 18}, {27, 36}}));
+  EXPECT_TRUE(allclose(-a, Tensor{{-1, -2}, {-3, -4}}));
+  EXPECT_TRUE(allclose(hadamard(a, b), Tensor{{10, 40}, {90, 160}}));
+  EXPECT_TRUE(allclose(a * 2.0, Tensor{{2, 4}, {6, 8}}));
+  EXPECT_TRUE(allclose(2.0 * a, a * 2.0));
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  const Tensor a(2, 2), b(2, 3);
+  EXPECT_THROW(a + b, util::Error);
+  EXPECT_THROW(a - b, util::Error);
+  EXPECT_THROW(hadamard(a, b), util::Error);
+  EXPECT_THROW(dot(a, b), util::Error);
+}
+
+TEST(Tensor, MatmulKnownValues) {
+  const Tensor a{{1, 2}, {3, 4}};
+  const Tensor b{{5, 6}, {7, 8}};
+  EXPECT_TRUE(allclose(matmul(a, b), Tensor{{19, 22}, {43, 50}}));
+}
+
+TEST(Tensor, MatmulIdentity) {
+  util::Rng rng(1);
+  const Tensor a = Tensor::randn(3, 3, rng);
+  EXPECT_TRUE(allclose(matmul(a, Tensor::identity(3)), a));
+  EXPECT_TRUE(allclose(matmul(Tensor::identity(3), a), a));
+}
+
+TEST(Tensor, MatmulRectangular) {
+  const Tensor a{{1, 2, 3}};          // 1×3
+  const Tensor b{{1}, {2}, {3}};      // 3×1
+  EXPECT_DOUBLE_EQ(matmul(a, b).item(), 14.0);
+  const Tensor outer = matmul(b, a);  // 3×3
+  EXPECT_EQ(outer.rows(), 3u);
+  EXPECT_DOUBLE_EQ(outer(2, 2), 9.0);
+}
+
+TEST(Tensor, MatmulDimensionChecked) {
+  EXPECT_THROW(matmul(Tensor(2, 3), Tensor(2, 3)), util::Error);
+}
+
+TEST(Tensor, TransposeInvolution) {
+  util::Rng rng(2);
+  const Tensor a = Tensor::randn(3, 5, rng);
+  EXPECT_TRUE(allclose(transpose(transpose(a)), a));
+  EXPECT_EQ(transpose(a).rows(), 5u);
+}
+
+TEST(Tensor, DotAndNorm) {
+  const Tensor a{{3, 4}};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_DOUBLE_EQ(sum(a), 21.0);
+  EXPECT_DOUBLE_EQ(mean(a), 3.5);
+  EXPECT_TRUE(allclose(row_sums(a), Tensor{{6}, {15}}));
+  EXPECT_TRUE(allclose(col_sums(a), Tensor{{5, 7, 9}}));
+  EXPECT_TRUE(allclose(row_max(a), Tensor{{3}, {6}}));
+}
+
+TEST(Tensor, Broadcasts) {
+  const Tensor a{{1, 2}, {3, 4}};
+  EXPECT_TRUE(allclose(add_rowvec(a, Tensor{{10, 20}}), Tensor{{11, 22}, {13, 24}}));
+  EXPECT_TRUE(allclose(sub_colvec(a, Tensor{{1}, {2}}), Tensor{{0, 1}, {1, 2}}));
+  EXPECT_TRUE(allclose(mul_colvec(a, Tensor{{2}, {3}}), Tensor{{2, 4}, {9, 12}}));
+  EXPECT_THROW(add_rowvec(a, Tensor{{1, 2, 3}}), util::Error);
+}
+
+TEST(Tensor, GatherScatterRoundTrip) {
+  const Tensor a{{1, 2, 3}, {4, 5, 6}};
+  const std::vector<std::size_t> idx{2, 0};
+  const Tensor g = gather_cols(a, idx);
+  EXPECT_TRUE(allclose(g, Tensor{{3}, {4}}));
+  const Tensor s = scatter_cols(g, idx, 3);
+  EXPECT_TRUE(allclose(s, Tensor{{0, 0, 3}, {4, 0, 0}}));
+}
+
+TEST(Tensor, GatherBoundsChecked) {
+  const Tensor a{{1, 2}};
+  EXPECT_THROW(gather_cols(a, {5}), util::Error);
+  EXPECT_THROW(gather_cols(a, {0, 1}), util::Error);  // wrong arity
+}
+
+TEST(Tensor, ArgmaxRows) {
+  const Tensor a{{1, 9, 2}, {7, 3, 5}};
+  const auto idx = argmax_rows(a);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);
+}
+
+TEST(Tensor, ArgmaxTiesPickFirst) {
+  const Tensor a{{5, 5, 5}};
+  EXPECT_EQ(argmax_rows(a)[0], 0u);
+}
+
+TEST(Tensor, AllcloseAndMaxDiff) {
+  const Tensor a{{1, 2}}, b{{1, 2 + 1e-13}};
+  EXPECT_TRUE(allclose(a, b));
+  EXPECT_FALSE(allclose(a, Tensor{{1, 3}}));
+  EXPECT_FALSE(allclose(a, Tensor(2, 1)));
+  EXPECT_NEAR(max_abs_diff(a, Tensor{{1, 3}}), 1.0, 1e-12);
+  EXPECT_TRUE(std::isinf(max_abs_diff(a, Tensor(2, 1))));
+}
+
+TEST(Tensor, MapAppliesFunction) {
+  const Tensor a{{1, -2}};
+  EXPECT_TRUE(allclose(a.map([](double x) { return x * x; }), Tensor{{1, 4}}));
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  util::Rng r1(5), r2(5);
+  EXPECT_TRUE(allclose(Tensor::randn(2, 2, r1), Tensor::randn(2, 2, r2)));
+}
+
+TEST(Tensor, StreamOutputContainsShape) {
+  std::ostringstream os;
+  os << Tensor{{1, 2}};
+  EXPECT_NE(os.str().find("1x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedml::tensor

@@ -1,0 +1,93 @@
+// Property-based tests for the tensor substrate: algebraic identities that
+// must hold for random inputs across a seed sweep. These complement the
+// example-based tests in test_tensor.cpp with broad randomized coverage.
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fedml::tensor {
+namespace {
+
+class TensorAlgebra : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  util::Rng rng() const { return util::Rng(GetParam()); }
+};
+
+TEST_P(TensorAlgebra, MatmulIsAssociative) {
+  auto r = rng();
+  const Tensor a = Tensor::randn(3, 4, r);
+  const Tensor b = Tensor::randn(4, 5, r);
+  const Tensor c = Tensor::randn(5, 2, r);
+  EXPECT_TRUE(allclose(matmul(matmul(a, b), c), matmul(a, matmul(b, c)),
+                       1e-9, 1e-9));
+}
+
+TEST_P(TensorAlgebra, MatmulDistributesOverAddition) {
+  auto r = rng();
+  const Tensor a = Tensor::randn(3, 4, r);
+  const Tensor b = Tensor::randn(4, 5, r);
+  const Tensor c = Tensor::randn(4, 5, r);
+  EXPECT_TRUE(allclose(matmul(a, b + c), matmul(a, b) + matmul(a, c), 1e-9,
+                       1e-9));
+}
+
+TEST_P(TensorAlgebra, TransposeReversesMatmul) {
+  auto r = rng();
+  const Tensor a = Tensor::randn(3, 4, r);
+  const Tensor b = Tensor::randn(4, 5, r);
+  EXPECT_TRUE(allclose(transpose(matmul(a, b)),
+                       matmul(transpose(b), transpose(a)), 1e-9, 1e-9));
+}
+
+TEST_P(TensorAlgebra, DotIsSymmetricAndPositive) {
+  auto r = rng();
+  const Tensor a = Tensor::randn(4, 4, r);
+  const Tensor b = Tensor::randn(4, 4, r);
+  EXPECT_NEAR(dot(a, b), dot(b, a), 1e-12);
+  EXPECT_GE(dot(a, a), 0.0);
+  EXPECT_NEAR(norm(a) * norm(a), dot(a, a), 1e-9);
+}
+
+TEST_P(TensorAlgebra, CauchySchwarz) {
+  auto r = rng();
+  const Tensor a = Tensor::randn(5, 3, r);
+  const Tensor b = Tensor::randn(5, 3, r);
+  EXPECT_LE(std::abs(dot(a, b)), norm(a) * norm(b) + 1e-9);
+}
+
+TEST_P(TensorAlgebra, RowColSumsPartitionTotal) {
+  auto r = rng();
+  const Tensor a = Tensor::randn(4, 6, r);
+  EXPECT_NEAR(sum(row_sums(a)), sum(a), 1e-10);
+  EXPECT_NEAR(sum(col_sums(a)), sum(a), 1e-10);
+}
+
+TEST_P(TensorAlgebra, GatherScatterIsProjection) {
+  auto r = rng();
+  const Tensor a = Tensor::randn(5, 4, r);
+  std::vector<std::size_t> idx(5);
+  for (auto& i : idx) i = static_cast<std::size_t>(r.uniform_int(0, 3));
+  // gather(scatter(gather(a))) == gather(a): scatter∘gather is idempotent
+  // on the selected entries.
+  const Tensor g1 = gather_cols(a, idx);
+  const Tensor s = scatter_cols(g1, idx, 4);
+  EXPECT_TRUE(allclose(gather_cols(s, idx), g1));
+}
+
+TEST_P(TensorAlgebra, ArgmaxIsInvariantToMonotoneShift) {
+  auto r = rng();
+  const Tensor a = Tensor::randn(6, 5, r);
+  Tensor shifted = a;
+  const double c = r.uniform(-5.0, 5.0);
+  for (std::size_t i = 0; i < shifted.rows(); ++i)
+    for (std::size_t j = 0; j < shifted.cols(); ++j) shifted(i, j) += c;
+  EXPECT_EQ(argmax_rows(a), argmax_rows(shifted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorAlgebra,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace fedml::tensor

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "theory/bounds.h"
+#include "theory/quadratic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::theory {
+namespace {
+
+using tensor::Tensor;
+
+AssumptionConstants simple_constants() {
+  AssumptionConstants c;
+  c.mu = 1.0;
+  c.smooth_h = 4.0;
+  c.rho = 0.0;
+  c.grad_bound = 10.0;
+  c.delta = {0.5, 1.0};
+  c.sigma = {0.0, 0.0};
+  c.weights = {0.5, 0.5};
+  return c;
+}
+
+// ---------------------------------------------------------------- bounds ----
+
+TEST(Bounds, WeightedAggregates) {
+  const auto c = simple_constants();
+  EXPECT_DOUBLE_EQ(c.delta_bar(), 0.75);
+  EXPECT_DOUBLE_EQ(c.sigma_bar(), 0.0);
+  EXPECT_DOUBLE_EQ(c.tau(), 0.0);
+}
+
+TEST(Bounds, AlphaMaxFormula) {
+  auto c = simple_constants();
+  // ρ = 0 → α_max = min{μ/(2μH), 1/μ} = min{1/8, 1} = 1/8.
+  EXPECT_DOUBLE_EQ(alpha_max(c), 1.0 / 8.0);
+  c.rho = 1.0;
+  // μ/(2μH + ρB) = 1/(8+10) = 1/18.
+  EXPECT_NEAR(alpha_max(c), 1.0 / 18.0, 1e-12);
+}
+
+TEST(Bounds, Lemma1ConstantsMatchFormula) {
+  auto c = simple_constants();
+  c.rho = 0.5;
+  const double alpha = 0.02;
+  const auto l = lemma1_constants(c, alpha);
+  EXPECT_NEAR(l.mu_prime,
+              1.0 * std::pow(1 - alpha * 4.0, 2) - alpha * 0.5 * 10.0, 1e-12);
+  EXPECT_NEAR(l.h_prime,
+              4.0 * std::pow(1 - alpha * 1.0, 2) + alpha * 0.5 * 10.0, 1e-12);
+  EXPECT_LT(l.mu_prime, c.mu);   // meta objective is less convex
+  EXPECT_GT(l.mu_prime, 0.0);
+}
+
+TEST(Bounds, HFunctionIsZeroAtOneAndGrows) {
+  const double ap = 0.01, beta = 0.05, hp = 3.0;
+  EXPECT_NEAR(h_function(ap, beta, hp, 1), 0.0, 1e-15);
+  double prev = 0.0;
+  for (std::size_t x = 2; x <= 50; ++x) {
+    const double h = h_function(ap, beta, hp, x);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Bounds, Theorem2ErrorTermVanishesForT0EqualOne) {
+  const auto c = simple_constants();
+  const double alpha = 0.05;
+  const auto l = lemma1_constants(c, alpha);
+  const double beta = 0.5 * beta_max(l);
+  const auto t1 = theorem2_terms(c, alpha, beta, 1);
+  EXPECT_NEAR(t1.error_term, 0.0, 1e-12);  // Corollary 1
+  const auto t10 = theorem2_terms(c, alpha, beta, 10);
+  EXPECT_GT(t10.error_term, 0.0);
+}
+
+TEST(Bounds, Theorem2ErrorGrowsWithT0AndDissimilarity) {
+  auto c = simple_constants();
+  const double alpha = 0.05;
+  const auto l = lemma1_constants(c, alpha);
+  const double beta = 0.5 * beta_max(l);
+  const double e5 = theorem2_terms(c, alpha, beta, 5).error_term;
+  const double e20 = theorem2_terms(c, alpha, beta, 20).error_term;
+  EXPECT_GT(e20, e5);
+
+  auto c2 = c;
+  for (auto& d : c2.delta) d *= 3.0;
+  EXPECT_GT(theorem2_terms(c2, alpha, beta, 5).error_term, e5);
+}
+
+TEST(Bounds, Theorem2BoundDecaysGeometrically) {
+  const auto c = simple_constants();
+  const double alpha = 0.05;
+  const auto l = lemma1_constants(c, alpha);
+  const double beta = 0.5 * beta_max(l);
+  const auto t = theorem2_terms(c, alpha, beta, 5);
+  const double b10 = theorem2_bound(t, 1.0, 10);
+  const double b100 = theorem2_bound(t, 1.0, 100);
+  EXPECT_LT(b100, b10);
+  EXPECT_GE(b100, t.error_term);  // floor is the T0 error term
+}
+
+TEST(Bounds, RejectsInvalidRates) {
+  const auto c = simple_constants();
+  EXPECT_THROW(theorem2_terms(c, 2.0, 0.01, 5), util::Error);   // α too big
+  EXPECT_THROW(theorem2_terms(c, 0.05, 10.0, 5), util::Error);  // β too big
+  EXPECT_THROW(theorem2_terms(c, 0.05, 0.01, 0), util::Error);  // T0 = 0
+}
+
+// ------------------------------------------------------------- quadratic ----
+
+TEST(Quadratic, ClosedFormsAreConsistent) {
+  util::Rng rng(1);
+  const auto fed = QuadraticFederation::shared_curvature(5, 4, 1.0, 3.0, 2.0, rng);
+  const auto& t = fed.tasks()[0];
+  const Tensor theta = Tensor::randn(4, 1, rng);
+  // Gradient of loss at the center is zero; loss at center is zero.
+  EXPECT_NEAR(t.loss(t.center), 0.0, 1e-12);
+  EXPECT_NEAR(tensor::norm(t.gradient(t.center)), 0.0, 1e-12);
+  // meta_loss equals loss at the adapted point.
+  const double alpha = 0.1;
+  EXPECT_NEAR(t.meta_loss(theta, alpha), t.loss(t.adapted(theta, alpha)), 1e-12);
+}
+
+TEST(Quadratic, MetaGradientMatchesFiniteDifference) {
+  util::Rng rng(2);
+  const auto fed = QuadraticFederation::shared_curvature(3, 3, 0.5, 2.0, 1.0, rng);
+  const auto& t = fed.tasks()[1];
+  const Tensor theta = Tensor::randn(3, 1, rng);
+  const double alpha = 0.07;
+  const Tensor g = t.meta_gradient(theta, alpha);
+  const double eps = 1e-6;
+  for (std::size_t k = 0; k < 3; ++k) {
+    Tensor p = theta, m = theta;
+    p(k, 0) += eps;
+    m(k, 0) -= eps;
+    const double num = (t.meta_loss(p, alpha) - t.meta_loss(m, alpha)) / (2 * eps);
+    EXPECT_NEAR(g(k, 0), num, 1e-6);
+  }
+}
+
+TEST(Quadratic, MinimizerHasZeroMetaGradient) {
+  util::Rng rng(3);
+  const auto fed = QuadraticFederation::shared_curvature(4, 5, 1.0, 4.0, 1.5, rng);
+  const double alpha = 0.05;
+  const Tensor star = fed.meta_minimizer(alpha);
+  Tensor g(5, 1);
+  for (std::size_t i = 0; i < fed.num_nodes(); ++i)
+    g += fed.tasks()[i].meta_gradient(star, alpha) * fed.weights()[i];
+  EXPECT_NEAR(tensor::norm(g), 0.0, 1e-10);
+}
+
+TEST(Quadratic, ExactConstantsForSharedCurvature) {
+  util::Rng rng(4);
+  const auto fed = QuadraticFederation::shared_curvature(4, 3, 1.0, 2.5, 1.0, rng);
+  const auto c = fed.constants(/*radius=*/10.0);
+  EXPECT_DOUBLE_EQ(c.mu, 1.0);
+  EXPECT_DOUBLE_EQ(c.smooth_h, 2.5);
+  EXPECT_DOUBLE_EQ(c.rho, 0.0);
+  for (const auto s : c.sigma) EXPECT_NEAR(s, 0.0, 1e-12);
+  // δ_i must upper bound the actual gradient dissimilarity at random points.
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor theta = Tensor::randn(3, 1, rng, 0.0, 3.0);
+    Tensor gw(3, 1);
+    for (std::size_t i = 0; i < fed.num_nodes(); ++i)
+      gw += fed.tasks()[i].gradient(theta) * fed.weights()[i];
+    for (std::size_t i = 0; i < fed.num_nodes(); ++i) {
+      const double actual = tensor::norm(fed.tasks()[i].gradient(theta) - gw);
+      EXPECT_LE(actual, c.delta[i] + 1e-9);
+    }
+  }
+}
+
+TEST(Quadratic, SimulationConvergesForT0One) {
+  util::Rng rng(5);
+  const auto fed = QuadraticFederation::shared_curvature(5, 4, 1.0, 3.0, 1.0, rng);
+  const Tensor theta0 = Tensor::full(4, 1, 5.0);
+  const auto res = fed.simulate_fedml(theta0, 0.05, 0.1, 300, 1);
+  EXPECT_GT(res.gap.front(), res.gap.back());
+  EXPECT_NEAR(res.gap.back(), 0.0, 1e-6);
+}
+
+TEST(Quadratic, SharedCurvatureConvergesExactlyForAnyT0) {
+  // With identical curvature the local linear dynamics commute with the
+  // weighted average, so FedML converges to θ* exactly even for large T0.
+  util::Rng rng(6);
+  const auto fed = QuadraticFederation::shared_curvature(8, 4, 1.0, 3.0, 2.0, rng);
+  const Tensor theta0 = Tensor::full(4, 1, 3.0);
+  const auto r20 = fed.simulate_fedml(theta0, 0.05, 0.05, 400, 20);
+  EXPECT_NEAR(r20.gap.back(), 0.0, 1e-8);
+}
+
+TEST(Quadratic, LargerT0LeavesLargerResidualGap) {
+  // Heterogeneous curvature makes the multiple-local-update error term of
+  // Theorem 2 strictly positive, growing with T0.
+  util::Rng rng(6);
+  const auto fed = QuadraticFederation::heterogeneous(8, 4, 0.5, 4.0, 2.0, rng);
+  const Tensor theta0 = Tensor::full(4, 1, 3.0);
+  const auto r1 = fed.simulate_fedml(theta0, 0.05, 0.05, 400, 1);
+  const auto r20 = fed.simulate_fedml(theta0, 0.05, 0.05, 400, 20);
+  EXPECT_LT(r1.gap.back() + 1e-12, r20.gap.back());
+}
+
+// The headline property test: the empirical optimality gap of the simulated
+// Algorithm 1 must satisfy the Theorem 2 bound at every aggregation, for
+// every seed in the sweep.
+class Theorem2Holds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem2Holds, EmpiricalGapIsBelowBound) {
+  util::Rng rng(GetParam());
+  const auto fed = QuadraticFederation::shared_curvature(6, 4, 1.0, 3.0, 1.0, rng);
+  const Tensor theta0 = Tensor::full(4, 1, 2.0);
+
+  const std::size_t t0 = 5;
+  const auto c = fed.constants(/*radius=*/0.0);  // refined below
+  const double alpha = 0.5 * alpha_max(c);
+  const auto l = lemma1_constants(c, alpha);
+  const double beta = 0.4 * beta_max(l);
+
+  const auto sim = fed.simulate_fedml(theta0, alpha, beta, 200, t0);
+
+  // Use constants valid over the region the iterates actually visited.
+  const auto cc = fed.constants(sim.max_iterate_norm + 1e-9);
+  const auto terms = theorem2_terms(cc, alpha, beta, t0);
+  const double g0 = fed.global_meta_loss(theta0, alpha) -
+                    fed.global_meta_loss(fed.meta_minimizer(alpha), alpha);
+  for (std::size_t n = 0; n < sim.gap.size(); ++n) {
+    const std::size_t t = (n + 1) * t0;
+    EXPECT_LE(sim.gap[n], theorem2_bound(terms, g0, t) + 1e-9)
+        << "aggregation " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem2Holds,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 11u, 23u, 47u));
+
+TEST(Quadratic, RejectsDegenerateConstruction) {
+  EXPECT_THROW(QuadraticFederation({}, {}), util::Error);
+  QuadraticTask t{Tensor{{1.0}}, Tensor{{0.0}}};
+  EXPECT_THROW(QuadraticFederation({t}, {0.5}), util::Error);  // weights ≠ 1
+  QuadraticTask bad{Tensor{{-1.0}}, Tensor{{0.0}}};
+  EXPECT_THROW(QuadraticFederation({bad}, {1.0}), util::Error);
+}
+
+}  // namespace
+}  // namespace fedml::theory

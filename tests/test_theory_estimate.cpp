@@ -1,0 +1,159 @@
+#include "theory/estimate.h"
+
+#include <gtest/gtest.h>
+
+#include "autodiff/ops.h"
+#include "data/synthetic.h"
+#include "nn/loss.h"
+#include "nn/params.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::theory {
+namespace {
+
+using tensor::Tensor;
+
+data::Dataset toy_task(std::size_t n, std::size_t d, std::size_t classes,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Dataset ds;
+  ds.x = Tensor::randn(n, d, rng);
+  ds.y.resize(n);
+  for (auto& y : ds.y)
+    y = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(classes) - 1));
+  return ds;
+}
+
+TEST(Hvp, MatchesFiniteDifferenceOfGradient) {
+  const auto model = nn::make_softmax_regression(4, 3);
+  util::Rng rng(1);
+  const auto theta = model->init_params(rng);
+  const auto d = toy_task(8, 4, 3, 2);
+  nn::ParamList v;
+  for (const auto& p : theta)
+    v.emplace_back(Tensor::randn(p.rows(), p.cols(), rng), false);
+
+  const auto hv = hessian_vector_product(*model, theta, v, d);
+
+  // Finite difference: (∇L(θ+εv) − ∇L(θ−εv)) / 2ε ≈ ∇²L·v.
+  const double eps = 1e-5;
+  const auto grad_at = [&](double scale) {
+    nn::ParamList point;
+    for (std::size_t k = 0; k < theta.size(); ++k)
+      point.emplace_back(theta[k].value() + v[k].value() * scale, true);
+    const autodiff::Var loss = nn::softmax_cross_entropy(
+        model->forward(point, autodiff::ops::constant(d.x)), d.y);
+    return autodiff::grad(loss, {point.begin(), point.end()});
+  };
+  const auto gp = grad_at(eps);
+  const auto gm = grad_at(-eps);
+  for (std::size_t k = 0; k < theta.size(); ++k) {
+    const Tensor num = (gp[k].value() - gm[k].value()) * (1.0 / (2.0 * eps));
+    EXPECT_LT(tensor::max_abs_diff(num, hv[k].value()), 1e-5) << "param " << k;
+  }
+}
+
+TEST(Hvp, LinearInV) {
+  const auto model = nn::make_softmax_regression(3, 2);
+  util::Rng rng(3);
+  const auto theta = model->init_params(rng);
+  const auto d = toy_task(6, 3, 2, 4);
+  nn::ParamList v;
+  for (const auto& p : theta)
+    v.emplace_back(Tensor::randn(p.rows(), p.cols(), rng), false);
+  nn::ParamList v2;
+  for (const auto& p : v) v2.emplace_back(p.value() * 2.0, false);
+
+  const auto h1 = hessian_vector_product(*model, theta, v, d);
+  const auto h2 = hessian_vector_product(*model, theta, v2, d);
+  for (std::size_t k = 0; k < h1.size(); ++k)
+    EXPECT_TRUE(tensor::allclose(h2[k].value(), h1[k].value() * 2.0, 1e-9, 1e-11));
+}
+
+TEST(Estimate, IdenticalNodesHaveZeroDissimilarity) {
+  const auto model = nn::make_softmax_regression(4, 3);
+  util::Rng rng(5);
+  const auto theta = model->init_params(rng);
+  const auto d = toy_task(10, 4, 3, 6);
+  EstimateConfig cfg;
+  cfg.parameter_samples = 3;
+  cfg.pair_samples = 3;
+  const auto c = estimate_constants(*model, theta, {d, d, d},
+                                    {1.0 / 3, 1.0 / 3, 1.0 / 3}, cfg);
+  for (const auto dd : c.delta) EXPECT_NEAR(dd, 0.0, 1e-10);
+  for (const auto ss : c.sigma) EXPECT_NEAR(ss, 0.0, 1e-10);
+  EXPECT_GT(c.grad_bound, 0.0);
+  EXPECT_GT(c.smooth_h, 0.0);
+}
+
+TEST(Estimate, RanksHeterogeneityCorrectly) {
+  // A federation with genuinely different labelings must estimate larger
+  // δ than one with identical data.
+  const auto model = nn::make_softmax_regression(4, 3);
+  util::Rng rng(7);
+  const auto theta = model->init_params(rng);
+  const auto a = toy_task(10, 4, 3, 8);
+  auto b = a;
+  for (auto& y : b.y) y = (y + 1) % 3;  // conflicting labels
+  EstimateConfig cfg;
+  cfg.parameter_samples = 3;
+  cfg.pair_samples = 2;
+  const auto same = estimate_constants(*model, theta, {a, a}, {0.5, 0.5}, cfg);
+  const auto diff = estimate_constants(*model, theta, {a, b}, {0.5, 0.5}, cfg);
+  EXPECT_GT(diff.delta[0], same.delta[0] + 1e-6);
+}
+
+TEST(Estimate, ConvexModelHasPositiveMuEstimate) {
+  // Softmax regression is convex: the sampled monotonicity constant must be
+  // non-negative.
+  const auto model = nn::make_softmax_regression(4, 3);
+  util::Rng rng(9);
+  const auto theta = model->init_params(rng);
+  const auto d = toy_task(12, 4, 3, 10);
+  EstimateConfig cfg;
+  cfg.parameter_samples = 2;
+  cfg.pair_samples = 4;
+  const auto c = estimate_constants(*model, theta, {d}, {1.0}, cfg);
+  EXPECT_GE(c.mu, -1e-9);
+  EXPECT_GE(c.smooth_h, c.mu);
+}
+
+TEST(Estimate, DeterministicInSeed) {
+  const auto model = nn::make_softmax_regression(3, 2);
+  util::Rng rng(11);
+  const auto theta = model->init_params(rng);
+  const auto d = toy_task(8, 3, 2, 12);
+  EstimateConfig cfg;
+  cfg.parameter_samples = 2;
+  cfg.pair_samples = 2;
+  const auto a = estimate_constants(*model, theta, {d}, {1.0}, cfg);
+  const auto b = estimate_constants(*model, theta, {d}, {1.0}, cfg);
+  EXPECT_DOUBLE_EQ(a.smooth_h, b.smooth_h);
+  EXPECT_DOUBLE_EQ(a.grad_bound, b.grad_bound);
+}
+
+TEST(Estimate, RejectsMismatchedWeights) {
+  const auto model = nn::make_softmax_regression(3, 2);
+  util::Rng rng(13);
+  const auto theta = model->init_params(rng);
+  const auto d = toy_task(8, 3, 2, 14);
+  EXPECT_THROW(estimate_constants(*model, theta, {d}, {0.5, 0.5}, {}),
+               util::Error);
+}
+
+TEST(Theorem3Bound, MonotoneInEveryArgument) {
+  const double base = theorem3_bound(2.0, 0.1, 0.1, 0.05, 1.0);
+  EXPECT_GT(theorem3_bound(2.0, 0.1, 0.2, 0.05, 1.0), base);  // ε
+  EXPECT_GT(theorem3_bound(2.0, 0.1, 0.1, 0.10, 1.0), base);  // ε_c
+  EXPECT_GT(theorem3_bound(2.0, 0.1, 0.1, 0.05, 2.0), base);  // distance
+  EXPECT_GT(theorem3_bound(3.0, 0.1, 0.1, 0.05, 1.0), base);  // H
+}
+
+TEST(Theorem3Bound, ZeroWhenEverythingAligns) {
+  EXPECT_DOUBLE_EQ(theorem3_bound(2.0, 0.1, 0.0, 0.0, 0.0), 0.0);
+  EXPECT_THROW(theorem3_bound(-1.0, 0.1, 0.1, 0.1, 0.1), util::Error);
+}
+
+}  // namespace
+}  // namespace fedml::theory

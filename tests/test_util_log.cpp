@@ -1,0 +1,74 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fedml::util {
+namespace {
+
+/// RAII capture of log output; restores defaults on destruction.
+struct CaptureLog {
+  std::vector<std::pair<LogLevel, std::string>> messages;
+  LogLevel previous_level;
+
+  CaptureLog() : previous_level(Log::level()) {
+    Log::set_sink([this](LogLevel level, const std::string& m) {
+      messages.emplace_back(level, m);
+    });
+  }
+  ~CaptureLog() {
+    Log::set_sink(nullptr);
+    Log::set_level(previous_level);
+  }
+};
+
+TEST(Log, RespectsLevelThreshold) {
+  CaptureLog cap;
+  Log::set_level(LogLevel::kWarning);
+  FEDML_LOG(kDebug) << "dropped";
+  FEDML_LOG(kInfo) << "dropped too";
+  FEDML_LOG(kWarning) << "kept";
+  FEDML_LOG(kError) << "kept too";
+  ASSERT_EQ(cap.messages.size(), 2u);
+  EXPECT_EQ(cap.messages[0].second, "kept");
+  EXPECT_EQ(cap.messages[1].first, LogLevel::kError);
+}
+
+TEST(Log, StreamsArbitraryTypes) {
+  CaptureLog cap;
+  Log::set_level(LogLevel::kDebug);
+  FEDML_LOG(kInfo) << "round " << 7 << " loss " << 0.5;
+  ASSERT_EQ(cap.messages.size(), 1u);
+  EXPECT_EQ(cap.messages[0].second, "round 7 loss 0.5");
+}
+
+TEST(Log, LevelCanBeLowered) {
+  CaptureLog cap;
+  Log::set_level(LogLevel::kDebug);
+  FEDML_LOG(kDebug) << "now visible";
+  ASSERT_EQ(cap.messages.size(), 1u);
+}
+
+TEST(Log, EnabledReflectsLevel) {
+  CaptureLog cap;
+  Log::set_level(LogLevel::kError);
+  EXPECT_FALSE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+}
+
+TEST(Log, DisabledMessagesAreNotFormatted) {
+  CaptureLog cap;
+  Log::set_level(LogLevel::kError);
+  int side_effects = 0;
+  const auto expensive = [&] {
+    ++side_effects;
+    return std::string("x");
+  };
+  FEDML_LOG(kDebug) << expensive();
+  EXPECT_EQ(side_effects, 0);  // short-circuited before formatting
+  EXPECT_TRUE(cap.messages.empty());
+}
+
+}  // namespace
+}  // namespace fedml::util

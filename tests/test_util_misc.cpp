@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/serialize.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace fedml::util {
+namespace {
+
+// ---------------------------------------------------------------- Table ----
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), std::int64_t{42}});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("1.5000"), std::string::npos);
+}
+
+TEST(Table, RespectsPrecision) {
+  Table t({"v"});
+  t.set_precision(2);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.1416"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a,b", "c"});
+  t.add_row({std::string("x\"y"), std::string("plain")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"x\"\"y\""), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), Error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), Error);
+}
+
+// ------------------------------------------------------------------ Cli ----
+
+TEST(Cli, ParsesTypes) {
+  const char* argv[] = {"prog", "--n=5", "--rate=0.5", "--name=x", "--flag"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 5);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 0.5);
+  EXPECT_EQ(cli.get_string("name", ""), "x");
+  EXPECT_TRUE(cli.get_flag("flag"));
+  cli.finish();
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_FALSE(cli.get_flag("quiet"));
+  cli.finish();
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_THROW(cli.finish(), Error);
+}
+
+TEST(Cli, RejectsMalformedValue) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_THROW(cli.get_int("n", 0), Error);
+}
+
+TEST(Cli, RejectsNonDashArguments) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Cli(2, const_cast<char**>(argv)), Error);
+}
+
+// ------------------------------------------------------------ Serialize ----
+
+TEST(Serialize, RoundTripsScalarsAndSpans) {
+  ByteWriter w;
+  w.write_u32(7);
+  w.write_i64(-5);
+  w.write_f64(3.25);
+  const std::vector<double> data{1.0, -2.5, 1e-9};
+  w.write_f64_span(data.data(), data.size());
+  w.write_string("hello");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_u32(), 7u);
+  EXPECT_EQ(r.read_i64(), -5);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.25);
+  EXPECT_EQ(r.read_f64_vector(), data);
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, ThrowsOnTruncation) {
+  ByteWriter w;
+  w.write_f64(1.0);
+  std::vector<std::uint8_t> cut(w.bytes().begin(), w.bytes().end() - 1);
+  ByteReader r(cut);
+  EXPECT_THROW(r.read_f64(), Error);
+}
+
+TEST(Serialize, SizeMatchesPayload) {
+  ByteWriter w;
+  w.write_u64(1);
+  w.write_f64(2.0);
+  EXPECT_EQ(w.size(), sizeof(std::uint64_t) + sizeof(double));
+}
+
+// ----------------------------------------------------------- ThreadPool ----
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroTasksIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fedml::util

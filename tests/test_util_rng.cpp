@@ -1,0 +1,158 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace fedml::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  const Rng root(7);
+  Rng a = root.split(42);
+  Rng b = root.split(42);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfEachOther) {
+  const Rng root(7);
+  Rng a = root.split(1);
+  Rng b = root.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng root(7);
+  const double before = root.uniform();
+  Rng root2(7);
+  (void)root2.split(5);
+  (void)root2.split(9);
+  EXPECT_DOUBLE_EQ(before, root2.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(1.5, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.5, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, NormalVectorLengthAndDistribution) {
+  Rng rng(5);
+  const auto v = rng.normal_vector(5000, 0.0, 1.0);
+  ASSERT_EQ(v.size(), 5000u);
+  const double mean = std::accumulate(v.begin(), v.end(), 0.0) / 5000.0;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+}
+
+TEST(Rng, PowerLawWithinBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const auto n = rng.power_law_count(3.0, 10, 50);
+    EXPECT_GE(n, 10);
+    EXPECT_LE(n, 50);
+  }
+}
+
+TEST(Rng, PowerLawIsSkewedTowardMin) {
+  Rng rng(9);
+  int low = 0, high = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto n = rng.power_law_count(3.0, 10, 100);
+    if (n <= 20) ++low;
+    if (n >= 60) ++high;
+  }
+  EXPECT_GT(low, high * 3);  // heavy concentration near the minimum
+}
+
+TEST(Rng, PowerLawRejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.power_law_count(1.0, 10, 50), util::Error);
+  EXPECT_THROW(rng.power_law_count(2.0, 50, 10), util::Error);
+  EXPECT_THROW(rng.power_law_count(2.0, 0, 10), util::Error);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(2);
+  const auto p = rng.permutation(100);
+  ASSERT_EQ(p.size(), 100u);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(2);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto p = rng.permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(4);
+  const auto s = rng.sample_without_replacement(50, 20);
+  ASSERT_EQ(s.size(), 20u);
+  std::set<std::size_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 20u);
+  for (const auto v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(4);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), util::Error);
+}
+
+}  // namespace
+}  // namespace fedml::util
