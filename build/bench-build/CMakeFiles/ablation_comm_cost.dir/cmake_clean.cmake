@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_comm_cost"
+  "../bench/ablation_comm_cost.pdb"
+  "CMakeFiles/ablation_comm_cost.dir/ablation_comm_cost.cpp.o"
+  "CMakeFiles/ablation_comm_cost.dir/ablation_comm_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_comm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

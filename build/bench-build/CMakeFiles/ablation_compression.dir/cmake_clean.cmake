@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_compression"
+  "../bench/ablation_compression.pdb"
+  "CMakeFiles/ablation_compression.dir/ablation_compression.cpp.o"
+  "CMakeFiles/ablation_compression.dir/ablation_compression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

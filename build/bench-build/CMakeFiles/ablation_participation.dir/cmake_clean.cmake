@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_participation"
+  "../bench/ablation_participation.pdb"
+  "CMakeFiles/ablation_participation.dir/ablation_participation.cpp.o"
+  "CMakeFiles/ablation_participation.dir/ablation_participation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

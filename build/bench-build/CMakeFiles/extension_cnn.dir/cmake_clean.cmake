@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_cnn"
+  "../bench/extension_cnn.pdb"
+  "CMakeFiles/extension_cnn.dir/extension_cnn.cpp.o"
+  "CMakeFiles/extension_cnn.dir/extension_cnn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

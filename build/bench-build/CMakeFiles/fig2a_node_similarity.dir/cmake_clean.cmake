@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2a_node_similarity"
+  "../bench/fig2a_node_similarity.pdb"
+  "CMakeFiles/fig2a_node_similarity.dir/fig2a_node_similarity.cpp.o"
+  "CMakeFiles/fig2a_node_similarity.dir/fig2a_node_similarity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_node_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2b_local_steps"
+  "../bench/fig2b_local_steps.pdb"
+  "CMakeFiles/fig2b_local_steps.dir/fig2b_local_steps.cpp.o"
+  "CMakeFiles/fig2b_local_steps.dir/fig2b_local_steps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_local_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

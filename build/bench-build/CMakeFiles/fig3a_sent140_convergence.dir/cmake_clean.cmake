@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_sent140_convergence"
+  "../bench/fig3a_sent140_convergence.pdb"
+  "CMakeFiles/fig3a_sent140_convergence.dir/fig3a_sent140_convergence.cpp.o"
+  "CMakeFiles/fig3a_sent140_convergence.dir/fig3a_sent140_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_sent140_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_target_similarity"
+  "../bench/fig3b_target_similarity.pdb"
+  "CMakeFiles/fig3b_target_similarity.dir/fig3b_target_similarity.cpp.o"
+  "CMakeFiles/fig3b_target_similarity.dir/fig3b_target_similarity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_target_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

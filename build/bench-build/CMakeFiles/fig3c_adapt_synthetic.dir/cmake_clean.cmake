@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3c_adapt_synthetic"
+  "../bench/fig3c_adapt_synthetic.pdb"
+  "CMakeFiles/fig3c_adapt_synthetic.dir/fig3c_adapt_synthetic.cpp.o"
+  "CMakeFiles/fig3c_adapt_synthetic.dir/fig3c_adapt_synthetic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_adapt_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

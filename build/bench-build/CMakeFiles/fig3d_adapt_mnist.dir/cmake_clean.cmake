@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3d_adapt_mnist"
+  "../bench/fig3d_adapt_mnist.pdb"
+  "CMakeFiles/fig3d_adapt_mnist.dir/fig3d_adapt_mnist.cpp.o"
+  "CMakeFiles/fig3d_adapt_mnist.dir/fig3d_adapt_mnist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_adapt_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3e_adapt_sent140.cpp" "bench-build/CMakeFiles/fig3e_adapt_sent140.dir/fig3e_adapt_sent140.cpp.o" "gcc" "bench-build/CMakeFiles/fig3e_adapt_sent140.dir/fig3e_adapt_sent140.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/fedml_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/fedml_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/fed/CMakeFiles/fedml_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedml_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/fedml_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

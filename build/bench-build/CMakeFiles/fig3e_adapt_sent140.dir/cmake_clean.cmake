@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3e_adapt_sent140"
+  "../bench/fig3e_adapt_sent140.pdb"
+  "CMakeFiles/fig3e_adapt_sent140.dir/fig3e_adapt_sent140.cpp.o"
+  "CMakeFiles/fig3e_adapt_sent140.dir/fig3e_adapt_sent140.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3e_adapt_sent140.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3e_adapt_sent140.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4e_fgsm_sweep"
+  "../bench/fig4e_fgsm_sweep.pdb"
+  "CMakeFiles/fig4e_fgsm_sweep.dir/fig4e_fgsm_sweep.cpp.o"
+  "CMakeFiles/fig4e_fgsm_sweep.dir/fig4e_fgsm_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4e_fgsm_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4e_fgsm_sweep.
+# This may be replaced when dependencies are built.

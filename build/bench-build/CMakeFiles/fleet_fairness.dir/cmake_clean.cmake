@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fleet_fairness"
+  "../bench/fleet_fairness.pdb"
+  "CMakeFiles/fleet_fairness.dir/fleet_fairness.cpp.o"
+  "CMakeFiles/fleet_fairness.dir/fleet_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

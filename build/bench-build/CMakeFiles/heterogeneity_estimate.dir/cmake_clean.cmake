@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/heterogeneity_estimate"
+  "../bench/heterogeneity_estimate.pdb"
+  "CMakeFiles/heterogeneity_estimate.dir/heterogeneity_estimate.cpp.o"
+  "CMakeFiles/heterogeneity_estimate.dir/heterogeneity_estimate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneity_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_autodiff"
+  "../bench/micro_autodiff.pdb"
+  "CMakeFiles/micro_autodiff.dir/micro_autodiff.cpp.o"
+  "CMakeFiles/micro_autodiff.dir/micro_autodiff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

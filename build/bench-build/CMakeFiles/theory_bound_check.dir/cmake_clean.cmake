@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/theory_bound_check"
+  "../bench/theory_bound_check.pdb"
+  "CMakeFiles/theory_bound_check.dir/theory_bound_check.cpp.o"
+  "CMakeFiles/theory_bound_check.dir/theory_bound_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_bound_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/communication_tradeoff.dir/communication_tradeoff.cpp.o"
+  "CMakeFiles/communication_tradeoff.dir/communication_tradeoff.cpp.o.d"
+  "communication_tradeoff"
+  "communication_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/communication_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

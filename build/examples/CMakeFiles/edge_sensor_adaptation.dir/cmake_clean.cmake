@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_sensor_adaptation.dir/edge_sensor_adaptation.cpp.o"
+  "CMakeFiles/edge_sensor_adaptation.dir/edge_sensor_adaptation.cpp.o.d"
+  "edge_sensor_adaptation"
+  "edge_sensor_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_sensor_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedml_autodiff.dir/ops.cpp.o"
+  "CMakeFiles/fedml_autodiff.dir/ops.cpp.o.d"
+  "CMakeFiles/fedml_autodiff.dir/var.cpp.o"
+  "CMakeFiles/fedml_autodiff.dir/var.cpp.o.d"
+  "libfedml_autodiff.a"
+  "libfedml_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedml_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

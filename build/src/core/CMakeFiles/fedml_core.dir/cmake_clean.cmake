@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedml_core.dir/adaptation.cpp.o"
+  "CMakeFiles/fedml_core.dir/adaptation.cpp.o.d"
+  "CMakeFiles/fedml_core.dir/algorithms.cpp.o"
+  "CMakeFiles/fedml_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/fedml_core.dir/meta.cpp.o"
+  "CMakeFiles/fedml_core.dir/meta.cpp.o.d"
+  "CMakeFiles/fedml_core.dir/personalization.cpp.o"
+  "CMakeFiles/fedml_core.dir/personalization.cpp.o.d"
+  "libfedml_core.a"
+  "libfedml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/fedml_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/fedml_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/fedml_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/fedml_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/mnist_like.cpp" "src/data/CMakeFiles/fedml_data.dir/mnist_like.cpp.o" "gcc" "src/data/CMakeFiles/fedml_data.dir/mnist_like.cpp.o.d"
+  "/root/repo/src/data/sent140_like.cpp" "src/data/CMakeFiles/fedml_data.dir/sent140_like.cpp.o" "gcc" "src/data/CMakeFiles/fedml_data.dir/sent140_like.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/fedml_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/fedml_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fedml_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/fedml_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

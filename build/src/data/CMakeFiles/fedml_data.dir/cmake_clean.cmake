@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedml_data.dir/dataset.cpp.o"
+  "CMakeFiles/fedml_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fedml_data.dir/io.cpp.o"
+  "CMakeFiles/fedml_data.dir/io.cpp.o.d"
+  "CMakeFiles/fedml_data.dir/mnist_like.cpp.o"
+  "CMakeFiles/fedml_data.dir/mnist_like.cpp.o.d"
+  "CMakeFiles/fedml_data.dir/sent140_like.cpp.o"
+  "CMakeFiles/fedml_data.dir/sent140_like.cpp.o.d"
+  "CMakeFiles/fedml_data.dir/synthetic.cpp.o"
+  "CMakeFiles/fedml_data.dir/synthetic.cpp.o.d"
+  "libfedml_data.a"
+  "libfedml_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedml_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fed/compression.cpp" "src/fed/CMakeFiles/fedml_fed.dir/compression.cpp.o" "gcc" "src/fed/CMakeFiles/fedml_fed.dir/compression.cpp.o.d"
+  "/root/repo/src/fed/node.cpp" "src/fed/CMakeFiles/fedml_fed.dir/node.cpp.o" "gcc" "src/fed/CMakeFiles/fedml_fed.dir/node.cpp.o.d"
+  "/root/repo/src/fed/platform.cpp" "src/fed/CMakeFiles/fedml_fed.dir/platform.cpp.o" "gcc" "src/fed/CMakeFiles/fedml_fed.dir/platform.cpp.o.d"
+  "/root/repo/src/fed/secure_agg.cpp" "src/fed/CMakeFiles/fedml_fed.dir/secure_agg.cpp.o" "gcc" "src/fed/CMakeFiles/fedml_fed.dir/secure_agg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fedml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedml_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/fedml_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

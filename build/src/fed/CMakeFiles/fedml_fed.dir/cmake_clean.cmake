@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedml_fed.dir/compression.cpp.o"
+  "CMakeFiles/fedml_fed.dir/compression.cpp.o.d"
+  "CMakeFiles/fedml_fed.dir/node.cpp.o"
+  "CMakeFiles/fedml_fed.dir/node.cpp.o.d"
+  "CMakeFiles/fedml_fed.dir/platform.cpp.o"
+  "CMakeFiles/fedml_fed.dir/platform.cpp.o.d"
+  "CMakeFiles/fedml_fed.dir/secure_agg.cpp.o"
+  "CMakeFiles/fedml_fed.dir/secure_agg.cpp.o.d"
+  "libfedml_fed.a"
+  "libfedml_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedml_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

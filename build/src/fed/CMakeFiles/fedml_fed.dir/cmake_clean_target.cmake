@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedml_fed.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/fedml_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/fedml_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/fedml_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/fedml_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fedml_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fedml_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/fedml_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/fedml_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/fedml_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/fedml_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/fedml_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/fedml_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/params.cpp" "src/nn/CMakeFiles/fedml_nn.dir/params.cpp.o" "gcc" "src/nn/CMakeFiles/fedml_nn.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autodiff/CMakeFiles/fedml_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

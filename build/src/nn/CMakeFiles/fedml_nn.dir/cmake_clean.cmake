@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedml_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/fedml_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fedml_nn.dir/embedding.cpp.o"
+  "CMakeFiles/fedml_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/fedml_nn.dir/loss.cpp.o"
+  "CMakeFiles/fedml_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fedml_nn.dir/metrics.cpp.o"
+  "CMakeFiles/fedml_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/fedml_nn.dir/module.cpp.o"
+  "CMakeFiles/fedml_nn.dir/module.cpp.o.d"
+  "CMakeFiles/fedml_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fedml_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fedml_nn.dir/params.cpp.o"
+  "CMakeFiles/fedml_nn.dir/params.cpp.o.d"
+  "libfedml_nn.a"
+  "libfedml_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedml_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

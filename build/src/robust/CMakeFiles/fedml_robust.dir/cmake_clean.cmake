@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedml_robust.dir/adversary.cpp.o"
+  "CMakeFiles/fedml_robust.dir/adversary.cpp.o.d"
+  "libfedml_robust.a"
+  "libfedml_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedml_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

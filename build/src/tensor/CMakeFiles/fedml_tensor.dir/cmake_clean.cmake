@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedml_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fedml_tensor.dir/tensor.cpp.o.d"
+  "libfedml_tensor.a"
+  "libfedml_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedml_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedml_theory.dir/bounds.cpp.o"
+  "CMakeFiles/fedml_theory.dir/bounds.cpp.o.d"
+  "CMakeFiles/fedml_theory.dir/estimate.cpp.o"
+  "CMakeFiles/fedml_theory.dir/estimate.cpp.o.d"
+  "CMakeFiles/fedml_theory.dir/quadratic.cpp.o"
+  "CMakeFiles/fedml_theory.dir/quadratic.cpp.o.d"
+  "libfedml_theory.a"
+  "libfedml_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedml_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedml_util.dir/cli.cpp.o"
+  "CMakeFiles/fedml_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fedml_util.dir/log.cpp.o"
+  "CMakeFiles/fedml_util.dir/log.cpp.o.d"
+  "CMakeFiles/fedml_util.dir/rng.cpp.o"
+  "CMakeFiles/fedml_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fedml_util.dir/table.cpp.o"
+  "CMakeFiles/fedml_util.dir/table.cpp.o.d"
+  "CMakeFiles/fedml_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fedml_util.dir/thread_pool.cpp.o.d"
+  "libfedml_util.a"
+  "libfedml_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedml_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autodiff_conv.dir/test_autodiff_conv.cpp.o"
+  "CMakeFiles/test_autodiff_conv.dir/test_autodiff_conv.cpp.o.d"
+  "test_autodiff_conv"
+  "test_autodiff_conv.pdb"
+  "test_autodiff_conv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autodiff_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autodiff_fuzz.dir/test_autodiff_fuzz.cpp.o"
+  "CMakeFiles/test_autodiff_fuzz.dir/test_autodiff_fuzz.cpp.o.d"
+  "test_autodiff_fuzz"
+  "test_autodiff_fuzz.pdb"
+  "test_autodiff_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autodiff_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_autodiff_second_order.
+# This may be replaced when dependencies are built.

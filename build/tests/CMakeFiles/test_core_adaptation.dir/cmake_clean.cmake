@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_adaptation.dir/test_core_adaptation.cpp.o"
+  "CMakeFiles/test_core_adaptation.dir/test_core_adaptation.cpp.o.d"
+  "test_core_adaptation"
+  "test_core_adaptation.pdb"
+  "test_core_adaptation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

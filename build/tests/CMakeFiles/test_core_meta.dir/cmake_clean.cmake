@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_meta.dir/test_core_meta.cpp.o"
+  "CMakeFiles/test_core_meta.dir/test_core_meta.cpp.o.d"
+  "test_core_meta"
+  "test_core_meta.pdb"
+  "test_core_meta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

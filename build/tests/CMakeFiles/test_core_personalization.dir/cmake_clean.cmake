@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_personalization.dir/test_core_personalization.cpp.o"
+  "CMakeFiles/test_core_personalization.dir/test_core_personalization.cpp.o.d"
+  "test_core_personalization"
+  "test_core_personalization.pdb"
+  "test_core_personalization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

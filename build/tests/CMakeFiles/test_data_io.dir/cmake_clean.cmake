@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_io.dir/test_data_io.cpp.o"
+  "CMakeFiles/test_data_io.dir/test_data_io.cpp.o.d"
+  "test_data_io"
+  "test_data_io.pdb"
+  "test_data_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

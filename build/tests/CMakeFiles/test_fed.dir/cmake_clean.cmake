@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fed.dir/test_fed.cpp.o"
+  "CMakeFiles/test_fed.dir/test_fed.cpp.o.d"
+  "test_fed"
+  "test_fed.pdb"
+  "test_fed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

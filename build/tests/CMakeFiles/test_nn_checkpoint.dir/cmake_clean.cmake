@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_checkpoint.dir/test_nn_checkpoint.cpp.o"
+  "CMakeFiles/test_nn_checkpoint.dir/test_nn_checkpoint.cpp.o.d"
+  "test_nn_checkpoint"
+  "test_nn_checkpoint.pdb"
+  "test_nn_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_metrics.dir/test_nn_metrics.cpp.o"
+  "CMakeFiles/test_nn_metrics.dir/test_nn_metrics.cpp.o.d"
+  "test_nn_metrics"
+  "test_nn_metrics.pdb"
+  "test_nn_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_module.dir/test_nn_module.cpp.o"
+  "CMakeFiles/test_nn_module.dir/test_nn_module.cpp.o.d"
+  "test_nn_module"
+  "test_nn_module.pdb"
+  "test_nn_module[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

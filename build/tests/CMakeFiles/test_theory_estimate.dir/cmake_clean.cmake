@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theory_estimate.dir/test_theory_estimate.cpp.o"
+  "CMakeFiles/test_theory_estimate.dir/test_theory_estimate.cpp.o.d"
+  "test_theory_estimate"
+  "test_theory_estimate.pdb"
+  "test_theory_estimate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theory_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_util_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_util_log[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor_property[1]_include.cmake")
+include("/root/repo/build/tests/test_autodiff_first_order[1]_include.cmake")
+include("/root/repo/build/tests/test_autodiff_second_order[1]_include.cmake")
+include("/root/repo/build/tests/test_autodiff_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_autodiff_conv[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_module[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_loss[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_params[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_data_io[1]_include.cmake")
+include("/root/repo/build/tests/test_fed[1]_include.cmake")
+include("/root/repo/build/tests/test_fed_compression[1]_include.cmake")
+include("/root/repo/build/tests/test_core_meta[1]_include.cmake")
+include("/root/repo/build/tests/test_core_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_core_adaptation[1]_include.cmake")
+include("/root/repo/build/tests/test_core_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_core_personalization[1]_include.cmake")
+include("/root/repo/build/tests/test_robust[1]_include.cmake")
+include("/root/repo/build/tests/test_theory[1]_include.cmake")
+include("/root/repo/build/tests/test_theory_estimate[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
