@@ -1,0 +1,113 @@
+// Demo: federated meta-learning over a *faulty* edge network, event-driven.
+//
+// A fleet of heterogeneous edge devices trains FedML while the simulator
+// injects every failure mode an edge deployment sees in practice:
+//   - straggler devices computing 4× slower than the fleet,
+//   - lossy uplinks dropping a fraction of model uploads,
+//   - nodes crashing (losing in-flight work) and rejoining later,
+//   - heterogeneous link bandwidths and propagation latency/jitter.
+// The synchronous platform must wait for the slowest survivor each round;
+// the asynchronous platform aggregates on a deadline/quorum with
+// staleness-discounted weights and keeps making progress.
+
+#include <cstdint>
+#include <iostream>
+
+#include "core/algorithms.h"
+#include "data/synthetic.h"
+#include "fed/node.h"
+#include "nn/module.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fedml;
+  util::Cli cli(argc, argv);
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 12));
+  const auto total = static_cast<std::size_t>(cli.get_int("iterations", 120));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  cli.finish();
+
+  // Federation: the paper's Synthetic(0.5, 0.5) task family.
+  data::SyntheticConfig dcfg;
+  dcfg.alpha = 0.5;
+  dcfg.beta = 0.5;
+  dcfg.num_nodes = nodes;
+  dcfg.seed = seed;
+  const auto fd = data::make_synthetic(dcfg);
+  auto model = nn::make_softmax_regression(dcfg.input_dim, dcfg.num_classes);
+
+  std::vector<std::size_t> ids(fd.num_nodes());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  util::Rng rng(seed);
+  auto sources = fed::make_edge_nodes(fd, ids, /*k=*/5, rng);
+  fed::assign_straggler_speeds(sources, /*sigma=*/0.3, rng);
+  util::Rng init(seed ^ 0xabcdef);
+  const auto theta0 = model->init_params(init);
+
+  core::FedMLConfig base;
+  base.alpha = 0.01;
+  base.beta = 0.01;
+  base.total_iterations = total;
+  base.local_steps = 10;
+
+  // Synchronous run (lockstep rounds, ideal transport).
+  const auto sync = core::train_fedml(*model, sources, theta0, base);
+
+  // Asynchronous run on the same fleet, now with injected faults.
+  core::AsyncFedMLConfig acfg;
+  acfg.base = base;
+  acfg.sim.total_iterations = total;
+  acfg.sim.local_steps = 10;
+  acfg.sim.deadline_s = 0.2;              // aggregate at least every 200 ms
+  acfg.sim.quorum = nodes / 2;            // ... or as soon as half reported
+  acfg.sim.staleness_exponent = 0.5;
+  acfg.sim.seed = seed;
+  acfg.sim.net.bandwidth_sigma = 0.4;     // heterogeneous links
+  acfg.sim.net.latency_s = 0.01;
+  acfg.sim.net.jitter_s = 0.005;
+  acfg.sim.net.loss_prob = 0.05;          // 5% of uploads vanish
+  acfg.sim.faults.straggler_fraction = 0.25;
+  acfg.sim.faults.straggler_slowdown = 4.0;
+  acfg.sim.faults.crash_rate_per_hour = 3600.0;  // ~1/s — aggressive, for the demo
+  acfg.sim.faults.mean_repair_s = 0.5;
+  const auto async = core::train_fedml_async(*model, sources, theta0, acfg);
+
+  util::Table t({"mode", "final meta-loss", "aggregations", "sim seconds",
+                 "uplink MB", "downlink MB"});
+  t.add_row({std::string("synchronous (lockstep)"),
+             sync.history.back().global_loss,
+             static_cast<std::int64_t>(sync.comm.aggregations),
+             sync.comm.sim_seconds, sync.comm.bytes_up / 1e6,
+             sync.comm.bytes_down / 1e6});
+  t.add_row({std::string("async (deadline+quorum)"),
+             async.history.back().global_loss,
+             static_cast<std::int64_t>(async.totals.comm.aggregations),
+             async.totals.comm.sim_seconds, async.totals.comm.bytes_up / 1e6,
+             async.totals.comm.bytes_down / 1e6});
+  t.print(std::cout, "FedML on a faulty edge network — sync vs async");
+  std::cout << "\n";
+
+  const auto& a = async.totals;
+  util::Table ev({"event", "count"});
+  ev.add_row({std::string("T0-blocks completed"),
+              static_cast<std::int64_t>(a.blocks_completed)});
+  ev.add_row({std::string("uploads received"),
+              static_cast<std::int64_t>(a.uploads_received)});
+  ev.add_row({std::string("uploads lost in transit"),
+              static_cast<std::int64_t>(a.comm.uploads_dropped)});
+  ev.add_row({std::string("stale updates merged"),
+              static_cast<std::int64_t>(a.stale_updates)});
+  ev.add_row({std::string("deadline-triggered rounds"),
+              static_cast<std::int64_t>(a.deadline_rounds)});
+  ev.add_row({std::string("quorum-triggered rounds"),
+              static_cast<std::int64_t>(a.quorum_rounds)});
+  ev.add_row({std::string("node crashes (work lost)"),
+              static_cast<std::int64_t>(a.crashes)});
+  ev.add_row({std::string("node rejoins"),
+              static_cast<std::int64_t>(a.rejoins)});
+  ev.print(std::cout, "Injected-fault event counts");
+  std::cout << "\nmean staleness of merged updates: " << a.mean_staleness()
+            << " rounds\n";
+  return 0;
+}

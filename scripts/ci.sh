@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI entry point: build + full test suite in Release, then the same suite
+# under AddressSanitizer + UndefinedBehaviorSanitizer (memory errors and UB
+# in the simulator/event-loop code paths don't show up in plain unit runs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${JOBS:-$(nproc)}"
+
+cmake --preset release
+cmake --build --preset release -j "$jobs"
+ctest --preset release -j "$jobs"
+
+cmake --preset asan
+cmake --build --preset asan -j "$jobs"
+ctest --preset asan -j "$jobs"

@@ -92,6 +92,40 @@ TrainResult train_fedml(const nn::Module& model, std::vector<fed::EdgeNode> node
   return result;
 }
 
+AsyncTrainResult train_fedml_async(const nn::Module& model,
+                                   std::vector<fed::EdgeNode> nodes,
+                                   const nn::ParamList& theta0,
+                                   const AsyncFedMLConfig& config) {
+  const auto& base = config.base;
+  FEDML_CHECK(base.inner_steps >= 1, "FedML: inner_steps must be >= 1");
+  auto optimizers = make_node_optimizers(nodes, base.meta_optimizer, base.beta);
+  sim::AsyncPlatform platform(std::move(nodes), config.sim);
+  platform.broadcast(theta0);
+
+  AsyncTrainResult result;
+  // Same local meta-update as the synchronous train_fedml.
+  const auto step = [&](fed::EdgeNode& node, std::size_t) {
+    if (base.resample_support) node.resample_support();
+    const nn::ParamList g =
+        base.inner_steps == 1
+            ? meta_gradient(model, node.params, node.data.train,
+                            node.data.test, base.alpha, base.order)
+            : meta_gradient_multistep(model, node.params, node.data.train,
+                                      {&node.data.test}, base.alpha,
+                                      base.inner_steps, base.order);
+    node.params = optimizers.at(node.id)->step(node.params, g);
+  };
+  const auto hook = [&](std::size_t round, const nn::ParamList& theta) {
+    if (!base.track_loss) return;
+    result.history.push_back(
+        {round, global_meta_loss(model, theta, platform.nodes(), base.alpha)});
+  };
+
+  result.totals = platform.run(step, hook);
+  result.theta = nn::clone_leaves(platform.global_params());
+  return result;
+}
+
 TrainResult train_fedavg(const nn::Module& model, std::vector<fed::EdgeNode> nodes,
                          const nn::ParamList& theta0, const FedAvgConfig& config) {
   fed::Platform platform(

@@ -7,6 +7,7 @@
 #include "fed/platform.h"
 #include "nn/optimizer.h"
 #include "robust/adversary.h"
+#include "sim/async_platform.h"
 
 namespace fedml::core {
 
@@ -58,6 +59,31 @@ struct FedMLConfig {
 
 TrainResult train_fedml(const nn::Module& model, std::vector<fed::EdgeNode> nodes,
                         const nn::ParamList& theta0, const FedMLConfig& config);
+
+/// Event-driven FedML on the `sim::AsyncPlatform`: the same local
+/// meta-update as Algorithm 1, but nodes upload whenever their T0 block
+/// finishes in *simulated time* and the platform merges with
+/// staleness-discounted weights on a deadline and/or K-of-N quorum.
+/// Iteration budget and T0 are taken from `sim` (not `base`); `base`
+/// supplies the meta-update itself (α, β, order, inner steps, optimizer).
+struct AsyncFedMLConfig {
+  FedMLConfig base;      ///< local update hyper-parameters
+  sim::AsyncConfig sim;  ///< schedule, network, faults, triggers
+};
+
+/// Result of an event-driven run: `history` is keyed by aggregation round
+/// (not global iteration — rounds are the only platform-wide clock in the
+/// asynchronous mode).
+struct AsyncTrainResult {
+  nn::ParamList theta;
+  std::vector<RoundRecord> history;
+  sim::AsyncTotals totals;
+};
+
+AsyncTrainResult train_fedml_async(const nn::Module& model,
+                                   std::vector<fed::EdgeNode> nodes,
+                                   const nn::ParamList& theta0,
+                                   const AsyncFedMLConfig& config);
 
 /// FedAvg baseline [McMahan et al.]: T0 local SGD steps on the node's FULL
 /// local dataset (the paper trains FedAvg on everything), then weighted

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 
+#include "util/error.h"
+
 namespace fedml::fed {
 
 /// Simple platform↔edge communication/computation cost model. The paper's
@@ -15,7 +17,11 @@ struct CommModel {
   double compute_s_per_step = 0.01;   ///< one local meta-step on edge silicon
 
   /// Seconds to move `bytes` over a link of `mbps` megabits per second.
+  /// A non-positive bandwidth or negative payload has no physical meaning
+  /// and would silently produce inf/negative seconds, so both are rejected.
   [[nodiscard]] static double transfer_seconds(double bytes, double mbps) {
+    FEDML_CHECK(mbps > 0.0, "link bandwidth (mbps) must be positive");
+    FEDML_CHECK(bytes >= 0.0, "transfer size must be non-negative");
     return (bytes * 8.0) / (mbps * 1e6);
   }
 };

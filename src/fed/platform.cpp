@@ -15,8 +15,8 @@ Platform::Platform(std::vector<EdgeNode> nodes, Config config)
   FEDML_CHECK(config_.participation > 0.0 && config_.participation <= 1.0,
               "participation must be in (0, 1]");
   FEDML_CHECK(config_.upload_failure_prob >= 0.0 &&
-                  config_.upload_failure_prob < 1.0,
-              "upload failure probability must be in [0, 1)");
+                  config_.upload_failure_prob <= 1.0,
+              "upload failure probability must be in [0, 1]");
   double wsum = 0.0;
   for (const auto& n : nodes_) wsum += n.weight;
   FEDML_CHECK(std::abs(wsum - 1.0) < 1e-6, "node weights must sum to 1");
@@ -58,6 +58,12 @@ CommTotals Platform::run(const LocalStep& step, const AggregateHook& hook) {
 
   util::ThreadPool pool(config_.threads);
   CommTotals totals;
+  // The synchronous path shares the sim::Transport abstraction with the
+  // event-driven sim::AsyncPlatform; the default IdealTransport reproduces
+  // the historical CommModel accounting exactly.
+  std::shared_ptr<sim::Transport> transport = config_.transport;
+  if (!transport)
+    transport = std::make_shared<sim::IdealTransport>(config_.comm);
   const std::size_t payload = nn::serialized_size_bytes(global_);
   const bool full_participation =
       config_.participation >= 1.0 && config_.upload_failure_prob == 0.0;
@@ -135,17 +141,28 @@ CommTotals Platform::run(const LocalStep& step, const AggregateHook& hook) {
     totals.aggregations += 1;
     totals.bytes_up += round_uplink_bytes;
     totals.bytes_down += static_cast<double>(payload * nodes_.size());
-    // A synchronous round finishes when its slowest participant does.
+    // A synchronous round finishes when its slowest participant does — in
+    // compute AND on the wire, so each leg is priced at the worst active
+    // link. For the default IdealTransport all links are identical and this
+    // reduces to the historical single-transfer accounting, bit-for-bit.
     double slowest = 0.0;
-    for (const auto i : active)
+    double up_s = 0.0;
+    double down_s = 0.0;
+    for (const auto i : active) {
       slowest = std::max(slowest, nodes_[i].compute_speed);
+      up_s = std::max(up_s,
+                      transport->uplink_latency_seconds(i) +
+                          transport->uplink_seconds(
+                              i, static_cast<double>(payload)));
+      down_s = std::max(down_s,
+                        transport->downlink_latency_seconds(i) +
+                            transport->downlink_seconds(
+                                i, static_cast<double>(payload)));
+    }
     totals.sim_seconds +=
-        config_.comm.per_round_overhead_s +
+        transport->round_overhead_seconds() +
         config_.comm.compute_s_per_step * slowest * static_cast<double>(block) +
-        CommModel::transfer_seconds(static_cast<double>(payload),
-                                    config_.comm.uplink_mbps) +
-        CommModel::transfer_seconds(static_cast<double>(payload),
-                                    config_.comm.downlink_mbps);
+        up_s + down_s;
     if (hook) hook(t, global_);
   }
   return totals;

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "fed/comm.h"
 #include "fed/node.h"
 #include "nn/params.h"
+#include "sim/transport.h"
 
 namespace fedml::fed {
 
@@ -42,6 +44,13 @@ class Platform {
     /// values, and the returned wire size replaces the raw payload in the
     /// communication accounting. Empty = lossless full-precision upload.
     UplinkCodec uplink_codec;
+    /// Data path used for the per-round time accounting. Null (the default)
+    /// means a zero-latency `sim::IdealTransport` over `comm`, which
+    /// reproduces the historical synchronous accounting bit-for-bit; inject
+    /// e.g. a `sim::NetworkTransport` to price rounds on heterogeneous
+    /// links. The synchronous schedule itself never reorders — only the
+    /// simulated seconds change.
+    std::shared_ptr<sim::Transport> transport;
   };
 
   /// Local update performed by a node at iteration t (1-based).

@@ -1,0 +1,285 @@
+#include "sim/async_platform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/params.h"
+#include "util/error.h"
+
+namespace fedml::sim {
+
+struct AsyncPlatform::Impl {
+  NetworkTransport net;
+  FaultInjector faults;
+
+  Impl(const AsyncConfig& cfg, std::size_t n, util::Rng& root)
+      : net(cfg.comm, cfg.net, n, root.split(0x6e7)),
+        faults(cfg.faults, n, root.split(0xfa0)) {}
+};
+
+AsyncPlatform::AsyncPlatform(std::vector<fed::EdgeNode> nodes,
+                             AsyncConfig config)
+    : nodes_(std::move(nodes)), config_(config) {
+  FEDML_CHECK(!nodes_.empty(), "async platform needs at least one edge node");
+  FEDML_CHECK(config_.local_steps >= 1, "T0 must be at least 1");
+  FEDML_CHECK(config_.total_iterations >= 1, "T must be at least 1");
+  FEDML_CHECK(config_.deadline_s >= 0.0, "deadline must be non-negative");
+  FEDML_CHECK(config_.quorum <= nodes_.size(),
+              "quorum cannot exceed the number of nodes");
+  FEDML_CHECK(config_.deadline_s > 0.0 || config_.quorum > 0,
+              "enable at least one aggregation trigger (deadline or quorum)");
+  FEDML_CHECK(config_.staleness_exponent >= 0.0,
+              "staleness_exponent must be non-negative");
+  FEDML_CHECK(config_.mix_rate > 0.0 && config_.mix_rate <= 1.0,
+              "mix_rate must be in (0, 1]");
+  double wsum = 0.0;
+  for (const auto& n : nodes_) wsum += n.weight;
+  FEDML_CHECK(std::abs(wsum - 1.0) < 1e-6, "node weights must sum to 1");
+
+  util::Rng root(config_.seed);
+  impl_ = std::make_unique<Impl>(config_, nodes_.size(), root);
+}
+
+AsyncPlatform::~AsyncPlatform() = default;
+
+void AsyncPlatform::broadcast(const nn::ParamList& theta) {
+  global_ = nn::clone_leaves(theta);
+  for (auto& n : nodes_) n.params = nn::clone_leaves(theta);
+}
+
+const FaultInjector& AsyncPlatform::faults() const { return impl_->faults; }
+const NetworkTransport& AsyncPlatform::network() const { return impl_->net; }
+
+AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook) {
+  FEDML_CHECK(static_cast<bool>(step), "run() needs a local step function");
+  FEDML_CHECK(!global_.empty(), "broadcast initial parameters before run()");
+
+  auto& net = impl_->net;
+  auto& faults = impl_->faults;
+  const std::size_t n = nodes_.size();
+  const std::size_t t_budget = config_.total_iterations;
+  const auto payload =
+      static_cast<double>(nn::serialized_size_bytes(global_));
+
+  EventQueue q;
+  AsyncTotals totals;
+
+  /// Per-node simulation state. `version` is the aggregation round of the
+  /// node's current base model; staleness of an upload is measured against
+  /// the round counter at merge time.
+  struct NodeState {
+    std::size_t done = 0;     ///< completed local iterations
+    std::size_t version = 0;  ///< round of the node's base model
+    bool has_block = false;
+    EventQueue::EventId block = 0;
+    bool has_crash = false;
+    EventQueue::EventId crash = 0;
+  };
+  std::vector<NodeState> st(n);
+
+  struct PendingUpdate {
+    std::size_t node;
+    std::shared_ptr<nn::ParamList> params;
+    std::size_t version;
+  };
+  std::vector<PendingUpdate> pending;
+
+  std::size_t round = 0;
+  std::size_t uploads_in_flight = 0;
+
+  // Mutually recursive event handlers; declared up-front as std::functions.
+  std::function<void(std::size_t)> schedule_block;
+  std::function<void(std::size_t)> schedule_crash;
+  std::function<void(std::size_t, std::size_t)> finish_block;
+  std::function<void(bool)> aggregate;
+  std::function<void()> deadline_tick;
+
+  const auto work_remaining = [&] {
+    for (std::size_t i = 0; i < n; ++i)
+      if (st[i].done < t_budget) return true;
+    return false;
+  };
+  const auto mark_activity = [&] { totals.end_time_s = q.now(); };
+
+  schedule_block = [&](std::size_t i) {
+    if (st[i].has_block || !faults.up(i) || st[i].done >= t_budget) return;
+    const std::size_t len =
+        std::min(config_.local_steps, t_budget - st[i].done);
+    const double secs = config_.comm.compute_s_per_step *
+                        nodes_[i].compute_speed *
+                        faults.compute_multiplier(i) *
+                        static_cast<double>(len);
+    st[i].has_block = true;
+    st[i].block = q.schedule_in(secs, [&, i, len] { finish_block(i, len); });
+  };
+
+  finish_block = [&](std::size_t i, std::size_t len) {
+    st[i].has_block = false;
+    mark_activity();
+    for (std::size_t s = 1; s <= len; ++s) step(nodes_[i], st[i].done + s);
+    st[i].done += len;
+    totals.blocks_completed += 1;
+
+    // Upload the block's result. Airtime is consumed whether or not the
+    // message survives (matching the synchronous accounting of failed
+    // uploads at raw payload size).
+    totals.comm.bytes_up += payload;
+    if (net.uplink_delivered(i)) {
+      const double delay =
+          net.uplink_latency_seconds(i) + net.uplink_seconds(i, payload);
+      auto snapshot =
+          std::make_shared<nn::ParamList>(nn::clone_leaves(nodes_[i].params));
+      const std::size_t version = st[i].version;
+      ++uploads_in_flight;
+      q.schedule_in(delay, [&, i, snapshot, version] {
+        --uploads_in_flight;
+        mark_activity();
+        totals.uploads_received += 1;
+        pending.push_back({i, snapshot, version});
+        if (config_.quorum > 0 && pending.size() >= config_.quorum)
+          aggregate(/*by_quorum=*/true);
+      });
+    } else {
+      totals.comm.uploads_dropped += 1;
+    }
+
+    if (st[i].done >= t_budget) {
+      // Retired: stop this node's crash process so far-future crash events
+      // do not linger in the queue.
+      if (st[i].has_crash) {
+        q.cancel(st[i].crash);
+        st[i].has_crash = false;
+      }
+      return;
+    }
+    // Fully asynchronous: keep computing from the local model immediately;
+    // a fresher global model is adopted whenever a broadcast arrives.
+    schedule_block(i);
+  };
+
+  aggregate = [&](bool by_quorum) {
+    if (pending.empty()) return;
+    mark_activity();
+
+    // Staleness-discounted weights: ω_i / (1 + s)^a at merge time.
+    std::vector<nn::ParamList> lists;
+    std::vector<double> weights;
+    lists.reserve(pending.size());
+    weights.reserve(pending.size());
+    double mass = 0.0;
+    for (auto& u : pending) {
+      const auto s = static_cast<double>(round - u.version);
+      if (round > u.version) totals.stale_updates += 1;
+      totals.staleness_sum += s;
+      const double w = nodes_[u.node].weight *
+                       std::pow(1.0 + s, -config_.staleness_exponent);
+      lists.push_back(std::move(*u.params));
+      weights.push_back(w);
+      mass += w;
+    }
+    pending.clear();
+    for (auto& w : weights) w /= mass;
+    const nn::ParamList batch = nn::weighted_average(lists, weights);
+
+    // Server mixing: the batch replaces a fraction m of the global model,
+    // proportional to the discounted weight it carries. Full fresh
+    // participation at η = 1 gives m = Σω_i = 1 — the synchronous average.
+    const double m = std::min(1.0, config_.mix_rate * mass);
+    global_ = nn::weighted_average({global_, batch}, {1.0 - m, m});
+
+    round += 1;
+    totals.round_times.push_back(q.now());
+    totals.comm.aggregations += 1;
+    if (by_quorum)
+      totals.quorum_rounds += 1;
+    else
+      totals.deadline_rounds += 1;
+    if (hook) hook(round, global_);
+
+    // Broadcast to every node that is currently up. Delivery is per-link:
+    // round overhead + propagation + transfer. A node crashed while the
+    // model is in flight misses it and re-syncs on rejoin instead.
+    auto snapshot = std::make_shared<nn::ParamList>(nn::clone_leaves(global_));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!faults.up(i)) continue;
+      totals.comm.bytes_down += payload;
+      const double delay = net.round_overhead_seconds() +
+                           net.downlink_latency_seconds(i) +
+                           net.downlink_seconds(i, payload);
+      const std::size_t version = round;
+      q.schedule_in(delay, [&, i, snapshot, version] {
+        if (!faults.up(i)) return;
+        if (version <= st[i].version) return;  // stale broadcast overtaken
+        mark_activity();
+        nodes_[i].params = nn::clone_leaves(*snapshot);
+        st[i].version = version;
+      });
+    }
+  };
+
+  schedule_crash = [&](std::size_t i) {
+    if (!faults.crashes_enabled()) return;
+    st[i].has_crash = true;
+    st[i].crash = q.schedule_in(faults.next_crash_in(i), [&, i] {
+      st[i].has_crash = false;
+      if (!faults.up(i)) return;
+      if (st[i].done >= t_budget && !st[i].has_block) return;  // retired
+      mark_activity();
+      faults.mark_down(i);
+      if (st[i].has_block) {  // in-flight block is lost with the node
+        q.cancel(st[i].block);
+        st[i].has_block = false;
+      }
+      q.schedule_in(faults.repair_time(i), [&, i] {
+        faults.mark_up(i);
+        if (st[i].done >= t_budget) return;  // retired while down: bookkeeping only
+        mark_activity();
+        // Re-sync: download the current global model before resuming.
+        totals.comm.bytes_down += payload;
+        const double delay =
+            net.downlink_latency_seconds(i) + net.downlink_seconds(i, payload);
+        auto snapshot =
+            std::make_shared<nn::ParamList>(nn::clone_leaves(global_));
+        const std::size_t version = round;
+        q.schedule_in(delay, [&, i, snapshot, version] {
+          if (!faults.up(i)) return;  // crashed again before the download landed
+          mark_activity();
+          nodes_[i].params = nn::clone_leaves(*snapshot);
+          st[i].version = std::max(st[i].version, version);
+          schedule_block(i);
+        });
+        schedule_crash(i);
+      });
+    });
+  };
+
+  deadline_tick = [&] {
+    q.schedule_in(config_.deadline_s, [&] {
+      aggregate(/*by_quorum=*/false);
+      if (work_remaining() || uploads_in_flight > 0 || !pending.empty())
+        deadline_tick();
+    });
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    schedule_block(i);
+    schedule_crash(i);
+  }
+  if (config_.deadline_s > 0.0) deadline_tick();
+
+  q.run(config_.max_events);
+  FEDML_CHECK(q.empty(), "async simulation exceeded max_events — runaway "
+                         "event loop (check deadline/fault configuration)");
+
+  // Final flush: updates that arrived after the last trigger still count.
+  aggregate(/*by_quorum=*/false);
+
+  totals.comm.sim_seconds = totals.end_time_s;
+  totals.crashes = faults.crashes();
+  totals.rejoins = faults.rejoins();
+  return totals;
+}
+
+}  // namespace fedml::sim

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fed/platform.h"
+#include "sim/event_queue.h"
+#include "sim/faults.h"
+#include "sim/network.h"
+
+namespace fedml::sim {
+
+/// Configuration of the event-driven execution mode.
+struct AsyncConfig {
+  std::size_t total_iterations = 500;  ///< T — per-node local iteration budget
+  std::size_t local_steps = 10;        ///< T0 — iterations per upload block
+
+  /// Aggregation triggers (at least one must be enabled; both may be):
+  /// fire every `deadline_s` of simulated time if updates are pending, and/or
+  /// as soon as `quorum` fresh updates are pending (K-of-N).
+  double deadline_s = 0.0;   ///< 0 disables the wall-clock trigger
+  std::size_t quorum = 0;    ///< 0 disables the K-of-N trigger
+
+  /// Staleness discount: an update based on the global model from `s`
+  /// aggregation rounds ago contributes with weight ω_i / (1 + s)^a
+  /// (FedAsync-style polynomial decay). 0 = staleness-blind.
+  double staleness_exponent = 0.5;
+  /// Server mixing rate η: the aggregated batch replaces a fraction
+  /// η · Σ(discounted weights) of the global model. With η = 1, no
+  /// staleness and every node reporting, the merge equals the synchronous
+  /// weighted average.
+  double mix_rate = 1.0;
+
+  fed::CommModel comm;  ///< nominal compute speed / bandwidth / overhead
+  NetworkConfig net;    ///< heterogeneous link distribution on top of `comm`
+  FaultConfig faults;   ///< stragglers and crash/rejoin process
+
+  std::uint64_t seed = 0x51e;
+  /// Runaway guard on the event loop (a healthy run fires far fewer).
+  std::size_t max_events = 50'000'000;
+};
+
+/// Counters produced by an event-driven run, superset of the synchronous
+/// `fed::CommTotals` (whose `sim_seconds` here is the event-clock end time).
+struct AsyncTotals {
+  fed::CommTotals comm;
+  double end_time_s = 0.0;            ///< simulated time when the run drained
+  std::size_t blocks_completed = 0;   ///< T0-blocks finished across the fleet
+  std::size_t uploads_received = 0;   ///< updates that reached the platform
+  std::size_t stale_updates = 0;      ///< received with staleness >= 1 round
+  double staleness_sum = 0.0;         ///< Σ staleness over received updates
+  std::size_t deadline_rounds = 0;    ///< aggregations fired by the deadline
+  std::size_t quorum_rounds = 0;      ///< aggregations fired by the quorum
+  std::size_t crashes = 0;
+  std::size_t rejoins = 0;
+  /// Simulated time of each aggregation round (round r fired at
+  /// round_times[r-1]) — lets benches report seconds-to-target.
+  std::vector<double> round_times;
+
+  [[nodiscard]] double mean_staleness() const {
+    return uploads_received == 0
+               ? 0.0
+               : staleness_sum / static_cast<double>(uploads_received);
+  }
+};
+
+/// Event-driven federated platform: FedML's schedule (Algorithm 1) replayed
+/// on a discrete-event simulation of the edge network. Nodes compute
+/// T0-blocks in simulated time (heterogeneous speeds × injected straggler
+/// slowdowns), upload through per-node links (transfer time + latency +
+/// jitter + loss), and keep computing without waiting for the fleet. The
+/// platform merges pending updates on a wall-clock deadline and/or a K-of-N
+/// quorum, discounting each update by its staleness, and broadcasts the new
+/// global model back through the same links. Nodes crash and rejoin under a
+/// Poisson/exponential fault process, losing in-flight work.
+///
+/// The run is single-threaded and deterministic: event order is
+/// (time, insertion seq) and all randomness flows from `AsyncConfig::seed`
+/// via split `util::Rng` streams, so a given (nodes, config) pair yields a
+/// byte-identical trajectory on every run.
+class AsyncPlatform {
+ public:
+  using LocalStep = fed::Platform::LocalStep;
+  using AggregateHook = fed::Platform::AggregateHook;
+
+  AsyncPlatform(std::vector<fed::EdgeNode> nodes, AsyncConfig config);
+  ~AsyncPlatform();
+
+  /// Initial broadcast of θ^0 (instantaneous; the simulation starts with
+  /// every node holding the same model, like the synchronous path).
+  void broadcast(const nn::ParamList& theta);
+
+  [[nodiscard]] const nn::ParamList& global_params() const { return global_; }
+  [[nodiscard]] std::vector<fed::EdgeNode>& nodes() { return nodes_; }
+  [[nodiscard]] const std::vector<fed::EdgeNode>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] const FaultInjector& faults() const;
+  [[nodiscard]] const NetworkTransport& network() const;
+
+  /// Run the event loop until every node has exhausted its iteration budget
+  /// and all in-flight messages have drained. `step` is invoked exactly once
+  /// per completed local iteration (crashed blocks are retried, not
+  /// skipped); `hook` after every aggregation with the round number.
+  AsyncTotals run(const LocalStep& step, const AggregateHook& hook = {});
+
+ private:
+  struct Impl;
+
+  std::vector<fed::EdgeNode> nodes_;
+  AsyncConfig config_;
+  nn::ParamList global_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fedml::sim

@@ -1,0 +1,56 @@
+#include "sim/event_queue.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fedml::sim {
+
+EventQueue::EventId EventQueue::schedule_at(double at, std::function<void()> fn) {
+  FEDML_CHECK(std::isfinite(at), "event time must be finite");
+  FEDML_CHECK(at >= now_, "cannot schedule an event in the simulated past");
+  FEDML_CHECK(static_cast<bool>(fn), "event needs a callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  pending_ids_.insert(id);
+  ++live_;
+  return id;
+}
+
+EventQueue::EventId EventQueue::schedule_in(double delay, std::function<void()> fn) {
+  FEDML_CHECK(delay >= 0.0, "event delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Only ids still pending can be cancelled; fired/cancelled ids are no-ops.
+  if (pending_ids_.erase(id) == 0) return false;
+  // Lazy deletion: the entry stays in the heap and is skipped when popped.
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    // Move the callback out before popping; top() is const.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (cancelled_.erase(e.id) > 0) continue;  // skip cancelled entries
+    now_ = e.time;
+    pending_ids_.erase(e.id);
+    --live_;
+    ++fired_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace fedml::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace fedml::sim {
+
+/// Deterministic discrete-event scheduler keyed on simulated time.
+///
+/// Events are opaque callbacks; firing order is (time, insertion sequence),
+/// so simultaneous events run FIFO and a run is a pure function of the
+/// schedule calls — no wall clock, no thread scheduling, no hash-order
+/// dependence. All simulator randomness lives in the callbacks' own
+/// `util::Rng` streams, never in the queue itself.
+class EventQueue {
+ public:
+  using EventId = std::uint64_t;
+
+  /// Schedule `fn` at absolute simulated time `at` (>= now()). Returns an id
+  /// usable with `cancel`.
+  EventId schedule_at(double at, std::function<void()> fn);
+
+  /// Schedule `fn` `delay` simulated seconds from now (delay >= 0).
+  EventId schedule_in(double delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired (or unknown) id is
+  /// a no-op; returns whether something was actually cancelled.
+  bool cancel(EventId id);
+
+  /// Pop and fire the earliest pending event, advancing now(). Returns false
+  /// when the queue is empty.
+  bool step();
+
+  /// Drain the queue (events may schedule further events). Stops after
+  /// `max_events` fires as a runaway guard; returns the number fired.
+  std::size_t run(std::size_t max_events = kNoLimit);
+
+  /// Current simulated time: the firing time of the last event stepped.
+  [[nodiscard]] double now() const { return now_; }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return live_; }
+
+  /// Total events fired so far.
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;  ///< insertion sequence — FIFO tie-break and cancel handle
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_ids_;  ///< scheduled, not yet fired
+  std::unordered_set<EventId> cancelled_;    ///< awaiting lazy heap removal
+  double now_ = 0.0;
+  EventId next_id_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace fedml::sim

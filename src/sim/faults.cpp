@@ -1,0 +1,93 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fedml::sim {
+
+namespace {
+
+/// Inverse-CDF exponential draw with the given mean (mean 0 → 0).
+double exponential(util::Rng& rng, double mean) {
+  if (mean <= 0.0) return 0.0;
+  // uniform() ∈ [0, 1): 1 − u ∈ (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::size_t n,
+                             util::Rng rng)
+    : config_(config), straggler_(n, false), up_(n, true), nodes_up_(n) {
+  FEDML_CHECK(n >= 1, "fault injector needs at least one node");
+  FEDML_CHECK(config.straggler_fraction >= 0.0 &&
+                  config.straggler_fraction <= 1.0,
+              "straggler_fraction must be in [0, 1]");
+  FEDML_CHECK(config.straggler_slowdown >= 1.0,
+              "straggler_slowdown must be >= 1 (it multiplies compute time)");
+  FEDML_CHECK(config.crash_rate_per_hour >= 0.0,
+              "crash_rate_per_hour must be non-negative");
+  FEDML_CHECK(config.mean_repair_s > 0.0, "mean_repair_s must be positive");
+
+  // Choose stragglers by sampling without replacement so the injected count
+  // is exact, not merely expected.
+  util::Rng pick = rng.split(0xfa17);
+  const auto count = static_cast<std::size_t>(
+      std::llround(config.straggler_fraction * static_cast<double>(n)));
+  for (const auto i : pick.sample_without_replacement(n, std::min(count, n)))
+    straggler_[i] = true;
+
+  streams_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    streams_.push_back(rng.split(0xc4a5 + i));
+}
+
+double FaultInjector::compute_multiplier(std::size_t node) const {
+  return is_straggler(node) ? config_.straggler_slowdown : 1.0;
+}
+
+bool FaultInjector::is_straggler(std::size_t node) const {
+  FEDML_CHECK(node < straggler_.size(), "fault injector node out of range");
+  return straggler_[node];
+}
+
+std::size_t FaultInjector::num_stragglers() const {
+  return static_cast<std::size_t>(
+      std::count(straggler_.begin(), straggler_.end(), true));
+}
+
+double FaultInjector::next_crash_in(std::size_t node) {
+  FEDML_CHECK(node < streams_.size(), "fault injector node out of range");
+  if (!crashes_enabled()) return 0.0;
+  return exponential(streams_[node], 3600.0 / config_.crash_rate_per_hour);
+}
+
+double FaultInjector::repair_time(std::size_t node) {
+  FEDML_CHECK(node < streams_.size(), "fault injector node out of range");
+  return exponential(streams_[node], config_.mean_repair_s);
+}
+
+void FaultInjector::mark_down(std::size_t node) {
+  FEDML_CHECK(node < up_.size(), "fault injector node out of range");
+  if (!up_[node]) return;
+  up_[node] = false;
+  --nodes_up_;
+  ++crashes_;
+}
+
+void FaultInjector::mark_up(std::size_t node) {
+  FEDML_CHECK(node < up_.size(), "fault injector node out of range");
+  if (up_[node]) return;
+  up_[node] = true;
+  ++nodes_up_;
+  ++rejoins_;
+}
+
+bool FaultInjector::up(std::size_t node) const {
+  FEDML_CHECK(node < up_.size(), "fault injector node out of range");
+  return up_[node];
+}
+
+}  // namespace fedml::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedml::sim {
+
+/// Fault-injection knobs for a simulated edge fleet. Three orthogonal
+/// fault families:
+///   1. straggler slowdown — a fixed fraction of nodes computes
+///      `straggler_slowdown`× slower than its nominal speed;
+///   2. message loss — per-message Bernoulli drops, configured on the
+///      network links (`NetworkConfig::loss_prob`) and counted here only;
+///   3. node crash/rejoin — per-node Poisson crashes with exponential
+///      repair times; a crashed node loses its in-flight work and
+///      re-downloads the global model when it rejoins.
+struct FaultConfig {
+  double straggler_fraction = 0.0;  ///< fraction of nodes injected as stragglers
+  double straggler_slowdown = 4.0;  ///< compute-time multiplier for stragglers
+  double crash_rate_per_hour = 0.0; ///< per-node Poisson crash intensity (while up)
+  double mean_repair_s = 60.0;      ///< mean exponential downtime before rejoin
+};
+
+/// Deterministic fault process for `n` nodes. All draws come from a
+/// dedicated RNG stream split at construction, so fault timelines are a pure
+/// function of (seed, config, n) — independent of event interleaving.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, std::size_t n, util::Rng rng);
+
+  /// Compute-time multiplier for `node` (1.0, or `straggler_slowdown`).
+  [[nodiscard]] double compute_multiplier(std::size_t node) const;
+  [[nodiscard]] bool is_straggler(std::size_t node) const;
+  [[nodiscard]] std::size_t num_stragglers() const;
+
+  /// Whether the crash process is active at all.
+  [[nodiscard]] bool crashes_enabled() const {
+    return config_.crash_rate_per_hour > 0.0;
+  }
+
+  /// Exponential time-to-next-crash for `node`, in simulated seconds.
+  double next_crash_in(std::size_t node);
+
+  /// Exponential repair (downtime) duration for `node`.
+  double repair_time(std::size_t node);
+
+  /// Up/down bookkeeping driven by the platform's event handlers.
+  void mark_down(std::size_t node);
+  void mark_up(std::size_t node);
+  [[nodiscard]] bool up(std::size_t node) const;
+  [[nodiscard]] std::size_t nodes_up() const { return nodes_up_; }
+  [[nodiscard]] std::size_t crashes() const { return crashes_; }
+  [[nodiscard]] std::size_t rejoins() const { return rejoins_; }
+
+ private:
+  FaultConfig config_;
+  std::vector<bool> straggler_;
+  std::vector<bool> up_;
+  std::vector<util::Rng> streams_;  ///< one crash/repair stream per node
+  std::size_t nodes_up_ = 0;
+  std::size_t crashes_ = 0;
+  std::size_t rejoins_ = 0;
+};
+
+}  // namespace fedml::sim

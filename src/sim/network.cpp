@@ -1,0 +1,73 @@
+#include "sim/network.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fedml::sim {
+
+NetworkTransport::NetworkTransport(const fed::CommModel& nominal,
+                                   const NetworkConfig& config,
+                                   std::size_t num_nodes, util::Rng rng)
+    : nominal_(nominal), rng_(rng.split(0x11f7)) {
+  FEDML_CHECK(num_nodes >= 1, "network needs at least one link");
+  FEDML_CHECK(config.bandwidth_sigma >= 0.0, "bandwidth_sigma must be >= 0");
+  FEDML_CHECK(config.latency_s >= 0.0, "latency must be non-negative");
+  FEDML_CHECK(config.latency_spread >= 0.0 && config.latency_spread <= 1.0,
+              "latency_spread must be in [0, 1]");
+  FEDML_CHECK(config.jitter_s >= 0.0, "jitter must be non-negative");
+  FEDML_CHECK(config.loss_prob >= 0.0 && config.loss_prob <= 1.0,
+              "loss_prob must be in [0, 1]");
+  links_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    LinkModel link;
+    // Lognormal bandwidth heterogeneity: a sigma of 0 keeps the nominal
+    // CommModel rates; uplink and downlink share the node's draw (a slow
+    // radio is slow both ways).
+    const double scale = config.bandwidth_sigma > 0.0
+                             ? std::exp(rng.normal(0.0, config.bandwidth_sigma))
+                             : 1.0;
+    link.uplink_mbps = nominal.uplink_mbps * scale;
+    link.downlink_mbps = nominal.downlink_mbps * scale;
+    link.latency_s =
+        config.latency_spread > 0.0
+            ? config.latency_s * rng.uniform(1.0 - config.latency_spread,
+                                             1.0 + config.latency_spread)
+            : config.latency_s;
+    link.jitter_s = config.jitter_s;
+    link.loss_prob = config.loss_prob;
+    links_.push_back(link);
+  }
+}
+
+const LinkModel& NetworkTransport::link(std::size_t node) const {
+  FEDML_CHECK(node < links_.size(), "link index out of range");
+  return links_[node];
+}
+
+double NetworkTransport::uplink_seconds(std::size_t node, double bytes) {
+  return fed::CommModel::transfer_seconds(bytes, link(node).uplink_mbps);
+}
+
+double NetworkTransport::downlink_seconds(std::size_t node, double bytes) {
+  return fed::CommModel::transfer_seconds(bytes, link(node).downlink_mbps);
+}
+
+double NetworkTransport::uplink_latency_seconds(std::size_t node) {
+  const auto& l = link(node);
+  return l.latency_s + (l.jitter_s > 0.0 ? rng_.uniform(0.0, l.jitter_s) : 0.0);
+}
+
+double NetworkTransport::downlink_latency_seconds(std::size_t node) {
+  const auto& l = link(node);
+  return l.latency_s + (l.jitter_s > 0.0 ? rng_.uniform(0.0, l.jitter_s) : 0.0);
+}
+
+bool NetworkTransport::uplink_delivered(std::size_t node) {
+  const auto& l = link(node);
+  if (l.loss_prob <= 0.0) return true;
+  if (l.loss_prob >= 1.0) return false;
+  return rng_.uniform() >= l.loss_prob;
+}
+
+}  // namespace fedml::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fed/comm.h"
+#include "sim/transport.h"
+#include "util/rng.h"
+
+namespace fedml::sim {
+
+/// One edge node's point-to-point link to the platform. Drawn once per node
+/// at fleet construction; per-message jitter and loss are sampled at send
+/// time from the transport's RNG stream.
+struct LinkModel {
+  double uplink_mbps = 10.0;
+  double downlink_mbps = 50.0;
+  double latency_s = 0.0;   ///< one-way propagation delay
+  double jitter_s = 0.0;    ///< uniform [0, jitter_s) added per message
+  double loss_prob = 0.0;   ///< per-message uplink Bernoulli loss
+};
+
+/// Distributional description of a heterogeneous edge network. Nominal
+/// bandwidths/overhead come from the analytical `fed::CommModel`; each
+/// node's link scales them by a lognormal(0, bandwidth_sigma) draw (the same
+/// family the straggler compute model uses) and adds propagation
+/// latency/jitter/loss.
+struct NetworkConfig {
+  double bandwidth_sigma = 0.0;  ///< lognormal spread of per-link bandwidth
+  double latency_s = 0.0;        ///< mean one-way propagation delay
+  double latency_spread = 0.0;   ///< per-link latency drawn uniform in mean·[1−s, 1+s]
+  double jitter_s = 0.0;         ///< per-message jitter bound
+  double loss_prob = 0.0;        ///< per-message uplink loss probability
+};
+
+/// Heterogeneous multi-link `Transport`: one `LinkModel` per node, drawn
+/// deterministically from an RNG stream at construction. With a
+/// default-constructed `NetworkConfig` every link equals the nominal
+/// `CommModel` and the behaviour (though not the latency bookkeeping — this
+/// transport is meant for the event-driven path) matches `IdealTransport`.
+class NetworkTransport final : public Transport {
+ public:
+  NetworkTransport(const fed::CommModel& nominal, const NetworkConfig& config,
+                   std::size_t num_nodes, util::Rng rng);
+
+  double uplink_seconds(std::size_t node, double bytes) override;
+  double downlink_seconds(std::size_t node, double bytes) override;
+  double uplink_latency_seconds(std::size_t node) override;
+  double downlink_latency_seconds(std::size_t node) override;
+  [[nodiscard]] double round_overhead_seconds() const override {
+    return nominal_.per_round_overhead_s;
+  }
+  bool uplink_delivered(std::size_t node) override;
+
+  [[nodiscard]] const LinkModel& link(std::size_t node) const;
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+
+ private:
+  fed::CommModel nominal_;
+  std::vector<LinkModel> links_;
+  util::Rng rng_;  ///< per-message jitter/loss stream
+};
+
+}  // namespace fedml::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+
+#include "fed/comm.h"
+
+namespace fedml::sim {
+
+/// Abstraction of the platform↔edge data path. Both execution modes speak
+/// through it: the synchronous `fed::Platform` charges one uplink and one
+/// downlink transfer per aggregation round, the event-driven
+/// `sim::AsyncPlatform` additionally asks for per-message propagation
+/// latency and delivery outcomes. Implementations may be stateful (jitter
+/// and loss consume RNG draws), which is why most methods are non-const.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Serialization time of `bytes` on node `node`'s edge→platform link.
+  virtual double uplink_seconds(std::size_t node, double bytes) = 0;
+
+  /// Serialization time of `bytes` on node `node`'s platform→edge link.
+  virtual double downlink_seconds(std::size_t node, double bytes) = 0;
+
+  /// One-way propagation delay of a message to/from `node` (may include a
+  /// freshly drawn jitter term).
+  virtual double uplink_latency_seconds(std::size_t node) = 0;
+  virtual double downlink_latency_seconds(std::size_t node) = 0;
+
+  /// Fixed per-aggregation-round overhead (handshake / scheduling).
+  [[nodiscard]] virtual double round_overhead_seconds() const = 0;
+
+  /// Whether an upload from `node` survives the network. Returning false
+  /// models message loss; the sender still consumed airtime.
+  virtual bool uplink_delivered(std::size_t node) = 0;
+};
+
+/// Zero-latency, loss-free transport wrapping the analytical
+/// `fed::CommModel`. This is the seed implementation's accounting, verbatim:
+/// `fed::Platform::run` driven through an `IdealTransport` produces
+/// bit-identical `CommTotals` to the pre-transport code path (every term of
+/// the per-round `sim_seconds` sum is the same expression evaluated in the
+/// same order).
+class IdealTransport final : public Transport {
+ public:
+  explicit IdealTransport(const fed::CommModel& comm) : comm_(comm) {}
+
+  double uplink_seconds(std::size_t, double bytes) override {
+    return fed::CommModel::transfer_seconds(bytes, comm_.uplink_mbps);
+  }
+  double downlink_seconds(std::size_t, double bytes) override {
+    return fed::CommModel::transfer_seconds(bytes, comm_.downlink_mbps);
+  }
+  double uplink_latency_seconds(std::size_t) override { return 0.0; }
+  double downlink_latency_seconds(std::size_t) override { return 0.0; }
+  [[nodiscard]] double round_overhead_seconds() const override {
+    return comm_.per_round_overhead_s;
+  }
+  bool uplink_delivered(std::size_t) override { return true; }
+
+  [[nodiscard]] const fed::CommModel& comm() const { return comm_; }
+
+ private:
+  fed::CommModel comm_;
+};
+
+}  // namespace fedml::sim

@@ -294,7 +294,7 @@ TEST(Participation, InvalidConfigsRejected) {
   cfg.participation = 0.0;
   EXPECT_THROW(train_fedml(*f.model, f.nodes, f.theta0, cfg), util::Error);
   FedMLConfig cfg2;
-  cfg2.upload_failure_prob = 1.0;
+  cfg2.upload_failure_prob = 1.5;  // 1.0 is legal (certain loss, every round)
   EXPECT_THROW(train_fedml(*f.model, f.nodes, f.theta0, cfg2), util::Error);
 }
 

@@ -8,6 +8,7 @@
 #include "fed/node.h"
 #include "fed/platform.h"
 #include "nn/params.h"
+#include "sim/network.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -220,6 +221,63 @@ TEST(Platform, UplinkCodecShapesAggregationAndBytes) {
   EXPECT_DOUBLE_EQ(tensor::sum(p.global_params()[0].value()), 0.0);
   // Uplink counted at the codec's wire size: 3 nodes × 1 round × 5 bytes.
   EXPECT_DOUBLE_EQ(totals.bytes_up, 15.0);
+}
+
+TEST(Platform, AggregateSubsetRenormalizesWeights) {
+  auto nodes = tiny_nodes(3);
+  const double w0 = nodes[0].weight, w2 = nodes[2].weight;
+  nodes[0].params = tiny_params(1.0);
+  nodes[1].params = tiny_params(100.0);  // must not contribute
+  nodes[2].params = tiny_params(5.0);
+  Platform p(std::move(nodes), Platform::Config{});
+  const auto agg = p.aggregate_subset({0, 2});
+  EXPECT_NEAR(agg[0].value()(0, 0), (w0 * 1.0 + w2 * 5.0) / (w0 + w2), 1e-12);
+  EXPECT_THROW(p.aggregate_subset({}), util::Error);
+  EXPECT_THROW(p.aggregate_subset({7}), util::Error);
+}
+
+TEST(Platform, CertainUploadFailureKeepsGlobalUnchanged) {
+  Platform::Config cfg;
+  cfg.total_iterations = 6;
+  cfg.local_steps = 3;
+  cfg.upload_failure_prob = 1.0;  // every upload lost, every round
+  Platform p(tiny_nodes(3), cfg);
+  p.broadcast(tiny_params(3.0));
+  const auto totals = p.run([](EdgeNode& n, std::size_t) {
+    n.params = tiny_params(42.0);  // local work that never survives uplink
+  });
+  EXPECT_DOUBLE_EQ(p.global_params()[0].value()(0, 0), 3.0);
+  EXPECT_EQ(totals.uploads_dropped, 3u * 2u);  // 3 nodes × 2 rounds
+  // Failed uploads still consumed airtime at the raw payload size.
+  const double payload =
+      static_cast<double>(nn::serialized_size_bytes(p.global_params()));
+  EXPECT_DOUBLE_EQ(totals.bytes_up, payload * 3 * 2);
+}
+
+TEST(Platform, InjectedTransportChangesOnlyTheClock) {
+  const auto run_with = [](std::shared_ptr<sim::Transport> transport) {
+    Platform::Config cfg;
+    cfg.total_iterations = 10;
+    cfg.local_steps = 5;
+    cfg.transport = std::move(transport);
+    Platform p(tiny_nodes(3), cfg);
+    p.broadcast(tiny_params(2.0));
+    p.run([](EdgeNode& n, std::size_t) {
+      tensor::Tensor v = n.params[0].value();
+      v *= 0.9;
+      n.params[0] = autodiff::Var(v, true);
+    });
+    return p;
+  };
+  Platform::Config probe;
+  sim::NetworkConfig slow;
+  slow.latency_s = 0.5;  // propagation delay the ideal transport lacks
+  auto ideal = run_with(nullptr);
+  auto laggy = run_with(std::make_shared<sim::NetworkTransport>(
+      probe.comm, slow, 3, util::Rng(1)));
+  // The schedule (and hence the model) is identical; only the clock moves.
+  EXPECT_TRUE(tensor::allclose(ideal.global_params()[0].value(),
+                               laggy.global_params()[0].value()));
 }
 
 TEST(Stragglers, SpeedsAreAssignedAndPositive) {

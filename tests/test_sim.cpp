@@ -1,0 +1,422 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fed/comm.h"
+#include "fed/node.h"
+#include "sim/async_platform.h"
+#include "sim/event_queue.h"
+#include "sim/faults.h"
+#include "sim/network.h"
+#include "sim/transport.h"
+#include "tensor/tensor.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::sim {
+namespace {
+
+using tensor::Tensor;
+
+nn::ParamList tiny_params(double value) {
+  nn::ParamList p;
+  p.emplace_back(Tensor::full(2, 2, value), true);
+  return p;
+}
+
+std::vector<fed::EdgeNode> tiny_nodes(std::size_t n) {
+  data::SyntheticConfig cfg;
+  cfg.num_nodes = n;
+  cfg.min_samples = 12;
+  cfg.max_samples = 20;
+  const auto fd = data::make_synthetic(cfg);
+  std::vector<std::size_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  util::Rng rng(0);
+  return fed::make_edge_nodes(fd, ids, 5, rng);
+}
+
+// ---------------------------------------------------------- event queue ----
+
+TEST(EventQueue, FiresInTimeOrderWithFifoTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(1.0, [&] { order.push_back(11); });  // same time: FIFO
+  q.schedule_at(0.5, [&] { order.push_back(0); });
+  EXPECT_EQ(q.run(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 11, 2}));
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelOnlyAffectsPendingEvents) {
+  EventQueue q;
+  int fired = 0;
+  const auto a = q.schedule_in(1.0, [&] { ++fired; });
+  const auto b = q.schedule_in(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_FALSE(q.cancel(b));      // already cancelled
+  EXPECT_FALSE(q.cancel(9999));   // unknown id
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_FALSE(q.cancel(a));      // already fired
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsScheduleFurtherEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule_in(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule_in(0.5, [&] { times.push_back(q.now()); });
+  });
+  q.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+  EXPECT_EQ(q.fired(), 2u);
+}
+
+TEST(EventQueue, RunStopsAtMaxEvents) {
+  EventQueue q;
+  std::function<void()> again = [&] { q.schedule_in(1.0, again); };
+  q.schedule_in(1.0, again);
+  EXPECT_EQ(q.run(10), 10u);
+  EXPECT_FALSE(q.empty());  // the runaway chain is still pending
+}
+
+TEST(EventQueue, RejectsInvalidSchedules) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), util::Error);   // simulated past
+  EXPECT_THROW(q.schedule_in(-0.1, [] {}), util::Error);  // negative delay
+  EXPECT_THROW(q.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+               util::Error);
+  EXPECT_THROW(q.schedule_in(1.0, std::function<void()>{}), util::Error);
+}
+
+TEST(EventQueue, DeterministicUnderFixedSeed) {
+  const auto trace = [](std::uint64_t seed) {
+    util::Rng rng(seed);
+    EventQueue q;
+    std::vector<std::pair<double, int>> fired;
+    for (int i = 0; i < 50; ++i)
+      q.schedule_at(rng.uniform(0.0, 10.0), [&, i] { fired.push_back({q.now(), i}); });
+    q.run();
+    return fired;
+  };
+  EXPECT_EQ(trace(42), trace(42));
+  EXPECT_NE(trace(42), trace(43));
+}
+
+// ------------------------------------------------------------ transport ----
+
+TEST(IdealTransport, MatchesAnalyticalCommModel) {
+  fed::CommModel comm;
+  comm.uplink_mbps = 8.0;
+  comm.downlink_mbps = 16.0;
+  comm.per_round_overhead_s = 0.25;
+  IdealTransport t(comm);
+  EXPECT_DOUBLE_EQ(t.uplink_seconds(3, 1e6),
+                   fed::CommModel::transfer_seconds(1e6, 8.0));
+  EXPECT_DOUBLE_EQ(t.downlink_seconds(0, 1e6),
+                   fed::CommModel::transfer_seconds(1e6, 16.0));
+  EXPECT_DOUBLE_EQ(t.uplink_latency_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.downlink_latency_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.round_overhead_seconds(), 0.25);
+  EXPECT_TRUE(t.uplink_delivered(0));
+}
+
+TEST(CommModel, TransferSecondsRejectsDegenerateLinks) {
+  EXPECT_DOUBLE_EQ(fed::CommModel::transfer_seconds(1e6, 10.0), 0.8);
+  const auto seconds = [](double bytes, double mbps) {
+    return fed::CommModel::transfer_seconds(bytes, mbps);
+  };
+  EXPECT_THROW(seconds(1e6, 0.0), util::Error);
+  EXPECT_THROW(seconds(1e6, -5.0), util::Error);
+  EXPECT_THROW(seconds(-1.0, 10.0), util::Error);
+}
+
+TEST(NetworkTransport, DefaultConfigEqualsNominalLinks) {
+  fed::CommModel comm;
+  NetworkTransport net(comm, NetworkConfig{}, 4, util::Rng(1));
+  IdealTransport ideal(comm);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(net.link(i).uplink_mbps, comm.uplink_mbps);
+    EXPECT_DOUBLE_EQ(net.link(i).downlink_mbps, comm.downlink_mbps);
+    EXPECT_DOUBLE_EQ(net.uplink_seconds(i, 5e5), ideal.uplink_seconds(i, 5e5));
+    EXPECT_DOUBLE_EQ(net.uplink_latency_seconds(i), 0.0);
+    EXPECT_TRUE(net.uplink_delivered(i));
+  }
+}
+
+TEST(NetworkTransport, LinksAreDeterministicInTheSeed) {
+  fed::CommModel comm;
+  NetworkConfig cfg;
+  cfg.bandwidth_sigma = 0.5;
+  cfg.latency_s = 0.02;
+  cfg.latency_spread = 0.5;
+  cfg.jitter_s = 0.01;
+  NetworkTransport a(comm, cfg, 6, util::Rng(9).split(1));
+  NetworkTransport b(comm, cfg, 6, util::Rng(9).split(1));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(a.link(i).uplink_mbps, b.link(i).uplink_mbps);
+    EXPECT_DOUBLE_EQ(a.link(i).latency_s, b.link(i).latency_s);
+    // Per-message jitter comes from a split stream, also seed-determined.
+    EXPECT_DOUBLE_EQ(a.uplink_latency_seconds(i), b.uplink_latency_seconds(i));
+  }
+}
+
+TEST(NetworkTransport, LatencyAndJitterStayInsideTheirBounds) {
+  fed::CommModel comm;
+  NetworkConfig cfg;
+  cfg.latency_s = 0.1;
+  cfg.latency_spread = 0.3;
+  cfg.jitter_s = 0.02;
+  NetworkTransport net(comm, cfg, 8, util::Rng(3));
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double base = net.link(i).latency_s;
+    EXPECT_GE(base, 0.1 * 0.7);
+    EXPECT_LE(base, 0.1 * 1.3);
+    for (int k = 0; k < 16; ++k) {
+      const double l = net.downlink_latency_seconds(i);
+      EXPECT_GE(l, base);
+      EXPECT_LT(l, base + 0.02);
+    }
+  }
+}
+
+TEST(NetworkTransport, LossProbabilityBounds) {
+  fed::CommModel comm;
+  NetworkConfig sure;
+  sure.loss_prob = 1.0;
+  NetworkTransport lossy(comm, sure, 2, util::Rng(4));
+  for (int k = 0; k < 8; ++k) EXPECT_FALSE(lossy.uplink_delivered(0));
+  NetworkTransport clean(comm, NetworkConfig{}, 2, util::Rng(4));
+  for (int k = 0; k < 8; ++k) EXPECT_TRUE(clean.uplink_delivered(0));
+}
+
+TEST(NetworkTransport, RejectsBadConfiguration) {
+  fed::CommModel comm;
+  NetworkConfig cfg;
+  cfg.bandwidth_sigma = -0.1;
+  EXPECT_THROW(NetworkTransport(comm, cfg, 2, util::Rng(0)), util::Error);
+  cfg = NetworkConfig{};
+  cfg.loss_prob = 1.5;
+  EXPECT_THROW(NetworkTransport(comm, cfg, 2, util::Rng(0)), util::Error);
+  cfg = NetworkConfig{};
+  cfg.latency_spread = 2.0;
+  EXPECT_THROW(NetworkTransport(comm, cfg, 2, util::Rng(0)), util::Error);
+  EXPECT_THROW(NetworkTransport(comm, NetworkConfig{}, 0, util::Rng(0)),
+               util::Error);
+}
+
+// --------------------------------------------------------------- faults ----
+
+TEST(FaultInjector, StragglerCountIsExact) {
+  FaultConfig cfg;
+  cfg.straggler_fraction = 0.25;
+  cfg.straggler_slowdown = 3.0;
+  FaultInjector fi(cfg, 8, util::Rng(1));
+  EXPECT_EQ(fi.num_stragglers(), 2u);
+  std::size_t slowed = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (fi.is_straggler(i)) {
+      EXPECT_DOUBLE_EQ(fi.compute_multiplier(i), 3.0);
+      ++slowed;
+    } else {
+      EXPECT_DOUBLE_EQ(fi.compute_multiplier(i), 1.0);
+    }
+  }
+  EXPECT_EQ(slowed, 2u);
+}
+
+TEST(FaultInjector, CrashDrawsAreDeterministicAndPositive) {
+  FaultConfig cfg;
+  cfg.crash_rate_per_hour = 120.0;
+  cfg.mean_repair_s = 2.0;
+  FaultInjector a(cfg, 4, util::Rng(7).split(2));
+  FaultInjector b(cfg, 4, util::Rng(7).split(2));
+  EXPECT_TRUE(a.crashes_enabled());
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double ca = a.next_crash_in(i);
+    EXPECT_GT(ca, 0.0);
+    EXPECT_DOUBLE_EQ(ca, b.next_crash_in(i));
+    EXPECT_DOUBLE_EQ(a.repair_time(i), b.repair_time(i));
+  }
+  FaultInjector off(FaultConfig{}, 2, util::Rng(0));
+  EXPECT_FALSE(off.crashes_enabled());
+}
+
+TEST(FaultInjector, UpDownBookkeepingIsIdempotent) {
+  FaultInjector fi(FaultConfig{}, 3, util::Rng(0));
+  EXPECT_EQ(fi.nodes_up(), 3u);
+  fi.mark_down(1);
+  fi.mark_down(1);  // double-down counts once
+  EXPECT_FALSE(fi.up(1));
+  EXPECT_EQ(fi.nodes_up(), 2u);
+  EXPECT_EQ(fi.crashes(), 1u);
+  fi.mark_up(1);
+  fi.mark_up(1);  // double-up counts once
+  EXPECT_TRUE(fi.up(1));
+  EXPECT_EQ(fi.nodes_up(), 3u);
+  EXPECT_EQ(fi.rejoins(), 1u);
+}
+
+TEST(FaultInjector, RejectsBadConfiguration) {
+  FaultConfig cfg;
+  cfg.straggler_fraction = 1.5;
+  EXPECT_THROW(FaultInjector(cfg, 2, util::Rng(0)), util::Error);
+  cfg = FaultConfig{};
+  cfg.straggler_slowdown = 0.5;  // would *speed up* stragglers
+  EXPECT_THROW(FaultInjector(cfg, 2, util::Rng(0)), util::Error);
+  cfg = FaultConfig{};
+  cfg.mean_repair_s = 0.0;
+  EXPECT_THROW(FaultInjector(cfg, 2, util::Rng(0)), util::Error);
+  EXPECT_THROW(FaultInjector(FaultConfig{}, 0, util::Rng(0)), util::Error);
+}
+
+// ------------------------------------------------------- async platform ----
+
+TEST(AsyncPlatform, SingleFreshRoundEqualsSynchronousAverage) {
+  auto nodes = tiny_nodes(3);
+  const double w0 = nodes[0].weight, w1 = nodes[1].weight, w2 = nodes[2].weight;
+  AsyncConfig cfg;
+  cfg.total_iterations = 5;
+  cfg.local_steps = 5;   // one block per node
+  cfg.quorum = 3;        // aggregate once everyone reported
+  cfg.mix_rate = 1.0;
+  AsyncPlatform p(std::move(nodes), cfg);
+  p.broadcast(tiny_params(0.0));
+  const auto totals = p.run([](fed::EdgeNode& n, std::size_t) {
+    n.params = tiny_params(static_cast<double>(n.id) + 1.0);
+  });
+  // Every update is fresh (staleness 0), so the staleness-discounted merge
+  // with η = 1 must reduce to the synchronous weighted average.
+  EXPECT_NEAR(p.global_params()[0].value()(0, 0),
+              w0 * 1.0 + w1 * 2.0 + w2 * 3.0, 1e-12);
+  EXPECT_EQ(totals.comm.aggregations, 1u);
+  EXPECT_EQ(totals.quorum_rounds, 1u);
+  EXPECT_EQ(totals.stale_updates, 0u);
+  EXPECT_EQ(totals.uploads_received, 3u);
+  EXPECT_DOUBLE_EQ(totals.mean_staleness(), 0.0);
+}
+
+TEST(AsyncPlatform, StepRunsExactlyTTimesPerNode) {
+  const std::size_t n = 4, total = 23, t0 = 5;
+  AsyncConfig cfg;
+  cfg.total_iterations = total;
+  cfg.local_steps = t0;
+  cfg.deadline_s = 0.05;
+  AsyncPlatform p(tiny_nodes(n), cfg);
+  p.broadcast(tiny_params(0.0));
+  std::vector<std::size_t> calls(n, 0), last(n, 0);
+  p.run([&](fed::EdgeNode& node, std::size_t t) {
+    ++calls[node.id];
+    EXPECT_EQ(t, last[node.id] + 1);  // sequential per node
+    last[node.id] = t;
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(calls[i], total);
+}
+
+TEST(AsyncPlatform, SameSeedSameTrajectory) {
+  const auto run_once = [] {
+    AsyncConfig cfg;
+    cfg.total_iterations = 30;
+    cfg.local_steps = 5;
+    cfg.deadline_s = 0.05;
+    cfg.quorum = 2;
+    cfg.seed = 0xbeef;
+    cfg.net.bandwidth_sigma = 0.3;
+    cfg.net.latency_s = 0.005;
+    cfg.net.jitter_s = 0.002;
+    cfg.net.loss_prob = 0.1;
+    cfg.faults.straggler_fraction = 0.25;
+    cfg.faults.crash_rate_per_hour = 7200.0;
+    cfg.faults.mean_repair_s = 0.05;
+    AsyncPlatform p(tiny_nodes(4), cfg);
+    p.broadcast(tiny_params(1.0));
+    const auto totals = p.run([](fed::EdgeNode& n, std::size_t) {
+      tensor::Tensor v = n.params[0].value();
+      v *= 0.95;
+      v += Tensor::full(2, 2, n.rng.uniform() * 0.01);
+      n.params[0] = autodiff::Var(v, true);
+    });
+    return std::pair(p.global_params()[0].value(), totals);
+  };
+  const auto [g1, t1] = run_once();
+  const auto [g2, t2] = run_once();
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      EXPECT_DOUBLE_EQ(g1(r, c), g2(r, c));  // bit-identical, not just close
+  EXPECT_EQ(t1.comm.aggregations, t2.comm.aggregations);
+  EXPECT_EQ(t1.crashes, t2.crashes);
+  EXPECT_EQ(t1.uploads_received, t2.uploads_received);
+  EXPECT_DOUBLE_EQ(t1.end_time_s, t2.end_time_s);
+  EXPECT_EQ(t1.round_times, t2.round_times);
+}
+
+TEST(AsyncPlatform, TotalUplinkLossLeavesGlobalUntouched) {
+  AsyncConfig cfg;
+  cfg.total_iterations = 10;
+  cfg.local_steps = 5;
+  cfg.quorum = 1;
+  cfg.net.loss_prob = 1.0;  // every upload vanishes
+  AsyncPlatform p(tiny_nodes(3), cfg);
+  p.broadcast(tiny_params(4.0));
+  const auto totals = p.run([](fed::EdgeNode& n, std::size_t) {
+    n.params = tiny_params(99.0);
+  });
+  EXPECT_DOUBLE_EQ(p.global_params()[0].value()(1, 1), 4.0);
+  EXPECT_EQ(totals.uploads_received, 0u);
+  EXPECT_EQ(totals.comm.aggregations, 0u);
+  EXPECT_EQ(totals.comm.uploads_dropped, totals.blocks_completed);
+  EXPECT_GT(totals.comm.bytes_up, 0.0);  // airtime is consumed regardless
+}
+
+TEST(AsyncPlatform, CrashesAndRejoinsBalanceAndBudgetStillCompletes) {
+  const std::size_t n = 6, total = 20;
+  AsyncConfig cfg;
+  cfg.total_iterations = total;
+  cfg.local_steps = 4;
+  cfg.deadline_s = 0.05;
+  cfg.faults.crash_rate_per_hour = 36000.0;  // mean 0.1 s between crashes
+  cfg.faults.mean_repair_s = 0.05;
+  AsyncPlatform p(tiny_nodes(n), cfg);
+  p.broadcast(tiny_params(0.0));
+  std::vector<std::size_t> calls(n, 0);
+  const auto totals = p.run(
+      [&](fed::EdgeNode& node, std::size_t) { ++calls[node.id]; });
+  // Crashed blocks are retried, never skipped: the budget always completes.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(calls[i], total);
+  EXPECT_GT(totals.crashes, 0u);
+  EXPECT_EQ(totals.crashes, totals.rejoins);  // every crash drains to a rejoin
+  EXPECT_GT(totals.comm.aggregations, 0u);
+  EXPECT_EQ(totals.round_times.size(), totals.comm.aggregations);
+}
+
+TEST(AsyncPlatform, RejectsBadConfiguration) {
+  AsyncConfig cfg;  // neither deadline nor quorum enabled
+  EXPECT_THROW(AsyncPlatform(tiny_nodes(2), cfg), util::Error);
+  cfg.quorum = 5;   // larger than the fleet
+  EXPECT_THROW(AsyncPlatform(tiny_nodes(2), cfg), util::Error);
+  cfg.quorum = 1;
+  cfg.mix_rate = 0.0;
+  EXPECT_THROW(AsyncPlatform(tiny_nodes(2), cfg), util::Error);
+  cfg.mix_rate = 1.0;
+  cfg.staleness_exponent = -1.0;
+  EXPECT_THROW(AsyncPlatform(tiny_nodes(2), cfg), util::Error);
+  AsyncConfig ok;
+  ok.quorum = 1;
+  AsyncPlatform p(tiny_nodes(2), ok);
+  EXPECT_THROW(p.run([](fed::EdgeNode&, std::size_t) {}), util::Error);  // no θ0
+}
+
+}  // namespace
+}  // namespace fedml::sim
