@@ -1,0 +1,217 @@
+// Serving-runtime benchmark for the src/serve/ layer.
+//
+// Phase 1 (closed loop): C client threads issue adaptation requests
+// back-to-back over a fixed pool of repeat tasks, sweeping worker threads ×
+// adapted-parameter cache on/off. Shows the cache turning repeat-task
+// latency into a lookup (p95, throughput at equal thread count).
+//
+// Phase 2 (open loop): one submitter paces requests at a multiple of the
+// measured capacity against a bounded queue with a per-request deadline.
+// Shows admission control shedding a monotonically growing fraction of the
+// offered load once it exceeds capacity, instead of queueing without bound.
+//
+// `--smoke` shrinks everything for CI; `--csv=<path>` dumps the table.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace fedml;
+
+struct TaskPair {
+  data::Dataset adapt;
+  data::Dataset eval;
+};
+
+// K-shot support + held-out eval batch for each usable node of the
+// federation, capped at `max_tasks` distinct tasks.
+std::vector<TaskPair> make_tasks(const data::FederatedDataset& fd, std::size_t k,
+                                 std::size_t max_tasks, util::Rng& rng) {
+  std::vector<TaskPair> tasks;
+  for (std::size_t id = 0; id < fd.num_nodes() && tasks.size() < max_tasks; ++id) {
+    const auto& local = fd.nodes[id];
+    if (local.size() <= k) continue;
+    util::Rng node_rng = rng.split(id);
+    auto split = data::split_k(local, k, node_rng);
+    tasks.push_back({std::move(split.train), std::move(split.test)});
+  }
+  FEDML_CHECK(!tasks.empty(), "no node large enough for the K-shot split");
+  return tasks;
+}
+
+serve::AdaptRequest make_request(const TaskPair& task, double alpha,
+                                 std::size_t steps, double deadline_s) {
+  serve::AdaptRequest req;
+  req.adapt = task.adapt;
+  req.eval = task.eval;
+  req.alpha = alpha;
+  req.steps = steps;
+  req.deadline_s = deadline_s;
+  return req;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  serve::ServerStats stats;
+};
+
+// C clients, each submit-and-wait in a loop, tasks assigned round-robin.
+RunResult closed_loop(serve::AdaptationServer& server,
+                      const std::vector<TaskPair>& tasks, std::size_t requests,
+                      std::size_t clients, double alpha, std::size_t steps) {
+  std::atomic<std::size_t> next{0};
+  util::Stopwatch clock;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= requests) return;
+        auto fut = server.submit(make_request(
+            tasks[i % tasks.size()], alpha, steps,
+            std::numeric_limits<double>::infinity()));
+        fut.get();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return {clock.seconds(), server.stats()};
+}
+
+// Single submitter paced at `rate` requests/s; never waits for responses.
+RunResult open_loop(serve::AdaptationServer& server,
+                    const std::vector<TaskPair>& tasks, std::size_t requests,
+                    double rate, double deadline_s, double alpha,
+                    std::size_t steps) {
+  using clock = std::chrono::steady_clock;
+  const auto interval =
+      std::chrono::duration_cast<clock::duration>(std::chrono::duration<double>(
+          1.0 / rate));
+  std::vector<std::future<serve::AdaptResponse>> futures;
+  futures.reserve(requests);
+  util::Stopwatch wall;
+  auto due = clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(due);
+    futures.push_back(server.submit(
+        make_request(tasks[i % tasks.size()], alpha, steps, deadline_s)));
+    due += interval;
+  }
+  for (auto& f : futures) f.get();
+  server.drain();
+  return {wall.seconds(), server.stats()};
+}
+
+// Counter difference after − before (latency percentiles stay cumulative;
+// the load sweep reads rates and counts, not percentiles).
+serve::ServerStats stats_delta(serve::ServerStats after,
+                               const serve::ServerStats& before) {
+  after.submitted -= before.submitted;
+  after.served -= before.served;
+  after.shed_queue_full -= before.shed_queue_full;
+  after.shed_deadline -= before.shed_deadline;
+  after.cache_hits -= before.cache_hits;
+  after.cache_misses -= before.cache_misses;
+  return after;
+}
+
+void add_row(util::Table& t, const std::string& phase, std::size_t threads,
+             bool cache, double offered_rps, const RunResult& r) {
+  const auto& s = r.stats;
+  t.add_row({phase, static_cast<std::int64_t>(threads),
+             std::string(cache ? "on" : "off"), offered_rps,
+             static_cast<std::int64_t>(s.submitted), r.seconds,
+             static_cast<double>(s.served) / r.seconds, s.p50_ms, s.p95_ms,
+             s.p99_ms, s.hit_rate(), s.shed_rate()});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool smoke = cli.get_flag("smoke");
+  const auto csv = cli.get_string("csv", "");
+  const auto nodes =
+      static_cast<std::size_t>(cli.get_int("nodes", smoke ? 24 : 50));
+  const auto k = static_cast<std::size_t>(cli.get_int("k", 10));
+  const auto steps = static_cast<std::size_t>(cli.get_int("steps", 10));
+  const auto max_tasks =
+      static_cast<std::size_t>(cli.get_int("tasks", smoke ? 8 : 16));
+  const auto requests =
+      static_cast<std::size_t>(cli.get_int("requests", smoke ? 150 : 600));
+  const double alpha = cli.get_double("alpha", 0.05);
+  const double deadline_s = cli.get_double("deadline", 0.02);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+  cli.finish();
+
+  data::SyntheticConfig dcfg;
+  dcfg.num_nodes = nodes;
+  dcfg.seed = seed;
+  const auto fd = data::make_synthetic(dcfg);
+  auto model = nn::make_softmax_regression(dcfg.input_dim, dcfg.num_classes);
+
+  util::Rng init(seed ^ 0xabcdef);
+  serve::ModelRegistry registry(std::move(model));
+  registry.publish(registry.model().init_params(init));
+
+  util::Rng task_rng(seed + 1);
+  const auto tasks = make_tasks(fd, k, max_tasks, task_rng);
+
+  util::Table t({"phase", "threads", "cache", "offered rps", "requests",
+                 "seconds", "throughput rps", "p50 ms", "p95 ms", "p99 ms",
+                 "hit rate", "shed rate"});
+
+  // Phase 1 — closed-loop threads × cache sweep.
+  const std::vector<std::size_t> thread_sweep =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{1, 2, 4};
+  const std::size_t probe_threads = thread_sweep.back();
+  double capacity_rps = 0.0;
+  for (const auto threads : thread_sweep) {
+    for (const bool cache : {false, true}) {
+      serve::AdaptationServer::Config scfg;
+      scfg.threads = threads;
+      scfg.max_pending = 4 * requests;  // unbounded in this phase
+      scfg.use_cache = cache;
+      serve::AdaptationServer server(registry, scfg);
+      const auto r = closed_loop(server, tasks, requests,
+                                 /*clients=*/2 * threads, alpha, steps);
+      add_row(t, "cache_sweep", threads, cache, 0.0, r);
+      if (threads == probe_threads && cache)
+        capacity_rps = static_cast<double>(r.stats.served) / r.seconds;
+    }
+  }
+
+  // Phase 2 — open-loop load shedding at multiples of measured capacity.
+  const std::vector<double> mults =
+      smoke ? std::vector<double>{0.5, 4.0}
+            : std::vector<double>{0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  for (const double m : mults) {
+    serve::AdaptationServer::Config scfg;
+    scfg.threads = probe_threads;
+    scfg.max_pending = 8;  // bounded queue: admission control active
+    scfg.use_cache = true;
+    serve::AdaptationServer server(registry, scfg);
+    // Warm the adapted-parameter cache so the sweep measures steady-state
+    // shedding, not first-touch adaptation misses.
+    closed_loop(server, tasks, tasks.size(), /*clients=*/1, alpha, steps);
+    const auto warm = server.stats();
+    const double rate = m * capacity_rps;
+    auto r = open_loop(server, tasks, requests, rate, deadline_s, alpha, steps);
+    r.stats = stats_delta(r.stats, warm);
+    add_row(t, "load_sweep", probe_threads, true, rate, r);
+  }
+
+  bench::emit(t, "serving runtime — cache & admission-control sweeps", csv);
+  return 0;
+}

@@ -14,3 +14,9 @@ ctest --preset release -j "$jobs"
 cmake --preset asan
 cmake --build --preset asan -j "$jobs"
 ctest --preset asan -j "$jobs"
+
+# Serving-layer smoke: the benchmark's reduced sweep plus the end-to-end
+# example must run to completion (nonzero exit fails the build).
+smoke_dir="build-release"
+"$smoke_dir/bench/serve_throughput" --smoke
+"$smoke_dir/examples/edge_serving" --nodes=16 --iterations=10 --requests=40

@@ -11,16 +11,25 @@ namespace fedml::nn {
 
 namespace {
 constexpr std::uint32_t kMagic = 0xfed31337;
-constexpr std::uint32_t kVersion = 1;
+// v1: magic, version, name, params.
+// v2: magic, version, fnv1a(payload), payload — where payload is the v1
+// body (name + params). The checksum lets the model registry reject a
+// truncated or bit-flipped file with a clear error instead of a garbage
+// deserialize. v1 files still load.
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
 void save_checkpoint(const std::string& path, const nn::Module& model,
                      const ParamList& params) {
+  util::ByteWriter payload;
+  payload.write_string(model.name());
+  serialize(params, payload);
+
   util::ByteWriter w;
   w.write_u32(kMagic);
   w.write_u32(kVersion);
-  w.write_string(model.name());
-  serialize(params, w);
+  w.write_u64(util::fnv1a(payload.bytes().data(), payload.size()));
+  w.write_bytes(payload.bytes().data(), payload.size());
 
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   FEDML_CHECK(f.good(), "cannot open checkpoint file for writing: " + path);
@@ -36,7 +45,18 @@ Checkpoint load_checkpoint(const std::string& path) {
                                   std::istreambuf_iterator<char>());
   util::ByteReader r(bytes);
   FEDML_CHECK(r.read_u32() == kMagic, "not a fedml checkpoint: " + path);
-  FEDML_CHECK(r.read_u32() == kVersion, "unsupported checkpoint version");
+  const std::uint32_t version = r.read_u32();
+  FEDML_CHECK(version == 1 || version == kVersion,
+              "unsupported checkpoint version " + std::to_string(version));
+  if (version >= 2) {
+    const std::uint64_t stored = r.read_u64();
+    const std::size_t start = r.position();
+    const std::uint64_t actual =
+        util::fnv1a(bytes.data() + start, bytes.size() - start);
+    FEDML_CHECK(actual == stored,
+                "checkpoint payload checksum mismatch (corrupt or truncated "
+                "file): " + path);
+  }
   Checkpoint ckpt;
   ckpt.model_name = r.read_string();
   ckpt.params = deserialize(r);

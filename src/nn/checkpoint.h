@@ -8,7 +8,9 @@ namespace fedml::nn {
 
 /// Model checkpoint: the trained parameter values plus enough metadata to
 /// refuse loading into an incompatible model. The wire format is the same
-/// shape-prefixed layout the simulated uplink uses.
+/// shape-prefixed layout the simulated uplink uses, prefixed (since format
+/// v2) with an FNV-1a payload checksum so truncated or bit-flipped files
+/// fail loudly; v1 files (no checksum) still load.
 struct Checkpoint {
   std::string model_name;  ///< Module::name() at save time
   ParamList params;

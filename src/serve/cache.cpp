@@ -1,0 +1,107 @@
+#include "serve/cache.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "util/serialize.h"
+
+namespace fedml::serve {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t task_signature(const data::Dataset& d) {
+  const std::uint64_t dims[2] = {d.x.rows(), d.x.cols()};
+  std::uint64_t h = util::fnv1a(reinterpret_cast<const std::uint8_t*>(dims),
+                                sizeof(dims));
+  h = util::fnv1a(reinterpret_cast<const std::uint8_t*>(d.x.data()),
+                  d.x.size() * sizeof(double), h);
+  h = util::fnv1a(reinterpret_cast<const std::uint8_t*>(d.y.data()),
+                  d.y.size() * sizeof(std::size_t), h);
+  return h;
+}
+
+AdaptedCache::AdaptedCache(Config config) : config_(config) {}
+
+bool AdaptedCache::expired(const Entry& e, double now_s) const {
+  return std::isfinite(config_.ttl_seconds) && config_.ttl_seconds > 0.0 &&
+         now_s - e.inserted_s > config_.ttl_seconds;
+}
+
+std::shared_ptr<const nn::ParamList> AdaptedCache::get(const Key& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (expired(*it->second, steady_seconds())) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // renew LRU position
+  ++stats_.hits;
+  return it->second->params;
+}
+
+void AdaptedCache::put(const Key& key, nn::ParamList adapted) {
+  std::lock_guard lock(mutex_);
+  if (config_.capacity == 0) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key,
+                        std::make_shared<const nn::ParamList>(std::move(adapted)),
+                        steady_seconds()});
+  index_[key] = lru_.begin();
+  while (lru_.size() > config_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void AdaptedCache::invalidate_before(std::uint64_t version) {
+  std::lock_guard lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.version < version) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AdaptedCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t AdaptedCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+AdaptedCache::Stats AdaptedCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace fedml::serve

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace fedml::serve {
+
+/// Stable identity of an adaptation task: FNV-1a hash over the support set's
+/// shape, feature bytes and labels. Two requests carrying byte-identical
+/// K-shot support sets share adapted parameters for a given model version.
+std::uint64_t task_signature(const data::Dataset& d);
+
+/// LRU + TTL cache of adapted parameter sets keyed by
+/// (model version, task signature).
+///
+/// A target task that re-appears skips the inner gradient steps entirely and
+/// is answered from its previously adapted φ. Entries are invalidated when
+/// the registry publishes a newer meta-initialization (`invalidate_before`),
+/// expire after `ttl_seconds`, and are evicted least-recently-used beyond
+/// `capacity`. `get` hands out a shared_ptr, so an entry evicted while a
+/// request is still predicting with it stays alive for that request.
+/// All methods are thread-safe.
+class AdaptedCache {
+ public:
+  struct Config {
+    std::size_t capacity = 256;
+    /// Entry lifetime; non-positive or infinite = never expires.
+    double ttl_seconds = std::numeric_limits<double>::infinity();
+  };
+
+  struct Key {
+    std::uint64_t version = 0;
+    std::uint64_t signature = 0;
+    bool operator==(const Key& o) const {
+      return version == o.version && signature == o.signature;
+    }
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;      ///< capacity-driven LRU drops
+    std::uint64_t expirations = 0;    ///< TTL-driven drops
+    std::uint64_t invalidations = 0;  ///< publish-driven drops
+  };
+
+  explicit AdaptedCache(Config config);
+
+  /// Adapted parameters for `key`, or nullptr on miss/expiry. A hit renews
+  /// the entry's LRU position.
+  [[nodiscard]] std::shared_ptr<const nn::ParamList> get(const Key& key);
+
+  /// Insert (or refresh) the adapted parameters for `key`, evicting the
+  /// least-recently-used entry beyond capacity.
+  void put(const Key& key, nn::ParamList adapted);
+
+  /// Drop every entry with version < `version` — wired to
+  /// ModelRegistry::on_publish so stale meta-initializations cannot serve.
+  void invalidate_before(std::uint64_t version);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // Split-mix the two words together; both are already well-mixed.
+      std::uint64_t h = k.signature + 0x9e3779b97f4a7c15ull * k.version;
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct Entry {
+    Key key;
+    std::shared_ptr<const nn::ParamList> params;
+    double inserted_s = 0.0;  ///< steady-clock seconds at insertion
+  };
+
+  [[nodiscard]] bool expired(const Entry& e, double now_s) const;
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  Stats stats_;
+};
+
+}  // namespace fedml::serve

@@ -1,0 +1,65 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+#include "nn/checkpoint.h"
+#include "nn/params.h"
+#include "util/error.h"
+
+namespace fedml::serve {
+
+ModelRegistry::ModelRegistry(std::shared_ptr<const nn::Module> model)
+    : model_(std::move(model)) {
+  FEDML_CHECK(model_ != nullptr, "ModelRegistry requires a model");
+}
+
+std::uint64_t ModelRegistry::publish(const nn::ParamList& params) {
+  const auto shapes = model_->param_shapes();
+  FEDML_CHECK(params.size() == shapes.size(),
+              "publish: parameter count mismatch for model '" + model_->name() +
+                  "'");
+  for (std::size_t k = 0; k < shapes.size(); ++k) {
+    FEDML_CHECK(params[k].rows() == shapes[k].rows &&
+                    params[k].cols() == shapes[k].cols,
+                "publish: parameter shape mismatch at index " +
+                    std::to_string(k));
+  }
+
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->params = nn::clone_leaves(params, /*requires_grad=*/false);
+
+  std::vector<PublishHook> hooks;
+  std::uint64_t version = 0;
+  {
+    std::lock_guard lock(mutex_);
+    version = next_version_++;
+    snap->version = version;
+    snapshot_ = std::move(snap);
+    hooks = hooks_;
+  }
+  for (const auto& hook : hooks) hook(version);
+  return version;
+}
+
+std::uint64_t ModelRegistry::publish_checkpoint(const std::string& path) {
+  return publish(nn::load_checkpoint_for(path, *model_));
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::current() const {
+  std::lock_guard lock(mutex_);
+  FEDML_CHECK(snapshot_ != nullptr,
+              "ModelRegistry::current: nothing published yet");
+  return snapshot_;
+}
+
+std::uint64_t ModelRegistry::current_version() const {
+  std::lock_guard lock(mutex_);
+  return snapshot_ ? snapshot_->version : 0;
+}
+
+void ModelRegistry::on_publish(PublishHook hook) {
+  std::lock_guard lock(mutex_);
+  hooks_.push_back(std::move(hook));
+}
+
+}  // namespace fedml::serve

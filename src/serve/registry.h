@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace fedml::serve {
+
+/// One immutable published meta-initialization. Requests hold the snapshot's
+/// shared_ptr for their whole lifetime, so a concurrent publish never swaps
+/// parameters out from under an in-flight adaptation.
+struct ModelSnapshot {
+  std::uint64_t version = 0;  ///< 1-based, strictly increasing
+  nn::ParamList params;       ///< detached leaves; treat as read-only
+};
+
+/// Versioned store of meta-initializations for the serving runtime.
+///
+/// The platform publishes a new θ after (some) aggregation rounds — either
+/// straight from a live `fed::Platform` run via `publish`, or from a
+/// `nn::checkpoint` file via `publish_checkpoint` (which rejects corrupt or
+/// model-mismatched files). `current()` returns the latest snapshot behind a
+/// shared_ptr; the swap is atomic with respect to readers, so every request
+/// adapts a single consistent parameter set even while a publish lands
+/// mid-stream. All methods are thread-safe.
+class ModelRegistry {
+ public:
+  /// Callback invoked (outside the registry lock) after every publish —
+  /// the adapted-parameter cache subscribes to drop stale versions.
+  using PublishHook = std::function<void(std::uint64_t new_version)>;
+
+  explicit ModelRegistry(std::shared_ptr<const nn::Module> model);
+
+  /// Validate shapes against the model, clone to fresh detached leaves, and
+  /// swap in atomically as the next version. Returns the new version number.
+  std::uint64_t publish(const nn::ParamList& params);
+
+  /// Load a checkpoint (magic/checksum/name/shape-validated against the
+  /// registry's model) and publish it.
+  std::uint64_t publish_checkpoint(const std::string& path);
+
+  /// Latest published snapshot. Throws util::Error before the first publish.
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> current() const;
+
+  /// Version of the latest snapshot; 0 when nothing has been published.
+  [[nodiscard]] std::uint64_t current_version() const;
+
+  [[nodiscard]] const nn::Module& model() const { return *model_; }
+
+  void on_publish(PublishHook hook);
+
+ private:
+  std::shared_ptr<const nn::Module> model_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::uint64_t next_version_ = 1;
+  std::vector<PublishHook> hooks_;
+};
+
+}  // namespace fedml::serve

@@ -1,0 +1,174 @@
+#include "serve/server.h"
+
+#include <cmath>
+#include <utility>
+
+#include "autodiff/ops.h"
+#include "core/meta.h"
+#include "nn/loss.h"
+#include "nn/params.h"
+#include "tensor/tensor.h"
+#include "util/error.h"
+
+namespace fedml::serve {
+
+namespace {
+
+double elapsed_s(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+AdaptationServer::AdaptationServer(ModelRegistry& registry, Config config)
+    : registry_(registry),
+      config_(config),
+      cache_(std::make_shared<AdaptedCache>(config.cache)),
+      pool_(config.threads) {
+  // A publish makes every older adapted parameter set unservable for new
+  // requests — drop them eagerly instead of waiting for LRU churn. The hook
+  // holds a weak_ptr: it outlives this server inside the registry, so it
+  // must not touch server state once we are gone.
+  registry_.on_publish([cache = std::weak_ptr<AdaptedCache>(cache_)](
+                           std::uint64_t version) {
+    if (const auto c = cache.lock()) c->invalidate_before(version);
+  });
+}
+
+AdaptationServer::~AdaptationServer() { drain(); }
+
+std::future<AdaptResponse> AdaptationServer::submit(AdaptRequest request) {
+  FEDML_CHECK(request.adapt.size() > 0, "submit: empty adaptation set");
+  FEDML_CHECK(request.eval.size() > 0, "submit: empty eval batch");
+  FEDML_CHECK(registry_.current_version() > 0,
+              "submit: registry has no published model");
+
+  {
+    std::lock_guard lock(mutex_);
+    ++counters_.submitted;
+    if (pending_ >= config_.max_pending) {
+      ++counters_.shed_queue_full;
+      std::promise<AdaptResponse> shed;
+      AdaptResponse r;
+      r.status = RequestStatus::kShedQueueFull;
+      shed.set_value(std::move(r));
+      return shed.get_future();
+    }
+    ++pending_;
+  }
+
+  const auto admitted = Clock::now();
+  auto req = std::make_shared<AdaptRequest>(std::move(request));
+  return pool_.submit([this, req, admitted] {
+    try {
+      AdaptResponse r = process(*req, admitted);
+      finish_one();
+      return r;
+    } catch (...) {
+      finish_one();
+      throw;
+    }
+  });
+}
+
+AdaptResponse AdaptationServer::process(const AdaptRequest& request,
+                                        Clock::time_point admitted) {
+  const auto started = Clock::now();
+  AdaptResponse resp;
+  resp.queue_s = elapsed_s(admitted, started);
+
+  if (std::isfinite(request.deadline_s) && resp.queue_s > request.deadline_s) {
+    resp.status = RequestStatus::kShedDeadline;
+    resp.total_s = resp.queue_s;
+    std::lock_guard lock(mutex_);
+    ++counters_.shed_deadline;
+    return resp;
+  }
+
+  // Pin one consistent snapshot for the whole request: a publish landing
+  // from here on swaps the registry but cannot touch these parameters.
+  const auto snapshot = registry_.current();
+  resp.model_version = snapshot->version;
+
+  AdaptedCache::Key key{snapshot->version, 0};
+  std::shared_ptr<const nn::ParamList> adapted;
+  if (config_.use_cache) {
+    key.signature = task_signature(request.adapt);
+    adapted = cache_->get(key);
+  }
+  if (adapted) {
+    resp.cache_hit = true;
+  } else {
+    const auto adapt_start = Clock::now();
+    nn::ParamList phi = core::adapt(registry_.model(), snapshot->params,
+                                    request.adapt, request.alpha, request.steps);
+    resp.adapt_s = elapsed_s(adapt_start, Clock::now());
+    if (config_.use_cache) cache_->put(key, phi);  // cheap: Vars are handles
+    adapted = std::make_shared<const nn::ParamList>(std::move(phi));
+  }
+
+  const nn::ParamList frozen = nn::clone_leaves(*adapted, /*requires_grad=*/false);
+  const autodiff::Var logits =
+      registry_.model().forward(frozen, autodiff::ops::constant(request.eval.x));
+  resp.predictions = tensor::argmax_rows(logits.value());
+  resp.eval_accuracy = nn::accuracy(logits.value(), request.eval.y);
+  resp.eval_loss = nn::softmax_cross_entropy(logits, request.eval.y).item();
+  resp.total_s = elapsed_s(admitted, Clock::now());
+
+  std::lock_guard lock(mutex_);
+  ++counters_.served;
+  if (config_.use_cache) {
+    if (resp.cache_hit)
+      ++counters_.cache_hits;
+    else
+      ++counters_.cache_misses;
+  }
+  latencies_ms_.push_back(resp.total_s * 1e3);
+  adapt_ms_sum_ += resp.adapt_s * 1e3;
+  return resp;
+}
+
+void AdaptationServer::finish_one() {
+  std::lock_guard lock(mutex_);
+  --pending_;
+  if (pending_ == 0) drained_.notify_all();
+}
+
+std::size_t AdaptationServer::pending() const {
+  std::lock_guard lock(mutex_);
+  return pending_;
+}
+
+bool AdaptationServer::overloaded() const {
+  std::lock_guard lock(mutex_);
+  return pending_ >= config_.max_pending;
+}
+
+void AdaptationServer::drain() {
+  std::unique_lock lock(mutex_);
+  drained_.wait(lock, [this] { return pending_ == 0; });
+}
+
+ServerStats AdaptationServer::stats() const {
+  std::vector<double> latencies;
+  ServerStats s;
+  {
+    std::lock_guard lock(mutex_);
+    s = counters_;
+    latencies = latencies_ms_;
+    s.mean_adapt_ms =
+        s.served == 0 ? 0.0 : adapt_ms_sum_ / static_cast<double>(s.served);
+  }
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (const double v : latencies) sum += v;
+    s.mean_ms = sum / static_cast<double>(latencies.size());
+    s.p50_ms = percentile(latencies, 0.50);
+    s.p95_ms = percentile(latencies, 0.95);
+    s.p99_ms = percentile(latencies, 0.99);
+  }
+  return s;
+}
+
+}  // namespace fedml::serve

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/cache.h"
+#include "serve/registry.h"
+#include "serve/stats.h"
+#include "util/thread_pool.h"
+
+namespace fedml::serve {
+
+/// One target-node request: "here are my K labeled samples — specialize the
+/// current meta-initialization and predict on this batch" (the deployment
+/// shape of the paper's Algorithm 1 target side).
+struct AdaptRequest {
+  data::Dataset adapt;  ///< K support samples for the inner gradient steps
+  data::Dataset eval;   ///< labeled batch to predict and measure on
+  double alpha = 0.01;  ///< adaptation learning rate α
+  std::size_t steps = 1;  ///< inner gradient steps (paper: 1, a few at most)
+  /// Relative deadline: the request is shed if no worker has *started* it
+  /// within this many seconds of admission. Infinity = never shed.
+  double deadline_s = std::numeric_limits<double>::infinity();
+};
+
+enum class RequestStatus {
+  kServed,
+  kShedQueueFull,  ///< rejected at admission: pending bound reached
+  kShedDeadline,   ///< admitted but expired in the queue
+};
+
+struct AdaptResponse {
+  RequestStatus status = RequestStatus::kServed;
+  std::uint64_t model_version = 0;  ///< registry version the request adapted
+  bool cache_hit = false;  ///< adapted parameters came from the cache
+  std::vector<std::size_t> predictions;  ///< argmax class per eval row
+  double eval_loss = 0.0;      ///< cross-entropy on the eval batch
+  double eval_accuracy = 0.0;  ///< accuracy on the eval batch
+  double queue_s = 0.0;  ///< admission → worker pickup
+  double adapt_s = 0.0;  ///< inner gradient steps (0 on a cache hit)
+  double total_s = 0.0;  ///< admission → response ready
+};
+
+/// Concurrent target-adaptation serving runtime.
+///
+/// A `util::ThreadPool` drains a bounded request queue; each worker takes a
+/// consistent `ModelSnapshot` from the registry, runs (or fetches from the
+/// `AdaptedCache`) the few-step inner adaptation, and answers with
+/// predictions plus per-request timing. Admission control keeps the queue
+/// bounded: past `max_pending` outstanding requests new submissions are shed
+/// immediately (`kShedQueueFull`; `overloaded()` is the backpressure
+/// signal), and admitted requests whose deadline lapses before a worker
+/// picks them up are shed as `kShedDeadline` instead of wasting compute on
+/// an answer nobody is waiting for.
+///
+/// The registry must outlive the server. The destructor drains in-flight
+/// requests.
+class AdaptationServer {
+ public:
+  struct Config {
+    std::size_t threads = 0;       ///< worker threads (0 = hardware)
+    std::size_t max_pending = 64;  ///< admission bound: queued + running
+    bool use_cache = true;         ///< serve repeat tasks from AdaptedCache
+    AdaptedCache::Config cache;
+  };
+
+  AdaptationServer(ModelRegistry& registry, Config config);
+  ~AdaptationServer();
+
+  AdaptationServer(const AdaptationServer&) = delete;
+  AdaptationServer& operator=(const AdaptationServer&) = delete;
+
+  /// Admit (or immediately shed) a request. The future always becomes ready:
+  /// shed requests resolve with the corresponding status and no predictions.
+  std::future<AdaptResponse> submit(AdaptRequest request);
+
+  /// Outstanding admitted requests (queued + running).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// True while the admission bound is reached — submissions would shed.
+  [[nodiscard]] bool overloaded() const;
+
+  /// Block until every admitted request has completed.
+  void drain();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] AdaptedCache::Stats cache_stats() const { return cache_->stats(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  AdaptResponse process(const AdaptRequest& request, Clock::time_point admitted);
+  void finish_one();
+
+  ModelRegistry& registry_;
+  Config config_;
+  /// Held via shared_ptr so the registry's publish hook can capture a
+  /// weak_ptr — a publish after this server is gone becomes a no-op instead
+  /// of a dangling call.
+  std::shared_ptr<AdaptedCache> cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable drained_;
+  std::size_t pending_ = 0;
+  ServerStats counters_;             ///< percentile fields unused here
+  std::vector<double> latencies_ms_; ///< served end-to-end latencies
+  double adapt_ms_sum_ = 0.0;
+
+  util::ThreadPool pool_;  ///< last member: destroyed (joined) first
+};
+
+}  // namespace fedml::serve

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedml::serve {
+
+/// q-th quantile (q in [0,1], nearest-rank) of `samples`; 0 when empty.
+/// Takes the vector by value — callers pass a snapshot copy.
+inline double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+/// Aggregate serving counters — one consistent snapshot taken under the
+/// server lock, with latency percentiles computed over served requests.
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed_queue_full = 0;  ///< rejected at admission (backpressure)
+  std::uint64_t shed_deadline = 0;    ///< expired before a worker started it
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  double p50_ms = 0.0;  ///< end-to-end latency of served requests
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double mean_adapt_ms = 0.0;  ///< inner-adaptation time (0 for cache hits)
+
+  [[nodiscard]] double hit_rate() const {
+    const auto looked = cache_hits + cache_misses;
+    return looked == 0 ? 0.0
+                       : static_cast<double>(cache_hits) /
+                             static_cast<double>(looked);
+  }
+  [[nodiscard]] double shed_rate() const {
+    return submitted == 0
+               ? 0.0
+               : static_cast<double>(shed_queue_full + shed_deadline) /
+                     static_cast<double>(submitted);
+  }
+};
+
+}  // namespace fedml::serve

@@ -9,6 +9,18 @@
 
 namespace fedml::util {
 
+/// 64-bit FNV-1a hash over a byte range. Used for checkpoint payload
+/// checksums and adapted-parameter cache keys; pass a previous result as
+/// `h` to chain ranges.
+inline std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n,
+                           std::uint64_t h = 0xcbf29ce484222325ull) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 /// Append-only binary buffer used to serialize model parameters for the
 /// simulated platform/edge uplink. Little-endian POD layout; this is a
 /// simulator, so we only need a self-consistent wire format plus an accurate
@@ -88,6 +100,9 @@ class ByteReader {
   }
 
   [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+
+  /// Current read offset into the underlying buffer (bytes consumed so far).
+  [[nodiscard]] std::size_t position() const { return pos_; }
 
  private:
   template <typename T>

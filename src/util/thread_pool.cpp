@@ -39,10 +39,21 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Chunked dispatch: ~4 blocks per worker balances load (uneven per-index
+  // cost) without allocating one task + future per index for large n.
+  const std::size_t chunks = std::min(n, 4 * workers_.size());
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;  // first `extra` chunks get one more
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&body, i] { body(i); }));
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    futures.push_back(submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }));
+    begin = end;
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {

@@ -14,8 +14,8 @@ namespace fedml::util {
 /// Fixed-size worker pool used to run per-node local training in parallel
 /// within a federated round. Tasks are arbitrary callables; `submit` returns
 /// a future. `parallel_for` is the common entry point: it preserves
-/// determinism because each index gets its own task (and each node its own
-/// RNG stream), so scheduling order cannot change results.
+/// determinism because each index's work is independent (each node owns its
+/// RNG stream), so chunking and scheduling order cannot change results.
 class ThreadPool {
  public:
   /// Spawn `num_threads` workers (defaults to hardware concurrency, min 1).
@@ -39,8 +39,11 @@ class ThreadPool {
     return fut;
   }
 
-  /// Run body(i) for i in [0, n), blocking until all complete. Exceptions
-  /// from tasks are rethrown (first one wins).
+  /// Run body(i) for i in [0, n), blocking until all complete. Indices are
+  /// dispatched in contiguous chunks (≈4 per worker) so large n does not
+  /// allocate n tasks/futures; within a chunk indices run in order, and an
+  /// exception skips the rest of its own chunk only. Exceptions from tasks
+  /// are rethrown (first one wins).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }

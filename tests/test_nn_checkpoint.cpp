@@ -86,6 +86,61 @@ TEST_F(CheckpointTest, RejectsTruncatedFile) {
   EXPECT_THROW(load_checkpoint(path_), util::Error);
 }
 
+TEST_F(CheckpointTest, RejectsFlippedPayloadByteViaChecksum) {
+  const auto model = make_softmax_regression(5, 3);
+  util::Rng rng(7);
+  save_checkpoint(path_, *model, model->init_params(rng));
+
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() - 5] = static_cast<char>(bytes[bytes.size() - 5] ^ 0xff);
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    load_checkpoint(path_);
+    FAIL() << "corrupt checkpoint must not load";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, LoadsLegacyV1FilesWithoutChecksum) {
+  const auto model = make_softmax_regression(5, 3);
+  util::Rng rng(8);
+  const auto params = model->init_params(rng);
+  // Hand-write the v1 layout: magic, version, name, params — no checksum.
+  util::ByteWriter w;
+  w.write_u32(0xfed31337);
+  w.write_u32(1);
+  w.write_string(model->name());
+  serialize(params, w);
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.size()));
+  }
+  const auto loaded = load_checkpoint_for(path_, *model);
+  ASSERT_EQ(loaded.size(), params.size());
+  for (std::size_t k = 0; k < params.size(); ++k)
+    EXPECT_TRUE(tensor::allclose(loaded[k].value(), params[k].value()));
+}
+
+TEST_F(CheckpointTest, RejectsUnknownFutureVersion) {
+  util::ByteWriter w;
+  w.write_u32(0xfed31337);
+  w.write_u32(99);
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.size()));
+  }
+  EXPECT_THROW(load_checkpoint(path_), util::Error);
+}
+
 TEST_F(CheckpointTest, MissingFileThrows) {
   EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.bin"), util::Error);
 }

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "nn/checkpoint.h"
+#include "nn/params.h"
+#include "serve/cache.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::serve {
+namespace {
+
+constexpr std::size_t kDim = 8;
+constexpr std::size_t kClasses = 3;
+
+data::Dataset make_dataset(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Dataset d;
+  d.x = tensor::Tensor::randn(n, kDim, rng);
+  d.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) d.y[i] = i % kClasses;
+  return d;
+}
+
+nn::ParamList make_params(const nn::Module& model, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return model.init_params(rng);
+}
+
+AdaptRequest make_request(std::uint64_t task_seed, std::size_t steps = 2) {
+  AdaptRequest req;
+  req.adapt = make_dataset(12, task_seed);
+  req.eval = make_dataset(6, task_seed + 1);
+  req.alpha = 0.05;
+  req.steps = steps;
+  return req;
+}
+
+// ------------------------------------------------------------ signature ----
+
+TEST(TaskSignature, StableAndDiscriminating) {
+  const auto a = make_dataset(10, 1);
+  auto b = make_dataset(10, 1);
+  EXPECT_EQ(task_signature(a), task_signature(b));
+
+  b.x(3, 2) += 1e-9;  // any bit flip in the features changes the signature
+  EXPECT_NE(task_signature(a), task_signature(b));
+
+  auto c = make_dataset(10, 1);
+  c.y[0] = (c.y[0] + 1) % kClasses;
+  EXPECT_NE(task_signature(a), task_signature(c));
+}
+
+// ---------------------------------------------------------------- cache ----
+
+nn::ParamList tiny_params(double v) {
+  return {autodiff::Var(tensor::Tensor::scalar(v))};
+}
+
+TEST(AdaptedCache, LruEvictionHonorsRecency) {
+  AdaptedCache cache({/*capacity=*/2, /*ttl=*/1e9});
+  const AdaptedCache::Key k1{1, 100}, k2{1, 200}, k3{1, 300}, k4{1, 400};
+  cache.put(k1, tiny_params(1));
+  cache.put(k2, tiny_params(2));
+  cache.put(k3, tiny_params(3));  // evicts k1 (least recently used)
+  EXPECT_EQ(cache.get(k1), nullptr);
+  ASSERT_NE(cache.get(k2), nullptr);  // renews k2
+  cache.put(k4, tiny_params(4));      // now evicts k3, not k2
+  EXPECT_EQ(cache.get(k3), nullptr);
+  ASSERT_NE(cache.get(k2), nullptr);
+  EXPECT_DOUBLE_EQ((*cache.get(k2))[0].item(), 2.0);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(AdaptedCache, TtlExpiresEntries) {
+  AdaptedCache cache({/*capacity=*/4, /*ttl=*/1e-6});
+  const AdaptedCache::Key key{1, 7};
+  cache.put(key, tiny_params(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(cache.get(key), nullptr);
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AdaptedCache, InvalidateBeforeDropsOldVersionsOnly) {
+  AdaptedCache cache({/*capacity=*/8, /*ttl=*/1e9});
+  cache.put({1, 10}, tiny_params(1));
+  cache.put({1, 11}, tiny_params(2));
+  cache.put({2, 10}, tiny_params(3));
+  cache.invalidate_before(2);
+  EXPECT_EQ(cache.get({1, 10}), nullptr);
+  EXPECT_EQ(cache.get({1, 11}), nullptr);
+  EXPECT_NE(cache.get({2, 10}), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(AdaptedCache, HitsKeepEvictedEntryAliveForHolders) {
+  AdaptedCache cache({/*capacity=*/1, /*ttl=*/1e9});
+  cache.put({1, 1}, tiny_params(42));
+  const auto held = cache.get({1, 1});
+  cache.put({1, 2}, tiny_params(0));  // evicts the held entry
+  ASSERT_NE(held, nullptr);
+  EXPECT_DOUBLE_EQ((*held)[0].item(), 42.0);
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(ModelRegistry, PublishBumpsVersionAndKeepsOldSnapshotsStable) {
+  auto model = nn::make_softmax_regression(kDim, kClasses);
+  ModelRegistry registry(model);
+  EXPECT_EQ(registry.current_version(), 0u);
+  EXPECT_THROW(registry.current(), util::Error);
+
+  const auto p1 = make_params(*model, 1);
+  const auto p2 = make_params(*model, 2);
+  EXPECT_EQ(registry.publish(p1), 1u);
+  const auto snap1 = registry.current();
+  EXPECT_EQ(registry.publish(p2), 2u);
+
+  EXPECT_EQ(snap1->version, 1u);  // held snapshot untouched by the publish
+  for (std::size_t k = 0; k < p1.size(); ++k)
+    EXPECT_TRUE(tensor::allclose(snap1->params[k].value(), p1[k].value()));
+  EXPECT_EQ(registry.current()->version, 2u);
+  EXPECT_EQ(registry.current_version(), 2u);
+}
+
+TEST(ModelRegistry, RejectsMismatchedShapes) {
+  auto model = nn::make_softmax_regression(kDim, kClasses);
+  ModelRegistry registry(model);
+  auto wrong = make_params(*model, 1);
+  wrong.pop_back();
+  EXPECT_THROW(registry.publish(wrong), util::Error);
+}
+
+TEST(ModelRegistry, PublishHookFiresWithNewVersion) {
+  auto model = nn::make_softmax_regression(kDim, kClasses);
+  ModelRegistry registry(model);
+  std::vector<std::uint64_t> seen;
+  registry.on_publish([&](std::uint64_t v) { seen.push_back(v); });
+  registry.publish(make_params(*model, 1));
+  registry.publish(make_params(*model, 2));
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(ModelRegistry, PublishesFromValidCheckpointAndRejectsCorrupt) {
+  const std::string path = ::testing::TempDir() + "fedml_serve_reg_ckpt.bin";
+  auto model = nn::make_softmax_regression(kDim, kClasses);
+  nn::save_checkpoint(path, *model, make_params(*model, 3));
+
+  ModelRegistry registry(model);
+  EXPECT_EQ(registry.publish_checkpoint(path), 1u);
+
+  // Flip one payload byte: the checksum must reject it before a deserialize.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -5, SEEK_END);
+    const int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(registry.publish_checkpoint(path), util::Error);
+  EXPECT_EQ(registry.current_version(), 1u);  // failed publish is a no-op
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------- server ----
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = nn::make_softmax_regression(kDim, kClasses);
+    registry_ = std::make_unique<ModelRegistry>(model_);
+    registry_->publish(make_params(*model_, 7));
+  }
+
+  std::shared_ptr<nn::Module> model_;
+  std::unique_ptr<ModelRegistry> registry_;
+};
+
+TEST_F(ServerTest, ServesPredictionsWithTiming) {
+  AdaptationServer server(*registry_, {/*threads=*/2, /*max_pending=*/16,
+                                       /*use_cache=*/true, {}});
+  const auto resp = server.submit(make_request(1)).get();
+  EXPECT_EQ(resp.status, RequestStatus::kServed);
+  EXPECT_EQ(resp.model_version, 1u);
+  EXPECT_FALSE(resp.cache_hit);
+  EXPECT_EQ(resp.predictions.size(), 6u);
+  for (const auto p : resp.predictions) EXPECT_LT(p, kClasses);
+  EXPECT_GT(resp.adapt_s, 0.0);
+  EXPECT_GE(resp.total_s, resp.adapt_s);
+}
+
+TEST_F(ServerTest, RepeatTaskHitsCacheWithIdenticalPredictions) {
+  AdaptationServer server(*registry_, {/*threads=*/1, /*max_pending=*/16,
+                                       /*use_cache=*/true, {}});
+  const auto first = server.submit(make_request(2)).get();
+  const auto second = server.submit(make_request(2)).get();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.adapt_s, 0.0);
+  EXPECT_EQ(first.predictions, second.predictions);
+  EXPECT_DOUBLE_EQ(first.eval_loss, second.eval_loss);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST_F(ServerTest, CacheOffAlwaysAdapts) {
+  AdaptationServer server(*registry_, {/*threads=*/1, /*max_pending=*/16,
+                                       /*use_cache=*/false, {}});
+  EXPECT_FALSE(server.submit(make_request(3)).get().cache_hit);
+  EXPECT_FALSE(server.submit(make_request(3)).get().cache_hit);
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+}
+
+TEST_F(ServerTest, PublishInvalidatesCachedAdaptations) {
+  AdaptationServer server(*registry_, {/*threads=*/1, /*max_pending=*/16,
+                                       /*use_cache=*/true, {}});
+  ASSERT_FALSE(server.submit(make_request(4)).get().cache_hit);
+  ASSERT_TRUE(server.submit(make_request(4)).get().cache_hit);
+
+  registry_->publish(make_params(*model_, 8));
+  const auto resp = server.submit(make_request(4)).get();
+  EXPECT_FALSE(resp.cache_hit);  // v1's adapted parameters were dropped
+  EXPECT_EQ(resp.model_version, 2u);
+  EXPECT_GE(server.cache_stats().invalidations, 1u);
+}
+
+TEST_F(ServerTest, ShedsWhenAdmissionQueueIsFull) {
+  AdaptationServer server(*registry_, {/*threads=*/1, /*max_pending=*/2,
+                                       /*use_cache=*/false, {}});
+  // Saturate: one slow request runs, one queues; the rest must shed at
+  // admission without blocking.
+  std::vector<std::future<AdaptResponse>> futures;
+  for (std::size_t i = 0; i < 6; ++i)
+    futures.push_back(server.submit(make_request(100 + i, /*steps=*/2000)));
+  std::size_t served = 0, shed = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    (r.status == RequestStatus::kServed ? served : shed)++;
+    if (r.status != RequestStatus::kServed) {
+      EXPECT_EQ(r.status, RequestStatus::kShedQueueFull);
+    }
+  }
+  EXPECT_EQ(served + shed, 6u);
+  EXPECT_GE(shed, 1u);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.served, served);
+  EXPECT_EQ(stats.shed_queue_full, shed);
+  EXPECT_GT(stats.shed_rate(), 0.0);
+}
+
+TEST_F(ServerTest, ShedsRequestsWhoseDeadlineExpiredInQueue) {
+  AdaptationServer server(*registry_, {/*threads=*/1, /*max_pending=*/16,
+                                       /*use_cache=*/false, {}});
+  // A slow request with no deadline occupies the single worker...
+  auto slow = server.submit(make_request(200, /*steps=*/2000));
+  // ...so these queue past their (immediately expiring) deadline.
+  std::vector<std::future<AdaptResponse>> expired;
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto req = make_request(300 + i);
+    req.deadline_s = 0.0;
+    expired.push_back(server.submit(std::move(req)));
+  }
+  EXPECT_EQ(slow.get().status, RequestStatus::kServed);
+  for (auto& f : expired) {
+    const auto r = f.get();
+    EXPECT_EQ(r.status, RequestStatus::kShedDeadline);
+    EXPECT_TRUE(r.predictions.empty());
+  }
+  EXPECT_EQ(server.stats().shed_deadline, 4u);
+}
+
+TEST_F(ServerTest, ServeWhilePublishKeepsEveryRequestOnOneVersion) {
+  AdaptationServer server(*registry_, {/*threads=*/4, /*max_pending=*/256,
+                                       /*use_cache=*/true, {}});
+  constexpr std::size_t kPublishes = 5;
+  constexpr std::size_t kRequests = 60;
+
+  std::thread publisher([&] {
+    for (std::size_t v = 0; v < kPublishes; ++v) {
+      registry_->publish(make_params(*model_, 50 + v));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::future<AdaptResponse>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i)
+    futures.push_back(server.submit(make_request(400 + i % 4, /*steps=*/3)));
+
+  std::size_t served = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    ASSERT_EQ(r.status, RequestStatus::kServed);
+    ++served;
+    EXPECT_GE(r.model_version, 1u);
+    EXPECT_LE(r.model_version, 1u + kPublishes);
+    EXPECT_EQ(r.predictions.size(), 6u);
+  }
+  publisher.join();
+  server.drain();
+  EXPECT_EQ(served, kRequests);
+  EXPECT_EQ(server.stats().served, kRequests);
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST_F(ServerTest, RejectsInvalidRequests) {
+  AdaptationServer server(*registry_, {});
+  AdaptRequest empty_adapt = make_request(5);
+  empty_adapt.adapt = data::Dataset{};
+  EXPECT_THROW(server.submit(std::move(empty_adapt)), util::Error);
+
+  auto model = nn::make_softmax_regression(kDim, kClasses);
+  ModelRegistry unpublished(model);
+  AdaptationServer bare(unpublished, {});
+  EXPECT_THROW(bare.submit(make_request(6)), util::Error);
+}
+
+TEST_F(ServerTest, LatencyPercentilesAreOrdered) {
+  AdaptationServer server(*registry_, {/*threads=*/2, /*max_pending=*/64,
+                                       /*use_cache=*/true, {}});
+  std::vector<std::future<AdaptResponse>> futures;
+  for (std::size_t i = 0; i < 20; ++i)
+    futures.push_back(server.submit(make_request(500 + i % 5)));
+  for (auto& f : futures) f.get();
+  const auto s = server.stats();
+  EXPECT_GT(s.p50_ms, 0.0);
+  EXPECT_LE(s.p50_ms, s.p95_ms);
+  EXPECT_LE(s.p95_ms, s.p99_ms);
+  EXPECT_GT(s.mean_ms, 0.0);
+}
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(Percentile, NearestRankOnKnownData) {
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) v.push_back(i);  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 100.0);
+  EXPECT_NEAR(percentile(v, 0.50), 50.0, 1.0);
+  EXPECT_NEAR(percentile(v, 0.95), 95.0, 1.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace fedml::serve

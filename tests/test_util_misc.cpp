@@ -150,6 +150,32 @@ TEST(ThreadPool, PropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ChunkedDispatchCoversLargeRangeExactlyOnce) {
+  // n far above 4×workers forces multi-index chunks; every index must still
+  // run exactly once.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedDispatchHandlesIndivisibleRanges) {
+  // n not divisible by the chunk count: remainder indices must not be lost.
+  ThreadPool pool(4);  // 16 chunks max
+  std::vector<std::atomic<int>> hits(101);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedDispatchPropagatesMidChunkException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 97) throw std::runtime_error("late");
+                                 }),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, ZeroTasksIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
