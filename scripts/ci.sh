@@ -1,22 +1,48 @@
 #!/usr/bin/env bash
-# CI entry point: build + full test suite in Release, then the same suite
-# under AddressSanitizer + UndefinedBehaviorSanitizer (memory errors and UB
-# in the simulator/event-loop code paths don't show up in plain unit runs).
+# CI entry point, fail-fast in dependency order:
+#   1. lint     — scripts/lint.py, seconds, no toolchain needed
+#   2. release  — build + full ctest suite
+#   3. asan     — same suite under Address/UndefinedBehaviorSanitizer
+#   4. tsan     — same suite under ThreadSanitizer (data races in the
+#                 thread-pool / serving / aggregation paths that ASan
+#                 cannot see; suppressions in tsan.supp, kept empty)
+# plus a serving-layer smoke run and, when clang-tidy is installed, a
+# static-analysis pass over src/ against the exported compile database.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-jobs="${JOBS:-$(nproc)}"
+# Portable core count: nproc is Linux/coreutils; macOS has sysctl.
+if command -v nproc >/dev/null 2>&1; then
+  default_jobs="$(nproc)"
+else
+  default_jobs="$(sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+fi
+jobs="${JOBS:-$default_jobs}"
 
-cmake --preset release
-cmake --build --preset release -j "$jobs"
-ctest --preset release -j "$jobs"
+echo "==> lint"
+python3 scripts/lint.py
 
-cmake --preset asan
-cmake --build --preset asan -j "$jobs"
-ctest --preset asan -j "$jobs"
+for preset in release asan tsan; do
+  echo "==> ${preset}"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs"
+done
 
 # Serving-layer smoke: the benchmark's reduced sweep plus the end-to-end
 # example must run to completion (nonzero exit fails the build).
+echo "==> smoke"
 smoke_dir="build-release"
 "$smoke_dir/bench/serve_throughput" --smoke
 "$smoke_dir/examples/edge_serving" --nodes=16 --iterations=10 --requests=40
+
+# Optional: clang-tidy over library code (config in .clang-tidy). Gated on
+# availability — the baked-in CI image is gcc-only; developers with LLVM
+# installed get the extra net locally.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==> clang-tidy"
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "$jobs" -n 1 clang-tidy -p "$smoke_dir" --quiet
+else
+  echo "==> clang-tidy not installed; skipping (config: .clang-tidy)"
+fi

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""fedml repo lint — fast, dependency-free static checks (CI step 1).
+
+Enforced rules (library code under src/ unless noted):
+
+  raw-mutex     No raw std::mutex / std::lock_guard / std::unique_lock /
+                std::condition_variable & friends outside the annotated
+                wrapper (src/util/mutex.{h,cpp}). The wrapper carries the
+                clang thread-safety capability annotations and the runtime
+                lock-rank assertion; raw primitives bypass both.
+  determinism   No std::rand/srand, std::random_device, wall-clock
+                (std::chrono::system_clock) or time(NULL)-style seeding.
+                All randomness must flow from util::Rng seeds so runs are
+                reproducible; all timing from steady_clock or the
+                simulated event clock.
+  no-cout       No std::cout/printf in library code — route diagnostics
+                through util::log (std::cerr is the logger's own default
+                sink, allowed only in src/util/log.cpp). Benches, examples
+                and tests may print freely.
+  naked-new     No naked `new`/`delete` — use std::make_unique /
+                std::make_shared / containers.
+  pragma-once   Every header (src/, tests/, bench/, examples/) starts its
+                include guard with `#pragma once`.
+
+A violation can be waived on its own line with a trailing
+`// lint: allow(<rule>)` comment — the waiver is part of the diff and
+therefore reviewed. Exit status: 0 clean, 1 violations, 2 internal error.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Directories scanned per rule-set.
+SRC_DIR = ROOT / "src"
+HEADER_DIRS = [ROOT / d for d in ("src", "tests", "bench", "examples")]
+
+# The one place raw lock primitives may appear: the annotated wrapper.
+RAW_MUTEX_ALLOWED = {"src/util/mutex.h", "src/util/mutex.cpp"}
+# The logger's default sink writes to stderr by design.
+CERR_ALLOWED = {"src/util/log.cpp"}
+
+WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+RULES = {
+    "raw-mutex": re.compile(
+        r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+        r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+        r"shared_lock|condition_variable(?:_any)?)\b"
+        r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
+    ),
+    "determinism": re.compile(
+        r"\bstd::random_device\b|\b(?:std::)?s?rand\s*\(|"
+        r"\bstd::chrono::system_clock\b|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+    ),
+    "no-cout": re.compile(r"\bstd::cout\b|[^\w.:]printf\s*\("),
+    "no-cerr": re.compile(r"\bstd::cerr\b"),
+    # `delete` followed by `;` is a deleted special member, not the operator.
+    "naked-new": re.compile(r"(?:^|[^\w.:])(?:new\b|delete\b(?!\s*;))"),
+}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving line structure
+    so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def waived_rules(raw_line: str) -> set[str]:
+    m = WAIVER_RE.search(raw_line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def relpath(path: pathlib.Path) -> str:
+    return path.relative_to(ROOT).as_posix()
+
+
+def check_file(path: pathlib.Path, violations: list[str]) -> None:
+    rel = relpath(path)
+    raw = path.read_text(encoding="utf-8")
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments_and_strings(raw).splitlines()
+
+    in_src = rel.startswith("src/")
+
+    if path.suffix == ".h":
+        # `#pragma once` must be the first directive-like content.
+        if not any(line.strip() == "#pragma once" for line in raw_lines[:5]):
+            violations.append(
+                f"{rel}:1: [pragma-once] header must start with `#pragma once`"
+            )
+
+    if not in_src:
+        return  # content rules apply to library code only
+
+    for lineno, (code, rawline) in enumerate(zip(code_lines, raw_lines), 1):
+        waived = waived_rules(rawline)
+
+        def report(rule: str, message: str) -> None:
+            if rule in waived:
+                return
+            violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+        if RULES["raw-mutex"].search(code) and rel not in RAW_MUTEX_ALLOWED:
+            report(
+                "raw-mutex",
+                "raw standard lock primitive — use util::Mutex / "
+                "util::LockGuard / util::UniqueLock / util::CondVar "
+                "(src/util/mutex.h)",
+            )
+        if RULES["determinism"].search(code):
+            report(
+                "determinism",
+                "nondeterministic randomness/clock source — seed util::Rng "
+                "and use steady_clock or simulated time",
+            )
+        if RULES["no-cout"].search(code):
+            report("no-cout", "library code must log via util::log")
+        if RULES["no-cerr"].search(code) and rel not in CERR_ALLOWED:
+            report("no-cout", "library code must log via util::log (std::cerr)")
+        if RULES["naked-new"].search(code):
+            report(
+                "naked-new",
+                "naked new/delete — use std::make_unique/std::make_shared "
+                "or a container",
+            )
+
+
+def main() -> int:
+    files: list[pathlib.Path] = []
+    for ext in ("*.h", "*.cpp"):
+        files.extend(sorted(SRC_DIR.rglob(ext)))
+    for d in HEADER_DIRS:
+        if d != SRC_DIR and d.is_dir():
+            files.extend(sorted(d.rglob("*.h")))
+
+    violations: list[str] = []
+    for f in files:
+        check_file(f, violations)
+
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        for v in violations:
+            print(v, file=sys.stderr)
+        return 1
+    print(f"lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ Platform::Platform(std::vector<EdgeNode> nodes, Config config)
 }
 
 void Platform::broadcast(const nn::ParamList& theta) {
+  thread_.check("Platform::broadcast");
   global_ = nn::clone_leaves(theta);
   for (auto& n : nodes_) n.params = nn::clone_leaves(theta);
 }
@@ -53,6 +54,7 @@ nn::ParamList Platform::aggregate_subset(
 }
 
 CommTotals Platform::run(const LocalStep& step, const AggregateHook& hook) {
+  thread_.check("Platform::run");
   FEDML_CHECK(static_cast<bool>(step), "run() needs a local step function");
   FEDML_CHECK(!global_.empty(), "broadcast initial parameters before run()");
 

@@ -8,6 +8,7 @@
 #include "fed/node.h"
 #include "nn/params.h"
 #include "sim/transport.h"
+#include "util/mutex.h"
 
 namespace fedml::fed {
 
@@ -84,6 +85,11 @@ class Platform {
   CommTotals run(const LocalStep& step, const AggregateHook& hook = {});
 
  private:
+  /// Single-thread affinity for the schedule driver: worker threads only
+  /// ever run the per-node `LocalStep` bodies handed to the pool inside
+  /// `run` — `broadcast`/`run` themselves (which touch `global_` and
+  /// `rng_`) must stay on one thread, asserted via util::ThreadChecker.
+  util::ThreadChecker thread_;
   std::vector<EdgeNode> nodes_;
   Config config_;
   nn::ParamList global_;

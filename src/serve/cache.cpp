@@ -38,7 +38,7 @@ bool AdaptedCache::expired(const Entry& e, double now_s) const {
 }
 
 std::shared_ptr<const nn::ParamList> AdaptedCache::get(const Key& key) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -57,7 +57,7 @@ std::shared_ptr<const nn::ParamList> AdaptedCache::get(const Key& key) {
 }
 
 void AdaptedCache::put(const Key& key, nn::ParamList adapted) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (config_.capacity == 0) return;
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -76,7 +76,7 @@ void AdaptedCache::put(const Key& key, nn::ParamList adapted) {
 }
 
 void AdaptedCache::invalidate_before(std::uint64_t version) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.version < version) {
       index_.erase(it->key);
@@ -89,18 +89,18 @@ void AdaptedCache::invalidate_before(std::uint64_t version) {
 }
 
 void AdaptedCache::clear() {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   lru_.clear();
   index_.clear();
 }
 
 std::size_t AdaptedCache::size() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return lru_.size();
 }
 
 AdaptedCache::Stats AdaptedCache::stats() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return stats_;
 }
 

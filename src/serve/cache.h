@@ -4,11 +4,13 @@
 #include <limits>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "data/dataset.h"
 #include "nn/module.h"
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
 
 namespace fedml::serve {
 
@@ -90,11 +92,13 @@ class AdaptedCache {
 
   [[nodiscard]] bool expired(const Entry& e, double now_s) const;
 
-  Config config_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  Stats stats_;
+  Config config_;  ///< set once in ctor, immutable
+  mutable util::Mutex mutex_{util::lock_rank::kCache, "AdaptedCache::mutex_"};
+  /// front = most recently used
+  std::list<Entry> lru_ FEDML_GUARDED_BY(mutex_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      FEDML_GUARDED_BY(mutex_);
+  Stats stats_ FEDML_GUARDED_BY(mutex_);
 };
 
 }  // namespace fedml::serve

@@ -31,7 +31,7 @@ std::uint64_t ModelRegistry::publish(const nn::ParamList& params) {
   std::vector<PublishHook> hooks;
   std::uint64_t version = 0;
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     version = next_version_++;
     snap->version = version;
     snapshot_ = std::move(snap);
@@ -46,19 +46,19 @@ std::uint64_t ModelRegistry::publish_checkpoint(const std::string& path) {
 }
 
 std::shared_ptr<const ModelSnapshot> ModelRegistry::current() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   FEDML_CHECK(snapshot_ != nullptr,
               "ModelRegistry::current: nothing published yet");
   return snapshot_;
 }
 
 std::uint64_t ModelRegistry::current_version() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return snapshot_ ? snapshot_->version : 0;
 }
 
 void ModelRegistry::on_publish(PublishHook hook) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   hooks_.push_back(std::move(hook));
 }
 

@@ -3,11 +3,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "nn/module.h"
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
 
 namespace fedml::serve {
 
@@ -55,11 +57,12 @@ class ModelRegistry {
   void on_publish(PublishHook hook);
 
  private:
-  std::shared_ptr<const nn::Module> model_;
-  mutable std::mutex mutex_;
-  std::shared_ptr<const ModelSnapshot> snapshot_;
-  std::uint64_t next_version_ = 1;
-  std::vector<PublishHook> hooks_;
+  std::shared_ptr<const nn::Module> model_;  ///< set once in ctor, immutable
+  mutable util::Mutex mutex_{util::lock_rank::kRegistry,
+                             "ModelRegistry::mutex_"};
+  std::shared_ptr<const ModelSnapshot> snapshot_ FEDML_GUARDED_BY(mutex_);
+  std::uint64_t next_version_ FEDML_GUARDED_BY(mutex_) = 1;
+  std::vector<PublishHook> hooks_ FEDML_GUARDED_BY(mutex_);
 };
 
 }  // namespace fedml::serve

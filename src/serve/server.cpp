@@ -45,7 +45,7 @@ std::future<AdaptResponse> AdaptationServer::submit(AdaptRequest request) {
               "submit: registry has no published model");
 
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     ++counters_.submitted;
     if (pending_ >= config_.max_pending) {
       ++counters_.shed_queue_full;
@@ -81,7 +81,7 @@ AdaptResponse AdaptationServer::process(const AdaptRequest& request,
   if (std::isfinite(request.deadline_s) && resp.queue_s > request.deadline_s) {
     resp.status = RequestStatus::kShedDeadline;
     resp.total_s = resp.queue_s;
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     ++counters_.shed_deadline;
     return resp;
   }
@@ -116,7 +116,7 @@ AdaptResponse AdaptationServer::process(const AdaptRequest& request,
   resp.eval_loss = nn::softmax_cross_entropy(logits, request.eval.y).item();
   resp.total_s = elapsed_s(admitted, Clock::now());
 
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   ++counters_.served;
   if (config_.use_cache) {
     if (resp.cache_hit)
@@ -130,31 +130,31 @@ AdaptResponse AdaptationServer::process(const AdaptRequest& request,
 }
 
 void AdaptationServer::finish_one() {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   --pending_;
   if (pending_ == 0) drained_.notify_all();
 }
 
 std::size_t AdaptationServer::pending() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return pending_;
 }
 
 bool AdaptationServer::overloaded() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return pending_ >= config_.max_pending;
 }
 
 void AdaptationServer::drain() {
-  std::unique_lock lock(mutex_);
-  drained_.wait(lock, [this] { return pending_ == 0; });
+  util::UniqueLock lock(mutex_);
+  while (pending_ != 0) drained_.wait(lock);
 }
 
 ServerStats AdaptationServer::stats() const {
   std::vector<double> latencies;
   ServerStats s;
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     s = counters_;
     latencies = latencies_ms_;
     s.mean_adapt_ms =

@@ -1,18 +1,19 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "data/dataset.h"
 #include "serve/cache.h"
 #include "serve/registry.h"
 #include "serve/stats.h"
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace fedml::serve {
@@ -106,12 +107,15 @@ class AdaptationServer {
   /// of a dangling call.
   std::shared_ptr<AdaptedCache> cache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable drained_;
-  std::size_t pending_ = 0;
-  ServerStats counters_;             ///< percentile fields unused here
-  std::vector<double> latencies_ms_; ///< served end-to-end latencies
-  double adapt_ms_sum_ = 0.0;
+  mutable util::Mutex mutex_{util::lock_rank::kServer,
+                             "AdaptationServer::mutex_"};
+  util::CondVar drained_;
+  std::size_t pending_ FEDML_GUARDED_BY(mutex_) = 0;
+  /// percentile fields unused here
+  ServerStats counters_ FEDML_GUARDED_BY(mutex_);
+  /// served end-to-end latencies
+  std::vector<double> latencies_ms_ FEDML_GUARDED_BY(mutex_);
+  double adapt_ms_sum_ FEDML_GUARDED_BY(mutex_) = 0.0;
 
   util::ThreadPool pool_;  ///< last member: destroyed (joined) first
 };

@@ -45,6 +45,7 @@ AsyncPlatform::AsyncPlatform(std::vector<fed::EdgeNode> nodes,
 AsyncPlatform::~AsyncPlatform() = default;
 
 void AsyncPlatform::broadcast(const nn::ParamList& theta) {
+  thread_.check("AsyncPlatform::broadcast");
   global_ = nn::clone_leaves(theta);
   for (auto& n : nodes_) n.params = nn::clone_leaves(theta);
 }
@@ -53,6 +54,7 @@ const FaultInjector& AsyncPlatform::faults() const { return impl_->faults; }
 const NetworkTransport& AsyncPlatform::network() const { return impl_->net; }
 
 AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook) {
+  thread_.check("AsyncPlatform::run");
   FEDML_CHECK(static_cast<bool>(step), "run() needs a local step function");
   FEDML_CHECK(!global_.empty(), "broadcast initial parameters before run()");
 

@@ -8,6 +8,7 @@
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/network.h"
+#include "util/mutex.h"
 
 namespace fedml::sim {
 
@@ -108,6 +109,10 @@ class AsyncPlatform {
  private:
   struct Impl;
 
+  /// Single-thread affinity: the platform (like its EventQueue) is
+  /// thread-compatible, not thread-safe — `broadcast`/`run` assert they
+  /// stay on the binding thread (util::ThreadChecker throws util::Error).
+  util::ThreadChecker thread_;
   std::vector<fed::EdgeNode> nodes_;
   AsyncConfig config_;
   nn::ParamList global_;

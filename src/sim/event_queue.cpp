@@ -7,6 +7,7 @@
 namespace fedml::sim {
 
 EventQueue::EventId EventQueue::schedule_at(double at, std::function<void()> fn) {
+  thread_.check("EventQueue::schedule_at");
   FEDML_CHECK(std::isfinite(at), "event time must be finite");
   FEDML_CHECK(at >= now_, "cannot schedule an event in the simulated past");
   FEDML_CHECK(static_cast<bool>(fn), "event needs a callback");
@@ -23,6 +24,7 @@ EventQueue::EventId EventQueue::schedule_in(double delay, std::function<void()> 
 }
 
 bool EventQueue::cancel(EventId id) {
+  thread_.check("EventQueue::cancel");
   // Only ids still pending can be cancelled; fired/cancelled ids are no-ops.
   if (pending_ids_.erase(id) == 0) return false;
   // Lazy deletion: the entry stays in the heap and is skipped when popped.
@@ -32,6 +34,7 @@ bool EventQueue::cancel(EventId id) {
 }
 
 bool EventQueue::step() {
+  thread_.check("EventQueue::step");
   while (!heap_.empty()) {
     // Move the callback out before popping; top() is const.
     Entry e = std::move(const_cast<Entry&>(heap_.top()));

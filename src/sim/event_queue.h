@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/mutex.h"
+
 namespace fedml::sim {
 
 /// Deterministic discrete-event scheduler keyed on simulated time.
@@ -15,6 +17,12 @@ namespace fedml::sim {
 /// schedule calls — no wall clock, no thread scheduling, no hash-order
 /// dependence. All simulator randomness lives in the callbacks' own
 /// `util::Rng` streams, never in the queue itself.
+///
+/// Thread-COMPATIBLE, not thread-safe: determinism requires a single
+/// driving thread, so every mutating call asserts (via util::ThreadChecker,
+/// throwing util::Error) that it runs on the thread that first used the
+/// queue — a cross-thread `schedule_*` would otherwise corrupt the heap
+/// silently under a data race.
 class EventQueue {
  public:
   using EventId = std::uint64_t;
@@ -64,6 +72,7 @@ class EventQueue {
     }
   };
 
+  util::ThreadChecker thread_;  ///< single-thread affinity (first use binds)
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<EventId> pending_ids_;  ///< scheduled, not yet fired
   std::unordered_set<EventId> cancelled_;    ///< awaiting lazy heap removal

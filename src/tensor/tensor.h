@@ -48,12 +48,15 @@ class Tensor {
     return rows_ == o.rows_ && cols_ == o.cols_;
   }
 
+  // Per-element access is the innermost loop of every matmul/reduction, so
+  // the bounds check is debug-only (FEDML_DCHECK): it vanishes under
+  // NDEBUG, where the ASan CI leg still catches out-of-range access.
   double& operator()(std::size_t i, std::size_t j) {
-    FEDML_CHECK(i < rows_ && j < cols_, "tensor index out of range");
+    FEDML_DCHECK(i < rows_ && j < cols_, "tensor index out of range");
     return data_[i * cols_ + j];
   }
   double operator()(std::size_t i, std::size_t j) const {
-    FEDML_CHECK(i < rows_ && j < cols_, "tensor index out of range");
+    FEDML_DCHECK(i < rows_ && j < cols_, "tensor index out of range");
     return data_[i * cols_ + j];
   }
 

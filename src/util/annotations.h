@@ -1,0 +1,77 @@
+#pragma once
+
+// Clang thread-safety-analysis attribute wrappers.
+//
+// These macros expand to the corresponding `__attribute__((...))` under
+// clang (where `-Wthread-safety` turns them into compile-time lock-usage
+// verification) and to nothing elsewhere, so annotated code stays portable
+// to gcc/MSVC. The vocabulary follows the capability model documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html; `util::Mutex` /
+// `util::LockGuard` / `util::UniqueLock` (util/mutex.h) are the annotated
+// primitives the rest of the library locks with — the repo lint
+// (scripts/lint.py) rejects raw `std::mutex` outside that wrapper.
+//
+// Convention: a shared field is declared `FEDML_GUARDED_BY(mutex_)`;
+// private helpers that expect the lock already held are declared
+// `FEDML_REQUIRES(mutex_)`; anything deliberately outside the analysis
+// (e.g. a once-initialised-then-immutable field) says so with
+// `FEDML_NO_THREAD_SAFETY_ANALYSIS` plus a comment explaining why.
+
+#if defined(__clang__)
+#define FEDML_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FEDML_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a lockable capability (e.g. util::Mutex).
+#define FEDML_CAPABILITY(x) FEDML_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (e.g. util::LockGuard).
+#define FEDML_SCOPED_CAPABILITY FEDML_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable may only be accessed while holding the given capability.
+#define FEDML_GUARDED_BY(x) FEDML_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define FEDML_PT_GUARDED_BY(x) FEDML_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (blocking) and does not release it.
+#define FEDML_ACQUIRE(...) \
+  FEDML_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define FEDML_RELEASE(...) \
+  FEDML_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; first argument is the return
+/// value that signals success, e.g. FEDML_TRY_ACQUIRE(true).
+#define FEDML_TRY_ACQUIRE(...) \
+  FEDML_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must already hold the capability (exclusively).
+#define FEDML_REQUIRES(...) \
+  FEDML_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard for re-entrancy).
+#define FEDML_EXCLUDES(...) FEDML_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Static acquisition-order declarations between specific mutexes (the
+/// runtime complement is util::Mutex's lock-rank assertion).
+#define FEDML_ACQUIRED_BEFORE(...) \
+  FEDML_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FEDML_ACQUIRED_AFTER(...) \
+  FEDML_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define FEDML_RETURN_CAPABILITY(x) FEDML_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (for code clang cannot see
+/// through, e.g. callbacks invoked under an external lock).
+#define FEDML_ASSERT_CAPABILITY(x) \
+  FEDML_THREAD_ANNOTATION(assert_capability(x))
+
+/// Opt a function out of the analysis entirely. Use sparingly, with a
+/// comment; the lint gate counts occurrences to keep this rare.
+#define FEDML_NO_THREAD_SAFETY_ANALYSIS \
+  FEDML_THREAD_ANNOTATION(no_thread_safety_analysis)

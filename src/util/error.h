@@ -37,3 +37,17 @@ namespace detail {
           std::string("check failed: " #cond " — ") + (msg));       \
     }                                                               \
   } while (false)
+
+/// Debug-only check, compiled out entirely under NDEBUG. For per-element
+/// hot-loop assertions (e.g. tensor element bounds) where an always-on
+/// FEDML_CHECK is measurably hot; `cond` is NOT evaluated in release
+/// builds, so it must be side-effect free. Everything else should keep
+/// using FEDML_CHECK.
+#ifdef NDEBUG
+#define FEDML_DCHECK(cond, msg)  \
+  do {                           \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (false)
+#else
+#define FEDML_DCHECK(cond, msg) FEDML_CHECK(cond, msg)
+#endif

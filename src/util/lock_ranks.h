@@ -1,0 +1,29 @@
+#pragma once
+
+namespace fedml::util::lock_rank {
+
+// Global lock-acquisition hierarchy.
+//
+// A thread may only acquire a ranked `util::Mutex` whose rank is STRICTLY
+// GREATER than every ranked mutex it already holds; `util::Mutex::lock`
+// asserts this at runtime (throwing `util::Error` before blocking, so a
+// would-be lock-order inversion surfaces as a test failure instead of a
+// once-in-a-blue-moon deadlock). Unranked mutexes (the default constructor)
+// opt out of the check entirely.
+//
+// Ranks are spaced by 10 so a new layer can slot in without renumbering.
+// The order encodes "outer layers lock before inner layers": a serving
+// request may (now or in the future) consult the registry, then the cache,
+// then touch the pool, then log — never the reverse. Today none of these
+// locks actually nest (each critical section is leaf-like and released
+// before calling into the next layer); the hierarchy exists so that the
+// first change which *does* nest them is checked from day one.
+
+inline constexpr int kServer = 10;      ///< serve::AdaptationServer::mutex_
+inline constexpr int kRegistry = 20;    ///< serve::ModelRegistry::mutex_
+inline constexpr int kCache = 30;       ///< serve::AdaptedCache::mutex_
+inline constexpr int kThreadPool = 40;  ///< util::ThreadPool::mutex_
+inline constexpr int kLogSink = 50;     ///< util::Log sink mutex (leaf: any
+                                        ///< layer may log while locked)
+
+}  // namespace fedml::util::lock_rank

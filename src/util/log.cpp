@@ -2,15 +2,19 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
 
 namespace fedml::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_sink_mutex;
-Log::Sink& sink_storage() {
+// Leaf lock (highest rank): any layer may log while holding its own lock.
+Mutex g_sink_mutex{lock_rank::kLogSink, "log::g_sink_mutex"};
+Log::Sink& sink_storage() FEDML_REQUIRES(g_sink_mutex) {
   static Log::Sink sink;
   return sink;
 }
@@ -34,13 +38,13 @@ void Log::set_level(LogLevel level) {
 }
 
 void Log::set_sink(Sink sink) {
-  std::lock_guard lock(g_sink_mutex);
+  LockGuard lock(g_sink_mutex);
   sink_storage() = std::move(sink);
 }
 
 void Log::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
-  std::lock_guard lock(g_sink_mutex);
+  LockGuard lock(g_sink_mutex);
   if (sink_storage()) {
     sink_storage()(level, message);
   } else {

@@ -1,0 +1,86 @@
+#include "util/mutex.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fedml::util {
+
+namespace {
+
+/// Ranked mutexes this thread currently holds, in acquisition order.
+/// Unranked mutexes never appear here, so the common case costs nothing.
+thread_local std::vector<const Mutex*> t_held_ranked;
+
+[[noreturn]] void throw_rank_violation(const Mutex& acquiring,
+                                       const Mutex& held) {
+  std::ostringstream os;
+  os << "lock-rank violation: acquiring '" << acquiring.name() << "' (rank "
+     << acquiring.rank() << ") while holding '" << held.name() << "' (rank "
+     << held.rank()
+     << ") — ranked locks must be acquired in strictly increasing rank "
+        "(see src/util/lock_ranks.h)";
+  FEDML_THROW(os.str());
+}
+
+/// Throws before we ever block on the underlying mutex, so an inversion
+/// surfaces as a clean error instead of a deadlock.
+void check_rank_order(const Mutex& m) {
+  for (const Mutex* held : t_held_ranked) {
+    if (held->rank() >= m.rank()) throw_rank_violation(m, *held);
+  }
+}
+
+void note_acquired(const Mutex& m) { t_held_ranked.push_back(&m); }
+
+void note_released(const Mutex& m) {
+  // Normally the top of the stack; search from the back to tolerate
+  // out-of-order release (legal with unique locks).
+  for (auto it = t_held_ranked.rbegin(); it != t_held_ranked.rend(); ++it) {
+    if (*it == &m) {
+      t_held_ranked.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void Mutex::lock() {
+  if (rank_ != kNoRank) check_rank_order(*this);
+  m_.lock();
+  if (rank_ != kNoRank) note_acquired(*this);
+}
+
+void Mutex::unlock() {
+  if (rank_ != kNoRank) note_released(*this);
+  m_.unlock();
+}
+
+bool Mutex::try_lock() {
+  if (rank_ != kNoRank) check_rank_order(*this);
+  const bool got = m_.try_lock();
+  if (got && rank_ != kNoRank) note_acquired(*this);
+  return got;
+}
+
+void ThreadChecker::check(const char* what) const {
+  const auto self = std::this_thread::get_id();
+  auto bound = owner_.load(std::memory_order_relaxed);
+  if (bound == std::thread::id()) {
+    // First use binds ownership. On a race to bind, the loser falls through
+    // to the mismatch check below with the winner's id.
+    if (owner_.compare_exchange_strong(bound, self, std::memory_order_relaxed))
+      return;
+  }
+  if (bound != self) {
+    FEDML_THROW(std::string(what) +
+                ": called from a different thread than its owner — this "
+                "class is thread-compatible, not thread-safe (wrap access "
+                "in external synchronization or use one instance per "
+                "thread)");
+  }
+}
+
+}  // namespace fedml::util

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>  // lint: allow(raw-mutex) — this IS the wrapper
+#include <thread>
+
+#include "util/annotations.h"
+
+namespace fedml::util {
+
+/// Annotated mutex: the only lock type library code is allowed to hold
+/// (scripts/lint.py rejects raw `std::mutex` & friends outside this file).
+///
+/// Two additions over `std::mutex`:
+///  * clang thread-safety capability annotations, so `-Wthread-safety`
+///    statically checks that `FEDML_GUARDED_BY` fields are only touched
+///    under the right lock;
+///  * an optional lock *rank* (see util/lock_ranks.h). Ranked mutexes
+///    assert at runtime that acquisition order is strictly increasing in
+///    rank per thread, turning a latent lock-order inversion (deadlock)
+///    into an immediate `util::Error` with both lock names in the message.
+///    The check is two thread-local vector operations per lock/unlock of a
+///    *ranked* mutex and nothing at all for unranked ones, so it stays on
+///    in every build type. Default-constructed mutexes are unranked.
+class FEDML_CAPABILITY("mutex") Mutex {
+ public:
+  static constexpr int kNoRank = -1;
+
+  Mutex() = default;
+  /// A ranked mutex participates in the lock-order assertion. `name` is
+  /// used in violation messages and must outlive the mutex (string literal).
+  explicit Mutex(int rank, const char* name) : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FEDML_ACQUIRE();
+  void unlock() FEDML_RELEASE();
+  bool try_lock() FEDML_TRY_ACQUIRE(true);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  std::mutex m_;  // lint: allow(raw-mutex)
+  int rank_ = kNoRank;
+  const char* name_ = "unranked";
+};
+
+/// RAII exclusive lock over a `util::Mutex` (the `std::lock_guard`
+/// replacement; non-movable, never unlocked early).
+class FEDML_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) FEDML_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() FEDML_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// RAII lock that supports unlock/relock — the shape `CondVar::wait`
+/// needs (the `std::unique_lock` replacement). Satisfies BasicLockable so
+/// `std::condition_variable_any` can drive it.
+class FEDML_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) FEDML_ACQUIRE(m) : m_(m), owned_(true) {
+    m_.lock();
+  }
+  ~UniqueLock() FEDML_RELEASE() {
+    if (owned_) m_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() FEDML_ACQUIRE() {
+    m_.lock();
+    owned_ = true;
+  }
+  void unlock() FEDML_RELEASE() {
+    owned_ = false;
+    m_.unlock();
+  }
+  [[nodiscard]] bool owns_lock() const { return owned_; }
+
+ private:
+  Mutex& m_;
+  bool owned_ = false;
+};
+
+/// Condition variable paired with `util::Mutex` via `UniqueLock`.
+/// Implemented on `std::condition_variable_any`, whose wait goes through
+/// `UniqueLock::unlock`/`lock` — so a ranked mutex keeps its lock-order
+/// bookkeeping consistent across the wait, and clang's analysis sees the
+/// capability held on both sides of it.
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically release `lock`, sleep, and re-acquire before returning.
+  /// Callers re-check their predicate in a loop (spurious wakeups), which
+  /// also keeps the guarded reads visibly under the lock for the static
+  /// analysis — prefer `while (!pred) cv.wait(lock);` over a lambda.
+  void wait(UniqueLock& lock) { cv_.wait(lock); }
+
+ private:
+  std::condition_variable_any cv_;  // lint: allow(raw-mutex)
+};
+
+/// Single-thread affinity assertion for thread-COMPATIBLE classes (the
+/// discrete-event simulator, the synchronous platform driver): the first
+/// `check()` binds the owning thread, every later one throws `util::Error`
+/// if called from a different thread. One relaxed atomic load on the hot
+/// path, so it stays on in release builds. `reset()` re-binds (for handing
+/// an idle object to another thread).
+class ThreadChecker {
+ public:
+  ThreadChecker() = default;
+  /// Copying/moving the owning object legitimately hands it to new code —
+  /// the copy starts unbound and re-binds on its own first use.
+  ThreadChecker(const ThreadChecker&) noexcept {}
+  ThreadChecker& operator=(const ThreadChecker&) noexcept { return *this; }
+
+  void check(const char* what) const;
+  void reset() { owner_.store(std::thread::id(), std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<std::thread::id> owner_{std::thread::id()};
+};
+
+}  // namespace fedml::util

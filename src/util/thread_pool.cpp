@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,8 +27,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();

@@ -1,13 +1,15 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
 
 namespace fedml::util {
 
@@ -32,7 +34,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     auto fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -51,11 +53,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Written once in the constructor, then immutable; workers only read
+  /// their own entry via `this`, so it needs no lock.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_{lock_rank::kThreadPool, "ThreadPool::mutex_"};
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ FEDML_GUARDED_BY(mutex_);
+  bool stop_ FEDML_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fedml::util

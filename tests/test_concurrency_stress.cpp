@@ -1,0 +1,379 @@
+// Concurrency stress & lock-discipline tests. Functional in every build;
+// their real teeth come from the `tsan` preset, where ThreadSanitizer
+// watches the same scenarios for data races (scripts/ci.sh runs both).
+// FEDML_STRESS_SCALE (int >= 1, default 1) multiplies the iteration counts —
+// the tsan ctest preset sets 2 to shake schedules harder while keeping the
+// leg's wall-clock bounded.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "sim/event_queue.h"
+#include "util/error.h"
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace fedml {
+namespace {
+
+std::size_t stress_scale() {
+  if (const char* s = std::getenv("FEDML_STRESS_SCALE")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 1) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
+
+// ------------------------------------------------------------ lock ranks ----
+
+TEST(LockRank, InOrderAcquisitionIsAllowed) {
+  util::Mutex low(10, "low");
+  util::Mutex high(20, "high");
+  util::LockGuard a(low);
+  util::LockGuard b(high);  // strictly increasing: fine
+}
+
+TEST(LockRank, InversionThrowsInsteadOfDeadlocking) {
+  util::Mutex low(10, "low");
+  util::Mutex high(20, "high");
+  util::LockGuard a(high);
+  try {
+    util::LockGuard b(low);  // would establish high -> low: inversion
+    FAIL() << "lock-rank inversion was not detected";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("lock-rank violation"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("low"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("high"), std::string::npos);
+  }
+}
+
+TEST(LockRank, SameRankNestingThrows) {
+  util::Mutex a(10, "a");
+  util::Mutex b(10, "b");
+  util::LockGuard la(a);
+  EXPECT_THROW(util::LockGuard lb(b), util::Error);
+}
+
+TEST(LockRank, ReleaseResetsTheOrderConstraint) {
+  util::Mutex low(10, "low");
+  util::Mutex high(20, "high");
+  {
+    util::LockGuard a(high);
+  }  // released: holding nothing again
+  util::LockGuard b(low);  // fine — no inversion without overlap
+}
+
+TEST(LockRank, OutOfOrderReleaseIsTolerated) {
+  util::Mutex a(10, "a");
+  util::Mutex b(20, "b");
+  util::Mutex c(30, "c");
+  util::UniqueLock la(a);
+  util::UniqueLock lb(b);
+  la.unlock();  // release the *older* lock first
+  util::LockGuard lc(c);  // still strictly above b's rank: fine
+}
+
+TEST(LockRank, UnrankedMutexesAreExemptAndCheap) {
+  util::Mutex ranked(20, "ranked");
+  util::Mutex unranked;
+  util::LockGuard a(ranked);
+  util::LockGuard b(unranked);  // unranked: no ordering constraint at all
+  util::Mutex low(10, "low");
+  EXPECT_THROW(util::LockGuard cheat(low), util::Error);  // ranked still checked
+}
+
+TEST(LockRank, ViolationSurvivesAcrossManyThreads) {
+  // The held-locks stack is thread-local: an inversion must be caught on
+  // every thread independently, and clean threads must stay clean.
+  util::Mutex low(10, "low");
+  util::Mutex high(20, "high");
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        if (t % 2 == 0) {
+          util::LockGuard a(low);
+          util::LockGuard b(high);  // legal order
+        } else {
+          util::LockGuard a(high);
+          try {
+            util::LockGuard b(low);
+          } catch (const util::Error&) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 4 * 50);
+}
+
+// -------------------------------------------------------- thread checker ----
+
+TEST(ThreadChecker, BindsOnFirstUseAndRejectsOtherThreads) {
+  util::ThreadChecker checker;
+  checker.check("test");  // binds this thread
+  checker.check("test");  // same thread: fine
+  std::atomic<bool> threw{false};
+  std::thread other([&] {
+    try {
+      checker.check("test");
+    } catch (const util::Error&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw);
+  checker.reset();
+  std::thread adopter([&] { checker.check("test"); });  // rebinds cleanly
+  adopter.join();
+}
+
+TEST(ThreadChecker, EventQueueRejectsCrossThreadScheduling) {
+  sim::EventQueue q;
+  q.schedule_in(1.0, [] {});  // binds the queue to this thread
+  std::atomic<bool> threw{false};
+  std::thread other([&] {
+    try {
+      q.schedule_in(2.0, [] {});
+    } catch (const util::Error&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(q.pending(), 1u);  // the cross-thread schedule did not land
+  q.run();
+}
+
+// ------------------------------------------------------------ thread pool ----
+
+TEST(ThreadPoolStress, ParallelForThrowingTasksPropagatesAndPoolSurvives) {
+  util::ThreadPool pool(4);
+  const std::size_t n = 256 * stress_scale();
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<std::size_t> ran{0};
+    try {
+      pool.parallel_for(n, [&](std::size_t i) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i % 37 == 5) FEDML_THROW("task failure " + std::to_string(i));
+      });
+      FAIL() << "parallel_for swallowed the task exceptions";
+    } catch (const util::Error&) {
+      // An exception skips the rest of its own chunk only; everything else
+      // still ran exactly once.
+      EXPECT_GT(ran.load(), 0u);
+      EXPECT_LE(ran.load(), n);
+    }
+    // The pool must be fully reusable after an exception round.
+    std::atomic<std::size_t> ok{0};
+    pool.parallel_for(n, [&](std::size_t) {
+      ok.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ok.load(), n);
+  }
+}
+
+TEST(ThreadPoolStress, ShutdownDrainsQueuedWork) {
+  std::atomic<std::size_t> done{0};
+  const std::size_t n = 64 * stress_scale();
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  {
+    util::ThreadPool pool(2);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(pool.submit(
+          [&done] { done.fetch_add(1, std::memory_order_relaxed); }));
+    }
+  }  // destructor: workers drain the queue, then join
+  EXPECT_EQ(done.load(), n);
+  for (auto& f : futures) f.get();  // all ready, none broken
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmittersInterleaveSafely) {
+  util::ThreadPool pool(4);
+  const std::size_t per_thread = 200 * stress_scale();
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(per_thread);
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        futures.push_back(pool.submit(
+            [&done] { done.fetch_add(1, std::memory_order_relaxed); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(done.load(), 4 * per_thread);
+}
+
+// ---------------------------------------------------- registry & cache ----
+
+constexpr std::size_t kDim = 8;
+constexpr std::size_t kClasses = 3;
+
+data::Dataset make_dataset(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Dataset d;
+  d.x = tensor::Tensor::randn(n, kDim, rng);
+  d.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) d.y[i] = i % kClasses;
+  return d;
+}
+
+nn::ParamList make_params(const nn::Module& model, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return model.init_params(rng);
+}
+
+TEST(RegistryStress, ConcurrentPublishersAndReadersSeeMonotoneVersions) {
+  auto model = nn::make_softmax_regression(kDim, kClasses);
+  serve::ModelRegistry registry(model);
+  registry.publish(make_params(*model, 1));
+
+  const std::size_t publishers = 3, publishes = 20 * stress_scale();
+  std::atomic<bool> stop{false};
+  std::atomic<bool> regression{false};
+  std::vector<std::thread> readers;
+  readers.reserve(3);
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = registry.current();
+        // Snapshot contents must be internally consistent and versions
+        // must never move backwards for a given reader.
+        if (snap->version < last || snap->params.empty())
+          regression = true;
+        last = snap->version;
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  writers.reserve(publishers);
+  for (std::size_t w = 0; w < publishers; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::size_t i = 0; i < publishes; ++i)
+        registry.publish(make_params(*model, 100 * w + i));
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop = true;
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(regression.load());
+  EXPECT_EQ(registry.current_version(), 1 + publishers * publishes);
+}
+
+TEST(CacheStress, ConcurrentGetPutInvalidateStaysConsistent) {
+  serve::AdaptedCache cache({/*capacity=*/32, /*ttl=*/1e9});
+  const std::size_t iters = 400 * stress_scale();
+  auto tiny = [](double v) {
+    return nn::ParamList{autodiff::Var(tensor::Tensor::scalar(v))};
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(6);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < iters; ++i) {
+        const serve::AdaptedCache::Key key{1 + i % 4, (t * 131 + i) % 64};
+        if (const auto hit = cache.get(key)) {
+          // A held entry stays alive even if evicted/invalidated under us.
+          EXPECT_EQ(hit->size(), 1u);
+        } else {
+          cache.put(key, tiny(static_cast<double>(i)));
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (std::size_t v = 2; v < 2 + iters / 50; ++v) cache.invalidate_before(v);
+  });
+  threads.emplace_back([&] {
+    for (std::size_t i = 0; i < iters / 100; ++i) cache.clear();
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.size(), 32u);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(4 * iters));
+}
+
+// ------------------------------------------------------------- server ----
+
+TEST(ServerStress, PublishWhileServingKeepsEveryRequestConsistent) {
+  auto model = nn::make_softmax_regression(kDim, kClasses);
+  auto registry = std::make_unique<serve::ModelRegistry>(model);
+  registry->publish(make_params(*model, 7));
+
+  serve::AdaptationServer server(
+      *registry, {/*threads=*/4, /*max_pending=*/1024, /*use_cache=*/true, {}});
+
+  const std::size_t per_thread = 30 * stress_scale();
+  const std::size_t submitters = 3;
+  std::vector<std::future<serve::AdaptResponse>> futures;
+  util::Mutex futures_mutex;  // test-local collection lock
+  std::vector<std::thread> threads;
+  threads.reserve(submitters + 1);
+  for (std::size_t t = 0; t < submitters; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        serve::AdaptRequest req;
+        req.adapt = make_dataset(12, 1000 * t + i % 5);  // repeats hit cache
+        req.eval = make_dataset(6, 2000 * t + i % 5);
+        req.alpha = 0.05;
+        req.steps = 1;
+        auto fut = server.submit(std::move(req));
+        util::LockGuard lock(futures_mutex);
+        futures.push_back(std::move(fut));
+      }
+    });
+  }
+  threads.emplace_back([&] {  // concurrent publisher + stats reader
+    for (std::size_t v = 0; v < 6; ++v) {
+      registry->publish(make_params(*model, 50 + v));
+      (void)server.stats();       // counters read mid-flight
+      (void)server.cache_stats();
+      (void)server.pending();
+      (void)server.overloaded();
+    }
+  });
+  for (auto& t : threads) t.join();
+  server.drain();
+
+  std::uint64_t max_version = 0;
+  for (auto& f : futures) {
+    const auto resp = f.get();
+    ASSERT_EQ(resp.status, serve::RequestStatus::kServed);
+    EXPECT_GE(resp.model_version, 1u);
+    EXPECT_LE(resp.model_version, registry->current_version());
+    EXPECT_EQ(resp.predictions.size(), 6u);
+    max_version = std::max(max_version, resp.model_version);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, submitters * per_thread);
+  EXPECT_EQ(stats.served, submitters * per_thread);
+  EXPECT_EQ(stats.shed_queue_full + stats.shed_deadline, 0u);
+  // Cache bookkeeping stays exact under the publish storm.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.served);
+}
+
+}  // namespace
+}  // namespace fedml

@@ -34,9 +34,16 @@ TEST(Tensor, FlatBufferSizeChecked) {
 }
 
 TEST(Tensor, IndexBoundsChecked) {
+  // Per-element bounds checks are FEDML_DCHECK: enforced in debug builds,
+  // compiled out of the hot path under NDEBUG (where the ASan CI leg still
+  // catches out-of-range access).
+#ifndef NDEBUG
   Tensor t(2, 2);
   EXPECT_THROW(t(2, 0), util::Error);
   EXPECT_THROW(t(0, 2), util::Error);
+#else
+  GTEST_SKIP() << "FEDML_DCHECK is compiled out under NDEBUG";
+#endif
 }
 
 TEST(Tensor, FullOnesIdentityScalar) {
