@@ -15,6 +15,7 @@
 #include "data/sent140_like.h"
 #include "data/synthetic.h"
 #include "nn/module.h"
+#include "obs/telemetry.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"

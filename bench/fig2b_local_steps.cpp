@@ -13,10 +13,18 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   const std::string csv = cli.get_string("csv", "");
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const std::string metrics_out = cli.get_string("metrics-out", "");
   cli.finish();
 
   const std::size_t t0s[] = {1, 5, 10, 20, 50};
   auto e = bench::synthetic_experiment(0.5, 0.5, nodes, k, seed);
+
+  // One telemetry bundle across all five configs: the Chrome trace shows
+  // them back to back, rounds nesting their per-node spans. Attached only
+  // when an export was requested, so the default run pays no recording cost.
+  obs::Telemetry telemetry;
+  const bool instrument = !trace_out.empty() || !metrics_out.empty();
 
   std::vector<core::TrainResult> results;
   for (const auto t0 : t0s) {
@@ -26,7 +34,22 @@ int main(int argc, char** argv) {
     cfg.total_iterations = total;
     cfg.local_steps = t0;
     cfg.threads = threads;
+    if (instrument) cfg.telemetry = &telemetry;
+    obs::TraceSpan config_span;
+    if (instrument) {
+      config_span = telemetry.tracer.span("bench.config");
+      config_span.arg("T0", static_cast<double>(t0));
+    }
     results.push_back(core::train_fedml(*e.model, e.sources, e.theta0, cfg));
+  }
+  if (!trace_out.empty()) {
+    telemetry.write_chrome_trace_file(trace_out);
+    std::cout << "wrote Chrome trace to " << trace_out
+              << " (open in Perfetto / chrome://tracing)\n";
+  }
+  if (!metrics_out.empty()) {
+    telemetry.write_metrics_csv_file(metrics_out);
+    std::cout << "wrote metrics CSV to " << metrics_out << "\n";
   }
 
   // Align trajectories on the common iteration grid (every 50 iterations all

@@ -63,6 +63,10 @@ serve::AdaptRequest make_request(const TaskPair& task, double alpha,
 struct RunResult {
   double seconds = 0.0;
   serve::ServerStats stats;
+  /// Client-observed submit→response latency (closed loop only). Same
+  /// retained obs::Histogram the server stats use — exact percentiles, no
+  /// hand-rolled quantile math in the bench.
+  obs::Histogram::Snapshot client_ms;
 };
 
 // C clients, each submit-and-wait in a loop, tasks assigned round-robin.
@@ -70,6 +74,8 @@ RunResult closed_loop(serve::AdaptationServer& server,
                       const std::vector<TaskPair>& tasks, std::size_t requests,
                       std::size_t clients, double alpha, std::size_t steps) {
   std::atomic<std::size_t> next{0};
+  obs::SharedHistogram client_ms(
+      obs::Histogram::Config{.bounds = {}, .retain_samples = true});
   util::Stopwatch clock;
   std::vector<std::thread> workers;
   workers.reserve(clients);
@@ -78,15 +84,17 @@ RunResult closed_loop(serve::AdaptationServer& server,
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= requests) return;
+        util::Stopwatch request_clock;
         auto fut = server.submit(make_request(
             tasks[i % tasks.size()], alpha, steps,
             std::numeric_limits<double>::infinity()));
         fut.get();
+        client_ms.record(request_clock.seconds() * 1e3);
       }
     });
   }
   for (auto& w : workers) w.join();
-  return {clock.seconds(), server.stats()};
+  return {clock.seconds(), server.stats(), client_ms.snapshot()};
 }
 
 // Single submitter paced at `rate` requests/s; never waits for responses.
@@ -110,7 +118,7 @@ RunResult open_loop(serve::AdaptationServer& server,
   }
   for (auto& f : futures) f.get();
   server.drain();
-  return {wall.seconds(), server.stats()};
+  return {wall.seconds(), server.stats(), {}};
 }
 
 // Counter difference after − before (latency percentiles stay cumulative;
@@ -133,7 +141,7 @@ void add_row(util::Table& t, const std::string& phase, std::size_t threads,
              std::string(cache ? "on" : "off"), offered_rps,
              static_cast<std::int64_t>(s.submitted), r.seconds,
              static_cast<double>(s.served) / r.seconds, s.p50_ms, s.p95_ms,
-             s.p99_ms, s.hit_rate(), s.shed_rate()});
+             s.p99_ms, r.client_ms.p95, s.hit_rate(), s.shed_rate()});
 }
 
 }  // namespace
@@ -170,7 +178,7 @@ int main(int argc, char** argv) {
 
   util::Table t({"phase", "threads", "cache", "offered rps", "requests",
                  "seconds", "throughput rps", "p50 ms", "p95 ms", "p99 ms",
-                 "hit rate", "shed rate"});
+                 "client p95 ms", "hit rate", "shed rate"});
 
   // Phase 1 — closed-loop threads × cache sweep.
   const std::vector<std::size_t> thread_sweep =

@@ -17,6 +17,7 @@
 #include "data/synthetic.h"
 #include "fed/node.h"
 #include "nn/module.h"
+#include "obs/telemetry.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 12));
   const auto total = static_cast<std::size_t>(cli.get_int("iterations", 120));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const std::string telemetry_out = cli.get_string("telemetry-out", "");
   cli.finish();
 
   // Federation: the paper's Synthetic(0.5, 0.5) task family.
@@ -71,7 +73,15 @@ int main(int argc, char** argv) {
   acfg.sim.faults.straggler_slowdown = 4.0;
   acfg.sim.faults.crash_rate_per_hour = 3600.0;  // ~1/s — aggressive, for the demo
   acfg.sim.faults.mean_repair_s = 0.5;
+  // Telemetry is attached to the async run only, so every span timestamp is
+  // simulated time: the JSONL export is deterministic for a fixed seed.
+  obs::Telemetry telemetry;
+  if (!telemetry_out.empty()) acfg.sim.telemetry = &telemetry;
   const auto async = core::train_fedml_async(*model, sources, theta0, acfg);
+  if (!telemetry_out.empty()) {
+    telemetry.write_jsonl_file(telemetry_out);
+    std::cout << "wrote telemetry JSONL to " << telemetry_out << "\n\n";
+  }
 
   util::Table t({"mode", "final meta-loss", "aggregations", "sim seconds",
                  "uplink MB", "downlink MB"});

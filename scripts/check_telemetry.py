@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate a telemetry JSONL export (CI smoke step).
+
+Checks the file `obs::write_jsonl` produces — stdlib only, no dependencies:
+
+  schema      every line is a JSON object with a known "type"
+              (span | counter | gauge | histogram) and that type's
+              required fields, with sane value types.
+  spans       end_s >= start_s >= 0 for every span; `sim.round` spans
+              (the aggregation timeline on track 0) must tile the run with
+              monotonically non-decreasing start times.
+  liveness    the run actually trained: the sim.platform.rounds counter is
+              present and nonzero, and at least one span was recorded.
+
+Usage: check_telemetry.py <telemetry.jsonl>
+Exit status: 0 valid, 1 invalid, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SPAN_FIELDS = {"id": int, "parent": int, "name": str, "track": int}
+SPAN_TIME_FIELDS = ("start_s", "end_s")
+NAMED_VALUE_TYPES = {"counter", "gauge", "histogram"}
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+
+
+def fail(lineno: int, message: str) -> None:
+    raise ValueError(f"line {lineno}: {message}")
+
+
+def check_number(obj: dict, field: str, lineno: int) -> float:
+    value = obj.get(field)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(lineno, f"field '{field}' must be a number, got {value!r}")
+    return float(value)
+
+
+def check_span(obj: dict, lineno: int) -> tuple[str, float, float]:
+    for field, ftype in SPAN_FIELDS.items():
+        if not isinstance(obj.get(field), ftype):
+            fail(lineno, f"span field '{field}' must be {ftype.__name__}")
+    start, end = (check_number(obj, f, lineno) for f in SPAN_TIME_FIELDS)
+    if start < 0.0:
+        fail(lineno, f"span start_s {start} is negative")
+    if end < start:
+        fail(lineno, f"span end_s {end} precedes start_s {start}")
+    if not isinstance(obj.get("args"), dict):
+        fail(lineno, "span field 'args' must be an object")
+    return obj["name"], start, end
+
+
+def validate(path: str) -> list[str]:
+    spans = 0
+    counters: dict[str, int] = {}
+    last_round_start = None
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(lineno, f"invalid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(lineno, "line is not a JSON object")
+
+            kind = obj.get("type")
+            if kind == "span":
+                name, start, _end = check_span(obj, lineno)
+                spans += 1
+                if name == "sim.round":
+                    if last_round_start is not None and start < last_round_start:
+                        fail(
+                            lineno,
+                            f"sim.round start_s {start} went backwards "
+                            f"(previous round started at {last_round_start})",
+                        )
+                    last_round_start = start
+            elif kind in NAMED_VALUE_TYPES:
+                if not isinstance(obj.get("name"), str):
+                    fail(lineno, f"{kind} field 'name' must be a string")
+                if kind == "counter":
+                    value = obj.get("value")
+                    if not isinstance(value, int) or isinstance(value, bool):
+                        fail(lineno, "counter value must be an integer")
+                    counters[obj["name"]] = value
+                elif kind == "gauge":
+                    check_number(obj, "value", lineno)
+                else:
+                    for field in HISTOGRAM_FIELDS:
+                        check_number(obj, field, lineno)
+            else:
+                fail(lineno, f"unknown record type {kind!r}")
+
+    problems = []
+    if spans == 0:
+        problems.append("no spans recorded")
+    rounds = counters.get("sim.platform.rounds")
+    if rounds is None:
+        problems.append("missing sim.platform.rounds counter")
+    elif rounds <= 0:
+        problems.append(f"sim.platform.rounds is {rounds}, expected > 0")
+    return problems
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        problems = validate(path)
+    except ValueError as e:
+        print(f"check_telemetry: {path}: {e}", file=sys.stderr)
+        return 1
+    except OSError as e:
+        print(f"check_telemetry: {e}", file=sys.stderr)
+        return 2
+    if problems:
+        for p in problems:
+            print(f"check_telemetry: {path}: {p}", file=sys.stderr)
+        return 1
+    print(f"check_telemetry: OK ({path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

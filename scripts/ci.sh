@@ -36,6 +36,14 @@ smoke_dir="build-release"
 "$smoke_dir/bench/serve_throughput" --smoke
 "$smoke_dir/examples/edge_serving" --nodes=16 --iterations=10 --requests=40
 
+# Telemetry smoke: a short event-driven run must export a JSONL telemetry
+# stream that passes schema/monotonicity/liveness validation.
+echo "==> telemetry"
+telemetry_file="$smoke_dir/telemetry-smoke.jsonl"
+"$smoke_dir/examples/async_edge" --nodes=8 --iterations=40 \
+  --telemetry-out="$telemetry_file" >/dev/null
+python3 scripts/check_telemetry.py "$telemetry_file"
+
 # Optional: clang-tidy over library code (config in .clang-tidy). Gated on
 # availability — the baked-in CI image is gcc-only; developers with LLVM
 # installed get the extra net locally.

@@ -19,6 +19,12 @@ Enforced rules (library code under src/ unless noted):
                 and tests may print freely.
   naked-new     No naked `new`/`delete` — use std::make_unique /
                 std::make_shared / containers.
+  stopwatch     No direct util::Stopwatch use in library code — time with
+                obs::TraceSpan / obs::ScopedTimer so the interval also
+                reaches the telemetry layer (obs::Tracer::span_since adapts
+                an existing stopwatch call site in one line). util/ (the
+                definition) and obs/ (the integration layer) are exempt;
+                benches, examples and tests may use it freely.
   pragma-once   Every header (src/, tests/, bench/, examples/) starts its
                 include guard with `#pragma once`.
 
@@ -43,6 +49,8 @@ HEADER_DIRS = [ROOT / d for d in ("src", "tests", "bench", "examples")]
 RAW_MUTEX_ALLOWED = {"src/util/mutex.h", "src/util/mutex.cpp"}
 # The logger's default sink writes to stderr by design.
 CERR_ALLOWED = {"src/util/log.cpp"}
+# Stopwatch lives in util/ and is wrapped by the obs timing primitives.
+STOPWATCH_ALLOWED_PREFIXES = ("src/util/", "src/obs/")
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -61,6 +69,9 @@ RULES = {
     "no-cerr": re.compile(r"\bstd::cerr\b"),
     # `delete` followed by `;` is a deleted special member, not the operator.
     "naked-new": re.compile(r"(?:^|[^\w.:])(?:new\b|delete\b(?!\s*;))"),
+    "stopwatch": re.compile(
+        r"\butil::Stopwatch\b|#\s*include\s*\"util/stopwatch\.h\""
+    ),
 }
 
 
@@ -180,6 +191,15 @@ def check_file(path: pathlib.Path, violations: list[str]) -> None:
                 "naked-new",
                 "naked new/delete — use std::make_unique/std::make_shared "
                 "or a container",
+            )
+        if RULES["stopwatch"].search(code) and not rel.startswith(
+            STOPWATCH_ALLOWED_PREFIXES
+        ):
+            report(
+                "stopwatch",
+                "direct util::Stopwatch in library code — use "
+                "obs::TraceSpan / obs::ScopedTimer so the timing also "
+                "reaches telemetry",
             )
 
 

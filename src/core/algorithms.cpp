@@ -1,5 +1,6 @@
 #include "core/algorithms.h"
 
+#include <optional>
 #include <unordered_map>
 
 #include "data/dataset.h"
@@ -14,7 +15,8 @@ fed::Platform::Config platform_config(
     std::size_t total, std::size_t local, std::size_t threads,
     const fed::CommModel& comm, double participation = 1.0,
     double upload_failure_prob = 0.0, std::uint64_t seed = 0x9d7f,
-    fed::Platform::Config::UplinkCodec codec = {}) {
+    fed::Platform::Config::UplinkCodec codec = {},
+    obs::Telemetry* telemetry = nullptr) {
   fed::Platform::Config cfg;
   cfg.total_iterations = total;
   cfg.local_steps = local;
@@ -24,6 +26,7 @@ fed::Platform::Config platform_config(
   cfg.upload_failure_prob = upload_failure_prob;
   cfg.seed = seed;
   cfg.uplink_codec = std::move(codec);
+  cfg.telemetry = telemetry;
   return cfg;
 }
 
@@ -66,11 +69,16 @@ TrainResult train_fedml(const nn::Module& model, std::vector<fed::EdgeNode> node
       platform_config(config.total_iterations, config.local_steps,
                       config.threads, config.comm, config.participation,
                       config.upload_failure_prob, config.platform_seed,
-                      config.uplink_codec));
+                      config.uplink_codec, config.telemetry));
   platform.broadcast(theta0);
 
+  obs::Telemetry* const tel = config.telemetry;
+  obs::SharedHistogram* const step_ms =
+      tel == nullptr ? nullptr : &tel->metrics.histogram("core.fedml.step_ms");
   TrainResult result;
   const auto step = [&](fed::EdgeNode& node, std::size_t) {
+    std::optional<obs::ScopedTimer> timer;
+    if (step_ms != nullptr) timer.emplace(*step_ms);
     if (config.resample_support) node.resample_support();
     const nn::ParamList g =
         config.inner_steps == 1
@@ -82,9 +90,12 @@ TrainResult train_fedml(const nn::Module& model, std::vector<fed::EdgeNode> node
     node.params = optimizers.at(node.id)->step(node.params, g);
   };
   const auto hook = [&](std::size_t t, const nn::ParamList& theta) {
+    if (tel != nullptr) tel->metrics.counter("core.train.rounds").add();
     if (!config.track_loss) return;
-    result.history.push_back(
-        {t, global_meta_loss(model, theta, platform.nodes(), config.alpha)});
+    const double loss =
+        global_meta_loss(model, theta, platform.nodes(), config.alpha);
+    result.history.push_back({t, loss});
+    if (tel != nullptr) tel->metrics.gauge("core.train.loss").set(loss);
   };
 
   result.comm = platform.run(step, hook);
@@ -102,6 +113,12 @@ AsyncTrainResult train_fedml_async(const nn::Module& model,
   sim::AsyncPlatform platform(std::move(nodes), config.sim);
   platform.broadcast(theta0);
 
+  // No wall-clock step_ms histogram here, unlike the synchronous path: the
+  // simulator's telemetry is a pure function of the seed (virtual time), and
+  // wall-time profiling would make the export nondeterministic. Compute time
+  // inside a T0-block is modeled by the simulator, not measured.
+  obs::Telemetry* const tel =
+      config.sim.telemetry != nullptr ? config.sim.telemetry : base.telemetry;
   AsyncTrainResult result;
   // Same local meta-update as the synchronous train_fedml.
   const auto step = [&](fed::EdgeNode& node, std::size_t) {
@@ -116,9 +133,12 @@ AsyncTrainResult train_fedml_async(const nn::Module& model,
     node.params = optimizers.at(node.id)->step(node.params, g);
   };
   const auto hook = [&](std::size_t round, const nn::ParamList& theta) {
+    if (tel != nullptr) tel->metrics.counter("core.train.rounds").add();
     if (!base.track_loss) return;
-    result.history.push_back(
-        {round, global_meta_loss(model, theta, platform.nodes(), base.alpha)});
+    const double loss =
+        global_meta_loss(model, theta, platform.nodes(), base.alpha);
+    result.history.push_back({round, loss});
+    if (tel != nullptr) tel->metrics.gauge("core.train.loss").set(loss);
   };
 
   result.totals = platform.run(step, hook);

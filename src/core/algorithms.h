@@ -55,6 +55,9 @@ struct FedMLConfig {
   /// Optional lossy uplink codec (see fed::Platform::Config::uplink_codec).
   std::function<std::pair<nn::ParamList, std::size_t>(const nn::ParamList&)>
       uplink_codec;
+  /// Optional telemetry, forwarded to the platform (fed.* spans/metrics)
+  /// and used for core.train.* metrics and per-step timing. Null = off.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 TrainResult train_fedml(const nn::Module& model, std::vector<fed::EdgeNode> nodes,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/histogram.h"
 #include "util/error.h"
 
 namespace fedml::core {
@@ -14,15 +15,8 @@ void FleetMetrics::finalize() {
   mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
          static_cast<double>(sorted.size());
   worst = sorted.front();
-  const auto quantile = [&](double q) {
-    const double pos = q * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-  };
-  p10 = quantile(0.10);
-  median = quantile(0.50);
+  p10 = obs::quantile_sorted(sorted, 0.10);
+  median = obs::quantile_sorted(sorted, 0.50);
 }
 
 FleetMetrics evaluate_fleet(const nn::Module& model, const nn::ParamList& theta,

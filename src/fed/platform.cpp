@@ -1,6 +1,7 @@
 #include "fed/platform.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -70,10 +71,38 @@ CommTotals Platform::run(const LocalStep& step, const AggregateHook& hook) {
   const bool full_participation =
       config_.participation >= 1.0 && config_.upload_failure_prob == 0.0;
 
+  // Telemetry handles are resolved once, outside the schedule loop, so the
+  // per-round cost with telemetry attached is recording only — and a single
+  // branch per site when it is not.
+  obs::Telemetry* const tel = config_.telemetry;
+  obs::Counter* rounds_counter = nullptr;
+  obs::Counter* bytes_up_counter = nullptr;
+  obs::Counter* bytes_down_counter = nullptr;
+  obs::Counter* drops_counter = nullptr;
+  obs::SharedHistogram* round_wall_ms = nullptr;
+  obs::SharedHistogram* node_block_ms = nullptr;
+  obs::Gauge* weight_mass = nullptr;
+  if (tel != nullptr) {
+    rounds_counter = &tel->metrics.counter("fed.platform.rounds");
+    bytes_up_counter = &tel->metrics.counter("fed.platform.bytes_up");
+    bytes_down_counter = &tel->metrics.counter("fed.platform.bytes_down");
+    drops_counter = &tel->metrics.counter("fed.platform.uploads_dropped");
+    round_wall_ms = &tel->metrics.histogram("fed.round.wall_ms");
+    node_block_ms = &tel->metrics.histogram("fed.node.block_ms");
+    weight_mass = &tel->metrics.gauge("fed.round.weight_mass");
+  }
+
   std::size_t t = 0;
   while (t < config_.total_iterations) {
     const std::size_t block =
         std::min(config_.local_steps, config_.total_iterations - t);
+
+    obs::TraceSpan round_span;
+    if (tel != nullptr) {
+      round_span = tel->tracer.span("fed.round");
+      round_span.arg("iteration", static_cast<double>(t));
+      round_span.arg("block", static_cast<double>(block));
+    }
 
     // Client sampling (FedAvg-style): a fixed-size random subset of nodes
     // participates in this block. Sampling happens on the platform, before
@@ -93,9 +122,22 @@ CommTotals Platform::run(const LocalStep& step, const AggregateHook& hook) {
     }
 
     // Local phase: every active node runs `block` consecutive iterations.
+    // Node spans live on pool worker threads, so they parent to the round
+    // span explicitly by id (the thread-local nesting stack is per-thread).
+    const obs::SpanId round_id = round_span.id();
     pool.parallel_for(active.size(), [&](std::size_t a) {
-      auto& node = nodes_[active[a]];
+      const std::size_t node_index = active[a];
+      auto& node = nodes_[node_index];
+      obs::TraceSpan node_span;
+      if (tel != nullptr) {
+        node_span = tel->tracer.span("fed.node", round_id);
+        node_span.arg("node", static_cast<double>(node_index));
+      }
       for (std::size_t s = 1; s <= block; ++s) step(node, t + s);
+      if (tel != nullptr) {
+        node_block_ms->record(node_span.seconds() * 1e3);
+        node_span.end();
+      }
     });
     t += block;
 
@@ -165,6 +207,21 @@ CommTotals Platform::run(const LocalStep& step, const AggregateHook& hook) {
         transport->round_overhead_seconds() +
         config_.comm.compute_s_per_step * slowest * static_cast<double>(block) +
         up_s + down_s;
+
+    if (tel != nullptr) {
+      rounds_counter->add();
+      bytes_up_counter->add(static_cast<std::uint64_t>(round_uplink_bytes));
+      bytes_down_counter->add(
+          static_cast<std::uint64_t>(payload * nodes_.size()));
+      drops_counter->add(
+          static_cast<std::uint64_t>(active.size() - received.size()));
+      double received_mass = 0.0;
+      for (const auto i : received) received_mass += nodes_[i].weight;
+      weight_mass->set(received_mass);
+      round_span.arg("participants", static_cast<double>(active.size()));
+      round_span.arg("received", static_cast<double>(received.size()));
+      round_wall_ms->record(round_span.seconds() * 1e3);
+    }
     if (hook) hook(t, global_);
   }
   return totals;

@@ -7,6 +7,7 @@
 #include "fed/comm.h"
 #include "fed/node.h"
 #include "nn/params.h"
+#include "obs/telemetry.h"
 #include "sim/transport.h"
 #include "util/mutex.h"
 
@@ -52,6 +53,11 @@ class Platform {
     /// links. The synchronous schedule itself never reorders — only the
     /// simulated seconds change.
     std::shared_ptr<sim::Transport> transport;
+    /// Optional telemetry: a `fed.round` span per aggregation block with
+    /// `fed.node` child spans per participant, plus fed.platform.* counters
+    /// and round/node timing histograms. Null = off (one branch per site);
+    /// must outlive the platform when set.
+    obs::Telemetry* telemetry = nullptr;
   };
 
   /// Local update performed by a node at iteration t (1-based).

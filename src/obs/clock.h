@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <utility>
+
+namespace fedml::obs {
+
+/// Time source for the telemetry layer, in seconds since an arbitrary epoch.
+///
+/// Every timestamp obs emits flows through one of these, so the same
+/// instrumentation works on wall-clock time (serving, synchronous training)
+/// and on simulated virtual time (the discrete-event `sim::AsyncPlatform`),
+/// where traces become a pure function of the seed — deterministic and
+/// byte-identical across runs.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual double now_s() const = 0;
+};
+
+/// Monotonic wall clock; epoch is the clock's construction.
+class WallClock final : public Clock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double now_s() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Adapts any `double()` callable — e.g. a `sim::EventQueue`'s `now()` —
+/// without obs depending on the simulator. The callable must outlive the
+/// clock and be safe to call from whichever threads read the tracer.
+class FunctionClock final : public Clock {
+ public:
+  explicit FunctionClock(std::function<double()> fn) : fn_(std::move(fn)) {}
+  [[nodiscard]] double now_s() const override { return fn_(); }
+
+ private:
+  std::function<double()> fn_;
+};
+
+/// Manually advanced clock for tests.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] double now_s() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void set(double seconds) { now_.store(seconds, std::memory_order_relaxed); }
+  void advance(double seconds) {
+    now_.fetch_add(seconds, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> now_{0.0};
+};
+
+}  // namespace fedml::obs

@@ -1,0 +1,164 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace fedml::obs {
+
+namespace detail {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(static_cast<unsigned char>(c));
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::json_escape;
+using detail::json_number;
+
+void write_args(std::ostream& os,
+                const std::vector<std::pair<std::string, double>>& args) {
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(key) << "\":" << json_number(value);
+  }
+}
+
+std::ofstream open_for_write(const std::string& path) {
+  std::ofstream out(path);
+  FEDML_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  return out;
+}
+
+void write_histogram_fields(std::ostream& os, const Histogram::Snapshot& h) {
+  os << "\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+     << ",\"min\":" << json_number(h.min) << ",\"max\":" << json_number(h.max)
+     << ",\"mean\":" << json_number(h.mean)
+     << ",\"p50\":" << json_number(h.p50) << ",\"p95\":" << json_number(h.p95)
+     << ",\"p99\":" << json_number(h.p99);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SpanRecord>& spans) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(s.name)
+       << "\",\"cat\":\"fedml\",\"ph\":\"X\",\"pid\":0,\"tid\":" << s.track
+       << ",\"ts\":" << json_number(s.start_s * 1e6)
+       << ",\"dur\":" << json_number((s.end_s - s.start_s) * 1e6)
+       << ",\"args\":{\"id\":" << s.id;
+    if (s.parent != 0) os << ",\"parent\":" << s.parent;
+    if (!s.args.empty()) {
+      os << ',';
+      write_args(os, s.args);
+    }
+    os << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<SpanRecord>& spans) {
+  auto out = open_for_write(path);
+  write_chrome_trace(out, spans);
+  FEDML_CHECK(out.good(), "failed writing chrome trace to '" + path + "'");
+}
+
+void write_jsonl(std::ostream& os, const std::vector<SpanRecord>& spans,
+                 const MetricsSnapshot& metrics) {
+  for (const auto& s : spans) {
+    os << "{\"type\":\"span\",\"id\":" << s.id << ",\"parent\":" << s.parent
+       << ",\"name\":\"" << json_escape(s.name) << "\",\"track\":" << s.track
+       << ",\"start_s\":" << json_number(s.start_s)
+       << ",\"end_s\":" << json_number(s.end_s) << ",\"args\":{";
+    write_args(os, s.args);
+    os << "}}\n";
+  }
+  for (const auto& [name, value] : metrics.counters) {
+    os << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
+       << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    os << "{\"type\":\"gauge\",\"name\":\"" << json_escape(name)
+       << "\",\"value\":" << json_number(value) << "}\n";
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    os << "{\"type\":\"histogram\",\"name\":\"" << json_escape(name) << "\",";
+    write_histogram_fields(os, h);
+    os << "}\n";
+  }
+}
+
+void write_jsonl_file(const std::string& path,
+                      const std::vector<SpanRecord>& spans,
+                      const MetricsSnapshot& metrics) {
+  auto out = open_for_write(path);
+  write_jsonl(out, spans, metrics);
+  FEDML_CHECK(out.good(), "failed writing telemetry JSONL to '" + path + "'");
+}
+
+util::Table metrics_table(const MetricsSnapshot& metrics) {
+  util::Table t({"metric", "kind", "value", "count", "mean", "p50", "p95",
+                 "p99"});
+  for (const auto& [name, value] : metrics.counters) {
+    t.add_row({name, std::string("counter"),
+               static_cast<std::int64_t>(value), std::string(""),
+               std::string(""), std::string(""), std::string(""),
+               std::string("")});
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    t.add_row({name, std::string("gauge"), value, std::string(""),
+               std::string(""), std::string(""), std::string(""),
+               std::string("")});
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    t.add_row({name, std::string("histogram"), h.sum,
+               static_cast<std::int64_t>(h.count), h.mean, h.p50, h.p95,
+               h.p99});
+  }
+  return t;
+}
+
+}  // namespace fedml::obs

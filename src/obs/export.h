@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/table.h"
+
+namespace fedml::obs {
+
+/// Chrome `trace_event` JSON ("X" complete events, timestamps in µs),
+/// loadable in Perfetto (ui.perfetto.dev) or about://tracing. Tracks map to
+/// tids; each span's id/parent ride along in its args. Output is a pure
+/// function of the span list — a deterministic (sim-clock) trace is
+/// byte-identical across runs.
+void write_chrome_trace(std::ostream& os, const std::vector<SpanRecord>& spans);
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<SpanRecord>& spans);
+
+/// One JSON object per line: every span (`{"type":"span",...}`, in record
+/// order — end timestamps are monotone per clock), then every metric
+/// (`counter` / `gauge` / `histogram`, sorted by name). The format
+/// `scripts/check_telemetry.py` validates.
+void write_jsonl(std::ostream& os, const std::vector<SpanRecord>& spans,
+                 const MetricsSnapshot& metrics);
+void write_jsonl_file(const std::string& path,
+                      const std::vector<SpanRecord>& spans,
+                      const MetricsSnapshot& metrics);
+
+/// Metrics snapshot as a `util::Table` (one row per metric, histograms with
+/// count/mean/p50/p95/p99) — print it or `write_csv_file` it.
+[[nodiscard]] util::Table metrics_table(const MetricsSnapshot& metrics);
+
+namespace detail {
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+/// Deterministic, locale-independent number rendering (%.12g-style; JSON
+/// `null` for non-finite values).
+[[nodiscard]] std::string json_number(double v);
+}  // namespace detail
+
+}  // namespace fedml::obs

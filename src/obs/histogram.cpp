@@ -1,0 +1,119 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace fedml::obs {
+
+double exact_percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  FEDML_CHECK(!sorted.empty(), "quantile of an empty sample set");
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> Histogram::exponential_bounds(double first, double factor,
+                                                  std::size_t count) {
+  FEDML_CHECK(first > 0.0, "exponential bounds need a positive first bound");
+  FEDML_CHECK(factor > 1.0, "exponential bounds need factor > 1");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+Histogram::Histogram(Config config)
+    : bounds_(std::move(config.bounds)),
+      retain_samples_(config.retain_samples) {
+  if (bounds_.empty()) {
+    // Default coverage: 1 µs .. ~5.5e8 in whatever unit the caller records
+    // (spans three timing regimes: µs-scale ops, ms latencies, long runs).
+    bounds_ = exponential_bounds(1e-3, 2.0, 40);
+  }
+  FEDML_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                      bounds_.end(),
+              "histogram bounds must be strictly ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += 1;
+  sum_ += value;
+  if (retain_samples_) samples_.push_back(value);
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (retain_samples_) return exact_percentile(samples_, q);
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1) + 0.5);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    if (cum + counts_[b] > rank) {
+      // Interpolate inside the bucket, clamped to the observed range so a
+      // single-sample histogram reports the sample itself.
+      const double lo = b == 0 ? min_ : std::max(min_, bounds_[b - 1]);
+      const double hi =
+          b == bounds_.size() ? max_ : std::min(max_, bounds_[b]);
+      const double frac =
+          counts_[b] <= 1
+              ? 0.0
+              : static_cast<double>(rank - cum) /
+                    static_cast<double>(counts_[b] - 1);
+      return lo + (hi - lo) * frac;
+    }
+    cum += counts_[b];
+  }
+  return max_;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max();
+  s.mean = mean();
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  s.bounds = bounds_;
+  s.counts = counts_;
+  return s;
+}
+
+}  // namespace fedml::obs

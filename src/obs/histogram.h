@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedml::obs {
+
+/// q-th quantile (q in [0,1], nearest-rank) of `samples`; 0 when empty.
+/// Takes the vector by value — callers pass a snapshot copy. This is THE
+/// percentile implementation for the repo (it replaced per-layer copies in
+/// serve/ and bench/); keep exactly one.
+double exact_percentile(std::vector<double> samples, double q);
+
+/// Linear-interpolation quantile of an ascending-sorted, non-empty sample
+/// vector (the convention core::FleetMetrics reports: p10/median interpolate
+/// between order statistics instead of snapping to the nearest rank).
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Fixed-bucket histogram with p50/p95/p99 summaries.
+///
+/// Thread-COMPATIBLE: synchronize externally (a `FEDML_GUARDED_BY` member,
+/// or the internally locked `obs::SharedHistogram` handed out by
+/// `MetricsRegistry`). Buckets are upper bounds in ascending order plus an
+/// implicit overflow bucket, so memory is O(buckets) regardless of sample
+/// count. With `retain_samples` the raw samples are kept as well and
+/// `percentile` is exact nearest-rank (what the serving stats report);
+/// without it, percentiles interpolate inside the owning bucket, clamped to
+/// the observed [min, max].
+class Histogram {
+ public:
+  struct Config {
+    /// Ascending bucket upper bounds; values above the last land in the
+    /// overflow bucket. Empty = default exponential coverage.
+    std::vector<double> bounds;
+    /// Keep raw samples for exact percentiles (O(n) memory — bounded use
+    /// only, e.g. per-run serving latencies).
+    bool retain_samples = false;
+  };
+
+  /// `count` bounds at first, first*factor, first*factor^2, ...
+  static std::vector<double> exponential_bounds(double first, double factor,
+                                                std::size_t count);
+
+  /// Aggregate view; `counts` has one entry per bound plus the overflow
+  /// bucket last.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+  };
+
+  Histogram() : Histogram(Config{}) {}
+  explicit Histogram(Config config);
+
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// q in [0,1]; 0 when empty. Exact nearest-rank when samples are
+  /// retained, bucket-interpolated estimate otherwise.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (overflow last)
+  bool retain_samples_ = false;
+  std::vector<double> samples_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace fedml::obs

@@ -1,0 +1,51 @@
+#include "obs/metrics.h"
+
+namespace fedml::obs {
+
+namespace {
+
+/// Find-or-create in a name-keyed map of unique_ptrs; map nodes are stable,
+/// so the returned reference outlives later insertions.
+template <typename T, typename... Args>
+T& intern(std::map<std::string, std::unique_ptr<T>>& map,
+          const std::string& name, Args&&... args) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(name, std::make_unique<T>(std::forward<Args>(args)...))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  util::LockGuard lock(mutex_);
+  return intern(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  util::LockGuard lock(mutex_);
+  return intern(gauges_, name);
+}
+
+SharedHistogram& MetricsRegistry::histogram(const std::string& name,
+                                            Histogram::Config config) {
+  util::LockGuard lock(mutex_);
+  return intern(histograms_, name, std::move(config));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  util::LockGuard lock(mutex_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    s.histograms.emplace_back(name, h->snapshot());
+  return s;
+}
+
+}  // namespace fedml::obs

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/stopwatch.h"
+
+namespace fedml::obs {
+
+/// Monotonic event count. Lock-free recording; safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (a loss, a rate, a queue depth).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Internally locked histogram handle handed out by `MetricsRegistry` —
+/// recordable from any thread (worker pools, the serving runtime).
+class SharedHistogram {
+ public:
+  explicit SharedHistogram(Histogram::Config config) : hist_(std::move(config)) {}
+
+  void record(double value) {
+    util::LockGuard lock(mutex_);
+    hist_.record(value);
+  }
+  [[nodiscard]] Histogram::Snapshot snapshot() const {
+    util::LockGuard lock(mutex_);
+    return hist_.snapshot();
+  }
+
+ private:
+  mutable util::Mutex mutex_{util::lock_rank::kObsCollector,
+                             "obs::SharedHistogram::mutex_"};
+  Histogram hist_ FEDML_GUARDED_BY(mutex_);
+};
+
+/// Deterministically ordered view of a registry (sorted by metric name), so
+/// exports are stable across runs and thread interleavings.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Thread-safe named-metric store: counters, gauges, fixed-bucket
+/// histograms. Handle lookup takes the registry lock once; recording through
+/// a handle is lock-free (counters, gauges) or per-histogram locked, so hot
+/// paths cache the reference outside their loop. Names follow the
+/// `layer.component.name` convention (see DESIGN.md "Observability");
+/// iteration order is the name's lexicographic order, always.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; references stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `config` is applied on first creation only.
+  SharedHistogram& histogram(const std::string& name,
+                             Histogram::Config config = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable util::Mutex mutex_{util::lock_rank::kObsRegistry,
+                             "obs::MetricsRegistry::mutex_"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      FEDML_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      FEDML_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<SharedHistogram>> histograms_
+      FEDML_GUARDED_BY(mutex_);
+};
+
+/// RAII timer recording its scope's duration into a histogram on
+/// destruction (milliseconds by default). The one-liner for timing a block
+/// without threading a stopwatch through it:
+///   obs::ScopedTimer timer(registry.histogram("core.fedml.step_ms"));
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(SharedHistogram& hist, double scale = 1e3)
+      : hist_(hist), scale_(scale) {}
+  ~ScopedTimer() { hist_.record(watch_.seconds() * scale_); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  SharedHistogram& hist_;
+  double scale_;
+  util::Stopwatch watch_;
+};
+
+}  // namespace fedml::obs

@@ -1,0 +1,19 @@
+#include "obs/telemetry.h"
+
+#include "obs/export.h"
+
+namespace fedml::obs {
+
+void Telemetry::write_chrome_trace_file(const std::string& path) const {
+  obs::write_chrome_trace_file(path, tracer.snapshot());
+}
+
+void Telemetry::write_jsonl_file(const std::string& path) const {
+  obs::write_jsonl_file(path, tracer.snapshot(), metrics.snapshot());
+}
+
+void Telemetry::write_metrics_csv_file(const std::string& path) const {
+  metrics_table(metrics.snapshot()).write_csv_file(path);
+}
+
+}  // namespace fedml::obs

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedml::obs {
+
+/// The bundle instrumented layers share: one metrics registry + one tracer.
+///
+/// Instrumentation is opt-in and null-safe by convention — every
+/// instrumented config (`fed::Platform::Config`, `core::FedMLConfig`,
+/// `sim::AsyncConfig`, `serve::AdaptationServer::Config`) carries an
+/// `obs::Telemetry*` defaulting to nullptr, and a null pointer costs one
+/// branch per instrumentation site (measured < 2% end-to-end on
+/// bench/fig2b_local_steps). The Telemetry object must outlive every
+/// component it is attached to.
+struct Telemetry {
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  /// Exporter conveniences; throw util::Error on I/O failure.
+  void write_chrome_trace_file(const std::string& path) const;
+  void write_jsonl_file(const std::string& path) const;
+  void write_metrics_csv_file(const std::string& path) const;
+};
+
+}  // namespace fedml::obs

@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace fedml::obs {
+
+namespace {
+
+/// Per-thread stack of open RAII spans (tracer, id) — the implicit-parent
+/// chain. thread_local so nesting needs no lock and cannot race.
+thread_local std::vector<std::pair<const Tracer*, SpanId>> t_open_spans;
+
+SpanId innermost_open(const Tracer* tracer) {
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->first == tracer) return it->second;
+  }
+  return 0;
+}
+
+void pop_open(const Tracer* tracer, SpanId id) {
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->first == tracer && it->second == id) {
+      t_open_spans.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(TraceSpan&& other) noexcept
+    : tracer_(other.tracer_), rec_(std::move(other.rec_)) {
+  other.tracer_ = nullptr;
+}
+
+TraceSpan& TraceSpan::operator=(TraceSpan&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    rec_ = std::move(other.rec_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void TraceSpan::arg(std::string key, double value) {
+  if (tracer_ != nullptr) rec_.args.emplace_back(std::move(key), value);
+}
+
+void TraceSpan::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  pop_open(tracer, rec_.id);
+  tracer->finish(std::move(rec_));
+}
+
+double TraceSpan::seconds() const {
+  return tracer_ == nullptr ? 0.0 : tracer_->now_s() - rec_.start_s;
+}
+
+std::shared_ptr<const Clock> Tracer::clock() const {
+  util::LockGuard lock(mutex_);
+  return clock_;
+}
+
+void Tracer::set_clock(std::shared_ptr<const Clock> clock) {
+  FEDML_CHECK(clock != nullptr, "tracer clock must not be null");
+  util::LockGuard lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+double Tracer::now_s() const {
+  std::shared_ptr<const Clock> c;
+  {
+    util::LockGuard lock(mutex_);
+    c = clock_;
+  }
+  return c->now_s();
+}
+
+TraceSpan Tracer::span(std::string name) {
+  return begin(std::move(name), 0, /*implicit_parent=*/true, 0.0,
+               /*has_start=*/false);
+}
+
+TraceSpan Tracer::span(std::string name, SpanId parent) {
+  return begin(std::move(name), parent, /*implicit_parent=*/false, 0.0,
+               /*has_start=*/false);
+}
+
+TraceSpan Tracer::span_at(std::string name, double start_s) {
+  return begin(std::move(name), 0, /*implicit_parent=*/true, start_s,
+               /*has_start=*/true);
+}
+
+TraceSpan Tracer::span_since(std::string name, const util::Stopwatch& watch) {
+  const double elapsed = watch.seconds();
+  return begin(std::move(name), 0, /*implicit_parent=*/true,
+               now_s() - elapsed, /*has_start=*/true);
+}
+
+TraceSpan Tracer::begin(std::string name, SpanId parent, bool implicit_parent,
+                        double start_s, bool has_start) {
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.parent = implicit_parent ? innermost_open(this) : parent;
+  {
+    util::LockGuard lock(mutex_);
+    rec.id = next_id_++;
+    rec.start_s = has_start ? start_s : clock_->now_s();
+    rec.track = track_for_current_thread();
+  }
+  t_open_spans.emplace_back(this, rec.id);
+  return TraceSpan(this, std::move(rec));
+}
+
+void Tracer::finish(SpanRecord rec) {
+  util::LockGuard lock(mutex_);
+  rec.end_s = clock_->now_s();
+  spans_.push_back(std::move(rec));
+}
+
+SpanId Tracer::record(SpanRecord rec) {
+  util::LockGuard lock(mutex_);
+  if (rec.id == 0) rec.id = next_id_++;
+  const SpanId id = rec.id;
+  spans_.push_back(std::move(rec));
+  return id;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  util::LockGuard lock(mutex_);
+  return spans_;
+}
+
+std::size_t Tracer::size() const {
+  util::LockGuard lock(mutex_);
+  return spans_.size();
+}
+
+void Tracer::clear() {
+  util::LockGuard lock(mutex_);
+  spans_.clear();
+}
+
+std::uint32_t Tracer::track_for_current_thread() {
+  const auto id = std::this_thread::get_id();
+  const auto it = tracks_.find(id);
+  if (it != tracks_.end()) return it->second;
+  const auto track = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.emplace(id, track);
+  return track;
+}
+
+}  // namespace fedml::obs

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/stopwatch.h"
+
+namespace fedml::obs {
+
+class Tracer;
+
+using SpanId = std::uint64_t;  ///< 1-based; 0 means "no span / no parent"
+
+/// One finished span: a named [start, end] interval on a track, optionally
+/// parented to an enclosing span and annotated with numeric args.
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;
+  std::string name;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Export lane (Chrome-trace tid). RAII spans get a per-thread track in
+  /// first-use order; explicit `Tracer::record` calls choose their own
+  /// (the simulator uses node index + 1, round markers track 0).
+  std::uint32_t track = 0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// RAII scoped span. Obtained from `Tracer::span*`; records the interval
+/// into the tracer when it ends (destruction or an explicit `end()`).
+/// A default-constructed span is inactive and records nothing — the idiom
+/// for telemetry-optional code paths:
+///   obs::TraceSpan round;
+///   if (telemetry) round = telemetry->tracer.span("fed.round");
+/// Spans on one thread nest: the innermost open span is the implicit parent
+/// of the next one (end them LIFO, which RAII gives you for free).
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(TraceSpan&& other) noexcept;
+  TraceSpan& operator=(TraceSpan&& other) noexcept;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { end(); }
+
+  /// Attach a numeric annotation (exported into the trace's args).
+  void arg(std::string key, double value);
+
+  /// Finish the span now; idempotent, after which the span is inactive.
+  void end();
+
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+  [[nodiscard]] SpanId id() const { return rec_.id; }
+
+  /// Seconds elapsed since the span started (0 when inactive) — lets call
+  /// sites feed the same interval into a histogram without a second timer.
+  [[nodiscard]] double seconds() const;
+
+ private:
+  friend class Tracer;
+  TraceSpan(Tracer* tracer, SpanRecord rec)
+      : tracer_(tracer), rec_(std::move(rec)) {}
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord rec_;
+};
+
+/// Thread-safe collector of finished spans on a pluggable `Clock`.
+///
+/// Wall-clock by default (epoch = tracer construction); the simulator swaps
+/// in its virtual-time clock for the duration of a run via `ClockScope`, so
+/// sim traces are deterministic. Span ids are assigned in record order under
+/// the tracer lock; on a single-threaded clock (the simulator) the whole
+/// span list is therefore a pure function of the schedule.
+class Tracer {
+ public:
+  Tracer() : clock_(std::make_shared<WallClock>()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] std::shared_ptr<const Clock> clock() const;
+  void set_clock(std::shared_ptr<const Clock> clock);
+  [[nodiscard]] double now_s() const;
+
+  /// Start a span now; parent = the calling thread's innermost open span.
+  TraceSpan span(std::string name);
+  /// Start a span now under an explicit parent (cross-thread nesting: pool
+  /// workers parent their spans to the driver's round span by id).
+  TraceSpan span(std::string name, SpanId parent);
+  /// Start a span with a backdated start time (same-thread implicit parent).
+  TraceSpan span_at(std::string name, double start_s);
+  /// Span covering `watch`'s elapsed time so far: the one-line migration for
+  /// stopwatch call sites — `auto s = tracer.span_since("phase", watch);`.
+  TraceSpan span_since(std::string name, const util::Stopwatch& watch);
+
+  /// Record a fully specified interval (the discrete-event simulator's path:
+  /// times come from the event clock, tracks from node ids). `rec.id` is
+  /// assigned; the id is returned so callers can parent later records.
+  SpanId record(SpanRecord rec);
+
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// RAII clock override; restores the previous clock on destruction. Do
+  /// not hold RAII spans across a clock swap — their start times would mix
+  /// epochs.
+  class ClockScope {
+   public:
+    ClockScope(Tracer& tracer, std::shared_ptr<const Clock> clock)
+        : tracer_(tracer), previous_(tracer.clock()) {
+      tracer_.set_clock(std::move(clock));
+    }
+    ~ClockScope() { tracer_.set_clock(std::move(previous_)); }
+    ClockScope(const ClockScope&) = delete;
+    ClockScope& operator=(const ClockScope&) = delete;
+
+   private:
+    Tracer& tracer_;
+    std::shared_ptr<const Clock> previous_;
+  };
+
+ private:
+  friend class TraceSpan;
+
+  TraceSpan begin(std::string name, SpanId parent, bool implicit_parent,
+                  double start_s, bool has_start);
+  /// Called by TraceSpan::end — stamps end_s under the lock so the span
+  /// list's end times are monotone in append order per clock.
+  void finish(SpanRecord rec);
+  std::uint32_t track_for_current_thread() FEDML_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_{util::lock_rank::kObsCollector,
+                             "obs::Tracer::mutex_"};
+  std::shared_ptr<const Clock> clock_ FEDML_GUARDED_BY(mutex_);
+  std::vector<SpanRecord> spans_ FEDML_GUARDED_BY(mutex_);
+  SpanId next_id_ FEDML_GUARDED_BY(mutex_) = 1;
+  std::map<std::thread::id, std::uint32_t> tracks_ FEDML_GUARDED_BY(mutex_);
+};
+
+}  // namespace fedml::obs

@@ -14,6 +14,12 @@ ModelRegistry::ModelRegistry(std::shared_ptr<const nn::Module> model)
 }
 
 std::uint64_t ModelRegistry::publish(const nn::ParamList& params) {
+  obs::Telemetry* const tel = telemetry_.load(std::memory_order_acquire);
+  obs::TraceSpan span;
+  if (tel != nullptr) {
+    span = tel->tracer.span("serve.publish");
+    tel->metrics.counter("serve.registry.publishes").add();
+  }
   const auto shapes = model_->param_shapes();
   FEDML_CHECK(params.size() == shapes.size(),
               "publish: parameter count mismatch for model '" + model_->name() +
@@ -38,6 +44,7 @@ std::uint64_t ModelRegistry::publish(const nn::ParamList& params) {
     hooks = hooks_;
   }
   for (const auto& hook : hooks) hook(version);
+  if (span.active()) span.arg("version", static_cast<double>(version));
   return version;
 }
 

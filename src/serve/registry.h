@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "obs/telemetry.h"
 #include "util/annotations.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
@@ -56,8 +58,16 @@ class ModelRegistry {
 
   void on_publish(PublishHook hook);
 
+  /// Attach telemetry (a `serve.publish` span + publish counter per
+  /// publish). Null detaches; the object must outlive the registry while
+  /// attached. Safe to call concurrently with publishes.
+  void set_telemetry(obs::Telemetry* telemetry) {
+    telemetry_.store(telemetry, std::memory_order_release);
+  }
+
  private:
   std::shared_ptr<const nn::Module> model_;  ///< set once in ctor, immutable
+  std::atomic<obs::Telemetry*> telemetry_{nullptr};
   mutable util::Mutex mutex_{util::lock_rank::kRegistry,
                              "ModelRegistry::mutex_"};
   std::shared_ptr<const ModelSnapshot> snapshot_ FEDML_GUARDED_BY(mutex_);

@@ -7,6 +7,7 @@
 #include "core/meta.h"
 #include "nn/loss.h"
 #include "nn/params.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 #include "util/error.h"
 
@@ -44,11 +45,15 @@ std::future<AdaptResponse> AdaptationServer::submit(AdaptRequest request) {
   FEDML_CHECK(registry_.current_version() > 0,
               "submit: registry has no published model");
 
+  obs::Telemetry* const tel = config_.telemetry;
   {
     util::LockGuard lock(mutex_);
     ++counters_.submitted;
+    if (tel != nullptr) tel->metrics.counter("serve.server.submitted").add();
     if (pending_ >= config_.max_pending) {
       ++counters_.shed_queue_full;
+      if (tel != nullptr)
+        tel->metrics.counter("serve.server.shed_queue_full").add();
       std::promise<AdaptResponse> shed;
       AdaptResponse r;
       r.status = RequestStatus::kShedQueueFull;
@@ -78,9 +83,28 @@ AdaptResponse AdaptationServer::process(const AdaptRequest& request,
   AdaptResponse resp;
   resp.queue_s = elapsed_s(admitted, started);
 
+  // Spans are backdated to the admission instant so the trace shows the
+  // queue wait inside the request, even though the span objects only exist
+  // on the worker thread (which keeps the track assignment per-worker).
+  obs::Telemetry* const tel = config_.telemetry;
+  obs::TraceSpan req_span;
+  if (tel != nullptr) {
+    const double now_s = tel->tracer.now_s();
+    req_span = tel->tracer.span_at("serve.request", now_s - resp.queue_s);
+    obs::TraceSpan queue_span =
+        tel->tracer.span_at("serve.queue", now_s - resp.queue_s);
+    queue_span.end();  // the wait ended when this worker picked it up
+    tel->metrics.histogram("serve.request.queue_ms")
+        .record(resp.queue_s * 1e3);
+  }
+
   if (std::isfinite(request.deadline_s) && resp.queue_s > request.deadline_s) {
     resp.status = RequestStatus::kShedDeadline;
     resp.total_s = resp.queue_s;
+    if (tel != nullptr) {
+      req_span.arg("shed_deadline", 1.0);
+      tel->metrics.counter("serve.server.shed_deadline").add();
+    }
     util::LockGuard lock(mutex_);
     ++counters_.shed_deadline;
     return resp;
@@ -100,10 +124,19 @@ AdaptResponse AdaptationServer::process(const AdaptRequest& request,
   if (adapted) {
     resp.cache_hit = true;
   } else {
+    obs::TraceSpan adapt_span;
+    if (tel != nullptr) {
+      adapt_span = tel->tracer.span("serve.adapt");  // child of serve.request
+      adapt_span.arg("steps", static_cast<double>(request.steps));
+    }
     const auto adapt_start = Clock::now();
     nn::ParamList phi = core::adapt(registry_.model(), snapshot->params,
                                     request.adapt, request.alpha, request.steps);
     resp.adapt_s = elapsed_s(adapt_start, Clock::now());
+    if (tel != nullptr) {
+      adapt_span.end();
+      tel->metrics.histogram("serve.adapt.ms").record(resp.adapt_s * 1e3);
+    }
     if (config_.use_cache) cache_->put(key, phi);  // cheap: Vars are handles
     adapted = std::make_shared<const nn::ParamList>(std::move(phi));
   }
@@ -116,6 +149,18 @@ AdaptResponse AdaptationServer::process(const AdaptRequest& request,
   resp.eval_loss = nn::softmax_cross_entropy(logits, request.eval.y).item();
   resp.total_s = elapsed_s(admitted, Clock::now());
 
+  if (tel != nullptr) {
+    req_span.arg("cache_hit", resp.cache_hit ? 1.0 : 0.0);
+    tel->metrics.counter("serve.server.served").add();
+    if (config_.use_cache) {
+      tel->metrics
+          .counter(resp.cache_hit ? "serve.server.cache_hits"
+                                  : "serve.server.cache_misses")
+          .add();
+    }
+    tel->metrics.histogram("serve.request.total_ms").record(resp.total_s * 1e3);
+  }
+
   util::LockGuard lock(mutex_);
   ++counters_.served;
   if (config_.use_cache) {
@@ -124,7 +169,7 @@ AdaptResponse AdaptationServer::process(const AdaptRequest& request,
     else
       ++counters_.cache_misses;
   }
-  latencies_ms_.push_back(resp.total_s * 1e3);
+  latency_ms_.record(resp.total_s * 1e3);
   adapt_ms_sum_ += resp.adapt_s * 1e3;
   return resp;
 }
@@ -151,22 +196,20 @@ void AdaptationServer::drain() {
 }
 
 ServerStats AdaptationServer::stats() const {
-  std::vector<double> latencies;
   ServerStats s;
+  obs::Histogram::Snapshot latency;
   {
     util::LockGuard lock(mutex_);
     s = counters_;
-    latencies = latencies_ms_;
+    latency = latency_ms_.snapshot();
     s.mean_adapt_ms =
         s.served == 0 ? 0.0 : adapt_ms_sum_ / static_cast<double>(s.served);
   }
-  if (!latencies.empty()) {
-    double sum = 0.0;
-    for (const double v : latencies) sum += v;
-    s.mean_ms = sum / static_cast<double>(latencies.size());
-    s.p50_ms = percentile(latencies, 0.50);
-    s.p95_ms = percentile(latencies, 0.95);
-    s.p99_ms = percentile(latencies, 0.99);
+  if (latency.count > 0) {
+    s.mean_ms = latency.mean;
+    s.p50_ms = latency.p50;  // exact: the histogram retains its samples
+    s.p95_ms = latency.p95;
+    s.p99_ms = latency.p99;
   }
   return s;
 }

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "obs/histogram.h"
+#include "obs/telemetry.h"
 #include "serve/cache.h"
 #include "serve/registry.h"
 #include "serve/stats.h"
@@ -70,6 +72,10 @@ class AdaptationServer {
     std::size_t max_pending = 64;  ///< admission bound: queued + running
     bool use_cache = true;         ///< serve repeat tasks from AdaptedCache
     AdaptedCache::Config cache;
+    /// Optional telemetry (spans serve.request/serve.queue/serve.adapt,
+    /// serve.server.* counters and latency histograms). Null = off; must
+    /// outlive the server when set.
+    obs::Telemetry* telemetry = nullptr;
   };
 
   AdaptationServer(ModelRegistry& registry, Config config);
@@ -113,8 +119,10 @@ class AdaptationServer {
   std::size_t pending_ FEDML_GUARDED_BY(mutex_) = 0;
   /// percentile fields unused here
   ServerStats counters_ FEDML_GUARDED_BY(mutex_);
-  /// served end-to-end latencies
-  std::vector<double> latencies_ms_ FEDML_GUARDED_BY(mutex_);
+  /// Served end-to-end latencies; samples retained so stats() reports the
+  /// exact nearest-rank percentiles the old ad-hoc vector produced.
+  obs::Histogram latency_ms_ FEDML_GUARDED_BY(mutex_){
+      obs::Histogram::Config{.bounds = {}, .retain_samples = true}};
   double adapt_ms_sum_ FEDML_GUARDED_BY(mutex_) = 0.0;
 
   util::ThreadPool pool_;  ///< last member: destroyed (joined) first

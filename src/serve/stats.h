@@ -1,27 +1,14 @@
 #pragma once
 
-#include <algorithm>
-#include <cstddef>
 #include <cstdint>
-#include <vector>
 
 namespace fedml::serve {
 
-/// q-th quantile (q in [0,1], nearest-rank) of `samples`; 0 when empty.
-/// Takes the vector by value — callers pass a snapshot copy.
-inline double percentile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(samples.size() - 1) + 0.5);
-  std::nth_element(samples.begin(),
-                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
-                   samples.end());
-  return samples[rank];
-}
-
 /// Aggregate serving counters — one consistent snapshot taken under the
-/// server lock, with latency percentiles computed over served requests.
+/// server lock. Latency percentiles come from the server's retained
+/// `obs::Histogram` (exact nearest-rank, see obs/histogram.h — the shared
+/// implementation that replaced the percentile helper that used to live
+/// here).
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t served = 0;

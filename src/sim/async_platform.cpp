@@ -4,8 +4,12 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "nn/params.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace fedml::sim {
@@ -68,6 +72,34 @@ AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook)
   EventQueue q;
   AsyncTotals totals;
 
+  // Telemetry on *virtual* time: the tracer's clock follows the event queue
+  // for the duration of the run, so every span timestamp is simulated
+  // seconds and the whole trace is a pure function of (nodes, config, seed).
+  // The scope is declared after `q` so it detaches before `q` dies.
+  obs::Telemetry* const tel = config_.telemetry;
+  std::optional<obs::Tracer::ClockScope> sim_clock;
+  obs::Counter* rounds_counter = nullptr;
+  obs::Counter* deadline_counter = nullptr;
+  obs::Counter* quorum_counter = nullptr;
+  obs::Counter* received_counter = nullptr;
+  obs::Counter* dropped_counter = nullptr;
+  obs::Counter* stale_counter = nullptr;
+  obs::SharedHistogram* staleness_hist = nullptr;
+  if (tel != nullptr) {
+    sim_clock.emplace(tel->tracer, std::make_shared<obs::FunctionClock>(
+                                       [&q] { return q.now(); }));
+    rounds_counter = &tel->metrics.counter("sim.platform.rounds");
+    deadline_counter = &tel->metrics.counter("sim.platform.rounds_deadline");
+    quorum_counter = &tel->metrics.counter("sim.platform.rounds_quorum");
+    received_counter = &tel->metrics.counter("sim.platform.uploads_received");
+    dropped_counter = &tel->metrics.counter("sim.platform.uploads_dropped");
+    stale_counter = &tel->metrics.counter("sim.platform.stale_updates");
+    staleness_hist = &tel->metrics.histogram(
+        "sim.update.staleness",
+        {.bounds = {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0},
+         .retain_samples = false});
+  }
+
   /// Per-node simulation state. `version` is the aggregation round of the
   /// node's current base model; staleness of an upload is measured against
   /// the round counter at merge time.
@@ -75,6 +107,7 @@ AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook)
     std::size_t done = 0;     ///< completed local iterations
     std::size_t version = 0;  ///< round of the node's base model
     bool has_block = false;
+    double block_start = 0.0;  ///< sim time the running block started
     EventQueue::EventId block = 0;
     bool has_crash = false;
     EventQueue::EventId crash = 0;
@@ -90,6 +123,7 @@ AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook)
 
   std::size_t round = 0;
   std::size_t uploads_in_flight = 0;
+  double last_round_end_s = 0.0;  ///< sim.round spans tile track 0
 
   // Mutually recursive event handlers; declared up-front as std::functions.
   std::function<void(std::size_t)> schedule_block;
@@ -114,6 +148,7 @@ AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook)
                         faults.compute_multiplier(i) *
                         static_cast<double>(len);
     st[i].has_block = true;
+    st[i].block_start = q.now();
     st[i].block = q.schedule_in(secs, [&, i, len] { finish_block(i, len); });
   };
 
@@ -123,6 +158,16 @@ AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook)
     for (std::size_t s = 1; s <= len; ++s) step(nodes_[i], st[i].done + s);
     st[i].done += len;
     totals.blocks_completed += 1;
+    if (tel != nullptr) {
+      obs::SpanRecord block_span;
+      block_span.name = "sim.block";
+      block_span.start_s = st[i].block_start;
+      block_span.end_s = q.now();
+      block_span.track = static_cast<std::uint32_t>(i) + 1;
+      block_span.args = {{"node", static_cast<double>(i)},
+                         {"len", static_cast<double>(len)}};
+      tel->tracer.record(std::move(block_span));
+    }
 
     // Upload the block's result. Airtime is consumed whether or not the
     // message survives (matching the synchronous accounting of failed
@@ -131,6 +176,15 @@ AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook)
     if (net.uplink_delivered(i)) {
       const double delay =
           net.uplink_latency_seconds(i) + net.uplink_seconds(i, payload);
+      if (tel != nullptr) {
+        obs::SpanRecord upload_span;
+        upload_span.name = "sim.upload";
+        upload_span.start_s = q.now();
+        upload_span.end_s = q.now() + delay;
+        upload_span.track = static_cast<std::uint32_t>(i) + 1;
+        upload_span.args = {{"node", static_cast<double>(i)}};
+        tel->tracer.record(std::move(upload_span));
+      }
       auto snapshot =
           std::make_shared<nn::ParamList>(nn::clone_leaves(nodes_[i].params));
       const std::size_t version = st[i].version;
@@ -139,12 +193,14 @@ AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook)
         --uploads_in_flight;
         mark_activity();
         totals.uploads_received += 1;
+        if (received_counter != nullptr) received_counter->add();
         pending.push_back({i, snapshot, version});
         if (config_.quorum > 0 && pending.size() >= config_.quorum)
           aggregate(/*by_quorum=*/true);
       });
     } else {
       totals.comm.uploads_dropped += 1;
+      if (dropped_counter != nullptr) dropped_counter->add();
     }
 
     if (st[i].done >= t_budget) {
@@ -171,9 +227,14 @@ AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook)
     lists.reserve(pending.size());
     weights.reserve(pending.size());
     double mass = 0.0;
+    const std::size_t merged = pending.size();
     for (auto& u : pending) {
       const auto s = static_cast<double>(round - u.version);
-      if (round > u.version) totals.stale_updates += 1;
+      if (round > u.version) {
+        totals.stale_updates += 1;
+        if (stale_counter != nullptr) stale_counter->add();
+      }
+      if (staleness_hist != nullptr) staleness_hist->record(s);
       totals.staleness_sum += s;
       const double w = nodes_[u.node].weight *
                        std::pow(1.0 + s, -config_.staleness_exponent);
@@ -198,6 +259,20 @@ AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook)
       totals.quorum_rounds += 1;
     else
       totals.deadline_rounds += 1;
+    if (tel != nullptr) {
+      rounds_counter->add();
+      (by_quorum ? quorum_counter : deadline_counter)->add();
+      obs::SpanRecord round_span;
+      round_span.name = "sim.round";
+      round_span.start_s = last_round_end_s;
+      round_span.end_s = q.now();
+      round_span.track = 0;
+      round_span.args = {{"round", static_cast<double>(round)},
+                         {"merged", static_cast<double>(merged)},
+                         {"by_quorum", by_quorum ? 1.0 : 0.0}};
+      tel->tracer.record(std::move(round_span));
+      last_round_end_s = q.now();
+    }
     if (hook) hook(round, global_);
 
     // Broadcast to every node that is currently up. Delivery is per-link:
@@ -281,6 +356,13 @@ AsyncTotals AsyncPlatform::run(const LocalStep& step, const AggregateHook& hook)
   totals.comm.sim_seconds = totals.end_time_s;
   totals.crashes = faults.crashes();
   totals.rejoins = faults.rejoins();
+  if (tel != nullptr) {
+    tel->metrics.counter("sim.platform.crashes").add(totals.crashes);
+    tel->metrics.counter("sim.platform.rejoins").add(totals.rejoins);
+    tel->metrics.gauge("sim.platform.end_time_s").set(totals.end_time_s);
+    tel->metrics.gauge("sim.platform.mean_staleness")
+        .set(totals.mean_staleness());
+  }
   return totals;
 }
 

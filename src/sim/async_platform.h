@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fed/platform.h"
+#include "obs/telemetry.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/network.h"
@@ -40,6 +41,13 @@ struct AsyncConfig {
   std::uint64_t seed = 0x51e;
   /// Runaway guard on the event loop (a healthy run fires far fewer).
   std::size_t max_events = 50'000'000;
+  /// Optional telemetry. Spans are recorded on the *simulated* clock
+  /// (`run` swaps the tracer onto the event queue's virtual time for its
+  /// duration), so for a fixed seed the trace is byte-identical across
+  /// runs: sim.block / sim.upload intervals on track node+1, sim.round
+  /// tiles on track 0, plus sim.platform.* counters. Null = off; must
+  /// outlive the platform when set.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Counters produced by an event-driven run, superset of the synchronous

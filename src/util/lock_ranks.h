@@ -23,6 +23,12 @@ inline constexpr int kServer = 10;      ///< serve::AdaptationServer::mutex_
 inline constexpr int kRegistry = 20;    ///< serve::ModelRegistry::mutex_
 inline constexpr int kCache = 30;       ///< serve::AdaptedCache::mutex_
 inline constexpr int kThreadPool = 40;  ///< util::ThreadPool::mutex_
+inline constexpr int kObsRegistry = 42; ///< obs::MetricsRegistry::mutex_ (any
+                                        ///< layer may create/look up a metric
+                                        ///< handle while holding its own lock)
+inline constexpr int kObsCollector = 44;///< obs::SharedHistogram / obs::Tracer
+                                        ///< buffers (recording is near-leaf:
+                                        ///< only the log may nest inside)
 inline constexpr int kLogSink = 50;     ///< util::Log sink mutex (leaf: any
                                         ///< layer may log while locked)
 

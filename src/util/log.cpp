@@ -14,9 +14,30 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
 // Leaf lock (highest rank): any layer may log while holding its own lock.
 Mutex g_sink_mutex{lock_rank::kLogSink, "log::g_sink_mutex"};
-Log::Sink& sink_storage() FEDML_REQUIRES(g_sink_mutex) {
-  static Log::Sink sink;
-  return sink;
+// Set (under g_sink_mutex) when the sink slot's static destructor runs; the
+// namespace-scope mutex is constructed before the function-local slot and
+// therefore destroyed after it, so locking here during shutdown is safe.
+std::atomic<bool> g_sink_dead{false};
+
+void write_fallback(LogLevel level, const std::string& message);
+
+/// Holds the user sink so its destructor can publish the shutdown flag:
+/// taking the lock first waits out in-flight write() calls, so no thread
+/// observes a half-destroyed sink.
+struct SinkSlot {
+  Log::Sink sink;
+  ~SinkSlot() {
+    {
+      LockGuard lock(g_sink_mutex);
+      g_sink_dead.store(true, std::memory_order_release);
+    }
+    std::cerr.flush();
+  }
+};
+
+SinkSlot& sink_slot() FEDML_REQUIRES(g_sink_mutex) {
+  static SinkSlot slot;
+  return slot;
 }
 
 const char* level_name(LogLevel level) {
@@ -29,6 +50,10 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+void write_fallback(LogLevel level, const std::string& message) {
+  std::cerr << "[fedml " << level_name(level) << "] " << message << '\n';
+}
+
 }  // namespace
 
 LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
@@ -38,18 +63,40 @@ void Log::set_level(LogLevel level) {
 }
 
 void Log::set_sink(Sink sink) {
+  if (g_sink_dead.load(std::memory_order_acquire)) return;
   LockGuard lock(g_sink_mutex);
-  sink_storage() = std::move(sink);
+  if (g_sink_dead.load(std::memory_order_relaxed)) return;
+  sink_slot().sink = std::move(sink);
 }
 
 void Log::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
+  if (g_sink_dead.load(std::memory_order_acquire)) {
+    write_fallback(level, message);
+    return;
+  }
   LockGuard lock(g_sink_mutex);
-  if (sink_storage()) {
-    sink_storage()(level, message);
+  // Re-check under the lock: the slot destructor publishes the flag while
+  // holding g_sink_mutex, so this read is race-free and the sink below is
+  // guaranteed alive.
+  if (g_sink_dead.load(std::memory_order_relaxed)) {
+    write_fallback(level, message);
+    return;
+  }
+  if (sink_slot().sink) {
+    sink_slot().sink(level, message);
   } else {
-    std::cerr << "[fedml " << level_name(level) << "] " << message << '\n';
+    write_fallback(level, message);
   }
 }
+
+void Log::flush() { std::cerr.flush(); }
+
+namespace detail {
+void simulate_sink_shutdown(bool shut_down) {
+  LockGuard lock(g_sink_mutex);
+  g_sink_dead.store(shut_down, std::memory_order_release);
+}
+}  // namespace detail
 
 }  // namespace fedml::util

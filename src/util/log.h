@@ -13,6 +13,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// discarded before formatting; the sink defaults to stderr and can be
 /// replaced (tests capture output this way). Thread-safe for concurrent
 /// emission (single atomic level; sink swaps are not expected mid-run).
+///
+/// Shutdown: the sink slot is a function-local static, so during static
+/// destruction it may be torn down while other threads (or later static
+/// destructors) still log. Once the slot is destroyed, messages fall back
+/// to stderr instead of touching the dead sink, and the slot's destructor
+/// flushes stderr so buffered diagnostics are not silently dropped at exit.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
@@ -22,10 +28,15 @@ class Log {
   static void set_level(LogLevel level);
 
   /// Replace the sink; pass nullptr to restore the default stderr sink.
+  /// No-op once the sink slot has been destroyed at shutdown.
   static void set_sink(Sink sink);
 
   /// Emit (used by the FEDML_LOG macro; callable directly too).
   static void write(LogLevel level, const std::string& message);
+
+  /// Flush the default sink's stream (stderr). Custom sinks own their
+  /// buffering; this only guarantees the fallback/default path is flushed.
+  static void flush();
 
   /// True iff a message at `level` would be emitted.
   static bool enabled(LogLevel level) { return level >= Log::level(); }
@@ -47,6 +58,11 @@ class LogMessage {
   LogLevel level_;
   std::ostringstream os_;
 };
+
+/// Test-only: pretend the sink slot has been destroyed (true) or restore
+/// normal operation (false). Lets tests exercise the shutdown fallback
+/// without actually running static destructors.
+void simulate_sink_shutdown(bool shut_down);
 }  // namespace detail
 
 }  // namespace fedml::util

@@ -1,7 +1,7 @@
 #include "util/mutex.h"
 
+#include <cstddef>
 #include <sstream>
-#include <vector>
 
 #include "util/error.h"
 
@@ -11,7 +11,17 @@ namespace {
 
 /// Ranked mutexes this thread currently holds, in acquisition order.
 /// Unranked mutexes never appear here, so the common case costs nothing.
-thread_local std::vector<const Mutex*> t_held_ranked;
+///
+/// Deliberately a fixed-size POD array, not a std::vector: trivially
+/// destructible thread-locals are never torn down, so locking still works
+/// during static destruction at process exit (the log sink's shutdown guard
+/// takes its mutex from a static destructor, after this thread's non-trivial
+/// thread_local destructors have already run). The rank hierarchy is
+/// strictly increasing per thread, so the depth is bounded by the number of
+/// distinct ranks — 16 is generous.
+constexpr std::size_t kMaxHeldRanked = 16;
+thread_local const Mutex* t_held_ranked[kMaxHeldRanked];
+thread_local std::size_t t_held_count = 0;
 
 [[noreturn]] void throw_rank_violation(const Mutex& acquiring,
                                        const Mutex& held) {
@@ -27,19 +37,26 @@ thread_local std::vector<const Mutex*> t_held_ranked;
 /// Throws before we ever block on the underlying mutex, so an inversion
 /// surfaces as a clean error instead of a deadlock.
 void check_rank_order(const Mutex& m) {
-  for (const Mutex* held : t_held_ranked) {
-    if (held->rank() >= m.rank()) throw_rank_violation(m, *held);
+  for (std::size_t i = 0; i < t_held_count; ++i) {
+    if (t_held_ranked[i]->rank() >= m.rank())
+      throw_rank_violation(m, *t_held_ranked[i]);
   }
 }
 
-void note_acquired(const Mutex& m) { t_held_ranked.push_back(&m); }
+void note_acquired(const Mutex& m) {
+  FEDML_CHECK(t_held_count < kMaxHeldRanked,
+              "too many ranked mutexes held by one thread");
+  t_held_ranked[t_held_count++] = &m;
+}
 
 void note_released(const Mutex& m) {
   // Normally the top of the stack; search from the back to tolerate
   // out-of-order release (legal with unique locks).
-  for (auto it = t_held_ranked.rbegin(); it != t_held_ranked.rend(); ++it) {
-    if (*it == &m) {
-      t_held_ranked.erase(std::next(it).base());
+  for (std::size_t i = t_held_count; i-- > 0;) {
+    if (t_held_ranked[i] == &m) {
+      for (std::size_t j = i + 1; j < t_held_count; ++j)
+        t_held_ranked[j - 1] = t_held_ranked[j];
+      --t_held_count;
       return;
     }
   }

@@ -5,20 +5,40 @@
 namespace fedml::util {
 
 /// Wall-clock stopwatch for harness reporting.
+///
+/// Library code (src/) should prefer `obs::TraceSpan` / `obs::ScopedTimer`,
+/// which capture the same interval AND feed the telemetry layer — the repo
+/// lint (scripts/lint.py, rule `stopwatch`) flags new direct uses outside
+/// util/ and obs/. `Tracer::span_since(name, watch)` converts an existing
+/// stopwatch call site into a span in one line.
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
+  Stopwatch() : start_(clock::now()), lap_(start_) {}
 
   /// Seconds elapsed since construction or last reset().
   [[nodiscard]] double seconds() const {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
 
-  void reset() { start_ = clock::now(); }
+  /// Seconds since the last lap()/reset() (or construction), restarting the
+  /// lap timer; the total `seconds()` is unaffected. For timing consecutive
+  /// phases with one stopwatch.
+  double lap() {
+    const auto now = clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
+  void reset() {
+    start_ = clock::now();
+    lap_ = start_;
+  }
 
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+  clock::time_point lap_;
 };
 
 }  // namespace fedml::util

@@ -1,0 +1,474 @@
+// Tests for src/obs/: histogram math (edge cases and parity with the exact
+// nearest-rank formula the serving layer reports), registry determinism
+// under concurrent interning (race-checked by the tsan preset), trace-span
+// nesting on wall and manual clocks, and exporter golden output — including
+// the byte-identical-trace guarantee the simulator relies on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace fedml;
+
+// ---------------------------------------------------------------------------
+// Percentile helpers.
+
+TEST(ExactPercentile, EmptyIsZero) {
+  EXPECT_EQ(obs::exact_percentile({}, 0.5), 0.0);
+}
+
+TEST(ExactPercentile, SingleSampleIsItself) {
+  EXPECT_EQ(obs::exact_percentile({42.0}, 0.0), 42.0);
+  EXPECT_EQ(obs::exact_percentile({42.0}, 0.5), 42.0);
+  EXPECT_EQ(obs::exact_percentile({42.0}, 1.0), 42.0);
+}
+
+TEST(ExactPercentile, NearestRankOnUnsortedInput) {
+  const std::vector<double> v{50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_EQ(obs::exact_percentile(v, 0.0), 10.0);
+  EXPECT_EQ(obs::exact_percentile(v, 0.5), 30.0);
+  EXPECT_EQ(obs::exact_percentile(v, 1.0), 50.0);
+  // rank = 0.75 * 4 + 0.5 = 3.5 -> 3 -> fourth order statistic.
+  EXPECT_EQ(obs::exact_percentile(v, 0.75), 40.0);
+}
+
+TEST(ExactPercentile, ClampsOutOfRangeQ) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(obs::exact_percentile(v, -1.0), 1.0);
+  EXPECT_EQ(obs::exact_percentile(v, 2.0), 3.0);
+}
+
+TEST(QuantileSorted, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(obs::quantile_sorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_sorted(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(obs::quantile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_sorted(v, 1.0), 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  obs::Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.counts.size(), s.bounds.size() + 1);
+}
+
+TEST(Histogram, SingleSampleReportsItselfEverywhere) {
+  obs::Histogram h(obs::Histogram::Config{.bounds = {1.0, 10.0, 100.0}});
+  h.record(7.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 7.0);
+  EXPECT_EQ(h.max(), 7.0);
+  EXPECT_EQ(h.mean(), 7.0);
+  // Bucket interpolation clamps to [min, max], so a single sample is exact.
+  EXPECT_EQ(h.percentile(0.5), 7.0);
+  EXPECT_EQ(h.percentile(0.99), 7.0);
+}
+
+TEST(Histogram, OverflowBucketCatchesValuesAboveLastBound) {
+  obs::Histogram h(obs::Histogram::Config{.bounds = {1.0, 2.0}});
+  h.record(0.5);   // bucket 0: <= 1
+  h.record(1.5);   // bucket 1: <= 2
+  h.record(100.0); // overflow
+  h.record(200.0); // overflow
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 2u);
+  EXPECT_EQ(s.max, 200.0);
+  // Top percentile of an overflow-heavy histogram stays within the data.
+  EXPECT_LE(h.percentile(1.0), 200.0);
+  EXPECT_GE(h.percentile(1.0), 100.0);
+}
+
+TEST(Histogram, RetainedSamplesGiveExactNearestRankPercentiles) {
+  obs::Histogram retained(
+      obs::Histogram::Config{.bounds = {}, .retain_samples = true});
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = static_cast<double>((i * 37) % 101);
+    retained.record(v);
+    samples.push_back(v);
+  }
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(retained.percentile(q), obs::exact_percentile(samples, q))
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, BucketEstimateBracketedByObservedRange) {
+  obs::Histogram h(
+      obs::Histogram::Config{.bounds = obs::Histogram::exponential_bounds(
+                                 1.0, 2.0, 10)});
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i % 97) + 1.0);
+  for (const double q : {0.1, 0.5, 0.95, 0.99}) {
+    EXPECT_GE(h.percentile(q), h.min());
+    EXPECT_LE(h.percentile(q), h.max());
+  }
+  // The median estimate lands in the right ballpark (true median ~49).
+  EXPECT_NEAR(h.percentile(0.5), 49.0, 20.0);
+}
+
+TEST(Histogram, ExponentialBoundsAreGeometric) {
+  const auto b = obs::Histogram::exponential_bounds(1e-3, 2.0, 5);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_DOUBLE_EQ(b[0], 1e-3);
+  for (std::size_t i = 1; i < b.size(); ++i)
+    EXPECT_DOUBLE_EQ(b[i], b[i - 1] * 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsRegistry, InterningReturnsTheSameInstrument) {
+  obs::MetricsRegistry reg;
+  auto& a = reg.counter("x");
+  auto& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(reg.counter("x").value(), 7u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  obs::MetricsRegistry reg;
+  reg.counter("zebra").add(1);
+  reg.counter("apple").add(2);
+  reg.counter("mango").add(3);
+  reg.gauge("g.b").set(2.0);
+  reg.gauge("g.a").set(1.0);
+  const auto s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 3u);
+  EXPECT_EQ(s.counters[0].first, "apple");
+  EXPECT_EQ(s.counters[1].first, "mango");
+  EXPECT_EQ(s.counters[2].first, "zebra");
+  ASSERT_EQ(s.gauges.size(), 2u);
+  EXPECT_EQ(s.gauges[0].first, "g.a");
+  EXPECT_EQ(s.gauges[1].first, "g.b");
+}
+
+// Concurrent interning and recording from many threads: the final snapshot
+// must be independent of the interleaving (same names, same totals, name
+// order), and tsan must see no races on the instruments themselves.
+TEST(MetricsRegistry, DeterministicAcrossThreadInterleavings) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  obs::MetricsRegistry reg;
+  std::atomic<int> barrier{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, &barrier, t] {
+      barrier.fetch_add(1);
+      while (barrier.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        // Each thread walks the shared names in a different order.
+        const int name = (i + t * 37) % 4;
+        reg.counter("c." + std::to_string(name)).add(1);
+        reg.histogram("h.shared").record(static_cast<double>(t));
+        reg.gauge("g." + std::to_string(name)).set(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 4u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    EXPECT_EQ(s.counters[i].first, "c." + std::to_string(i));
+    total += s.counters[i].second;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].second.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ScopedTimer, RecordsOneSampleOnDestruction) {
+  obs::SharedHistogram hist{
+      obs::Histogram::Config{.bounds = {}, .retain_samples = true}};
+  {
+    obs::ScopedTimer timer(hist);
+  }
+  const auto s = hist.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GE(s.min, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+TEST(Trace, InactiveSpanIsANoOp) {
+  obs::TraceSpan span;
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), 0u);
+  EXPECT_EQ(span.seconds(), 0.0);
+  span.arg("ignored", 1.0);
+  span.end();  // must not crash
+}
+
+TEST(Trace, ImplicitParentNestsSameThreadSpans) {
+  obs::Tracer tracer;
+  {
+    auto outer = tracer.span("outer");
+    {
+      auto inner = tracer.span("inner");
+      EXPECT_EQ(tracer.size(), 0u);  // nothing recorded until spans end
+    }
+    auto sibling = tracer.span("sibling");
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Finish order: inner, sibling, outer.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "sibling");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[0].parent, spans[2].id);
+  EXPECT_EQ(spans[1].parent, spans[2].id);
+  EXPECT_EQ(spans[2].parent, 0u);
+  for (const auto& s : spans) EXPECT_GE(s.end_s, s.start_s);
+}
+
+TEST(Trace, ExplicitParentCrossesThreads) {
+  obs::Tracer tracer;
+  auto round = tracer.span("round");
+  const auto round_id = round.id();
+  std::thread worker([&tracer, round_id] {
+    auto node = tracer.span("node", round_id);
+    node.arg("node", 3.0);
+  });
+  worker.join();
+  round.end();
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "node");
+  EXPECT_EQ(spans[0].parent, round_id);
+  // The worker thread gets its own track, distinct from the main thread's.
+  EXPECT_NE(spans[0].track, spans[1].track);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].first, "node");
+  EXPECT_EQ(spans[0].args[0].second, 3.0);
+}
+
+TEST(Trace, EndIsIdempotentAndMoveTransfersOwnership) {
+  obs::Tracer tracer;
+  auto a = tracer.span("a");
+  obs::TraceSpan b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): post-move state is defined
+  EXPECT_TRUE(b.active());
+  b.end();
+  b.end();
+  a.end();
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Trace, SpanSinceBackdatesToStopwatchStart) {
+  auto clock = std::make_shared<obs::ManualClock>();
+  obs::Tracer tracer;
+  obs::Tracer::ClockScope scope(tracer, clock);
+  clock->set(10.0);
+  util::Stopwatch watch;  // lint: allow(stopwatch) — wall-time source under test
+  {
+    auto span = tracer.span_at("phase", 4.0);
+    clock->set(11.0);
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start_s, 4.0);
+  EXPECT_EQ(spans[0].end_s, 11.0);
+  // span_since uses the wall stopwatch: start = now - elapsed <= now.
+  auto since = tracer.span_since("since", watch);
+  EXPECT_TRUE(since.active());
+  since.end();
+  EXPECT_LE(tracer.snapshot()[1].start_s, tracer.snapshot()[1].end_s);
+}
+
+TEST(Trace, ClockScopeSwapsAndRestoresTheClock) {
+  obs::Tracer tracer;
+  const auto original = tracer.clock();
+  auto manual = std::make_shared<obs::ManualClock>();
+  manual->set(123.0);
+  {
+    obs::Tracer::ClockScope scope(tracer, manual);
+    EXPECT_EQ(tracer.now_s(), 123.0);
+    manual->advance(2.0);
+    EXPECT_EQ(tracer.now_s(), 125.0);
+  }
+  EXPECT_EQ(tracer.clock(), original);
+}
+
+TEST(Trace, RecordAssignsIdsInCallOrder) {
+  obs::Tracer tracer;
+  obs::SpanRecord rec;
+  rec.name = "sim.block";
+  rec.start_s = 1.0;
+  rec.end_s = 2.0;
+  const auto first = tracer.record(rec);
+  const auto second = tracer.record(rec);
+  EXPECT_EQ(second, first + 1);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].id, first);
+  EXPECT_EQ(spans[1].id, second);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+// Drive a tracer through a fixed schedule on a manual clock and export.
+// Everything is deterministic, so two runs must produce identical bytes —
+// the property the simulator's virtual-time traces rely on.
+std::pair<std::string, std::string> deterministic_export() {
+  obs::Telemetry tel;
+  auto clock = std::make_shared<obs::ManualClock>();
+  obs::Tracer::ClockScope scope(tel.tracer, clock);
+  for (int round = 0; round < 3; ++round) {
+    clock->set(round * 1.0);
+    auto span = tel.tracer.span("sim.round");
+    span.arg("round", static_cast<double>(round));
+    tel.metrics.counter("sim.platform.rounds").add(1);
+    tel.metrics.histogram("sim.update.staleness").record(round * 0.5);
+    clock->set(round * 1.0 + 0.25);
+  }
+  tel.metrics.gauge("sim.platform.end_time_s").set(clock->now_s());
+  std::ostringstream chrome;
+  obs::write_chrome_trace(chrome, tel.tracer.snapshot());
+  std::ostringstream jsonl;
+  obs::write_jsonl(jsonl, tel.tracer.snapshot(), tel.metrics.snapshot());
+  return {chrome.str(), jsonl.str()};
+}
+
+TEST(Export, DeterministicClockYieldsByteIdenticalOutput) {
+  const auto first = deterministic_export();
+  const auto second = deterministic_export();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST(Export, ChromeTraceGoldenShape) {
+  std::vector<obs::SpanRecord> spans(1);
+  spans[0].id = 1;
+  spans[0].name = "fed.round";
+  spans[0].start_s = 0.5;
+  spans[0].end_s = 1.5;
+  spans[0].track = 2;
+  spans[0].args = {{"iteration", 7.0}};
+  std::ostringstream os;
+  obs::write_chrome_trace(os, spans);
+  EXPECT_EQ(os.str(),
+            "{\"traceEvents\":[\n"
+            "{\"name\":\"fed.round\",\"cat\":\"fedml\",\"ph\":\"X\","
+            "\"pid\":0,\"tid\":2,\"ts\":500000,\"dur\":1000000,"
+            "\"args\":{\"id\":1,\"iteration\":7}}\n"
+            "],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(Export, ChromeTraceIncludesParentOnlyWhenSet) {
+  std::vector<obs::SpanRecord> spans(2);
+  spans[0].id = 1;
+  spans[0].name = "outer";
+  spans[1].id = 2;
+  spans[1].parent = 1;
+  spans[1].name = "inner";
+  std::ostringstream os;
+  obs::write_chrome_trace(os, spans);
+  const auto out = os.str();
+  EXPECT_EQ(out.find("\"parent\":1"), out.rfind("\"parent\":"));
+  EXPECT_NE(out.find("\"parent\":1"), std::string::npos);
+}
+
+TEST(Export, JsonlGoldenLines) {
+  std::vector<obs::SpanRecord> spans(1);
+  spans[0].id = 3;
+  spans[0].parent = 1;
+  spans[0].name = "serve.adapt";
+  spans[0].start_s = 0.25;
+  spans[0].end_s = 0.75;
+  spans[0].track = 1;
+  spans[0].args = {{"steps", 10.0}};
+
+  obs::MetricsRegistry reg;
+  reg.counter("serve.server.served").add(42);
+  reg.gauge("fed.round.weight_mass").set(0.5);
+  reg.histogram("serve.adapt.ms").record(2.0);
+
+  std::ostringstream os;
+  obs::write_jsonl(os, spans, reg.snapshot());
+  EXPECT_EQ(os.str(),
+            "{\"type\":\"span\",\"id\":3,\"parent\":1,\"name\":\"serve.adapt\","
+            "\"track\":1,\"start_s\":0.25,\"end_s\":0.75,"
+            "\"args\":{\"steps\":10}}\n"
+            "{\"type\":\"counter\",\"name\":\"serve.server.served\","
+            "\"value\":42}\n"
+            "{\"type\":\"gauge\",\"name\":\"fed.round.weight_mass\","
+            "\"value\":0.5}\n"
+            "{\"type\":\"histogram\",\"name\":\"serve.adapt.ms\",\"count\":1,"
+            "\"sum\":2,\"min\":2,\"max\":2,\"mean\":2,\"p50\":2,\"p95\":2,"
+            "\"p99\":2}\n");
+}
+
+TEST(Export, JsonEscapingAndNumbers) {
+  EXPECT_EQ(obs::detail::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::detail::json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(obs::detail::json_number(0.25), "0.25");
+  EXPECT_EQ(obs::detail::json_number(1e300), "1e+300");
+  EXPECT_EQ(obs::detail::json_number(
+                std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(Export, MetricsTableHasOneRowPerMetric) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").add(1);
+  reg.gauge("b").set(2.0);
+  reg.histogram("c").record(3.0);
+  const auto t = obs::metrics_table(reg.snapshot());
+  std::ostringstream os;
+  t.write_csv(os);
+  const auto csv = os.str();
+  EXPECT_NE(csv.find("metric"), std::string::npos);
+  EXPECT_NE(csv.find("counter"), std::string::npos);
+  EXPECT_NE(csv.find("gauge"), std::string::npos);
+  EXPECT_NE(csv.find("histogram"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Stopwatch laps (satellite of this layer: lap() feeds per-phase metrics).
+
+TEST(Stopwatch, LapReturnsSegmentsThatSumToTotal) {
+  util::Stopwatch watch;  // lint: allow(stopwatch) — the unit under test
+  const double lap1 = watch.lap();
+  const double lap2 = watch.lap();
+  const double total = watch.seconds();
+  EXPECT_GE(lap1, 0.0);
+  EXPECT_GE(lap2, 0.0);
+  EXPECT_GE(total, lap1 + lap2);
+}
+
+}  // namespace

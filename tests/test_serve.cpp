@@ -9,6 +9,7 @@
 
 #include "nn/checkpoint.h"
 #include "nn/params.h"
+#include "obs/histogram.h"
 #include "serve/cache.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -347,13 +348,15 @@ TEST_F(ServerTest, LatencyPercentilesAreOrdered) {
 // ---------------------------------------------------------------- stats ----
 
 TEST(Percentile, NearestRankOnKnownData) {
+  // The stats percentiles now come from the shared obs implementation; the
+  // expectations are unchanged from the old serve-local helper.
   std::vector<double> v;
   for (int i = 100; i >= 1; --i) v.push_back(i);  // unsorted on purpose
-  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
-  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 100.0);
-  EXPECT_NEAR(percentile(v, 0.50), 50.0, 1.0);
-  EXPECT_NEAR(percentile(v, 0.95), 95.0, 1.0);
-  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::exact_percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::exact_percentile(v, 1.0), 100.0);
+  EXPECT_NEAR(obs::exact_percentile(v, 0.50), 50.0, 1.0);
+  EXPECT_NEAR(obs::exact_percentile(v, 0.95), 95.0, 1.0);
+  EXPECT_DOUBLE_EQ(obs::exact_percentile(std::vector<double>{}, 0.5), 0.0);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
+#include <sstream>
 #include <vector>
 
 namespace fedml::util {
@@ -68,6 +70,54 @@ TEST(Log, DisabledMessagesAreNotFormatted) {
   FEDML_LOG(kDebug) << expensive();
   EXPECT_EQ(side_effects, 0);  // short-circuited before formatting
   EXPECT_TRUE(cap.messages.empty());
+}
+
+/// RAII capture of stderr; restores the original streambuf on destruction.
+struct CaptureStderr {
+  std::ostringstream captured;
+  std::streambuf* previous;
+
+  CaptureStderr() : previous(std::cerr.rdbuf(captured.rdbuf())) {}
+  ~CaptureStderr() { std::cerr.rdbuf(previous); }
+};
+
+TEST(Log, AfterSinkShutdownFallsBackToStderr) {
+  bool sink_called = false;
+  Log::set_sink([&](LogLevel, const std::string&) { sink_called = true; });
+  Log::set_level(LogLevel::kInfo);
+
+  std::string output;
+  {
+    CaptureStderr err;
+    detail::simulate_sink_shutdown(true);
+    FEDML_LOG(kInfo) << "message after shutdown";
+    Log::flush();
+    detail::simulate_sink_shutdown(false);
+    output = err.captured.str();
+  }
+  Log::set_sink(nullptr);
+  Log::set_level(LogLevel::kWarning);
+
+  // The dead sink must not be invoked; the message must not be dropped.
+  EXPECT_FALSE(sink_called);
+  EXPECT_NE(output.find("message after shutdown"), std::string::npos);
+  EXPECT_NE(output.find("INFO"), std::string::npos);
+}
+
+TEST(Log, SetSinkIsIgnoredAfterShutdown) {
+  bool sink_called = false;
+  detail::simulate_sink_shutdown(true);
+  Log::set_sink([&](LogLevel, const std::string&) { sink_called = true; });
+  detail::simulate_sink_shutdown(false);
+
+  Log::set_level(LogLevel::kInfo);
+  {
+    CaptureStderr err;  // swallow the fallback output
+    FEDML_LOG(kInfo) << "probe";
+  }
+  Log::set_sink(nullptr);
+  Log::set_level(LogLevel::kWarning);
+  EXPECT_FALSE(sink_called);  // the post-shutdown set_sink was a no-op
 }
 
 }  // namespace
