@@ -1,0 +1,146 @@
+// Localhost RPC micro-benchmark for the src/net/ wire path.
+//
+// An echo-style platform thread accepts one connection and answers every
+// kUpdate frame with a kModel frame carrying the decoded parameters — one
+// full uplink + downlink round trip through encode/compress/checksum/
+// send/recv/verify/decode, exactly the per-round path of the distributed
+// runtime. The client sweeps payload size × uplink codec and reports
+// p50/p95/p99 round-trip latency (obs::exact_percentile over the raw
+// sample vector), wire bytes per RPC, and effective throughput.
+//
+// `--smoke` shrinks the sweep for CI; `--csv=<path>` dumps the table.
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/frame.h"
+#include "net/message_conn.h"
+#include "net/socket.h"
+#include "obs/histogram.h"
+#include "tensor/tensor.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace fedml;
+
+constexpr double kIoTimeout = 10.0;
+
+/// One weight matrix of `elems` doubles (rows × 100), deterministic values.
+nn::ParamList make_params(std::size_t elems, std::uint64_t seed) {
+  const std::size_t cols = 100;
+  const std::size_t rows = (elems + cols - 1) / cols;
+  tensor::Tensor t(rows, cols);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) t(i, j) = rng.uniform(-1.0, 1.0);
+  nn::ParamList p;
+  p.emplace_back(std::move(t), true);
+  return p;
+}
+
+/// Echo loop: every update is decoded and answered with a model frame of
+/// the decoded parameters; any close/shutdown ends the loop.
+void serve_echo(net::Socket sock) {
+  net::MessageConn conn(std::move(sock));
+  std::uint64_t round = 0;
+  for (;;) {
+    net::Frame frame;
+    try {
+      frame = conn.recv(kIoTimeout);
+    } catch (const util::Error&) {
+      return;  // client hung up: sweep point done
+    }
+    if (frame.type != net::MessageType::kUpdate) continue;
+    const net::UpdateBody update = net::decode_update(frame);
+    conn.send(net::encode_model(net::MessageType::kModel,
+                                {++round, update.params}),
+              kIoTimeout);
+  }
+}
+
+struct SweepPoint {
+  std::size_t elems = 0;
+  net::WireCodec codec = net::WireCodec::kNone;
+  const char* codec_name = "none";
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool smoke = cli.get_flag("smoke");
+  const auto csv = cli.get_string("csv", "");
+  const auto iters =
+      static_cast<std::size_t>(cli.get_int("iters", smoke ? 40 : 300));
+  const auto warmup =
+      static_cast<std::size_t>(cli.get_int("warmup", smoke ? 5 : 20));
+  const double topk_fraction = cli.get_double("topk", 0.1);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+  cli.finish();
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{1'000, 10'000}
+            : std::vector<std::size_t>{1'000, 10'000, 100'000};
+  std::vector<SweepPoint> sweep;
+  for (const auto elems : sizes)
+    for (const auto& [codec, name] :
+         {std::pair{net::WireCodec::kNone, "none"},
+          std::pair{net::WireCodec::kInt8, "int8"},
+          std::pair{net::WireCodec::kTopK, "topk"}})
+      sweep.push_back({elems, codec, name});
+
+  util::Table t({"elems", "codec", "up bytes", "down bytes", "p50 ms",
+                 "p95 ms", "p99 ms", "rpc/s", "MB/s"});
+
+  for (const auto& point : sweep) {
+    const nn::ParamList params = make_params(point.elems, seed);
+    net::Listener listener(0);
+    net::Socket client_sock =
+        net::Socket::connect_to("127.0.0.1", listener.port(), 5.0);
+    std::thread server(serve_echo, listener.accept(5.0));
+
+    net::MessageConn conn(std::move(client_sock));
+    const net::Frame update = net::encode_update(
+        {/*node_id=*/0, /*base_round=*/0, /*iterations_done=*/0, params,
+         /*wire_bytes=*/0},
+        point.codec, topk_fraction);
+    const double up_bytes =
+        static_cast<double>(net::kHeaderBytes + update.payload.size());
+    double down_bytes = 0.0;
+
+    std::vector<double> latency_ms;
+    latency_ms.reserve(iters);
+    double busy_s = 0.0;
+    for (std::size_t i = 0; i < warmup + iters; ++i) {
+      util::Stopwatch rpc;
+      conn.send(update, kIoTimeout);
+      const net::Frame reply = conn.recv(kIoTimeout);
+      const double s = rpc.seconds();
+      const net::ModelBody model = net::decode_model(reply);
+      FEDML_CHECK(!model.params.empty(), "echo reply lost the parameters");
+      if (i < warmup) continue;
+      latency_ms.push_back(s * 1e3);
+      busy_s += s;
+      down_bytes = static_cast<double>(net::kHeaderBytes +
+                                       reply.payload.size());
+    }
+    conn.shutdown();
+    server.join();
+
+    const double n = static_cast<double>(iters);
+    t.add_row({static_cast<std::int64_t>(point.elems),
+               std::string(point.codec_name), up_bytes, down_bytes,
+               obs::exact_percentile(latency_ms, 0.50),
+               obs::exact_percentile(latency_ms, 0.95),
+               obs::exact_percentile(latency_ms, 0.99), n / busy_s,
+               (up_bytes + down_bytes) * n / busy_s / 1e6});
+  }
+
+  bench::emit(t, "net round-trip — payload × uplink codec sweep", csv);
+  return 0;
+}

@@ -1,0 +1,317 @@
+// Demo: federated meta-learning as REAL processes over localhost TCP.
+//
+// The same binary plays every part:
+//   --role platform            host the aggregation server (src/net/)
+//   --role node --node i       run edge node i against --port
+//   --self-test                fork 1 platform + N node processes, run the
+//                              identical schedule in-process on fed::Platform,
+//                              and verify both final model quality and the
+//                              byte-for-byte communication ledger agree.
+//
+// Every process rebuilds the same federation from --seed, so nodes need no
+// shared filesystem — only the socket. With quorum = whole fleet the
+// distributed run is lockstep and lands on the synchronous platform's
+// numbers; see DESIGN.md "Networking".
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/meta.h"
+#include "data/synthetic.h"
+#include "fed/node.h"
+#include "net/node_client.h"
+#include "net/platform_server.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/params.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fedml;
+
+struct Options {
+  std::size_t nodes = 4;
+  std::size_t rounds = 4;
+  std::size_t local_steps = 5;
+  std::uint64_t seed = 7;
+  double alpha = 0.01;
+  double beta = 0.01;
+  std::uint16_t port = 0;
+  std::size_t node_index = 0;
+  net::WireCodec codec = net::WireCodec::kNone;
+};
+
+/// Everything a process derives from the seed alone — identical in the
+/// platform, every node process, and the in-process reference.
+struct Experiment {
+  std::shared_ptr<nn::Module> model;
+  std::vector<fed::EdgeNode> nodes;
+  nn::ParamList theta0;
+};
+
+Experiment build_experiment(const Options& opt) {
+  data::SyntheticConfig dcfg;
+  dcfg.alpha = 0.5;
+  dcfg.beta = 0.5;
+  dcfg.num_nodes = opt.nodes;
+  dcfg.input_dim = 20;
+  dcfg.num_classes = 5;
+  dcfg.seed = opt.seed;
+  const auto fd = data::make_synthetic(dcfg);
+
+  Experiment exp;
+  exp.model = nn::make_softmax_regression(dcfg.input_dim, dcfg.num_classes);
+  std::vector<std::size_t> ids(fd.num_nodes());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  util::Rng rng(opt.seed);
+  exp.nodes = fed::make_edge_nodes(fd, ids, /*k=*/5, rng);
+  util::Rng init(opt.seed ^ 0xabcdef);
+  exp.theta0 = exp.model->init_params(init);
+  FEDML_CHECK(exp.nodes.size() == opt.nodes,
+              "federation lost nodes to the K-shot minimum; raise min_samples");
+  return exp;
+}
+
+/// The local meta-update — the SAME math `core::train_fedml` runs, so the
+/// distributed and in-process schedules are step-for-step identical.
+net::NodeClient::LocalStep make_local_step(const Experiment& exp,
+                                           const Options& opt) {
+  auto opt_state = std::make_shared<std::unique_ptr<nn::Optimizer>>(
+      nn::make_optimizer(nn::OptimizerKind::kSgd, opt.beta));
+  const nn::Module* model = exp.model.get();
+  const double alpha = opt.alpha;
+  return [opt_state, model, alpha](fed::EdgeNode& node, std::size_t) {
+    node.resample_support();
+    const nn::ParamList g =
+        core::meta_gradient(*model, node.params, node.data.train,
+                            node.data.test, alpha);
+    node.params = (*opt_state)->step(node.params, g);
+  };
+}
+
+int run_platform(const Experiment& exp, const Options& opt, bool quiet) {
+  net::PlatformServer::Config cfg;
+  cfg.port = opt.port;
+  cfg.expected_nodes = exp.nodes.size();
+  cfg.rounds = opt.rounds;
+  cfg.quorum = 0;  // whole fleet: lockstep rounds
+  cfg.join_timeout_s = 60.0;
+  net::PlatformServer server(cfg);
+  if (!quiet)
+    std::cerr << "[platform] listening on 127.0.0.1:" << server.port()
+              << " for " << exp.nodes.size() << " nodes\n";
+  server.set_global(exp.theta0);
+  const net::PlatformServer::Totals totals = server.run();
+  const double loss = core::global_meta_loss(*exp.model,
+                                             server.global_params(),
+                                             exp.nodes, opt.alpha);
+  if (!quiet) {
+    util::Table t({"metric", "value"});
+    t.add_row({std::string("rounds"),
+               static_cast<std::int64_t>(totals.comm.aggregations)});
+    t.add_row({std::string("nodes_joined"),
+               static_cast<std::int64_t>(totals.nodes_joined)});
+    t.add_row({std::string("nodes_shed"),
+               static_cast<std::int64_t>(totals.nodes_shed)});
+    t.add_row({std::string("bytes_up"), totals.comm.bytes_up});
+    t.add_row({std::string("bytes_down"), totals.comm.bytes_down});
+    t.add_row({std::string("mean_staleness"), totals.mean_staleness()});
+    t.add_row({std::string("global_meta_loss"), loss});
+    t.print(std::cout, "distributed platform");
+  }
+  return 0;
+}
+
+int run_node(Experiment& exp, const Options& opt) {
+  FEDML_CHECK(opt.node_index < exp.nodes.size(), "--node out of range");
+  FEDML_CHECK(opt.port != 0, "--port is required for --role node");
+  net::NodeClient::Config cfg;
+  cfg.port = opt.port;
+  cfg.local_steps = opt.local_steps;
+  cfg.max_rounds = opt.rounds;
+  cfg.codec = opt.codec;
+  net::NodeClient client(cfg);
+  fed::EdgeNode& node = exp.nodes[opt.node_index];
+  const auto totals = client.run(node, make_local_step(exp, opt));
+  const bool complete = totals.final_round == opt.rounds;
+  std::cout << "[node " << opt.node_index << "] rounds "
+            << totals.final_round << "/" << opt.rounds << ", iterations "
+            << totals.iterations << ", up " << totals.comm.bytes_up
+            << " B, down " << totals.comm.bytes_down << " B, reconnects "
+            << totals.reconnects << (complete ? "" : "  (INCOMPLETE)")
+            << "\n";
+  return complete ? 0 : 1;
+}
+
+/// Fork one process per node, run the platform in this process, and check
+/// the distributed run against the in-process synchronous reference.
+int run_self_test(const Options& opt) {
+  const Experiment exp = build_experiment(opt);
+
+  // In-process reference: fed::Platform on a COPY of the fleet (the
+  // originals keep their virgin RNG streams for the forked children).
+  core::FedMLConfig base;
+  base.alpha = opt.alpha;
+  base.beta = opt.beta;
+  base.total_iterations = opt.rounds * opt.local_steps;
+  base.local_steps = opt.local_steps;
+  base.threads = 1;  // joined before fork(): children must be single-threaded
+  base.track_loss = false;
+  const core::TrainResult sync =
+      core::train_fedml(*exp.model, exp.nodes, exp.theta0, base);
+  const double sync_loss =
+      core::global_meta_loss(*exp.model, sync.theta, exp.nodes, opt.alpha);
+
+  // Platform socket first (so children know the port), children second —
+  // the server starts no thread until run(), keeping the fork clean.
+  net::PlatformServer::Config scfg;
+  scfg.expected_nodes = exp.nodes.size();
+  scfg.rounds = opt.rounds;
+  scfg.quorum = 0;  // lockstep
+  scfg.join_timeout_s = 60.0;
+  net::PlatformServer server(scfg);
+
+  std::vector<pid_t> children;
+  children.reserve(exp.nodes.size());
+  for (std::size_t i = 0; i < exp.nodes.size(); ++i) {
+    const pid_t pid = ::fork();
+    FEDML_CHECK(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Child: node i over TCP, then _exit (no parent-state destructors).
+      int status = 1;
+      try {
+        Options copt = opt;
+        copt.port = server.port();
+        copt.node_index = i;
+        Experiment cexp = build_experiment(copt);
+        status = run_node(cexp, copt);
+      } catch (const std::exception& e) {
+        std::cerr << "[node " << i << "] failed: " << e.what() << "\n";
+      }
+      ::_exit(status);
+    }
+    children.push_back(pid);
+  }
+
+  server.set_global(exp.theta0);
+  const net::PlatformServer::Totals totals = server.run();
+
+  // Reap with a hard deadline; a wedged child is killed, not waited on.
+  bool children_ok = true;
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(30);
+  for (pid_t pid : children) {
+    while (true) {
+      int status = 0;
+      const pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid) {
+        children_ok &= WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        break;
+      }
+      if (std::chrono::steady_clock::now() > give_up) {
+        ::kill(pid, SIGKILL);
+        (void)::waitpid(pid, &status, 0);
+        children_ok = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  const nn::ParamList net_theta = server.global_params();
+  const double net_loss =
+      core::global_meta_loss(*exp.model, net_theta, exp.nodes, opt.alpha);
+  const double param_gap = nn::param_distance(net_theta, sync.theta);
+
+  util::Table t({"metric", "sync (in-process)", "distributed (TCP)"});
+  t.add_row({std::string("aggregations"),
+             static_cast<std::int64_t>(sync.comm.aggregations),
+             static_cast<std::int64_t>(totals.comm.aggregations)});
+  t.add_row({std::string("bytes_up"), sync.comm.bytes_up,
+             totals.comm.bytes_up});
+  t.add_row({std::string("bytes_down"), sync.comm.bytes_down,
+             totals.comm.bytes_down});
+  t.add_row({std::string("global_meta_loss"), sync_loss, net_loss});
+  t.print(std::cout, "self-test: " + std::to_string(exp.nodes.size()) +
+                         " node processes, " + std::to_string(opt.rounds) +
+                         " lockstep rounds");
+  std::cout << "final-model distance ||theta_net - theta_sync|| = "
+            << param_gap << "\n";
+
+  const bool ledger_ok =
+      totals.comm.aggregations == sync.comm.aggregations &&
+      totals.comm.bytes_up == sync.comm.bytes_up &&
+      totals.comm.bytes_down == sync.comm.bytes_down;
+  const bool model_ok =
+      param_gap < 1e-6 && std::abs(net_loss - sync_loss) < 1e-6;
+  const bool fleet_ok = totals.nodes_joined == exp.nodes.size() &&
+                        totals.nodes_shed == 0;
+
+  if (!children_ok) std::cerr << "FAIL: a node process exited abnormally\n";
+  if (!ledger_ok) std::cerr << "FAIL: communication ledger diverged\n";
+  if (!model_ok) std::cerr << "FAIL: final models diverged\n";
+  if (!fleet_ok) std::cerr << "FAIL: fleet incomplete or shed\n";
+  const bool ok = children_ok && ledger_ok && model_ok && fleet_ok;
+  std::cout << (ok ? "SELF-TEST PASS" : "SELF-TEST FAIL") << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  Options opt;
+  const std::string role = cli.get_string("role", "");
+  const bool self_test = cli.get_flag("self-test");
+  opt.nodes = static_cast<std::size_t>(cli.get_int("nodes", 4));
+  opt.rounds = static_cast<std::size_t>(cli.get_int("rounds", 4));
+  opt.local_steps = static_cast<std::size_t>(cli.get_int("local-steps", 5));
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  opt.alpha = cli.get_double("alpha", 0.01);
+  opt.beta = cli.get_double("beta", 0.01);
+  opt.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  opt.node_index = static_cast<std::size_t>(cli.get_int("node", 0));
+  const std::string codec = cli.get_string("codec", "none");
+  cli.finish();
+
+  if (codec == "int8") {
+    opt.codec = net::WireCodec::kInt8;
+  } else if (codec == "topk") {
+    opt.codec = net::WireCodec::kTopK;
+  } else {
+    FEDML_CHECK(codec == "none", "--codec must be none|int8|topk");
+  }
+
+  try {
+    if (self_test) return run_self_test(opt);
+    if (role == "platform") {
+      const Experiment exp = build_experiment(opt);
+      return run_platform(exp, opt, /*quiet=*/false);
+    }
+    if (role == "node") {
+      Experiment exp = build_experiment(opt);
+      return run_node(exp, opt);
+    }
+    std::cerr << "usage: distributed_fedml --self-test | --role "
+                 "platform|node [--port P] [--node I]\n"
+                 "       shared: --nodes N --rounds R --local-steps T0 "
+                 "--seed S --codec none|int8|topk\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "distributed_fedml: " << e.what() << "\n";
+    return 1;
+  }
+}

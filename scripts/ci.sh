@@ -36,6 +36,19 @@ smoke_dir="build-release"
 "$smoke_dir/bench/serve_throughput" --smoke
 "$smoke_dir/examples/edge_serving" --nodes=16 --iterations=10 --requests=40
 
+# Distributed smoke: real multi-process FedML over TCP. The self-test forks
+# one platform + N node processes, then asserts the distributed run matches
+# the in-process reference (exact comm ledger, same final model/loss). A
+# hard timeout guards CI against a hung socket — a wedged fleet must fail
+# the build, not stall it.
+echo "==> distributed"
+if command -v timeout >/dev/null 2>&1; then
+  timeout 180 "$smoke_dir/examples/distributed_fedml" --self-test
+else
+  "$smoke_dir/examples/distributed_fedml" --self-test
+fi
+"$smoke_dir/bench/net_roundtrip" --smoke >/dev/null
+
 # Telemetry smoke: a short event-driven run must export a JSONL telemetry
 # stream that passes schema/monotonicity/liveness validation.
 echo "==> telemetry"

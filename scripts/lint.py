@@ -19,6 +19,12 @@ Enforced rules (library code under src/ unless noted):
                 and tests may print freely.
   naked-new     No naked `new`/`delete` — use std::make_unique /
                 std::make_shared / containers.
+  raw-socket    No raw POSIX socket syscalls (::socket/::connect/::recv/
+                ::close & friends) or socket headers (<sys/socket.h>,
+                <netinet/*>, <arpa/inet.h>, <poll.h>, <netdb.h>) outside
+                src/net/. The net layer owns fd lifetime (RAII), partial
+                I/O, deadlines and EINTR handling; a stray raw call
+                bypasses all of it and leaks on the error path.
   stopwatch     No direct util::Stopwatch use in library code — time with
                 obs::TraceSpan / obs::ScopedTimer so the interval also
                 reaches the telemetry layer (obs::Tracer::span_since adapts
@@ -51,6 +57,8 @@ RAW_MUTEX_ALLOWED = {"src/util/mutex.h", "src/util/mutex.cpp"}
 CERR_ALLOWED = {"src/util/log.cpp"}
 # Stopwatch lives in util/ and is wrapped by the obs timing primitives.
 STOPWATCH_ALLOWED_PREFIXES = ("src/util/", "src/obs/")
+# The one place raw socket syscalls may appear: the RAII socket layer.
+RAW_SOCKET_ALLOWED_PREFIX = "src/net/"
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -71,6 +79,15 @@ RULES = {
     "naked-new": re.compile(r"(?:^|[^\w.:])(?:new\b|delete\b(?!\s*;))"),
     "stopwatch": re.compile(
         r"\butil::Stopwatch\b|#\s*include\s*\"util/stopwatch\.h\""
+    ),
+    # Global-scope syscall spelling (::recv) distinguishes the raw POSIX call
+    # from same-named methods (conn->recv). The headers are banned outright.
+    "raw-socket": re.compile(
+        r"(?:^|[^\w:])::(?:socket|connect|accept4?|bind|listen|send(?:to|msg)?|"
+        r"recv(?:from|msg)?|shutdown|setsockopt|getsockopt|getsockname|"
+        r"getpeername|poll|select|close)\s*\("
+        r"|#\s*include\s*<(?:sys/socket\.h|sys/select\.h|netinet/[\w./]+|"
+        r"arpa/inet\.h|poll\.h|netdb\.h)>"
     ),
 }
 
@@ -191,6 +208,15 @@ def check_file(path: pathlib.Path, violations: list[str]) -> None:
                 "naked-new",
                 "naked new/delete — use std::make_unique/std::make_shared "
                 "or a container",
+            )
+        if RULES["raw-socket"].search(code) and not rel.startswith(
+            RAW_SOCKET_ALLOWED_PREFIX
+        ):
+            report(
+                "raw-socket",
+                "raw socket syscall/header outside src/net/ — use "
+                "net::Socket / net::Listener / net::MessageConn, which own "
+                "fd lifetime, deadlines and partial I/O",
             )
         if RULES["stopwatch"].search(code) and not rel.startswith(
             STOPWATCH_ALLOWED_PREFIXES

@@ -1,0 +1,212 @@
+#include "net/frame.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace fedml::net {
+
+namespace {
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(MessageType::kHello) &&
+         t <= static_cast<std::uint8_t>(MessageType::kShutdown);
+}
+
+bool known_codec(std::uint8_t c) {
+  return c <= static_cast<std::uint8_t>(WireCodec::kTopK);
+}
+
+Frame make_frame(MessageType type, util::ByteWriter&& payload,
+                 WireCodec codec = WireCodec::kNone) {
+  return Frame{type, codec, payload.bytes()};
+}
+
+}  // namespace
+
+void encode_frame(const Frame& frame, util::ByteWriter& w) {
+  w.write_u32(kMagic);
+  w.write_u32(kProtocolVersion);
+  w.write_u8(static_cast<std::uint8_t>(frame.type));
+  w.write_u8(static_cast<std::uint8_t>(frame.codec));
+  w.write_u8(0);  // reserved
+  w.write_u8(0);  // reserved
+  w.write_u64(util::fnv1a(frame.payload.data(), frame.payload.size()));
+  w.write_u64(frame.payload.size());
+  w.write_bytes(frame.payload.data(), frame.payload.size());
+}
+
+FrameHeader decode_frame_header(const std::uint8_t* data) {
+  const std::vector<std::uint8_t> header(data, data + kHeaderBytes);
+  util::ByteReader r(header);
+  FEDML_CHECK(r.read_u32() == kMagic, "bad frame magic (not a FedML peer?)");
+  const auto version = r.read_u32();
+  FEDML_CHECK(version == kProtocolVersion,
+              "unsupported protocol version " + std::to_string(version));
+  const auto type = r.read_u8();
+  FEDML_CHECK(known_type(type),
+              "unknown message type " + std::to_string(type));
+  const auto codec = r.read_u8();
+  FEDML_CHECK(known_codec(codec), "unknown codec " + std::to_string(codec));
+  r.read_u8();  // reserved
+  r.read_u8();  // reserved
+  FrameHeader h;
+  h.type = static_cast<MessageType>(type);
+  h.codec = static_cast<WireCodec>(codec);
+  h.checksum = r.read_u64();
+  h.payload_size = r.read_u64();
+  FEDML_CHECK(h.payload_size <= kMaxPayloadBytes,
+              "frame payload size exceeds limit");
+  return h;
+}
+
+void verify_payload(const FrameHeader& header,
+                    const std::vector<std::uint8_t>& payload) {
+  FEDML_CHECK(payload.size() == header.payload_size,
+              "frame payload size mismatch");
+  FEDML_CHECK(util::fnv1a(payload.data(), payload.size()) == header.checksum,
+              "frame checksum mismatch (payload corrupted in transit)");
+}
+
+Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
+  FEDML_CHECK(bytes.size() >= kHeaderBytes, "truncated frame header");
+  const FrameHeader header = decode_frame_header(bytes.data());
+  FEDML_CHECK(bytes.size() == kHeaderBytes + header.payload_size,
+              "frame length does not match header payload size");
+  std::vector<std::uint8_t> payload(bytes.begin() + kHeaderBytes,
+                                    bytes.end());
+  verify_payload(header, payload);
+  return Frame{header.type, header.codec, std::move(payload)};
+}
+
+Frame encode_hello(const HelloBody& body) {
+  util::ByteWriter w;
+  w.write_u64(body.node_id);
+  w.write_f64(body.weight);
+  return make_frame(MessageType::kHello, std::move(w));
+}
+
+HelloBody decode_hello(const Frame& frame) {
+  FEDML_CHECK(frame.type == MessageType::kHello, "expected a Hello frame");
+  util::ByteReader r(frame.payload);
+  HelloBody body;
+  body.node_id = r.read_u64();
+  body.weight = r.read_f64();
+  FEDML_CHECK(r.exhausted(), "trailing bytes in Hello payload");
+  return body;
+}
+
+Frame encode_model(MessageType type, const ModelBody& body) {
+  FEDML_CHECK(type == MessageType::kWelcome || type == MessageType::kModel,
+              "model body travels in Welcome/Model frames only");
+  util::ByteWriter w;
+  w.write_u64(body.round);
+  nn::serialize(body.params, w);
+  return make_frame(type, std::move(w));
+}
+
+ModelBody decode_model(const Frame& frame) {
+  FEDML_CHECK(
+      frame.type == MessageType::kWelcome || frame.type == MessageType::kModel,
+      "expected a Welcome/Model frame");
+  util::ByteReader r(frame.payload);
+  ModelBody body;
+  body.round = r.read_u64();
+  body.params = nn::deserialize(r);
+  FEDML_CHECK(r.exhausted(), "trailing bytes in model payload");
+  return body;
+}
+
+Frame encode_update(const UpdateBody& body, WireCodec codec,
+                    double topk_fraction) {
+  util::ByteWriter w;
+  w.write_u64(body.node_id);
+  w.write_u64(body.base_round);
+  w.write_u64(body.iterations_done);
+  switch (codec) {
+    case WireCodec::kNone: {
+      util::ByteWriter params;
+      nn::serialize(body.params, params);
+      w.write_u64(params.size());
+      w.write_bytes(params.bytes().data(), params.size());
+      break;
+    }
+    case WireCodec::kInt8: {
+      const fed::CompressedBlob blob = fed::quantize_int8(body.params);
+      w.write_u64(blob.size());
+      w.write_bytes(blob.bytes.data(), blob.size());
+      break;
+    }
+    case WireCodec::kTopK: {
+      const fed::CompressedBlob blob =
+          fed::sparsify_topk(body.params, topk_fraction);
+      w.write_u64(blob.size());
+      w.write_bytes(blob.bytes.data(), blob.size());
+      break;
+    }
+  }
+  return make_frame(MessageType::kUpdate, std::move(w), codec);
+}
+
+UpdateBody decode_update(const Frame& frame) {
+  FEDML_CHECK(frame.type == MessageType::kUpdate, "expected an Update frame");
+  util::ByteReader r(frame.payload);
+  UpdateBody body;
+  body.node_id = r.read_u64();
+  body.base_round = r.read_u64();
+  body.iterations_done = r.read_u64();
+  const auto blob_size = r.read_u64();
+  body.wire_bytes = blob_size;
+  const std::vector<std::uint8_t> blob = r.read_bytes(blob_size);
+  FEDML_CHECK(r.exhausted(), "trailing bytes in Update payload");
+  switch (frame.codec) {
+    case WireCodec::kNone: {
+      util::ByteReader pr(blob);
+      body.params = nn::deserialize(pr);
+      FEDML_CHECK(pr.exhausted(), "trailing bytes in parameter blob");
+      break;
+    }
+    case WireCodec::kInt8:
+      body.params = fed::dequantize_int8({blob});
+      break;
+    case WireCodec::kTopK:
+      body.params = fed::desparsify_topk({blob});
+      break;
+  }
+  return body;
+}
+
+Frame encode_shutdown(const ShutdownBody& body) {
+  util::ByteWriter w;
+  w.write_u64(body.rounds_completed);
+  return make_frame(MessageType::kShutdown, std::move(w));
+}
+
+ShutdownBody decode_shutdown(const Frame& frame) {
+  FEDML_CHECK(frame.type == MessageType::kShutdown,
+              "expected a Shutdown frame");
+  util::ByteReader r(frame.payload);
+  ShutdownBody body;
+  body.rounds_completed = r.read_u64();
+  FEDML_CHECK(r.exhausted(), "trailing bytes in Shutdown payload");
+  return body;
+}
+
+std::size_t accounting_payload_bytes(const Frame& frame) {
+  switch (frame.type) {
+    case MessageType::kUpdate: {
+      // Envelope: node_id(8) + base_round(8) + iterations(8) + blob len(8).
+      constexpr std::size_t kEnvelope = 32;
+      if (frame.payload.size() < kEnvelope) return 0;  // malformed; decode throws
+      return frame.payload.size() - kEnvelope;
+    }
+    case MessageType::kWelcome:
+    case MessageType::kModel:
+      // Envelope: round(8).
+      return frame.payload.size() >= 8 ? frame.payload.size() - 8 : 0;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fedml::net

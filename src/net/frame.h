@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fed/compression.h"
+#include "nn/params.h"
+#include "util/serialize.h"
+
+namespace fedml::net {
+
+/// Wire protocol version. Bump on any incompatible header or payload-schema
+/// change; peers reject frames from a different major version outright
+/// (a federation is deployed as one artifact, so no negotiation).
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frame magic, "FDML" big-endianly mnemonic. First field on the wire: a
+/// peer that is not speaking this protocol fails fast with a clear error
+/// instead of a checksum mismatch 256 MiB later.
+inline constexpr std::uint32_t kMagic = 0x46444D4C;
+
+/// Fixed frame header size: magic(4) + version(4) + type(1) + codec(1) +
+/// reserved(2) + fnv1a checksum(8) + payload size(8).
+inline constexpr std::size_t kHeaderBytes = 28;
+
+/// Upper bound a receiver imposes on payload_size before allocating. Far
+/// above any real model here (fig-scale models are ~50 KB) but small enough
+/// that a corrupt/hostile length prefix cannot OOM the process.
+inline constexpr std::uint64_t kMaxPayloadBytes = 256ull << 20;
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,     ///< node → platform: node id + aggregation weight
+  kWelcome = 2,   ///< platform → node: current round + global model
+  kUpdate = 3,    ///< node → platform: locally meta-updated parameters
+  kModel = 4,     ///< platform → node: post-aggregation broadcast
+  kShutdown = 5,  ///< platform → node: training complete, disconnect
+};
+
+/// Uplink payload encoding, mirrored from `fed::compression`: the codec
+/// byte travels in the frame header so the platform can decode whatever
+/// each node chose without out-of-band configuration.
+enum class WireCodec : std::uint8_t {
+  kNone = 0,  ///< full-precision nn::serialize
+  kInt8 = 1,  ///< fed::quantize_int8
+  kTopK = 2,  ///< fed::sparsify_topk
+};
+
+/// One decoded frame: type, codec, verified payload.
+struct Frame {
+  MessageType type = MessageType::kHello;
+  WireCodec codec = WireCodec::kNone;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Append `frame` (header + payload) to `w` in wire order.
+void encode_frame(const Frame& frame, util::ByteWriter& w);
+
+/// Parsed + validated fixed header; payload follows on the wire.
+struct FrameHeader {
+  MessageType type = MessageType::kHello;
+  WireCodec codec = WireCodec::kNone;
+  std::uint64_t checksum = 0;
+  std::uint64_t payload_size = 0;
+};
+
+/// Decode and validate exactly `kHeaderBytes` of header. Throws util::Error
+/// on bad magic, unknown version/type/codec, or payload_size above
+/// `kMaxPayloadBytes`.
+FrameHeader decode_frame_header(const std::uint8_t* data);
+
+/// Verify the payload against the header checksum (throws on mismatch —
+/// the corruption-rejection path the tests exercise byte by byte).
+void verify_payload(const FrameHeader& header,
+                    const std::vector<std::uint8_t>& payload);
+
+/// Whole-buffer decode (header + payload + trailing-garbage check); the
+/// unit-test entry point. The streaming path in MessageConn uses
+/// decode_frame_header/verify_payload directly.
+Frame decode_frame(const std::vector<std::uint8_t>& bytes);
+
+// ---------------------------------------------------------------------------
+// Message payload schemas (all little-endian via util::ByteWriter/Reader).
+
+/// kHello payload.
+struct HelloBody {
+  std::uint64_t node_id = 0;
+  double weight = 0.0;  ///< aggregation weight ω_i (|D_i| / Σ|D_j|)
+};
+
+/// kWelcome / kModel payload: the platform's model at `round`.
+struct ModelBody {
+  std::uint64_t round = 0;
+  nn::ParamList params;
+};
+
+/// kUpdate payload: parameters after a T0 block, plus the round of the
+/// model the block started from (the platform's staleness input).
+struct UpdateBody {
+  std::uint64_t node_id = 0;
+  std::uint64_t base_round = 0;
+  std::uint64_t iterations_done = 0;
+  nn::ParamList params;        ///< decoded values (post-codec)
+  std::size_t wire_bytes = 0;  ///< encoded parameter-blob size (accounting)
+};
+
+/// kShutdown payload.
+struct ShutdownBody {
+  std::uint64_t rounds_completed = 0;
+};
+
+Frame encode_hello(const HelloBody& body);
+HelloBody decode_hello(const Frame& frame);
+
+Frame encode_model(MessageType type, const ModelBody& body);
+ModelBody decode_model(const Frame& frame);
+
+/// Encode an update, compressing the parameter blob per `codec`
+/// (`topk_fraction` only applies to kTopK).
+Frame encode_update(const UpdateBody& body, WireCodec codec,
+                    double topk_fraction);
+UpdateBody decode_update(const Frame& frame);
+
+Frame encode_shutdown(const ShutdownBody& body);
+ShutdownBody decode_shutdown(const Frame& frame);
+
+/// Bytes of `frame` the simulators would charge to CommTotals: the
+/// parameter blob for kUpdate (post-codec, exactly `fed::Platform`'s
+/// uplink charge), the serialized model for kWelcome/kModel (the downlink
+/// charge), zero for control frames. Envelope fields (node id, rounds,
+/// blob length) ride for free, matching the sim's payload-only ledger.
+std::size_t accounting_payload_bytes(const Frame& frame);
+
+}  // namespace fedml::net

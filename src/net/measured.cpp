@@ -1,0 +1,75 @@
+#include "net/measured.h"
+
+namespace fedml::net {
+
+MeasuredTransport::MeasuredTransport(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) return;
+  auto& m = telemetry->metrics;
+  bytes_up_ = &m.counter("net.bytes_up");
+  bytes_down_ = &m.counter("net.bytes_down");
+  wire_bytes_ = &m.counter("net.wire_bytes");
+  frames_sent_or_recv_ = &m.counter("net.frames");
+  retries_ = &m.counter("net.retries");
+  timeouts_ = &m.counter("net.timeouts");
+  sheds_ = &m.counter("net.nodes_shed");
+  rounds_ = &m.counter("net.rounds");
+  rpc_ms_ = &m.histogram("net.rpc_ms", {.bounds = obs::Histogram::
+                                            exponential_bounds(0.1, 2.0, 16),
+                                        .retain_samples = false});
+}
+
+void MeasuredTransport::record_frame(MessageType type,
+                                     std::size_t payload_bytes,
+                                     std::size_t wire_bytes) {
+  if (wire_bytes_ != nullptr) {
+    wire_bytes_->add(wire_bytes);
+    frames_sent_or_recv_->add();
+  }
+  // Only the traffic the simulators charge reaches CommTotals: uplink =
+  // update blobs, downlink = post-aggregation model broadcasts.
+  if (type == MessageType::kUpdate) {
+    if (bytes_up_ != nullptr) bytes_up_->add(payload_bytes);
+    util::LockGuard lock(mutex_);
+    totals_.bytes_up += static_cast<double>(payload_bytes);
+  } else if (type == MessageType::kModel) {
+    if (bytes_down_ != nullptr) bytes_down_->add(payload_bytes);
+    util::LockGuard lock(mutex_);
+    totals_.bytes_down += static_cast<double>(payload_bytes);
+  }
+}
+
+void MeasuredTransport::record_rpc_seconds(double seconds) {
+  if (rpc_ms_ != nullptr) rpc_ms_->record(seconds * 1e3);
+}
+
+void MeasuredTransport::record_retry() {
+  if (retries_ != nullptr) retries_->add();
+}
+
+void MeasuredTransport::record_timeout() {
+  if (timeouts_ != nullptr) timeouts_->add();
+}
+
+void MeasuredTransport::record_shed() {
+  if (sheds_ != nullptr) sheds_->add();
+  util::LockGuard lock(mutex_);
+  totals_.uploads_dropped += 1;
+}
+
+void MeasuredTransport::record_aggregation() {
+  if (rounds_ != nullptr) rounds_->add();
+  util::LockGuard lock(mutex_);
+  totals_.aggregations += 1;
+}
+
+void MeasuredTransport::set_wall_seconds(double seconds) {
+  util::LockGuard lock(mutex_);
+  totals_.sim_seconds = seconds;
+}
+
+fed::CommTotals MeasuredTransport::totals() const {
+  util::LockGuard lock(mutex_);
+  return totals_;
+}
+
+}  // namespace fedml::net

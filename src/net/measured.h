@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fed/comm.h"
+#include "net/frame.h"
+#include "obs/telemetry.h"
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+
+namespace fedml::net {
+
+/// Observed-communication recorder: the real-network counterpart of the
+/// accounting `sim::Transport` does analytically. Both `PlatformServer` and
+/// `NodeClient` feed every frame they move through one of these, so a real
+/// run emits the same `fed::CommTotals` a simulated run would for the same
+/// payload sizes — sim-vs-real lands in one comparable CSV.
+///
+/// Alignment with the simulator's ledger (what `totals()` reports):
+///   * `bytes_up`   — kUpdate parameter-blob bytes (post-codec), exactly
+///     what `fed::Platform`/`sim::AsyncPlatform` charge per upload;
+///   * `bytes_down` — kModel payload bytes, i.e. post-aggregation
+///     broadcasts. The kWelcome bootstrap download is excluded because the
+///     simulators do not charge the initial `broadcast(θ⁰)` either;
+///   * `sim_seconds` — observed wall seconds of the run (`set_wall_seconds`),
+///     the real clock standing in for the event clock;
+///   * `uploads_dropped` — updates lost to a shed (crashed/hung) node.
+/// Frame-header overhead and handshake traffic are real but intentionally
+/// outside CommTotals; they are visible in the `net.wire_bytes` counter.
+///
+/// Thread-safe: counters are atomics, CommTotals sits under its own ranked
+/// mutex (`kNetMeasure`, below the obs ranks so metric handles may be
+/// created while held).
+class MeasuredTransport {
+ public:
+  /// Telemetry may be null (every obs site is then one branch). When set it
+  /// must outlive the transport; handles are resolved once, here.
+  explicit MeasuredTransport(obs::Telemetry* telemetry = nullptr);
+
+  MeasuredTransport(const MeasuredTransport&) = delete;
+  MeasuredTransport& operator=(const MeasuredTransport&) = delete;
+
+  /// Record one frame moved in either direction. `payload_bytes` is the
+  /// accounting size (parameter blob for updates, message payload for
+  /// models); `wire_bytes` the full on-the-wire frame size.
+  void record_frame(MessageType type, std::size_t payload_bytes,
+                    std::size_t wire_bytes);
+
+  /// One completed RPC (request sent → response adopted), for the latency
+  /// histogram `net.rpc_ms`.
+  void record_rpc_seconds(double seconds);
+
+  void record_retry();           ///< reconnect/backoff attempt
+  void record_timeout();         ///< per-operation deadline expired
+  void record_shed();            ///< peer dropped (crash/hang) mid-run
+  void record_aggregation();     ///< one platform aggregation round
+  void set_wall_seconds(double seconds);
+
+  /// Snapshot of the sim-comparable ledger (see class comment).
+  [[nodiscard]] fed::CommTotals totals() const;
+
+ private:
+  mutable util::Mutex mutex_{util::lock_rank::kNetMeasure,
+                             "net::MeasuredTransport::mutex_"};
+  fed::CommTotals totals_ FEDML_GUARDED_BY(mutex_);
+
+  // Resolved-once telemetry handles (null when telemetry is off).
+  obs::Counter* bytes_up_ = nullptr;
+  obs::Counter* bytes_down_ = nullptr;
+  obs::Counter* wire_bytes_ = nullptr;
+  obs::Counter* frames_sent_or_recv_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* timeouts_ = nullptr;
+  obs::Counter* sheds_ = nullptr;
+  obs::Counter* rounds_ = nullptr;
+  obs::SharedHistogram* rpc_ms_ = nullptr;
+};
+
+}  // namespace fedml::net

@@ -1,0 +1,181 @@
+#include "net/message_conn.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "util/error.h"
+
+namespace fedml::net {
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;  // EPIPE instead of SIGPIPE
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+/// Wait for the fd to become ready for `events`; throw TimeoutError with
+/// `what` when the deadline runs out first.
+void wait_ready(int fd, short events, const Deadline& deadline,
+                const char* what, MeasuredTransport* measured) {
+  while (true) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, deadline.remaining_ms());
+    if (rc > 0) return;
+    if (rc < 0 && errno != EINTR)
+      FEDML_THROW(std::string("poll: ") + std::strerror(errno));
+    if (deadline.expired()) {
+      if (measured != nullptr) measured->record_timeout();
+      throw TimeoutError(std::string(what) + " deadline expired");
+    }
+  }
+}
+
+}  // namespace
+
+Backoff::Backoff(Config config, util::Rng rng)
+    : config_(config), rng_(std::move(rng)) {
+  FEDML_CHECK(config_.initial_s > 0.0, "backoff initial delay must be > 0");
+  FEDML_CHECK(config_.max_s >= config_.initial_s,
+              "backoff cap must be >= the initial delay");
+  FEDML_CHECK(config_.factor >= 1.0, "backoff factor must be >= 1");
+  FEDML_CHECK(config_.jitter >= 0.0 && config_.jitter < 1.0,
+              "backoff jitter must be in [0, 1)");
+}
+
+double Backoff::next_delay_s() {
+  double nominal = config_.initial_s;
+  for (std::size_t i = 0; i < attempt_ && nominal < config_.max_s; ++i)
+    nominal *= config_.factor;
+  nominal = std::min(nominal, config_.max_s);
+  attempt_ += 1;
+  // Jitter in [-j, +j] of the nominal delay, one rng draw per attempt.
+  const double scale = 1.0 + config_.jitter * (2.0 * rng_.uniform() - 1.0);
+  return nominal * scale;
+}
+
+Socket connect_with_retry(const std::string& host, std::uint16_t port,
+                          double timeout_s, Backoff& backoff,
+                          MeasuredTransport* measured) {
+  const Deadline deadline(timeout_s);
+  while (true) {
+    const double remaining = deadline.remaining_s();
+    if (remaining <= 0.0) {
+      if (measured != nullptr) measured->record_timeout();
+      throw TimeoutError("connect to " + host + ":" + std::to_string(port) +
+                         ": retry window exhausted");
+    }
+    try {
+      // Per-attempt budget: the shrinking window (a refused connect fails
+      // fast anyway; only an unresponsive peer burns the whole budget).
+      return Socket::connect_to(host, port, remaining);
+    } catch (const util::Error&) {
+      if (measured != nullptr) measured->record_retry();
+      const double delay =
+          std::min(backoff.next_delay_s(), deadline.remaining_s());
+      if (delay <= 0.0) continue;  // window just closed; report on next spin
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+}
+
+MessageConn::MessageConn(Socket sock, MeasuredTransport* measured)
+    : sock_(std::move(sock)), measured_(measured) {
+  FEDML_CHECK(sock_.valid(), "MessageConn over an invalid socket");
+}
+
+void MessageConn::send(const Frame& frame, double timeout_s) {
+  util::ByteWriter w;
+  encode_frame(frame, w);
+  const Deadline deadline(timeout_s);
+  write_all(w.bytes().data(), w.size(), deadline);
+  if (measured_ != nullptr)
+    measured_->record_frame(frame.type, accounting_payload_bytes(frame),
+                            w.size());
+}
+
+Frame MessageConn::recv(double timeout_s) {
+  const Deadline deadline(timeout_s);
+  std::uint8_t header_bytes[kHeaderBytes];
+  read_exact(header_bytes, kHeaderBytes, deadline, /*at_boundary=*/true);
+  const FrameHeader header = decode_frame_header(header_bytes);
+  std::vector<std::uint8_t> payload(header.payload_size);
+  read_exact(payload.data(), payload.size(), deadline, /*at_boundary=*/false);
+  verify_payload(header, payload);
+  Frame frame{header.type, header.codec, std::move(payload)};
+  if (measured_ != nullptr)
+    measured_->record_frame(frame.type, accounting_payload_bytes(frame),
+                            kHeaderBytes + frame.payload.size());
+  return frame;
+}
+
+bool MessageConn::readable(double timeout_s) {
+  const Deadline deadline(timeout_s);
+  while (true) {
+    pollfd p{};
+    p.fd = sock_.fd();
+    p.events = POLLIN;
+    const int rc = ::poll(&p, 1, deadline.remaining_ms());
+    if (rc > 0) return true;  // data, EOF, or error — recv() will sort it out
+    if (rc < 0 && errno != EINTR)
+      FEDML_THROW(std::string("poll: ") + std::strerror(errno));
+    if (deadline.expired()) return false;
+  }
+}
+
+void MessageConn::write_all(const std::uint8_t* data, std::size_t n,
+                            const Deadline& deadline) {
+  std::size_t off = 0;
+  while (off < n) {
+    const auto rc = ::send(sock_.fd(), data + off, n - off, kSendFlags);
+    if (rc > 0) {
+      off += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_ready(sock_.fd(), POLLOUT, deadline, "send", measured_);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET))
+      throw ClosedError("peer closed the connection during send");
+    FEDML_THROW(std::string("send: ") + std::strerror(errno));
+  }
+}
+
+void MessageConn::read_exact(std::uint8_t* data, std::size_t n,
+                             const Deadline& deadline, bool at_boundary) {
+  std::size_t off = 0;
+  while (off < n) {
+    const auto rc = ::recv(sock_.fd(), data + off, n - off, 0);
+    if (rc > 0) {
+      off += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      // EOF. Clean only when nothing of this frame has arrived yet.
+      if (at_boundary && off == 0)
+        throw ClosedError("peer closed the connection");
+      FEDML_THROW("peer closed the connection mid-frame");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(sock_.fd(), POLLIN, deadline, "recv", measured_);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET)
+      throw ClosedError("connection reset by peer");
+    FEDML_THROW(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace fedml::net

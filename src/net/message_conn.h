@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+#include "net/measured.h"
+#include "net/socket.h"
+#include "util/rng.h"
+
+namespace fedml::net {
+
+/// Bounded exponential backoff with seeded jitter. Deterministic in the
+/// `util::Rng` handed in, so tests can assert the exact schedule; jitter
+/// decorrelates a fleet of nodes reconnecting to a platform that just
+/// restarted (no thundering herd).
+class Backoff {
+ public:
+  struct Config {
+    double initial_s = 0.05;   ///< first delay
+    double max_s = 2.0;        ///< cap (the "bounded" part)
+    double factor = 2.0;       ///< exponential growth per attempt
+    double jitter = 0.2;       ///< ±fraction of the nominal delay
+  };
+
+  Backoff(Config config, util::Rng rng);
+
+  /// Delay to sleep before the next attempt; grows exponentially to the cap,
+  /// then stays there (jitter keeps applying).
+  [[nodiscard]] double next_delay_s();
+
+  void reset() { attempt_ = 0; }
+  [[nodiscard]] std::size_t attempts() const { return attempt_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+  std::size_t attempt_ = 0;
+};
+
+/// Connect with bounded-backoff retries until `timeout_s` is exhausted.
+/// Each failed attempt records a retry on `measured` (when given); a window
+/// that closes without a connection rethrows the last error (TimeoutError
+/// when the window itself ran out).
+Socket connect_with_retry(const std::string& host, std::uint16_t port,
+                          double timeout_s, Backoff& backoff,
+                          MeasuredTransport* measured = nullptr);
+
+/// Framed, deadline-bounded message stream over one TCP connection.
+///
+/// Send/recv move whole `net::Frame`s: length-prefixed, versioned,
+/// checksummed (see net/frame.h). Partial reads/writes are looped under a
+/// single per-operation deadline, so a stalled peer costs at most
+/// `timeout_s` (TimeoutError), never a hang.
+///
+/// Threading: full duplex — ONE thread may send while ONE other receives
+/// (the platform's round driver broadcasts while per-peer readers block in
+/// recv). Two concurrent senders or two concurrent receivers would
+/// interleave frame bytes and are not supported. `shutdown` may be called
+/// from any thread to wake both sides.
+class MessageConn {
+ public:
+  explicit MessageConn(Socket sock, MeasuredTransport* measured = nullptr);
+
+  MessageConn(MessageConn&&) noexcept = default;
+  MessageConn& operator=(MessageConn&&) noexcept = default;
+
+  /// Write one frame within `timeout_s`. Throws TimeoutError on deadline,
+  /// ClosedError when the peer has hung up, util::Error on socket failure.
+  void send(const Frame& frame, double timeout_s);
+
+  /// Read one frame within `timeout_s`. Throws TimeoutError on deadline
+  /// (also when the frame is half-read — resuming a torn frame is not
+  /// supported), ClosedError on EOF at a frame boundary, util::Error on
+  /// EOF mid-frame or any header/checksum violation.
+  [[nodiscard]] Frame recv(double timeout_s);
+
+  /// True when at least one byte (or EOF) is pending, without consuming
+  /// anything; false when `timeout_s` elapses first. Poll-loops use this
+  /// short-tick, then `recv` with a full deadline — so a quiet peer never
+  /// tears a frame, and a torn frame really means a stuck peer.
+  [[nodiscard]] bool readable(double timeout_s);
+
+  /// Wake any blocked send/recv (theirs and ours) and refuse further I/O.
+  void shutdown() noexcept { sock_.shutdown_both(); }
+
+  [[nodiscard]] bool valid() const { return sock_.valid(); }
+  [[nodiscard]] int fd() const { return sock_.fd(); }
+
+ private:
+  void write_all(const std::uint8_t* data, std::size_t n,
+                 const Deadline& deadline);
+  /// Fill exactly n bytes. `at_boundary` distinguishes a clean EOF
+  /// (ClosedError) from a torn frame (util::Error).
+  void read_exact(std::uint8_t* data, std::size_t n, const Deadline& deadline,
+                  bool at_boundary);
+
+  Socket sock_;
+  MeasuredTransport* measured_ = nullptr;
+};
+
+}  // namespace fedml::net

@@ -1,0 +1,123 @@
+#include "net/node_client.h"
+
+#include <chrono>
+#include <utility>
+
+#include "nn/params.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace fedml::net {
+
+namespace {
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+NodeClient::NodeClient(Config config)
+    : config_(std::move(config)),
+      measured_(config_.telemetry),
+      tel_(config_.telemetry) {
+  FEDML_CHECK(config_.port != 0, "node client needs the platform's port");
+  FEDML_CHECK(config_.local_steps >= 1, "local_steps (T0) must be >= 1");
+  FEDML_CHECK(config_.connect_timeout_s > 0.0 && config_.io_timeout_s > 0.0,
+              "timeouts must be positive");
+}
+
+std::uint64_t NodeClient::join(fed::EdgeNode& node, Backoff& backoff) {
+  Socket sock = connect_with_retry(config_.host, config_.port,
+                                   config_.connect_timeout_s, backoff,
+                                   &measured_);
+  conn_ = std::make_unique<MessageConn>(std::move(sock), &measured_);
+  conn_->send(encode_hello({node.id, node.weight}), config_.io_timeout_s);
+  const ModelBody welcome = decode_model(conn_->recv(config_.io_timeout_s));
+  node.params = nn::clone_leaves(welcome.params);
+  backoff.reset();  // next outage starts its schedule from the beginning
+  return welcome.round;
+}
+
+NodeClient::Totals NodeClient::run(fed::EdgeNode& node,
+                                   const LocalStep& step) {
+  FEDML_CHECK(static_cast<bool>(step), "node client needs a local step");
+  Totals totals;
+  // Per-node jitter stream: a fleet reconnecting after a platform restart
+  // spreads out, and a test re-running the same node sees the same schedule.
+  Backoff backoff(config_.backoff,
+                  util::Rng(config_.backoff_seed).split(node.id));
+
+  std::uint64_t base_round = join(node, backoff);
+  std::size_t t = 0;
+  bool done = false;
+  while (!done) {
+    const bool budget_left =
+        config_.max_rounds == 0 || base_round < config_.max_rounds;
+    try {
+      obs::TraceSpan rpc;
+      if (tel_ != nullptr) rpc = tel_->tracer.span("net.rpc");
+      const double rpc_start = now_s();
+      if (budget_left) {
+        for (std::size_t i = 0; i < config_.local_steps; ++i) {
+          t += 1;
+          step(node, t);
+        }
+        totals.iterations = t;
+        conn_->send(encode_update({node.id, base_round, t, node.params, 0},
+                                  config_.codec, config_.topk_fraction),
+                    config_.io_timeout_s);
+      }
+      // Await the next broadcast; drain whatever is queued and keep only
+      // the freshest model (a slow node may find several rounds waiting).
+      Frame frame = conn_->recv(config_.io_timeout_s);
+      bool adopted = false;
+      ModelBody latest;
+      while (true) {
+        if (frame.type == MessageType::kShutdown) {
+          totals.final_round = decode_shutdown(frame).rounds_completed;
+          done = true;
+          break;
+        }
+        if (frame.type == MessageType::kModel ||
+            frame.type == MessageType::kWelcome) {
+          latest = decode_model(frame);
+          adopted = true;
+        }
+        if (!conn_->readable(0.0)) break;
+        frame = conn_->recv(config_.io_timeout_s);
+      }
+      if (adopted) {
+        node.params = nn::clone_leaves(latest.params);
+        base_round = latest.round;
+        totals.rounds_adopted += 1;
+        measured_.record_rpc_seconds(now_s() - rpc_start);
+      }
+      if (rpc.active()) {
+        rpc.arg("round", static_cast<double>(base_round));
+        rpc.end();
+      }
+    } catch (const ClosedError& e) {
+      // Platform went away mid-round: rejoin (bounded backoff) and resume
+      // from its current model. A closed connect window propagates out.
+      FEDML_LOG(kWarning) << "net: node " << node.id
+                          << " lost the platform (" << e.what()
+                          << "); rejoining";
+      totals.reconnects += 1;
+      base_round = join(node, backoff);
+    } catch (const TimeoutError& e) {
+      FEDML_LOG(kWarning) << "net: node " << node.id << " I/O deadline ("
+                          << e.what() << "); rejoining";
+      if (conn_) conn_->shutdown();
+      totals.reconnects += 1;
+      base_round = join(node, backoff);
+    }
+  }
+  if (conn_) conn_->shutdown();
+  conn_.reset();
+  totals.comm = measured_.totals();
+  return totals;
+}
+
+}  // namespace fedml::net

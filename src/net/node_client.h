@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "fed/comm.h"
+#include "fed/node.h"
+#include "net/frame.h"
+#include "net/measured.h"
+#include "net/message_conn.h"
+#include "obs/telemetry.h"
+
+namespace fedml::net {
+
+/// One edge-node process: connects to a `PlatformServer`, adopts the global
+/// model, then loops { T0 local meta-steps → upload update → adopt the next
+/// broadcast } until the platform says Shutdown.
+///
+/// The local step has `fed::Platform::LocalStep`'s exact signature, so the
+/// same lambda drives the in-process platform, the simulator, and a real
+/// node process — which is what makes lockstep (quorum = fleet) runs of the
+/// distributed example land on the synchronous platform's numbers.
+///
+/// A dropped connection mid-run is rejoined with bounded exponential
+/// backoff: the node re-handshakes, adopts the platform's CURRENT model
+/// (any rounds it missed are simply skipped — async semantics), and keeps
+/// going. Single-threaded; run() blocks until Shutdown or failure.
+class NodeClient {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::size_t local_steps = 10;  ///< T0 between uploads
+    /// When the fleet's round budget is known (the distributed example
+    /// passes --rounds to every process), stop computing/uploading once the
+    /// adopted model reaches this round and just await Shutdown — so the
+    /// node sends EXACTLY this many updates and the ledger equals the
+    /// simulator's bytes_up to the byte. 0 = unknown; compute until
+    /// Shutdown arrives (the final T0 block is then wasted work the
+    /// platform ignores, as with any async straggler).
+    std::size_t max_rounds = 0;
+    WireCodec codec = WireCodec::kNone;  ///< uplink compression
+    double topk_fraction = 0.1;          ///< for WireCodec::kTopK
+    /// Window for the initial connect AND for each mid-run rejoin; the
+    /// backoff schedule (seeded per node for determinism) paces attempts
+    /// inside it.
+    double connect_timeout_s = 10.0;
+    double io_timeout_s = 30.0;  ///< per-frame send/recv deadline
+    Backoff::Config backoff;
+    std::uint64_t backoff_seed = 0x6a17;  ///< jitter stream seed
+    obs::Telemetry* telemetry = nullptr;  ///< null = off; must outlive run()
+  };
+
+  struct Totals {
+    fed::CommTotals comm;          ///< this node's sim-comparable ledger
+    std::size_t rounds_adopted = 0;   ///< Model broadcasts applied
+    std::size_t iterations = 0;       ///< local meta-steps executed
+    std::size_t reconnects = 0;       ///< rejoins after a dropped connection
+    std::uint64_t final_round = 0;    ///< platform round at Shutdown
+  };
+
+  using LocalStep = std::function<void(fed::EdgeNode&, std::size_t iteration)>;
+
+  explicit NodeClient(Config config);
+
+  NodeClient(const NodeClient&) = delete;
+  NodeClient& operator=(const NodeClient&) = delete;
+
+  /// Train `node` against the platform until Shutdown. Throws TimeoutError
+  /// when the platform cannot be (re)reached inside the connect window,
+  /// util::Error on protocol violations.
+  Totals run(fed::EdgeNode& node, const LocalStep& step);
+
+ private:
+  /// (Re)connect + handshake; adopts the Welcome model into `node`.
+  /// Returns the platform round the adopted model belongs to.
+  std::uint64_t join(fed::EdgeNode& node, Backoff& backoff);
+
+  Config config_;
+  MeasuredTransport measured_;
+  obs::Telemetry* tel_ = nullptr;
+  std::unique_ptr<MessageConn> conn_;
+};
+
+}  // namespace fedml::net

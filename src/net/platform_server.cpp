@@ -1,0 +1,354 @@
+#include "net/platform_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace fedml::net {
+
+namespace {
+/// Accept/reader poll tick: long enough to stay off the CPU, short enough
+/// that stop requests propagate promptly.
+constexpr double kIoTick = 0.1;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+PlatformServer::PlatformServer(Config config)
+    : config_(config),
+      listener_(config.port),
+      measured_(config.telemetry),
+      tel_(config.telemetry) {
+  FEDML_CHECK(config_.expected_nodes >= 1,
+              "platform server needs at least one expected node");
+  FEDML_CHECK(config_.rounds >= 1, "rounds must be at least 1");
+  FEDML_CHECK(config_.quorum <= config_.expected_nodes,
+              "quorum cannot exceed the number of expected nodes");
+  FEDML_CHECK(config_.deadline_s >= 0.0, "deadline must be non-negative");
+  FEDML_CHECK(config_.staleness_exponent >= 0.0,
+              "staleness_exponent must be non-negative");
+  FEDML_CHECK(config_.mix_rate > 0.0 && config_.mix_rate <= 1.0,
+              "mix_rate must be in (0, 1]");
+  FEDML_CHECK(config_.join_timeout_s > 0.0 && config_.io_timeout_s > 0.0 &&
+                  config_.poll_interval_s > 0.0,
+              "timeouts must be positive");
+  if (config_.quorum == 0) config_.quorum = config_.expected_nodes;
+}
+
+PlatformServer::~PlatformServer() {
+  {
+    util::LockGuard lock(mutex_);
+    stopping_ = true;
+    for (auto& p : peers_)
+      if (p.conn) p.conn->shutdown();
+  }
+  listener_.shutdown();
+  pool_.reset();  // joins accept/reader tasks
+}
+
+void PlatformServer::set_global(const nn::ParamList& theta) {
+  thread_.check("PlatformServer::set_global");
+  util::LockGuard lock(mutex_);
+  global_ = nn::clone_leaves(theta);
+}
+
+nn::ParamList PlatformServer::global_params() const {
+  util::LockGuard lock(mutex_);
+  return nn::clone_leaves(global_);
+}
+
+std::size_t PlatformServer::alive_count_locked() const {
+  std::size_t n = 0;
+  for (const auto& p : peers_)
+    if (p.alive) ++n;
+  return n;
+}
+
+std::size_t PlatformServer::effective_quorum_locked() const {
+  // Never wait for more peers than are still alive — crashed nodes are
+  // shed, exactly as the simulator's fault model sheds them.
+  return std::max<std::size_t>(
+      1, std::min(config_.quorum, alive_count_locked()));
+}
+
+void PlatformServer::shed_peer_locked(std::size_t peer_index) {
+  auto& p = peers_[peer_index];
+  if (!p.alive) return;
+  p.alive = false;
+  if (p.conn) p.conn->shutdown();
+  totals_.nodes_shed += 1;
+  measured_.record_shed();
+  FEDML_LOG(kWarning) << "net: shed node " << p.node_id;
+}
+
+void PlatformServer::accept_loop() {
+  while (true) {
+    {
+      util::LockGuard lock(mutex_);
+      if (stopping_) return;
+    }
+    Socket sock;
+    try {
+      sock = listener_.accept(kIoTick);
+    } catch (const TimeoutError&) {
+      continue;
+    } catch (const util::Error&) {
+      return;  // listener shut down
+    }
+    // Handshake: Hello in, Welcome (current round + model) out. A peer that
+    // fails mid-handshake is dropped without disturbing the fleet.
+    try {
+      auto conn = std::make_shared<MessageConn>(std::move(sock), &measured_);
+      const HelloBody hello =
+          decode_hello(conn->recv(config_.io_timeout_s));
+      Frame welcome;
+      std::size_t index = 0;
+      {
+        util::LockGuard lock(mutex_);
+        if (stopping_) return;
+        welcome = encode_model(MessageType::kWelcome, {round_, global_});
+        peers_.push_back(Peer{hello.node_id, hello.weight, conn, true});
+        index = peers_.size() - 1;
+        totals_.nodes_joined += 1;
+      }
+      conn->send(welcome, config_.io_timeout_s);
+      pool_->submit([this, index] { reader_loop(index); });
+      cv_.notify_all();
+    } catch (const util::Error& e) {
+      FEDML_LOG(kWarning) << "net: handshake failed: " << e.what();
+    }
+  }
+}
+
+void PlatformServer::reader_loop(std::size_t peer_index) {
+  std::shared_ptr<MessageConn> conn;
+  {
+    util::LockGuard lock(mutex_);
+    conn = peers_[peer_index].conn;
+  }
+  while (true) {
+    {
+      util::LockGuard lock(mutex_);
+      if (stopping_ || !peers_[peer_index].alive) return;
+    }
+    Frame frame;
+    try {
+      // Short non-consuming poll first: a quiet peer (still computing its
+      // T0 block) never tears a frame. Once bytes are pending, the whole
+      // frame must land within the I/O deadline or the peer is stuck.
+      if (!conn->readable(kIoTick)) continue;
+      frame = conn->recv(config_.io_timeout_s);
+    } catch (const util::Error&) {
+      // Closed, reset, stuck mid-frame, or a protocol violation: gone.
+      util::LockGuard lock(mutex_);
+      if (!stopping_) shed_peer_locked(peer_index);
+      cv_.notify_all();
+      return;
+    }
+    if (frame.type != MessageType::kUpdate) continue;  // ignore chatter
+    try {
+      UpdateBody update = decode_update(frame);
+      util::LockGuard lock(mutex_);
+      totals_.uploads_received += 1;
+      pending_.push_back(PendingUpdate{update.node_id,
+                                       peers_[peer_index].weight,
+                                       update.base_round,
+                                       std::move(update.params)});
+      cv_.notify_all();
+    } catch (const util::Error& e) {
+      FEDML_LOG(kWarning) << "net: bad update dropped: " << e.what();
+      util::LockGuard lock(mutex_);
+      if (!stopping_) shed_peer_locked(peer_index);
+      cv_.notify_all();
+      return;
+    }
+  }
+}
+
+void PlatformServer::merge(std::vector<PendingUpdate> batch) {
+  // Deterministic merge order regardless of arrival interleaving: sort by
+  // node id (matches the synchronous platform's ascending-index order).
+  std::sort(batch.begin(), batch.end(),
+            [](const PendingUpdate& a, const PendingUpdate& b) {
+              return a.node_id < b.node_id;
+            });
+
+  std::size_t round = 0;
+  nn::ParamList global;
+  {
+    util::LockGuard lock(mutex_);
+    round = round_;
+    global = global_;  // ParamList copies share tensors; cheap
+  }
+
+  // Staleness-discounted weights, sim::AsyncPlatform's merge verbatim:
+  // w_i = ω_i / (1 + s)^a, batch mixed in at m = min(1, η · Σw).
+  std::vector<nn::ParamList> lists;
+  std::vector<double> weights;
+  lists.reserve(batch.size());
+  weights.reserve(batch.size());
+  double mass = 0.0;
+  std::size_t stale = 0;
+  double staleness_sum = 0.0;
+  for (auto& u : batch) {
+    const auto s = static_cast<double>(round - u.base_round);
+    if (round > u.base_round) stale += 1;
+    staleness_sum += s;
+    const double w =
+        u.weight * std::pow(1.0 + s, -config_.staleness_exponent);
+    lists.push_back(std::move(u.params));
+    weights.push_back(w);
+    mass += w;
+  }
+  for (auto& w : weights) w /= mass;
+  const nn::ParamList merged = nn::weighted_average(lists, weights);
+  const double m = std::min(1.0, config_.mix_rate * mass);
+  nn::ParamList next =
+      nn::weighted_average({std::move(global), merged}, {1.0 - m, m});
+
+  util::LockGuard lock(mutex_);
+  global_ = std::move(next);
+  round_ += 1;
+  totals_.stale_updates += stale;
+  totals_.staleness_sum += staleness_sum;
+}
+
+PlatformServer::Totals PlatformServer::run(const AggregateHook& hook) {
+  thread_.check("PlatformServer::run");
+  {
+    util::LockGuard lock(mutex_);
+    FEDML_CHECK(!global_.empty(), "set_global before run()");
+    FEDML_CHECK(!stopping_ && pool_ == nullptr, "run() may be called once");
+  }
+  const double wall_start = now_s();
+  // One worker per peer reader, plus the accept task and one slot of slack
+  // for rejoin readers racing retired ones.
+  pool_ = std::make_unique<util::ThreadPool>(config_.expected_nodes + 2);
+  pool_->submit([this] { accept_loop(); });
+
+  bool fleet_died = false;
+  {
+    // Join phase: wait for the full fleet to have shown up (cumulative
+    // joins — a node that joined and already crashed still counts, its
+    // absence is the round loop's business) up to the join window; proceed
+    // with whoever made it (at least one).
+    util::UniqueLock lock(mutex_);
+    const Deadline join(config_.join_timeout_s);
+    while (totals_.nodes_joined < config_.expected_nodes && !join.expired())
+      cv_.wait_for(lock, config_.poll_interval_s);
+  }
+
+  while (true) {
+    bool by_quorum = false;
+    std::vector<PendingUpdate> batch;
+    {
+      util::UniqueLock lock(mutex_);
+      if (round_ >= config_.rounds) break;
+      const double round_started = now_s();
+      while (true) {
+        if (alive_count_locked() == 0 && pending_.empty()) {
+          fleet_died = true;
+          break;
+        }
+        if (!pending_.empty() &&
+            pending_.size() >= effective_quorum_locked()) {
+          by_quorum = true;
+          break;
+        }
+        if (config_.deadline_s > 0.0 && !pending_.empty() &&
+            now_s() - round_started >= config_.deadline_s)
+          break;
+        cv_.wait_for(lock, config_.poll_interval_s);
+      }
+      if (fleet_died) break;
+      batch = std::move(pending_);
+      pending_.clear();
+    }
+
+    obs::TraceSpan round_span;
+    if (tel_ != nullptr) {
+      round_span = tel_->tracer.span("net.round");
+      round_span.arg("merged", static_cast<double>(batch.size()));
+      round_span.arg("by_quorum", by_quorum ? 1.0 : 0.0);
+    }
+    merge(std::move(batch));
+    measured_.record_aggregation();
+
+    // Broadcast the new model to every live peer; a failed send sheds.
+    Frame model_frame;
+    std::size_t round = 0;
+    std::vector<std::pair<std::size_t, std::shared_ptr<MessageConn>>> live;
+    {
+      util::LockGuard lock(mutex_);
+      round = round_;
+      if (by_quorum)
+        totals_.quorum_rounds += 1;
+      else
+        totals_.deadline_rounds += 1;
+      model_frame = encode_model(MessageType::kModel, {round_, global_});
+      for (std::size_t i = 0; i < peers_.size(); ++i)
+        if (peers_[i].alive) live.emplace_back(i, peers_[i].conn);
+    }
+    for (const auto& [index, conn] : live) {
+      try {
+        conn->send(model_frame, config_.io_timeout_s);
+      } catch (const util::Error&) {
+        util::LockGuard lock(mutex_);
+        shed_peer_locked(index);
+      }
+    }
+    if (round_span.active()) round_span.end();
+    if (hook) hook(round, global_params());
+  }
+
+  // Graceful teardown: tell every surviving node training is over, wake all
+  // blocked I/O, and join the accept/reader tasks.
+  std::vector<std::shared_ptr<MessageConn>> conns;
+  std::size_t rounds_done = 0;
+  {
+    util::LockGuard lock(mutex_);
+    stopping_ = true;
+    rounds_done = round_;
+    for (auto& p : peers_)
+      if (p.alive && p.conn) conns.push_back(p.conn);
+  }
+  const Frame bye = encode_shutdown({rounds_done});
+  for (const auto& conn : conns) {
+    try {
+      conn->send(bye, config_.io_timeout_s);
+    } catch (const util::Error&) {
+      // Peer vanished during teardown; nothing left to tell it.
+    }
+  }
+  listener_.shutdown();
+  {
+    util::LockGuard lock(mutex_);
+    for (auto& p : peers_)
+      if (p.conn) p.conn->shutdown();
+  }
+  pool_.reset();
+  listener_.close();
+
+  measured_.set_wall_seconds(now_s() - wall_start);
+  Totals totals;
+  {
+    util::LockGuard lock(mutex_);
+    totals = totals_;
+  }
+  totals.comm = measured_.totals();
+  FEDML_CHECK(totals.nodes_joined > 0,
+              "no edge node joined within the join window");
+  FEDML_CHECK(!fleet_died,
+              "every edge node died with aggregation rounds remaining");
+  return totals;
+}
+
+}  // namespace fedml::net

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fed/comm.h"
+#include "net/measured.h"
+#include "net/message_conn.h"
+#include "net/socket.h"
+#include "nn/params.h"
+#include "obs/telemetry.h"
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace fedml::net {
+
+/// The paper's platform as a real TCP server: accepts edge-node processes on
+/// localhost, collects their meta-updates, and drives quorum/deadline rounds
+/// with the same staleness-discounted merge as `sim::AsyncPlatform`
+/// (ω_i/(1+s)^a, server mixing rate η) — so a fleet the simulator predicts
+/// will shed its stragglers sheds them the same way over real sockets.
+///
+/// Threading: `run()` (the round driver) owns aggregation and all sends;
+/// one pool task accepts joins/rejoins for the whole run; one pool task per
+/// peer blocks in recv and enqueues updates. Everything shared sits under
+/// `mutex_` (rank kNetServer, the outermost layer).
+class PlatformServer {
+ public:
+  struct Config {
+    std::uint16_t port = 0;        ///< 0 → ephemeral (see `port()`)
+    std::size_t expected_nodes = 0;  ///< fleet size (> 0)
+    std::size_t rounds = 1;        ///< aggregation rounds to run
+    /// Aggregation triggers, sim::AsyncConfig semantics: fire as soon as
+    /// `quorum` updates are pending (0 → all expected nodes), and/or every
+    /// `deadline_s` of wall time when updates are pending (0 → off).
+    std::size_t quorum = 0;
+    double deadline_s = 0.0;
+    double staleness_exponent = 0.5;  ///< ω_i/(1+s)^a discount
+    double mix_rate = 1.0;            ///< server mixing rate η
+    /// Window for the fleet to join before the first round (the run aborts
+    /// if nobody joins). Late/re-joining nodes are accepted for the whole
+    /// run and handed the current model.
+    double join_timeout_s = 30.0;
+    double io_timeout_s = 30.0;       ///< per-frame send/handshake deadline
+    double poll_interval_s = 0.02;    ///< trigger re-check tick
+    obs::Telemetry* telemetry = nullptr;  ///< null = off; must outlive run()
+  };
+
+  /// Counters of one serve run; `comm` follows the simulator's ledger (see
+  /// net::MeasuredTransport) so sim and real runs land in one CSV.
+  struct Totals {
+    fed::CommTotals comm;
+    std::size_t nodes_joined = 0;   ///< handshakes completed (incl. rejoins)
+    std::size_t nodes_shed = 0;     ///< peers dropped mid-run (crash/hang)
+    std::size_t uploads_received = 0;
+    std::size_t stale_updates = 0;  ///< merged with staleness >= 1 round
+    double staleness_sum = 0.0;
+    std::size_t deadline_rounds = 0;
+    std::size_t quorum_rounds = 0;
+
+    [[nodiscard]] double mean_staleness() const {
+      return uploads_received == 0
+                 ? 0.0
+                 : staleness_sum / static_cast<double>(uploads_received);
+    }
+  };
+
+  /// Called after every aggregation with (round, new global model), on the
+  /// run() thread — the hook the in-process platforms drive too.
+  using AggregateHook =
+      std::function<void(std::size_t round, const nn::ParamList& theta)>;
+
+  /// Binds and listens immediately (so `port()` is valid before any node
+  /// process is spawned); no thread starts until `run()`.
+  explicit PlatformServer(Config config);
+  ~PlatformServer();
+
+  PlatformServer(const PlatformServer&) = delete;
+  PlatformServer& operator=(const PlatformServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Set θ⁰ before `run()` (the initial model every Welcome carries).
+  void set_global(const nn::ParamList& theta);
+  [[nodiscard]] nn::ParamList global_params() const;
+
+  /// Serve the configured number of rounds, then send Shutdown to every
+  /// connected node and return. Throws util::Error when no node joins
+  /// within the window or every peer dies with rounds remaining.
+  Totals run(const AggregateHook& hook = {});
+
+ private:
+  struct Peer {
+    std::uint64_t node_id = 0;
+    double weight = 0.0;
+    std::shared_ptr<MessageConn> conn;
+    bool alive = true;
+  };
+  struct PendingUpdate {
+    std::uint64_t node_id = 0;
+    double weight = 0.0;
+    std::uint64_t base_round = 0;
+    nn::ParamList params;
+  };
+
+  void accept_loop();
+  void reader_loop(std::size_t peer_index);
+  void shed_peer_locked(std::size_t peer_index) FEDML_REQUIRES(mutex_);
+  [[nodiscard]] std::size_t alive_count_locked() const FEDML_REQUIRES(mutex_);
+  [[nodiscard]] std::size_t effective_quorum_locked() const
+      FEDML_REQUIRES(mutex_);
+  /// Merge the pending batch into the global model (staleness-discounted,
+  /// sim::AsyncPlatform's shape). Called with the batch already drained
+  /// from `pending_`, lock NOT held.
+  void merge(std::vector<PendingUpdate> batch);
+
+  /// Affinity for the round driver: set_global/run stay on one thread.
+  util::ThreadChecker thread_;
+  Config config_;
+  Listener listener_;
+  MeasuredTransport measured_;
+  obs::Telemetry* tel_ = nullptr;
+
+  mutable util::Mutex mutex_{util::lock_rank::kNetServer,
+                             "net::PlatformServer::mutex_"};
+  util::CondVar cv_;
+  nn::ParamList global_ FEDML_GUARDED_BY(mutex_);
+  std::vector<Peer> peers_ FEDML_GUARDED_BY(mutex_);
+  std::vector<PendingUpdate> pending_ FEDML_GUARDED_BY(mutex_);
+  std::size_t round_ FEDML_GUARDED_BY(mutex_) = 0;
+  bool stopping_ FEDML_GUARDED_BY(mutex_) = false;
+  Totals totals_ FEDML_GUARDED_BY(mutex_);
+
+  /// Started by run(): accept task + one reader task per peer.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace fedml::net

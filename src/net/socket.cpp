@@ -1,0 +1,171 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace fedml::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  FEDML_CHECK(flags >= 0, errno_string("fcntl(F_GETFL)"));
+  FEDML_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              errno_string("fcntl(F_SETFL, O_NONBLOCK)"));
+}
+
+void set_nodelay(int fd) {
+  // Frames are small (a model fits one or two) and the protocol is strictly
+  // request/response per node, so Nagle only adds latency.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  FEDML_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+              "invalid IPv4 address: " + host);
+  return addr;
+}
+
+/// poll() one fd for `events`, honoring the deadline. Returns true when the
+/// fd is ready, false on timeout; throws on poll failure.
+bool poll_fd(int fd, short events, const Deadline& deadline) {
+  while (true) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, deadline.remaining_ms());
+    if (rc > 0) return true;
+    if (rc == 0) {
+      if (deadline.expired()) return false;
+      continue;  // sub-millisecond remainder: poll again
+    }
+    if (errno == EINTR) continue;
+    FEDML_THROW(errno_string("poll"));
+  }
+}
+
+}  // namespace
+
+int Deadline::remaining_ms() const {
+  const double s = remaining_s();
+  if (s <= 0.0) return 0;
+  const double ms = s * 1e3;
+  if (ms < 1.0) return 1;
+  if (ms > 60'000.0) return 60'000;  // re-arm at most once a minute
+  return static_cast<int>(ms);
+}
+
+Socket::Socket(int fd) : fd_(fd) {}
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect_to(const std::string& host, std::uint16_t port,
+                          double timeout_s) {
+  const Deadline deadline(timeout_s);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  FEDML_CHECK(fd >= 0, errno_string("socket"));
+  Socket sock(fd);  // owns the fd from here on (close on every throw path)
+  set_nonblocking(fd);
+
+  const sockaddr_in addr = loopback_addr(host, port);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) FEDML_THROW(errno_string("connect"));
+  if (rc != 0) {
+    // Handshake in flight: writable means finished; SO_ERROR says how.
+    if (!poll_fd(fd, POLLOUT, deadline))
+      throw TimeoutError("connect to " + host + ":" + std::to_string(port) +
+                         " timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    FEDML_CHECK(::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0,
+                errno_string("getsockopt(SO_ERROR)"));
+    if (err != 0)
+      FEDML_THROW(std::string("connect failed: ") + std::strerror(err));
+  }
+  set_nodelay(fd);
+  return sock;
+}
+
+Listener::Listener(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  FEDML_CHECK(fd >= 0, errno_string("socket"));
+  sock_ = Socket(fd);
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = loopback_addr("127.0.0.1", port);
+  FEDML_CHECK(
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
+      errno_string("bind"));
+  FEDML_CHECK(::listen(fd, backlog) == 0, errno_string("listen"));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  FEDML_CHECK(
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+      errno_string("getsockname"));
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket Listener::accept(double timeout_s) {
+  FEDML_CHECK(sock_.valid(), "accept on a closed listener");
+  const Deadline deadline(timeout_s);
+  while (true) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      set_nonblocking(fd);
+      set_nodelay(fd);
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_fd(sock_.fd(), POLLIN, deadline))
+        throw TimeoutError("accept timed out");
+      continue;
+    }
+    // A listener that was shut down reports EINVAL — surface it as a clean
+    // close so the accept loop can exit.
+    if (errno == EINVAL) throw ClosedError("listener shut down");
+    FEDML_THROW(errno_string("accept"));
+  }
+}
+
+}  // namespace fedml::net

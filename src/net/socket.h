@@ -1,0 +1,115 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+
+namespace fedml::net {
+
+/// A blocked network operation exceeded its deadline. Distinct from a
+/// generic util::Error so callers can treat "peer is slow" (retry, shed,
+/// keep polling) differently from "peer is broken".
+class TimeoutError : public util::Error {
+ public:
+  explicit TimeoutError(const std::string& what) : util::Error(what) {}
+};
+
+/// The peer closed the connection at a clean frame boundary. A mid-frame
+/// close is a protocol violation and throws plain util::Error instead.
+class ClosedError : public util::Error {
+ public:
+  explicit ClosedError(const std::string& what) : util::Error(what) {}
+};
+
+/// Absolute steady-clock deadline shared by the partial read/write loops of
+/// one logical operation: each poll() gets the REMAINING budget, so a
+/// trickling peer cannot stretch a 1-second recv into N seconds.
+class Deadline {
+ public:
+  explicit Deadline(double seconds)
+      : at_(std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds))) {}
+
+  [[nodiscard]] double remaining_s() const {
+    return std::chrono::duration<double>(at_ -
+                                         std::chrono::steady_clock::now())
+        .count();
+  }
+  /// Remaining budget in whole milliseconds for poll(2), at least 1 while
+  /// not expired (so a sub-millisecond remainder still polls once).
+  [[nodiscard]] int remaining_ms() const;
+  [[nodiscard]] bool expired() const { return remaining_s() <= 0.0; }
+
+ private:
+  std::chrono::steady_clock::time_point at_;
+};
+
+/// Move-only owner of one connected TCP socket fd. The ONLY place in the
+/// repo (with Listener below) that touches socket(2)/close(2) — everything
+/// else goes through these wrappers and `MessageConn`
+/// (scripts/lint.py rule `raw-socket`).
+///
+/// Sockets are always non-blocking; deadlines are enforced by the callers'
+/// poll loops. Thread-compatible with one exception: `shutdown_both` may be
+/// called from another thread to wake a blocked peer operation (that is the
+/// server's shutdown path).
+class Socket {
+ public:
+  Socket() = default;  ///< invalid (fd −1)
+  explicit Socket(int fd);
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Disallow further sends AND receives; any thread blocked in poll() on
+  /// this fd wakes with EOF. Safe to call repeatedly.
+  void shutdown_both() noexcept;
+  void close() noexcept;
+
+  /// Non-blocking connect to host:port (dotted-quad IPv4, e.g. localhost
+  /// "127.0.0.1") completed under `timeout_s`. Throws TimeoutError when the
+  /// handshake does not finish in time, util::Error when it is refused.
+  static Socket connect_to(const std::string& host, std::uint16_t port,
+                           double timeout_s);
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII listening socket bound to 127.0.0.1. Port 0 binds an ephemeral port;
+/// `port()` reports the actual one (tests and the self-test runner use this
+/// to avoid fixed-port collisions).
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port, int backlog = 64);
+  ~Listener() = default;
+
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool valid() const { return sock_.valid(); }
+
+  /// Accept one connection within `timeout_s` (TimeoutError otherwise).
+  /// The returned socket is non-blocking with TCP_NODELAY set.
+  [[nodiscard]] Socket accept(double timeout_s);
+
+  /// Wake a blocked `accept` and refuse new connections.
+  void shutdown() noexcept { sock_.shutdown_both(); }
+  void close() noexcept { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace fedml::net

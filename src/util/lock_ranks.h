@@ -19,10 +19,19 @@ namespace fedml::util::lock_rank {
 // before calling into the next layer); the hierarchy exists so that the
 // first change which *does* nest them is checked from day one.
 
+inline constexpr int kNetServer = 4;    ///< net::PlatformServer::mutex_ (the
+                                        ///< outermost layer: a socket-facing
+                                        ///< round driver may call into any
+                                        ///< inner layer while coordinating)
 inline constexpr int kServer = 10;      ///< serve::AdaptationServer::mutex_
 inline constexpr int kRegistry = 20;    ///< serve::ModelRegistry::mutex_
 inline constexpr int kCache = 30;       ///< serve::AdaptedCache::mutex_
 inline constexpr int kThreadPool = 40;  ///< util::ThreadPool::mutex_
+inline constexpr int kNetMeasure = 41;  ///< net::MeasuredTransport::mutex_
+                                        ///< (comm accounting; may create obs
+                                        ///< handles / record histograms while
+                                        ///< held, so it sits just below the
+                                        ///< obs ranks)
 inline constexpr int kObsRegistry = 42; ///< obs::MetricsRegistry::mutex_ (any
                                         ///< layer may create/look up a metric
                                         ///< handle while holding its own lock)

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>  // lint: allow(raw-mutex) — this IS the wrapper
 #include <thread>
@@ -107,6 +108,15 @@ class CondVar {
   /// also keeps the guarded reads visibly under the lock for the static
   /// analysis — prefer `while (!pred) cv.wait(lock);` over a lambda.
   void wait(UniqueLock& lock) { cv_.wait(lock); }
+
+  /// Timed wait (steady clock). Returns false on timeout, true when
+  /// notified — but callers must re-check their predicate either way, same
+  /// as `wait`. Deadline- and quorum-driven loops (the network platform's
+  /// aggregation trigger) are the intended users.
+  bool wait_for(UniqueLock& lock, double seconds) {
+    return cv_.wait_for(lock, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
 
  private:
   std::condition_variable_any cv_;  // lint: allow(raw-mutex)

@@ -84,7 +84,10 @@ class ByteReader {
 
   std::vector<double> read_f64_vector() {
     const auto n = read_u64();
-    require(n * sizeof(double));
+    // Validate the COUNT before computing a byte size: a hostile length
+    // prefix near 2^64 would overflow `n * sizeof(double)` and sail past a
+    // naive bounds check straight into out-of-bounds reads.
+    FEDML_CHECK(n <= remaining() / sizeof(double), "truncated buffer");
     std::vector<double> v(n);
     std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(double));
     pos_ += n * sizeof(double);
@@ -104,6 +107,9 @@ class ByteReader {
   /// Current read offset into the underlying buffer (bytes consumed so far).
   [[nodiscard]] std::size_t position() const { return pos_; }
 
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+
  private:
   template <typename T>
   T read_pod() {
@@ -116,7 +122,9 @@ class ByteReader {
   }
 
   void require(std::size_t n) {
-    FEDML_CHECK(pos_ + n <= buf_.size(), "truncated buffer");
+    // `n <= size - pos` rather than `pos + n <= size`: the latter overflows
+    // for attacker-controlled n near SIZE_MAX and accepts anything.
+    FEDML_CHECK(n <= buf_.size() - pos_, "truncated buffer");
   }
 
   const std::vector<std::uint8_t>& buf_;

@@ -1,0 +1,527 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#ifdef __linux__
+#include <dirent.h>
+#endif
+
+#include "fed/node.h"
+#include "fed/platform.h"
+#include "net/frame.h"
+#include "net/message_conn.h"
+#include "net/node_client.h"
+#include "net/platform_server.h"
+#include "net/socket.h"
+#include "nn/params.h"
+#include "obs/telemetry.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace fedml::net {
+namespace {
+
+using tensor::Tensor;
+
+nn::ParamList tiny_params(double value) {
+  nn::ParamList p;
+  p.emplace_back(Tensor::full(2, 3, value), true);
+  p.emplace_back(Tensor::full(1, 3, value * 0.5), true);
+  return p;
+}
+
+nn::ParamList patterned_params(std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::ParamList p;
+  Tensor a(3, 4);
+  Tensor b(1, 4);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.uniform(-1, 1);
+  for (std::size_t j = 0; j < b.cols(); ++j) b(0, j) = rng.uniform(-1, 1);
+  p.emplace_back(a, true);
+  p.emplace_back(b, true);
+  return p;
+}
+
+/// A connected localhost TCP pair (client side, server side).
+std::pair<Socket, Socket> tcp_pair() {
+  Listener listener(0);
+  Socket client = Socket::connect_to("127.0.0.1", listener.port(), 5.0);
+  Socket server = listener.accept(5.0);
+  return {std::move(client), std::move(server)};
+}
+
+/// Minimal hand-built edge nodes: the network layer never touches their
+/// datasets, so id/weight/params/rng is all a node needs here.
+std::vector<fed::EdgeNode> bare_nodes(std::size_t n) {
+  std::vector<fed::EdgeNode> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes[i].id = i;
+    // Dyadic weights (0.5, 0.25, 0.25, ... summing to exactly 1.0 in
+    // binary) so the bit-exactness assertions don't hinge on rounding of
+    // 1/n sums.
+    nodes[i].weight =
+        i + 1 < n ? std::pow(2.0, -static_cast<double>(i + 1))
+                  : std::pow(2.0, -static_cast<double>(n - 1));
+    nodes[i].params = patterned_params(100 + i);
+    nodes[i].rng = util::Rng(7).split(i);
+  }
+  return nodes;
+}
+
+/// Deterministic, data-free local step shared by the sync-reference and
+/// distributed runs: θ ← 0.9·θ + 0.01·(id+1) — distinct per node, so the
+/// merge order and weighting actually matter to the result.
+void toy_step(fed::EdgeNode& node, std::size_t /*iteration*/) {
+  const double bias = 0.01 * static_cast<double>(node.id + 1);
+  nn::ParamList next;
+  for (const auto& p : node.params) {
+    Tensor t = p.value();
+    for (std::size_t i = 0; i < t.rows(); ++i)
+      for (std::size_t j = 0; j < t.cols(); ++j)
+        t(i, j) = 0.9 * t(i, j) + bias;
+    next.emplace_back(t, true);
+  }
+  node.params = std::move(next);
+}
+
+// ------------------------------------------------------------ framing ----
+
+TEST(Frame, HelloRoundTrip) {
+  const Frame f = encode_hello({42, 0.125});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  const Frame g = decode_frame(w.bytes());
+  EXPECT_EQ(g.type, MessageType::kHello);
+  const HelloBody body = decode_hello(g);
+  EXPECT_EQ(body.node_id, 42u);
+  EXPECT_DOUBLE_EQ(body.weight, 0.125);
+}
+
+TEST(Frame, ModelRoundTripBitExact) {
+  const nn::ParamList params = patterned_params(3);
+  const Frame f = encode_model(MessageType::kModel, {7, params});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  const ModelBody body = decode_model(decode_frame(w.bytes()));
+  EXPECT_EQ(body.round, 7u);
+  ASSERT_EQ(body.params.size(), params.size());
+  for (std::size_t k = 0; k < params.size(); ++k)
+    EXPECT_EQ(tensor::max_abs_diff(body.params[k].value(),
+                                   params[k].value()),
+              0.0);
+}
+
+TEST(Frame, UpdateRoundTripAllCodecs) {
+  const nn::ParamList params = patterned_params(5);
+  for (const WireCodec codec :
+       {WireCodec::kNone, WireCodec::kInt8, WireCodec::kTopK}) {
+    const Frame f =
+        encode_update({9, 4, 120, params, 0}, codec, /*topk_fraction=*/0.5);
+    util::ByteWriter w;
+    encode_frame(f, w);
+    const UpdateBody body = decode_update(decode_frame(w.bytes()));
+    EXPECT_EQ(body.node_id, 9u);
+    EXPECT_EQ(body.base_round, 4u);
+    EXPECT_EQ(body.iterations_done, 120u);
+    ASSERT_EQ(body.params.size(), params.size());
+    EXPECT_GT(body.wire_bytes, 0u);
+    if (codec == WireCodec::kNone) {
+      for (std::size_t k = 0; k < params.size(); ++k)
+        EXPECT_EQ(tensor::max_abs_diff(body.params[k].value(),
+                                       params[k].value()),
+                  0.0);
+      EXPECT_EQ(body.wire_bytes, nn::serialized_size_bytes(params));
+    } else {
+      // Lossy codecs reconstruct approximately and ship fewer bytes. int8
+      // is off by at most a quantization step; top-k zeroes the dropped
+      // half outright, so its error is bounded by the largest |value|.
+      const double tol = codec == WireCodec::kInt8 ? 0.02 : 1.0;
+      for (std::size_t k = 0; k < params.size(); ++k)
+        EXPECT_LT(tensor::max_abs_diff(body.params[k].value(),
+                                       params[k].value()),
+                  tol);
+      EXPECT_LT(body.wire_bytes, nn::serialized_size_bytes(params));
+    }
+  }
+}
+
+TEST(Frame, AccountingBytesMatchSimCharges) {
+  const nn::ParamList params = patterned_params(11);
+  const Frame model = encode_model(MessageType::kModel, {1, params});
+  EXPECT_EQ(accounting_payload_bytes(model),
+            nn::serialized_size_bytes(params));
+  const Frame update =
+      encode_update({0, 0, 10, params, 0}, WireCodec::kNone, 0.1);
+  EXPECT_EQ(accounting_payload_bytes(update),
+            nn::serialized_size_bytes(params));
+  EXPECT_EQ(accounting_payload_bytes(encode_hello({1, 0.5})), 0u);
+  EXPECT_EQ(accounting_payload_bytes(encode_shutdown({3})), 0u);
+}
+
+TEST(Frame, ChecksumCorruptionRejectedAtEveryPayloadByte) {
+  const Frame f = encode_hello({7, 0.25});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  const std::vector<std::uint8_t> wire = w.bytes();
+  for (std::size_t i = kHeaderBytes; i < wire.size(); ++i) {
+    std::vector<std::uint8_t> corrupted = wire;
+    corrupted[i] ^= 0x5a;
+    EXPECT_THROW(decode_frame(corrupted), util::Error) << "byte " << i;
+  }
+}
+
+TEST(Frame, HeaderViolationsRejected) {
+  const Frame f = encode_hello({7, 0.25});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  const std::vector<std::uint8_t> wire = w.bytes();
+
+  std::vector<std::uint8_t> bad_magic = wire;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(decode_frame(bad_magic), util::Error);
+
+  std::vector<std::uint8_t> bad_version = wire;
+  bad_version[4] = 0x7f;
+  EXPECT_THROW(decode_frame(bad_version), util::Error);
+
+  std::vector<std::uint8_t> bad_type = wire;
+  bad_type[8] = 0xee;
+  EXPECT_THROW(decode_frame(bad_type), util::Error);
+
+  std::vector<std::uint8_t> bad_codec = wire;
+  bad_codec[9] = 0xee;
+  EXPECT_THROW(decode_frame(bad_codec), util::Error);
+
+  // A hostile length prefix far beyond the cap must be rejected before any
+  // allocation happens.
+  std::vector<std::uint8_t> oversize = wire;
+  for (std::size_t i = 20; i < 28; ++i) oversize[i] = 0xff;
+  EXPECT_THROW(decode_frame(oversize), util::Error);
+
+  EXPECT_THROW(decode_frame({0x01, 0x02}), util::Error);  // truncated header
+}
+
+// --------------------------------------------------------- connections ----
+
+TEST(MessageConn, SendRecvOverLocalhost) {
+  auto [client_sock, server_sock] = tcp_pair();
+  MessageConn client(std::move(client_sock));
+  MessageConn server(std::move(server_sock));
+
+  client.send(encode_hello({3, 0.5}), 5.0);
+  const HelloBody hello = decode_hello(server.recv(5.0));
+  EXPECT_EQ(hello.node_id, 3u);
+
+  // A large multi-segment frame survives the partial read/write loops.
+  util::Rng rng(1);
+  Tensor big(200, 300);
+  for (std::size_t i = 0; i < big.rows(); ++i)
+    for (std::size_t j = 0; j < big.cols(); ++j)
+      big(i, j) = rng.uniform(-1, 1);
+  nn::ParamList params;
+  params.emplace_back(big, true);
+  server.send(encode_model(MessageType::kModel, {1, params}), 5.0);
+  const ModelBody model = decode_model(client.recv(5.0));
+  EXPECT_EQ(
+      tensor::max_abs_diff(model.params[0].value(), params[0].value()), 0.0);
+}
+
+TEST(MessageConn, RecvDeadlineExpiresAndCountsTimeout) {
+  obs::Telemetry tel;
+  MeasuredTransport measured(&tel);
+  auto [client_sock, server_sock] = tcp_pair();
+  MessageConn client(std::move(client_sock), &measured);
+  MessageConn server(std::move(server_sock));
+  (void)server;
+  EXPECT_THROW((void)client.recv(0.05), TimeoutError);
+  EXPECT_EQ(tel.metrics.counter("net.timeouts").value(), 1u);
+}
+
+TEST(MessageConn, ClosedPeerRaisesClosedError) {
+  auto [client_sock, server_sock] = tcp_pair();
+  MessageConn client(std::move(client_sock));
+  { Socket dropped = std::move(server_sock); }  // peer closes immediately
+  EXPECT_THROW((void)client.recv(2.0), ClosedError);
+}
+
+TEST(MessageConn, ReadableDoesNotConsume) {
+  auto [client_sock, server_sock] = tcp_pair();
+  MessageConn client(std::move(client_sock));
+  MessageConn server(std::move(server_sock));
+  EXPECT_FALSE(server.readable(0.02));
+  client.send(encode_hello({1, 1.0}), 5.0);
+  EXPECT_TRUE(server.readable(5.0));
+  EXPECT_TRUE(server.readable(0.0));  // still there
+  const HelloBody hello = decode_hello(server.recv(5.0));
+  EXPECT_EQ(hello.node_id, 1u);
+}
+
+TEST(Backoff, DeterministicScheduleAndCap) {
+  const Backoff::Config cfg{/*initial_s=*/0.1, /*max_s=*/0.8, /*factor=*/2.0,
+                            /*jitter=*/0.2};
+  Backoff a(cfg, util::Rng(99));
+  Backoff b(cfg, util::Rng(99));
+  double nominal = 0.1;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double da = a.next_delay_s();
+    EXPECT_DOUBLE_EQ(da, b.next_delay_s());  // same seed, same schedule
+    EXPECT_GE(da, nominal * 0.8 - 1e-12);
+    EXPECT_LE(da, nominal * 1.2 + 1e-12);
+    nominal = std::min(nominal * 2.0, 0.8);
+  }
+  // Zero jitter makes the schedule exact: 0.1 0.2 0.4 0.8 0.8 ...
+  Backoff exact({0.1, 0.8, 2.0, 0.0}, util::Rng(1));
+  EXPECT_DOUBLE_EQ(exact.next_delay_s(), 0.1);
+  EXPECT_DOUBLE_EQ(exact.next_delay_s(), 0.2);
+  EXPECT_DOUBLE_EQ(exact.next_delay_s(), 0.4);
+  EXPECT_DOUBLE_EQ(exact.next_delay_s(), 0.8);
+  EXPECT_DOUBLE_EQ(exact.next_delay_s(), 0.8);
+  exact.reset();
+  EXPECT_DOUBLE_EQ(exact.next_delay_s(), 0.1);
+}
+
+TEST(Backoff, ConnectRetryWindowExhaustsWithTimeout) {
+  obs::Telemetry tel;
+  MeasuredTransport measured(&tel);
+  // Grab an ephemeral port, then close the listener: nothing is bound
+  // there, so every attempt is refused.
+  std::uint16_t dead_port = 0;
+  {
+    Listener l(0);
+    dead_port = l.port();
+  }
+  Backoff backoff({0.01, 0.05, 2.0, 0.0}, util::Rng(5));
+  EXPECT_THROW((void)connect_with_retry("127.0.0.1", dead_port, 0.3, backoff,
+                                        &measured),
+               TimeoutError);
+  EXPECT_GE(backoff.attempts(), 2u);
+  EXPECT_GE(tel.metrics.counter("net.retries").value(), 2u);
+  EXPECT_GE(tel.metrics.counter("net.timeouts").value(), 1u);
+}
+
+// ------------------------------------------------- distributed training ----
+
+/// Run `n` NodeClients on threads against `server` (already constructed,
+/// so its port is known). Returns each client's totals.
+std::vector<NodeClient::Totals> run_clients(std::vector<fed::EdgeNode>& nodes,
+                                            std::uint16_t port,
+                                            std::size_t local_steps,
+                                            std::size_t max_rounds,
+                                            WireCodec codec = WireCodec::kNone) {
+  std::vector<NodeClient::Totals> totals(nodes.size());
+  std::vector<std::thread> threads;
+  threads.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    threads.emplace_back([&, i] {
+      NodeClient::Config cfg;
+      cfg.port = port;
+      cfg.local_steps = local_steps;
+      cfg.max_rounds = max_rounds;
+      cfg.codec = codec;
+      NodeClient client(cfg);
+      totals[i] = client.run(nodes[i], toy_step);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return totals;
+}
+
+TEST(Distributed, LockstepMatchesSynchronousPlatformExactly) {
+  constexpr std::size_t kNodes = 3;
+  constexpr std::size_t kRounds = 4;
+  constexpr std::size_t kT0 = 5;
+  const nn::ParamList theta0 = patterned_params(42);
+
+  // Synchronous in-process reference: same nodes, same step, same θ⁰.
+  fed::CommTotals sync_totals;
+  nn::ParamList sync_final;
+  {
+    auto nodes = bare_nodes(kNodes);
+    fed::Platform::Config cfg;
+    cfg.total_iterations = kRounds * kT0;
+    cfg.local_steps = kT0;
+    cfg.threads = 1;
+    fed::Platform platform(std::move(nodes), cfg);
+    platform.broadcast(theta0);
+    sync_totals = platform.run(toy_step);
+    sync_final = nn::clone_leaves(platform.global_params());
+  }
+
+  // The same schedule over real sockets: quorum = whole fleet (lockstep).
+  auto nodes = bare_nodes(kNodes);
+  PlatformServer::Config cfg;
+  cfg.expected_nodes = kNodes;
+  cfg.rounds = kRounds;
+  PlatformServer server(cfg);
+  PlatformServer::Totals net_totals;
+  // set_global + run on one thread (the server asserts driver affinity).
+  std::thread driver_thread([&] {
+    server.set_global(theta0);
+    net_totals = server.run();
+  });
+  const auto client_totals =
+      run_clients(nodes, server.port(), kT0, kRounds);
+  driver_thread.join();
+
+  // Bit-identical final model: with the full fleet in every round the
+  // staleness discount is inert and the merge is the platform's eq. (5).
+  const nn::ParamList net_final = server.global_params();
+  ASSERT_EQ(net_final.size(), sync_final.size());
+  for (std::size_t k = 0; k < net_final.size(); ++k)
+    EXPECT_EQ(tensor::max_abs_diff(net_final[k].value(),
+                                   sync_final[k].value()),
+              0.0);
+
+  // And byte-identical communication ledger.
+  EXPECT_EQ(net_totals.comm.aggregations, sync_totals.aggregations);
+  EXPECT_DOUBLE_EQ(net_totals.comm.bytes_up, sync_totals.bytes_up);
+  EXPECT_DOUBLE_EQ(net_totals.comm.bytes_down, sync_totals.bytes_down);
+  EXPECT_EQ(net_totals.nodes_joined, kNodes);
+  EXPECT_EQ(net_totals.nodes_shed, 0u);
+  EXPECT_EQ(net_totals.uploads_received, kNodes * kRounds);
+  EXPECT_EQ(net_totals.stale_updates, 0u);
+
+  // Every client saw every round and ran the full iteration budget.
+  double client_up = 0.0;
+  for (const auto& t : client_totals) {
+    EXPECT_EQ(t.rounds_adopted, kRounds);
+    EXPECT_EQ(t.iterations, kRounds * kT0);
+    EXPECT_EQ(t.final_round, kRounds);
+    EXPECT_EQ(t.reconnects, 0u);
+    client_up += t.comm.bytes_up;
+  }
+  EXPECT_DOUBLE_EQ(client_up, net_totals.comm.bytes_up);
+}
+
+TEST(Distributed, NodeCrashMidRoundPlatformProceedsOnQuorum) {
+  constexpr std::size_t kNodes = 3;
+  constexpr std::size_t kRounds = 3;
+  constexpr std::size_t kT0 = 2;
+  obs::Telemetry tel;
+
+  auto nodes = bare_nodes(kNodes);
+  PlatformServer::Config cfg;
+  cfg.expected_nodes = kNodes;
+  cfg.rounds = kRounds;
+  cfg.quorum = 2;  // survive one crash
+  cfg.telemetry = &tel;
+  PlatformServer server(cfg);
+  PlatformServer::Totals totals;
+  std::thread driver([&] {
+    server.set_global(patterned_params(42));
+    totals = server.run();
+  });
+
+  // The crasher joins, uploads once, then vanishes without goodbye —
+  // strictly BEFORE the survivors start, so the crash is part of round 1
+  // and the outcome is deterministic.
+  {
+    Socket sock = Socket::connect_to("127.0.0.1", server.port(), 5.0);
+    MessageConn conn(std::move(sock));
+    conn.send(encode_hello({99, 1.0 / 3.0}), 5.0);
+    const ModelBody welcome = decode_model(conn.recv(5.0));
+    fed::EdgeNode ghost;
+    ghost.id = 99;
+    ghost.params = nn::clone_leaves(welcome.params);
+    toy_step(ghost, 1);
+    conn.send(encode_update({99, welcome.round, 1, ghost.params, 0},
+                            WireCodec::kNone, 0.1),
+              5.0);
+    // Death: the socket closes when conn goes out of scope.
+  }
+
+  std::vector<fed::EdgeNode> survivors(nodes.begin(), nodes.begin() + 2);
+  const auto client_totals =
+      run_clients(survivors, server.port(), kT0, kRounds);
+  driver.join();
+
+  EXPECT_EQ(totals.comm.aggregations, kRounds);
+  EXPECT_EQ(totals.nodes_joined, kNodes);
+  EXPECT_EQ(totals.nodes_shed, 1u);
+  EXPECT_EQ(tel.metrics.counter("net.nodes_shed").value(), 1u);
+  EXPECT_EQ(tel.metrics.counter("net.rounds").value(), kRounds);
+  for (const auto& t : client_totals) EXPECT_EQ(t.final_round, kRounds);
+}
+
+TEST(Distributed, CompressedUplinkShrinksLedger) {
+  constexpr std::size_t kNodes = 2;
+  constexpr std::size_t kRounds = 2;
+  auto nodes = bare_nodes(kNodes);
+  PlatformServer::Config cfg;
+  cfg.expected_nodes = kNodes;
+  cfg.rounds = kRounds;
+  PlatformServer server(cfg);
+  PlatformServer::Totals totals;
+  std::thread driver([&] {
+    server.set_global(patterned_params(42));
+    totals = server.run();
+  });
+  (void)run_clients(nodes, server.port(), 2, kRounds, WireCodec::kInt8);
+  driver.join();
+
+  const double raw = static_cast<double>(nn::serialized_size_bytes(
+                         server.global_params())) *
+                     kNodes * kRounds;
+  EXPECT_GT(totals.comm.bytes_up, 0.0);
+  EXPECT_LT(totals.comm.bytes_up, raw);  // int8 ships ~1/8 of the doubles
+  EXPECT_DOUBLE_EQ(totals.comm.bytes_down, raw);  // downlink stays lossless
+}
+
+#ifdef __linux__
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+TEST(Distributed, GracefulShutdownLeaksNoFds) {
+  const std::size_t before = open_fd_count();
+  {
+    auto nodes = bare_nodes(2);
+    PlatformServer::Config cfg;
+    cfg.expected_nodes = 2;
+    cfg.rounds = 2;
+    PlatformServer server(cfg);
+    std::thread driver([&] {
+      server.set_global(patterned_params(42));
+      (void)server.run();
+    });
+    (void)run_clients(nodes, server.port(), 2, 2);
+    driver.join();
+  }
+  EXPECT_EQ(open_fd_count(), before);
+}
+#endif
+
+TEST(PlatformServer, ThrowsWhenNobodyJoins) {
+  PlatformServer::Config cfg;
+  cfg.expected_nodes = 1;
+  cfg.rounds = 1;
+  cfg.join_timeout_s = 0.2;
+  PlatformServer server(cfg);
+  server.set_global(tiny_params(1.0));
+  EXPECT_THROW((void)server.run(), util::Error);
+}
+
+TEST(PlatformServer, ConfigValidation) {
+  PlatformServer::Config cfg;
+  cfg.expected_nodes = 0;
+  EXPECT_THROW(PlatformServer{cfg}, util::Error);
+  cfg.expected_nodes = 2;
+  cfg.quorum = 3;
+  EXPECT_THROW(PlatformServer{cfg}, util::Error);
+  cfg.quorum = 0;
+  cfg.mix_rate = 0.0;
+  EXPECT_THROW(PlatformServer{cfg}, util::Error);
+}
+
+}  // namespace
+}  // namespace fedml::net

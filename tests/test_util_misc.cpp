@@ -126,6 +126,106 @@ TEST(Serialize, SizeMatchesPayload) {
   EXPECT_EQ(w.size(), sizeof(std::uint64_t) + sizeof(double));
 }
 
+// Fuzz-style negative tests: a reader fed hostile bytes must either decode
+// cleanly or throw util::Error — never read past the buffer or crash.
+
+/// Replay a fixed read script against `bytes`; returns normally or throws.
+void replay_reads(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  (void)r.read_u32();
+  (void)r.read_i64();
+  (void)r.read_f64_vector();
+  (void)r.read_string();
+  (void)r.read_bytes(r.read_u64());
+}
+
+TEST(Serialize, TruncationAtEveryByteThrowsOrSucceeds) {
+  ByteWriter w;
+  w.write_u32(0xfeedbeef);
+  w.write_i64(-123);
+  const std::vector<double> data{1.0, -2.5, 1e-9, 4e300};
+  w.write_f64_span(data.data(), data.size());
+  w.write_string("truncate me");
+  w.write_u64(3);
+  w.write_u8(0xaa);
+  w.write_u8(0xbb);
+  w.write_u8(0xcc);
+  const std::vector<std::uint8_t> full = w.bytes();
+
+  EXPECT_NO_THROW(replay_reads(full));
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::vector<std::uint8_t> t(full.begin(),
+                                      full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(replay_reads(t), Error) << "cut at " << cut;
+  }
+}
+
+TEST(Serialize, RandomCorruptionNeverReadsOutOfBounds) {
+  ByteWriter w;
+  const std::vector<double> data{3.0, 2.0, 1.0};
+  w.write_f64_span(data.data(), data.size());
+  w.write_string("payload");
+  const std::vector<std::uint8_t> full = w.bytes();
+
+  // Deterministic xorshift so failures reproduce without a seed report.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> fuzzed = full;
+    const std::size_t flips = 1 + next() % 4;
+    for (std::size_t f = 0; f < flips; ++f)
+      fuzzed[next() % fuzzed.size()] ^= static_cast<std::uint8_t>(next());
+    if (next() % 3 == 0)  // also truncate sometimes
+      fuzzed.resize(next() % (fuzzed.size() + 1));
+    try {
+      ByteReader r(fuzzed);
+      (void)r.read_f64_vector();
+      (void)r.read_string();
+    } catch (const Error&) {
+      // Rejected cleanly — the acceptable outcome for garbage input.
+    }
+  }
+}
+
+TEST(Serialize, HostileLengthPrefixesRejectedWithoutAllocating) {
+  // Length prefixes near 2^64: a naive `pos + n` or `n * sizeof(double)`
+  // bounds check overflows and "passes". These must throw, not crash/OOM.
+  for (const std::uint64_t evil :
+       {~0ull, ~0ull - 7, (~0ull / sizeof(double)) + 1, 1ull << 63}) {
+    ByteWriter w;
+    w.write_u64(evil);
+    w.write_f64(1.0);
+    {
+      ByteReader r(w.bytes());
+      EXPECT_THROW((void)r.read_f64_vector(), Error) << evil;
+    }
+    {
+      ByteReader r(w.bytes());
+      EXPECT_THROW((void)r.read_string(), Error) << evil;
+    }
+    {
+      ByteReader r(w.bytes());
+      EXPECT_THROW((void)r.read_bytes(r.read_u64()), Error) << evil;
+    }
+  }
+}
+
+TEST(Serialize, ReaderNeverAdvancesPastFailure) {
+  ByteWriter w;
+  w.write_u32(7);
+  ByteReader r(w.bytes());
+  (void)r.read_u32();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW((void)r.read_u8(), Error);
+  EXPECT_TRUE(r.exhausted());  // failed read consumed nothing
+  EXPECT_EQ(r.position(), sizeof(std::uint32_t));
+}
+
 // ----------------------------------------------------------- ThreadPool ----
 
 TEST(ThreadPool, ParallelForCoversAllIndices) {
