@@ -1,6 +1,7 @@
 #include "net/node_client.h"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "nn/params.h"
@@ -16,6 +17,13 @@ double now_s() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Consecutive protocol violations (torn frame, checksum mismatch, bad
+/// magic) tolerated before giving up on the platform. Each one tears the
+/// connection down and rejoins like any outage — the stream is broken, not
+/// necessarily the peer — but a platform that keeps corrupting frames is
+/// not worth looping on forever.
+constexpr std::size_t kMaxProtocolErrorStreak = 3;
 }  // namespace
 
 NodeClient::NodeClient(Config config)
@@ -43,6 +51,10 @@ std::uint64_t NodeClient::join(fed::EdgeNode& node, Backoff& backoff) {
 NodeClient::Totals NodeClient::run(fed::EdgeNode& node,
                                    const LocalStep& step) {
   FEDML_CHECK(static_cast<bool>(step), "node client needs a local step");
+  // The platform rejects non-positive/non-finite aggregation weights at
+  // handshake; fail fast locally instead of being shed with no Welcome.
+  FEDML_CHECK(std::isfinite(node.weight) && node.weight > 0.0,
+              "node weight must be positive and finite");
   Totals totals;
   // Per-node jitter stream: a fleet reconnecting after a platform restart
   // spreads out, and a test re-running the same node sees the same schedule.
@@ -51,6 +63,7 @@ NodeClient::Totals NodeClient::run(fed::EdgeNode& node,
 
   std::uint64_t base_round = join(node, backoff);
   std::size_t t = 0;
+  std::size_t protocol_errors = 0;
   bool done = false;
   while (!done) {
     const bool budget_left =
@@ -98,6 +111,7 @@ NodeClient::Totals NodeClient::run(fed::EdgeNode& node,
         rpc.arg("round", static_cast<double>(base_round));
         rpc.end();
       }
+      protocol_errors = 0;  // a clean frame exchange ends any error streak
     } catch (const ClosedError& e) {
       // Platform went away mid-round: rejoin (bounded backoff) and resume
       // from its current model. A closed connect window propagates out.
@@ -108,6 +122,17 @@ NodeClient::Totals NodeClient::run(fed::EdgeNode& node,
       base_round = join(node, backoff);
     } catch (const TimeoutError& e) {
       FEDML_LOG(kWarning) << "net: node " << node.id << " I/O deadline ("
+                          << e.what() << "); rejoining";
+      if (conn_) conn_->shutdown();
+      totals.reconnects += 1;
+      base_round = join(node, backoff);
+    } catch (const util::Error& e) {
+      // Torn frame, checksum mismatch, bad magic: the stream is unusable
+      // but the platform may be healthy (it might simply have shed us).
+      // Rejoin through the same backoff path; only a streak of consecutive
+      // protocol errors with no clean exchange in between is fatal.
+      if (++protocol_errors >= kMaxProtocolErrorStreak) throw;
+      FEDML_LOG(kWarning) << "net: node " << node.id << " protocol error ("
                           << e.what() << "); rejoining";
       if (conn_) conn_->shutdown();
       totals.reconnects += 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "util/error.h"
@@ -38,6 +39,7 @@ PlatformServer::PlatformServer(Config config)
   FEDML_CHECK(config_.mix_rate > 0.0 && config_.mix_rate <= 1.0,
               "mix_rate must be in (0, 1]");
   FEDML_CHECK(config_.join_timeout_s > 0.0 && config_.io_timeout_s > 0.0 &&
+                  config_.handshake_timeout_s > 0.0 &&
                   config_.poll_interval_s > 0.0,
               "timeouts must be positive");
   if (config_.quorum == 0) config_.quorum = config_.expected_nodes;
@@ -49,6 +51,7 @@ PlatformServer::~PlatformServer() {
     stopping_ = true;
     for (auto& p : peers_)
       if (p.conn) p.conn->shutdown();
+    if (handshaking_) handshaking_->shutdown();
   }
   listener_.shutdown();
   pool_.reset();  // joins accept/reader tasks
@@ -107,23 +110,61 @@ void PlatformServer::accept_loop() {
     // fails mid-handshake is dropped without disturbing the fleet.
     try {
       auto conn = std::make_shared<MessageConn>(std::move(sock), &measured_);
+      {
+        util::LockGuard lock(mutex_);
+        if (stopping_) return;
+        handshaking_ = conn;
+      }
+      // Handshakes are serialized on this loop, so the Hello wait runs on
+      // its own short window (not the full I/O deadline) and polls in
+      // kIoTick slices — a connected-but-silent peer cannot starve other
+      // joins, and a stop request still propagates promptly.
+      const Deadline hs(config_.handshake_timeout_s);
+      for (;;) {
+        {
+          util::LockGuard lock(mutex_);
+          if (stopping_) return;
+        }
+        if (conn->readable(std::min(kIoTick,
+                                    std::max(hs.remaining_s(), 0.0))))
+          break;
+        if (hs.expired())
+          throw TimeoutError("net: no Hello within the handshake window");
+      }
       const HelloBody hello =
-          decode_hello(conn->recv(config_.io_timeout_s));
+          decode_hello(conn->recv(std::max(hs.remaining_s(), kIoTick)));
+      if (!std::isfinite(hello.weight) || hello.weight <= 0.0)
+        throw util::Error("net: rejected Hello from node " +
+                          std::to_string(hello.node_id) +
+                          " with non-positive/non-finite weight");
       Frame welcome;
-      std::size_t index = 0;
       {
         util::LockGuard lock(mutex_);
         if (stopping_) return;
         welcome = encode_model(MessageType::kWelcome, {round_, global_});
+      }
+      // The Welcome MUST go out before the peer is published: once it is in
+      // peers_, the round driver may broadcast on this conn at any moment,
+      // and MessageConn supports only one concurrent sender.
+      conn->send(welcome, config_.handshake_timeout_s);
+      std::size_t index = 0;
+      {
+        util::LockGuard lock(mutex_);
+        if (stopping_) {
+          conn->shutdown();
+          return;
+        }
         peers_.push_back(Peer{hello.node_id, hello.weight, conn, true});
         index = peers_.size() - 1;
         totals_.nodes_joined += 1;
+        handshaking_.reset();
       }
-      conn->send(welcome, config_.io_timeout_s);
       pool_->submit([this, index] { reader_loop(index); });
       cv_.notify_all();
     } catch (const util::Error& e) {
       FEDML_LOG(kWarning) << "net: handshake failed: " << e.what();
+      util::LockGuard lock(mutex_);
+      handshaking_.reset();
     }
   }
 }
@@ -199,7 +240,12 @@ void PlatformServer::merge(std::vector<PendingUpdate> batch) {
   std::size_t stale = 0;
   double staleness_sum = 0.0;
   for (auto& u : batch) {
-    const auto s = static_cast<double>(round - u.base_round);
+    // A buggy/hostile node may claim base_round ahead of the platform;
+    // clamp instead of letting the uint64 subtraction wrap to ~2^64
+    // staleness (which drives the discount to zero).
+    const double s = round > u.base_round
+                         ? static_cast<double>(round - u.base_round)
+                         : 0.0;
     if (round > u.base_round) stale += 1;
     staleness_sum += s;
     const double w =
@@ -207,6 +253,17 @@ void PlatformServer::merge(std::vector<PendingUpdate> batch) {
     lists.push_back(std::move(u.params));
     weights.push_back(w);
     mass += w;
+  }
+  if (!std::isfinite(mass) || mass <= 0.0) {
+    // Unreachable while Hello weights are validated positive-finite, but a
+    // merge must never divide by a degenerate mass: drop the batch, keep
+    // the model, and still advance the round so nodes blocked on the next
+    // broadcast are not deadlocked.
+    FEDML_LOG(kWarning) << "net: dropped batch of " << batch.size()
+                        << " updates with degenerate weight mass " << mass;
+    util::LockGuard lock(mutex_);
+    round_ += 1;
+    return;
   }
   for (auto& w : weights) w /= mass;
   const nn::ParamList merged = nn::weighted_average(lists, weights);
@@ -317,6 +374,7 @@ PlatformServer::Totals PlatformServer::run(const AggregateHook& hook) {
     util::LockGuard lock(mutex_);
     stopping_ = true;
     rounds_done = round_;
+    if (handshaking_) handshaking_->shutdown();
     for (auto& p : peers_)
       if (p.alive && p.conn) conns.push_back(p.conn);
   }

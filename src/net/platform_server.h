@@ -45,7 +45,12 @@ class PlatformServer {
     /// if nobody joins). Late/re-joining nodes are accepted for the whole
     /// run and handed the current model.
     double join_timeout_s = 30.0;
-    double io_timeout_s = 30.0;       ///< per-frame send/handshake deadline
+    double io_timeout_s = 30.0;       ///< per-frame send/recv deadline
+    /// Window for one Hello/Welcome exchange. Deliberately short and
+    /// separate from io_timeout_s: handshakes are serialized on the accept
+    /// loop, so a peer that connects and then says nothing may only hold
+    /// the door for this long before being dropped.
+    double handshake_timeout_s = 5.0;
     double poll_interval_s = 0.02;    ///< trigger re-check tick
     obs::Telemetry* telemetry = nullptr;  ///< null = off; must outlive run()
   };
@@ -130,6 +135,9 @@ class PlatformServer {
   util::CondVar cv_;
   nn::ParamList global_ FEDML_GUARDED_BY(mutex_);
   std::vector<Peer> peers_ FEDML_GUARDED_BY(mutex_);
+  /// Connection currently mid-handshake on the accept loop (not yet in
+  /// peers_), kept here so teardown can wake its blocked I/O immediately.
+  std::shared_ptr<MessageConn> handshaking_ FEDML_GUARDED_BY(mutex_);
   std::vector<PendingUpdate> pending_ FEDML_GUARDED_BY(mutex_);
   std::size_t round_ FEDML_GUARDED_BY(mutex_) = 0;
   bool stopping_ FEDML_GUARDED_BY(mutex_) = false;

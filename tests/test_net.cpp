@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -501,6 +503,179 @@ TEST(Distributed, GracefulShutdownLeaksNoFds) {
 }
 #endif
 
+TEST(Distributed, LateJoinerDuringActiveRoundsGetsCleanStream) {
+  // One slow real node paces the rounds (quorum 1, ~50 ms per upload); a
+  // raw peer handshakes mid-run, while broadcasts are actively firing, and
+  // then only listens. Every frame it receives must decode cleanly: the
+  // accept loop may never interleave its Welcome with a concurrent
+  // broadcast on the same conn (MessageConn allows one sender at a time).
+  constexpr std::size_t kRounds = 10;
+  PlatformServer::Config cfg;
+  cfg.expected_nodes = 2;
+  cfg.rounds = kRounds;
+  cfg.quorum = 1;
+  cfg.join_timeout_s = 0.1;  // don't hold round 1 for the late joiner
+  PlatformServer server(cfg);
+  PlatformServer::Totals totals;
+  std::thread driver([&] {
+    server.set_global(patterned_params(42));
+    totals = server.run();
+  });
+  std::thread worker([&, port = server.port()] {
+    NodeClient::Config ncfg;
+    ncfg.port = port;
+    ncfg.local_steps = 1;
+    NodeClient client(ncfg);
+    auto nodes = bare_nodes(1);
+    (void)client.run(nodes[0], [](fed::EdgeNode& n, std::size_t it) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      toy_step(n, it);
+    });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  Socket sock = Socket::connect_to("127.0.0.1", server.port(), 5.0);
+  MessageConn conn(std::move(sock));
+  conn.send(encode_hello({50, 0.5}), 5.0);
+  (void)decode_model(conn.recv(5.0));  // Welcome — must parse cleanly
+  std::size_t models = 0;
+  for (;;) {
+    const Frame f = conn.recv(5.0);  // recv checksum-verifies every frame
+    if (f.type == MessageType::kShutdown) break;
+    if (f.type == MessageType::kModel) {
+      (void)decode_model(f);
+      models += 1;
+    }
+  }
+  worker.join();
+  driver.join();
+  EXPECT_EQ(totals.nodes_joined, 2u);
+  EXPECT_GE(models, 1u);  // joined mid-run, saw at least one broadcast
+}
+
+TEST(PlatformServer, RejectsNonPositiveHelloWeight) {
+  PlatformServer::Config cfg;
+  cfg.expected_nodes = 1;
+  cfg.rounds = 1;
+  PlatformServer server(cfg);
+  PlatformServer::Totals totals;
+  std::thread driver([&] {
+    server.set_global(patterned_params(42));
+    totals = server.run();
+  });
+  // Hostile hellos: zero, negative, and NaN aggregation weights must be
+  // rejected at handshake (they would poison the merge's weight mass).
+  for (const double w : {0.0, -1.0, std::numeric_limits<double>::quiet_NaN()}) {
+    Socket sock = Socket::connect_to("127.0.0.1", server.port(), 5.0);
+    MessageConn conn(std::move(sock));
+    conn.send(encode_hello({77, w}), 5.0);
+    EXPECT_THROW((void)conn.recv(5.0), util::Error);  // dropped, no Welcome
+  }
+  auto nodes = bare_nodes(1);
+  (void)run_clients(nodes, server.port(), 1, 1);
+  driver.join();
+  EXPECT_EQ(totals.nodes_joined, 1u);  // only the well-formed node counts
+}
+
+TEST(PlatformServer, ClampsBogusBaseRoundFromHostileNode) {
+  PlatformServer::Config cfg;
+  cfg.expected_nodes = 1;
+  cfg.rounds = 1;
+  // Heavy discount: an unclamped round − base_round wraparound (~2^64)
+  // would underflow pow() to a zero weight and NaN the whole model.
+  cfg.staleness_exponent = 32.0;
+  PlatformServer server(cfg);
+  PlatformServer::Totals totals;
+  std::thread driver([&] {
+    server.set_global(patterned_params(42));
+    totals = server.run();
+  });
+  Socket sock = Socket::connect_to("127.0.0.1", server.port(), 5.0);
+  MessageConn conn(std::move(sock));
+  conn.send(encode_hello({7, 1.0}), 5.0);
+  const ModelBody welcome = decode_model(conn.recv(5.0));
+  fed::EdgeNode ghost;
+  ghost.id = 7;
+  ghost.params = nn::clone_leaves(welcome.params);
+  toy_step(ghost, 1);
+  conn.send(
+      encode_update({7, std::numeric_limits<std::uint64_t>::max(), 1,
+                     ghost.params, 0},
+                    WireCodec::kNone, 0.1),
+      5.0);
+  // The round must complete with a finite model (base_round clamped to
+  // "fresh", not wrapped), followed by a clean Shutdown.
+  const ModelBody merged = decode_model(conn.recv(5.0));
+  for (const auto& p : merged.params) {
+    const Tensor& t = p.value();
+    for (std::size_t i = 0; i < t.rows(); ++i)
+      for (std::size_t j = 0; j < t.cols(); ++j)
+        EXPECT_TRUE(std::isfinite(t(i, j)));
+  }
+  const Frame bye = conn.recv(5.0);
+  EXPECT_EQ(bye.type, MessageType::kShutdown);
+  driver.join();
+  EXPECT_EQ(totals.stale_updates, 0u);  // a future base_round is not stale
+}
+
+TEST(PlatformServer, SilentJoinerCannotStarveHandshakes) {
+  PlatformServer::Config cfg;
+  cfg.expected_nodes = 1;
+  cfg.rounds = 1;
+  cfg.handshake_timeout_s = 0.3;
+  PlatformServer server(cfg);
+  PlatformServer::Totals totals;
+  std::thread driver([&] {
+    server.set_global(patterned_params(42));
+    totals = server.run();
+  });
+  // Connects first but never says Hello: it may hold the serialized accept
+  // loop for at most the short handshake window, not the I/O deadline.
+  Socket silent = Socket::connect_to("127.0.0.1", server.port(), 5.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto nodes = bare_nodes(1);
+  (void)run_clients(nodes, server.port(), 1, 1);
+  driver.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(totals.nodes_joined, 1u);
+  EXPECT_LT(elapsed, 10.0);  // far below io_timeout_s — not starved
+}
+
+TEST(NodeClient, RejoinsAfterProtocolViolation) {
+  Listener listener(0);
+  std::thread fake_platform([&] {
+    const nn::ParamList theta = tiny_params(1.0);
+    {
+      // Session 1: Welcome, then a garbage kModel body — valid framing and
+      // checksum, unparseable payload. A protocol violation, not a close.
+      MessageConn conn(listener.accept(5.0));
+      (void)decode_hello(conn.recv(5.0));
+      conn.send(encode_model(MessageType::kWelcome, {0, theta}), 5.0);
+      Frame garbage;
+      garbage.type = MessageType::kModel;
+      garbage.payload = {0xde, 0xad, 0xbe, 0xef};
+      conn.send(garbage, 5.0);
+    }
+    {
+      // The node must tear the session down and rejoin; end it cleanly.
+      MessageConn conn(listener.accept(5.0));
+      (void)decode_hello(conn.recv(5.0));
+      conn.send(encode_model(MessageType::kWelcome, {0, theta}), 5.0);
+      conn.send(encode_shutdown({1}), 5.0);
+    }
+  });
+  NodeClient::Config cfg;
+  cfg.port = listener.port();
+  cfg.local_steps = 1;
+  NodeClient client(cfg);
+  auto nodes = bare_nodes(1);
+  const NodeClient::Totals totals = client.run(nodes[0], toy_step);
+  fake_platform.join();
+  EXPECT_EQ(totals.reconnects, 1u);   // survived the corrupt frame
+  EXPECT_EQ(totals.final_round, 1u);  // and finished via the second session
+}
+
 TEST(PlatformServer, ThrowsWhenNobodyJoins) {
   PlatformServer::Config cfg;
   cfg.expected_nodes = 1;
@@ -520,6 +695,9 @@ TEST(PlatformServer, ConfigValidation) {
   EXPECT_THROW(PlatformServer{cfg}, util::Error);
   cfg.quorum = 0;
   cfg.mix_rate = 0.0;
+  EXPECT_THROW(PlatformServer{cfg}, util::Error);
+  cfg.mix_rate = 1.0;
+  cfg.handshake_timeout_s = 0.0;
   EXPECT_THROW(PlatformServer{cfg}, util::Error);
 }
 
