@@ -4,9 +4,13 @@
 // is a plain executable that prints the rows/series of one table or figure
 // from the paper (and optionally writes CSV via --csv=<path>).
 
+#include <cmath>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/adaptation.h"
@@ -17,6 +21,7 @@
 #include "nn/module.h"
 #include "obs/telemetry.h"
 #include "util/cli.h"
+#include "util/error.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -149,6 +154,37 @@ inline void run_adaptation_comparison(
     }
   }
   emit(t, title, csv);
+}
+
+/// Headline metrics for one bench run: ordered name → value pairs, written
+/// as `BENCH_<name>.json` so CI (scripts/check_bench.py) and trend tooling
+/// consume one stable machine-readable artifact per bench.
+using BenchMetrics = std::vector<std::pair<std::string, double>>;
+
+/// Write `<dir>/BENCH_<name>.json` with the schema
+/// `{"bench": <name>, "metrics": {<key>: <number>, ...}}`. Every value must
+/// be finite (JSON has no NaN/inf — sanitize before calling) and `metrics`
+/// must be non-empty; both are enforced here and re-checked by
+/// scripts/check_bench.py in CI.
+inline void write_bench_json(const std::string& name,
+                             const BenchMetrics& metrics,
+                             const std::string& dir = ".") {
+  FEDML_CHECK(!metrics.empty(), "write_bench_json: no metrics for " + name);
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream os(path);
+  FEDML_CHECK(os.good(), "write_bench_json: cannot open " + path);
+  os << "{\n  \"bench\": \"" << name << "\",\n  \"metrics\": {\n";
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    FEDML_CHECK(std::isfinite(metrics[i].second),
+                "write_bench_json: non-finite metric '" + metrics[i].first +
+                    "' in " + name);
+    os << "    \"" << metrics[i].first << "\": " << metrics[i].second
+       << (i + 1 < metrics.size() ? ",\n" : "\n");
+  }
+  os << "  }\n}\n";
+  FEDML_CHECK(os.good(), "write_bench_json: write failed for " + path);
+  std::cout << "(bench json written to " << path << ")\n";
 }
 
 /// Print a table and optionally write it to --csv=<path>.

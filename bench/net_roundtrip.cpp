@@ -97,6 +97,9 @@ int main(int argc, char** argv) {
   util::Table t({"elems", "codec", "up bytes", "down bytes", "p50 ms",
                  "p95 ms", "p99 ms", "rpc/s", "MB/s"});
 
+  // Headline metrics (largest payload, per codec) for BENCH_net_roundtrip.json.
+  bench::BenchMetrics metrics;
+
   for (const auto& point : sweep) {
     const nn::ParamList params = make_params(point.elems, seed);
     net::Listener listener(0);
@@ -139,8 +142,18 @@ int main(int argc, char** argv) {
                obs::exact_percentile(latency_ms, 0.95),
                obs::exact_percentile(latency_ms, 0.99), n / busy_s,
                (up_bytes + down_bytes) * n / busy_s / 1e6});
+    if (point.elems == sizes.back()) {
+      const std::string suffix = std::string("_") + point.codec_name;
+      metrics.emplace_back("p50_ms" + suffix,
+                           obs::exact_percentile(latency_ms, 0.50));
+      metrics.emplace_back("p99_ms" + suffix,
+                           obs::exact_percentile(latency_ms, 0.99));
+      metrics.emplace_back("rpc_per_s" + suffix, n / busy_s);
+      metrics.emplace_back("up_bytes" + suffix, up_bytes);
+    }
   }
 
   bench::emit(t, "net round-trip — payload × uplink codec sweep", csv);
+  bench::write_bench_json("net_roundtrip", metrics);
   return 0;
 }

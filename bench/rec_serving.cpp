@@ -1,0 +1,360 @@
+// Federated-recommendation serving benchmark — the end-to-end headline for
+// src/rec/: train the meta-initialization over a user federation
+// (Algorithm 1, each user = one task), publish it, then drive Zipfian
+// per-user traffic through the sharded serving runtime.
+//
+// Phases:
+//   train      — core::train_fedml over `train_users` users, then the
+//                personalization gain (adapted vs global accuracy) on
+//                held-out users: the reason to meta-learn at all.
+//   coverage   — closed loop over EVERY user id exactly once (default 1M
+//                distinct users end-to-end): cold-miss throughput and
+//                eviction churn at full scale.
+//   zipf sweep — closed-loop Zipfian traffic, one-factor-at-a-time over
+//                cache shards × capacity × traffic Zipf exponent:
+//                hit rate, QPS, p50/p95/p99.
+//   cache      — raw AdaptedCache hammer at fixed thread count, 1 shard vs
+//                the configured shard count: the lock-scaling headline
+//                (sharded/unsharded QPS ratio).
+//   open loop  — paced submission at multiples of measured capacity against
+//                the bounded queue + deadline: shed rate.
+//
+// All dataset/model/serving knobs come from the central rec::Config
+// (--users=, --cache_shards=, --traffic_zipf=, ...); every CSV starts with
+// a `# key=value` dump of that config, and the headline numbers land in
+// BENCH_rec_serving.json. `--smoke` shrinks every phase for CI (and
+// overrides any conflicting size options).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "nn/params.h"
+#include "rec/config.h"
+#include "rec/workload.h"
+#include "serve/cache.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace fedml;
+
+struct RunResult {
+  double seconds = 0.0;
+  serve::ServerStats stats;
+  serve::AdaptedCache::Stats cache;
+};
+
+std::size_t effective_threads(std::size_t configured) {
+  if (configured != 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<std::size_t>(hw);
+}
+
+/// Closed loop: `clients` threads, each submit-and-wait; user ids come from
+/// `next_uid(thread_index, rng)` so the same driver serves the sequential
+/// coverage pass and the Zipfian steady-state cells.
+template <typename NextUid>
+RunResult closed_loop(serve::AdaptationServer& server, const rec::Config& cfg,
+                      const data::RecSys& rec, std::size_t requests,
+                      std::size_t clients, NextUid next_uid) {
+  std::atomic<std::size_t> issued{0};
+  util::Stopwatch clock;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      util::Rng rng(cfg.seed ^ (0xc11e'47000ull + c));
+      for (;;) {
+        if (issued.fetch_add(1) >= requests) return;
+        const std::uint64_t uid = next_uid(c, rng);
+        server.submit(rec::make_user_request(cfg, rec, uid)).get();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  server.drain();
+  return {clock.seconds(), server.stats(), server.cache_stats()};
+}
+
+/// Open loop: one submitter paced at `rate` requests/s with a per-request
+/// deadline; responses are not waited on inline.
+RunResult open_loop(serve::AdaptationServer& server, const rec::Config& cfg,
+                    const data::RecSys& rec, std::size_t requests, double rate,
+                    double deadline_s) {
+  using clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(1.0 / rate));
+  util::Rng rng(cfg.seed ^ 0x09e7'100bull);
+  const util::ZipfSampler uid_sampler(cfg.users, cfg.traffic_zipf);
+  std::vector<std::future<serve::AdaptResponse>> futures;
+  futures.reserve(requests);
+  util::Stopwatch wall;
+  auto due = clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(due);
+    auto req = rec::make_user_request(
+        cfg, rec, static_cast<std::uint64_t>(uid_sampler.sample(rng)));
+    req.deadline_s = deadline_s;
+    futures.push_back(server.submit(std::move(req)));
+    due += interval;
+  }
+  for (auto& f : futures) f.get();
+  server.drain();
+  return {wall.seconds(), server.stats(), server.cache_stats()};
+}
+
+void add_row(util::Table& t, const std::string& phase, const rec::Config& cfg,
+             std::size_t threads, std::size_t requests, const RunResult& r) {
+  t.add_row({phase, static_cast<std::int64_t>(cfg.cache_shards),
+             static_cast<std::int64_t>(cfg.cache_capacity), cfg.traffic_zipf,
+             static_cast<std::int64_t>(threads),
+             static_cast<std::int64_t>(requests), r.seconds,
+             static_cast<double>(r.stats.served) / r.seconds,
+             r.stats.hit_rate(),
+             static_cast<std::int64_t>(r.cache.evictions),
+             r.stats.shed_rate(), r.stats.p50_ms, r.stats.p95_ms,
+             r.stats.p99_ms});
+}
+
+/// One closed-loop Zipf cell with its own freshly built server.
+RunResult zipf_cell(serve::ModelRegistry& registry, const rec::Config& cfg,
+                    const data::RecSys& rec, std::size_t requests,
+                    std::size_t clients) {
+  serve::AdaptationServer server(registry, cfg.server());
+  const util::ZipfSampler uid_sampler(cfg.users, cfg.traffic_zipf);
+  return closed_loop(server, cfg, rec, requests, clients,
+                     [&uid_sampler](std::size_t, util::Rng& rng) {
+                       return static_cast<std::uint64_t>(
+                           uid_sampler.sample(rng));
+                     });
+}
+
+/// Raw AdaptedCache get/put hammer (no server, no adaptation): isolates the
+/// shard-lock scaling that the end-to-end phases pay per request.
+double hammer_cache(const rec::Config& cfg, std::size_t shards,
+                    std::size_t threads, std::size_t ops_per_thread,
+                    const nn::ParamList& phi) {
+  serve::AdaptedCache::Config ccfg = cfg.cache();
+  ccfg.shards = shards;
+  serve::AdaptedCache cache(ccfg);
+  util::Stopwatch clock;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Rng rng(cfg.seed ^ (0xca'43000ull + t));
+      const util::ZipfSampler uid_sampler(cfg.users, cfg.traffic_zipf);
+      for (std::size_t i = 0; i < ops_per_thread; ++i) {
+        // Signature = raw user id: the worst-case (sequential) input the
+        // audited mix_key finalizer must spread across shards and buckets.
+        const serve::AdaptedCache::Key key{
+            1, static_cast<std::uint64_t>(uid_sampler.sample(rng))};
+        if (!cache.get(key)) cache.put(key, phi);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double seconds = clock.seconds();
+  return static_cast<double>(threads * ops_per_thread) / seconds;
+}
+
+/// CSV with the full config as a `# key=value` preamble, then the table.
+void emit_with_config(const util::Table& t, const std::string& title,
+                      const std::string& csv_path, const rec::Config& cfg) {
+  t.print(std::cout, title);
+  if (!csv_path.empty()) {
+    std::ofstream os(csv_path);
+    FEDML_CHECK(os.good(), "cannot open csv path " + csv_path);
+    cfg.dump(os);
+    t.write_csv(os);
+    FEDML_CHECK(os.good(), "csv write failed for " + csv_path);
+    std::cout << "(csv written to " << csv_path << ")\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool smoke = cli.get_flag("smoke");
+  const auto csv = cli.get_string("csv", "");
+  const auto json_dir = cli.get_string("json_dir", ".");
+  auto cell_requests = static_cast<std::size_t>(
+      cli.get_int("cell_requests", smoke ? 1500 : 150000));
+  auto open_requests = static_cast<std::size_t>(
+      cli.get_int("open_requests", smoke ? 1500 : 20000));
+  auto hammer_ops = static_cast<std::size_t>(
+      cli.get_int("hammer_ops", smoke ? 30000 : 400000));
+  auto hammer_threads =
+      static_cast<std::size_t>(cli.get_int("hammer_threads", 8));
+  const double deadline_s = cli.get_double("deadline", 0.02);
+  const auto eval_users =
+      static_cast<std::size_t>(cli.get_int("eval_users", smoke ? 16 : 64));
+  rec::Config cfg = rec::Config::from_cli(cli);
+  cli.finish();
+
+  if (smoke) {
+    // CI-sized run: small id space, short training, tiny cache. Overrides
+    // conflicting size options on purpose — smoke is the fixed CI shape.
+    cfg.users = 3000;
+    cfg.train_users = 24;
+    cfg.iterations = 30;
+    cfg.cache_capacity = 512;
+    cfg.validate();
+  }
+
+  const data::RecSys rec(cfg.dataset());
+  const auto model = rec::make_model(cfg);
+  const std::size_t clients = 2 * effective_threads(cfg.serve_threads);
+
+  // ---- train -------------------------------------------------------------
+  util::Stopwatch train_clock;
+  const core::TrainResult trained = rec::train_meta_init(cfg, rec, *model);
+  const double train_s = train_clock.seconds();
+  const rec::PersonalizationEval gain =
+      rec::evaluate_personalization(cfg, rec, *model, trained.theta,
+                                    eval_users);
+  std::cout << "meta-init trained in " << train_s << " s; held-out users: "
+            << "global acc " << gain.global_accuracy << ", adapted acc "
+            << gain.adapted_accuracy << " (gain " << gain.gain() << ")\n\n";
+
+  serve::ModelRegistry registry(model, cfg.registry_stripes);
+  registry.publish(trained.theta);
+
+  util::Table t({"phase", "shards", "capacity", "zipf", "threads", "requests",
+                 "seconds", "qps", "hit rate", "evictions", "shed rate",
+                 "p50 ms", "p95 ms", "p99 ms"});
+
+  // ---- coverage: every user id exactly once ------------------------------
+  RunResult coverage;
+  {
+    serve::AdaptationServer server(registry, cfg.server());
+    std::atomic<std::uint64_t> uid_counter{0};
+    coverage = closed_loop(server, cfg, rec, cfg.users, clients,
+                           [&uid_counter](std::size_t, util::Rng&) {
+                             return uid_counter.fetch_add(1);
+                           });
+    add_row(t, "coverage", cfg, effective_threads(cfg.serve_threads),
+            cfg.users, coverage);
+  }
+
+  // ---- closed-loop Zipf sweep: shards × capacity × exponent (OFAT) -------
+  const std::vector<std::size_t> shard_sweep =
+      smoke ? std::vector<std::size_t>{1, cfg.cache_shards}
+            : std::vector<std::size_t>{1, 4, cfg.cache_shards};
+  const std::vector<std::size_t> capacity_sweep =
+      smoke ? std::vector<std::size_t>{cfg.cache_capacity}
+            : std::vector<std::size_t>{cfg.cache_capacity / 4,
+                                       cfg.cache_capacity,
+                                       cfg.cache_capacity * 4};
+  const std::vector<double> zipf_sweep =
+      smoke ? std::vector<double>{cfg.traffic_zipf}
+            : std::vector<double>{0.7, cfg.traffic_zipf, 1.1};
+
+  double base_qps = 0.0, one_shard_qps = 0.0;
+  RunResult base_cell;
+  const rec::Config base_cfg = cfg;
+  const auto run_cell = [&](const rec::Config& cell_cfg) {
+    cell_cfg.validate();
+    const RunResult r =
+        zipf_cell(registry, cell_cfg, rec, cell_requests, clients);
+    add_row(t, "zipf_sweep", cell_cfg, effective_threads(cfg.serve_threads),
+            cell_requests, r);
+    return r;
+  };
+  for (const auto shards : shard_sweep) {
+    rec::Config c = base_cfg;
+    c.cache_shards = shards;
+    const RunResult r = run_cell(c);
+    if (shards == 1) one_shard_qps = static_cast<double>(r.stats.served) / r.seconds;
+    if (shards == base_cfg.cache_shards) {
+      base_qps = static_cast<double>(r.stats.served) / r.seconds;
+      base_cell = r;
+    }
+  }
+  for (const auto capacity : capacity_sweep) {
+    if (capacity == base_cfg.cache_capacity) continue;  // base cell done
+    rec::Config c = base_cfg;
+    c.cache_capacity = capacity;
+    run_cell(c);
+  }
+  for (const auto zipf : zipf_sweep) {
+    if (zipf == base_cfg.traffic_zipf) continue;
+    rec::Config c = base_cfg;
+    c.traffic_zipf = zipf;
+    run_cell(c);
+  }
+
+  // ---- raw cache hammer: the lock-scaling headline -----------------------
+  const nn::ParamList phi = nn::clone_leaves(trained.theta, false);
+  const double cache_qps_1 =
+      hammer_cache(cfg, 1, hammer_threads, hammer_ops, phi);
+  const double cache_qps_n =
+      hammer_cache(cfg, cfg.cache_shards, hammer_threads, hammer_ops, phi);
+  for (const auto& [shards, qps] :
+       {std::pair{std::size_t{1}, cache_qps_1},
+        std::pair{cfg.cache_shards, cache_qps_n}}) {
+    t.add_row({std::string("cache_hammer"), static_cast<std::int64_t>(shards),
+               static_cast<std::int64_t>(cfg.cache_capacity),
+               cfg.traffic_zipf, static_cast<std::int64_t>(hammer_threads),
+               static_cast<std::int64_t>(hammer_threads * hammer_ops),
+               hammer_threads * hammer_ops / qps, qps, 0.0,
+               std::int64_t{0}, 0.0, 0.0, 0.0, 0.0});
+  }
+  const double shard_speedup = cache_qps_n / cache_qps_1;
+  std::cout << "cache hammer: " << cfg.cache_shards << " shards vs 1 shard at "
+            << hammer_threads << " threads -> " << shard_speedup
+            << "x closed-loop QPS (" << std::thread::hardware_concurrency()
+            << " hardware threads; shard scaling needs real cores to show)\n\n";
+
+  // ---- open loop: shed behaviour past capacity ---------------------------
+  double max_shed = 0.0;
+  for (const double mult : {0.5, 2.0, 8.0}) {
+    serve::AdaptationServer server(registry, cfg.server());
+    const double rate = mult * (base_qps > 0.0 ? base_qps : 1000.0);
+    const RunResult r =
+        open_loop(server, cfg, rec, open_requests, rate, deadline_s);
+    add_row(t, "open_loop", cfg, effective_threads(cfg.serve_threads),
+            open_requests, r);
+    if (r.stats.shed_rate() > max_shed) max_shed = r.stats.shed_rate();
+  }
+
+  emit_with_config(t, "federated recommendation serving — " +
+                          std::to_string(cfg.users) + " users",
+                   csv, cfg);
+
+  bench::write_bench_json(
+      "rec_serving",
+      {
+          {"hardware_threads",
+           static_cast<double>(std::thread::hardware_concurrency())},
+          {"distinct_users", static_cast<double>(cfg.users)},
+          {"train_seconds", train_s},
+          {"global_accuracy", gain.global_accuracy},
+          {"adapted_accuracy", gain.adapted_accuracy},
+          {"personalization_gain", gain.gain()},
+          {"coverage_qps",
+           static_cast<double>(coverage.stats.served) / coverage.seconds},
+          {"coverage_evictions",
+           static_cast<double>(coverage.cache.evictions)},
+          {"zipf_qps", base_qps},
+          {"zipf_qps_1shard", one_shard_qps},
+          {"zipf_hit_rate", base_cell.stats.hit_rate()},
+          {"zipf_p99_ms", base_cell.stats.p99_ms},
+          {"cache_qps_1shard", cache_qps_1},
+          {"cache_qps_sharded", cache_qps_n},
+          {"cache_shard_speedup", shard_speedup},
+          {"open_loop_max_shed_rate", max_shed},
+      },
+      json_dir);
+  return 0;
+}

@@ -185,6 +185,7 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{1, 2, 4};
   const std::size_t probe_threads = thread_sweep.back();
   double capacity_rps = 0.0;
+  double nocache_rps = 0.0, cache_p95_ms = 0.0, cache_hit_rate = 0.0;
   for (const auto threads : thread_sweep) {
     for (const bool cache : {false, true}) {
       serve::AdaptationServer::Config scfg;
@@ -195,8 +196,13 @@ int main(int argc, char** argv) {
       const auto r = closed_loop(server, tasks, requests,
                                  /*clients=*/2 * threads, alpha, steps);
       add_row(t, "cache_sweep", threads, cache, 0.0, r);
-      if (threads == probe_threads && cache)
+      if (threads == probe_threads && cache) {
         capacity_rps = static_cast<double>(r.stats.served) / r.seconds;
+        cache_p95_ms = r.stats.p95_ms;
+        cache_hit_rate = r.stats.hit_rate();
+      }
+      if (threads == probe_threads && !cache)
+        nocache_rps = static_cast<double>(r.stats.served) / r.seconds;
     }
   }
 
@@ -204,6 +210,7 @@ int main(int argc, char** argv) {
   const std::vector<double> mults =
       smoke ? std::vector<double>{0.5, 4.0}
             : std::vector<double>{0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  double max_shed_rate = 0.0;
   for (const double m : mults) {
     serve::AdaptationServer::Config scfg;
     scfg.threads = probe_threads;
@@ -218,8 +225,19 @@ int main(int argc, char** argv) {
     auto r = open_loop(server, tasks, requests, rate, deadline_s, alpha, steps);
     r.stats = stats_delta(r.stats, warm);
     add_row(t, "load_sweep", probe_threads, true, rate, r);
+    if (r.stats.shed_rate() > max_shed_rate) max_shed_rate = r.stats.shed_rate();
   }
 
   bench::emit(t, "serving runtime — cache & admission-control sweeps", csv);
+  bench::write_bench_json(
+      "serve_throughput",
+      {
+          {"capacity_rps_cached", capacity_rps},
+          {"capacity_rps_uncached", nocache_rps},
+          {"cache_speedup", nocache_rps > 0.0 ? capacity_rps / nocache_rps : 0.0},
+          {"cache_hit_rate", cache_hit_rate},
+          {"p95_ms_cached", cache_p95_ms},
+          {"max_shed_rate", max_shed_rate},
+      });
   return 0;
 }

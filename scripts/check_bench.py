@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json benchmark summaries (stdlib only, CI smoke step).
+
+Every benchmark that calls bench::write_bench_json emits a small tracked
+summary next to its CSV:
+
+    {
+      "bench": "<name>",
+      "metrics": { "<key>": <finite number>, ... }
+    }
+
+This checker enforces the schema so a refactor cannot silently turn the
+tracked numbers into garbage:
+
+  * top-level value is an object with exactly the keys `bench` and `metrics`
+  * `bench` is a non-empty string and matches the file name
+    `BENCH_<bench>.json`
+  * `metrics` is a non-empty object mapping non-empty string keys to finite
+    numbers (booleans and NaN/Inf are rejected — JSON NaN never parses here)
+
+Usage: check_bench.py BENCH_foo.json [BENCH_bar.json ...]
+Exit status: 0 all valid, 1 violations, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import sys
+
+
+def check(path: pathlib.Path, errors: list[str]) -> None:
+    def err(msg: str) -> None:
+        errors.append(f"{path}: {msg}")
+
+    name = path.name
+    if not (name.startswith("BENCH_") and name.endswith(".json")):
+        err("file name must look like BENCH_<name>.json")
+        return
+    expected_bench = name[len("BENCH_") : -len(".json")]
+
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as e:
+        err(f"unreadable: {e}")
+        return
+    except json.JSONDecodeError as e:
+        err(f"invalid JSON: {e}")
+        return
+
+    if not isinstance(doc, dict):
+        err("top-level value must be an object")
+        return
+    if set(doc) != {"bench", "metrics"}:
+        err(f"top-level keys must be exactly {{bench, metrics}}, got {sorted(doc)}")
+        return
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        err("`bench` must be a non-empty string")
+        return
+    if doc["bench"] != expected_bench:
+        err(f"`bench` is {doc['bench']!r} but file name implies {expected_bench!r}")
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        err("`metrics` must be a non-empty object")
+        return
+    for key, value in metrics.items():
+        if not isinstance(key, str) or not key:
+            err(f"metric key {key!r} must be a non-empty string")
+        # bool is an int subclass in Python; it is not a measurement.
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            err(f"metric {key!r} must be a number, got {type(value).__name__}")
+        elif not math.isfinite(value):
+            err(f"metric {key!r} must be finite, got {value!r}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for arg in argv[1:]:
+        check(pathlib.Path(arg), errors)
+    if errors:
+        print(f"check_bench: {len(errors)} problem(s)", file=sys.stderr)
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+    print(f"check_bench: OK ({len(argv) - 1} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -30,11 +30,24 @@ for preset in release asan tsan; do
 done
 
 # Serving-layer smoke: the benchmark's reduced sweep plus the end-to-end
-# example must run to completion (nonzero exit fails the build).
+# example must run to completion (nonzero exit fails the build). Benches run
+# with the build dir as cwd so their BENCH_*.json summaries land there, not
+# in the checkout (the tracked BENCH files are full-run results).
 echo "==> smoke"
 smoke_dir="build-release"
-"$smoke_dir/bench/serve_throughput" --smoke
+(cd "$smoke_dir" && bench/serve_throughput --smoke)
 "$smoke_dir/examples/edge_serving" --nodes=16 --iterations=10 --requests=40
+
+# Recommendation workload smoke: trains a small meta-init, sweeps the
+# sharded cache, and exercises the open-loop generator end to end. Under a
+# hard timeout — a deadlocked shard must fail the build, not hang it.
+echo "==> rec"
+if command -v timeout >/dev/null 2>&1; then
+  (cd "$smoke_dir" && timeout 300 bench/rec_serving --smoke) >/dev/null
+else
+  (cd "$smoke_dir" && bench/rec_serving --smoke) >/dev/null
+fi
+"$smoke_dir/examples/rec_quickstart" >/dev/null
 
 # Distributed smoke: real multi-process FedML over TCP. The self-test forks
 # one platform + N node processes, then asserts the distributed run matches
@@ -47,7 +60,12 @@ if command -v timeout >/dev/null 2>&1; then
 else
   "$smoke_dir/examples/distributed_fedml" --self-test
 fi
-"$smoke_dir/bench/net_roundtrip" --smoke >/dev/null
+(cd "$smoke_dir" && bench/net_roundtrip --smoke) >/dev/null
+
+# Every bench smoke above wrote a BENCH_<name>.json summary into the build
+# dir; validate the schema (and the tracked full-run results in bench/).
+echo "==> bench json"
+python3 scripts/check_bench.py "$smoke_dir"/BENCH_*.json bench/results/BENCH_*.json
 
 # Telemetry smoke: a short event-driven run must export a JSONL telemetry
 # stream that passes schema/monotonicity/liveness validation.

@@ -31,6 +31,13 @@ Enforced rules (library code under src/ unless noted):
                 an existing stopwatch call site in one line). util/ (the
                 definition) and obs/ (the integration layer) are exempt;
                 benches, examples and tests may use it freely.
+  std-hash-key  No std::hash instantiated on cache/registry key types
+                outside src/serve/. std::hash on integers is the identity
+                on most standard libraries, so sequential user ids /
+                versions would collapse into the same shards and buckets.
+                All key hashing must go through AdaptedCache::mix_key (the
+                audited SplitMix64 finalizer); only the serve layer itself
+                may wrap it in a std::hash specialization.
   pragma-once   Every header (src/, tests/, bench/, examples/) starts its
                 include guard with `#pragma once`.
 
@@ -59,6 +66,9 @@ CERR_ALLOWED = {"src/util/log.cpp"}
 STOPWATCH_ALLOWED_PREFIXES = ("src/util/", "src/obs/")
 # The one place raw socket syscalls may appear: the RAII socket layer.
 RAW_SOCKET_ALLOWED_PREFIX = "src/net/"
+# The one place std::hash may touch key types: the serve layer, which routes
+# it through the audited mix_key finalizer.
+STD_HASH_KEY_ALLOWED_PREFIX = "src/serve/"
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -79,6 +89,14 @@ RULES = {
     "naked-new": re.compile(r"(?:^|[^\w.:])(?:new\b|delete\b(?!\s*;))"),
     "stopwatch": re.compile(
         r"\butil::Stopwatch\b|#\s*include\s*\"util/stopwatch\.h\""
+    ),
+    # std::hash over anything that names a cache/registry key type. Matches
+    # direct instantiations (std::hash<AdaptedCache::Key>) and qualified
+    # spellings; plain std::hash<uint64_t> over raw signatures is equally
+    # banned because identity-hashed sequential ids defeat sharding.
+    "std-hash-key": re.compile(
+        r"\bstd::hash\s*<[^>]*\b(?:Key|signature|version|std::uint64_t|"
+        r"uint64_t)\b"
     ),
     # Global-scope syscall spelling (::recv) distinguishes the raw POSIX call
     # from same-named methods (conn->recv). The headers are banned outright.
@@ -217,6 +235,15 @@ def check_file(path: pathlib.Path, violations: list[str]) -> None:
                 "raw socket syscall/header outside src/net/ — use "
                 "net::Socket / net::Listener / net::MessageConn, which own "
                 "fd lifetime, deadlines and partial I/O",
+            )
+        if RULES["std-hash-key"].search(code) and not rel.startswith(
+            STD_HASH_KEY_ALLOWED_PREFIX
+        ):
+            report(
+                "std-hash-key",
+                "std::hash on a cache/registry key type outside src/serve/ "
+                "— identity-hashed sequential ids defeat sharding; use "
+                "serve::AdaptedCache::mix_key",
             )
         if RULES["stopwatch"].search(code) and not rel.startswith(
             STOPWATCH_ALLOWED_PREFIXES

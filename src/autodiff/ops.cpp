@@ -425,6 +425,24 @@ Var scatter_cols(const Var& v, std::vector<std::size_t> index, std::size_t cols)
                                      }}});
 }
 
+Var gather_rows(const Var& a, std::vector<std::size_t> index) {
+  const std::size_t r = a.rows();
+  Tensor value = tensor::gather_rows(a.value(), index);
+  return make_op(std::move(value),
+                 {{a, [index = std::move(index), r](const Var& g) {
+                     return scatter_add_rows(g, index, r);
+                   }}});
+}
+
+Var scatter_add_rows(const Var& v, std::vector<std::size_t> index,
+                     std::size_t rows) {
+  Tensor value = tensor::scatter_add_rows(v.value(), index, rows);
+  return make_op(std::move(value),
+                 {{v, [index = std::move(index)](const Var& g) {
+                     return gather_rows(g, index);
+                   }}});
+}
+
 Var dot(const Var& a, const Var& b) { return sum(mul(a, b)); }
 
 Var squared_norm(const Var& a) { return dot(a, a); }

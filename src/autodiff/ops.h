@@ -71,6 +71,15 @@ Var sqrt(const Var& a);
 Var gather_cols(const Var& a, std::vector<std::size_t> index);
 /// Zeros except out(i, index[i]) = v(i, 0); `cols` is the output width.
 Var scatter_cols(const Var& v, std::vector<std::size_t> index, std::size_t cols);
+/// Embedding lookup: out[i,:] = a(index[i],:). Indices may repeat; the
+/// backward accumulates into the touched rows (scatter_add_rows), and both
+/// directions are linear, so the op is exactly differentiable to any order —
+/// trainable embedding tables compose with the second-order MAML machinery.
+Var gather_rows(const Var& a, std::vector<std::size_t> index);
+/// Accumulating inverse of gather_rows: out(index[i],:) += v(i,:) into a
+/// `rows`×v.cols() tensor.
+Var scatter_add_rows(const Var& v, std::vector<std::size_t> index,
+                     std::size_t rows);
 
 // ---- convolution ---------------------------------------------------------------
 /// Single-channel "valid" 2-D correlation. `x` holds a batch of flattened

@@ -1,0 +1,101 @@
+#include "data/recsys.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.h"
+
+namespace fedml::data {
+
+using tensor::Tensor;
+
+namespace {
+
+// Stream-id offsets: user streams are split by raw user id, shared streams
+// by constants far above any realistic user count.
+constexpr std::uint64_t kItemStream = 0xf1a7'0000'0000'0001ull;
+constexpr std::uint64_t kCommonStream = 0xf1a7'0000'0000'0002ull;
+
+}  // namespace
+
+RecSys::RecSys(RecSysConfig config)
+    : config_(config),
+      root_(config.seed),
+      item_pop_(config.num_items > 0 ? config.num_items : 1, config.item_zipf_s) {
+  FEDML_CHECK(config_.num_users > 0, "recsys: need at least one user");
+  FEDML_CHECK(config_.num_items > 0, "recsys: need at least one item");
+  FEDML_CHECK(config_.dim > 0, "recsys: latent dimension must be positive");
+  FEDML_CHECK(config_.pref_scale >= 0.0 && config_.common_scale >= 0.0 &&
+                  config_.noise >= 0.0,
+              "recsys: scales must be non-negative");
+  FEDML_CHECK(config_.min_samples >= 2 &&
+                  config_.max_samples >= config_.min_samples,
+              "recsys: need 2 <= min_samples <= max_samples");
+
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(config_.dim));
+  util::Rng item_rng = root_.split(kItemStream);
+  items_ = Tensor::randn(config_.num_items, config_.dim, item_rng, 0.0, stddev);
+  util::Rng common_rng = root_.split(kCommonStream);
+  common_ = common_rng.normal_vector(config_.dim, 0.0, config_.common_scale);
+}
+
+std::vector<double> RecSys::user_taste(std::uint64_t user_id) const {
+  FEDML_CHECK(user_id < config_.num_users, "recsys: user id out of range");
+  util::Rng rng = root_.split(user_id);
+  std::vector<double> taste =
+      rng.normal_vector(config_.dim, 0.0, config_.pref_scale);
+  for (std::size_t k = 0; k < config_.dim; ++k) taste[k] += common_[k];
+  return taste;
+}
+
+Dataset RecSys::user_dataset(std::uint64_t user_id) const {
+  FEDML_CHECK(user_id < config_.num_users, "recsys: user id out of range");
+  // The SAME draw order as user_taste so taste stays consistent with labels.
+  util::Rng rng = root_.split(user_id);
+  std::vector<double> taste =
+      rng.normal_vector(config_.dim, 0.0, config_.pref_scale);
+  for (std::size_t k = 0; k < config_.dim; ++k) taste[k] += common_[k];
+
+  const auto n = static_cast<std::size_t>(rng.power_law_count(
+      config_.power_law_exponent,
+      static_cast<std::int64_t>(config_.min_samples),
+      static_cast<std::int64_t>(config_.max_samples)));
+
+  Dataset ds;
+  ds.x = Tensor(n, 1);
+  ds.y.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t item = item_pop_.sample(rng);
+    ds.x(s, 0) = static_cast<double>(item);
+    double score = rng.normal(0.0, config_.noise);
+    for (std::size_t k = 0; k < config_.dim; ++k)
+      score += items_(item, k) * taste[k];
+    ds.y[s] = score > 0.0 ? 1 : 0;
+  }
+  return ds;
+}
+
+NodeSplit RecSys::user_split(std::uint64_t user_id, std::size_t k) const {
+  Dataset full = user_dataset(user_id);
+  FEDML_CHECK(full.size() >= 2, "recsys: user history too small to split");
+  const std::size_t support = k >= full.size() ? full.size() - 1 : k;
+  std::vector<std::size_t> head(support), tail(full.size() - support);
+  for (std::size_t i = 0; i < support; ++i) head[i] = i;
+  for (std::size_t i = 0; i < tail.size(); ++i) tail[i] = support + i;
+  return {subset(full, head), subset(full, tail)};
+}
+
+FederatedDataset RecSys::federation(
+    const std::vector<std::uint64_t>& user_ids) const {
+  FEDML_CHECK(!user_ids.empty(), "recsys: federation needs at least one user");
+  FederatedDataset fd;
+  fd.name = "RecSys(items=" + std::to_string(config_.num_items) +
+            ", zipf=" + std::to_string(config_.item_zipf_s) + ")";
+  fd.input_dim = 1;
+  fd.num_classes = 2;
+  fd.nodes.reserve(user_ids.size());
+  for (const auto uid : user_ids) fd.nodes.push_back(user_dataset(uid));
+  return fd;
+}
+
+}  // namespace fedml::data

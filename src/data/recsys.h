@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fedml::data {
+
+/// Configuration for the federated-recommendation generator ("Federated
+/// Meta-Learning with Fast Convergence and Efficient Communication",
+/// arXiv 1802.07876: each user is a task, the meta-init is the shared
+/// recommender, adaptation personalizes it). Ground truth is a latent-factor
+/// model:
+///
+///   per item:  q_i ~ N(0, 1/√dim)^dim, popularity Zipf(item_zipf_s)
+///   per user:  p_u ~ N(0, pref_scale²)^dim  (taste deviation)
+///   shared:    c ~ N(0, common_scale²)^dim  (population taste — the part a
+///                                            global model can learn)
+///   per event: item ~ Zipf over the catalogue,
+///              y = 1{ q_item · (c + p_u) + ε > 0 },  ε ~ N(0, noise²)
+///
+/// `pref_scale` dials how much per-user personalization matters relative to
+/// the learnable population taste; with pref_scale ≈ common_scale an adapted
+/// model measurably beats the global one. Samples-per-user follow the same
+/// clamped power law as the other federations (Table I idiom).
+struct RecSysConfig {
+  std::size_t num_users = 1000000;  ///< user-id space (tasks); generation is
+                                    ///< lazy, so millions cost nothing up front
+  std::size_t num_items = 500;      ///< catalogue size
+  std::size_t dim = 8;              ///< latent factor dimension
+  double item_zipf_s = 1.1;         ///< Zipf exponent of item popularity
+  double pref_scale = 1.0;          ///< per-user taste stddev
+  double common_scale = 1.0;        ///< population taste stddev
+  double noise = 0.25;              ///< label-noise logit stddev
+  double power_law_exponent = 4.0;  ///< samples-per-user power law
+  std::size_t min_samples = 13;
+  std::size_t max_samples = 40;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic, *lazy* user×item interaction generator. Item factors and
+/// the population taste are materialized once; each user's dataset is
+/// derived on demand from an RNG stream split by user id, so
+/// `user_dataset(u)` is byte-identical for a given (seed, u) regardless of
+/// generation order or how many other users were generated — the property
+/// the per-user serving cache keys rely on.
+///
+/// Feature layout: x is N×1 with the item id in column 0 (the layout
+/// nn::RecRanker consumes); y ∈ {0, 1} (dislike/like).
+class RecSys {
+ public:
+  explicit RecSys(RecSysConfig config);
+
+  [[nodiscard]] const RecSysConfig& config() const { return config_; }
+
+  /// Ground-truth item factors (num_items×dim) — test/analysis access.
+  [[nodiscard]] const tensor::Tensor& item_factors() const { return items_; }
+
+  /// Ground-truth taste vector c + p_u for a user (test/analysis access).
+  [[nodiscard]] std::vector<double> user_taste(std::uint64_t user_id) const;
+
+  /// The user's full interaction history. Deterministic in (seed, user_id).
+  [[nodiscard]] Dataset user_dataset(std::uint64_t user_id) const;
+
+  /// Deterministic K-vs-rest split of the user's history (first K rows are
+  /// the support set — rows are iid, so position carries no information).
+  /// Requires the user's history to exceed `k`; clamps K to size−1 so every
+  /// user keeps a nonempty eval side.
+  [[nodiscard]] NodeSplit user_split(std::uint64_t user_id, std::size_t k) const;
+
+  /// Materialize a training federation over an explicit user subset
+  /// (input_dim = 1, num_classes = 2, one node per user in order).
+  [[nodiscard]] FederatedDataset federation(
+      const std::vector<std::uint64_t>& user_ids) const;
+
+ private:
+  RecSysConfig config_;
+  util::Rng root_;              ///< seed root; all streams split from here
+  tensor::Tensor items_;        ///< num_items×dim ground-truth factors
+  std::vector<double> common_;  ///< population taste c (dim)
+  util::ZipfSampler item_pop_;  ///< catalogue popularity
+};
+
+}  // namespace fedml::data

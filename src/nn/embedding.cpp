@@ -7,6 +7,7 @@
 
 namespace fedml::nn {
 
+using autodiff::Var;
 using tensor::Tensor;
 
 FrozenEmbedding::FrozenEmbedding(std::size_t vocab, std::size_t dim, Tensor table)
@@ -41,6 +42,83 @@ Tensor FrozenEmbedding::featurize_batch(
     for (std::size_t j = 0; j < dim_; ++j) out(i, j) = row(0, j);
   }
   return out;
+}
+
+RecRanker::RecRanker(std::size_t num_items, std::size_t dim, std::size_t hidden)
+    : num_items_(num_items), dim_(dim), hidden_(hidden) {
+  FEDML_CHECK(num_items > 0 && dim > 0, "RecRanker: items and dim must be positive");
+}
+
+std::vector<ParamShape> RecRanker::param_shapes() const {
+  std::vector<ParamShape> shapes{{num_items_, dim_},  // item embedding table
+                                 {1, dim_},           // user taste vector
+                                 {num_items_, 1}};    // item popularity bias
+  if (hidden_ > 0) {
+    shapes.push_back({2 * dim_, hidden_});
+    shapes.push_back({1, hidden_});
+    shapes.push_back({hidden_, 2});
+    shapes.push_back({1, 2});
+  }
+  return shapes;
+}
+
+autodiff::Var RecRanker::forward(const ParamList& params,
+                                 const autodiff::Var& x) const {
+  namespace ops = autodiff::ops;
+  FEDML_CHECK(params.size() == param_shapes().size(),
+              "RecRanker: wrong param count");
+  FEDML_CHECK(x.cols() >= 1, "RecRanker: input needs an item-id column");
+  const std::size_t batch = x.rows();
+
+  // Item ids ride in column 0 as doubles; they are data, not differentiable.
+  std::vector<std::size_t> ids(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const double v = x.value()(i, 0);
+    FEDML_CHECK(v >= 0.0 && v < static_cast<double>(num_items_),
+                "RecRanker: item id out of catalogue range");
+    ids[i] = static_cast<std::size_t>(v + 0.5);
+  }
+
+  const Var e = ops::gather_rows(params[0], ids);           // B×dim
+  const Var u = ops::expand_rows(params[1], batch);         // B×dim
+  const Var bias = ops::gather_rows(params[2], ids);        // B×1
+  Var score;  // B×1 "like" logit
+  if (hidden_ == 0) {
+    score = ops::add(ops::row_sums(ops::mul(e, u)), bias);
+  } else {
+    const Var features = ops::concat_cols(ops::mul(e, u), e);  // B×2dim
+    Var h = ops::add_rowvec(ops::matmul(features, params[3]), params[4]);
+    h = ops::relu(h);
+    const Var out = ops::add_rowvec(ops::matmul(h, params[5]), params[6]);
+    // Fold both head logits into one score so every head yields the same
+    // [0, score] logit layout below.
+    score = ops::add(ops::sub(ops::slice_cols(out, 1, 1), ops::slice_cols(out, 0, 1)),
+                     bias);
+  }
+  const Var zero = ops::constant(Tensor::zeros(batch, 1));
+  return ops::concat_cols(zero, score);  // [dislike, like] logits
+}
+
+ParamList RecRanker::init_params(util::Rng& rng) const {
+  ParamList params = Module::init_params(rng);
+  // Override the table default (stddev 1/sqrt(rows) vanishes for large
+  // catalogues): embedding rows get unit norm in expectation.
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(dim_));
+  params[0] = autodiff::Var(Tensor::randn(num_items_, dim_, rng, 0.0, stddev),
+                            /*requires_grad=*/true);
+  params[2] = autodiff::Var(Tensor::zeros(num_items_, 1), /*requires_grad=*/true);
+  return params;
+}
+
+std::string RecRanker::name() const {
+  return "RecRanker(items=" + std::to_string(num_items_) +
+         ", dim=" + std::to_string(dim_) +
+         (hidden_ == 0 ? ", dot" : ", mlp=" + std::to_string(hidden_)) + ")";
+}
+
+std::shared_ptr<Module> make_rec_ranker(std::size_t num_items, std::size_t dim,
+                                        std::size_t hidden) {
+  return std::make_shared<RecRanker>(num_items, dim, hidden);
 }
 
 }  // namespace fedml::nn

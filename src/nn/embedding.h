@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "nn/module.h"
 #include "tensor/tensor.h"
 
 namespace fedml::util {
@@ -38,5 +40,50 @@ class FrozenEmbedding {
   std::size_t dim_;
   tensor::Tensor table_;  // vocab×dim
 };
+
+/// Trainable embedding-based ranking model for the federated recommendation
+/// workload (each user = one meta-learning task):
+///
+///   e_i = ItemTable[item]          (trainable, shared across users)
+///   u   = user taste vector        (trainable 1×dim; the meta-init learns
+///                                   the population prior, per-user
+///                                   adaptation specializes it at serving)
+///   score = <e_i, u> + b_i                        (dot head, hidden = 0)
+///   score = MLP([e_i ⊙ u, e_i]) + b_i            (MLP head, hidden > 0)
+///
+/// Input rows carry the item id in column 0 (as a double; remaining columns
+/// are ignored), and the output is 2-class logits [0|dislike, score|like] so
+/// the model composes with the existing softmax cross-entropy loss, accuracy
+/// metrics, and — because the embedding lookup is an exactly differentiable
+/// gather — the second-order MAML meta-gradient.
+///
+/// Parameter order: [item_table (items×dim), user (1×dim),
+///                   item_bias (items×1), then MLP head params if any].
+class RecRanker : public Module {
+ public:
+  /// `hidden == 0` selects the dot-product head.
+  RecRanker(std::size_t num_items, std::size_t dim, std::size_t hidden = 0);
+
+  [[nodiscard]] std::vector<ParamShape> param_shapes() const override;
+  [[nodiscard]] autodiff::Var forward(const ParamList& params,
+                                      const autodiff::Var& x) const override;
+  /// Item table rows get N(0, 1/sqrt(dim)) (row norm ≈ 1 independent of the
+  /// catalogue size); user vector and biases start at zero.
+  [[nodiscard]] ParamList init_params(util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t num_items() const { return num_items_; }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t hidden() const { return hidden_; }
+
+ private:
+  std::size_t num_items_;
+  std::size_t dim_;
+  std::size_t hidden_;  ///< 0 = dot head
+};
+
+/// RecRanker factory mirroring make_mlp/make_cnn.
+std::shared_ptr<Module> make_rec_ranker(std::size_t num_items, std::size_t dim,
+                                        std::size_t hidden = 0);
 
 }  // namespace fedml::nn

@@ -1,0 +1,153 @@
+#include "rec/config.h"
+
+#include <limits>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace fedml::rec {
+
+Config Config::from_cli(util::Cli& cli) {
+  Config c;
+  const auto sz = [&cli](const std::string& key, std::size_t def) {
+    return static_cast<std::size_t>(
+        cli.get_int(key, static_cast<std::int64_t>(def)));
+  };
+  c.users = sz("users", c.users);
+  c.items = sz("items", c.items);
+  c.dim_latent = sz("dim_latent", c.dim_latent);
+  c.item_zipf = cli.get_double("item_zipf", c.item_zipf);
+  c.pref_scale = cli.get_double("pref_scale", c.pref_scale);
+  c.common_scale = cli.get_double("common_scale", c.common_scale);
+  c.label_noise = cli.get_double("label_noise", c.label_noise);
+  c.min_samples = sz("min_samples", c.min_samples);
+  c.max_samples = sz("max_samples", c.max_samples);
+  c.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(c.seed)));
+
+  c.embed_dim = sz("embed_dim", c.embed_dim);
+  c.hidden = sz("hidden", c.hidden);
+
+  c.train_users = sz("train_users", c.train_users);
+  c.k = sz("k", c.k);
+  c.alpha = cli.get_double("alpha", c.alpha);
+  c.beta = cli.get_double("beta", c.beta);
+  c.iterations = sz("iterations", c.iterations);
+  c.local_steps = sz("local_steps", c.local_steps);
+  c.threads = sz("threads", c.threads);
+
+  c.adapt_alpha = cli.get_double("adapt_alpha", c.adapt_alpha);
+  c.adapt_steps = sz("adapt_steps", c.adapt_steps);
+  c.serve_threads = sz("serve_threads", c.serve_threads);
+  c.max_pending = sz("max_pending", c.max_pending);
+  c.cache_capacity = sz("cache_capacity", c.cache_capacity);
+  c.cache_shards = sz("cache_shards", c.cache_shards);
+  c.registry_stripes = sz("registry_stripes", c.registry_stripes);
+  c.cache_ttl_s = cli.get_double("cache_ttl_s", c.cache_ttl_s);
+  c.traffic_zipf = cli.get_double("traffic_zipf", c.traffic_zipf);
+
+  c.validate();
+  return c;
+}
+
+void Config::validate() const {
+  FEDML_CHECK(users >= 1, "rec::Config: users must be >= 1");
+  FEDML_CHECK(items >= 2, "rec::Config: items must be >= 2");
+  FEDML_CHECK(dim_latent >= 1, "rec::Config: dim_latent must be >= 1");
+  FEDML_CHECK(item_zipf >= 0.0, "rec::Config: item_zipf must be >= 0");
+  FEDML_CHECK(pref_scale >= 0.0, "rec::Config: pref_scale must be >= 0");
+  FEDML_CHECK(common_scale >= 0.0, "rec::Config: common_scale must be >= 0");
+  FEDML_CHECK(label_noise >= 0.0, "rec::Config: label_noise must be >= 0");
+  FEDML_CHECK(min_samples >= 2,
+              "rec::Config: min_samples must be >= 2 (K-vs-rest split)");
+  FEDML_CHECK(max_samples >= min_samples,
+              "rec::Config: max_samples must be >= min_samples");
+  FEDML_CHECK(embed_dim >= 1, "rec::Config: embed_dim must be >= 1");
+  FEDML_CHECK(train_users >= 1, "rec::Config: train_users must be >= 1");
+  FEDML_CHECK(train_users <= users,
+              "rec::Config: train_users cannot exceed users");
+  FEDML_CHECK(k >= 1, "rec::Config: k must be >= 1");
+  FEDML_CHECK(k < min_samples,
+              "rec::Config: k must be < min_samples so every user keeps a "
+              "nonempty eval side");
+  FEDML_CHECK(alpha > 0.0 && beta > 0.0,
+              "rec::Config: alpha and beta must be positive");
+  FEDML_CHECK(iterations >= 1, "rec::Config: iterations must be >= 1");
+  FEDML_CHECK(local_steps >= 1, "rec::Config: local_steps must be >= 1");
+  FEDML_CHECK(adapt_alpha > 0.0, "rec::Config: adapt_alpha must be positive");
+  FEDML_CHECK(adapt_steps >= 1, "rec::Config: adapt_steps must be >= 1");
+  FEDML_CHECK(max_pending >= 1, "rec::Config: max_pending must be >= 1");
+  FEDML_CHECK(cache_shards >= 1, "rec::Config: cache_shards must be >= 1");
+  FEDML_CHECK(cache_capacity >= cache_shards,
+              "rec::Config: cache_capacity must be >= cache_shards (every "
+              "shard needs at least one slot)");
+  FEDML_CHECK(registry_stripes >= 1,
+              "rec::Config: registry_stripes must be >= 1");
+  FEDML_CHECK(traffic_zipf >= 0.0, "rec::Config: traffic_zipf must be >= 0");
+}
+
+data::RecSysConfig Config::dataset() const {
+  data::RecSysConfig d;
+  d.num_users = users;
+  d.num_items = items;
+  d.dim = dim_latent;
+  d.item_zipf_s = item_zipf;
+  d.pref_scale = pref_scale;
+  d.common_scale = common_scale;
+  d.noise = label_noise;
+  d.min_samples = min_samples;
+  d.max_samples = max_samples;
+  d.seed = seed;
+  return d;
+}
+
+serve::AdaptedCache::Config Config::cache() const {
+  serve::AdaptedCache::Config c;
+  c.capacity = cache_capacity;
+  c.shards = cache_shards;
+  c.ttl_seconds = cache_ttl_s > 0.0 ? cache_ttl_s
+                                    : std::numeric_limits<double>::infinity();
+  return c;
+}
+
+serve::AdaptationServer::Config Config::server() const {
+  serve::AdaptationServer::Config s;
+  s.threads = serve_threads;
+  s.max_pending = max_pending;
+  s.use_cache = true;
+  s.cache = cache();
+  return s;
+}
+
+void Config::dump(std::ostream& os) const {
+  os << "# users=" << users << "\n"
+     << "# items=" << items << "\n"
+     << "# dim_latent=" << dim_latent << "\n"
+     << "# item_zipf=" << item_zipf << "\n"
+     << "# pref_scale=" << pref_scale << "\n"
+     << "# common_scale=" << common_scale << "\n"
+     << "# label_noise=" << label_noise << "\n"
+     << "# min_samples=" << min_samples << "\n"
+     << "# max_samples=" << max_samples << "\n"
+     << "# seed=" << seed << "\n"
+     << "# embed_dim=" << embed_dim << "\n"
+     << "# hidden=" << hidden << "\n"
+     << "# train_users=" << train_users << "\n"
+     << "# k=" << k << "\n"
+     << "# alpha=" << alpha << "\n"
+     << "# beta=" << beta << "\n"
+     << "# iterations=" << iterations << "\n"
+     << "# local_steps=" << local_steps << "\n"
+     << "# threads=" << threads << "\n"
+     << "# adapt_alpha=" << adapt_alpha << "\n"
+     << "# adapt_steps=" << adapt_steps << "\n"
+     << "# serve_threads=" << serve_threads << "\n"
+     << "# max_pending=" << max_pending << "\n"
+     << "# cache_capacity=" << cache_capacity << "\n"
+     << "# cache_shards=" << cache_shards << "\n"
+     << "# registry_stripes=" << registry_stripes << "\n"
+     << "# cache_ttl_s=" << cache_ttl_s << "\n"
+     << "# traffic_zipf=" << traffic_zipf << "\n";
+}
+
+}  // namespace fedml::rec

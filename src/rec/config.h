@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "data/recsys.h"
+#include "serve/cache.h"
+#include "serve/server.h"
+#include "util/cli.h"
+
+namespace fedml::rec {
+
+/// The one configuration surface for the recommendation workload — dataset,
+/// model, federated meta-training, and serving knobs in a single documented
+/// struct (the LightGBM `config.h` idiom: every option declared in one
+/// place, parsed and validated centrally, dumped into every bench CSV header
+/// so a result file is reproducible from its own preamble).
+///
+/// Mapping to the paper: each user is a task; `train_users` users form the
+/// source federation for Algorithm 1; serving adapts the published meta-init
+/// per user with `adapt_steps` gradient steps at rate `adapt_alpha`.
+struct Config {
+  // ---- dataset (data::RecSysConfig) ----------------------------------------
+  std::size_t users = 1000000;      ///< user-id space (tasks)
+  std::size_t items = 500;          ///< catalogue size
+  std::size_t dim_latent = 8;       ///< generator latent dimension
+  double item_zipf = 1.1;           ///< item-popularity Zipf exponent
+  double pref_scale = 1.0;          ///< per-user taste stddev
+  double common_scale = 1.0;        ///< population taste stddev
+  double label_noise = 0.25;        ///< label-noise logit stddev
+  std::size_t min_samples = 13;     ///< samples-per-user power-law clamp
+  std::size_t max_samples = 40;
+  std::uint64_t seed = 42;
+
+  // ---- model (nn::RecRanker) -----------------------------------------------
+  std::size_t embed_dim = 8;        ///< model embedding width
+  std::size_t hidden = 0;           ///< MLP head width; 0 = dot-product head
+
+  // ---- federated meta-training (core::train_fedml) -------------------------
+  std::size_t train_users = 64;     ///< users in the source federation
+  std::size_t k = 10;               ///< K-shot support size
+  double alpha = 0.05;              ///< inner (adaptation) rate α
+  double beta = 0.05;               ///< meta rate β
+  std::size_t iterations = 120;     ///< total iterations T
+  std::size_t local_steps = 5;      ///< T0
+  std::size_t threads = 0;          ///< training threads (0 = hardware)
+
+  // ---- serving (serve::AdaptationServer + AdaptedCache) --------------------
+  double adapt_alpha = 0.05;        ///< per-user adaptation rate at serving
+  std::size_t adapt_steps = 3;      ///< per-user gradient steps on a miss
+  std::size_t serve_threads = 0;    ///< server workers (0 = hardware)
+  std::size_t max_pending = 256;    ///< admission bound
+  std::size_t cache_capacity = 65536;  ///< adapted-cache entries (total)
+  std::size_t cache_shards = 8;     ///< independently-locked cache shards
+  std::size_t registry_stripes = 8; ///< registry read stripes
+  double cache_ttl_s = 0.0;         ///< entry TTL; <= 0 = never expires
+  double traffic_zipf = 0.9;        ///< Zipf exponent of user-id traffic
+
+  /// Read every `--key=value` option off the CLI (keys match the field
+  /// names), validate, and return the config. Central: benches and examples
+  /// share one parser, so no knob can drift between harnesses.
+  static Config from_cli(util::Cli& cli);
+
+  /// Throws util::Error on any inconsistent setting.
+  void validate() const;
+
+  /// Sub-config projections consumed by the layers below.
+  [[nodiscard]] data::RecSysConfig dataset() const;
+  [[nodiscard]] serve::AdaptedCache::Config cache() const;
+  [[nodiscard]] serve::AdaptationServer::Config server() const;
+
+  /// Write one `# key=value` line per option — prepended to every bench CSV
+  /// so result files carry their full provenance.
+  void dump(std::ostream& os) const;
+};
+
+}  // namespace fedml::rec

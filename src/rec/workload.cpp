@@ -1,0 +1,85 @@
+#include "rec/workload.h"
+
+#include <numeric>
+
+#include "core/meta.h"
+#include "fed/node.h"
+#include "nn/embedding.h"
+#include "serve/cache.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml::rec {
+
+std::shared_ptr<nn::Module> make_model(const Config& config) {
+  return nn::make_rec_ranker(config.items, config.embed_dim, config.hidden);
+}
+
+core::TrainResult train_meta_init(const Config& config, const data::RecSys& rec,
+                                  const nn::Module& model,
+                                  obs::Telemetry* telemetry) {
+  FEDML_CHECK(rec.config().num_users >= config.train_users,
+              "train_meta_init: generator holds fewer users than train_users");
+  std::vector<std::uint64_t> user_ids(config.train_users);
+  std::iota(user_ids.begin(), user_ids.end(), std::uint64_t{0});
+  const data::FederatedDataset fd = rec.federation(user_ids);
+
+  std::vector<std::size_t> node_ids(fd.nodes.size());
+  std::iota(node_ids.begin(), node_ids.end(), std::size_t{0});
+  util::Rng rng(config.seed ^ 0x5ec5'1ab5ull);
+  std::vector<fed::EdgeNode> nodes =
+      fed::make_edge_nodes(fd, node_ids, config.k, rng);
+  FEDML_CHECK(!nodes.empty(),
+              "train_meta_init: no trainable users (every history <= k)");
+
+  core::FedMLConfig fc;
+  fc.alpha = config.alpha;
+  fc.beta = config.beta;
+  fc.total_iterations = config.iterations;
+  fc.local_steps = config.local_steps;
+  fc.threads = config.threads;
+  fc.telemetry = telemetry;
+  const nn::ParamList theta0 = model.init_params(rng);
+  return core::train_fedml(model, std::move(nodes), theta0, fc);
+}
+
+serve::AdaptRequest make_user_request(const Config& config,
+                                      const data::RecSys& rec,
+                                      std::uint64_t user_id) {
+  data::NodeSplit split = rec.user_split(user_id, config.k);
+  serve::AdaptRequest req;
+  req.alpha = config.adapt_alpha;
+  req.steps = config.adapt_steps;
+  req.signature = serve::user_task_signature(user_id, split.train);
+  req.adapt = std::move(split.train);
+  req.eval = std::move(split.test);
+  return req;
+}
+
+PersonalizationEval evaluate_personalization(const Config& config,
+                                             const data::RecSys& rec,
+                                             const nn::Module& model,
+                                             const nn::ParamList& theta,
+                                             std::size_t eval_users) {
+  PersonalizationEval out;
+  // Held-out users: never part of the training federation, wrapping into the
+  // id space when the config trains on every user.
+  for (std::size_t i = 0; i < eval_users; ++i) {
+    const std::uint64_t uid =
+        (config.train_users + i) % rec.config().num_users;
+    const data::NodeSplit split = rec.user_split(uid, config.k);
+    out.global_accuracy += core::empirical_accuracy(model, theta, split.test);
+    const nn::ParamList phi = core::adapt(model, theta, split.train,
+                                          config.adapt_alpha,
+                                          config.adapt_steps);
+    out.adapted_accuracy += core::empirical_accuracy(model, phi, split.test);
+    ++out.users;
+  }
+  if (out.users > 0) {
+    out.global_accuracy /= static_cast<double>(out.users);
+    out.adapted_accuracy /= static_cast<double>(out.users);
+  }
+  return out;
+}
+
+}  // namespace fedml::rec

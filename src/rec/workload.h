@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "data/recsys.h"
+#include "nn/module.h"
+#include "obs/telemetry.h"
+#include "rec/config.h"
+#include "serve/server.h"
+
+namespace fedml::rec {
+
+/// End-to-end glue for the federated recommendation workload: the config's
+/// dataset + model + training knobs drive `core::train_fedml` (each user is
+/// one task / edge node), and the trained meta-init is served per user
+/// through `serve::AdaptationServer` with a reshuffle-stable cache key.
+
+/// The ranking model described by the config (item table + taste vector +
+/// head; see nn::RecRanker).
+std::shared_ptr<nn::Module> make_model(const Config& config);
+
+/// Train the meta-initialization over users [0, train_users) of the
+/// generator — Algorithm 1 with one edge node per user. `telemetry` is
+/// optional (null = off).
+core::TrainResult train_meta_init(const Config& config, const data::RecSys& rec,
+                                  const nn::Module& model,
+                                  obs::Telemetry* telemetry = nullptr);
+
+/// Serving-side request for one user: deterministic K-vs-rest split of the
+/// user's history, adaptation knobs from the config, and the
+/// order-insensitive `user_task_signature` so the cache entry survives
+/// support-set reshuffling.
+serve::AdaptRequest make_user_request(const Config& config,
+                                      const data::RecSys& rec,
+                                      std::uint64_t user_id);
+
+/// Personalization gain on held-out users (ids picked after `train_users`):
+/// accuracy of the raw meta-init versus the per-user adapted model, each
+/// measured on the user's eval side. The gap is the paper's reason to
+/// federate meta-learning instead of training one global model.
+struct PersonalizationEval {
+  double global_accuracy = 0.0;   ///< meta-init as-is, averaged over users
+  double adapted_accuracy = 0.0;  ///< after per-user adaptation
+  std::size_t users = 0;          ///< users actually evaluated
+  [[nodiscard]] double gain() const {
+    return adapted_accuracy - global_accuracy;
+  }
+};
+
+PersonalizationEval evaluate_personalization(const Config& config,
+                                             const data::RecSys& rec,
+                                             const nn::Module& model,
+                                             const nn::ParamList& theta,
+                                             std::size_t eval_users);
+
+}  // namespace fedml::rec

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "util/error.h"
 #include "util/serialize.h"
 
 namespace fedml::serve {
@@ -15,6 +16,13 @@ double steady_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+std::uint64_t splitmix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
@@ -30,7 +38,42 @@ std::uint64_t task_signature(const data::Dataset& d) {
   return h;
 }
 
-AdaptedCache::AdaptedCache(Config config) : config_(config) {}
+std::uint64_t user_task_signature(std::uint64_t user_id,
+                                  const data::Dataset& d) {
+  // Hash each row independently (features + label + width), then combine
+  // with wrapping addition — commutative and associative, so any permutation
+  // of the rows yields the same sum. Each per-row hash passes through the
+  // SplitMix64 finalizer first; summing raw FNV values would let structured
+  // row differences cancel.
+  std::uint64_t combined = 0;
+  const std::size_t cols = d.x.cols();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    std::uint64_t row = util::fnv1a(
+        reinterpret_cast<const std::uint8_t*>(d.x.data() + i * cols),
+        cols * sizeof(double));
+    const std::uint64_t label = d.y[i];
+    row = util::fnv1a(reinterpret_cast<const std::uint8_t*>(&label),
+                      sizeof(label), row);
+    const std::uint64_t width = cols;
+    row = util::fnv1a(reinterpret_cast<const std::uint8_t*>(&width),
+                      sizeof(width), row);
+    combined += splitmix(row);
+  }
+  return splitmix(splitmix(user_id) + combined);
+}
+
+AdaptedCache::AdaptedCache(Config config) : config_(config) {
+  FEDML_CHECK(config_.shards >= 1, "AdaptedCache: need at least one shard");
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Divide the budget evenly; earlier shards absorb the remainder so the
+    // total is exactly `capacity`.
+    shard->capacity = config_.capacity / config_.shards +
+                      (s < config_.capacity % config_.shards ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
 
 bool AdaptedCache::expired(const Entry& e, double now_s) const {
   return std::isfinite(config_.ttl_seconds) && config_.ttl_seconds > 0.0 &&
@@ -38,70 +81,88 @@ bool AdaptedCache::expired(const Entry& e, double now_s) const {
 }
 
 std::shared_ptr<const nn::ParamList> AdaptedCache::get(const Key& key) {
-  util::LockGuard lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
+  Shard& shard = shard_of(key);
+  util::LockGuard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
     return nullptr;
   }
   if (expired(*it->second, steady_seconds())) {
-    lru_.erase(it->second);
-    index_.erase(it);
-    ++stats_.expirations;
-    ++stats_.misses;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.stats.expirations;
+    ++shard.stats.misses;
     return nullptr;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);  // renew LRU position
-  ++stats_.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // renew LRU
+  ++shard.stats.hits;
   return it->second->params;
 }
 
 void AdaptedCache::put(const Key& key, nn::ParamList adapted) {
-  util::LockGuard lock(mutex_);
-  if (config_.capacity == 0) return;
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    lru_.erase(it->second);
-    index_.erase(it);
+  Shard& shard = shard_of(key);
+  util::LockGuard lock(shard.mutex);
+  if (shard.capacity == 0) return;
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
   }
-  lru_.push_front(Entry{key,
-                        std::make_shared<const nn::ParamList>(std::move(adapted)),
-                        steady_seconds()});
-  index_[key] = lru_.begin();
-  while (lru_.size() > config_.capacity) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  shard.lru.push_front(
+      Entry{key, std::make_shared<const nn::ParamList>(std::move(adapted)),
+            steady_seconds()});
+  shard.index[key] = shard.lru.begin();
+  while (shard.lru.size() > shard.capacity) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
   }
 }
 
 void AdaptedCache::invalidate_before(std::uint64_t version) {
-  util::LockGuard lock(mutex_);
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->key.version < version) {
-      index_.erase(it->key);
-      it = lru_.erase(it);
-      ++stats_.invalidations;
-    } else {
-      ++it;
+  for (auto& shard : shards_) {
+    util::LockGuard lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.version < version) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++shard->stats.invalidations;
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 void AdaptedCache::clear() {
-  util::LockGuard lock(mutex_);
-  lru_.clear();
-  index_.clear();
+  for (auto& shard : shards_) {
+    util::LockGuard lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
 }
 
 std::size_t AdaptedCache::size() const {
-  util::LockGuard lock(mutex_);
-  return lru_.size();
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    util::LockGuard lock(shard->mutex);
+    n += shard->lru.size();
+  }
+  return n;
 }
 
 AdaptedCache::Stats AdaptedCache::stats() const {
-  util::LockGuard lock(mutex_);
-  return stats_;
+  Stats total;
+  for (const auto& shard : shards_) {
+    util::LockGuard lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.expirations += shard->stats.expirations;
+    total.invalidations += shard->stats.invalidations;
+  }
+  return total;
 }
 
 }  // namespace fedml::serve

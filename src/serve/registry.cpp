@@ -8,9 +8,33 @@
 
 namespace fedml::serve {
 
-ModelRegistry::ModelRegistry(std::shared_ptr<const nn::Module> model)
+namespace {
+
+/// Round-robin reader-slot assignment: each thread gets a stable small index
+/// at first use, spreading concurrent readers across the stripes without
+/// per-read atomics or hashing.
+std::atomic<std::size_t> g_reader_slots{0};
+
+std::size_t reader_slot() {
+  thread_local const std::size_t slot =
+      g_reader_slots.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::shared_ptr<const nn::Module> model,
+                             std::size_t read_stripes)
     : model_(std::move(model)) {
   FEDML_CHECK(model_ != nullptr, "ModelRegistry requires a model");
+  FEDML_CHECK(read_stripes >= 1, "ModelRegistry: need at least one stripe");
+  stripes_.reserve(read_stripes);
+  for (std::size_t s = 0; s < read_stripes; ++s)
+    stripes_.push_back(std::make_unique<Stripe>());
+}
+
+const ModelRegistry::Stripe& ModelRegistry::reader_stripe() const {
+  return *stripes_[reader_slot() % stripes_.size()];
 }
 
 std::uint64_t ModelRegistry::publish(const nn::ParamList& params) {
@@ -40,7 +64,14 @@ std::uint64_t ModelRegistry::publish(const nn::ParamList& params) {
     util::LockGuard lock(mutex_);
     version = next_version_++;
     snap->version = version;
-    snapshot_ = std::move(snap);
+    // Fan the new snapshot out to every read stripe, one stripe lock at a
+    // time (kRegistryStripe nests inside kRegistry). The control lock keeps
+    // concurrent publishes from interleaving their sweeps, so stripe
+    // versions are monotone.
+    for (auto& stripe : stripes_) {
+      util::LockGuard stripe_lock(stripe->mutex);
+      stripe->snapshot = snap;
+    }
     hooks = hooks_;
   }
   for (const auto& hook : hooks) hook(version);
@@ -53,15 +84,17 @@ std::uint64_t ModelRegistry::publish_checkpoint(const std::string& path) {
 }
 
 std::shared_ptr<const ModelSnapshot> ModelRegistry::current() const {
-  util::LockGuard lock(mutex_);
-  FEDML_CHECK(snapshot_ != nullptr,
+  const Stripe& stripe = reader_stripe();
+  util::LockGuard lock(stripe.mutex);
+  FEDML_CHECK(stripe.snapshot != nullptr,
               "ModelRegistry::current: nothing published yet");
-  return snapshot_;
+  return stripe.snapshot;
 }
 
 std::uint64_t ModelRegistry::current_version() const {
-  util::LockGuard lock(mutex_);
-  return snapshot_ ? snapshot_->version : 0;
+  const Stripe& stripe = reader_stripe();
+  util::LockGuard lock(stripe.mutex);
+  return stripe.snapshot ? stripe.snapshot->version : 0;
 }
 
 void ModelRegistry::on_publish(PublishHook hook) {

@@ -31,14 +31,28 @@ struct ModelSnapshot {
 /// model-mismatched files). `current()` returns the latest snapshot behind a
 /// shared_ptr; the swap is atomic with respect to readers, so every request
 /// adapts a single consistent parameter set even while a publish lands
-/// mid-stream. All methods are thread-safe.
+/// mid-stream.
+///
+/// Scale: every request starts with `current()`, so at millions of users the
+/// read path must not serialize on one mutex. The snapshot pointer is
+/// replicated across `read_stripes` independently-locked stripes; each
+/// reader thread pins one stripe (round-robin at first use) and publishes
+/// update every stripe before returning. Consistency contract: after
+/// `publish` returns, every subsequent `current()` on any thread sees the
+/// new (or a newer) version; while a publish is in flight, two readers may
+/// transiently observe adjacent versions — each request still adapts one
+/// consistent parameter set, and the version-keyed cache keeps entries from
+/// mixing. All methods are thread-safe.
 class ModelRegistry {
  public:
-  /// Callback invoked (outside the registry lock) after every publish —
+  /// Callback invoked (outside the registry locks) after every publish —
   /// the adapted-parameter cache subscribes to drop stale versions.
   using PublishHook = std::function<void(std::uint64_t new_version)>;
 
-  explicit ModelRegistry(std::shared_ptr<const nn::Module> model);
+  static constexpr std::size_t kDefaultReadStripes = 8;
+
+  explicit ModelRegistry(std::shared_ptr<const nn::Module> model,
+                         std::size_t read_stripes = kDefaultReadStripes);
 
   /// Validate shapes against the model, clone to fresh detached leaves, and
   /// swap in atomically as the next version. Returns the new version number.
@@ -55,6 +69,7 @@ class ModelRegistry {
   [[nodiscard]] std::uint64_t current_version() const;
 
   [[nodiscard]] const nn::Module& model() const { return *model_; }
+  [[nodiscard]] std::size_t read_stripes() const { return stripes_.size(); }
 
   void on_publish(PublishHook hook);
 
@@ -66,13 +81,24 @@ class ModelRegistry {
   }
 
  private:
+  /// One replicated snapshot slot. unique_ptr because Mutex is not movable.
+  struct Stripe {
+    mutable util::Mutex mutex{util::lock_rank::kRegistryStripe,
+                              "ModelRegistry::stripe"};
+    std::shared_ptr<const ModelSnapshot> snapshot FEDML_GUARDED_BY(mutex);
+  };
+
+  [[nodiscard]] const Stripe& reader_stripe() const;
+
   std::shared_ptr<const nn::Module> model_;  ///< set once in ctor, immutable
   std::atomic<obs::Telemetry*> telemetry_{nullptr};
+  /// Publish-side control lock: serializes version assignment and the
+  /// stripe-update sweep so versions reach the stripes in order.
   mutable util::Mutex mutex_{util::lock_rank::kRegistry,
                              "ModelRegistry::mutex_"};
-  std::shared_ptr<const ModelSnapshot> snapshot_ FEDML_GUARDED_BY(mutex_);
   std::uint64_t next_version_ FEDML_GUARDED_BY(mutex_) = 1;
   std::vector<PublishHook> hooks_ FEDML_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Stripe>> stripes_;  ///< fixed size after ctor
 };
 
 }  // namespace fedml::serve

@@ -118,7 +118,8 @@ AdaptResponse AdaptationServer::process(const AdaptRequest& request,
   AdaptedCache::Key key{snapshot->version, 0};
   std::shared_ptr<const nn::ParamList> adapted;
   if (config_.use_cache) {
-    key.signature = task_signature(request.adapt);
+    key.signature = request.signature ? *request.signature
+                                      : task_signature(request.adapt);
     adapted = cache_->get(key);
   }
   if (adapted) {

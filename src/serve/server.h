@@ -5,6 +5,7 @@
 #include <future>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "data/dataset.h"
@@ -31,6 +32,11 @@ struct AdaptRequest {
   /// Relative deadline: the request is shed if no worker has *started* it
   /// within this many seconds of admission. Infinity = never shed.
   double deadline_s = std::numeric_limits<double>::infinity();
+  /// Optional precomputed task signature for the adapted-parameter cache.
+  /// Per-user serving sets `user_task_signature(user_id, adapt)` here so the
+  /// cache key is stable under support-set reshuffling; when absent the
+  /// server falls back to the order-sensitive byte hash of `adapt`.
+  std::optional<std::uint64_t> signature;
 };
 
 enum class RequestStatus {

@@ -242,6 +242,27 @@ Tensor scatter_cols(const Tensor& v, const std::vector<std::size_t>& index,
   return out;
 }
 
+Tensor gather_rows(const Tensor& a, const std::vector<std::size_t>& index) {
+  Tensor out(index.size(), a.cols());
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    FEDML_CHECK(index[i] < a.rows(), "gather_rows index out of range");
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = a(index[i], j);
+  }
+  return out;
+}
+
+Tensor scatter_add_rows(const Tensor& v, const std::vector<std::size_t>& index,
+                        std::size_t rows) {
+  FEDML_CHECK(index.size() == v.rows(),
+              "scatter_add_rows needs one index per row");
+  Tensor out(rows, v.cols());
+  for (std::size_t i = 0; i < v.rows(); ++i) {
+    FEDML_CHECK(index[i] < rows, "scatter_add_rows index out of range");
+    for (std::size_t j = 0; j < v.cols(); ++j) out(index[i], j) += v(i, j);
+  }
+  return out;
+}
+
 std::vector<std::size_t> argmax_rows(const Tensor& a) {
   FEDML_CHECK(a.cols() > 0, "argmax of empty rows");
   std::vector<std::size_t> out(a.rows());

@@ -128,6 +128,14 @@ Tensor gather_cols(const Tensor& a, const std::vector<std::size_t>& index);
 /// Inverse of gather_cols: zeros except out(i, index[i]) = v(i, 0).
 Tensor scatter_cols(const Tensor& v, const std::vector<std::size_t>& index,
                     std::size_t cols);
+/// index.size()×cols tensor with out[i,:] = a(index[i],:) — embedding lookup.
+/// Indices may repeat; each is bounds-checked against a.rows().
+Tensor gather_rows(const Tensor& a, const std::vector<std::size_t>& index);
+/// Accumulating inverse of gather_rows: a rows×v.cols() tensor with
+/// out(index[i],:) += v(i,:). Repeated indices sum — the adjoint of an
+/// embedding lookup that touched the same row twice.
+Tensor scatter_add_rows(const Tensor& v, const std::vector<std::size_t>& index,
+                        std::size_t rows);
 /// Per-row argmax.
 std::vector<std::size_t> argmax_rows(const Tensor& a);
 

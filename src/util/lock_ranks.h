@@ -24,8 +24,18 @@ inline constexpr int kNetServer = 4;    ///< net::PlatformServer::mutex_ (the
                                         ///< round driver may call into any
                                         ///< inner layer while coordinating)
 inline constexpr int kServer = 10;      ///< serve::AdaptationServer::mutex_
-inline constexpr int kRegistry = 20;    ///< serve::ModelRegistry::mutex_
-inline constexpr int kCache = 30;       ///< serve::AdaptedCache::mutex_
+inline constexpr int kRegistry = 20;    ///< serve::ModelRegistry::mutex_ (the
+                                        ///< publish-side control lock)
+inline constexpr int kRegistryStripe = 24;  ///< serve::ModelRegistry read
+                                            ///< stripes: a publish updates
+                                            ///< every stripe while holding the
+                                            ///< control lock, so stripes rank
+                                            ///< strictly inside kRegistry;
+                                            ///< readers lock exactly one
+inline constexpr int kCache = 30;       ///< serve::AdaptedCache shard mutexes
+                                        ///< (one per shard; operations lock
+                                        ///< exactly one shard, cross-shard
+                                        ///< sweeps lock one at a time)
 inline constexpr int kThreadPool = 40;  ///< util::ThreadPool::mutex_
 inline constexpr int kNetMeasure = 41;  ///< net::MeasuredTransport::mutex_
                                         ///< (comm accounting; may create obs

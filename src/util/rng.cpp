@@ -45,4 +45,60 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::siz
   return idx;
 }
 
+ZipfSampler::ZipfSampler(std::size_t n, double s) : n_(n), s_(s) {
+  FEDML_CHECK(n >= 1, "ZipfSampler: need at least one element");
+  FEDML_CHECK(s >= 0.0 && std::isfinite(s),
+              "ZipfSampler: exponent must be finite and non-negative");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+// H(x) = ∫ t^−s dt: (x^{1−s} − 1)/(1 − s), degenerating to log(x) at s = 1.
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  // expm1/log1p-free stable form: for s ≈ 1 the generic expression loses
+  // precision, so branch on exact equality only (s is a config constant).
+  if (s_ == 1.0) return log_x;
+  return std::expm1((1.0 - s_) * log_x) / (1.0 - s_);
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfSampler::h_integral_inverse(double u) const {
+  if (s_ == 1.0) return std::exp(u);
+  double t = u * (1.0 - s_);
+  // Clamp against log1p's domain edge for u near the distribution tail.
+  if (t < -1.0) t = -1.0;
+  return std::exp(std::log1p(t) / (1.0 - s_));
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  if (s_ == 0.0)
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_) - 1));
+  for (;;) {
+    const double u =
+        h_integral_n_ + rng.uniform() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    const double n_d = static_cast<double>(n_);
+    if (k > n_d) k = n_d;
+    // Fast accept near the mode, else the exact rejection test.
+    if (k - x <= threshold_ || u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<std::size_t>(k) - 1;
+    }
+  }
+}
+
+double ZipfSampler::probability(std::size_t k) const {
+  FEDML_CHECK(k < n_, "ZipfSampler::probability: rank out of range");
+  double z = 0.0;
+  for (std::size_t i = 0; i < n_; ++i)
+    z += std::pow(static_cast<double>(i + 1), -s_);
+  return std::pow(static_cast<double>(k + 1), -s_) / z;
+}
+
 }  // namespace fedml::util

@@ -76,4 +76,37 @@ class Rng {
   }
 };
 
+/// Bounded Zipf sampler over {0, …, n−1}: P(k) ∝ (k+1)^−s. Rejection-
+/// inversion (Hörmann & Derflinger), so a sample is O(1) regardless of n —
+/// suitable for drawing item ids and user ids from catalogues of millions
+/// without precomputing a CDF. Stateless apart from precomputed constants;
+/// determinism follows entirely from the `Rng` passed to `sample`.
+class ZipfSampler {
+ public:
+  /// `n >= 1` elements, exponent `s >= 0` (0 = uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] double exponent() const { return s_; }
+
+  /// Draw one 0-based rank (0 = most popular).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// P(rank k), normalized over the n elements (test/analysis helper;
+  /// O(n) on first call per sampler is avoided by lazily summing — this is
+  /// O(n) each call, use for small n or offline checks only).
+  [[nodiscard]] double probability(std::size_t k) const;
+
+ private:
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral_inverse(double u) const;
+
+  std::size_t n_;
+  double s_;
+  double h_integral_x1_ = 0.0;  ///< H(1.5) − 1
+  double h_integral_n_ = 0.0;   ///< H(n + 0.5)
+  double threshold_ = 0.0;      ///< fast-accept bound
+};
+
 }  // namespace fedml::util

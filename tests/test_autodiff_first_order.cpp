@@ -138,6 +138,18 @@ INSTANTIATE_TEST_SUITE_P(
                [](const Var& x) {
                  return ops::sum(ops::square(ops::scatter_cols(x, {2, 0, 1}, 4)));
                }},
+        OpCase{"gather_rows", 4, 2,
+               [](const Var& x) {
+                 // Repeated index: the backward must accumulate into row 1.
+                 return ops::sum(
+                     ops::square(ops::gather_rows(x, {1, 3, 1, 0})));
+               }},
+        OpCase{"scatter_add_rows", 3, 2,
+               [](const Var& x) {
+                 // Colliding rows: out row 2 accumulates two input rows.
+                 return ops::sum(
+                     ops::square(ops::scatter_add_rows(x, {2, 0, 2}, 4)));
+               }},
         OpCase{"logsumexp_rows", 3, 4,
                [](const Var& x) { return ops::sum(ops::logsumexp_rows(x)); }},
         OpCase{"dot", 2, 3,

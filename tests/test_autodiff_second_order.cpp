@@ -268,5 +268,57 @@ TEST(SecondOrder, ReluSecondDerivativeIsZero) {
   EXPECT_NEAR(gg.value()(1, 0), 0.0, 1e-12);
 }
 
+// Embedding lookup is linear, so f(x) = Σ gather(x)² is quadratic and the
+// Hessian is diagonal with entry 2·(times row was gathered). The double
+// backward chain here is gather → (backward) scatter_add → (backward)
+// gather, exactly what MAML runs through a trainable embedding table.
+TEST(SecondOrder, GatherRowsHessianCountsRepeats) {
+  util::Rng rng(21);
+  const Tensor x0 = Tensor::randn(4, 2, rng);
+  const std::vector<std::size_t> idx{1, 3, 1, 0};  // row 1 gathered twice
+
+  Var x(x0, true);
+  const Var f = ops::sum(ops::square(ops::gather_rows(x, idx)));
+  const Var g = grad(f, {x}, {.create_graph = true})[0];
+  const Var hvp = grad(ops::sum(g), {x})[0];  // H · 1
+
+  const double counts[4] = {1.0, 2.0, 0.0, 1.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(g.value()(i, j), 2.0 * counts[i] * x0(i, j), 1e-12);
+      EXPECT_NEAR(hvp.value()(i, j), 2.0 * counts[i], 1e-12);
+    }
+  }
+}
+
+// scatter_add_rows composed with a nonlinearity keeps exact curvature:
+// check an HVP against central differences of the autodiff gradient.
+TEST(SecondOrder, ScatterAddRowsHvpMatchesFiniteDifferences) {
+  util::Rng rng(22);
+  const Tensor x0 = Tensor::randn(3, 2, rng);
+  const std::vector<std::size_t> idx{2, 0, 2};  // rows 0 and 2 collide
+  const auto f = [&idx](const Var& v) {
+    return ops::sum(ops::exp(ops::scatter_add_rows(v, idx, 4)));
+  };
+
+  Var x(x0, true);
+  const Var g = grad(f(x), {x}, {.create_graph = true})[0];
+  const Var hvp = grad(ops::sum(g), {x})[0];
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      Tensor plus = x0, minus = x0;
+      plus(i, j) += eps;
+      minus(i, j) -= eps;
+      Var xp(plus, true), xm(minus, true);
+      const double gp_sum = tensor::sum(grad(f(xp), {xp})[0].value());
+      const double gm_sum = tensor::sum(grad(f(xm), {xm})[0].value());
+      EXPECT_NEAR(hvp.value()(i, j), (gp_sum - gm_sum) / (2 * eps), 1e-4)
+          << "HVP(" << i << "," << j << ")";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fedml::autodiff

@@ -1,0 +1,331 @@
+// Tests for the federated recommendation workload: the deterministic
+// user×item generator (src/data/recsys.*), the trainable embedding ranker
+// (nn::RecRanker), the central rec::Config, and the src/rec/ glue that
+// trains the meta-init and serves per-user adaptation with reshuffle-stable
+// cache keys.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/meta.h"
+#include "data/recsys.h"
+#include "nn/checkpoint.h"
+#include "nn/embedding.h"
+#include "nn/params.h"
+#include "rec/config.h"
+#include "rec/workload.h"
+#include "serve/cache.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "test_helpers.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedml {
+namespace {
+
+data::RecSysConfig small_gen(std::uint64_t seed = 42) {
+  data::RecSysConfig g;
+  g.num_users = 500;
+  g.num_items = 20;
+  g.dim = 4;
+  g.seed = seed;
+  return g;
+}
+
+// ----------------------------------------------------------- generator ----
+
+TEST(RecSys, ByteIdenticalPerSeed) {
+  const data::RecSys a(small_gen()), b(small_gen());
+  for (const std::uint64_t uid : {0ull, 7ull, 499ull}) {
+    const auto da = a.user_dataset(uid);
+    const auto db = b.user_dataset(uid);
+    ASSERT_EQ(da.size(), db.size());
+    EXPECT_EQ(tensor::max_abs_diff(da.x, db.x), 0.0);  // byte-identical
+    EXPECT_EQ(da.y, db.y);
+  }
+  const data::RecSys c(small_gen(/*seed=*/43));
+  const auto da = a.user_dataset(7), dc = c.user_dataset(7);
+  EXPECT_TRUE(da.size() != dc.size() ||
+              tensor::max_abs_diff(da.x, dc.x) > 0.0 || da.y != dc.y);
+}
+
+TEST(RecSys, LazyGenerationIsOrderIndependent) {
+  // A user's data must not depend on which other users were generated
+  // first — the property the per-user cache signature relies on.
+  const data::RecSys rec(small_gen());
+  const auto before = rec.user_dataset(5);
+  for (std::uint64_t uid = 0; uid < 100; ++uid) (void)rec.user_dataset(uid);
+  const auto after = rec.user_dataset(5);
+  EXPECT_EQ(tensor::max_abs_diff(before.x, after.x), 0.0);
+  EXPECT_EQ(before.y, after.y);
+}
+
+TEST(RecSys, SamplesAndIdsWithinConfiguredBounds) {
+  const auto cfg = small_gen();
+  const data::RecSys rec(cfg);
+  for (std::uint64_t uid = 0; uid < 50; ++uid) {
+    const auto d = rec.user_dataset(uid);
+    EXPECT_GE(d.size(), cfg.min_samples);
+    EXPECT_LE(d.size(), cfg.max_samples);
+    ASSERT_EQ(d.x.cols(), 1u);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const double id = d.x(i, 0);
+      EXPECT_GE(id, 0.0);
+      EXPECT_LT(id, static_cast<double>(cfg.num_items));
+      EXPECT_EQ(id, static_cast<double>(static_cast<std::size_t>(id)));
+      EXPECT_LT(d.y[i], 2u);
+    }
+  }
+}
+
+TEST(RecSys, UserSplitIsDeterministicAndCoversHistory) {
+  const data::RecSys rec(small_gen());
+  const auto s1 = rec.user_split(9, 5);
+  const auto s2 = rec.user_split(9, 5);
+  EXPECT_EQ(s1.train.size(), 5u);
+  EXPECT_EQ(tensor::max_abs_diff(s1.train.x, s2.train.x), 0.0);
+  EXPECT_EQ(s1.train.y, s2.train.y);
+  const auto full = rec.user_dataset(9);
+  EXPECT_EQ(s1.train.size() + s1.test.size(), full.size());
+}
+
+TEST(RecSys, FederationHasOneNodePerUserInOrder) {
+  const data::RecSys rec(small_gen());
+  const auto fd = rec.federation({3, 1, 4});
+  EXPECT_EQ(fd.input_dim, 1u);
+  EXPECT_EQ(fd.num_classes, 2u);
+  ASSERT_EQ(fd.num_nodes(), 3u);
+  const auto d3 = rec.user_dataset(3);
+  EXPECT_EQ(tensor::max_abs_diff(fd.nodes[0].x, d3.x), 0.0);
+}
+
+TEST(RecSys, TastesDifferAcrossUsers) {
+  const data::RecSys rec(small_gen());
+  const auto t1 = rec.user_taste(1), t2 = rec.user_taste(2);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < t1.size(); ++i) diff += std::abs(t1[i] - t2[i]);
+  EXPECT_GT(diff, 1e-6);  // p_u varies — personalization has signal
+}
+
+// ------------------------------------------------------------ RecRanker ----
+
+TEST(RecRanker, ShapesAndParamCount) {
+  const nn::RecRanker dot(/*num_items=*/12, /*dim=*/4, /*hidden=*/0);
+  ASSERT_EQ(dot.param_shapes().size(), 3u);  // table, user, bias
+  EXPECT_EQ(dot.param_shapes()[0].rows, 12u);
+  EXPECT_EQ(dot.param_shapes()[0].cols, 4u);
+  EXPECT_EQ(dot.param_shapes()[1].rows, 1u);
+  const nn::RecRanker mlp(12, 4, /*hidden=*/6);
+  EXPECT_EQ(mlp.param_shapes().size(), 7u);  // + W1, b1, W2, b2
+}
+
+TEST(RecRanker, DotHeadMatchesManualScore) {
+  const nn::RecRanker model(3, 2, 0);
+  nn::ParamList p;
+  p.emplace_back(tensor::Tensor{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}}, true);
+  p.emplace_back(tensor::Tensor{{0.5, -1.0}}, true);           // user taste
+  p.emplace_back(tensor::Tensor{{0.1}, {0.2}, {0.3}}, true);   // item bias
+  const tensor::Tensor x{{2.0}, {0.0}};  // items 2, 0
+  const auto out = model.forward(p, autodiff::ops::constant(x));
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_DOUBLE_EQ(out.value()(0, 0), 0.0);
+  // item 2: 5·0.5 + 6·(−1) + 0.3 = −3.2;  item 0: 1·0.5 + 2·(−1) + 0.1
+  EXPECT_NEAR(out.value()(0, 1), -3.2, 1e-12);
+  EXPECT_NEAR(out.value()(1, 1), -1.4, 1e-12);
+}
+
+TEST(RecRanker, RejectsOutOfRangeItemIds) {
+  const nn::RecRanker model(3, 2, 0);
+  util::Rng rng(1);
+  const auto p = model.init_params(rng);
+  const tensor::Tensor bad{{3.0}};
+  EXPECT_THROW(model.forward(p, autodiff::ops::constant(bad)), util::Error);
+}
+
+TEST(RecRanker, CheckpointRoundTripsThroughV2Format) {
+  const auto model = nn::make_rec_ranker(8, 3, 4);
+  util::Rng rng(5);
+  const auto params = model->init_params(rng);
+  const std::string path = "rec_ranker_ckpt_test.bin";
+  nn::save_checkpoint(path, *model, params);
+  const auto loaded = nn::load_checkpoint_for(path, *model);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), params.size());
+  for (std::size_t k = 0; k < params.size(); ++k)
+    EXPECT_EQ(tensor::max_abs_diff(loaded[k].value(), params[k].value()), 0.0);
+}
+
+TEST(RecRanker, SecondOrderMetaGradientMatchesFiniteDifferences) {
+  // The full MAML chain through the embedding gather: ∇_θ L(φ(θ), D_test)
+  // with φ = θ − α∇L(θ, D_train), validated against central differences.
+  const data::RecSys rec([] {
+    auto g = small_gen();
+    g.num_items = 6;
+    g.dim = 2;
+    return g;
+  }());
+  const nn::RecRanker model(6, 2, 0);
+  util::Rng rng(9);
+  const auto theta = model.init_params(rng);
+  const auto split = rec.user_split(3, 5);
+  const double alpha = 0.1;
+
+  const auto analytic = core::meta_gradient(model, theta, split.train,
+                                            split.test, alpha,
+                                            core::MetaOrder::kSecondOrder);
+  const auto numeric = testing::numerical_gradient(
+      [&](const nn::ParamList& p) {
+        return core::meta_loss(model, p, split.train, split.test, alpha);
+      },
+      theta);
+  EXPECT_LT(testing::max_param_diff(numeric, analytic), 1e-5);
+}
+
+TEST(RecRanker, MlpHeadIsTrainable) {
+  // A few adaptation steps on a user's support set must reduce its loss.
+  const data::RecSys rec(small_gen());
+  const auto model = nn::make_rec_ranker(20, 4, 8);
+  util::Rng rng(3);
+  const auto theta = model->init_params(rng);
+  const auto d = rec.user_dataset(11);
+  const double before = core::empirical_loss(*model, theta, d);
+  const auto phi = core::adapt(*model, theta, d, 0.1, 10);
+  const double after = core::empirical_loss(*model, phi, d);
+  EXPECT_LT(after, before);
+}
+
+// ------------------------------------------------------------ rec::Config ----
+
+TEST(RecConfig, ValidateRejectsInconsistentSettings) {
+  rec::Config c;
+  c.validate();  // defaults are valid
+  rec::Config bad = c;
+  bad.k = bad.min_samples;  // no eval side left
+  EXPECT_THROW(bad.validate(), util::Error);
+  bad = c;
+  bad.cache_shards = bad.cache_capacity + 1;  // a shard with zero slots
+  EXPECT_THROW(bad.validate(), util::Error);
+  bad = c;
+  bad.train_users = bad.users + 1;
+  EXPECT_THROW(bad.validate(), util::Error);
+}
+
+TEST(RecConfig, FromCliParsesAndProjects) {
+  const char* argv[] = {"prog", "--users=100", "--items=30", "--k=4",
+                        "--cache_shards=2", "--cache_ttl_s=1.5",
+                        "--traffic_zipf=1.3"};
+  util::Cli cli(7, const_cast<char**>(argv));
+  const rec::Config c = rec::Config::from_cli(cli);
+  cli.finish();
+  EXPECT_EQ(c.users, 100u);
+  EXPECT_EQ(c.items, 30u);
+  EXPECT_EQ(c.k, 4u);
+  const auto dset = c.dataset();
+  EXPECT_EQ(dset.num_users, 100u);
+  EXPECT_EQ(dset.num_items, 30u);
+  const auto cache = c.cache();
+  EXPECT_EQ(cache.shards, 2u);
+  EXPECT_DOUBLE_EQ(cache.ttl_seconds, 1.5);
+  const auto server = c.server();
+  EXPECT_EQ(server.cache.shards, 2u);
+}
+
+TEST(RecConfig, DumpEmitsKeyValueHeader) {
+  std::ostringstream os;
+  rec::Config c;
+  c.users = 777;
+  c.dump(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# users=777\n"), std::string::npos);
+  EXPECT_NE(text.find("# cache_shards="), std::string::npos);
+}
+
+// ------------------------------------------------------------- workload ----
+
+rec::Config tiny_workload() {
+  rec::Config c;
+  c.users = 300;
+  c.items = 20;
+  c.dim_latent = 4;
+  c.embed_dim = 4;
+  c.train_users = 12;
+  c.k = 6;
+  c.iterations = 12;
+  c.local_steps = 3;
+  c.cache_capacity = 64;
+  c.cache_shards = 4;
+  c.serve_threads = 2;
+  c.validate();
+  return c;
+}
+
+TEST(RecWorkload, TrainsPublishesAndServesEndToEnd) {
+  const rec::Config cfg = tiny_workload();
+  const data::RecSys rec(cfg.dataset());
+  const auto model = rec::make_model(cfg);
+  const auto trained = rec::train_meta_init(cfg, rec, *model);
+  ASSERT_EQ(trained.theta.size(), model->param_shapes().size());
+
+  serve::ModelRegistry registry(model, cfg.registry_stripes);
+  registry.publish(trained.theta);
+  serve::AdaptationServer server(registry, cfg.server());
+
+  const auto r1 = server.submit(rec::make_user_request(cfg, rec, 42)).get();
+  EXPECT_EQ(r1.status, serve::RequestStatus::kServed);
+  EXPECT_FALSE(r1.cache_hit);
+  const auto r2 = server.submit(rec::make_user_request(cfg, rec, 42)).get();
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r1.predictions, r2.predictions);
+}
+
+TEST(RecWorkload, PermutedSupportHitsTheSameCacheEntry) {
+  // The satellite regression: a user's support set arriving in a different
+  // row order must reuse the adapted entry, not re-adapt.
+  const rec::Config cfg = tiny_workload();
+  const data::RecSys rec(cfg.dataset());
+  const auto model = rec::make_model(cfg);
+  util::Rng rng(7);
+  serve::ModelRegistry registry(model, cfg.registry_stripes);
+  registry.publish(model->init_params(rng));
+  serve::AdaptationServer server(registry, cfg.server());
+
+  const std::uint64_t uid = 77;
+  const auto first = server.submit(rec::make_user_request(cfg, rec, uid)).get();
+  EXPECT_FALSE(first.cache_hit);
+
+  auto permuted = rec::make_user_request(cfg, rec, uid);
+  std::vector<std::size_t> order(permuted.adapt.size());
+  std::iota(order.rbegin(), order.rend(), std::size_t{0});
+  permuted.adapt = data::subset(permuted.adapt, order);
+  permuted.signature = serve::user_task_signature(uid, permuted.adapt);
+  const auto second = server.submit(std::move(permuted)).get();
+  EXPECT_TRUE(second.cache_hit);
+}
+
+TEST(RecWorkload, AdaptationPersonalizesBeyondTheGlobalModel) {
+  // With per-user taste dominating the shared taste, the adapted model must
+  // beat the raw meta-init on held-out users (the paper's core claim).
+  rec::Config cfg = tiny_workload();
+  cfg.train_users = 24;
+  cfg.iterations = 30;
+  cfg.pref_scale = 1.5;
+  cfg.adapt_steps = 5;
+  cfg.validate();
+  const data::RecSys rec(cfg.dataset());
+  const auto model = rec::make_model(cfg);
+  const auto trained = rec::train_meta_init(cfg, rec, *model);
+  const auto gain =
+      rec::evaluate_personalization(cfg, rec, *model, trained.theta, 48);
+  EXPECT_EQ(gain.users, 48u);
+  EXPECT_GT(gain.adapted_accuracy, 0.5);
+  EXPECT_GT(gain.gain(), 0.0);
+}
+
+}  // namespace
+}  // namespace fedml

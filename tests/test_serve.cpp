@@ -4,8 +4,11 @@
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <numeric>
 #include <thread>
 #include <vector>
+
+#include "data/dataset.h"
 
 #include "nn/checkpoint.h"
 #include "nn/params.h"
@@ -111,6 +114,124 @@ TEST(AdaptedCache, HitsKeepEvictedEntryAliveForHolders) {
   cache.put({1, 2}, tiny_params(0));  // evicts the held entry
   ASSERT_NE(held, nullptr);
   EXPECT_DOUBLE_EQ((*held)[0].item(), 42.0);
+}
+
+// ------------------------------------------------------ key mixing/shards ----
+
+TEST(MixKey, SpreadsOneMillionSequentialKeysAcrossBuckets) {
+  // Per-user signatures are often sequential ids and versions are small
+  // integers — the worst case for an un-finalized hash. The SplitMix64
+  // finalizer must land them near-uniformly in power-of-two bucket counts.
+  constexpr std::size_t kKeys = 1'000'000;
+  constexpr std::size_t kBuckets = 1024;
+  const double mean = static_cast<double>(kKeys) / kBuckets;
+  std::vector<std::size_t> by_signature(kBuckets, 0), by_version(kBuckets, 0);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    ++by_signature[AdaptedCache::mix_key({1, i}) % kBuckets];
+    ++by_version[AdaptedCache::mix_key({i, 7}) % kBuckets];
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(by_signature[b], 0.8 * mean) << "bucket " << b;
+    EXPECT_LT(by_signature[b], 1.2 * mean) << "bucket " << b;
+    EXPECT_GT(by_version[b], 0.8 * mean) << "bucket " << b;
+    EXPECT_LT(by_version[b], 1.2 * mean) << "bucket " << b;
+  }
+}
+
+TEST(MixKey, BothWordsContribute) {
+  const auto h = AdaptedCache::mix_key({3, 9});
+  EXPECT_NE(h, AdaptedCache::mix_key({4, 9}));
+  EXPECT_NE(h, AdaptedCache::mix_key({3, 10}));
+}
+
+TEST(AdaptedCache, CapacityIsSplitEvenlyAcrossShards) {
+  AdaptedCache cache({/*capacity=*/8, /*ttl=*/1e9, /*shards=*/4});
+  EXPECT_EQ(cache.num_shards(), 4u);
+  for (std::uint64_t i = 0; i < 64; ++i) cache.put({1, i}, tiny_params(1));
+  // Each shard holds at most capacity/shards = 2 entries.
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 64u - cache.size());
+}
+
+TEST(AdaptedCache, InvalidateBeforeSweepsEveryShard) {
+  AdaptedCache cache({/*capacity=*/256, /*ttl=*/1e9, /*shards=*/8});
+  for (std::uint64_t i = 0; i < 32; ++i) cache.put({1, i}, tiny_params(1));
+  for (std::uint64_t i = 0; i < 32; ++i) cache.put({2, i}, tiny_params(2));
+  cache.invalidate_before(2);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(cache.get({1, i}), nullptr);
+    EXPECT_NE(cache.get({2, i}), nullptr);
+  }
+  EXPECT_EQ(cache.stats().invalidations, 32u);
+  EXPECT_EQ(cache.size(), 32u);
+}
+
+TEST(AdaptedCache, ZipfTrafficHitRateBeatsAnalyticFloor) {
+  // Zipfian keys over a catalogue much larger than the cache. Items ranked
+  // inside the top capacity/4 recur so often that LRU essentially never
+  // evicts them, so their total probability mass is an analytic floor for
+  // the steady-state hit rate.
+  constexpr std::size_t kCatalogue = 2048, kCapacity = 64;
+  AdaptedCache cache({kCapacity, /*ttl=*/1e9, /*shards=*/4});
+  const util::ZipfSampler zipf(kCatalogue, 1.0);
+  util::Rng rng(29);
+  const auto touch = [&](std::size_t draws, bool measure) {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < draws; ++i) {
+      const AdaptedCache::Key key{1, zipf.sample(rng)};
+      if (cache.get(key) != nullptr) {
+        ++hits;
+      } else {
+        cache.put(key, tiny_params(1));
+      }
+    }
+    return measure ? static_cast<double>(hits) / static_cast<double>(draws)
+                   : 0.0;
+  };
+  touch(20000, /*measure=*/false);  // warm up to steady state
+  const double hit_rate = touch(50000, /*measure=*/true);
+  double floor = 0.0;
+  for (std::size_t k = 0; k < kCapacity / 4; ++k) floor += zipf.probability(k);
+  EXPECT_GT(hit_rate, floor);
+  EXPECT_LT(hit_rate, 1.0);
+}
+
+TEST(AdaptedCache, TtlExpiresZipfKeysInEveryShard) {
+  AdaptedCache cache({/*capacity=*/128, /*ttl=*/1e-6, /*shards=*/8});
+  const util::ZipfSampler zipf(512, 0.9);
+  util::Rng rng(31);
+  std::vector<AdaptedCache::Key> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back({1, zipf.sample(rng)});
+  for (const auto& k : keys) cache.put(k, tiny_params(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  for (const auto& k : keys) EXPECT_EQ(cache.get(k), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GT(cache.stats().expirations, 0u);
+}
+
+// ------------------------------------------------- per-user signatures ----
+
+TEST(UserTaskSignature, InvariantUnderSupportReshuffle) {
+  const auto d = make_dataset(10, 3);
+  std::vector<std::size_t> reversed(d.size());
+  std::iota(reversed.rbegin(), reversed.rend(), std::size_t{0});
+  EXPECT_EQ(user_task_signature(5, d),
+            user_task_signature(5, data::subset(d, reversed)));
+  util::Rng rng(17);
+  EXPECT_EQ(user_task_signature(5, d),
+            user_task_signature(5, data::subset(d, rng.permutation(d.size()))));
+}
+
+TEST(UserTaskSignature, DiscriminatesUsersAndContent) {
+  const auto d = make_dataset(10, 3);
+  EXPECT_NE(user_task_signature(5, d), user_task_signature(6, d));
+  auto edited = d;
+  edited.x(2, 1) += 1e-9;
+  EXPECT_NE(user_task_signature(5, d), user_task_signature(5, edited));
+  auto relabeled = d;
+  relabeled.y[4] = (relabeled.y[4] + 1) % kClasses;
+  EXPECT_NE(user_task_signature(5, d), user_task_signature(5, relabeled));
 }
 
 // ------------------------------------------------------------- registry ----

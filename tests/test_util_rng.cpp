@@ -154,5 +154,69 @@ TEST(Rng, SampleWithoutReplacementRejectsOversample) {
   EXPECT_THROW(rng.sample_without_replacement(5, 6), util::Error);
 }
 
+// ------------------------------------------------------------------ Zipf ----
+
+TEST(ZipfSampler, DeterministicAndInRange) {
+  const ZipfSampler zipf(1000, 1.1);
+  Rng a(7), b(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t s = zipf.sample(a);
+    EXPECT_EQ(s, zipf.sample(b));  // same seed → identical stream
+    EXPECT_LT(s, 1000u);
+  }
+}
+
+TEST(ZipfSampler, MatchesAnalyticProbabilities) {
+  // Empirical frequencies over a small catalogue vs probability(): the
+  // rejection-inversion sampler must draw the exact bounded-Zipf law.
+  const std::size_t n = 20;
+  const ZipfSampler zipf(n, 1.0);  // s = 1: the log-branch of H
+  Rng rng(11);
+  const std::size_t draws = 200000;
+  std::vector<double> freq(n, 0.0);
+  for (std::size_t i = 0; i < draws; ++i) freq[zipf.sample(rng)] += 1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = zipf.probability(k);
+    EXPECT_NEAR(freq[k] / static_cast<double>(draws), expected,
+                5.0 * std::sqrt(expected / static_cast<double>(draws)) + 1e-4)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  const std::size_t n = 16;
+  const ZipfSampler zipf(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(zipf.probability(k), 1.0 / static_cast<double>(n), 1e-12);
+  Rng rng(13);
+  std::vector<double> freq(n, 0.0);
+  const std::size_t draws = 160000;
+  for (std::size_t i = 0; i < draws; ++i) freq[zipf.sample(rng)] += 1.0;
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(freq[k] / static_cast<double>(draws), 1.0 / 16.0, 0.01);
+}
+
+TEST(ZipfSampler, PopularityDecreasesWithRank) {
+  const ZipfSampler zipf(100, 0.9);
+  double prev = zipf.probability(0);
+  for (std::size_t k = 1; k < 100; ++k) {
+    const double p = zipf.probability(k);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ZipfSampler, MillionElementCatalogueSamplesInConstantTime) {
+  // Rejection-inversion needs no CDF precompute: constructing and sampling
+  // from a 50M-element catalogue must be instant and stay in range.
+  const std::size_t n = 50'000'000;
+  const ZipfSampler zipf(n, 1.1);
+  Rng rng(17);
+  std::size_t max_seen = 0;
+  for (int i = 0; i < 10000; ++i) max_seen = std::max(max_seen, zipf.sample(rng));
+  EXPECT_LT(max_seen, n);
+  EXPECT_GT(max_seen, 1000u);  // the tail is actually reachable
+}
+
 }  // namespace
 }  // namespace fedml::util
