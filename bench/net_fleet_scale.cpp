@@ -1,0 +1,192 @@
+// Fleet-scale benchmark for the reactor-based aggregation tier: the same
+// lockstep workload driven through a FLAT platform (every node uplinks to
+// one server) and through a 2-leaf aggregation TREE (root + 2 leaf
+// platforms, each serving half the fleet; leaves uplink kShardAggregate).
+//
+// Every "node" is a thin protocol thread — Hello, adopt Welcome, then echo
+// the adopted parameters back as its update each round — so the numbers
+// isolate the wire + reactor + merge path rather than local training. For
+// each fleet size the harness reports rounds/sec, wall time, and the wire
+// ledger split by tier (edge = nodes <-> platform, uplink = leaf <-> root);
+// the tree's edge bytes match the flat run's while the root only ever sees
+// 2 aggregate frames per round regardless of fleet size.
+//
+// `--smoke` shrinks the sweep for CI; `--csv=<path>` dumps the table.
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "fed/comm.h"
+#include "net/frame.h"
+#include "net/hierarchy.h"
+#include "net/message_conn.h"
+#include "net/platform_server.h"
+#include "net/socket.h"
+#include "tensor/tensor.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace fedml;
+
+constexpr double kIoTimeout = 30.0;
+
+/// One weight matrix of `elems` doubles (rows × 100), deterministic values.
+nn::ParamList make_params(std::size_t elems, std::uint64_t seed) {
+  const std::size_t cols = 100;
+  const std::size_t rows = (elems + cols - 1) / cols;
+  tensor::Tensor t(rows, cols);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) t(i, j) = rng.uniform(-1.0, 1.0);
+  nn::ParamList p;
+  p.emplace_back(std::move(t), true);
+  return p;
+}
+
+/// Minimal lockstep node: handshake, then upload an echo of every adopted
+/// model until the round budget is spent, and linger for Shutdown. This is
+/// net::NodeClient's wire schedule without the local training in between.
+void run_echo_node(std::uint16_t port, std::uint64_t node_id,
+                   std::size_t rounds) {
+  net::MessageConn conn(net::Socket::connect_to("127.0.0.1", port, 10.0));
+  conn.send(net::encode_hello({node_id, 1.0}), kIoTimeout);
+  net::ModelBody model = net::decode_model(conn.recv(kIoTimeout));
+  while (model.round < rounds) {
+    conn.send(net::encode_update({node_id, model.round, /*iterations=*/1,
+                                  model.params, /*wire_bytes=*/0},
+                                 net::WireCodec::kNone, 0.1),
+              kIoTimeout);
+    const net::Frame frame = conn.recv(kIoTimeout);
+    if (frame.type == net::MessageType::kShutdown) return;
+    model = net::decode_model(frame);
+  }
+  for (;;) {  // round budget spent: await Shutdown like NodeClient does
+    if (conn.recv(kIoTimeout).type == net::MessageType::kShutdown) return;
+  }
+}
+
+struct RunResult {
+  double wall_s = 0.0;
+  fed::CommTotals edge;    ///< nodes <-> platform tier
+  fed::CommTotals uplink;  ///< leaf <-> root tier (tree only)
+};
+
+RunResult run_flat(std::size_t fleet, std::size_t rounds,
+                   const nn::ParamList& theta0) {
+  net::PlatformServer::Config cfg;
+  cfg.expected_nodes = fleet;
+  cfg.rounds = rounds;
+  net::PlatformServer server(cfg);
+  server.set_global(theta0);
+
+  std::vector<std::thread> nodes;
+  nodes.reserve(fleet);
+  for (std::size_t i = 0; i < fleet; ++i)
+    nodes.emplace_back(run_echo_node, server.port(), i, rounds);
+
+  util::Stopwatch clock;
+  const net::PlatformServer::Totals totals = server.run();
+  RunResult r;
+  r.wall_s = clock.seconds();
+  for (auto& t : nodes) t.join();
+  FEDML_CHECK(totals.nodes_shed == 0, "flat run shed nodes");
+  r.edge = totals.comm;
+  return r;
+}
+
+RunResult run_tree(std::size_t fleet, std::size_t rounds,
+                   const nn::ParamList& theta0) {
+  net::RootAggregator::Config rcfg;
+  rcfg.leaves = 2;
+  rcfg.rounds = rounds;
+  net::RootAggregator root(rcfg);
+  root.set_global(theta0);
+
+  const std::size_t per_shard = fleet / 2;
+  std::vector<std::unique_ptr<net::LeafPlatform>> leaves;
+  for (std::uint64_t shard = 0; shard < 2; ++shard) {
+    net::LeafPlatform::Config lcfg;
+    lcfg.fleet.expected_nodes = per_shard;
+    lcfg.fleet.rounds = rounds;
+    lcfg.root_port = root.port();
+    lcfg.shard_id = shard;
+    leaves.push_back(std::make_unique<net::LeafPlatform>(lcfg));
+  }
+
+  std::vector<net::LeafPlatform::Totals> leaf_totals(2);
+  std::vector<std::thread> threads;
+  for (std::size_t shard = 0; shard < 2; ++shard)
+    threads.emplace_back(
+        [&, shard] { leaf_totals[shard] = leaves[shard]->run(); });
+  for (std::size_t i = 0; i < fleet; ++i)
+    threads.emplace_back(run_echo_node, leaves[i / per_shard]->port(), i,
+                         rounds);
+
+  util::Stopwatch clock;
+  const net::PlatformServer::Totals root_totals = root.run();
+  RunResult r;
+  r.wall_s = clock.seconds();
+  for (auto& t : threads) t.join();
+  FEDML_CHECK(root_totals.nodes_shed == 0, "tree run shed a leaf");
+  for (const auto& lt : leaf_totals) {
+    FEDML_CHECK(lt.rounds_relayed == rounds, "leaf missed a relay round");
+    r.edge.bytes_up += lt.fleet.comm.bytes_up;
+    r.edge.bytes_down += lt.fleet.comm.bytes_down;
+    r.edge.aggregations += lt.fleet.comm.aggregations;
+    r.uplink.bytes_up += lt.uplink.bytes_up;
+    r.uplink.bytes_down += lt.uplink.bytes_down;
+  }
+  r.uplink.aggregations = root_totals.comm.aggregations;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool smoke = cli.get_flag("smoke");
+  const auto csv = cli.get_string("csv", "");
+  const auto rounds =
+      static_cast<std::size_t>(cli.get_int("rounds", smoke ? 3 : 20));
+  const auto elems =
+      static_cast<std::size_t>(cli.get_int("elems", smoke ? 500 : 2'000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 29));
+  cli.finish();
+
+  const std::vector<std::size_t> fleets =
+      smoke ? std::vector<std::size_t>{4, 8}
+            : std::vector<std::size_t>{8, 16, 32};
+  const nn::ParamList theta0 = make_params(elems, seed);
+
+  util::Table t({"fleet", "topology", "rounds/s", "wall s", "edge up B",
+                 "edge down B", "uplink up B", "uplink down B"});
+  bench::BenchMetrics metrics;
+
+  for (const auto fleet : fleets) {
+    const RunResult flat = run_flat(fleet, rounds, theta0);
+    const RunResult tree = run_tree(fleet, rounds, theta0);
+    const double n = static_cast<double>(rounds);
+    t.add_row({static_cast<std::int64_t>(fleet), std::string("flat"),
+               n / flat.wall_s, flat.wall_s, flat.edge.bytes_up,
+               flat.edge.bytes_down, 0.0, 0.0});
+    t.add_row({static_cast<std::int64_t>(fleet), std::string("tree"),
+               n / tree.wall_s, tree.wall_s, tree.edge.bytes_up,
+               tree.edge.bytes_down, tree.uplink.bytes_up,
+               tree.uplink.bytes_down});
+    const std::string suffix = "_n" + std::to_string(fleet);
+    metrics.emplace_back("flat_rounds_per_s" + suffix, n / flat.wall_s);
+    metrics.emplace_back("tree_rounds_per_s" + suffix, n / tree.wall_s);
+    metrics.emplace_back("flat_up_bytes" + suffix, flat.edge.bytes_up);
+    metrics.emplace_back("tree_edge_up_bytes" + suffix, tree.edge.bytes_up);
+    metrics.emplace_back("tree_uplink_up_bytes" + suffix,
+                         tree.uplink.bytes_up);
+  }
+
+  bench::emit(t, "net fleet scale — flat platform vs 2-leaf tree", csv);
+  bench::write_bench_json("net_fleet_scale", metrics);
+  return 0;
+}

@@ -7,6 +7,10 @@
 //                              identical schedule in-process on fed::Platform,
 //                              and verify both final model quality and the
 //                              byte-for-byte communication ledger agree.
+//   --self-test-tree           fork a 2-leaf aggregation tree (root + 2 leaf
+//                              processes, each serving N/2 node processes)
+//                              and assert bit-identical parameters and a
+//                              byte-equal edge ledger vs the flat fleet.
 //
 // Every process rebuilds the same federation from --seed, so nodes need no
 // shared filesystem — only the socket. With quorum = whole fleet the
@@ -28,6 +32,7 @@
 #include "core/meta.h"
 #include "data/synthetic.h"
 #include "fed/node.h"
+#include "net/hierarchy.h"
 #include "net/node_client.h"
 #include "net/platform_server.h"
 #include "nn/module.h"
@@ -156,6 +161,52 @@ int run_node(Experiment& exp, const Options& opt) {
   return complete ? 0 : 1;
 }
 
+/// Fork one node process running node `index` against a platform at `port`.
+/// The child rebuilds the whole experiment from the seed and _exits.
+pid_t fork_node_process(const Options& opt, std::uint16_t port,
+                        std::size_t index) {
+  const pid_t pid = ::fork();
+  FEDML_CHECK(pid >= 0, "fork failed");
+  if (pid != 0) return pid;
+  int status = 1;
+  try {
+    Options copt = opt;
+    copt.port = port;
+    copt.node_index = index;
+    Experiment cexp = build_experiment(copt);
+    status = run_node(cexp, copt);
+  } catch (const std::exception& e) {
+    std::cerr << "[node " << index << "] failed: " << e.what() << "\n";
+  }
+  ::_exit(status);
+}
+
+/// Reap every child with a hard deadline; a wedged child is killed, not
+/// waited on. True when all exited zero.
+bool reap_children(const std::vector<pid_t>& children, int deadline_s = 30) {
+  bool ok = true;
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(deadline_s);
+  for (pid_t pid : children) {
+    while (true) {
+      int status = 0;
+      const pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid) {
+        ok &= WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        break;
+      }
+      if (std::chrono::steady_clock::now() > give_up) {
+        ::kill(pid, SIGKILL);
+        (void)::waitpid(pid, &status, 0);
+        ok = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return ok;
+}
+
 /// Fork one process per node, run the platform in this process, and check
 /// the distributed run against the in-process synchronous reference.
 int run_self_test(const Options& opt) {
@@ -186,50 +237,12 @@ int run_self_test(const Options& opt) {
 
   std::vector<pid_t> children;
   children.reserve(exp.nodes.size());
-  for (std::size_t i = 0; i < exp.nodes.size(); ++i) {
-    const pid_t pid = ::fork();
-    FEDML_CHECK(pid >= 0, "fork failed");
-    if (pid == 0) {
-      // Child: node i over TCP, then _exit (no parent-state destructors).
-      int status = 1;
-      try {
-        Options copt = opt;
-        copt.port = server.port();
-        copt.node_index = i;
-        Experiment cexp = build_experiment(copt);
-        status = run_node(cexp, copt);
-      } catch (const std::exception& e) {
-        std::cerr << "[node " << i << "] failed: " << e.what() << "\n";
-      }
-      ::_exit(status);
-    }
-    children.push_back(pid);
-  }
+  for (std::size_t i = 0; i < exp.nodes.size(); ++i)
+    children.push_back(fork_node_process(opt, server.port(), i));
 
   server.set_global(exp.theta0);
   const net::PlatformServer::Totals totals = server.run();
-
-  // Reap with a hard deadline; a wedged child is killed, not waited on.
-  bool children_ok = true;
-  const auto give_up = std::chrono::steady_clock::now() +
-                       std::chrono::seconds(30);
-  for (pid_t pid : children) {
-    while (true) {
-      int status = 0;
-      const pid_t r = ::waitpid(pid, &status, WNOHANG);
-      if (r == pid) {
-        children_ok &= WIFEXITED(status) && WEXITSTATUS(status) == 0;
-        break;
-      }
-      if (std::chrono::steady_clock::now() > give_up) {
-        ::kill(pid, SIGKILL);
-        (void)::waitpid(pid, &status, 0);
-        children_ok = false;
-        break;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    }
-  }
+  const bool children_ok = reap_children(children);
 
   const nn::ParamList net_theta = server.global_params();
   const double net_loss =
@@ -269,6 +282,167 @@ int run_self_test(const Options& opt) {
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------- tree ----
+
+/// What a leaf process reports back to the parent over its pipe.
+struct LeafReport {
+  double fleet_up = 0.0;    ///< edge-tier ledger (nodes ↔ this shard)
+  double fleet_down = 0.0;
+  double uplink_up = 0.0;   ///< tree-tier ledger (this shard ↔ root)
+  double uplink_down = 0.0;
+  std::uint64_t rounds_relayed = 0;
+  std::uint64_t nodes_joined = 0;
+  std::uint64_t nodes_shed = 0;
+  std::uint64_t ok = 0;
+};
+
+/// Leaf process body: serve half the fleet, uplink to the root, fork the
+/// shard's node children, report totals through `report_fd`, _exit.
+[[noreturn]] void run_leaf_process(const Options& opt,
+                                   std::uint16_t root_port,
+                                   std::uint64_t shard, int report_fd) {
+  LeafReport report;
+  try {
+    const std::size_t per_shard = opt.nodes / 2;
+    net::LeafPlatform::Config cfg;
+    cfg.fleet.expected_nodes = per_shard;
+    cfg.fleet.rounds = opt.rounds;
+    cfg.fleet.quorum = 0;  // lockstep within the shard
+    cfg.fleet.join_timeout_s = 60.0;
+    cfg.root_port = root_port;
+    cfg.shard_id = shard;
+    net::LeafPlatform leaf(cfg);
+
+    // Contiguous half-shards: shard k owns nodes [k·n/2, (k+1)·n/2) — the
+    // ordering that makes the tree's reduction the flat reduction.
+    std::vector<pid_t> children;
+    children.reserve(per_shard);
+    for (std::size_t j = 0; j < per_shard; ++j)
+      children.push_back(
+          fork_node_process(opt, leaf.port(), shard * per_shard + j));
+
+    const net::LeafPlatform::Totals totals = leaf.run();
+    report.fleet_up = totals.fleet.comm.bytes_up;
+    report.fleet_down = totals.fleet.comm.bytes_down;
+    report.uplink_up = totals.uplink.bytes_up;
+    report.uplink_down = totals.uplink.bytes_down;
+    report.rounds_relayed = totals.rounds_relayed;
+    report.nodes_joined = totals.fleet.nodes_joined;
+    report.nodes_shed = totals.fleet.nodes_shed;
+    report.ok = reap_children(children) && totals.fleet.nodes_shed == 0 &&
+                totals.rounds_relayed == opt.rounds;
+  } catch (const std::exception& e) {
+    std::cerr << "[leaf " << shard << "] failed: " << e.what() << "\n";
+    report.ok = 0;
+  }
+  const auto n = ::write(report_fd, &report, sizeof(report));
+  ::_exit(n == static_cast<ssize_t>(sizeof(report)) && report.ok != 0 ? 0
+                                                                      : 1);
+}
+
+/// Fork a 2-leaf aggregation TREE (root in this process, each leaf a child
+/// process that forks its own node children) and a FLAT fleet over the same
+/// nodes, and assert bit-identical parameters and a byte-equal edge ledger.
+int run_self_test_tree(const Options& opt) {
+  FEDML_CHECK(opt.nodes >= 2 && opt.nodes % 2 == 0,
+              "--self-test-tree needs an even node count");
+  const Experiment exp = build_experiment(opt);
+
+  // Flat reference: the plain distributed run (1 platform, N node procs).
+  net::PlatformServer::Config fcfg;
+  fcfg.expected_nodes = exp.nodes.size();
+  fcfg.rounds = opt.rounds;
+  fcfg.quorum = 0;
+  fcfg.join_timeout_s = 60.0;
+  net::PlatformServer flat(fcfg);
+  std::vector<pid_t> flat_children;
+  for (std::size_t i = 0; i < exp.nodes.size(); ++i)
+    flat_children.push_back(fork_node_process(opt, flat.port(), i));
+  flat.set_global(exp.theta0);
+  const net::PlatformServer::Totals flat_totals = flat.run();
+  bool children_ok = reap_children(flat_children);
+  const nn::ParamList flat_theta = flat.global_params();
+
+  // Tree run: root here, leaves as processes (each forks its node procs).
+  net::RootAggregator::Config rcfg;
+  rcfg.leaves = 2;
+  rcfg.rounds = opt.rounds;
+  rcfg.join_timeout_s = 60.0;
+  net::RootAggregator root(rcfg);
+  std::vector<pid_t> leaf_pids;
+  int report_fds[2] = {-1, -1};
+  for (std::uint64_t shard = 0; shard < 2; ++shard) {
+    int pipe_fds[2] = {-1, -1};
+    FEDML_CHECK(::pipe(pipe_fds) == 0, "pipe failed");
+    const pid_t pid = ::fork();
+    FEDML_CHECK(pid >= 0, "fork failed");
+    if (pid == 0) {
+      ::close(pipe_fds[0]);
+      run_leaf_process(opt, root.port(), shard, pipe_fds[1]);
+    }
+    ::close(pipe_fds[1]);
+    report_fds[shard] = pipe_fds[0];
+    leaf_pids.push_back(pid);
+  }
+  root.set_global(exp.theta0);
+  const net::PlatformServer::Totals root_totals = root.run();
+
+  LeafReport reports[2];
+  bool reports_ok = true;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    const auto n =
+        ::read(report_fds[shard], &reports[shard], sizeof(LeafReport));
+    reports_ok &= n == static_cast<ssize_t>(sizeof(LeafReport)) &&
+                  reports[shard].ok != 0;
+    ::close(report_fds[shard]);
+  }
+  children_ok &= reap_children(leaf_pids, 60);
+
+  const nn::ParamList tree_theta = root.global_params();
+  const double param_gap = nn::param_distance(tree_theta, flat_theta);
+  const double edge_up = reports[0].fleet_up + reports[1].fleet_up;
+  const double edge_down = reports[0].fleet_down + reports[1].fleet_down;
+  const double uplink_up = reports[0].uplink_up + reports[1].uplink_up;
+  const double uplink_down =
+      reports[0].uplink_down + reports[1].uplink_down;
+
+  util::Table t({"metric", "flat (1 platform)", "tree edge tier",
+                 "tree uplink tier"});
+  t.add_row({std::string("bytes_up"), flat_totals.comm.bytes_up, edge_up,
+             uplink_up});
+  t.add_row({std::string("bytes_down"), flat_totals.comm.bytes_down,
+             edge_down, uplink_down});
+  t.add_row({std::string("aggregations"),
+             static_cast<std::int64_t>(flat_totals.comm.aggregations),
+             static_cast<std::int64_t>(reports[0].rounds_relayed +
+                                       reports[1].rounds_relayed),
+             static_cast<std::int64_t>(root_totals.comm.aggregations)});
+  t.print(std::cout, "tree self-test: root + 2 leaves x " +
+                         std::to_string(opt.nodes / 2) + " node processes, " +
+                         std::to_string(opt.rounds) + " lockstep rounds");
+  std::cout << "final-model distance ||theta_tree - theta_flat|| = "
+            << param_gap << "\n";
+
+  // The tentpole guarantee, asserted EXACTLY: same bits, same edge bytes.
+  const bool model_ok = param_gap == 0.0;
+  const bool ledger_ok = edge_up == flat_totals.comm.bytes_up &&
+                         edge_down == flat_totals.comm.bytes_down;
+  const bool root_ok = root_totals.nodes_joined == 2 &&
+                       root_totals.nodes_shed == 0 &&
+                       root_totals.comm.aggregations == opt.rounds;
+  if (!children_ok || !reports_ok)
+    std::cerr << "FAIL: a leaf/node process exited abnormally\n";
+  if (!model_ok)
+    std::cerr << "FAIL: tree and flat models diverged (gap " << param_gap
+              << ")\n";
+  if (!ledger_ok) std::cerr << "FAIL: edge-tier comm ledger diverged\n";
+  if (!root_ok) std::cerr << "FAIL: root fleet incomplete or shed\n";
+  const bool ok =
+      children_ok && reports_ok && model_ok && ledger_ok && root_ok;
+  std::cout << (ok ? "TREE SELF-TEST PASS" : "TREE SELF-TEST FAIL") << "\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,6 +450,7 @@ int main(int argc, char** argv) {
   Options opt;
   const std::string role = cli.get_string("role", "");
   const bool self_test = cli.get_flag("self-test");
+  const bool self_test_tree = cli.get_flag("self-test-tree");
   opt.nodes = static_cast<std::size_t>(cli.get_int("nodes", 4));
   opt.rounds = static_cast<std::size_t>(cli.get_int("rounds", 4));
   opt.local_steps = static_cast<std::size_t>(cli.get_int("local-steps", 5));
@@ -297,6 +472,7 @@ int main(int argc, char** argv) {
 
   try {
     if (self_test) return run_self_test(opt);
+    if (self_test_tree) return run_self_test_tree(opt);
     if (role == "platform") {
       const Experiment exp = build_experiment(opt);
       return run_platform(exp, opt, /*quiet=*/false);
@@ -305,8 +481,8 @@ int main(int argc, char** argv) {
       Experiment exp = build_experiment(opt);
       return run_node(exp, opt);
     }
-    std::cerr << "usage: distributed_fedml --self-test | --role "
-                 "platform|node [--port P] [--node I]\n"
+    std::cerr << "usage: distributed_fedml --self-test | --self-test-tree | "
+                 "--role platform|node [--port P] [--node I]\n"
                  "       shared: --nodes N --rounds R --local-steps T0 "
                  "--seed S --codec none|int8|topk\n";
     return 2;

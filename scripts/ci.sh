@@ -51,16 +51,25 @@ fi
 
 # Distributed smoke: real multi-process FedML over TCP. The self-test forks
 # one platform + N node processes, then asserts the distributed run matches
-# the in-process reference (exact comm ledger, same final model/loss). A
-# hard timeout guards CI against a hung socket — a wedged fleet must fail
-# the build, not stall it.
+# the in-process reference (exact comm ledger, same final model/loss); the
+# tree self-test forks a root + 2 leaf platforms (each serving half the
+# fleet) and asserts bit-identical parameters and a byte-equal edge ledger
+# vs the flat fleet. Hard timeouts guard CI against a hung socket — a
+# wedged fleet must fail the build, not stall it.
 echo "==> distributed"
 if command -v timeout >/dev/null 2>&1; then
   timeout 180 "$smoke_dir/examples/distributed_fedml" --self-test
+  timeout 180 "$smoke_dir/examples/distributed_fedml" --self-test-tree
 else
   "$smoke_dir/examples/distributed_fedml" --self-test
+  "$smoke_dir/examples/distributed_fedml" --self-test-tree
 fi
 (cd "$smoke_dir" && bench/net_roundtrip --smoke) >/dev/null
+if command -v timeout >/dev/null 2>&1; then
+  (cd "$smoke_dir" && timeout 300 bench/net_fleet_scale --smoke) >/dev/null
+else
+  (cd "$smoke_dir" && bench/net_fleet_scale --smoke) >/dev/null
+fi
 
 # Every bench smoke above wrote a BENCH_<name>.json summary into the build
 # dir; validate the schema (and the tracked full-run results in bench/).

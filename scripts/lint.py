@@ -38,6 +38,15 @@ Enforced rules (library code under src/ unless noted):
                 All key hashing must go through AdaptedCache::mix_key (the
                 audited SplitMix64 finalizer); only the serve layer itself
                 may wrap it in a std::hash specialization.
+  reactor-blocking
+                No blocking I/O primitives (net::MessageConn, raw ::poll)
+                in a file that registers callbacks with net::Reactor
+                (add_fd / set_interest / remove_fd / add_timer /
+                cancel_timer / post, or Reactor:: method definitions).
+                Reactor callbacks run on the single loop thread — one
+                blocking call stalls every connection and timer behind it;
+                reactor code must use net::AsyncConn and reactor timers.
+                The reactor's own ::poll fallback carries the one waiver.
   pragma-once   Every header (src/, tests/, bench/, examples/) starts its
                 include guard with `#pragma once`.
 
@@ -72,6 +81,14 @@ STD_HASH_KEY_ALLOWED_PREFIX = "src/serve/"
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
+# A file "uses the reactor" when it registers callbacks or timers with one
+# (method calls through an object, or Reactor:: member definitions). Such
+# files run code on the loop thread, where blocking is banned file-wide.
+REACTOR_USER_RE = re.compile(
+    r"(?:\.|->)(?:add_fd|set_interest|remove_fd|add_timer|cancel_timer|"
+    r"post)\s*\(|\bReactor::\w+\s*\("
+)
+
 RULES = {
     "raw-mutex": re.compile(
         r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
@@ -97,6 +114,11 @@ RULES = {
     "std-hash-key": re.compile(
         r"\bstd::hash\s*<[^>]*\b(?:Key|signature|version|std::uint64_t|"
         r"uint64_t)\b"
+    ),
+    # Blocking I/O spellings banned in reactor-registered files: the
+    # deadline-polling connection class and the raw blocking poll syscall.
+    "reactor-blocking": re.compile(
+        r"\bMessageConn\b|(?:^|[^\w:])::poll\s*\("
     ),
     # Global-scope syscall spelling (::recv) distinguishes the raw POSIX call
     # from same-named methods (conn->recv). The headers are banned outright.
@@ -182,9 +204,11 @@ def check_file(path: pathlib.Path, violations: list[str]) -> None:
     rel = relpath(path)
     raw = path.read_text(encoding="utf-8")
     raw_lines = raw.splitlines()
-    code_lines = strip_comments_and_strings(raw).splitlines()
+    code_text = strip_comments_and_strings(raw)
+    code_lines = code_text.splitlines()
 
     in_src = rel.startswith("src/")
+    reactor_user = in_src and REACTOR_USER_RE.search(code_text) is not None
 
     if path.suffix == ".h":
         # `#pragma once` must be the first directive-like content.
@@ -226,6 +250,13 @@ def check_file(path: pathlib.Path, violations: list[str]) -> None:
                 "naked-new",
                 "naked new/delete — use std::make_unique/std::make_shared "
                 "or a container",
+            )
+        if reactor_user and RULES["reactor-blocking"].search(code):
+            report(
+                "reactor-blocking",
+                "blocking I/O in a reactor-registered file — loop-thread "
+                "callbacks must use net::AsyncConn and reactor timers, "
+                "never MessageConn or a raw ::poll",
             )
         if RULES["raw-socket"].search(code) and not rel.startswith(
             RAW_SOCKET_ALLOWED_PREFIX

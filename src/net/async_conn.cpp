@@ -1,0 +1,207 @@
+#include "net/async_conn.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+#include "util/serialize.h"
+
+namespace fedml::net {
+
+namespace {
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;  // EPIPE instead of SIGPIPE
+#else
+constexpr int kSendFlags = 0;
+#endif
+}  // namespace
+
+AsyncConn::AsyncConn(Socket sock, Reactor* reactor,
+                     MeasuredTransport* measured)
+    : sock_(std::move(sock)), reactor_(reactor), measured_(measured) {
+  FEDML_CHECK(sock_.valid(), "AsyncConn needs a connected socket");
+  FEDML_CHECK(reactor_ != nullptr, "AsyncConn needs a reactor");
+}
+
+AsyncConn::~AsyncConn() { close(); }
+
+void AsyncConn::start(FrameHandler on_frame, CloseHandler on_close) {
+  FEDML_CHECK(!open_, "AsyncConn::start called twice");
+  on_frame_ = std::move(on_frame);
+  on_close_ = std::move(on_close);
+  open_ = true;
+  reactor_->add_fd(sock_.fd(), Reactor::kReadable,
+                   [this](std::uint32_t events) { on_events(events); });
+}
+
+void AsyncConn::close() {
+  if (!open_) {
+    sock_.close();
+    return;
+  }
+  open_ = false;
+  reactor_->remove_fd(sock_.fd());
+  sock_.close();
+  out_.clear();
+  // Handlers are deliberately NOT cleared: close() may run inside one of
+  // them (re-entrant shed paths), and destroying an executing std::function
+  // is undefined. They die with the object — owners defer destruction to a
+  // posted task so no conn is destroyed under its own stack frame.
+}
+
+void AsyncConn::close_when_drained() {
+  if (!open_) return;
+  if (out_.empty()) {
+    close();
+    return;
+  }
+  close_when_drained_ = true;
+}
+
+void AsyncConn::fail(bool clean, const std::string& reason) {
+  if (!open_) return;
+  // Detach the handler before closing so a re-entrant close from inside the
+  // handler is a harmless no-op.
+  CloseHandler handler = std::move(on_close_);
+  close();
+  if (handler) handler(clean, reason);
+}
+
+void AsyncConn::on_events(std::uint32_t events) {
+  if (!open_) return;
+  if (events & Reactor::kReadable) handle_readable();
+  if (open_ && (events & Reactor::kWritable)) handle_writable();
+}
+
+void AsyncConn::handle_readable() {
+  std::uint8_t scratch[16 * 1024];
+  while (open_) {
+    const auto rc = ::recv(sock_.fd(), scratch, sizeof(scratch), 0);
+    if (rc > 0) {
+      // Replay the chunk through the state machine from a side buffer to
+      // keep consume() free of partial-recv bookkeeping.
+      std::size_t off = 0;
+      const auto n = static_cast<std::size_t>(rc);
+      while (off < n && open_) {
+        std::size_t want = 0;
+        std::uint8_t* dst = nullptr;
+        if (!in_payload_) {
+          want = kHeaderBytes - header_have_;
+          dst = header_ + header_have_;
+        } else {
+          want = pending_header_.payload_size - payload_have_;
+          dst = payload_.data() + payload_have_;
+        }
+        const std::size_t take = std::min(want, n - off);
+        if (take > 0) std::memcpy(dst, scratch + off, take);
+        off += take;
+        consume(take);
+      }
+      continue;
+    }
+    if (rc == 0) {
+      const bool boundary = !in_payload_ && header_have_ == 0;
+      fail(boundary, boundary ? "peer closed" : "peer closed mid-frame");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    fail(false, std::string("recv: ") + std::strerror(errno));
+    return;
+  }
+}
+
+void AsyncConn::consume(std::size_t n) {
+  if (!in_payload_) {
+    header_have_ += n;
+    if (header_have_ < kHeaderBytes) return;
+    try {
+      pending_header_ = decode_frame_header(header_);
+    } catch (const util::Error& e) {
+      fail(false, e.what());
+      return;
+    }
+    header_have_ = 0;
+    in_payload_ = true;
+    payload_.assign(pending_header_.payload_size, 0);
+    payload_have_ = 0;
+    if (pending_header_.payload_size > 0) return;
+    // Zero-payload frame: fall through to completion.
+  } else {
+    payload_have_ += n;
+    if (payload_have_ < pending_header_.payload_size) return;
+  }
+
+  Frame frame{pending_header_.type, pending_header_.codec,
+              std::move(payload_)};
+  payload_ = {};
+  payload_have_ = 0;
+  in_payload_ = false;
+  try {
+    verify_payload(pending_header_, frame.payload);
+  } catch (const util::Error& e) {
+    fail(false, e.what());
+    return;
+  }
+  if (measured_ != nullptr)
+    measured_->record_frame(frame.type, accounting_payload_bytes(frame),
+                            kHeaderBytes + frame.payload.size());
+  if (on_frame_) on_frame_(std::move(frame));
+}
+
+void AsyncConn::send(const Frame& frame) {
+  util::ByteWriter w;
+  encode_frame(frame, w);
+  auto wire = std::make_shared<const std::vector<std::uint8_t>>(w.bytes());
+  send_wire(std::move(wire), frame.type, accounting_payload_bytes(frame));
+}
+
+void AsyncConn::send_wire(
+    std::shared_ptr<const std::vector<std::uint8_t>> wire, MessageType type,
+    std::size_t accounting_bytes) {
+  if (!open_ || close_when_drained_) return;  // peer is on its way out
+  out_.push_back(OutBuf{std::move(wire), 0, type, accounting_bytes});
+  flush();
+  if (open_) update_interest();
+}
+
+void AsyncConn::handle_writable() {
+  flush();
+  if (open_) update_interest();
+}
+
+void AsyncConn::flush() {
+  while (open_ && !out_.empty()) {
+    OutBuf& buf = out_.front();
+    const auto& bytes = *buf.bytes;
+    while (buf.offset < bytes.size()) {
+      const auto rc = ::send(sock_.fd(), bytes.data() + buf.offset,
+                             bytes.size() - buf.offset, kSendFlags);
+      if (rc >= 0) {
+        buf.offset += static_cast<std::size_t>(rc);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // kernel buffer full
+      if (errno == EINTR) continue;
+      fail(false, std::string("send: ") + std::strerror(errno));
+      return;
+    }
+    if (measured_ != nullptr)
+      measured_->record_frame(buf.type, buf.accounting, bytes.size());
+    out_.pop_front();
+  }
+  if (out_.empty() && close_when_drained_) close();
+}
+
+void AsyncConn::update_interest() {
+  const bool want = !out_.empty();
+  if (want == want_write_) return;
+  want_write_ = want;
+  reactor_->set_interest(
+      sock_.fd(), Reactor::kReadable | (want ? Reactor::kWritable : 0u));
+}
+
+}  // namespace fedml::net

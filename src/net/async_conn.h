@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/measured.h"
+#include "net/reactor.h"
+#include "net/socket.h"
+
+namespace fedml::net {
+
+/// Non-blocking framed connection driven by a `net::Reactor`: the
+/// readiness-callback counterpart of `MessageConn` (which owns the blocking
+/// client side of the same wire format).
+///
+/// Reading is a two-state machine — assemble the fixed 28-byte header, then
+/// the payload it announces — fed by whatever recv(2) returns on each
+/// readiness event, so a peer trickling one byte at a time costs buffer
+/// space, never a blocked thread. Completed frames are checksum-verified
+/// and handed to the frame handler; EOF/corruption closes the connection
+/// and reports through the close handler exactly once.
+///
+/// Writing queues encoded frames and flushes opportunistically; while a
+/// partial write is outstanding the conn registers kWritable interest and
+/// drains on readiness. Frames are recorded on `measured` when FULLY
+/// flushed (same (type, accounting, wire) tuples as MessageConn), so the
+/// comm ledger counts delivered traffic, not intentions.
+///
+/// Threading: loop-thread-only, like the reactor registration API it sits
+/// on. Handlers may call send/close/close_when_drained re-entrantly.
+class AsyncConn {
+ public:
+  using FrameHandler = std::function<void(Frame&&)>;
+  /// `clean` means EOF at a frame boundary (the peer finished talking);
+  /// anything else — torn frame, bad checksum, socket error — is not.
+  using CloseHandler = std::function<void(bool clean, const std::string& reason)>;
+
+  /// Takes ownership of `sock` (non-blocking). Nothing is registered until
+  /// `start`; `measured` may be null.
+  AsyncConn(Socket sock, Reactor* reactor,
+            MeasuredTransport* measured = nullptr);
+  ~AsyncConn();
+
+  AsyncConn(const AsyncConn&) = delete;
+  AsyncConn& operator=(const AsyncConn&) = delete;
+
+  /// Register with the reactor and begin dispatching. `on_close` fires at
+  /// most once, from inside reactor dispatch — never from `close()`.
+  void start(FrameHandler on_frame, CloseHandler on_close);
+
+  /// Encode and queue one frame (flushes as far as the socket allows
+  /// before registering write interest).
+  void send(const Frame& frame);
+
+  /// Queue pre-encoded wire bytes shared across peers — the broadcast
+  /// path: the round driver encodes the model frame once, every conn
+  /// shares the buffer. `type`/`accounting_bytes` are the ledger tuple to
+  /// record when the flush completes.
+  void send_wire(std::shared_ptr<const std::vector<std::uint8_t>> wire,
+                 MessageType type, std::size_t accounting_bytes);
+
+  /// Unregister and close immediately; queued output is dropped and no
+  /// close handler fires. Idempotent.
+  void close();
+
+  /// Close as soon as the output queue drains (immediately when empty).
+  /// Reads are ignored from this point on.
+  void close_when_drained();
+
+  [[nodiscard]] bool open() const { return open_; }
+  [[nodiscard]] bool drained() const { return out_.empty(); }
+  [[nodiscard]] int fd() const { return sock_.fd(); }
+
+ private:
+  struct OutBuf {
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+    std::size_t offset = 0;
+    MessageType type = MessageType::kHello;
+    std::size_t accounting = 0;
+  };
+
+  void on_events(std::uint32_t events);
+  void handle_readable();
+  void handle_writable();
+  /// Feed `n` freshly received bytes through the header/payload state
+  /// machine, dispatching every completed frame.
+  void consume(std::size_t n);
+  void flush();
+  void update_interest();
+  void fail(bool clean, const std::string& reason);
+
+  Socket sock_;
+  Reactor* reactor_ = nullptr;
+  MeasuredTransport* measured_ = nullptr;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+
+  bool open_ = false;
+  bool close_when_drained_ = false;
+  bool want_write_ = false;
+
+  // Read state machine: filling header_ until a full header parses, then
+  // filling payload_ to the announced size.
+  std::uint8_t header_[kHeaderBytes] = {};
+  std::size_t header_have_ = 0;
+  bool in_payload_ = false;
+  FrameHeader pending_header_;
+  std::vector<std::uint8_t> payload_;
+  std::size_t payload_have_ = 0;
+
+  std::deque<OutBuf> out_;
+};
+
+}  // namespace fedml::net

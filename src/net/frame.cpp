@@ -10,7 +10,7 @@ namespace {
 
 bool known_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MessageType::kHello) &&
-         t <= static_cast<std::uint8_t>(MessageType::kShutdown);
+         t <= static_cast<std::uint8_t>(MessageType::kShardAggregate);
 }
 
 bool known_codec(std::uint8_t c) {
@@ -192,6 +192,30 @@ ShutdownBody decode_shutdown(const Frame& frame) {
   return body;
 }
 
+Frame encode_shard_aggregate(const ShardAggregateBody& body) {
+  util::ByteWriter w;
+  w.write_u64(body.shard_id);
+  w.write_u64(body.base_round);
+  w.write_u64(body.node_count);
+  w.write_f64(body.mass);
+  nn::serialize(body.params, w);
+  return make_frame(MessageType::kShardAggregate, std::move(w));
+}
+
+ShardAggregateBody decode_shard_aggregate(const Frame& frame) {
+  FEDML_CHECK(frame.type == MessageType::kShardAggregate,
+              "expected a ShardAggregate frame");
+  util::ByteReader r(frame.payload);
+  ShardAggregateBody body;
+  body.shard_id = r.read_u64();
+  body.base_round = r.read_u64();
+  body.node_count = r.read_u64();
+  body.mass = r.read_f64();
+  body.params = nn::deserialize(r);
+  FEDML_CHECK(r.exhausted(), "trailing bytes in ShardAggregate payload");
+  return body;
+}
+
 std::size_t accounting_payload_bytes(const Frame& frame) {
   switch (frame.type) {
     case MessageType::kUpdate: {
@@ -204,6 +228,13 @@ std::size_t accounting_payload_bytes(const Frame& frame) {
     case MessageType::kModel:
       // Envelope: round(8).
       return frame.payload.size() >= 8 ? frame.payload.size() - 8 : 0;
+    case MessageType::kShardAggregate: {
+      // Envelope: shard_id(8) + base_round(8) + node_count(8) + mass(8).
+      constexpr std::size_t kEnvelope = 32;
+      return frame.payload.size() >= kEnvelope
+                 ? frame.payload.size() - kEnvelope
+                 : 0;
+    }
     default:
       return 0;
   }

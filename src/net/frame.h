@@ -34,6 +34,12 @@ enum class MessageType : std::uint8_t {
   kUpdate = 3,    ///< node → platform: locally meta-updated parameters
   kModel = 4,     ///< platform → node: post-aggregation broadcast
   kShutdown = 5,  ///< platform → node: training complete, disconnect
+  /// leaf platform → root aggregator: one fleet shard's UNNORMALIZED
+  /// staleness-discounted weighted sum Σ ω_i·x_i/(1+s_i)^a plus its weight
+  /// mass. Shipping the raw sum (not the shard average) is what keeps the
+  /// root's sum-then-divide merge bit-identical to a flat merge of the
+  /// whole fleet — W·(S/W) ≠ S in floating point.
+  kShardAggregate = 6,
 };
 
 /// Uplink payload encoding, mirrored from `fed::compression`: the codec
@@ -108,6 +114,19 @@ struct ShutdownBody {
   std::uint64_t rounds_completed = 0;
 };
 
+/// kShardAggregate payload: one leaf platform's merged round contribution.
+/// `params` is the shard's pairwise weighted SUM (see kShardAggregate);
+/// `mass` its summed discounted weight, `node_count` how many node updates
+/// went in (the root's uploads accounting), `base_round` the root round the
+/// shard's fleet trained against (the root's staleness input).
+struct ShardAggregateBody {
+  std::uint64_t shard_id = 0;
+  std::uint64_t base_round = 0;
+  std::uint64_t node_count = 0;
+  double mass = 0.0;
+  nn::ParamList params;
+};
+
 Frame encode_hello(const HelloBody& body);
 HelloBody decode_hello(const Frame& frame);
 
@@ -122,6 +141,9 @@ UpdateBody decode_update(const Frame& frame);
 
 Frame encode_shutdown(const ShutdownBody& body);
 ShutdownBody decode_shutdown(const Frame& frame);
+
+Frame encode_shard_aggregate(const ShardAggregateBody& body);
+ShardAggregateBody decode_shard_aggregate(const Frame& frame);
 
 /// Bytes of `frame` the simulators would charge to CommTotals: the
 /// parameter blob for kUpdate (post-codec, exactly `fed::Platform`'s

@@ -1,0 +1,130 @@
+#include "net/hierarchy.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace fedml::net {
+
+// ---------------------------------------------------------------------------
+// LeafPlatform
+
+PlatformServer::Config LeafPlatform::fleet_config(const Config& config,
+                                                  LeafPlatform* self) {
+  FEDML_CHECK(!config.fleet.delegate,
+              "LeafPlatform installs its own round delegate");
+  FEDML_CHECK(!config.fleet.accept_shard_aggregates,
+              "a leaf's fleet speaks kUpdate, not kShardAggregate");
+  FEDML_CHECK(config.root_port != 0, "LeafPlatform needs the root's port");
+  FEDML_CHECK(config.connect_timeout_s > 0.0 && config.io_timeout_s > 0.0,
+              "uplink timeouts must be positive");
+  PlatformServer::Config fleet = config.fleet;
+  fleet.delegate = [self](std::uint64_t round,
+                          PlatformServer::DiscountedBatch batch) {
+    return self->relay_round(round, std::move(batch));
+  };
+  return fleet;
+}
+
+LeafPlatform::LeafPlatform(Config config)
+    : config_(std::move(config)),
+      uplink_measured_(config_.telemetry),
+      server_(fleet_config(config_, this)) {}
+
+ModelBody LeafPlatform::relay_round(std::uint64_t round,
+                                    PlatformServer::DiscountedBatch batch) {
+  // Runs on server_'s driver thread — which is the thread run() sits on,
+  // so the blocking uplink never touches the fleet's reactor.
+  FEDML_CHECK(!batch.terms.empty(),
+              "leaf round fired with no pending updates");
+  FEDML_CHECK(std::isfinite(batch.mass) && batch.mass > 0.0,
+              "leaf shard has degenerate weight mass");
+  ShardAggregateBody agg;
+  agg.shard_id = config_.shard_id;
+  agg.base_round = round;
+  agg.node_count = batch.updates;
+  agg.mass = batch.mass;
+  // The UNNORMALIZED pairwise sum — the root divides once, globally. A
+  // leaf that normalized here would break bit-identity with a flat fleet
+  // (W·(S/W) ≠ S in floating point).
+  agg.params = nn::pairwise_sum(batch.terms, /*requires_grad=*/false);
+  uplink_->send(encode_shard_aggregate(agg), config_.io_timeout_s);
+  while (true) {
+    const Frame frame = uplink_->recv(config_.io_timeout_s);
+    if (frame.type == MessageType::kModel) {
+      rounds_relayed_ += 1;
+      return decode_model(frame);
+    }
+    if (frame.type == MessageType::kShutdown)
+      FEDML_THROW("root shut down with leaf rounds remaining");
+    // Anything else (e.g. a duplicate Welcome) is chatter; keep waiting.
+  }
+}
+
+LeafPlatform::Totals LeafPlatform::run(
+    const PlatformServer::AggregateHook& hook) {
+  // Join the root first: its Welcome carries θ⁰ and the round counter this
+  // shard adopts, so every tier starts from one model.
+  Backoff backoff(config_.backoff,
+                  util::Rng(0x1ea'f000 + config_.shard_id));
+  Socket sock =
+      connect_with_retry(config_.root_host, config_.root_port,
+                         config_.connect_timeout_s, backoff,
+                         &uplink_measured_);
+  uplink_ = std::make_unique<MessageConn>(std::move(sock),
+                                          &uplink_measured_);
+  uplink_->send(encode_hello({config_.shard_id, 1.0}),
+                config_.io_timeout_s);
+  const ModelBody welcome = decode_model(uplink_->recv(config_.io_timeout_s));
+  server_.set_global(welcome.params);
+  server_.set_round(welcome.round);
+
+  Totals totals;
+  totals.fleet = server_.run(hook);
+  totals.rounds_relayed = rounds_relayed_;
+
+  // Linger for the root's Shutdown so its farewell write lands cleanly;
+  // a root that already hung up is fine too.
+  try {
+    const Deadline bye(config_.io_timeout_s);
+    while (!bye.expired()) {
+      if (uplink_->recv(1.0).type == MessageType::kShutdown) break;
+    }
+  } catch (const util::Error&) {
+  }
+  uplink_->shutdown();
+  totals.uplink = uplink_measured_.totals();
+  return totals;
+}
+
+// ---------------------------------------------------------------------------
+// RootAggregator
+
+namespace {
+
+PlatformServer::Config root_server_config(const RootAggregator::Config& c) {
+  PlatformServer::Config server;
+  server.port = c.port;
+  server.expected_nodes = c.leaves;
+  server.rounds = c.rounds;
+  server.quorum = c.quorum;
+  server.deadline_s = c.deadline_s;
+  server.staleness_exponent = c.staleness_exponent;
+  server.mix_rate = c.mix_rate;
+  server.join_timeout_s = c.join_timeout_s;
+  server.io_timeout_s = c.io_timeout_s;
+  server.handshake_timeout_s = c.handshake_timeout_s;
+  server.accept_shard_aggregates = true;
+  server.telemetry = c.telemetry;
+  return server;
+}
+
+}  // namespace
+
+RootAggregator::RootAggregator(Config config)
+    : server_(root_server_config(config)) {}
+
+}  // namespace fedml::net

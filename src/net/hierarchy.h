@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fed/comm.h"
+#include "net/message_conn.h"
+#include "net/platform_server.h"
+#include "obs/telemetry.h"
+
+namespace fedml::net {
+
+/// Two-tier federation: edge nodes → LeafPlatform shards → RootAggregator.
+///
+///        RootAggregator            (merges ShardAggregates, owns θ)
+///        ┌─────┴─────┐
+///   LeafPlatform  LeafPlatform     (each serves its fleet shard)
+///    ┌──┴──┐       ┌──┴──┐
+///  node   node   node   node       (unchanged NodeClient processes)
+///
+/// The tree is EXACT, not approximate: every merge in the repo reduces with
+/// the same canonical pairwise association (nn::pairwise_sum), and a leaf
+/// ships its shard's UNNORMALIZED discounted sum S_ℓ = Σ c_i·x_i plus its
+/// weight mass W_ℓ — never S_ℓ/W_ℓ. The root pairwise-sums the shard sums
+/// and masses and divides ONCE, so for contiguous half-shards the reduction
+/// tree is literally the flat server's reduction tree and the parameters
+/// come out bit-identical (the self-test in examples/distributed_fedml
+/// asserts distance == 0.0, and byte-equal comm ledgers).
+///
+/// Wire-wise a leaf looks like a slightly odd node to the root: it joins
+/// with Hello{node_id = shard_id, weight = 1}, receives Welcome/Model
+/// frames, but uplinks kShardAggregate instead of kUpdate.
+
+/// One shard: a full PlatformServer facing the fleet below, plus a blocking
+/// MessageConn uplink to the root. Runs on the caller's thread (plus the
+/// fleet server's reactor thread).
+class LeafPlatform {
+ public:
+  struct Config {
+    /// Fleet-facing server config. `delegate` and `accept_shard_aggregates`
+    /// must be unset — the leaf installs its own uplink delegate.
+    PlatformServer::Config fleet;
+    std::string root_host = "127.0.0.1";
+    std::uint16_t root_port = 0;
+    /// Shard ids order the root's merge exactly like node ids order a flat
+    /// merge: shard k must own the k-th contiguous block of the node
+    /// partition for the tree ≡ flat guarantee to hold.
+    std::uint64_t shard_id = 0;
+    double connect_timeout_s = 10.0;  ///< window to reach the root
+    double io_timeout_s = 30.0;       ///< per-frame uplink deadline
+    Backoff::Config backoff;
+    obs::Telemetry* telemetry = nullptr;  ///< uplink ledger (may be null)
+  };
+
+  struct Totals {
+    PlatformServer::Totals fleet;   ///< the shard's edge-facing ledger
+    fed::CommTotals uplink;         ///< leaf ↔ root traffic only
+    std::size_t rounds_relayed = 0; ///< shard aggregates acknowledged
+  };
+
+  explicit LeafPlatform(Config config);
+
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+
+  /// Join the root (Hello/Welcome — the Welcome's model becomes this
+  /// shard's θ⁰ and round, no local set_global needed), then serve the
+  /// fleet: every round uplinks the discounted shard sum and relays the
+  /// root's merged model down. Returns after the fleet rounds complete and
+  /// the root's Shutdown (or hangup) is seen.
+  Totals run(const PlatformServer::AggregateHook& hook = {});
+
+ private:
+  /// Validates `config.fleet` and installs the uplink delegate on it.
+  static PlatformServer::Config fleet_config(const Config& config,
+                                             LeafPlatform* self);
+  ModelBody relay_round(std::uint64_t round,
+                        PlatformServer::DiscountedBatch batch);
+
+  Config config_;
+  MeasuredTransport uplink_measured_;
+  PlatformServer server_;
+  std::unique_ptr<MessageConn> uplink_;
+  std::size_t rounds_relayed_ = 0;
+};
+
+/// The tree's root: a PlatformServer in shard-aggregate mode. Leaves join
+/// like nodes; each "update" is a whole shard's pre-summed contribution,
+/// merged sum-then-divide with the canonical pairwise association.
+class RootAggregator {
+ public:
+  struct Config {
+    std::uint16_t port = 0;
+    std::size_t leaves = 0;           ///< expected leaf platforms (> 0)
+    std::size_t rounds = 1;
+    std::size_t quorum = 0;           ///< 0 → all leaves
+    double deadline_s = 0.0;
+    double staleness_exponent = 0.5;  ///< discount on SHARD staleness
+    double mix_rate = 1.0;
+    double join_timeout_s = 30.0;
+    double io_timeout_s = 30.0;
+    double handshake_timeout_s = 5.0;
+    obs::Telemetry* telemetry = nullptr;
+  };
+
+  explicit RootAggregator(Config config);
+
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+
+  void set_global(const nn::ParamList& theta) { server_.set_global(theta); }
+  [[nodiscard]] nn::ParamList global_params() const {
+    return server_.global_params();
+  }
+
+  PlatformServer::Totals run(
+      const PlatformServer::AggregateHook& hook = {}) {
+    return server_.run(hook);
+  }
+
+ private:
+  PlatformServer server_;
+};
+
+}  // namespace fedml::net

@@ -26,8 +26,9 @@ void MeasuredTransport::record_frame(MessageType type,
     frames_sent_or_recv_->add();
   }
   // Only the traffic the simulators charge reaches CommTotals: uplink =
-  // update blobs, downlink = post-aggregation model broadcasts.
-  if (type == MessageType::kUpdate) {
+  // update blobs (node→platform, and a leaf platform's shard aggregate
+  // heading up the tree), downlink = post-aggregation model broadcasts.
+  if (type == MessageType::kUpdate || type == MessageType::kShardAggregate) {
     if (bytes_up_ != nullptr) bytes_up_->add(payload_bytes);
     util::LockGuard lock(mutex_);
     totals_.bytes_up += static_cast<double>(payload_bytes);

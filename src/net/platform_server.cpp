@@ -8,26 +8,36 @@
 
 #include "util/error.h"
 #include "util/log.h"
+#include "util/serialize.h"
 
 namespace fedml::net {
 
 namespace {
-/// Accept/reader poll tick: long enough to stay off the CPU, short enough
-/// that stop requests propagate promptly.
-constexpr double kIoTick = 0.1;
 
 double now_s() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Teardown drain-poll tick: only runs while the run is already over, so it
+/// bounds how fast the last broadcast flushes, not any steady-state path.
+constexpr double kTeardownTick = 0.05;
+
+std::shared_ptr<const std::vector<std::uint8_t>> encode_wire(
+    const Frame& frame) {
+  util::ByteWriter w;
+  encode_frame(frame, w);
+  return std::make_shared<const std::vector<std::uint8_t>>(w.bytes());
+}
+
 }  // namespace
 
 PlatformServer::PlatformServer(Config config)
-    : config_(config),
-      listener_(config.port),
-      measured_(config.telemetry),
-      tel_(config.telemetry) {
+    : config_(std::move(config)),
+      listener_(config_.port),
+      measured_(config_.telemetry),
+      tel_(config_.telemetry) {
   FEDML_CHECK(config_.expected_nodes >= 1,
               "platform server needs at least one expected node");
   FEDML_CHECK(config_.rounds >= 1, "rounds must be at least 1");
@@ -46,15 +56,21 @@ PlatformServer::PlatformServer(Config config)
 }
 
 PlatformServer::~PlatformServer() {
-  {
-    util::LockGuard lock(mutex_);
-    stopping_ = true;
-    for (auto& p : peers_)
-      if (p.conn) p.conn->shutdown();
-    if (handshaking_) handshaking_->shutdown();
+  if (pool_ != nullptr) {
+    // run() never reached its teardown (exception path): close every
+    // connection on the loop thread, then stop and join the reactor.
+    reactor_.post([this] {
+      loop_stopping_ = true;
+      std::vector<AsyncConn*> keys;
+      keys.reserve(conns_.size());
+      for (auto& [key, conn] : conns_) keys.push_back(key);
+      for (AsyncConn* key : keys) retire(key);
+      reactor_.stop();
+    });
+    reactor_.stop();
+    pool_.reset();
   }
-  listener_.shutdown();
-  pool_.reset();  // joins accept/reader tasks
+  listener_.close();
 }
 
 void PlatformServer::set_global(const nn::ParamList& theta) {
@@ -63,182 +79,263 @@ void PlatformServer::set_global(const nn::ParamList& theta) {
   global_ = nn::clone_leaves(theta);
 }
 
+void PlatformServer::set_round(std::uint64_t round) {
+  thread_.check("PlatformServer::set_round");
+  util::LockGuard lock(mutex_);
+  round_ = round;
+}
+
 nn::ParamList PlatformServer::global_params() const {
   util::LockGuard lock(mutex_);
   return nn::clone_leaves(global_);
 }
 
-std::size_t PlatformServer::alive_count_locked() const {
-  std::size_t n = 0;
-  for (const auto& p : peers_)
-    if (p.alive) ++n;
-  return n;
-}
-
 std::size_t PlatformServer::effective_quorum_locked() const {
   // Never wait for more peers than are still alive — crashed nodes are
   // shed, exactly as the simulator's fault model sheds them.
-  return std::max<std::size_t>(
-      1, std::min(config_.quorum, alive_count_locked()));
+  return std::max<std::size_t>(1, std::min(config_.quorum, alive_));
 }
 
-void PlatformServer::shed_peer_locked(std::size_t peer_index) {
-  auto& p = peers_[peer_index];
-  if (!p.alive) return;
-  p.alive = false;
-  if (p.conn) p.conn->shutdown();
-  totals_.nodes_shed += 1;
-  measured_.record_shed();
-  FEDML_LOG(kWarning) << "net: shed node " << p.node_id;
-}
+// ---------------------------------------------------------------------------
+// Reactor-thread side: accepts, handshakes, frame intake, teardown.
 
-void PlatformServer::accept_loop() {
+void PlatformServer::on_acceptable() {
   while (true) {
-    {
-      util::LockGuard lock(mutex_);
-      if (stopping_) return;
-    }
     Socket sock;
     try {
-      sock = listener_.accept(kIoTick);
-    } catch (const TimeoutError&) {
-      continue;
+      sock = listener_.try_accept();
     } catch (const util::Error&) {
       return;  // listener shut down
     }
-    // Handshake: Hello in, Welcome (current round + model) out. A peer that
-    // fails mid-handshake is dropped without disturbing the fleet.
-    try {
-      auto conn = std::make_shared<MessageConn>(std::move(sock), &measured_);
-      {
-        util::LockGuard lock(mutex_);
-        if (stopping_) return;
-        handshaking_ = conn;
-      }
-      // Handshakes are serialized on this loop, so the Hello wait runs on
-      // its own short window (not the full I/O deadline) and polls in
-      // kIoTick slices — a connected-but-silent peer cannot starve other
-      // joins, and a stop request still propagates promptly.
-      const Deadline hs(config_.handshake_timeout_s);
-      for (;;) {
-        {
-          util::LockGuard lock(mutex_);
-          if (stopping_) return;
-        }
-        if (conn->readable(std::min(kIoTick,
-                                    std::max(hs.remaining_s(), 0.0))))
-          break;
-        if (hs.expired())
-          throw TimeoutError("net: no Hello within the handshake window");
-      }
-      const HelloBody hello =
-          decode_hello(conn->recv(std::max(hs.remaining_s(), kIoTick)));
-      if (!std::isfinite(hello.weight) || hello.weight <= 0.0)
-        throw util::Error("net: rejected Hello from node " +
-                          std::to_string(hello.node_id) +
-                          " with non-positive/non-finite weight");
-      Frame welcome;
-      {
-        util::LockGuard lock(mutex_);
-        if (stopping_) return;
-        welcome = encode_model(MessageType::kWelcome, {round_, global_});
-      }
-      // The Welcome MUST go out before the peer is published: once it is in
-      // peers_, the round driver may broadcast on this conn at any moment,
-      // and MessageConn supports only one concurrent sender.
-      conn->send(welcome, config_.handshake_timeout_s);
-      std::size_t index = 0;
-      {
-        util::LockGuard lock(mutex_);
-        if (stopping_) {
-          conn->shutdown();
-          return;
-        }
-        peers_.push_back(Peer{hello.node_id, hello.weight, conn, true});
-        index = peers_.size() - 1;
-        totals_.nodes_joined += 1;
-        handshaking_.reset();
-      }
-      pool_->submit([this, index] { reader_loop(index); });
-      cv_.notify_all();
-    } catch (const util::Error& e) {
-      FEDML_LOG(kWarning) << "net: handshake failed: " << e.what();
-      util::LockGuard lock(mutex_);
-      handshaking_.reset();
-    }
+    if (!sock.valid()) return;  // accept queue drained
+    if (loop_stopping_) return; // teardown already begun: drop newcomers
+    auto io = std::make_unique<AsyncConn>(std::move(sock), &reactor_,
+                                          &measured_);
+    AsyncConn* key = io.get();
+    Conn conn;
+    conn.io = std::move(io);
+    conns_.emplace(key, std::move(conn));
+    // Handshake window as a reactor timer: a connected-but-silent peer
+    // holds only its own fd for this long, and never the accept path —
+    // handshakes are fully concurrent.
+    conns_[key].handshake_timer =
+        reactor_.add_timer(config_.handshake_timeout_s, [this, key] {
+          auto it = conns_.find(key);
+          if (it == conns_.end() || it->second.joined) return;
+          it->second.handshake_timer = Reactor::kInvalidTimer;
+          FEDML_LOG(kWarning)
+              << "net: handshake failed: no Hello within the window";
+          retire(key);
+        });
+    conns_[key].io->start(
+        [this, key](Frame&& frame) { on_peer_frame(key, std::move(frame)); },
+        [this, key](bool clean, const std::string& reason) {
+          on_peer_close(key, clean, reason);
+        });
   }
 }
 
-void PlatformServer::reader_loop(std::size_t peer_index) {
-  std::shared_ptr<MessageConn> conn;
+void PlatformServer::retire(AsyncConn* key) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  if (it->second.handshake_timer != Reactor::kInvalidTimer)
+    reactor_.cancel_timer(it->second.handshake_timer);
+  std::unique_ptr<AsyncConn> io = std::move(it->second.io);
+  conns_.erase(it);
+  io->close();
+  // The conn may be executing one of its own handlers right now (shed
+  // cascades run inside reactor dispatch); destroy it on a later loop
+  // iteration, never under its own stack frame. shared_ptr because
+  // Reactor::post takes a copyable std::function.
+  reactor_.post([holder = std::shared_ptr<AsyncConn>(std::move(io))]() mutable {
+    holder.reset();
+  });
+}
+
+void PlatformServer::on_peer_close(AsyncConn* key, bool /*clean*/,
+                                   const std::string& reason) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  const bool joined = it->second.joined;
+  const std::uint64_t node_id = it->second.node_id;
+  retire(key);
+  if (!joined) {
+    FEDML_LOG(kWarning) << "net: handshake failed: " << reason;
+    cv_.notify_all();
+    return;
+  }
+  bool counted = false;
   {
     util::LockGuard lock(mutex_);
-    conn = peers_[peer_index].conn;
-  }
-  while (true) {
-    {
-      util::LockGuard lock(mutex_);
-      if (stopping_ || !peers_[peer_index].alive) return;
-    }
-    Frame frame;
-    try {
-      // Short non-consuming poll first: a quiet peer (still computing its
-      // T0 block) never tears a frame. Once bytes are pending, the whole
-      // frame must land within the I/O deadline or the peer is stuck.
-      if (!conn->readable(kIoTick)) continue;
-      frame = conn->recv(config_.io_timeout_s);
-    } catch (const util::Error&) {
-      // Closed, reset, stuck mid-frame, or a protocol violation: gone.
-      util::LockGuard lock(mutex_);
-      if (!stopping_) shed_peer_locked(peer_index);
-      cv_.notify_all();
-      return;
-    }
-    if (frame.type != MessageType::kUpdate) continue;  // ignore chatter
-    try {
-      UpdateBody update = decode_update(frame);
-      util::LockGuard lock(mutex_);
-      totals_.uploads_received += 1;
-      pending_.push_back(PendingUpdate{update.node_id,
-                                       peers_[peer_index].weight,
-                                       update.base_round,
-                                       std::move(update.params)});
-      cv_.notify_all();
-    } catch (const util::Error& e) {
-      FEDML_LOG(kWarning) << "net: bad update dropped: " << e.what();
-      util::LockGuard lock(mutex_);
-      if (!stopping_) shed_peer_locked(peer_index);
-      cv_.notify_all();
-      return;
+    alive_ -= 1;
+    if (!stopping_) {
+      totals_.nodes_shed += 1;
+      counted = true;
     }
   }
+  if (counted) {
+    measured_.record_shed();
+    FEDML_LOG(kWarning) << "net: shed node " << node_id << " (" << reason
+                        << ")";
+  }
+  cv_.notify_all();
 }
 
-void PlatformServer::merge(std::vector<PendingUpdate> batch) {
+void PlatformServer::handle_hello(AsyncConn* key, const Frame& frame) {
+  if (frame.type != MessageType::kHello) {
+    FEDML_LOG(kWarning) << "net: handshake failed: expected Hello";
+    retire(key);
+    return;
+  }
+  HelloBody hello;
+  try {
+    hello = decode_hello(frame);
+    FEDML_CHECK(std::isfinite(hello.weight) && hello.weight > 0.0,
+                "rejected Hello from node " + std::to_string(hello.node_id) +
+                    " with non-positive/non-finite weight");
+  } catch (const util::Error& e) {
+    FEDML_LOG(kWarning) << "net: handshake failed: " << e.what();
+    retire(key);
+    return;
+  }
+  Frame welcome;
+  {
+    util::LockGuard lock(mutex_);
+    if (stopping_) {
+      retire(key);
+      return;
+    }
+    welcome = encode_model(MessageType::kWelcome, {round_, global_});
+  }
+  // The Welcome is queued before the peer is marked joined, so no broadcast
+  // (a later posted task on this same thread) can precede it on the wire.
+  conns_[key].io->send(welcome);
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;  // send failed; close path already ran
+  if (it->second.handshake_timer != Reactor::kInvalidTimer) {
+    reactor_.cancel_timer(it->second.handshake_timer);
+    it->second.handshake_timer = Reactor::kInvalidTimer;
+  }
+  it->second.joined = true;
+  it->second.node_id = hello.node_id;
+  it->second.weight = hello.weight;
+  {
+    util::LockGuard lock(mutex_);
+    totals_.nodes_joined += 1;
+    alive_ += 1;
+  }
+  cv_.notify_all();
+}
+
+void PlatformServer::on_peer_frame(AsyncConn* key, Frame&& frame) {
+  auto it = conns_.find(key);
+  if (it == conns_.end() || loop_stopping_) return;
+  if (!it->second.joined) {
+    handle_hello(key, frame);
+    return;
+  }
+  const MessageType want = config_.accept_shard_aggregates
+                               ? MessageType::kShardAggregate
+                               : MessageType::kUpdate;
+  if (frame.type != want) return;  // ignore chatter
+  PendingUpdate update;
+  try {
+    if (config_.accept_shard_aggregates) {
+      ShardAggregateBody body = decode_shard_aggregate(frame);
+      FEDML_CHECK(std::isfinite(body.mass) && body.mass > 0.0,
+                  "rejected shard aggregate with non-positive mass");
+      FEDML_CHECK(body.node_count >= 1, "rejected empty shard aggregate");
+      update = PendingUpdate{body.shard_id,   0.0,
+                             body.mass,       body.base_round,
+                             body.node_count, true,
+                             std::move(body.params)};
+    } else {
+      UpdateBody body = decode_update(frame);
+      update = PendingUpdate{body.node_id,        it->second.weight,
+                             it->second.weight,   body.base_round,
+                             1,                   false,
+                             std::move(body.params)};
+    }
+  } catch (const util::Error& e) {
+    FEDML_LOG(kWarning) << "net: bad update dropped: " << e.what();
+    on_peer_close(key, false, e.what());
+    return;
+  }
+  {
+    util::LockGuard lock(mutex_);
+    totals_.uploads_received += 1;
+    pending_.push_back(std::move(update));
+  }
+  cv_.notify_all();
+}
+
+void PlatformServer::begin_teardown() {
+  loop_stopping_ = true;
+  reactor_.remove_fd(listener_.fd());
+  std::uint64_t rounds_done = 0;
+  {
+    util::LockGuard lock(mutex_);
+    rounds_done = round_;
+  }
+  const Frame bye = encode_shutdown({rounds_done});
+  auto wire = encode_wire(bye);
+  std::vector<AsyncConn*> keys;
+  keys.reserve(conns_.size());
+  for (auto& [key, conn] : conns_) keys.push_back(key);
+  for (AsyncConn* key : keys) {
+    auto it = conns_.find(key);
+    if (it == conns_.end()) continue;
+    if (!it->second.joined || !it->second.io->open()) {
+      retire(key);
+      continue;
+    }
+    it->second.io->send_wire(wire, MessageType::kShutdown, 0);
+    auto again = conns_.find(key);
+    if (again != conns_.end()) again->second.io->close_when_drained();
+  }
+  teardown_ticks_left_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(config_.io_timeout_s / kTeardownTick)));
+  teardown_sweep();
+}
+
+void PlatformServer::teardown_sweep() {
+  std::vector<AsyncConn*> keys;
+  keys.reserve(conns_.size());
+  for (auto& [key, conn] : conns_) keys.push_back(key);
+  const bool out_of_time = teardown_ticks_left_ == 0;
+  for (AsyncConn* key : keys) {
+    auto it = conns_.find(key);
+    if (it == conns_.end()) continue;
+    if (out_of_time || !it->second.io->open() || it->second.io->drained())
+      retire(key);
+  }
+  if (conns_.empty()) {
+    reactor_.stop();
+    return;
+  }
+  teardown_ticks_left_ -= 1;
+  reactor_.add_timer(kTeardownTick, [this] { teardown_sweep(); });
+}
+
+// ---------------------------------------------------------------------------
+// Driver-thread side: discount, merge, broadcast, run loop.
+
+PlatformServer::DiscountedBatch PlatformServer::discount_batch(
+    std::vector<PendingUpdate> batch, std::uint64_t round,
+    double staleness_exponent) {
   // Deterministic merge order regardless of arrival interleaving: sort by
-  // node id (matches the synchronous platform's ascending-index order).
+  // id (node id flat, shard id at the root — and shard ids follow the node
+  // partition order, which is what aligns the tree's reduction with the
+  // flat pairwise shape).
   std::sort(batch.begin(), batch.end(),
             [](const PendingUpdate& a, const PendingUpdate& b) {
-              return a.node_id < b.node_id;
+              return a.id < b.id;
             });
-
-  std::size_t round = 0;
-  nn::ParamList global;
-  {
-    util::LockGuard lock(mutex_);
-    round = round_;
-    global = global_;  // ParamList copies share tensors; cheap
-  }
-
-  // Staleness-discounted weights, sim::AsyncPlatform's merge verbatim:
-  // w_i = ω_i / (1 + s)^a, batch mixed in at m = min(1, η · Σw).
-  std::vector<nn::ParamList> lists;
-  std::vector<double> weights;
-  lists.reserve(batch.size());
-  weights.reserve(batch.size());
-  double mass = 0.0;
-  std::size_t stale = 0;
-  double staleness_sum = 0.0;
+  DiscountedBatch out;
+  out.terms.reserve(batch.size());
+  std::vector<double> masses;
+  masses.reserve(batch.size());
   for (auto& u : batch) {
     // A buggy/hostile node may claim base_round ahead of the platform;
     // clamp instead of letting the uint64 subtraction wrap to ~2^64
@@ -246,36 +343,78 @@ void PlatformServer::merge(std::vector<PendingUpdate> batch) {
     const double s = round > u.base_round
                          ? static_cast<double>(round - u.base_round)
                          : 0.0;
-    if (round > u.base_round) stale += 1;
-    staleness_sum += s;
-    const double w =
-        u.weight * std::pow(1.0 + s, -config_.staleness_exponent);
-    lists.push_back(std::move(u.params));
-    weights.push_back(w);
-    mass += w;
+    if (round > u.base_round) out.stale += 1;
+    out.staleness_sum += s;
+    const double disc = std::pow(1.0 + s, -staleness_exponent);
+    // A node update contributes (ω_i·disc)·x_i with mass ω_i·disc; a shard
+    // aggregate already carries Σ ω·x and Σ ω inside, so the whole sum is
+    // discounted once by the SHARD's staleness.
+    const double coeff = u.is_aggregate ? disc : u.weight * disc;
+    masses.push_back(u.mass * disc);
+    out.terms.push_back(nn::scale(u.params, coeff, /*requires_grad=*/false));
+    out.updates += u.count;
   }
-  if (!std::isfinite(mass) || mass <= 0.0) {
-    // Unreachable while Hello weights are validated positive-finite, but a
-    // merge must never divide by a degenerate mass: drop the batch, keep
-    // the model, and still advance the round so nodes blocked on the next
-    // broadcast are not deadlocked.
-    FEDML_LOG(kWarning) << "net: dropped batch of " << batch.size()
-                        << " updates with degenerate weight mass " << mass;
+  out.mass = masses.empty() ? 0.0 : nn::pairwise_sum(masses);
+  return out;
+}
+
+void PlatformServer::merge(DiscountedBatch batch) {
+  nn::ParamList global;
+  {
+    util::LockGuard lock(mutex_);
+    global = global_;  // ParamList copies share tensors; cheap
+  }
+  if (batch.terms.empty() || !std::isfinite(batch.mass) ||
+      batch.mass <= 0.0) {
+    // Unreachable while Hello weights and shard masses are validated
+    // positive-finite, but a merge must never divide by a degenerate mass:
+    // drop the batch, keep the model, and still advance the round so nodes
+    // blocked on the next broadcast are not deadlocked.
+    FEDML_LOG(kWarning) << "net: dropped batch of " << batch.terms.size()
+                        << " updates with degenerate weight mass "
+                        << batch.mass;
     util::LockGuard lock(mutex_);
     round_ += 1;
     return;
   }
-  for (auto& w : weights) w /= mass;
-  const nn::ParamList merged = nn::weighted_average(lists, weights);
-  const double m = std::min(1.0, config_.mix_rate * mass);
+  // Sum-then-divide with the canonical pairwise association. Dividing ONCE
+  // at the end (instead of normalizing each weight) is what a leaf cannot
+  // do — it ships the raw sum — so the flat path must match: S/W here
+  // equals root-merge(leaf sums)/W bit for bit.
+  const nn::ParamList sum = nn::pairwise_sum(batch.terms,
+                                             /*requires_grad=*/false);
+  const nn::ParamList merged =
+      nn::scale(sum, 1.0 / batch.mass, /*requires_grad=*/false);
+  const double m = std::min(1.0, config_.mix_rate * batch.mass);
   nn::ParamList next =
       nn::weighted_average({std::move(global), merged}, {1.0 - m, m});
 
   util::LockGuard lock(mutex_);
   global_ = std::move(next);
   round_ += 1;
-  totals_.stale_updates += stale;
-  totals_.staleness_sum += staleness_sum;
+}
+
+void PlatformServer::broadcast_model() {
+  Frame frame;
+  {
+    util::LockGuard lock(mutex_);
+    frame = encode_model(MessageType::kModel, {round_, global_});
+  }
+  auto wire = encode_wire(frame);
+  const std::size_t accounting = accounting_payload_bytes(frame);
+  // One encode, every peer shares the buffer; a peer whose send fails is
+  // shed through its own close handler.
+  reactor_.post([this, wire, accounting] {
+    std::vector<AsyncConn*> keys;
+    keys.reserve(conns_.size());
+    for (auto& [key, conn] : conns_)
+      if (conn.joined) keys.push_back(key);
+    for (AsyncConn* key : keys) {
+      auto it = conns_.find(key);
+      if (it == conns_.end() || !it->second.io->open()) continue;
+      it->second.io->send_wire(wire, MessageType::kModel, accounting);
+    }
+  });
 }
 
 PlatformServer::Totals PlatformServer::run(const AggregateHook& hook) {
@@ -286,10 +425,14 @@ PlatformServer::Totals PlatformServer::run(const AggregateHook& hook) {
     FEDML_CHECK(!stopping_ && pool_ == nullptr, "run() may be called once");
   }
   const double wall_start = now_s();
-  // One worker per peer reader, plus the accept task and one slot of slack
-  // for rejoin readers racing retired ones.
-  pool_ = std::make_unique<util::ThreadPool>(config_.expected_nodes + 2);
-  pool_->submit([this] { accept_loop(); });
+  // The whole fleet runs on ONE reactor thread (plus this driver thread) —
+  // the thread budget is independent of expected_nodes.
+  pool_ = std::make_unique<util::ThreadPool>(1);
+  reactor_.post([this] {
+    reactor_.add_fd(listener_.fd(), Reactor::kReadable,
+                    [this](std::uint32_t) { on_acceptable(); });
+  });
+  pool_->submit([this] { reactor_.run(); });
 
   bool fleet_died = false;
   {
@@ -303,95 +446,87 @@ PlatformServer::Totals PlatformServer::run(const AggregateHook& hook) {
       cv_.wait_for(lock, config_.poll_interval_s);
   }
 
-  while (true) {
-    bool by_quorum = false;
-    std::vector<PendingUpdate> batch;
-    {
-      util::UniqueLock lock(mutex_);
-      if (round_ >= config_.rounds) break;
-      const double round_started = now_s();
-      while (true) {
-        if (alive_count_locked() == 0 && pending_.empty()) {
-          fleet_died = true;
-          break;
+  std::exception_ptr failure;
+  try {
+    while (true) {
+      bool by_quorum = false;
+      std::vector<PendingUpdate> batch;
+      std::uint64_t round = 0;
+      {
+        util::UniqueLock lock(mutex_);
+        if (round_ >= config_.rounds) break;
+        const double round_started = now_s();
+        while (true) {
+          if (alive_ == 0 && pending_.empty()) {
+            fleet_died = true;
+            break;
+          }
+          if (!pending_.empty() &&
+              pending_.size() >= effective_quorum_locked()) {
+            by_quorum = true;
+            break;
+          }
+          if (config_.deadline_s > 0.0 && !pending_.empty() &&
+              now_s() - round_started >= config_.deadline_s)
+            break;
+          cv_.wait_for(lock, config_.poll_interval_s);
         }
-        if (!pending_.empty() &&
-            pending_.size() >= effective_quorum_locked()) {
-          by_quorum = true;
-          break;
-        }
-        if (config_.deadline_s > 0.0 && !pending_.empty() &&
-            now_s() - round_started >= config_.deadline_s)
-          break;
-        cv_.wait_for(lock, config_.poll_interval_s);
+        if (fleet_died) break;
+        batch = std::move(pending_);
+        pending_.clear();
+        round = round_;
       }
-      if (fleet_died) break;
-      batch = std::move(pending_);
-      pending_.clear();
-    }
 
-    obs::TraceSpan round_span;
-    if (tel_ != nullptr) {
-      round_span = tel_->tracer.span("net.round");
-      round_span.arg("merged", static_cast<double>(batch.size()));
-      round_span.arg("by_quorum", by_quorum ? 1.0 : 0.0);
-    }
-    merge(std::move(batch));
-    measured_.record_aggregation();
-
-    // Broadcast the new model to every live peer; a failed send sheds.
-    Frame model_frame;
-    std::size_t round = 0;
-    std::vector<std::pair<std::size_t, std::shared_ptr<MessageConn>>> live;
-    {
-      util::LockGuard lock(mutex_);
-      round = round_;
-      if (by_quorum)
-        totals_.quorum_rounds += 1;
-      else
-        totals_.deadline_rounds += 1;
-      model_frame = encode_model(MessageType::kModel, {round_, global_});
-      for (std::size_t i = 0; i < peers_.size(); ++i)
-        if (peers_[i].alive) live.emplace_back(i, peers_[i].conn);
-    }
-    for (const auto& [index, conn] : live) {
-      try {
-        conn->send(model_frame, config_.io_timeout_s);
-      } catch (const util::Error&) {
+      obs::TraceSpan round_span;
+      if (tel_ != nullptr) {
+        round_span = tel_->tracer.span("net.round");
+        round_span.arg("merged", static_cast<double>(batch.size()));
+        round_span.arg("by_quorum", by_quorum ? 1.0 : 0.0);
+      }
+      DiscountedBatch discounted =
+          discount_batch(std::move(batch), round, config_.staleness_exponent);
+      {
         util::LockGuard lock(mutex_);
-        shed_peer_locked(index);
+        totals_.stale_updates += discounted.stale;
+        totals_.staleness_sum += discounted.staleness_sum;
+        if (by_quorum)
+          totals_.quorum_rounds += 1;
+        else
+          totals_.deadline_rounds += 1;
       }
+      if (config_.delegate) {
+        // Hierarchy leaf: the round result comes from the root aggregator.
+        ModelBody next = config_.delegate(round, std::move(discounted));
+        util::LockGuard lock(mutex_);
+        FEDML_CHECK(next.round > round_,
+                    "round delegate must advance the round");
+        global_ = std::move(next.params);
+        round_ = next.round;
+      } else {
+        merge(std::move(discounted));
+      }
+      measured_.record_aggregation();
+      broadcast_model();
+      std::uint64_t new_round = 0;
+      {
+        util::LockGuard lock(mutex_);
+        new_round = round_;
+      }
+      round_span.end();
+      if (hook) hook(new_round, global_params());
     }
-    if (round_span.active()) round_span.end();
-    if (hook) hook(round, global_params());
+  } catch (...) {
+    failure = std::current_exception();
   }
 
-  // Graceful teardown: tell every surviving node training is over, wake all
-  // blocked I/O, and join the accept/reader tasks.
-  std::vector<std::shared_ptr<MessageConn>> conns;
-  std::size_t rounds_done = 0;
+  // Graceful teardown, on the reactor thread: tell every surviving node
+  // training is over, drain the farewell writes (bounded), close all
+  // connections, then stop the loop. pool_.reset() joins it.
   {
     util::LockGuard lock(mutex_);
     stopping_ = true;
-    rounds_done = round_;
-    if (handshaking_) handshaking_->shutdown();
-    for (auto& p : peers_)
-      if (p.alive && p.conn) conns.push_back(p.conn);
   }
-  const Frame bye = encode_shutdown({rounds_done});
-  for (const auto& conn : conns) {
-    try {
-      conn->send(bye, config_.io_timeout_s);
-    } catch (const util::Error&) {
-      // Peer vanished during teardown; nothing left to tell it.
-    }
-  }
-  listener_.shutdown();
-  {
-    util::LockGuard lock(mutex_);
-    for (auto& p : peers_)
-      if (p.conn) p.conn->shutdown();
-  }
+  reactor_.post([this] { begin_teardown(); });
   pool_.reset();
   listener_.close();
 
@@ -402,6 +537,7 @@ PlatformServer::Totals PlatformServer::run(const AggregateHook& hook) {
     totals = totals_;
   }
   totals.comm = measured_.totals();
+  if (failure) std::rethrow_exception(failure);
   FEDML_CHECK(totals.nodes_joined > 0,
               "no edge node joined within the join window");
   FEDML_CHECK(!fleet_died,

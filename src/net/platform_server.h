@@ -3,11 +3,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "fed/comm.h"
+#include "net/async_conn.h"
 #include "net/measured.h"
-#include "net/message_conn.h"
+#include "net/reactor.h"
 #include "net/socket.h"
 #include "nn/params.h"
 #include "obs/telemetry.h"
@@ -24,12 +26,61 @@ namespace fedml::net {
 /// (ω_i/(1+s)^a, server mixing rate η) — so a fleet the simulator predicts
 /// will shed its stragglers sheds them the same way over real sockets.
 ///
-/// Threading: `run()` (the round driver) owns aggregation and all sends;
-/// one pool task accepts joins/rejoins for the whole run; one pool task per
-/// peer blocks in recv and enqueues updates. Everything shared sits under
-/// `mutex_` (rank kNetServer, the outermost layer).
+/// Threading: TWO threads total, whatever the fleet size.
+///  * The REACTOR thread (`net::Reactor`, epoll/poll) owns the listener and
+///    every peer connection (`net::AsyncConn`): accepts, handshakes (with
+///    reactor-timer timeouts — nothing is serialized), frame assembly and
+///    broadcast writes are all readiness-driven callbacks, so thousands of
+///    concurrent edge connections cost fds and buffers, not threads.
+///  * The DRIVER thread (`run()`) owns aggregation: it sleeps on `cv_`
+///    until quorum/deadline, drains `pending_`, merges, and posts the
+///    broadcast back to the reactor.
+/// Shared state sits under `mutex_` (rank kNetServer); connection state is
+/// reactor-thread-only and needs no lock at all.
+///
+/// Aggregation is the CANONICAL PAIRWISE merge (see nn::pairwise_sum):
+/// terms are summed with recursive halving and normalized once, sum-then-
+/// divide. That makes the merge associative over contiguous shards, which
+/// is what `net::LeafPlatform`/`net::RootAggregator` (net/hierarchy.h)
+/// exploit to make a platform TREE bit-identical to a flat fleet.
 class PlatformServer {
  public:
+  /// One undecoded-but-validated pending contribution: a node's update, or
+  /// (in root mode) a whole shard's pre-summed aggregate.
+  struct PendingUpdate {
+    std::uint64_t id = 0;         ///< node id, or shard id in root mode
+    double weight = 0.0;          ///< Hello weight ω_i (unused for shards)
+    double mass = 0.0;            ///< ω_i for nodes, shipped mass for shards
+    std::uint64_t base_round = 0;
+    std::uint64_t count = 1;      ///< node updates folded in (shards > 1)
+    bool is_aggregate = false;
+    nn::ParamList params;         ///< x_i, or the shard's unnormalized sum
+  };
+
+  /// A drained batch after staleness discounting, ready for the canonical
+  /// pairwise reduction: `terms[j]` is c_j·x_j (already scaled, id-sorted),
+  /// `mass` the pairwise sum of the discounted weight masses.
+  struct DiscountedBatch {
+    std::vector<nn::ParamList> terms;
+    double mass = 0.0;
+    std::size_t updates = 0;       ///< Σ count over the batch
+    std::size_t stale = 0;         ///< entries merged with staleness ≥ 1
+    double staleness_sum = 0.0;
+  };
+
+  /// Discount + sort `batch` against `round` (shared by the internal merge
+  /// and the hierarchy layer, so both tiers discount identically).
+  static DiscountedBatch discount_batch(std::vector<PendingUpdate> batch,
+                                        std::uint64_t round,
+                                        double staleness_exponent);
+
+  /// Leaf-mode hook: called on the driver thread INSTEAD of the internal
+  /// merge, with the discounted batch; returns the model (and round) to
+  /// broadcast to the fleet. `net::LeafPlatform` uses it to uplink the
+  /// shard sum to the root and relay the root's model down.
+  using RoundDelegate =
+      std::function<ModelBody(std::uint64_t round, DiscountedBatch batch)>;
+
   struct Config {
     std::uint16_t port = 0;        ///< 0 → ephemeral (see `port()`)
     std::size_t expected_nodes = 0;  ///< fleet size (> 0)
@@ -45,13 +96,19 @@ class PlatformServer {
     /// if nobody joins). Late/re-joining nodes are accepted for the whole
     /// run and handed the current model.
     double join_timeout_s = 30.0;
-    double io_timeout_s = 30.0;       ///< per-frame send/recv deadline
-    /// Window for one Hello/Welcome exchange. Deliberately short and
-    /// separate from io_timeout_s: handshakes are serialized on the accept
-    /// loop, so a peer that connects and then says nothing may only hold
-    /// the door for this long before being dropped.
+    /// Teardown drain window, and the cap on how long a broadcast may sit
+    /// in a peer's output queue before teardown force-closes it.
+    double io_timeout_s = 30.0;
+    /// Window for one Hello/Welcome exchange, enforced by a per-connection
+    /// reactor timer — handshakes run concurrently, so a connected-but-
+    /// silent peer holds only its own fd, never the accept path.
     double handshake_timeout_s = 5.0;
-    double poll_interval_s = 0.02;    ///< trigger re-check tick
+    double poll_interval_s = 0.02;    ///< driver trigger re-check tick
+    /// Root mode: peers are leaf platforms speaking kShardAggregate
+    /// instead of edge nodes speaking kUpdate.
+    bool accept_shard_aggregates = false;
+    /// Leaf mode: replace the internal merge (see RoundDelegate).
+    RoundDelegate delegate;
     obs::Telemetry* telemetry = nullptr;  ///< null = off; must outlive run()
   };
 
@@ -93,35 +150,42 @@ class PlatformServer {
   void set_global(const nn::ParamList& theta);
   [[nodiscard]] nn::ParamList global_params() const;
 
+  /// Adopt an upstream round counter before `run()` — a leaf joining a
+  /// root mid-training starts where the root is, and `rounds` stays the
+  /// TOTAL round budget, not a relative one.
+  void set_round(std::uint64_t round);
+
   /// Serve the configured number of rounds, then send Shutdown to every
   /// connected node and return. Throws util::Error when no node joins
   /// within the window or every peer dies with rounds remaining.
   Totals run(const AggregateHook& hook = {});
 
  private:
-  struct Peer {
+  /// Reactor-thread-only connection record (handshaking or joined peer).
+  struct Conn {
+    std::unique_ptr<AsyncConn> io;
+    Reactor::TimerId handshake_timer = Reactor::kInvalidTimer;
+    bool joined = false;
     std::uint64_t node_id = 0;
     double weight = 0.0;
-    std::shared_ptr<MessageConn> conn;
-    bool alive = true;
-  };
-  struct PendingUpdate {
-    std::uint64_t node_id = 0;
-    double weight = 0.0;
-    std::uint64_t base_round = 0;
-    nn::ParamList params;
   };
 
-  void accept_loop();
-  void reader_loop(std::size_t peer_index);
-  void shed_peer_locked(std::size_t peer_index) FEDML_REQUIRES(mutex_);
-  [[nodiscard]] std::size_t alive_count_locked() const FEDML_REQUIRES(mutex_);
+  // Reactor-thread handlers.
+  void on_acceptable();
+  void on_peer_frame(AsyncConn* key, Frame&& frame);
+  void on_peer_close(AsyncConn* key, bool clean, const std::string& reason);
+  void handle_hello(AsyncConn* key, const Frame& frame);
+  /// Close + unmap a connection; the AsyncConn is destroyed on a later
+  /// loop iteration (never under its own callback stack).
+  void retire(AsyncConn* key);
+  void begin_teardown();
+  void teardown_sweep();
+
+  // Driver-thread round pipeline.
+  void merge(DiscountedBatch batch);
+  void broadcast_model();
   [[nodiscard]] std::size_t effective_quorum_locked() const
       FEDML_REQUIRES(mutex_);
-  /// Merge the pending batch into the global model (staleness-discounted,
-  /// sim::AsyncPlatform's shape). Called with the batch already drained
-  /// from `pending_`, lock NOT held.
-  void merge(std::vector<PendingUpdate> batch);
 
   /// Affinity for the round driver: set_global/run stay on one thread.
   util::ThreadChecker thread_;
@@ -129,21 +193,24 @@ class PlatformServer {
   Listener listener_;
   MeasuredTransport measured_;
   obs::Telemetry* tel_ = nullptr;
+  Reactor reactor_;
+
+  // Reactor-thread-only state (no lock; see the threading model above).
+  std::unordered_map<AsyncConn*, Conn> conns_;
+  bool loop_stopping_ = false;
+  std::size_t teardown_ticks_left_ = 0;
 
   mutable util::Mutex mutex_{util::lock_rank::kNetServer,
                              "net::PlatformServer::mutex_"};
   util::CondVar cv_;
   nn::ParamList global_ FEDML_GUARDED_BY(mutex_);
-  std::vector<Peer> peers_ FEDML_GUARDED_BY(mutex_);
-  /// Connection currently mid-handshake on the accept loop (not yet in
-  /// peers_), kept here so teardown can wake its blocked I/O immediately.
-  std::shared_ptr<MessageConn> handshaking_ FEDML_GUARDED_BY(mutex_);
   std::vector<PendingUpdate> pending_ FEDML_GUARDED_BY(mutex_);
-  std::size_t round_ FEDML_GUARDED_BY(mutex_) = 0;
+  std::uint64_t round_ FEDML_GUARDED_BY(mutex_) = 0;
+  std::size_t alive_ FEDML_GUARDED_BY(mutex_) = 0;
   bool stopping_ FEDML_GUARDED_BY(mutex_) = false;
   Totals totals_ FEDML_GUARDED_BY(mutex_);
 
-  /// Started by run(): accept task + one reader task per peer.
+  /// Started by run(): exactly one task — the reactor loop.
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

@@ -1,0 +1,337 @@
+#include "net/reactor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#define FEDML_NET_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace fedml::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Used by the poll(2) fallback path; the epoll path gets these flags
+// atomically from pipe2/epoll_create1.
+[[maybe_unused]] void set_nonblocking_cloexec(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  FEDML_CHECK(fl >= 0 && ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) == 0,
+              errno_string("fcntl(O_NONBLOCK)"));
+  const int fdfl = ::fcntl(fd, F_GETFD, 0);
+  FEDML_CHECK(fdfl >= 0 && ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC) == 0,
+              errno_string("fcntl(FD_CLOEXEC)"));
+}
+
+}  // namespace
+
+Reactor::Reactor(Config config) : config_(config) {
+  FEDML_CHECK(config_.tick_s > 0.0, "reactor tick must be positive");
+  FEDML_CHECK(config_.wheel_slots >= 2, "timer wheel needs at least 2 slots");
+  wheel_.resize(config_.wheel_slots);
+
+  int pipe_fds[2] = {-1, -1};
+#if defined(FEDML_NET_HAVE_EPOLL)
+  FEDML_CHECK(::pipe2(pipe_fds, O_CLOEXEC | O_NONBLOCK) == 0,
+              errno_string("pipe2"));
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  FEDML_CHECK(epoll_fd_ >= 0, errno_string("epoll_create1"));
+#else
+  FEDML_CHECK(::pipe(pipe_fds) == 0, errno_string("pipe"));
+  set_nonblocking_cloexec(pipe_fds[0]);
+  set_nonblocking_cloexec(pipe_fds[1]);
+#endif
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+
+#if defined(FEDML_NET_HAVE_EPOLL)
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_read_fd_;
+  FEDML_CHECK(
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_fd_, &ev) == 0,
+      errno_string("epoll_ctl(ADD wakeup)"));
+#endif
+}
+
+Reactor::~Reactor() {
+#if defined(FEDML_NET_HAVE_EPOLL)
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void Reactor::wake() {
+  const char byte = 0;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  [[maybe_unused]] const auto rc = ::write(wake_write_fd_, &byte, 1);
+}
+
+void Reactor::drain_wakeup_pipe() {
+  char buf[64];
+  while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+void Reactor::stop() {
+  {
+    util::LockGuard lock(mutex_);
+    stop_requested_ = true;
+  }
+  wake();
+}
+
+void Reactor::post(Task task) {
+  {
+    util::LockGuard lock(mutex_);
+    posted_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void Reactor::run_posted() {
+  std::vector<Task> batch;
+  {
+    util::LockGuard lock(mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& task : batch) task();
+}
+
+void Reactor::add_fd(int fd, std::uint32_t interest, FdCallback cb) {
+  loop_thread_.check("Reactor::add_fd");
+  FEDML_CHECK(fd >= 0, "add_fd: invalid fd");
+  FEDML_CHECK(static_cast<bool>(cb), "add_fd: null callback");
+  FEDML_CHECK(fds_.find(fd) == fds_.end(), "add_fd: fd already registered");
+  fds_.emplace(fd, FdEntry{interest, std::move(cb)});
+#if defined(FEDML_NET_HAVE_EPOLL)
+  epoll_event ev{};
+  ev.events = (interest & kReadable ? EPOLLIN : 0u) |
+              (interest & kWritable ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  FEDML_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+              errno_string("epoll_ctl(ADD)"));
+#else
+  epoll_stale_ = true;
+#endif
+}
+
+void Reactor::set_interest(int fd, std::uint32_t interest) {
+  loop_thread_.check("Reactor::set_interest");
+  auto it = fds_.find(fd);
+  FEDML_CHECK(it != fds_.end(), "set_interest: fd not registered");
+  if (it->second.interest == interest) return;
+  it->second.interest = interest;
+#if defined(FEDML_NET_HAVE_EPOLL)
+  epoll_event ev{};
+  ev.events = (interest & kReadable ? EPOLLIN : 0u) |
+              (interest & kWritable ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  FEDML_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+              errno_string("epoll_ctl(MOD)"));
+#else
+  epoll_stale_ = true;
+#endif
+}
+
+void Reactor::remove_fd(int fd) {
+  loop_thread_.check("Reactor::remove_fd");
+  const auto erased = fds_.erase(fd);
+  FEDML_CHECK(erased == 1, "remove_fd: fd not registered");
+#if defined(FEDML_NET_HAVE_EPOLL)
+  // The fd may already be closed by the owner; ENOENT/EBADF are then fine.
+  epoll_event ev{};
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev);
+#else
+  epoll_stale_ = true;
+#endif
+}
+
+std::size_t Reactor::fd_count() const { return fds_.size(); }
+
+bool Reactor::on_loop_thread() const { return loop_thread_.is_owner(); }
+
+Reactor::TimerId Reactor::add_timer(double delay_s, Task task) {
+  loop_thread_.check("Reactor::add_timer");
+  FEDML_CHECK(static_cast<bool>(task), "add_timer: null task");
+  if (delay_s < 0.0) delay_s = 0.0;
+  // Round up to whole ticks; a zero delay still waits one tick (the wheel
+  // never fires a timer in the registering iteration).
+  const auto ticks = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(delay_s / config_.tick_s)));
+  const std::size_t slot = (cursor_ + ticks) % config_.wheel_slots;
+  const std::size_t rounds = (ticks - 1) / config_.wheel_slots;
+  const TimerId id = next_timer_id_++;
+  wheel_[slot].push_back(TimerEntry{id, rounds, std::move(task)});
+  timer_slot_.emplace(id, slot);
+  timers_live_ += 1;
+  return id;
+}
+
+bool Reactor::cancel_timer(TimerId id) {
+  loop_thread_.check("Reactor::cancel_timer");
+  const auto it = timer_slot_.find(id);
+  if (it == timer_slot_.end()) return false;
+  auto& slot = wheel_[it->second];
+  for (auto entry = slot.begin(); entry != slot.end(); ++entry) {
+    if (entry->id == id) {
+      slot.erase(entry);
+      break;
+    }
+  }
+  timer_slot_.erase(it);
+  timers_live_ -= 1;
+  return true;
+}
+
+void Reactor::advance_wheel() {
+  const double now = now_s();
+  std::vector<Task> due;
+  while (wheel_now_s_ + config_.tick_s <= now) {
+    wheel_now_s_ += config_.tick_s;
+    cursor_ = (cursor_ + 1) % config_.wheel_slots;
+    auto& slot = wheel_[cursor_];
+    for (std::size_t i = 0; i < slot.size();) {
+      if (slot[i].rounds > 0) {
+        slot[i].rounds -= 1;
+        ++i;
+        continue;
+      }
+      due.push_back(std::move(slot[i].task));
+      timer_slot_.erase(slot[i].id);
+      timers_live_ -= 1;
+      slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  // Fire outside the wheel mutation so a task may re-arm itself.
+  for (auto& task : due) task();
+}
+
+int Reactor::next_timeout_ms() const {
+  if (timers_live_ == 0) return -1;  // wakeup pipe interrupts an idle wait
+  // Distance (in ticks) to the nearest non-empty slot; entries still
+  // carrying rounds cause at most one spare wakeup per revolution.
+  for (std::size_t d = 1; d <= config_.wheel_slots; ++d) {
+    if (!wheel_[(cursor_ + d) % config_.wheel_slots].empty()) {
+      const double dt =
+          wheel_now_s_ + static_cast<double>(d) * config_.tick_s - now_s();
+      if (dt <= 0.0) return 0;
+      return static_cast<int>(std::ceil(dt * 1e3));
+    }
+  }
+  return static_cast<int>(
+      std::ceil(static_cast<double>(config_.wheel_slots) * config_.tick_s *
+                1e3));
+}
+
+void Reactor::poll_once(int timeout_ms,
+                        std::vector<std::pair<int, std::uint32_t>>* out) {
+#if defined(FEDML_NET_HAVE_EPOLL)
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (n < 0) {
+    FEDML_CHECK(errno == EINTR, errno_string("epoll_wait"));
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_read_fd_) {
+      drain_wakeup_pipe();
+      continue;
+    }
+    std::uint32_t ev = 0;
+    if (events[i].events & (EPOLLIN | EPOLLPRI | EPOLLRDHUP)) ev |= kReadable;
+    if (events[i].events & EPOLLOUT) ev |= kWritable;
+    if (events[i].events & (EPOLLERR | EPOLLHUP)) ev |= kError | kReadable;
+    if (ev != 0) out->emplace_back(fd, ev);
+  }
+#else
+  // poll(2) fallback: rebuild the pollfd set when registrations changed.
+  // O(n) per iteration, which is the reason epoll is the Linux path.
+  static thread_local std::vector<pollfd> pfds;
+  pfds.clear();
+  pfds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+  for (const auto& [fd, entry] : fds_) {
+    short ev = 0;
+    if (entry.interest & kReadable) ev |= POLLIN;
+    if (entry.interest & kWritable) ev |= POLLOUT;
+    pfds.push_back(pollfd{fd, ev, 0});
+  }
+  epoll_stale_ = false;
+  const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);  // lint: allow(reactor-blocking) — the reactor IS the poller
+  if (n < 0) {
+    FEDML_CHECK(errno == EINTR, errno_string("poll"));
+    return;
+  }
+  if (n == 0) return;
+  if (pfds[0].revents & POLLIN) drain_wakeup_pipe();
+  for (std::size_t i = 1; i < pfds.size(); ++i) {
+    std::uint32_t ev = 0;
+    if (pfds[i].revents & (POLLIN | POLLPRI)) ev |= kReadable;
+    if (pfds[i].revents & POLLOUT) ev |= kWritable;
+    if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL))
+      ev |= kError | kReadable;
+    if (ev != 0) out->emplace_back(pfds[i].fd, ev);
+  }
+#endif
+}
+
+void Reactor::run() {
+  loop_thread_.reset();
+  loop_thread_.check("Reactor::run");
+  {
+    util::LockGuard lock(mutex_);
+    FEDML_CHECK(!running_, "Reactor::run is already active");
+    running_ = true;
+  }
+  wheel_now_s_ = now_s();
+  std::vector<std::pair<int, std::uint32_t>> ready;
+  while (true) {
+    run_posted();
+    advance_wheel();
+    {
+      util::LockGuard lock(mutex_);
+      if (stop_requested_) {
+        stop_requested_ = false;
+        running_ = false;
+        return;
+      }
+    }
+    ready.clear();
+    poll_once(next_timeout_ms(), &ready);
+    for (const auto& [fd, events] : ready) {
+      // Re-look-up per dispatch: an earlier callback in this batch may have
+      // removed the fd (close cascades are the norm during teardown).
+      const auto it = fds_.find(fd);
+      if (it == fds_.end()) continue;
+      // Invoke a COPY, not the stored function: a callback is allowed to
+      // remove_fd its own registration (every close path does), and that
+      // erase destroys the map's copy mid-call. The executing copy here
+      // keeps the captures alive through the re-entrant removal.
+      const FdCallback cb = it->second.cb;
+      cb(events);
+    }
+  }
+}
+
+}  // namespace fedml::net

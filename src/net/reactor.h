@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+
+namespace fedml::net {
+
+/// Readiness event loop: epoll on Linux, poll(2) elsewhere. One Reactor
+/// multiplexes every fd a platform owns — the listener, every peer
+/// connection, the wakeup pipe — on a single thread, so the thread budget
+/// is fixed no matter how many thousand edge nodes are connected.
+///
+/// Threading model:
+///  * `run()` binds the LOOP THREAD; all fd/timer registration APIs
+///    (`add_fd`, `set_interest`, `remove_fd`, `add_timer`, `cancel_timer`)
+///    are loop-thread-only (enforced by a ThreadChecker) and therefore
+///    lock-free. Callbacks are invoked with NO reactor lock held, so a
+///    callback may freely register/unregister fds and timers.
+///  * `post(task)` and `stop()` are the only cross-thread entry points:
+///    they enqueue under `mutex_` (rank kNetReactor) and wake the loop via
+///    a self-pipe. Posted tasks run on the loop thread in FIFO order —
+///    that is how the round driver broadcasts or tears down.
+///
+/// Timers are a hashed timer wheel (`Config::wheel_slots` slots of
+/// `tick_s` each; delays longer than one revolution carry a rounds
+/// counter). Precision is one tick — plenty for handshake windows and
+/// round deadlines, and one wheel advance is O(slot occupancy), not
+/// O(total timers).
+class Reactor {
+ public:
+  /// Readiness interest/event bits (values shared between the two).
+  static constexpr std::uint32_t kReadable = 1u << 0;
+  static constexpr std::uint32_t kWritable = 1u << 1;
+  /// Delivered (never registered): error/hangup on the fd. Always OR-ed
+  /// with kReadable so a read path observes the EOF/error.
+  static constexpr std::uint32_t kError = 1u << 2;
+
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using Task = std::function<void()>;
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  struct Config {
+    double tick_s = 0.01;          ///< wheel granularity (timer precision)
+    std::size_t wheel_slots = 256; ///< one revolution = slots · tick_s
+  };
+
+  Reactor() : Reactor(Config{}) {}
+  explicit Reactor(Config config);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Event loop: dispatch readiness callbacks, posted tasks and expired
+  /// timers until `stop()`. Binds the calling thread as the loop thread
+  /// (re-binding on a later `run()` is allowed once the previous one has
+  /// returned).
+  void run();
+
+  /// Ask the loop to exit after the current dispatch batch. Thread-safe;
+  /// callable before `run()` (which then returns immediately).
+  void stop();
+
+  /// Run `task` on the loop thread, FIFO with other posted tasks.
+  /// Thread-safe. Tasks posted before `run()` execute at loop start;
+  /// tasks posted after `stop()` wins are destroyed unrun.
+  void post(Task task);
+
+  // -- Loop-thread-only API -------------------------------------------------
+
+  /// Register `fd` for the `interest` bits. The callback stays registered
+  /// until `remove_fd`; it is invoked once per loop iteration with the
+  /// ready events, and may call `remove_fd` on its own fd (the dispatcher
+  /// invokes a copy, so the captures survive the re-entrant erase). The
+  /// reactor does NOT own the fd.
+  void add_fd(int fd, std::uint32_t interest, FdCallback cb);
+
+  /// Replace the interest set of a registered fd (e.g. add kWritable while
+  /// an output buffer is non-empty).
+  void set_interest(int fd, std::uint32_t interest);
+
+  /// Unregister `fd`. Safe to call from inside the fd's own callback; any
+  /// events already harvested for it this iteration are dropped.
+  void remove_fd(int fd);
+
+  /// One-shot timer: run `task` on the loop thread `delay_s` from now
+  /// (rounded up to wheel ticks). Returns a handle for `cancel_timer`.
+  TimerId add_timer(double delay_s, Task task);
+
+  /// Cancel a pending timer. Returns false when it already fired (or was
+  /// cancelled). Timer ids are never reused within one Reactor.
+  bool cancel_timer(TimerId id);
+
+  [[nodiscard]] std::size_t fd_count() const;
+  [[nodiscard]] std::size_t timer_count() const { return timers_live_; }
+  /// True on the thread currently bound by `run()`.
+  [[nodiscard]] bool on_loop_thread() const;
+
+ private:
+  struct FdEntry {
+    std::uint32_t interest = 0;
+    FdCallback cb;
+  };
+  struct TimerEntry {
+    TimerId id = kInvalidTimer;
+    std::size_t rounds = 0;  ///< whole revolutions still to wait
+    Task task;
+  };
+
+  void wake();
+  void drain_wakeup_pipe();
+  [[nodiscard]] int next_timeout_ms() const;
+  void advance_wheel();
+  void run_posted();
+  /// Harvest ready fds into (fd, events) pairs. Blocks up to `timeout_ms`.
+  void poll_once(int timeout_ms, std::vector<std::pair<int, std::uint32_t>>* out);
+
+  Config config_;
+  util::ThreadChecker loop_thread_;
+
+  // Loop-thread-only state (no lock: see the threading model above).
+  std::unordered_map<int, FdEntry> fds_;
+  std::vector<std::vector<TimerEntry>> wheel_;
+  std::unordered_map<TimerId, std::size_t> timer_slot_;
+  std::size_t cursor_ = 0;          ///< wheel slot the loop has advanced to
+  double wheel_now_s_ = 0.0;        ///< monotonic time of `cursor_`
+  std::size_t timers_live_ = 0;
+  TimerId next_timer_id_ = 1;
+  bool epoll_stale_ = false;        ///< poll fallback: rebuild pollfd set
+
+  int epoll_fd_ = -1;               ///< −1 on the poll(2) fallback
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  mutable util::Mutex mutex_{util::lock_rank::kNetReactor,
+                             "net::Reactor::mutex_"};
+  std::vector<Task> posted_ FEDML_GUARDED_BY(mutex_);
+  bool stop_requested_ FEDML_GUARDED_BY(mutex_) = false;
+  bool running_ FEDML_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace fedml::net

@@ -27,6 +27,32 @@ void set_nonblocking(int fd) {
               errno_string("fcntl(F_SETFL, O_NONBLOCK)"));
 }
 
+/// Every socket fd in the repo is close-on-exec: the distributed example
+/// forks node processes, and a child that inherits the platform's listener
+/// or a peer conn keeps the port bound / the peer half-open after the
+/// parent closes its copy. Creation sites use SOCK_CLOEXEC/accept4 where
+/// available; this is the portable fallback (and the belt-and-braces pass
+/// after plain accept()).
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  FEDML_CHECK(flags >= 0, errno_string("fcntl(F_GETFD)"));
+  FEDML_CHECK(::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0,
+              errno_string("fcntl(F_SETFD, FD_CLOEXEC)"));
+}
+
+/// socket(2) with close-on-exec set atomically where the platform allows.
+int cloexec_socket() {
+#if defined(SOCK_CLOEXEC)
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FEDML_CHECK(fd >= 0, errno_string("socket"));
+#else
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  FEDML_CHECK(fd >= 0, errno_string("socket"));
+  set_cloexec(fd);
+#endif
+  return fd;
+}
+
 void set_nodelay(int fd) {
   // Frames are small (a model fits one or two) and the protocol is strictly
   // request/response per node, so Nagle only adds latency.
@@ -98,8 +124,7 @@ void Socket::close() noexcept {
 Socket Socket::connect_to(const std::string& host, std::uint16_t port,
                           double timeout_s) {
   const Deadline deadline(timeout_s);
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  FEDML_CHECK(fd >= 0, errno_string("socket"));
+  const int fd = cloexec_socket();
   Socket sock(fd);  // owns the fd from here on (close on every throw path)
   set_nonblocking(fd);
 
@@ -124,8 +149,7 @@ Socket Socket::connect_to(const std::string& host, std::uint16_t port,
 }
 
 Listener::Listener(std::uint16_t port, int backlog) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  FEDML_CHECK(fd >= 0, errno_string("socket"));
+  const int fd = cloexec_socket();
   sock_ = Socket(fd);
   set_nonblocking(fd);
   const int one = 1;
@@ -144,23 +168,47 @@ Listener::Listener(std::uint16_t port, int backlog) {
   port_ = ntohs(bound.sin_port);
 }
 
+namespace {
+
+/// accept(2) with close-on-exec + non-blocking set atomically (accept4)
+/// where the platform has it. Returns the raw fd, −1 with errno otherwise.
+int cloexec_accept(int listen_fd) {
+#if defined(SOCK_CLOEXEC) && defined(SOCK_NONBLOCK)
+  return ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+#else
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0) {
+    set_cloexec(fd);
+    set_nonblocking(fd);
+  }
+  return fd;
+#endif
+}
+
+}  // namespace
+
 Socket Listener::accept(double timeout_s) {
   FEDML_CHECK(sock_.valid(), "accept on a closed listener");
   const Deadline deadline(timeout_s);
   while (true) {
-    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    Socket conn = try_accept();
+    if (conn.valid()) return conn;
+    if (!poll_fd(sock_.fd(), POLLIN, deadline))
+      throw TimeoutError("accept timed out");
+  }
+}
+
+Socket Listener::try_accept() {
+  FEDML_CHECK(sock_.valid(), "accept on a closed listener");
+  while (true) {
+    const int fd = cloexec_accept(sock_.fd());
     if (fd >= 0) {
       Socket conn(fd);
-      set_nonblocking(fd);
       set_nodelay(fd);
       return conn;
     }
     if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      if (!poll_fd(sock_.fd(), POLLIN, deadline))
-        throw TimeoutError("accept timed out");
-      continue;
-    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Socket{};
     // A listener that was shut down reports EINVAL — surface it as a clean
     // close so the accept loop can exit.
     if (errno == EINVAL) throw ClosedError("listener shut down");

@@ -90,7 +90,7 @@ class Socket {
 /// to avoid fixed-port collisions).
 class Listener {
  public:
-  explicit Listener(std::uint16_t port, int backlog = 64);
+  explicit Listener(std::uint16_t port, int backlog = 256);
   ~Listener() = default;
 
   Listener(Listener&&) noexcept = default;
@@ -98,10 +98,18 @@ class Listener {
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] bool valid() const { return sock_.valid(); }
+  /// Raw listening fd for readiness registration (net::Reactor). The
+  /// Listener keeps ownership.
+  [[nodiscard]] int fd() const { return sock_.fd(); }
 
   /// Accept one connection within `timeout_s` (TimeoutError otherwise).
   /// The returned socket is non-blocking with TCP_NODELAY set.
   [[nodiscard]] Socket accept(double timeout_s);
+
+  /// Non-blocking accept for readiness-driven callers: one pending
+  /// connection (non-blocking, TCP_NODELAY, close-on-exec), or an invalid
+  /// Socket when none is queued. Throws ClosedError once shut down.
+  [[nodiscard]] Socket try_accept();
 
   /// Wake a blocked `accept` and refuse new connections.
   void shutdown() noexcept { sock_.shutdown_both(); }

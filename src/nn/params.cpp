@@ -1,6 +1,7 @@
 #include "nn/params.h"
 
 #include <cmath>
+#include <functional>
 
 #include "autodiff/ops.h"
 #include "util/error.h"
@@ -37,23 +38,75 @@ ParamList add_scaled(const ParamList& a, const ParamList& b, double s,
   return out;
 }
 
+namespace {
+
+/// Canonical pairwise reduction over term(i), i in [lo, hi): recursive
+/// halving at mid = lo + (hi − lo)/2. Single association shape shared by
+/// every aggregation path (see the pairwise_sum contract in params.h).
+template <typename TermFn>
+Tensor reduce_pairwise(std::size_t lo, std::size_t hi, const TermFn& term) {
+  if (hi - lo == 1) return term(lo);
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return reduce_pairwise(lo, mid, term) + reduce_pairwise(mid, hi, term);
+}
+
+}  // namespace
+
 ParamList weighted_average(const std::vector<ParamList>& lists,
                            const std::vector<double>& weights,
                            bool requires_grad) {
   FEDML_CHECK(!lists.empty(), "weighted_average: no inputs");
   FEDML_CHECK(lists.size() == weights.size(), "weighted_average: arity mismatch");
   const std::size_t arity = lists[0].size();
+  for (const auto& l : lists)
+    FEDML_CHECK(l.size() == arity, "weighted_average: ragged inputs");
   ParamList out;
   out.reserve(arity);
   for (std::size_t k = 0; k < arity; ++k) {
-    Tensor acc = lists[0][k].value() * weights[0];
-    for (std::size_t i = 1; i < lists.size(); ++i) {
-      FEDML_CHECK(lists[i].size() == arity, "weighted_average: ragged inputs");
-      acc += lists[i][k].value() * weights[i];
-    }
-    out.emplace_back(std::move(acc), requires_grad);
+    out.emplace_back(
+        reduce_pairwise(0, lists.size(),
+                        [&](std::size_t i) {
+                          return lists[i][k].value() * weights[i];
+                        }),
+        requires_grad);
   }
   return out;
+}
+
+ParamList scale(const ParamList& params, double s, bool requires_grad) {
+  ParamList out;
+  out.reserve(params.size());
+  for (const auto& p : params) out.emplace_back(p.value() * s, requires_grad);
+  return out;
+}
+
+ParamList pairwise_sum(const std::vector<ParamList>& lists,
+                       bool requires_grad) {
+  FEDML_CHECK(!lists.empty(), "pairwise_sum: no inputs");
+  const std::size_t arity = lists[0].size();
+  for (const auto& l : lists)
+    FEDML_CHECK(l.size() == arity, "pairwise_sum: ragged inputs");
+  ParamList out;
+  out.reserve(arity);
+  for (std::size_t k = 0; k < arity; ++k) {
+    out.emplace_back(reduce_pairwise(0, lists.size(),
+                                     [&](std::size_t i) {
+                                       return lists[i][k].value();
+                                     }),
+                     requires_grad);
+  }
+  return out;
+}
+
+double pairwise_sum(const std::vector<double>& values) {
+  FEDML_CHECK(!values.empty(), "pairwise_sum: no inputs");
+  const std::function<double(std::size_t, std::size_t)> reduce =
+      [&](std::size_t lo, std::size_t hi) -> double {
+    if (hi - lo == 1) return values[lo];
+    const std::size_t mid = lo + (hi - lo) / 2;
+    return reduce(lo, mid) + reduce(mid, hi);
+  };
+  return reduce(0, values.size());
 }
 
 double param_distance(const ParamList& a, const ParamList& b) {

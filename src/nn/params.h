@@ -21,9 +21,32 @@ ParamList add_scaled(const ParamList& a, const ParamList& b, double s,
 /// Weighted average Σ w_k · lists[k] as fresh leaves — the platform's global
 /// aggregation step (paper eq. (5)). Weights need not sum to one; callers
 /// normalise.
+///
+/// The sum is evaluated with the CANONICAL PAIRWISE ASSOCIATION (recursive
+/// halving at mid = n/2, see `pairwise_sum`), not a left fold. Every
+/// aggregation path in the repo — in-process platform, async simulator, TCP
+/// platform server, hierarchical root — reduces in this one shape, which is
+/// what makes a 2^k-leaf aggregation tree over contiguous equal shards
+/// bit-identical to a flat merge of the same fleet.
 ParamList weighted_average(const std::vector<ParamList>& lists,
                            const std::vector<double>& weights,
                            bool requires_grad = true);
+
+/// Fresh leaves of s · params (pure tensor math; drops graph history).
+ParamList scale(const ParamList& params, double s, bool requires_grad = true);
+
+/// Σ lists[k] with the canonical pairwise association: sum(lo, hi) =
+/// sum(lo, mid) + sum(mid, hi) at mid = lo + (hi − lo)/2, single element at
+/// the base. A partition of the inputs into contiguous halves therefore
+/// reduces to exactly the same floating-point value when each half is summed
+/// first and the two partials are added — the associativity invariant the
+/// hierarchical platform tree relies on.
+ParamList pairwise_sum(const std::vector<ParamList>& lists,
+                       bool requires_grad = true);
+
+/// Scalar counterpart of `pairwise_sum` (same association, same invariant);
+/// the platforms reduce aggregation-weight mass with it.
+double pairwise_sum(const std::vector<double>& values);
 
 /// l2 distance between two parameter points: sqrt(Σ‖a_k − b_k‖²).
 double param_distance(const ParamList& a, const ParamList& b);

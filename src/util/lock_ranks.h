@@ -23,6 +23,12 @@ inline constexpr int kNetServer = 4;    ///< net::PlatformServer::mutex_ (the
                                         ///< outermost layer: a socket-facing
                                         ///< round driver may call into any
                                         ///< inner layer while coordinating)
+inline constexpr int kNetReactor = 6;   ///< net::Reactor::mutex_ (the cross-
+                                        ///< thread post/stop queue: the round
+                                        ///< driver posts to the reactor while
+                                        ///< holding kNetServer, never the
+                                        ///< reverse — the reactor invokes
+                                        ///< callbacks with no lock held)
 inline constexpr int kServer = 10;      ///< serve::AdaptationServer::mutex_
 inline constexpr int kRegistry = 20;    ///< serve::ModelRegistry::mutex_ (the
                                         ///< publish-side control lock)

@@ -138,6 +138,12 @@ class ThreadChecker {
 
   void check(const char* what) const;
   void reset() { owner_.store(std::thread::id(), std::memory_order_relaxed); }
+  /// True when the calling thread is the bound owner (false while unbound —
+  /// a query, unlike `check`, never binds).
+  [[nodiscard]] bool is_owner() const {
+    return owner_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
 
  private:
   mutable std::atomic<std::thread::id> owner_{std::thread::id()};

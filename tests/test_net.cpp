@@ -9,7 +9,12 @@
 
 #ifdef __linux__
 #include <dirent.h>
+#include <sys/time.h>
+
+#include <csignal>
 #endif
+
+#include <sys/socket.h>
 
 #include "fed/node.h"
 #include "fed/platform.h"
@@ -208,6 +213,38 @@ TEST(Frame, HeaderViolationsRejected) {
   EXPECT_THROW(decode_frame({0x01, 0x02}), util::Error);  // truncated header
 }
 
+// ----------------------------------------------------------- deadlines ----
+
+TEST(Deadline, ZeroBudgetIsBornExpired) {
+  const Deadline d(0.0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_s(), 0.0);
+  EXPECT_EQ(d.remaining_ms(), 0);  // poll(fd, 0) returns immediately
+}
+
+TEST(Deadline, NegativeBudgetIsBornExpired) {
+  const Deadline d(-3.5);
+  EXPECT_TRUE(d.expired());
+  EXPECT_LT(d.remaining_s(), 0.0);
+  EXPECT_EQ(d.remaining_ms(), 0);
+}
+
+TEST(Deadline, SubMillisecondRemainderStillPollsOnce) {
+  // remaining_ms() must never truncate a live deadline to 0 (which poll(2)
+  // reads as "return immediately" and a retry loop reads as a busy spin):
+  // while not expired it reports >= 1 ms, through the final sub-ms sliver.
+  // Sample BEFORE the liveness check: expiry is monotone, so a deadline
+  // still live after the sample was certainly live when sampled.
+  Deadline d(0.01);
+  for (;;) {
+    const int ms = d.remaining_ms();
+    if (d.expired()) break;
+    EXPECT_GE(ms, 1);
+  }
+  EXPECT_EQ(d.remaining_ms(), 0);
+  EXPECT_TRUE(d.expired());
+}
+
 // --------------------------------------------------------- connections ----
 
 TEST(MessageConn, SendRecvOverLocalhost) {
@@ -261,6 +298,59 @@ TEST(MessageConn, ReadableDoesNotConsume) {
   EXPECT_TRUE(server.readable(0.0));  // still there
   const HelloBody hello = decode_hello(server.recv(5.0));
   EXPECT_EQ(hello.node_id, 1u);
+}
+
+#ifdef __linux__
+TEST(MessageConn, RecvSurvivesEintrStorm) {
+  // A signal-heavy host (profilers, itimers) interrupts poll(2) with EINTR
+  // constantly; a blocked recv must re-arm with the REMAINING deadline and
+  // still deliver the frame, not throw or spin out.
+  struct sigaction old_action {};
+  struct sigaction action {};
+  action.sa_handler = [](int) {};  // no-op, and deliberately no SA_RESTART
+  sigemptyset(&action.sa_mask);
+  ASSERT_EQ(sigaction(SIGALRM, &action, &old_action), 0);
+  itimerval storm{};
+  storm.it_interval.tv_usec = 5'000;  // every 5 ms…
+  storm.it_value.tv_usec = 5'000;     // …starting now
+  ASSERT_EQ(setitimer(ITIMER_REAL, &storm, nullptr), 0);
+
+  auto [client_sock, server_sock] = tcp_pair();
+  MessageConn client(std::move(client_sock));
+  MessageConn server(std::move(server_sock));
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    server.send(encode_hello({21, 0.5}), 5.0);
+  });
+  const HelloBody hello = decode_hello(client.recv(5.0));
+  sender.join();
+  EXPECT_EQ(hello.node_id, 21u);
+
+  itimerval off{};
+  ASSERT_EQ(setitimer(ITIMER_REAL, &off, nullptr), 0);
+  ASSERT_EQ(sigaction(SIGALRM, &old_action, nullptr), 0);
+}
+#endif
+
+TEST(MessageConn, ReadableNeverConsumesUnderTrickleSender) {
+  // A peer dribbling one byte at a time must not trick readable() into
+  // consuming anything: however often it is polled mid-frame, the eventual
+  // recv sees every byte and the checksum verifies.
+  auto [client_sock, server_sock] = tcp_pair();
+  MessageConn server(std::move(server_sock));
+  const Frame f = encode_hello({77, 0.25});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  const std::vector<std::uint8_t> wire = w.bytes();
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_EQ(::send(client_sock.fd(), wire.data() + i, 1, 0), 1);
+    ASSERT_TRUE(server.readable(1.0));
+    ASSERT_TRUE(server.readable(0.0));  // zero budget: still just a peek
+  }
+  ASSERT_EQ(::send(client_sock.fd(), wire.data() + wire.size() - 1, 1, 0), 1);
+  const HelloBody hello = decode_hello(server.recv(5.0));
+  EXPECT_EQ(hello.node_id, 77u);
+  EXPECT_DOUBLE_EQ(hello.weight, 0.25);
 }
 
 TEST(Backoff, DeterministicScheduleAndCap) {

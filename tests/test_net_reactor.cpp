@@ -1,0 +1,473 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#ifdef __linux__
+#include <dirent.h>
+#endif
+
+#include "fed/node.h"
+#include "net/async_conn.h"
+#include "net/frame.h"
+#include "net/hierarchy.h"
+#include "net/message_conn.h"
+#include "net/node_client.h"
+#include "net/platform_server.h"
+#include "net/reactor.h"
+#include "net/socket.h"
+#include "nn/params.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace fedml::net {
+namespace {
+
+using tensor::Tensor;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+nn::ParamList tiny_params(double value) {
+  nn::ParamList p;
+  p.emplace_back(Tensor::full(2, 3, value), true);
+  p.emplace_back(Tensor::full(1, 3, value * 0.5), true);
+  return p;
+}
+
+nn::ParamList patterned_params(std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::ParamList p;
+  Tensor a(3, 4);
+  Tensor b(1, 4);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.uniform(-1, 1);
+  for (std::size_t j = 0; j < b.cols(); ++j) b(0, j) = rng.uniform(-1, 1);
+  p.emplace_back(a, true);
+  p.emplace_back(b, true);
+  return p;
+}
+
+/// Dyadic-weight nodes (weights sum to exactly 1.0 in binary) — see
+/// test_net.cpp; bit-exactness must not hinge on 1/n rounding.
+std::vector<fed::EdgeNode> bare_nodes(std::size_t n) {
+  std::vector<fed::EdgeNode> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes[i].id = i;
+    nodes[i].weight =
+        i + 1 < n ? std::pow(2.0, -static_cast<double>(i + 1))
+                  : std::pow(2.0, -static_cast<double>(n - 1));
+    nodes[i].params = patterned_params(100 + i);
+    nodes[i].rng = util::Rng(7).split(i);
+  }
+  return nodes;
+}
+
+void toy_step(fed::EdgeNode& node, std::size_t /*iteration*/) {
+  const double bias = 0.01 * static_cast<double>(node.id + 1);
+  nn::ParamList next;
+  for (const auto& p : node.params) {
+    Tensor t = p.value();
+    for (std::size_t i = 0; i < t.rows(); ++i)
+      for (std::size_t j = 0; j < t.cols(); ++j)
+        t(i, j) = 0.9 * t(i, j) + bias;
+    next.emplace_back(t, true);
+  }
+  node.params = std::move(next);
+}
+
+std::pair<Socket, Socket> tcp_pair() {
+  Listener listener(0);
+  Socket client = Socket::connect_to("127.0.0.1", listener.port(), 5.0);
+  Socket server = listener.accept(5.0);
+  return {std::move(client), std::move(server)};
+}
+
+void run_clients(std::vector<fed::EdgeNode>& nodes, std::uint16_t port,
+                 std::size_t local_steps, std::size_t max_rounds) {
+  std::vector<std::thread> threads;
+  threads.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    threads.emplace_back([&, i] {
+      NodeClient::Config cfg;
+      cfg.port = port;
+      cfg.local_steps = local_steps;
+      cfg.max_rounds = max_rounds;
+      NodeClient client(cfg);
+      (void)client.run(nodes[i], toy_step);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// -------------------------------------------------------------- reactor ----
+
+TEST(Reactor, PostedTasksRunFifoOnLoopThread) {
+  Reactor reactor;
+  std::vector<int> order;
+  bool on_loop = false;
+  reactor.post([&] {
+    order.push_back(1);
+    on_loop = reactor.on_loop_thread();
+  });
+  reactor.post([&] { order.push_back(2); });
+  reactor.post([&] { reactor.stop(); });
+  reactor.run();  // tasks posted before run() execute at loop start, FIFO
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_TRUE(on_loop);
+}
+
+TEST(Reactor, CrossThreadPostWakesABlockedLoop) {
+  Reactor reactor;
+  std::atomic<bool> ran{false};
+  std::thread loop([&] { reactor.run(); });
+  // No fds, no timers: the loop is parked in epoll/poll with an infinite
+  // timeout. Only the self-pipe can wake it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  reactor.post([&] { ran = true; });
+  const double t0 = now_s();
+  while (!ran && now_s() - t0 < 5.0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(ran);
+  reactor.stop();
+  loop.join();
+}
+
+TEST(Reactor, TimerSpansMultipleWheelRevolutions) {
+  // 4-slot wheel with 2 ms ticks: one revolution is 8 ms, so a 50 ms timer
+  // must carry a rounds counter across ~6 revolutions and still fire once,
+  // on time, not on an earlier cursor pass.
+  Reactor reactor(Reactor::Config{0.002, 4});
+  double fired_after = -1.0;
+  const double t0 = now_s();
+  reactor.post([&] {
+    reactor.add_timer(0.05, [&] {
+      fired_after = now_s() - t0;
+      reactor.stop();
+    });
+  });
+  reactor.run();
+  EXPECT_GE(fired_after, 0.048);  // never early (minus one tick of slack)
+  EXPECT_LT(fired_after, 1.0);    // and not orbiting forever
+  EXPECT_EQ(reactor.timer_count(), 0u);
+}
+
+TEST(Reactor, CancelledTimerNeverFires) {
+  Reactor reactor(Reactor::Config{0.002, 4});
+  bool cancelled_fired = false;
+  reactor.post([&] {
+    const Reactor::TimerId id =
+        reactor.add_timer(0.02, [&] { cancelled_fired = true; });
+    EXPECT_TRUE(reactor.cancel_timer(id));
+    EXPECT_FALSE(reactor.cancel_timer(id));  // second cancel: already gone
+    reactor.add_timer(0.06, [&] { reactor.stop(); });
+  });
+  reactor.run();
+  EXPECT_FALSE(cancelled_fired);
+  EXPECT_EQ(reactor.timer_count(), 0u);
+}
+
+TEST(Reactor, DispatchesFdReadability) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  Reactor reactor;
+  char got = 0;
+  reactor.post([&] {
+    reactor.add_fd(fds[0], Reactor::kReadable, [&](std::uint32_t events) {
+      EXPECT_TRUE(events & Reactor::kReadable);
+      ASSERT_EQ(::read(fds[0], &got, 1), 1);
+      reactor.remove_fd(fds[0]);
+      reactor.stop();
+    });
+    // Arm the write from a timer so readiness arrives while the loop is
+    // genuinely parked in the poller, not pre-queued.
+    reactor.add_timer(0.02, [&] { ASSERT_EQ(::write(fds[1], "x", 1), 1); });
+  });
+  reactor.run();
+  EXPECT_EQ(got, 'x');
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ------------------------------------------------------------ AsyncConn ----
+
+TEST(AsyncConn, RoundTripsAgainstBlockingMessageConn) {
+  auto [client_sock, server_sock] = tcp_pair();
+  MessageConn client(std::move(client_sock));
+  Reactor reactor;
+  auto conn = std::make_unique<AsyncConn>(std::move(server_sock), &reactor);
+  HelloBody hello{};
+  std::atomic<bool> got_hello{false};
+  reactor.post([&] {
+    conn->start(
+        [&](Frame&& frame) {
+          hello = decode_hello(frame);
+          conn->send(encode_model(MessageType::kModel,
+                                  {3, patterned_params(17)}));
+          got_hello = true;
+        },
+        [](bool, const std::string&) {});
+  });
+  std::thread loop([&] { reactor.run(); });
+  client.send(encode_hello({9, 0.5}), 5.0);
+  const ModelBody model = decode_model(client.recv(5.0));
+  reactor.post([&] {
+    conn->close();  // on the loop thread, before the loop exits
+    reactor.stop();
+  });
+  loop.join();
+  EXPECT_TRUE(got_hello);
+  EXPECT_EQ(hello.node_id, 9u);
+  EXPECT_EQ(model.round, 3u);
+  const nn::ParamList expect = patterned_params(17);
+  ASSERT_EQ(model.params.size(), expect.size());
+  for (std::size_t k = 0; k < expect.size(); ++k)
+    EXPECT_EQ(
+        tensor::max_abs_diff(model.params[k].value(), expect[k].value()),
+        0.0);
+}
+
+TEST(AsyncConn, AssemblesFramesFromOneByteTrickle) {
+  auto [client_sock, server_sock] = tcp_pair();
+  Reactor reactor;
+  auto conn = std::make_unique<AsyncConn>(std::move(server_sock), &reactor);
+  std::atomic<int> frames{0};
+  std::atomic<bool> clean_close{false};
+  std::atomic<bool> closed{false};
+  HelloBody hello{};
+  reactor.post([&] {
+    conn->start(
+        [&](Frame&& frame) {
+          hello = decode_hello(frame);
+          frames += 1;
+        },
+        [&](bool clean, const std::string&) {
+          clean_close = clean;
+          closed = true;
+          reactor.stop();
+        });
+  });
+  std::thread loop([&] { reactor.run(); });
+
+  const Frame f = encode_hello({123, 0.125});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  const std::vector<std::uint8_t> wire = w.bytes();
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_EQ(::send(client_sock.fd(), wire.data() + i, 1, 0), 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const double t0 = now_s();
+  while (frames.load() == 0 && now_s() - t0 < 5.0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(frames.load(), 1);  // exactly one frame from 40+ fragments
+  client_sock.close();          // EOF at a frame boundary
+  loop.join();
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(clean_close);
+  EXPECT_EQ(hello.node_id, 123u);
+  EXPECT_DOUBLE_EQ(hello.weight, 0.125);
+}
+
+TEST(AsyncConn, CorruptChecksumClosesDirtyWithoutDispatch) {
+  auto [client_sock, server_sock] = tcp_pair();
+  Reactor reactor;
+  auto conn = std::make_unique<AsyncConn>(std::move(server_sock), &reactor);
+  std::atomic<int> frames{0};
+  std::atomic<bool> clean_close{true};
+  reactor.post([&] {
+    conn->start([&](Frame&&) { frames += 1; },
+                [&](bool clean, const std::string&) {
+                  clean_close = clean;
+                  reactor.stop();
+                });
+  });
+  std::thread loop([&] { reactor.run(); });
+  const Frame f = encode_hello({5, 0.5});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  std::vector<std::uint8_t> wire = w.bytes();
+  wire[kHeaderBytes] ^= 0x5a;  // flip one payload byte: checksum mismatch
+  ASSERT_EQ(::send(client_sock.fd(), wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  loop.join();
+  EXPECT_EQ(frames.load(), 0);
+  EXPECT_FALSE(clean_close);
+}
+
+// ------------------------------------------------------------ hierarchy ----
+
+TEST(Hierarchy, TwoLeafTreeMatchesFlatFleetBitwise) {
+  // The tentpole guarantee: a root + 2 leaf platforms over contiguous half
+  // shards produces the SAME bits as one flat platform over all 4 nodes —
+  // same parameters, same edge-tier comm ledger. No tolerance anywhere.
+  constexpr std::size_t kNodes = 4;
+  constexpr std::size_t kRounds = 3;
+  constexpr std::size_t kT0 = 2;
+  const nn::ParamList theta0 = patterned_params(42);
+
+  // Flat reference run.
+  nn::ParamList flat_final;
+  PlatformServer::Totals flat_totals;
+  {
+    auto nodes = bare_nodes(kNodes);
+    PlatformServer::Config cfg;
+    cfg.expected_nodes = kNodes;
+    cfg.rounds = kRounds;
+    PlatformServer server(cfg);
+    std::thread driver([&] {
+      server.set_global(theta0);
+      flat_totals = server.run();
+    });
+    run_clients(nodes, server.port(), kT0, kRounds);
+    driver.join();
+    flat_final = server.global_params();
+  }
+
+  // Tree run: nodes {0,1} on leaf 0, {2,3} on leaf 1.
+  auto nodes = bare_nodes(kNodes);
+  RootAggregator::Config root_cfg;
+  root_cfg.leaves = 2;
+  root_cfg.rounds = kRounds;
+  RootAggregator root(root_cfg);
+  PlatformServer::Totals root_totals;
+  std::thread root_driver([&] {
+    root.set_global(theta0);
+    root_totals = root.run();
+  });
+
+  std::vector<LeafPlatform::Totals> leaf_totals(2);
+  std::vector<std::unique_ptr<LeafPlatform>> leaves;
+  for (std::uint64_t shard = 0; shard < 2; ++shard) {
+    LeafPlatform::Config cfg;
+    cfg.fleet.expected_nodes = 2;
+    cfg.fleet.rounds = kRounds;
+    cfg.root_port = root.port();
+    cfg.shard_id = shard;
+    leaves.push_back(std::make_unique<LeafPlatform>(std::move(cfg)));
+  }
+  std::vector<std::thread> leaf_drivers;
+  for (std::size_t shard = 0; shard < 2; ++shard)
+    leaf_drivers.emplace_back(
+        [&, shard] { leaf_totals[shard] = leaves[shard]->run(); });
+  std::vector<std::thread> fleets;
+  for (std::size_t shard = 0; shard < 2; ++shard)
+    fleets.emplace_back([&, shard] {
+      std::vector<fed::EdgeNode> half(nodes.begin() + 2 * shard,
+                                      nodes.begin() + 2 * shard + 2);
+      run_clients(half, leaves[shard]->port(), kT0, kRounds);
+    });
+  for (auto& t : fleets) t.join();
+  for (auto& t : leaf_drivers) t.join();
+  root_driver.join();
+
+  // Bit-identical parameters.
+  const nn::ParamList tree_final = root.global_params();
+  ASSERT_EQ(tree_final.size(), flat_final.size());
+  for (std::size_t k = 0; k < flat_final.size(); ++k)
+    EXPECT_EQ(tensor::max_abs_diff(tree_final[k].value(),
+                                   flat_final[k].value()),
+              0.0);
+
+  // Byte-equal edge-tier ledger: what the EDGE pays is identical whether
+  // its platform is flat or a shard of a tree. The uplink tier is the
+  // tree's own (new) traffic, reported separately.
+  const double edge_up = leaf_totals[0].fleet.comm.bytes_up +
+                         leaf_totals[1].fleet.comm.bytes_up;
+  const double edge_down = leaf_totals[0].fleet.comm.bytes_down +
+                           leaf_totals[1].fleet.comm.bytes_down;
+  EXPECT_EQ(edge_up, flat_totals.comm.bytes_up);
+  EXPECT_EQ(edge_down, flat_totals.comm.bytes_down);
+  for (const auto& lt : leaf_totals) {
+    EXPECT_EQ(lt.rounds_relayed, kRounds);
+    EXPECT_EQ(lt.fleet.comm.aggregations, kRounds);
+    EXPECT_GT(lt.uplink.bytes_up, 0.0);    // shard aggregates…
+    EXPECT_GT(lt.uplink.bytes_down, 0.0);  // …and relayed models
+  }
+  EXPECT_EQ(root_totals.uploads_received, 2 * kRounds);
+  EXPECT_EQ(root_totals.nodes_joined, 2u);
+  EXPECT_EQ(root_totals.stale_updates, 0u);
+  // Leaf and root charge the SAME wire bytes for the uplink tier.
+  EXPECT_EQ(leaf_totals[0].uplink.bytes_up + leaf_totals[1].uplink.bytes_up,
+            root_totals.comm.bytes_up);
+}
+
+// ----------------------------------------------------------------- scale ----
+
+#ifdef __linux__
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+TEST(Scale, FiveHundredTwelveIdleConnectionsOneReactorThread) {
+  // 512 joined-but-idle peers plus one working node against ONE server
+  // using exactly two threads (driver + reactor). The round must complete
+  // promptly — idle conns cost fds, not threads — and closing everything
+  // must return the process to its starting fd count.
+  constexpr std::size_t kIdle = 512;
+  const std::size_t fds_before = open_fd_count();
+  {
+    PlatformServer::Config cfg;
+    cfg.expected_nodes = 1;
+    cfg.rounds = 1;
+    PlatformServer server(cfg);
+    PlatformServer::Totals totals;
+    std::thread driver([&] {
+      server.set_global(tiny_params(1.0));
+      totals = server.run();
+    });
+
+    std::vector<MessageConn> idle;
+    idle.reserve(kIdle);
+    for (std::size_t i = 0; i < kIdle; ++i) {
+      Socket sock = Socket::connect_to("127.0.0.1", server.port(), 5.0);
+      MessageConn conn(std::move(sock));
+      conn.send(encode_hello({1000 + i, 1.0}), 5.0);
+      (void)decode_model(conn.recv(5.0));  // Welcome: fully handshaken
+      idle.push_back(std::move(conn));
+    }
+
+    const double t0 = now_s();
+    auto nodes = bare_nodes(1);
+    run_clients(nodes, server.port(), /*local_steps=*/1, /*max_rounds=*/1);
+    driver.join();
+    EXPECT_LT(now_s() - t0, 30.0);  // idle mass didn't stall the round
+    EXPECT_EQ(totals.nodes_joined, kIdle + 1);
+    EXPECT_EQ(totals.comm.aggregations, 1u);
+    EXPECT_EQ(totals.uploads_received, 1u);
+
+    // Every idle peer still got the round's broadcast and the farewell.
+    std::size_t checked = 0;
+    for (std::size_t i = 0; i < kIdle; i += 64) {
+      const Frame model = idle[i].recv(5.0);
+      EXPECT_EQ(model.type, MessageType::kModel);
+      const Frame bye = idle[i].recv(5.0);
+      EXPECT_EQ(bye.type, MessageType::kShutdown);
+      checked += 1;
+    }
+    EXPECT_EQ(checked, kIdle / 64);
+  }
+  EXPECT_EQ(open_fd_count(), fds_before);
+}
+#endif
+
+}  // namespace
+}  // namespace fedml::net
