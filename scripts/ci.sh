@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point, fail-fast in dependency order:
-#   1. lint     — scripts/lint.py, seconds, no toolchain needed
+#   1. fedcheck — scripts/fedcheck.py whole-program static analysis
+#                 (lock-order, layer DAG, reactor-blocking + ported lint
+#                 rules) and its own fixture tests; seconds, no toolchain
 #   2. release  — build + full ctest suite
 #   3. asan     — same suite under Address/UndefinedBehaviorSanitizer
-#   4. tsan     — same suite under ThreadSanitizer (data races in the
+#   4. ubsan    — same suite under UBSan alone (recover disabled), so UB
+#                 that ASan's shadow layout masks still fails the build
+#   5. tsan     — same suite under ThreadSanitizer (data races in the
 #                 thread-pool / serving / aggregation paths that ASan
 #                 cannot see; suppressions in tsan.supp, kept empty)
 # plus a serving-layer smoke run and, when clang-tidy is installed, a
@@ -19,10 +23,11 @@ else
 fi
 jobs="${JOBS:-$default_jobs}"
 
-echo "==> lint"
-python3 scripts/lint.py
+echo "==> fedcheck"
+python3 scripts/test_fedcheck.py
+python3 scripts/fedcheck.py
 
-for preset in release asan tsan; do
+for preset in release asan ubsan tsan; do
   echo "==> ${preset}"
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$jobs"

@@ -1,0 +1,2188 @@
+#!/usr/bin/env python3
+"""fedcheck — whole-program static analyzer for the fedml repo (CI step 1).
+
+Replaces the old line-regex lint (scripts/lint.py) with a multi-pass
+analyzer built on a real C++ tokenizer (comment-, string-, char- and
+raw-string-literal-aware, so `"std::mutex"` in a log message can never
+fire a rule) and a repo-wide index of includes, function definitions,
+`util::LockGuard`/`util::UniqueLock` acquisition sites, ranked-mutex
+declarations and `FEDML_GUARDED_BY` fields.
+
+Whole-program passes (library code under src/):
+
+  lock-order    Static lock-order verification against the hierarchy in
+                src/util/lock_ranks.h. Per-function mutex acquisitions are
+                extracted at guard-construction sites, propagated through a
+                name-based call-graph approximation, and every acquisition
+                that can happen while another ranked lock is held must have
+                a STRICTLY GREATER rank — a potential inversion is flagged
+                at lint time instead of waiting for the runtime assertion
+                in util::Mutex::lock to see the path executed.
+  guarded-by    A field declared FEDML_GUARDED_BY(m) may only be touched in
+                member functions that also name `m` (lock it, or be handed
+                it) — a gcc-friendly approximation of clang -Wthread-safety
+                for the builds that never see clang.
+  layer-dag     Architecture layering: src/ directories form the DAG
+                util → tensor → autodiff → nn → data → theory → obs → fed
+                → sim → robust → core → serve → net → rec (see DESIGN.md
+                "Correctness tooling" for the drawn DAG); an #include from
+                a lower layer into a higher one is banned, as is any
+                include cycle among repo headers at file granularity.
+  reactor-blocking
+                Function-granular: a blocking primitive (net::MessageConn,
+                raw ::poll) is flagged only inside functions reachable —
+                over the same call-graph approximation — from
+                reactor-registered callbacks (functions that call add_fd /
+                set_interest / remove_fd / add_timer / cancel_timer / post,
+                or Reactor:: method definitions). Blocking helpers that
+                merely share a file with reactor code are no longer
+                flagged, which is why the old file-granular rule needed
+                waiver pressure and this one does not.
+
+Single-file rules ported from lint.py onto the tokenizer (same names, same
+scopes): raw-mutex, determinism, no-cout, naked-new, raw-socket, stopwatch,
+std-hash-key, pragma-once.
+
+Waivers: a violation is waived on its own line with a trailing
+`// lint: allow(<rule>[, <rule>...])` comment — part of the diff, therefore
+reviewed. fedcheck additionally flags STALE waivers (`stale-waiver`): an
+allow() naming a rule that no longer fires on that line is dead weight and
+must be removed (stale-waiver findings cannot themselves be waived).
+
+Modes:
+  (default)        analyze the tree, print findings, exit 0/1/2
+  --changed-only   report findings only for files changed vs. the git merge
+                   base with main (plus working-tree changes); the
+                   whole-program index is still built, so cross-file passes
+                   stay sound
+  --json PATH|-    also emit machine-readable findings:
+                   {"tool": "fedcheck", "version": 1,
+                    "files_scanned": N, "findings": [
+                      {"file": ..., "line": ..., "rule": ..., "message": ...}]}
+  --self-check     verify that the analyzer independently reproduces the
+                   lock hierarchy from source: parse src/util/lock_ranks.h,
+                   assert ranks are unique and strictly increasing in
+                   declaration order, assert every rank constant is
+                   referenced by at least one ranked util::Mutex declaration
+                   in src/ and every ranked declaration names a known
+                   constant, then print the reconstructed hierarchy
+  --root DIR       analyze DIR instead of the repo (used by the fixture
+                   tests in scripts/test_fedcheck.py)
+
+Exit status: 0 clean, 1 findings, 2 internal/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+DEFAULT_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# ---------------------------------------------------------------------------
+# Layering: src/<dir> architecture DAG, embedded in a linear order (an
+# include is legal iff the included layer's index <= the including layer's).
+# theory/obs/robust are mutually independent side layers; the linear order
+# embeds the partial order without adding false constraints in practice
+# (nothing below them includes them). Drawn in DESIGN.md.
+LAYER_ORDER = [
+    "util", "tensor", "autodiff", "nn", "data", "theory", "obs",
+    "fed", "sim", "robust", "core", "serve", "net", "rec",
+]
+LAYER_INDEX = {name: i for i, name in enumerate(LAYER_ORDER)}
+
+# Scopes for the ported single-file rules (unchanged from lint.py).
+STOPWATCH_ALLOWED_PREFIXES = ("src/util/", "src/obs/")
+RAW_SOCKET_ALLOWED_PREFIX = "src/net/"
+STD_HASH_KEY_ALLOWED_PREFIX = "src/serve/"
+CERR_ALLOWED = {"src/util/log.cpp"}
+
+WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Reactor registration calls that accept a callback/task argument: lambda
+# arguments become loop-thread roots for the reactor-blocking pass.
+REACTOR_REGISTRATION_CALLS = {"add_fd", "add_timer", "post"}
+
+RAW_SOCKET_SYSCALLS = {
+    "socket", "connect", "accept", "accept4", "bind", "listen", "send",
+    "sendto", "sendmsg", "recv", "recvfrom", "recvmsg", "shutdown",
+    "setsockopt", "getsockopt", "getsockname", "getpeername", "poll",
+    "select", "close",
+}
+RAW_SOCKET_HEADERS_RE = re.compile(
+    r"^(?:sys/socket\.h|sys/select\.h|netinet/[\w./]+|arpa/inet\.h|"
+    r"poll\.h|netdb\.h)$"
+)
+
+RAW_MUTEX_TYPES = {
+    "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+    "shared_mutex", "shared_timed_mutex", "lock_guard", "unique_lock",
+    "scoped_lock", "shared_lock", "condition_variable",
+    "condition_variable_any",
+}
+RAW_MUTEX_HEADERS = {"mutex", "condition_variable", "shared_mutex"}
+
+STD_HASH_KEY_NAMES = {"Key", "signature", "version", "uint64_t"}
+
+# C++ keywords that look like calls when followed by '(' — not call sites.
+NOT_A_CALL = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "static_cast", "dynamic_cast", "const_cast",
+    "reinterpret_cast", "catch", "throw", "new", "delete", "noexcept",
+    "static_assert", "defined", "typeid", "assert", "co_await", "co_yield",
+    "co_return", "requires", "explicit", "operator",
+}
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<lc>//[^\n]*)
+    | (?P<bc>/\*.*?\*/)
+    | (?P<rawstr>(?:u8|u|U|L)?R"(?P<delim>[^()\s\\]{0,16})\(.*?\)(?P=delim)")
+    | (?P<str>(?:u8|u|U|L)?"(?:\\.|[^"\\\n])*")
+    | (?P<chr>(?:u8|u|U|L)?'(?:\\.|[^'\\\n])*')
+    | (?P<num>\.?[0-9](?:'?[0-9a-zA-Z_.]|[eEpP][+-])*)
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<punct>::|->\*|->|\+\+|--|<<=|>>=|<<|>>|<=>|<=|>=|==|!=|&&|\|\||
+        [-+*/%&|^!=]=|\.\.\.|\.\*|\.|[{}()\[\];:,?~#]|
+        [-+*/%&|^!=<>@$`\\])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class Token(NamedTuple):
+    kind: str  # ws dropped; lc/bc kept as 'comment'; rest as named
+    text: str
+    line: int
+
+
+# lastgroup normalization: comments collapse to 'comment'; `delim` is an
+# inner group of rawstr that lastgroup may report when the delimiter is the
+# last group matched.
+_KIND_NORM = {"lc": "comment", "bc": "comment", "delim": "rawstr"}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex `text` into tokens with 1-based line numbers. Comments are kept
+    (kind 'comment') so waiver scanning works on the same stream; whitespace
+    is dropped. Never raises on malformed input — an unmatched character
+    becomes a single-char 'punct' token.
+
+    Hot path for the whole tool (~200 files per run), hence the shape: one
+    C-level finditer sweep, line numbers by bisecting a newline-offset table
+    instead of counting per token, and gap recovery only for the rare
+    character no alternative matches."""
+    nl_pos: list[int] = []
+    i = text.find("\n")
+    while i != -1:
+        nl_pos.append(i)
+        i = text.find("\n", i + 1)
+
+    tokens: list[Token] = []
+    append = tokens.append
+    norm = _KIND_NORM.get
+    last = 0
+    for m in TOKEN_RE.finditer(text):
+        start = m.start()
+        if start != last:
+            for j in range(last, start):
+                append(Token("punct", text[j], bisect_right(nl_pos, j) + 1))
+        last = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        append(Token(norm(kind, kind), m.group(0),
+                     bisect_right(nl_pos, start) + 1))
+    for j in range(last, len(text)):
+        append(Token("punct", text[j], bisect_right(nl_pos, j) + 1))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Per-file model
+
+
+@dataclass
+class Include:
+    line: int
+    target: str
+    system: bool  # <...> vs "..."
+
+
+@dataclass
+class Acquisition:
+    tok: int  # index into Function.body (code-token stream)
+    line: int
+    depth: int  # brace depth at the declaration
+    guard_var: str
+    mutex_field: str  # last identifier of the mutex expression
+    rank: int | None = None  # resolved later
+    rank_name: str | None = None
+
+
+@dataclass
+class Call:
+    name: str
+    line: int
+    receiver: str | None = None  # id text, "this", "<expr>" or None (self/free)
+    qualifier: str | None = None  # Cls for `Cls::name(...)`
+    tok: int = -1  # index of the name token in the enclosing body
+
+
+@dataclass
+class Function:
+    name: str  # unqualified
+    qual: tuple[str, ...]  # class/namespace qualification chain (classes only)
+    rel: str
+    line: int
+    body: list[Token] = field(default_factory=list)
+    header: list[Token] = field(default_factory=list)  # name .. body '{'
+    body_lambda_mask: list[bool] = field(default_factory=list)
+    calls: list[Call] = field(default_factory=list)
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    # Token index ranges of lambda bodies passed to reactor registration
+    # calls — they run on the loop thread and are analyzed as their own
+    # synthetic root functions, not as part of this one.
+    callback_spans: list[tuple[int, int]] = field(default_factory=list)
+    registers_reactor: bool = False  # registration with a non-literal task
+    is_reactor_method: bool = False
+    is_callback: bool = False  # synthetic lambda-callback function
+
+    @property
+    def display(self) -> str:
+        return "::".join(self.qual + (self.name,))
+
+
+@dataclass
+class MutexDecl:
+    rel: str
+    line: int
+    qual: tuple[str, ...]  # enclosing classes ('' entries removed)
+    name: str  # field/variable name
+    rank_name: str | None  # lock_rank constant, None = unranked
+
+
+@dataclass
+class GuardedField:
+    rel: str
+    line: int
+    qual: tuple[str, ...]
+    name: str
+    mutex_name: str  # last identifier inside FEDML_GUARDED_BY(...)
+
+
+@dataclass
+class SourceFile:
+    rel: str
+    tokens: list[Token]
+    code: list[Token]  # tokens minus comments
+    waivers: dict[int, set[str]]
+    includes: list[Include] = field(default_factory=list)
+    functions: list[Function] = field(default_factory=list)
+    mutexes: list[MutexDecl] = field(default_factory=list)
+    guarded: list[GuardedField] = field(default_factory=list)
+    # (class chain, body start, body end) spans for field extraction.
+    class_spans: list[tuple[tuple[str, ...], int, int]] = field(
+        default_factory=list
+    )
+    # class name -> field name -> type name (last class-ish identifier).
+    fields: dict[str, dict[str, str]] = field(default_factory=dict)
+    # function name -> mutex names from FEDML_REQUIRES on declarations.
+    requires: dict[str, set[str]] = field(default_factory=dict)
+
+
+def parse_waivers(tokens: list[Token]) -> dict[int, set[str]]:
+    waivers: dict[int, set[str]] = {}
+    for t in tokens:
+        if t.kind != "comment":
+            continue
+        m = WAIVER_RE.search(t.text)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            waivers.setdefault(t.line, set()).update(rules)
+    return waivers
+
+
+def parse_includes(code: list[Token]) -> list[Include]:
+    """Extract #include directives from the code-token stream."""
+    includes: list[Include] = []
+    i = 0
+    n = len(code)
+    prev_line = -1
+    while i < n:
+        t = code[i]
+        first_on_line = t.line != prev_line
+        prev_line = t.line
+        if not (first_on_line and t.kind == "punct" and t.text == "#"):
+            i += 1
+            continue
+        j = i + 1
+        if j < n and code[j].kind == "id" and code[j].text == "include":
+            j += 1
+            if j < n and code[j].kind in ("str", "rawstr"):
+                target = code[j].text
+                target = target[target.index('"') + 1 : target.rindex('"')]
+                includes.append(Include(t.line, target, system=False))
+            elif j < n and code[j].text == "<":
+                parts = []
+                j += 1
+                while j < n and code[j].text != ">" and code[j].line == t.line:
+                    parts.append(code[j].text)
+                    j += 1
+                includes.append(Include(t.line, "".join(parts), system=True))
+        # Skip the rest of the directive line (no continuations in includes).
+        while i < n and code[i].line == t.line:
+            i += 1
+    return includes
+
+
+# ---------------------------------------------------------------------------
+# Structure parser: function definitions, mutex declarations, guarded fields
+
+
+class _StructureParser:
+    """Single forward walk over the code tokens of one file, tracking
+    namespace/class nesting at declaration scope and extracting function
+    bodies, ranked-mutex declarations and FEDML_GUARDED_BY fields. This is a
+    deliberate approximation of C++ — no templates are instantiated, no
+    overload resolution happens — but it is exact on the repo's house style
+    and degrades to "no findings" (never a crash) elsewhere."""
+
+    def __init__(self, sf: SourceFile) -> None:
+        self.sf = sf
+        self.code = sf.code
+        self.n = len(sf.code)
+        self.i = 0
+        self.classes: list[str] = []  # enclosing class/struct names
+
+    def parse(self) -> None:
+        self._parse_scope(top=True)
+
+    # -- declaration scope --------------------------------------------------
+
+    def _parse_scope(self, top: bool) -> None:
+        """Parse at namespace/class scope until an unmatched '}' (or EOF)."""
+        while self.i < self.n:
+            t = self.code[self.i]
+            if t.kind == "punct" and t.text == "}":
+                if not top:
+                    return
+                self.i += 1
+                continue
+            if t.kind == "punct" and t.text == "#":
+                self._skip_directive()
+                continue
+            if t.kind == "id" and t.text == "namespace":
+                self._parse_namespace()
+                continue
+            if t.kind == "id" and t.text in ("class", "struct", "union"):
+                if self._parse_class():
+                    continue
+            if t.kind == "id" and t.text == "enum":
+                self._skip_enum()
+                continue
+            if t.kind == "id" and t.text == "FEDML_GUARDED_BY":
+                self._parse_guarded_field()
+                continue
+            if t.kind == "id" and t.text == "Mutex":
+                if self._parse_mutex_decl():
+                    continue
+            if t.kind == "id" and self._looks_like_function_name():
+                if self._parse_function():
+                    continue
+            self.i += 1
+
+    def _skip_directive(self) -> None:
+        line = self.code[self.i].line
+        while self.i < self.n and self.code[self.i].line == line:
+            self.i += 1
+
+    def _parse_namespace(self) -> None:
+        self.i += 1  # 'namespace'
+        while self.i < self.n and self.code[self.i].text not in ("{", ";", "="):
+            self.i += 1
+        if self.i < self.n and self.code[self.i].text == "{":
+            self.i += 1
+            self._parse_scope(top=False)
+            if self.i < self.n:
+                self.i += 1  # closing '}'
+        else:
+            self.i += 1  # ';' (declaration) or '=' (alias)
+
+    def _parse_class(self) -> bool:
+        start = self.i
+        self.i += 1  # class/struct/union
+        # Skip attributes and macros up to the class name.
+        name = None
+        while self.i < self.n:
+            t = self.code[self.i]
+            if t.kind == "id":
+                name = t.text
+                self.i += 1
+                # final / alignas etc. may follow; loop handles below.
+                if self.i < self.n and self.code[self.i].text in ("{", ":", ";"):
+                    break
+                continue
+            break
+        # Find '{', ';' or give up at '('/'=' (not a class definition).
+        while self.i < self.n and self.code[self.i].text not in ("{", ";", "(", "="):
+            self.i += 1
+        if self.i >= self.n or self.code[self.i].text != "{":
+            # Forward declaration or something else; resume after `start`.
+            self.i = start + 1
+            return False
+        self.i += 1  # '{'
+        self.classes.append(name or "<anon>")
+        body_start = self.i
+        self._parse_scope(top=False)
+        self.sf.class_spans.append((tuple(self.classes), body_start, self.i))
+        self.classes.pop()
+        if self.i < self.n:
+            self.i += 1  # '}'
+        # Skip trailing declarator list up to ';'.
+        while self.i < self.n and self.code[self.i].text != ";":
+            self.i += 1
+        self.i += 1
+        return True
+
+    def _skip_enum(self) -> None:
+        while self.i < self.n and self.code[self.i].text not in ("{", ";"):
+            self.i += 1
+        if self.i < self.n and self.code[self.i].text == "{":
+            self._skip_balanced("{", "}")
+        while self.i < self.n and self.code[self.i].text != ";":
+            self.i += 1
+        self.i += 1
+
+    def _skip_balanced(self, open_t: str, close_t: str) -> None:
+        depth = 0
+        while self.i < self.n:
+            t = self.code[self.i].text
+            if t == open_t:
+                depth += 1
+            elif t == close_t:
+                depth -= 1
+                if depth == 0:
+                    self.i += 1
+                    return
+            self.i += 1
+
+    # -- guarded fields and mutex declarations -------------------------------
+
+    def _parse_guarded_field(self) -> None:
+        """`<type> name FEDML_GUARDED_BY(expr) [= init] ;` — cursor is on the
+        macro. The field name is the identifier just before it."""
+        idx = self.i
+        fname = None
+        if idx > 0 and self.code[idx - 1].kind == "id":
+            fname = self.code[idx - 1].text
+        self.i += 1
+        mutex_name = None
+        if self.i < self.n and self.code[self.i].text == "(":
+            j = self.i
+            depth = 0
+            last_id = None
+            while j < self.n:
+                tt = self.code[j]
+                if tt.text == "(":
+                    depth += 1
+                elif tt.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif tt.kind == "id":
+                    last_id = tt.text
+                j += 1
+            mutex_name = last_id
+            self.i = j + 1
+        if fname and mutex_name:
+            self.sf.guarded.append(
+                GuardedField(
+                    self.sf.rel,
+                    self.code[idx].line,
+                    tuple(self.classes),
+                    fname,
+                    mutex_name,
+                )
+            )
+
+    def _parse_mutex_decl(self) -> bool:
+        """`[mutable] [util::]Mutex name{[util::]lock_rank::kX, "..."};` or an
+        unranked `Mutex name;`. Cursor is on `Mutex`."""
+        j = self.i + 1
+        if j >= self.n or self.code[j].kind != "id":
+            return False
+        name = self.code[j].text
+        line = self.code[j].line
+        j += 1
+        rank_name = None
+        if j < self.n and self.code[j].text == "{":
+            depth = 0
+            ids: list[str] = []
+            while j < self.n:
+                t = self.code[j]
+                if t.text == "{":
+                    depth += 1
+                elif t.text == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif t.kind == "id":
+                    ids.append(t.text)
+                j += 1
+            for ident in ids:
+                if ident.startswith("k"):
+                    rank_name = ident
+                    break
+            j += 1
+        if j < self.n and self.code[j].text in (";", ","):
+            self.sf.mutexes.append(
+                MutexDecl(self.sf.rel, line, tuple(self.classes), name, rank_name)
+            )
+            self.i = j + 1
+            return True
+        return False
+
+    # -- function definitions -------------------------------------------------
+
+    def _looks_like_function_name(self) -> bool:
+        """Cheap pre-filter: identifier directly followed by '(' or a '::'
+        chain ending in identifier '('. Avoids running the expensive
+        candidate parse on every identifier."""
+        t = self.code[self.i]
+        if t.text in NOT_A_CALL:
+            return False
+        j = self.i + 1
+        return j < self.n and self.code[j].text in ("(", "::", "<")
+
+    def _parse_function(self) -> bool:
+        """Try to parse a function definition whose name chain starts at the
+        cursor. Returns True (cursor past the body) on success."""
+        start = self.i
+        # Name chain: the LAST maximal `id(::id)*` run before '(' — an
+        # identifier not joined by '::' starts a new chain (the previous run
+        # was the return type, e.g. `std::uint32_t Tracer::track(...)`).
+        chain: list[str] = []
+        j = self.i
+        after_colons = False
+        while j < self.n:
+            t = self.code[j]
+            if t.kind == "id":
+                if t.text == "operator":
+                    # operator<sym>: gobble the symbol up to the param '('
+                    # (operator() is `operator ( )` before the params).
+                    sym = ""
+                    j += 1
+                    if (
+                        j + 1 < self.n
+                        and self.code[j].text == "("
+                        and self.code[j + 1].text == ")"
+                    ):
+                        sym = "()"
+                        j += 2
+                    else:
+                        while j < self.n and self.code[j].text != "(":
+                            sym += self.code[j].text
+                            j += 1
+                    if after_colons and chain:
+                        chain.append("operator" + sym)
+                    else:
+                        chain = ["operator" + sym]
+                    break
+                if after_colons and chain:
+                    chain.append(t.text)
+                else:
+                    chain = [t.text]
+                after_colons = False
+                j += 1
+                if j < self.n and self.code[j].text == "<":
+                    j = self._skip_template_args(j)
+            elif t.text == "~":
+                j += 1
+                if j < self.n and self.code[j].kind == "id":
+                    if after_colons and chain:
+                        chain.append("~" + self.code[j].text)
+                    else:
+                        chain = ["~" + self.code[j].text]
+                    j += 1
+                break
+            elif t.text == "::":
+                after_colons = True
+                j += 1
+                continue
+            else:
+                break
+        if not chain or j >= self.n or self.code[j].text != "(":
+            return False
+        # Parameter list.
+        depth = 0
+        while j < self.n:
+            t = self.code[j].text
+            if t == "(":
+                depth += 1
+            elif t == ")":
+                depth -= 1
+                if depth == 0:
+                    j += 1
+                    break
+            j += 1
+        # Trailing qualifiers / member-init list, up to '{', ';' or '='.
+        body_start = None
+        while j < self.n:
+            t = self.code[j]
+            if t.text == "{":
+                body_start = j
+                break
+            if t.text in (";", ","):
+                break  # declaration only
+            if t.text == "=":
+                break  # `= default` / `= delete` / `= 0`
+            if t.text == ":":
+                body_start = self._skip_member_init_list(j + 1)
+                break
+            if t.text == "(":  # noexcept(...)
+                depth = 0
+                while j < self.n:
+                    tt = self.code[j].text
+                    if tt == "(":
+                        depth += 1
+                    elif tt == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j += 1
+                j += 1
+                continue
+            if t.text == "<":
+                j = self._skip_template_args(j)
+                continue
+            j += 1
+        if body_start is None or body_start >= self.n or self.code[body_start].text != "{":
+            self.i = start + 1
+            return False
+        # Body span.
+        j = body_start
+        depth = 0
+        while j < self.n:
+            t = self.code[j].text
+            if t == "{":
+                depth += 1
+            elif t == "}":
+                depth -= 1
+                if depth == 0:
+                    j += 1
+                    break
+            j += 1
+        body = self.code[body_start + 1 : j - 1]
+        name = chain[-1]
+        extra_quals = tuple(c for c in chain[:-1])
+        func = Function(
+            name=name,
+            qual=tuple(self.classes) + extra_quals,
+            rel=self.sf.rel,
+            line=self.code[start].line,
+            body=body,
+            header=self.code[start:body_start],
+        )
+        _analyze_body(func, self.sf)
+        self.sf.functions.append(func)
+        self.i = j
+        return True
+
+    def _skip_template_args(self, j: int) -> int:
+        """j points at '<'; return index past the matching '>' (or j+1 when
+        it is clearly a comparison, i.e. unbalanced on the same statement)."""
+        depth = 0
+        k = j
+        limit = min(self.n, j + 400)
+        while k < limit:
+            t = self.code[k].text
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return k + 1
+            elif t == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return k + 1
+            elif t in (";", "{"):
+                break
+            k += 1
+        return j + 1
+
+    def _skip_member_init_list(self, j: int) -> int | None:
+        """j is past the ':' of a ctor member-init list; return the index of
+        the body '{'."""
+        while j < self.n:
+            # initializer: name-chain then (…) or {…}
+            while j < self.n and (
+                self.code[j].kind == "id" or self.code[j].text in ("::", "<", ">", ",")
+            ):
+                if self.code[j].text == "<":
+                    j = self._skip_template_args(j)
+                else:
+                    j += 1
+            if j >= self.n:
+                return None
+            t = self.code[j].text
+            if t == "(":
+                depth = 0
+                while j < self.n:
+                    tt = self.code[j].text
+                    if tt == "(":
+                        depth += 1
+                    elif tt == ")":
+                        depth -= 1
+                        if depth == 0:
+                            j += 1
+                            break
+                    j += 1
+            elif t == "{":
+                # Could be a brace-init or the body. A body '{' follows the
+                # initializer list only after a ')' or '}' or at the very
+                # start (`: base{} {`): treat a '{' directly after ',' or ':'
+                # elements as an initializer, otherwise it is the body. We
+                # disambiguate by looking ahead: an initializer '{' is always
+                # followed (after its matching '}') by ',' or the body '{'.
+                depth = 0
+                k = j
+                while k < self.n:
+                    tt = self.code[k].text
+                    if tt == "{":
+                        depth += 1
+                    elif tt == "}":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    k += 1
+                after = self.code[k + 1].text if k + 1 < self.n else None
+                if after == ",":
+                    j = k + 2
+                    continue
+                if after == "{":
+                    return k + 1
+                # No trailing ',' and no second '{': this '{' was the body.
+                return j
+            if j < self.n and self.code[j].text == ",":
+                j += 1
+                continue
+            break
+        return j if j < self.n and self.code[j].text == "{" else None
+
+
+def _lambda_spans(body: list[Token]) -> list[tuple[int, int, int]]:
+    """(intro '[', body '{', body '}') index triples for every lambda
+    literal in `body`, outermost first."""
+    n = len(body)
+    spans: list[tuple[int, int, int]] = []
+    i = 0
+    while i < n:
+        t = body[i]
+        if not (t.text == "[" and t.kind == "punct"):
+            i += 1
+            continue
+        prev = body[i - 1] if i > 0 else None
+        # Subscript (`a[i]`) follows a value; a lambda intro follows an
+        # operator, '(', ',', '{', ';', 'return' … i.e. expression position.
+        if prev is not None and (
+            prev.kind in ("num", "str", "rawstr", "chr")
+            or (prev.kind == "id" and prev.text not in NOT_A_CALL
+                and prev.text not in ("return", "case", "in"))
+            or prev.text in (")", "]")
+        ):
+            i += 1
+            continue
+        intro = i
+        depth = 0
+        j = i
+        while j < n:
+            tt = body[j].text
+            if tt == "[":
+                depth += 1
+            elif tt == "]":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        j += 1
+        if j < n and body[j].text == "(":
+            depth = 0
+            while j < n:
+                tt = body[j].text
+                if tt == "(":
+                    depth += 1
+                elif tt == ")":
+                    depth -= 1
+                    if depth == 0:
+                        j += 1
+                        break
+                j += 1
+        while j < n and body[j].text not in ("{", ";", ")", ","):
+            j += 1
+        if j >= n or body[j].text != "{":
+            i = intro + 1
+            continue
+        depth = 0
+        k = j
+        while k < n:
+            tt = body[k].text
+            if tt == "{":
+                depth += 1
+            elif tt == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        spans.append((intro, j, min(k, n - 1)))
+        i = j + 1  # continue inside: nested lambdas still found
+    return spans
+
+
+def _analyze_body(func: Function, sf: SourceFile) -> None:
+    """Collect call sites (receiver-aware) and guard acquisitions from a
+    function body; split off lambda literals passed to reactor registration
+    calls as synthetic callback functions."""
+    body = func.body
+    spans = _lambda_spans(body)
+    n = len(body)
+    mask = [False] * n
+    for _intro, b, e in spans:
+        for m in range(b + 1, e):
+            mask[m] = True
+    func.body_lambda_mask = mask
+    depth = 0
+    i = 0
+    while i < n:
+        t = body[i]
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+            i += 1
+            continue
+        if t.kind != "id":
+            i += 1
+            continue
+        # Guard construction: [util::] (LockGuard|UniqueLock) var ( expr )
+        if t.text in ("LockGuard", "UniqueLock"):
+            j = i + 1
+            if j < n and body[j].kind == "id":
+                var = body[j].text
+                j += 1
+                if j < n and body[j].text == "(":
+                    k = j
+                    pd = 0
+                    last_id = None
+                    while k < n:
+                        tt = body[k]
+                        if tt.text == "(":
+                            pd += 1
+                        elif tt.text == ")":
+                            pd -= 1
+                            if pd == 0:
+                                break
+                        elif tt.kind == "id":
+                            last_id = tt.text
+                        k += 1
+                    if last_id is not None:
+                        func.acquisitions.append(
+                            Acquisition(
+                                tok=i,
+                                line=t.line,
+                                depth=depth,
+                                guard_var=var,
+                                mutex_field=last_id,
+                            )
+                        )
+                    i = k + 1
+                    continue
+        # Call site: id '(' (not keyword).
+        if t.text not in NOT_A_CALL:
+            j = i + 1
+            if j < n and body[j].text == "<":
+                # foo<...>(…) — try to skip template args, bounded.
+                depth2 = 0
+                k = j
+                limit = min(n, j + 200)
+                found = None
+                while k < limit:
+                    tt = body[k].text
+                    if tt == "<":
+                        depth2 += 1
+                    elif tt == ">":
+                        depth2 -= 1
+                        if depth2 == 0:
+                            found = k + 1
+                            break
+                    elif tt in (";", "{", ")"):
+                        break
+                    k += 1
+                if found is not None and found < n and body[found].text == "(":
+                    j = found
+            if j < n and body[j].text == "(":
+                receiver = None
+                qualifier = None
+                prev = body[i - 1] if i > 0 else None
+                pv2 = body[i - 2] if i > 1 else None
+                if prev is not None and prev.text in (".", "->"):
+                    if pv2 is not None and pv2.kind == "id":
+                        receiver = "this" if pv2.text == "this" else pv2.text
+                    else:
+                        receiver = "<expr>"
+                elif prev is not None and prev.text == "::":
+                    if (
+                        pv2 is not None
+                        and pv2.kind == "id"
+                        and pv2.text not in NOT_A_CALL
+                    ):
+                        qualifier = pv2.text
+                    else:
+                        qualifier = "::"  # global scope: `return ::poll(...)`
+                func.calls.append(Call(t.text, t.line, receiver, qualifier, i))
+                if t.text in REACTOR_REGISTRATION_CALLS and qualifier is None:
+                    _extract_callbacks(func, sf, i, j, spans)
+        i += 1
+
+
+def _extract_callbacks(
+    func: Function,
+    sf: SourceFile,
+    call_tok: int,
+    open_paren: int,
+    spans: list[tuple[int, int, int]],
+) -> None:
+    """A reactor registration call at `call_tok`: lambda literals among its
+    arguments become synthetic root functions for the reactor-blocking pass
+    (they run on the loop thread). A registration whose task is not a lambda
+    literal falls back to rooting the registering function itself."""
+    body = func.body
+    n = len(body)
+    depth = 0
+    k = open_paren
+    while k < n:
+        tt = body[k].text
+        if tt == "(":
+            depth += 1
+        elif tt == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        k += 1
+    arg_end = k
+    found_lambda = False
+    for intro, b, e in spans:
+        if open_paren < intro < arg_end:
+            found_lambda = True
+            if (intro, e) in [(s, t2) for s, t2 in func.callback_spans]:
+                continue
+            func.callback_spans.append((intro, e))
+            cb = Function(
+                name=f"<callback:{body[call_tok].text}@{body[intro].line}>",
+                qual=func.qual,
+                rel=func.rel,
+                line=body[intro].line,
+                body=body[b + 1 : e],
+                is_callback=True,
+            )
+            _analyze_body(cb, sf)
+            sf.functions.append(cb)
+    if not found_lambda:
+        func.registers_reactor = True
+
+
+def _extract_fields(sf: SourceFile) -> None:
+    """Field-name → type-name maps per class, from class-scope statements.
+    Used for receiver-aware call resolution; failure to parse a declaration
+    just means no map entry (calls through it fall back to unique-name
+    resolution)."""
+    wrappers = {"shared_ptr", "unique_ptr", "weak_ptr", "optional", "atomic"}
+    for chain, start, end in sf.class_spans:
+        cls = chain[-1]
+        fields = sf.fields.setdefault(cls, {})
+        code = sf.code
+        depth = 0
+        stmt: list[Token] = []
+        had_call = False
+        i = start
+        while i < end:
+            t = code[i]
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    # end of a member-function body / brace-init; a function
+                    # body ends the statement without a ';'.
+                    if had_call:
+                        stmt, had_call = [], False
+                    i += 1
+                    continue
+            if depth > 0:
+                i += 1
+                continue
+            if t.text in (";",) or (
+                t.kind == "id"
+                and t.text in ("public", "private", "protected")
+                and i + 1 < end
+                and code[i + 1].text == ":"
+            ):
+                if t.text == ";" and stmt and not had_call:
+                    _record_field(fields, stmt, wrappers)
+                stmt, had_call = [], False
+                i += 1 if t.text == ";" else 2
+                continue
+            if t.text == "(" and not (
+                stmt
+                and stmt[-1].kind == "id"
+                and re.fullmatch(r"[A-Z][A-Z0-9_]{3,}", stmt[-1].text)
+            ):
+                had_call = True  # function declaration/definition
+            stmt.append(t)
+            i += 1
+
+
+def _record_field(
+    fields: dict[str, str], stmt: list[Token], wrappers: set[str]
+) -> None:
+    # Strip macro invocations (ALL_CAPS id + balanced parens) and '= init'.
+    toks: list[Token] = []
+    i = 0
+    n = len(stmt)
+    while i < n:
+        t = stmt[i]
+        if (
+            t.kind == "id"
+            and re.fullmatch(r"[A-Z][A-Z0-9_]{3,}", t.text)
+            and i + 1 < n
+            and stmt[i + 1].text == "("
+        ):
+            depth = 0
+            i += 1
+            while i < n:
+                if stmt[i].text == "(":
+                    depth += 1
+                elif stmt[i].text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            i += 1
+            continue
+        if t.text in ("=", "{"):
+            break
+        toks.append(t)
+        i += 1
+    # ids at angle-depth 0; remember template args of the last type id.
+    ids: list[str] = []
+    targs: dict[int, list[str]] = {}
+    depth = 0
+    for t in toks:
+        if t.text == "<":
+            depth += 1
+        elif t.text == ">":
+            depth -= 1
+        elif t.text == ">>":
+            depth -= 2
+        elif t.kind == "id":
+            if depth == 0:
+                ids.append(t.text)
+                targs[len(ids) - 1] = []
+            elif ids:
+                targs[len(ids) - 1].append(t.text)
+    if len(ids) < 2:
+        return
+    name = ids[-1]
+    type_id = ids[-2]
+    if type_id in wrappers and targs.get(len(ids) - 2):
+        type_id = targs[len(ids) - 2][-1]
+    fields[name] = type_id
+
+
+def _extract_requires(sf: SourceFile) -> None:
+    """FEDML_REQUIRES(m) on a declaration: associate the named mutexes with
+    the declared function name, so the guarded-by pass accepts definitions
+    that rely on a caller-held lock."""
+    code = sf.code
+    n = len(code)
+    for i, t in enumerate(code):
+        if t.kind != "id" or t.text != "FEDML_REQUIRES":
+            continue
+        if i + 1 >= n or code[i + 1].text != "(":
+            continue
+        args: set[str] = set()
+        depth = 0
+        j = i + 1
+        while j < n:
+            tt = code[j]
+            if tt.text == "(":
+                depth += 1
+            elif tt.text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif tt.kind == "id":
+                args.add(tt.text)
+            j += 1
+        # Walk back over trailing qualifiers to the parameter list's ')',
+        # then to its '(' and the function name before it.
+        k = i - 1
+        while k >= 0 and code[k].kind == "id":
+            k -= 1
+        if k < 0 or code[k].text != ")":
+            continue
+        depth = 0
+        while k >= 0:
+            tt = code[k].text
+            if tt == ")":
+                depth += 1
+            elif tt == "(":
+                depth -= 1
+                if depth == 0:
+                    break
+            k -= 1
+        k -= 1
+        if k >= 0 and code[k].kind == "id" and args:
+            sf.requires.setdefault(code[k].text, set()).update(args)
+
+
+# ---------------------------------------------------------------------------
+# Findings / reporting
+
+
+@dataclass
+class Finding:
+    rel: str
+    line: int
+    rule: str
+    message: str
+
+
+class Analysis:
+    def __init__(self, root: pathlib.Path) -> None:
+        self.root = root
+        self.files: dict[str, SourceFile] = {}
+        self.fired: set[tuple[str, int, str]] = set()  # pre-waiver firings
+        self.findings: list[Finding] = []
+        self.rank_values: dict[str, int] = {}
+        self.rank_order: list[str] = []
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self, rel: str, line: int, rule: str, message: str) -> None:
+        self.fired.add((rel, line, rule))
+        sf = self.files.get(rel)
+        if sf is not None and rule in sf.waivers.get(line, set()):
+            return
+        self.findings.append(Finding(rel, line, rule, message))
+
+    # -- loading ------------------------------------------------------------
+
+    def load(self, aux_subset: set[str] | None = None) -> None:
+        """Read and parse the corpus. `src/` is always loaded in full — the
+        whole-program passes (lock order, layer DAG, reactor reachability)
+        need every library file to stay sound. tests/bench/examples feed
+        only the per-file rules, so when `aux_subset` is given (the
+        --changed-only file set) unchanged files there are skipped: their
+        findings would be filtered out anyway, and halving the corpus keeps
+        pre-commit runs sub-second."""
+        src = self.root / "src"
+        paths: list[pathlib.Path] = []
+        for ext in ("*.h", "*.cpp"):
+            paths.extend(sorted(src.rglob(ext)))
+        for d in ("tests", "bench", "examples"):
+            dd = self.root / d
+            if dd.is_dir():
+                aux = sorted(dd.rglob("*.h")) + sorted(dd.rglob("*.cpp"))
+                for p in aux:
+                    rel = p.relative_to(self.root).as_posix()
+                    if aux_subset is None or rel in aux_subset:
+                        paths.append(p)
+        for p in paths:
+            rel = p.relative_to(self.root).as_posix()
+            try:
+                text = p.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as e:
+                self.findings.append(Finding(rel, 1, "io-error", str(e)))
+                continue
+            tokens = tokenize(text)
+            code = [t for t in tokens if t.kind != "comment"]
+            sf = SourceFile(
+                rel=rel,
+                tokens=tokens,
+                code=code,
+                waivers=parse_waivers(tokens),
+            )
+            sf.includes = parse_includes(code)
+            if rel.startswith("src/"):
+                _StructureParser(sf).parse()
+                _extract_fields(sf)
+                _extract_requires(sf)
+            self.files[rel] = sf
+        self._parse_lock_ranks()
+        self._resolve_acquisition_ranks()
+        self._build_call_indexes()
+
+    def _parse_lock_ranks(self) -> None:
+        sf = self.files.get("src/util/lock_ranks.h")
+        if sf is None:
+            return
+        code = sf.code
+        for i, t in enumerate(code):
+            if (
+                t.kind == "id"
+                and t.text.startswith("k")
+                and i + 2 < len(code)
+                and code[i + 1].text == "="
+                and code[i + 2].kind == "num"
+                and i >= 1
+                and code[i - 1].text == "int"
+            ):
+                try:
+                    value = int(code[i + 2].text.replace("'", ""), 0)
+                except ValueError:
+                    continue
+                self.rank_values[t.text] = value
+                self.rank_order.append(t.text)
+
+    def _mutex_decl_index(self) -> dict[str, list[MutexDecl]]:
+        index: dict[str, list[MutexDecl]] = {}
+        for sf in self.files.values():
+            for m in sf.mutexes:
+                index.setdefault(m.name, []).append(m)
+        return index
+
+    def _resolve_acquisition_ranks(self) -> None:
+        """Map each acquisition's mutex field name to a rank via the
+        declaration index: class-context match first, then unique global
+        match, else unranked (the runtime assertion still covers it)."""
+        index = self._mutex_decl_index()
+        for sf in self.files.values():
+            for fn in sf.functions:
+                for acq in fn.acquisitions:
+                    decls = index.get(acq.mutex_field, [])
+                    chosen: MutexDecl | None = None
+                    if len(decls) == 1:
+                        chosen = decls[0]
+                    elif decls and fn.qual:
+                        top = fn.qual[0]
+                        in_class = [d for d in decls if d.qual and d.qual[0] == top]
+                        if len(in_class) == 1:
+                            chosen = in_class[0]
+                        elif len({d.rank_name for d in in_class}) == 1 and in_class:
+                            chosen = in_class[0]
+                    elif decls:
+                        same_file = [d for d in decls if d.rel == fn.rel]
+                        if len({d.rank_name for d in same_file}) == 1 and same_file:
+                            chosen = same_file[0]
+                    if chosen is not None and chosen.rank_name is not None:
+                        acq.rank_name = chosen.rank_name
+                        acq.rank = self.rank_values.get(chosen.rank_name)
+
+    # -- call graph ----------------------------------------------------------
+
+    def _build_call_indexes(self) -> None:
+        """Indexes used by tiered call resolution: definitions keyed by
+        bare name and by (class, name), the merged class->field->type map,
+        and the FEDML_REQUIRES annotation index."""
+        self.defs_by_name: dict[str, list[Function]] = {}
+        self.defs_by_class: dict[str, dict[str, list[Function]]] = {}
+        self.field_types: dict[str, dict[str, str]] = {}
+        self.requires_index: dict[str, set[str]] = {}
+        for sf in self.files.values():
+            for fn in sf.functions:
+                self.defs_by_name.setdefault(fn.name, []).append(fn)
+                if fn.qual:
+                    self.defs_by_class.setdefault(fn.qual[-1], {}).setdefault(
+                        fn.name, []
+                    ).append(fn)
+            for cls, fields in sf.fields.items():
+                self.field_types.setdefault(cls, {}).update(fields)
+            for name, mutexes in sf.requires.items():
+                self.requires_index.setdefault(name, set()).update(mutexes)
+
+    def resolve_call(self, fn: Function, call: Call) -> list[Function]:
+        """Receiver-aware tiered resolution of a call site to candidate
+        definitions. Deliberately drops edges it cannot attribute (e.g.
+        `vec_.size()` where `vec_` is a std container) instead of falling
+        back to every same-named function in the repo — precision over
+        recall; the runtime lock-rank assertion still backstops recall."""
+        name = call.name
+        if call.qualifier == "::":
+            # Global scope (`::poll`, `::recv`): a libc/system call unless a
+            # repo FREE function uniquely matches. Never a class member.
+            cands = [c for c in self.defs_by_name.get(name, []) if not c.qual]
+            return cands if len(cands) == 1 else []
+        if call.qualifier is not None:
+            hits = self.defs_by_class.get(call.qualifier, {}).get(name)
+            if hits:
+                return hits
+            if call.qualifier not in self.defs_by_class:
+                # Namespace qualifier (`util::`, `nn::`): free functions.
+                cands = [
+                    c for c in self.defs_by_name.get(name, []) if not c.qual
+                ]
+                return cands if len(cands) == 1 else []
+            return []
+        if call.receiver is None or call.receiver == "this":
+            for cls in reversed(fn.qual):
+                hits = self.defs_by_class.get(cls, {}).get(name)
+                if hits:
+                    return hits
+            cands = self.defs_by_name.get(name, [])
+            if len(cands) == 1:
+                return cands
+            same_file = [c for c in cands if c.rel == fn.rel]
+            return same_file if len(same_file) == 1 else []
+        if call.receiver == "<expr>":
+            cands = self.defs_by_name.get(name, [])
+            return cands if len(cands) == 1 else []
+        # Named receiver: look up its declared type — enclosing classes'
+        # fields first, then local/parameter declarations of repo class
+        # types. An unresolvable receiver type (std::vector, auto, ...)
+        # drops the edge, which is exactly the FP class this tier kills.
+        for cls in reversed(fn.qual):
+            ftype = self.field_types.get(cls, {}).get(call.receiver)
+            if ftype is not None:
+                return self.defs_by_class.get(ftype, {}).get(name, [])
+        ltype = self._local_types(fn).get(call.receiver)
+        if ltype is not None:
+            return self.defs_by_class.get(ltype, {}).get(name, [])
+        return []
+
+    def _local_types(self, fn: Function) -> dict[str, str]:
+        """Local/parameter name -> type for declarations whose type is a
+        repo class: `Deadline deadline`, `Socket sock(fd)`, `const Foo& f`.
+        Cached per function; anything fancier (auto, templates) is simply
+        absent and the call edge is dropped."""
+        cached = fn.__dict__.get("_local_types")
+        if cached is not None:
+            return cached
+        out: dict[str, str] = {}
+        for toks in (fn.header, fn.body):
+            n = len(toks)
+            for j, t in enumerate(toks):
+                if t.kind != "id" or t.text not in self.defs_by_class:
+                    continue
+                k = j + 1
+                while k < n and (
+                    toks[k].text in ("*", "&", "&&")
+                    or (toks[k].kind == "id" and toks[k].text == "const")
+                ):
+                    k += 1
+                if (
+                    k < n
+                    and toks[k].kind == "id"
+                    and (k + 1 >= n or toks[k + 1].text != "::")
+                    and toks[k].text not in out
+                ):
+                    out[toks[k].text] = t.text
+        fn.__dict__["_local_types"] = out
+        return out
+
+    # ======================================================================
+    # Pass 1: lock order
+    # ======================================================================
+
+    def pass_lock_order(self) -> None:
+        # Transitive acquisition sets: fixpoint over the resolved graph.
+        trans: dict[int, set[str]] = {}  # id(fn) -> set of rank names
+        funcs = [fn for sf in self.files.values() for fn in sf.functions]
+        for fn in funcs:
+            trans[id(fn)] = {
+                a.rank_name for a in fn.acquisitions if a.rank_name is not None
+            }
+        changed = True
+        while changed:
+            changed = False
+            for fn in funcs:
+                cur = trans[id(fn)]
+                before = len(cur)
+                for call in fn.calls:
+                    for callee in self.resolve_call(fn, call):
+                        cur |= trans[id(callee)]
+                if len(cur) != before:
+                    changed = True
+
+        # Direct chain: per function, walk acquisitions + calls in token
+        # order with a held-set, skipping lambda bodies (they do not run
+        # under the guards lexically above them).
+        for fn in funcs:
+            self._check_function_order(fn, trans)
+
+    def _check_function_order(
+        self,
+        fn: Function,
+        trans: dict[int, set[str]],
+    ) -> None:
+        body = fn.body
+        mask = fn.body_lambda_mask
+        acquisitions = {a.tok: a for a in fn.acquisitions}
+        calls_by_tok = {c.tok: c for c in fn.calls}
+        held: list[tuple[Acquisition, int]] = []  # (acq, decl_depth)
+        unlocked: set[str] = set()  # guard vars currently unlocked
+        depth = 0
+        n = len(body)
+        i = 0
+        while i < n:
+            if mask[i]:
+                i += 1
+                continue
+            t = body[i]
+            if t.kind == "punct":
+                if t.text == "{":
+                    depth += 1
+                elif t.text == "}":
+                    depth -= 1
+                    held = [(a, d) for (a, d) in held if d <= depth]
+                i += 1
+                continue
+            if t.kind != "id":
+                i += 1
+                continue
+            acq = acquisitions.get(i)
+            if acq is not None:
+                self._check_acquire(fn, acq, held, unlocked)
+                held.append((acq, depth))
+                unlocked.discard(acq.guard_var)
+                i += 1
+                continue
+            # guard.unlock() / guard.lock() toggling a UniqueLock
+            if i + 2 < n and body[i + 1].text in (".",) and body[i + 2].kind == "id":
+                if body[i + 2].text == "unlock" and any(
+                    a.guard_var == t.text for a, _ in held
+                ):
+                    unlocked.add(t.text)
+                    i += 3
+                    continue
+                if body[i + 2].text == "lock" and t.text in unlocked:
+                    for a, _d in held:
+                        if a.guard_var == t.text:
+                            self._check_acquire(fn, a, held, unlocked | {t.text})
+                    unlocked.discard(t.text)
+                    i += 3
+                    continue
+            # Call while holding ranked locks: callee's transitive set must
+            # stay strictly above every held rank.
+            call = calls_by_tok.get(i)
+            if call is not None and held:
+                held_live = [
+                    a for a, _d in held
+                    if a.rank is not None and a.guard_var not in unlocked
+                ]
+                if held_live:
+                    callees = self.resolve_call(fn, call)
+                    reported: set[str] = set()
+                    for callee in callees:
+                        if callee is fn:
+                            continue
+                        for rname in trans.get(id(callee), ()):  # may acquire
+                            rank = self.rank_values.get(rname)
+                            if rank is None:
+                                continue
+                            for a in held_live:
+                                if rank <= a.rank and rname not in reported:
+                                    reported.add(rname)
+                                    self.report(
+                                        fn.rel,
+                                        t.line,
+                                        "lock-order",
+                                        f"call to {callee.display}() may acquire "
+                                        f"{rname} (rank {rank}) while "
+                                        f"{fn.display}() holds "
+                                        f"{a.rank_name} (rank {a.rank}) via "
+                                        f"`{a.guard_var}` — ranked locks must "
+                                        "nest in strictly increasing rank "
+                                        "(src/util/lock_ranks.h)",
+                                    )
+            i += 1
+
+    def _check_acquire(
+        self,
+        fn: Function,
+        acq: Acquisition,
+        held: list[tuple[Acquisition, int]],
+        unlocked: set[str],
+    ) -> None:
+        if acq.rank is None:
+            return
+        for h, _d in held:
+            if h.rank is None or h.guard_var in unlocked:
+                continue
+            if acq.rank <= h.rank:
+                self.report(
+                    fn.rel,
+                    acq.line,
+                    "lock-order",
+                    f"{fn.display}() acquires {acq.rank_name} "
+                    f"(rank {acq.rank}) while holding {h.rank_name} "
+                    f"(rank {h.rank}) — ranked locks must nest in strictly "
+                    "increasing rank (src/util/lock_ranks.h)",
+                )
+
+    # ======================================================================
+    # Pass 1b: guarded-by
+    # ======================================================================
+
+    def pass_guarded_by(self) -> None:
+        """Every function of the declaring class that touches a
+        FEDML_GUARDED_BY(m) field must name `m` somewhere in its body."""
+        fields: list[GuardedField] = []
+        for sf in self.files.values():
+            fields.extend(sf.guarded)
+        if not fields:
+            return
+        by_class: dict[str, list[GuardedField]] = {}
+        for g in fields:
+            if g.qual:
+                by_class.setdefault(g.qual[-1], []).append(g)
+        for sf in self.files.values():
+            for fn in sf.functions:
+                if not fn.qual:
+                    continue
+                for cls in fn.qual:
+                    for g in by_class.get(cls, ()):  # same innermost class
+                        if fn.name == cls or fn.name == "~" + cls:
+                            continue  # ctor/dtor: object not yet shared
+                        self._check_guarded_use(fn, g)
+
+    def _check_guarded_use(self, fn: Function, g: GuardedField) -> None:
+        if g.mutex_name in self.requires_index.get(fn.name, ()):
+            return  # declaration carries FEDML_REQUIRES(mutex): caller locks
+        uses_field = None
+        names_mutex = False
+        for t in fn.body:
+            if t.kind != "id":
+                continue
+            if t.text == g.name and uses_field is None:
+                uses_field = t.line
+            elif t.text == g.mutex_name:
+                names_mutex = True
+                break
+        if uses_field is not None and not names_mutex:
+            self.report(
+                fn.rel,
+                uses_field,
+                "guarded-by",
+                f"{fn.display}() touches `{g.name}` "
+                f"(FEDML_GUARDED_BY({g.mutex_name}), {g.rel}:{g.line}) but "
+                f"never names `{g.mutex_name}` — lock it, or take it as a "
+                "capability parameter",
+            )
+
+    # ======================================================================
+    # Pass 2: layer DAG
+    # ======================================================================
+
+    def pass_layer_dag(self) -> None:
+        for rel, sf in self.files.items():
+            if not rel.startswith("src/"):
+                continue
+            parts = rel.split("/")
+            if len(parts) < 3:
+                continue
+            layer = parts[1]
+            src_idx = LAYER_INDEX.get(layer)
+            if src_idx is None:
+                self.report(
+                    rel, 1, "layer-dag",
+                    f"directory src/{layer}/ is not a known layer — add it "
+                    "to LAYER_ORDER in scripts/fedcheck.py and to the DAG in "
+                    "DESIGN.md",
+                )
+                continue
+            for inc in sf.includes:
+                if inc.system or "/" not in inc.target:
+                    continue
+                tgt_layer = inc.target.split("/")[0]
+                tgt_idx = LAYER_INDEX.get(tgt_layer)
+                if tgt_idx is None:
+                    continue  # not a layer-qualified repo include
+                if tgt_idx > src_idx:
+                    self.report(
+                        rel, inc.line, "layer-dag",
+                        f'#include "{inc.target}" — src/{layer}/ (layer '
+                        f"{src_idx}: {layer}) may not include upward into "
+                        f"src/{tgt_layer}/ (layer {tgt_idx}: {tgt_layer}); "
+                        "order: " + " -> ".join(LAYER_ORDER),
+                    )
+        self._check_include_cycles()
+
+    def _check_include_cycles(self) -> None:
+        """File-granular include cycle detection over repo headers."""
+        graph: dict[str, list[tuple[str, int]]] = {}
+        for rel, sf in self.files.items():
+            if not rel.startswith("src/"):
+                continue
+            edges = []
+            for inc in sf.includes:
+                if inc.system:
+                    continue
+                tgt = "src/" + inc.target
+                if tgt in self.files:
+                    edges.append((tgt, inc.line))
+            graph[rel] = edges
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {rel: WHITE for rel in graph}
+        stack: list[str] = []
+
+        def dfs(node: str) -> None:
+            color[node] = GRAY
+            stack.append(node)
+            for tgt, line in graph.get(node, ()):  # noqa: B020
+                if color.get(tgt, BLACK) == GRAY:
+                    cycle = stack[stack.index(tgt):] + [tgt]
+                    self.report(
+                        node, line, "layer-dag",
+                        "include cycle: " + " -> ".join(cycle),
+                    )
+                elif color.get(tgt) == WHITE:
+                    dfs(tgt)
+            stack.pop()
+            color[node] = BLACK
+
+        for rel in sorted(graph):
+            if color[rel] == WHITE:
+                dfs(rel)
+
+    # ======================================================================
+    # Pass 3: function-granular reactor-blocking
+    # ======================================================================
+
+    def pass_reactor_blocking(self) -> None:
+        """Roots of loop-thread execution: Reactor's own methods, lambda
+        literals passed to add_fd/add_timer/post (split off as synthetic
+        callback functions), and — when a registration passes something
+        other than a lambda literal — the registering function itself (its
+        task is some named callable we cannot follow; over-approximate by
+        auditing that function). Everything call-reachable from a root runs
+        on the loop thread and must not block."""
+        roots: list[Function] = []
+        for sf in self.files.values():
+            for fn in sf.functions:
+                fn.is_reactor_method = "Reactor" in fn.qual
+                if fn.is_reactor_method or fn.is_callback or fn.registers_reactor:
+                    roots.append(fn)
+        reachable: set[int] = set()
+        work = list(roots)
+        while work:
+            fn = work.pop()
+            if id(fn) in reachable:
+                continue
+            reachable.add(id(fn))
+            for call in fn.calls:
+                for callee in self.resolve_call(fn, call):
+                    if id(callee) not in reachable:
+                        work.append(callee)
+        for sf in self.files.values():
+            if not sf.rel.startswith("src/"):
+                continue
+            for fn in sf.functions:
+                if id(fn) not in reachable:
+                    continue
+                self._check_blocking_sites(fn)
+
+    def _check_blocking_sites(self, fn: Function) -> None:
+        body = fn.body
+        mask = fn.body_lambda_mask
+        n = len(body)
+        for i, t in enumerate(body):
+            if t.kind != "id":
+                continue
+            if i < len(mask) and mask[i]:
+                continue  # lambda bodies run where invoked, not here
+            if t.text == "MessageConn":
+                self.report(
+                    fn.rel, t.line, "reactor-blocking",
+                    f"{fn.display}() is reachable from reactor-registered "
+                    "callbacks but uses blocking net::MessageConn — "
+                    "loop-thread code must use net::AsyncConn and reactor "
+                    "timers",
+                )
+            elif (
+                t.text == "poll"
+                and i >= 1
+                and body[i - 1].text == "::"
+                and (
+                    i < 2
+                    or body[i - 2].kind != "id"
+                    or body[i - 2].text in NOT_A_CALL
+                )
+                and i + 1 < n
+                and body[i + 1].text == "("
+            ):
+                self.report(
+                    fn.rel, t.line, "reactor-blocking",
+                    f"{fn.display}() is reachable from reactor-registered "
+                    "callbacks but calls blocking ::poll — use the reactor's "
+                    "own readiness loop",
+                )
+
+    # ======================================================================
+    # Ported single-file rules
+    # ======================================================================
+
+    def pass_file_rules(self) -> None:
+        for rel, sf in self.files.items():
+            if rel.endswith(".h"):
+                self._check_pragma_once(sf)
+            if rel.startswith("src/"):
+                self._check_content_rules(sf)
+
+    def _check_pragma_once(self, sf: SourceFile) -> None:
+        code = sf.code
+        ok = (
+            len(code) >= 3
+            and code[0].text == "#"
+            and code[1].text == "pragma"
+            and code[2].text == "once"
+        )
+        if not ok:
+            self.report(
+                sf.rel, 1, "pragma-once",
+                "header must start with `#pragma once`",
+            )
+
+    def _check_content_rules(self, sf: SourceFile) -> None:
+        rel = sf.rel
+        code = sf.code
+        n = len(code)
+        for inc in sf.includes:
+            if inc.system and inc.target in RAW_MUTEX_HEADERS:
+                self.report(
+                    rel, inc.line, "raw-mutex",
+                    f"#include <{inc.target}> — use util::Mutex / "
+                    "util::LockGuard / util::UniqueLock / util::CondVar "
+                    "(src/util/mutex.h)",
+                )
+            if (
+                inc.system
+                and RAW_SOCKET_HEADERS_RE.match(inc.target)
+                and not rel.startswith(RAW_SOCKET_ALLOWED_PREFIX)
+            ):
+                self.report(
+                    rel, inc.line, "raw-socket",
+                    f"#include <{inc.target}> outside src/net/ — use "
+                    "net::Socket / net::Listener / net::MessageConn",
+                )
+            if not inc.system and inc.target == "util/stopwatch.h" and not rel.startswith(
+                STOPWATCH_ALLOWED_PREFIXES
+            ):
+                self.report(
+                    rel, inc.line, "stopwatch",
+                    "direct util::Stopwatch in library code — use "
+                    "obs::TraceSpan / obs::ScopedTimer so the timing also "
+                    "reaches telemetry",
+                )
+
+        for i, t in enumerate(code):
+            if t.kind != "id":
+                continue
+            nxt = code[i + 1] if i + 1 < n else None
+            nx2 = code[i + 2] if i + 2 < n else None
+            prev = code[i - 1] if i > 0 else None
+            pv2 = code[i - 2] if i > 1 else None
+
+            if t.text == "std" and nxt is not None and nxt.text == "::" and nx2 is not None:
+                tail = nx2.text
+                if tail in RAW_MUTEX_TYPES:
+                    self.report(
+                        rel, t.line, "raw-mutex",
+                        f"raw std::{tail} — use util::Mutex / util::LockGuard "
+                        "/ util::UniqueLock / util::CondVar "
+                        "(src/util/mutex.h)",
+                    )
+                elif tail == "random_device":
+                    self.report(
+                        rel, t.line, "determinism",
+                        "std::random_device — seed util::Rng instead",
+                    )
+                elif tail == "cout":
+                    self.report(
+                        rel, t.line, "no-cout",
+                        "library code must log via util::log",
+                    )
+                elif tail == "cerr" and rel not in CERR_ALLOWED:
+                    self.report(
+                        rel, t.line, "no-cout",
+                        "library code must log via util::log (std::cerr)",
+                    )
+                elif tail == "chrono":
+                    if (
+                        i + 4 < n
+                        and code[i + 3].text == "::"
+                        and code[i + 4].text == "system_clock"
+                    ):
+                        self.report(
+                            rel, t.line, "determinism",
+                            "std::chrono::system_clock — use steady_clock or "
+                            "the simulated event clock",
+                        )
+                elif tail == "hash" and not rel.startswith(
+                    STD_HASH_KEY_ALLOWED_PREFIX
+                ):
+                    j = i + 3
+                    if j < n and code[j].text == "<":
+                        depth = 0
+                        k = j
+                        names: list[str] = []
+                        limit = min(n, j + 60)
+                        while k < limit:
+                            tt = code[k]
+                            if tt.text == "<":
+                                depth += 1
+                            elif tt.text == ">":
+                                depth -= 1
+                                if depth == 0:
+                                    break
+                            elif tt.kind == "id":
+                                names.append(tt.text)
+                            k += 1
+                        if any(nm in STD_HASH_KEY_NAMES for nm in names):
+                            self.report(
+                                rel, t.line, "std-hash-key",
+                                "std::hash on a cache/registry key type "
+                                "outside src/serve/ — identity-hashed "
+                                "sequential ids defeat sharding; use "
+                                "serve::AdaptedCache::mix_key",
+                            )
+            elif t.text in ("rand", "srand"):
+                qualified_ok = prev is not None and prev.text in (".", "->")
+                std_qualified = (
+                    prev is not None and prev.text == "::"
+                    and pv2 is not None and pv2.text == "std"
+                )
+                if nxt is not None and nxt.text == "(" and (
+                    not qualified_ok or std_qualified
+                ):
+                    if prev is None or prev.text not in (".", "->") or std_qualified:
+                        self.report(
+                            rel, t.line, "determinism",
+                            f"{t.text}() — seed util::Rng instead",
+                        )
+            elif t.text == "time":
+                if (
+                    nxt is not None
+                    and nxt.text == "("
+                    and nx2 is not None
+                    and nx2.text in ("NULL", "nullptr", "0")
+                    and i + 3 < n
+                    and code[i + 3].text == ")"
+                    and (prev is None or prev.text not in (".", "->", "::"))
+                ):
+                    self.report(
+                        rel, t.line, "determinism",
+                        "time(NULL)-style wall clock — use steady_clock or "
+                        "the simulated event clock",
+                    )
+            elif t.text == "printf":
+                if nxt is not None and nxt.text == "(" and (
+                    prev is None or prev.text not in (".", "->", "::")
+                ):
+                    self.report(
+                        rel, t.line, "no-cout",
+                        "library code must log via util::log",
+                    )
+            elif t.text == "new":
+                if prev is None or prev.text not in (".", "->", "::"):
+                    self.report(
+                        rel, t.line, "naked-new",
+                        "naked new — use std::make_unique/std::make_shared "
+                        "or a container",
+                    )
+            elif t.text == "delete":
+                deleted_member = prev is not None and prev.text == "="
+                if not deleted_member:
+                    self.report(
+                        rel, t.line, "naked-new",
+                        "naked delete — use std::make_unique/"
+                        "std::make_shared or a container",
+                    )
+            elif t.text == "util":
+                if (
+                    nxt is not None and nxt.text == "::"
+                    and nx2 is not None and nx2.text == "Stopwatch"
+                    and not rel.startswith(STOPWATCH_ALLOWED_PREFIXES)
+                ):
+                    self.report(
+                        rel, t.line, "stopwatch",
+                        "direct util::Stopwatch in library code — use "
+                        "obs::TraceSpan / obs::ScopedTimer so the timing "
+                        "also reaches telemetry",
+                    )
+            elif (
+                t.text in RAW_SOCKET_SYSCALLS
+                and prev is not None
+                and prev.text == "::"
+                and (pv2 is None or pv2.kind != "id" or pv2.text in NOT_A_CALL)
+                and nxt is not None
+                and nxt.text == "("
+                and not rel.startswith(RAW_SOCKET_ALLOWED_PREFIX)
+            ):
+                self.report(
+                    rel, t.line, "raw-socket",
+                    f"raw ::{t.text}() outside src/net/ — use net::Socket / "
+                    "net::Listener / net::MessageConn, which own fd "
+                    "lifetime, deadlines and partial I/O",
+                )
+
+    # ======================================================================
+    # Stale waivers
+    # ======================================================================
+
+    def pass_stale_waivers(self) -> None:
+        for rel, sf in self.files.items():
+            for line, rules in sorted(sf.waivers.items()):
+                for rule in sorted(rules):
+                    if (rel, line, rule) not in self.fired:
+                        # Stale-waiver findings are not themselves waivable.
+                        self.findings.append(
+                            Finding(
+                                rel, line, "stale-waiver",
+                                f"`lint: allow({rule})` no longer suppresses "
+                                "anything on this line — remove the dead "
+                                "waiver",
+                            )
+                        )
+
+    # ======================================================================
+    # Self-check
+    # ======================================================================
+
+    def self_check(self) -> list[str]:
+        """Reproduce the lock hierarchy from source and cross-check it
+        against the ranked-mutex declarations found in src/."""
+        errors: list[str] = []
+        if not self.rank_order:
+            return ["lock_ranks.h: no rank constants parsed"]
+        seen_values: dict[int, str] = {}
+        prev = None
+        for name in self.rank_order:
+            value = self.rank_values[name]
+            if value in seen_values:
+                errors.append(
+                    f"lock_ranks.h: {name} and {seen_values[value]} share "
+                    f"rank {value}"
+                )
+            seen_values[value] = name
+            if prev is not None and value <= prev[1]:
+                errors.append(
+                    f"lock_ranks.h: {name} ({value}) not strictly greater "
+                    f"than {prev[0]} ({prev[1]}) — declaration order must "
+                    "be the acquisition order"
+                )
+            prev = (name, value)
+        used: dict[str, list[MutexDecl]] = {}
+        for sf in self.files.values():
+            for m in sf.mutexes:
+                if m.rank_name is not None:
+                    used.setdefault(m.rank_name, []).append(m)
+        for name in self.rank_order:
+            if name not in used:
+                errors.append(
+                    f"lock_ranks.h: {name} is declared but no ranked "
+                    "util::Mutex in src/ references it"
+                )
+        for name, decls in sorted(used.items()):
+            if name not in self.rank_values:
+                for d in decls:
+                    errors.append(
+                        f"{d.rel}:{d.line}: mutex `{d.name}` references "
+                        f"unknown rank constant {name}"
+                    )
+        return errors
+
+    def run_passes(self) -> None:
+        """All analysis passes, in order. Stale-waiver detection must run
+        last: it compares waivers against everything that fired."""
+        self.pass_file_rules()
+        self.pass_lock_order()
+        self.pass_guarded_by()
+        self.pass_layer_dag()
+        self.pass_reactor_blocking()
+        self.pass_stale_waivers()
+
+    def self_check_report(self) -> str:
+        lines = ["fedcheck --self-check: reconstructed lock hierarchy:"]
+        used: dict[str, list[MutexDecl]] = {}
+        for sf in self.files.values():
+            for m in sf.mutexes:
+                if m.rank_name is not None:
+                    used.setdefault(m.rank_name, []).append(m)
+        for name in self.rank_order:
+            sites = ", ".join(
+                f"{d.rel}:{d.line}" for d in used.get(name, [])
+            )
+            lines.append(
+                f"  {self.rank_values[name]:>3}  {name:<16} {sites}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Changed-only support
+
+
+def changed_files(root: pathlib.Path) -> set[str] | None:
+    """Files changed vs. the merge base with main, plus working-tree
+    changes. None when git is unavailable (fall back to a full run)."""
+
+    def git(*args: str) -> str | None:
+        try:
+            out = subprocess.run(
+                ["git", "-C", str(root), *args],
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=False,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return out.stdout if out.returncode == 0 else None
+
+    base = None
+    for ref in ("origin/main", "main"):
+        mb = git("merge-base", "HEAD", ref)
+        if mb:
+            base = mb.strip()
+            break
+    changed: set[str] = set()
+    diff = git("diff", "--name-only", base) if base else git("diff", "--name-only")
+    if diff is None:
+        return None
+    changed.update(line.strip() for line in diff.splitlines() if line.strip())
+    # -uall: porcelain collapses a fully-untracked directory to `?? dir/`,
+    # which would hide brand-new files from the changed set.
+    status = git("status", "--porcelain", "-uall")
+    if status is not None:
+        for line in status.splitlines():
+            path = line[3:].strip()
+            if " -> " in path:
+                path = path.split(" -> ", 1)[1]
+            if path:
+                changed.add(path)
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+
+
+def run(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="fedcheck", description="fedml whole-program static analyzer"
+    )
+    ap.add_argument("--root", type=pathlib.Path, default=DEFAULT_ROOT)
+    ap.add_argument("--changed-only", action="store_true")
+    ap.add_argument("--json", metavar="PATH", default=None)
+    ap.add_argument("--self-check", action="store_true")
+    args = ap.parse_args(argv)
+
+    analysis = Analysis(args.root.resolve())
+
+    # --changed-only: resolve the diff-vs-merge-base set up front so the
+    # load can skip unchanged per-file-only corpora, and so a changeset
+    # touching no scanned C++ at all exits without reading the tree.
+    subset: set[str] | None = None
+    if args.changed_only and not args.self_check:
+        subset = changed_files(analysis.root)
+        if subset is not None and not any(
+            r.startswith(("src/", "tests/", "bench/", "examples/"))
+            and r.endswith((".h", ".cpp"))
+            for r in subset
+        ):
+            if args.json is not None:
+                doc = {
+                    "tool": "fedcheck",
+                    "version": 1,
+                    "files_scanned": 0,
+                    "findings": [],
+                }
+                payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+                if args.json == "-":
+                    sys.stdout.write(payload)
+                else:
+                    pathlib.Path(args.json).write_text(payload, encoding="utf-8")
+            stream = sys.stderr if args.json == "-" else sys.stdout
+            print("fedcheck: OK (no scanned files changed)", file=stream)
+            return 0
+
+    analysis.load(aux_subset=subset)
+
+    if args.self_check:
+        errors = analysis.self_check()
+        print(analysis.self_check_report())
+        if errors:
+            print(f"fedcheck --self-check: {len(errors)} problem(s)", file=sys.stderr)
+            for e in errors:
+                print(f"  {e}", file=sys.stderr)
+            return 1
+        print("fedcheck --self-check: OK")
+        return 0
+
+    analysis.run_passes()
+
+    findings = sorted(
+        analysis.findings, key=lambda f: (f.rel, f.line, f.rule, f.message)
+    )
+    if subset is not None:
+        findings = [f for f in findings if f.rel in subset]
+
+    if args.json is not None:
+        doc = {
+            "tool": "fedcheck",
+            "version": 1,
+            "files_scanned": len(analysis.files),
+            "findings": [
+                {
+                    "file": f.rel,
+                    "line": f.line,
+                    "rule": f.rule,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        }
+        payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            pathlib.Path(args.json).write_text(payload, encoding="utf-8")
+
+    if findings:
+        print(f"fedcheck: {len(findings)} finding(s)", file=sys.stderr)
+        for f in findings:
+            print(f"{f.rel}:{f.line}: [{f.rule}] {f.message}", file=sys.stderr)
+        return 1
+    # With `--json -` the machine-readable document owns stdout.
+    summary_stream = sys.stderr if args.json == "-" else sys.stdout
+    print(f"fedcheck: OK ({len(analysis.files)} files)", file=summary_stream)
+    return 0
+
+
+def main() -> int:
+    try:
+        return run(sys.argv[1:])
+    except Exception as e:  # noqa: BLE001 — exit 2 contract for CI
+        print(f"fedcheck: internal error: {e}", file=sys.stderr)
+        import traceback
+
+        traceback.print_exc()
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

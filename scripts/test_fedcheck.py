@@ -1,0 +1,524 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for scripts/fedcheck.py.
+
+Each test builds a throwaway repo root under a temp dir, runs the analyzer
+on it, and asserts on the (rule, file) pairs that fire. Every whole-program
+pass gets one positive fixture (the defect fires) and one negative fixture
+(the clean twin stays silent) — a pass that silently stops finding its
+defect class fails here before it lies in CI. Dependency-free, stdlib only,
+like the analyzer itself. Run directly: `python3 scripts/test_fedcheck.py`.
+"""
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import fedcheck  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+LOCK_RANKS = """\
+#pragma once
+namespace fedml::util::lock_rank {
+inline constexpr int kLow = 10;
+inline constexpr int kMid = 20;
+inline constexpr int kHigh = 30;
+}
+"""
+
+
+def analyze(files: dict[str, str]) -> fedcheck.Analysis:
+    """Write `files` (repo-relative path -> text) into a temp root, run all
+    passes, and return the Analysis. A lock_ranks.h is provided unless the
+    fixture brings its own."""
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        files = dict(files)
+        files.setdefault("src/util/lock_ranks.h", LOCK_RANKS)
+        for rel, text in files.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(text, encoding="utf-8")
+        analysis = fedcheck.Analysis(root)
+        analysis.load()
+        analysis.run_passes()
+        return analysis
+
+
+def fired(analysis: fedcheck.Analysis) -> set[tuple[str, str]]:
+    return {(f.rule, f.rel) for f in analysis.findings}
+
+
+class TokenizerTest(unittest.TestCase):
+    def kinds(self, text):
+        return [(t.kind, t.text) for t in fedcheck.tokenize(text)]
+
+    def test_raw_string_swallows_quotes_and_comment_markers(self):
+        toks = self.kinds('auto s = R"x(no " close )" yet // not a comment)x"; int i;')
+        self.assertIn(("id", "int"), toks)
+        raw = [t for k, t in toks if k == "rawstr"]
+        self.assertEqual(len(raw), 1)
+        self.assertIn('no " close )" yet', raw[0])
+        self.assertNotIn(("comment", "// not a comment)x\";"), toks)
+
+    def test_raw_string_with_encoding_prefix(self):
+        toks = self.kinds('auto s = u8R"(payload)"; auto t = LR"d()")d";')
+        self.assertEqual(len([t for k, t in toks if k == "rawstr"]), 2)
+
+    def test_block_comment_hides_code(self):
+        toks = self.kinds("int a; /* std::mutex m;\nstill comment */ int b;")
+        ids = [t for k, t in toks if k == "id"]
+        self.assertEqual(ids, ["int", "a", "int", "b"])
+
+    def test_line_comment_and_waiver_survive_as_comment_tokens(self):
+        toks = fedcheck.tokenize("int x;  // lint: allow(raw-mutex) why\nint y;")
+        comments = [t for t in toks if t.kind == "comment"]
+        self.assertEqual(len(comments), 1)
+        self.assertEqual(comments[0].line, 1)
+        waivers = fedcheck.parse_waivers(toks)
+        self.assertEqual(waivers, {1: {"raw-mutex"}})
+
+    def test_string_and_char_literals_hide_contents(self):
+        toks = self.kinds("auto c = '\"'; auto s = \"std::mutex // x\"; int z;")
+        self.assertIn(("id", "z"), toks)
+        self.assertNotIn(("id", "mutex"), toks)
+
+    def test_escaped_quote_inside_string(self):
+        toks = self.kinds(r'auto s = "a\"b"; int q;')
+        self.assertIn(("id", "q"), toks)
+        self.assertEqual(len([t for k, t in toks if k == "str"]), 1)
+
+    def test_digraphs_tokenize_without_derailing(self):
+        # Digraph punctuation must not be mistaken for strings/comments and
+        # must not shift line numbers.
+        toks = fedcheck.tokenize("int a<:2:>;\nint b;")
+        b = [t for t in toks if t.kind == "id" and t.text == "b"]
+        self.assertEqual(b[0].line, 2)
+
+    def test_trigraph_sequences_stay_literal(self):
+        # C++17 removed trigraphs: `??/` is three punct tokens, never an
+        # escape that could glue lines together.
+        toks = fedcheck.tokenize('auto s = "x??/"; int after;')
+        self.assertIn(("id", "after"), [(t.kind, t.text) for t in toks])
+
+    def test_line_numbers_across_multiline_tokens(self):
+        toks = fedcheck.tokenize('auto s = R"(a\nb\nc)";\nint last;')
+        last = [t for t in toks if t.text == "last"]
+        self.assertEqual(last[0].line, 4)
+
+
+INVERSION = """\
+#pragma once
+#include "util/lock_ranks.h"
+namespace fedml::serve {
+class Inv {
+ public:
+  void outer() {
+    util::LockGuard lock(high_);
+    inner();
+  }
+  void inner() { util::LockGuard lock(low_); }
+ private:
+  util::Mutex low_{util::lock_rank::kLow, "Inv::low_"};
+  util::Mutex high_{util::lock_rank::kHigh, "Inv::high_"};
+};
+}
+"""
+
+
+class LockOrderTest(unittest.TestCase):
+    def test_inversion_through_call_graph_fires(self):
+        a = analyze({"src/serve/inv.h": INVERSION})
+        self.assertIn(("lock-order", "src/serve/inv.h"), fired(a))
+
+    def test_direct_nested_inversion_fires(self):
+        a = analyze({"src/serve/d.h": """\
+#pragma once
+#include "util/lock_ranks.h"
+namespace fedml::serve {
+class D {
+  void f() {
+    util::LockGuard a(high_);
+    util::LockGuard b(low_);
+  }
+  util::Mutex low_{util::lock_rank::kLow, "D::low_"};
+  util::Mutex high_{util::lock_rank::kHigh, "D::high_"};
+};
+}
+"""})
+        self.assertIn(("lock-order", "src/serve/d.h"), fired(a))
+
+    def test_increasing_order_is_silent(self):
+        clean = INVERSION.replace("lock(high_)", "lock(low_)").replace(
+            "void inner() { util::LockGuard lock(low_); }",
+            "void inner() { util::LockGuard lock(high_); }",
+        )
+        a = analyze({"src/serve/inv.h": clean})
+        self.assertNotIn(("lock-order", "src/serve/inv.h"), fired(a))
+
+    def test_lambda_body_does_not_extend_held_set(self):
+        # The guard is released before the lambda ever runs; acquiring a
+        # lower rank inside the lambda body is not an inversion here.
+        a = analyze({"src/serve/l.h": """\
+#pragma once
+#include "util/lock_ranks.h"
+namespace fedml::serve {
+class L {
+  void f() {
+    util::LockGuard a(high_);
+    enqueue([this] { util::LockGuard b(low_); });
+  }
+  void enqueue(std::function<void()> fn) {}
+  util::Mutex low_{util::lock_rank::kLow, "L::low_"};
+  util::Mutex high_{util::lock_rank::kHigh, "L::high_"};
+};
+}
+"""})
+        self.assertNotIn(("lock-order", "src/serve/l.h"), fired(a))
+
+    def test_std_container_method_collision_is_not_an_edge(self):
+        # `items_.clear()` must not resolve to the repo's `Other::clear`
+        # which acquires a lock — the receiver is a std type.
+        a = analyze({"src/serve/c.h": """\
+#pragma once
+#include "util/lock_ranks.h"
+namespace fedml::serve {
+class Other {
+ public:
+  void clear() { util::LockGuard l(low_); }
+ private:
+  util::Mutex low_{util::lock_rank::kLow, "Other::low_"};
+};
+class User {
+  void f() {
+    util::LockGuard l(high_);
+    items_.clear();
+  }
+  std::vector<int> items_;
+  util::Mutex high_{util::lock_rank::kHigh, "User::high_"};
+};
+}
+"""})
+        self.assertNotIn(("lock-order", "src/serve/c.h"), fired(a))
+
+
+class GuardedByTest(unittest.TestCase):
+    FIXTURE = """\
+#pragma once
+#include "util/lock_ranks.h"
+namespace fedml::serve {
+class G {
+ public:
+  void bump() { %s }
+ private:
+  util::Mutex mutex_{util::lock_rank::kLow, "G::mutex_"};
+  int count_ FEDML_GUARDED_BY(mutex_) = 0;
+};
+}
+"""
+
+    def test_unlocked_touch_fires(self):
+        a = analyze({"src/serve/g.h": self.FIXTURE % "++count_;"})
+        self.assertIn(("guarded-by", "src/serve/g.h"), fired(a))
+
+    def test_locked_touch_is_silent(self):
+        a = analyze({
+            "src/serve/g.h": self.FIXTURE
+            % "util::LockGuard l(mutex_); ++count_;"
+        })
+        self.assertNotIn(("guarded-by", "src/serve/g.h"), fired(a))
+
+    def test_requires_annotation_exempts(self):
+        src = """\
+#pragma once
+#include "util/lock_ranks.h"
+namespace fedml::serve {
+class G {
+ public:
+  void bump() FEDML_REQUIRES(mutex_) { ++count_; }
+ private:
+  util::Mutex mutex_{util::lock_rank::kLow, "G::mutex_"};
+  int count_ FEDML_GUARDED_BY(mutex_) = 0;
+};
+}
+"""
+        a = analyze({"src/serve/g.h": src})
+        self.assertNotIn(("guarded-by", "src/serve/g.h"), fired(a))
+
+
+class LayerDagTest(unittest.TestCase):
+    def test_upward_include_fires(self):
+        a = analyze({"src/fed/x.h": '#pragma once\n#include "sim/y.h"\n'})
+        self.assertIn(("layer-dag", "src/fed/x.h"), fired(a))
+
+    def test_downward_include_is_silent(self):
+        a = analyze({"src/sim/y.h": '#pragma once\n#include "fed/x.h"\n',
+                     "src/fed/x.h": "#pragma once\n"})
+        self.assertNotIn(("layer-dag", "src/sim/y.h"), fired(a))
+
+    def test_include_cycle_fires(self):
+        a = analyze({
+            "src/fed/a.h": '#pragma once\n#include "fed/b.h"\n',
+            "src/fed/b.h": '#pragma once\n#include "fed/a.h"\n',
+        })
+        cycles = [f for f in a.findings
+                  if f.rule == "layer-dag" and "cycle" in f.message]
+        self.assertTrue(cycles, a.findings)
+
+    def test_unknown_layer_fires(self):
+        a = analyze({"src/mystery/z.h": "#pragma once\n"})
+        self.assertIn(("layer-dag", "src/mystery/z.h"), fired(a))
+
+
+REACTOR = """\
+#pragma once
+#include "util/lock_ranks.h"
+namespace fedml::net {
+class Driver {
+ public:
+  void arm() {
+    reactor_.add_timer(1.0, [this] { tick(); });
+  }
+  void tick() { slow(); }
+  void slow() { ::poll(nullptr, 0, 100); }
+  void cold() { ::poll(nullptr, 0, 100); }
+ private:
+  int reactor_ = 0;
+};
+}
+"""
+
+
+class ReactorBlockingTest(unittest.TestCase):
+    def test_blocking_call_reachable_from_callback_fires(self):
+        a = analyze({"src/net/d.h": REACTOR})
+        hits = [f for f in a.findings if f.rule == "reactor-blocking"]
+        self.assertTrue(any("slow" in f.message for f in hits), hits)
+
+    def test_same_call_in_unreachable_function_is_silent(self):
+        # `cold()` also calls ::poll but nothing reactor-registered reaches
+        # it — the whole point of function granularity over file granularity.
+        a = analyze({"src/net/d.h": REACTOR})
+        hits = [f for f in a.findings if f.rule == "reactor-blocking"]
+        self.assertFalse(any("cold" in f.message for f in hits), hits)
+
+    def test_non_lambda_registration_roots_the_registrar(self):
+        src = REACTOR.replace(
+            "reactor_.add_timer(1.0, [this] { tick(); });",
+            "reactor_.add_timer(1.0, task_);\n    slow();",
+        )
+        a = analyze({"src/net/d.h": src})
+        hits = [f for f in a.findings if f.rule == "reactor-blocking"]
+        self.assertTrue(any("slow" in f.message for f in hits), hits)
+
+
+class PortedRulesTest(unittest.TestCase):
+    def test_raw_mutex_fires_outside_wrapper(self):
+        a = analyze({"src/serve/m.h": "#pragma once\nnamespace f { std::mutex m; }\n"})
+        self.assertIn(("raw-mutex", "src/serve/m.h"), fired(a))
+
+    def test_raw_mutex_in_comment_or_string_is_silent(self):
+        a = analyze({"src/serve/m.h": (
+            "#pragma once\n"
+            "// std::mutex is banned here\n"
+            'inline const char* kDoc = "std::mutex";\n'
+        )})
+        self.assertNotIn(("raw-mutex", "src/serve/m.h"), fired(a))
+
+    def test_pragma_once_missing_fires(self):
+        a = analyze({"src/serve/p.h": "namespace f {}\n"})
+        self.assertIn(("pragma-once", "src/serve/p.h"), fired(a))
+
+    def test_determinism_rand_fires(self):
+        a = analyze({"src/serve/r.h": "#pragma once\nint f() { return rand(); }\n"})
+        self.assertIn(("determinism", "src/serve/r.h"), fired(a))
+
+    def test_raw_socket_outside_net_fires(self):
+        a = analyze({"src/serve/s.cpp": "int f() { return ::socket(0, 0, 0); }\n"})
+        self.assertIn(("raw-socket", "src/serve/s.cpp"), fired(a))
+
+    def test_raw_socket_inside_net_is_silent(self):
+        a = analyze({"src/net/s.cpp": "int f() { return ::socket(0, 0, 0); }\n"})
+        self.assertNotIn(("raw-socket", "src/net/s.cpp"), fired(a))
+
+
+class WaiverTest(unittest.TestCase):
+    def test_waiver_suppresses_and_round_trips(self):
+        a = analyze({"src/serve/m.h": (
+            "#pragma once\n"
+            "namespace f { std::mutex m; }  // lint: allow(raw-mutex) why\n"
+        )})
+        self.assertNotIn(("raw-mutex", "src/serve/m.h"), fired(a))
+        self.assertNotIn(("stale-waiver", "src/serve/m.h"), fired(a))
+
+    def test_dead_waiver_fires_stale(self):
+        a = analyze({"src/serve/m.h": (
+            "#pragma once\n"
+            "int clean_line = 0;  // lint: allow(raw-mutex)\n"
+        )})
+        self.assertIn(("stale-waiver", "src/serve/m.h"), fired(a))
+
+    def test_stale_waiver_is_not_waivable(self):
+        a = analyze({"src/serve/m.h": (
+            "#pragma once\n"
+            "int clean = 0;  // lint: allow(raw-mutex, stale-waiver)\n"
+        )})
+        self.assertIn(("stale-waiver", "src/serve/m.h"), fired(a))
+
+
+class SelfCheckTest(unittest.TestCase):
+    def test_real_tree_self_check_passes(self):
+        analysis = fedcheck.Analysis(REPO_ROOT)
+        analysis.load()
+        self.assertEqual(analysis.self_check(), [])
+        report = analysis.self_check_report()
+        # The reconstruction must reproduce the full hierarchy from source.
+        ranks_text = (REPO_ROOT / "src/util/lock_ranks.h").read_text()
+        declared = re.findall(r"inline constexpr int (k\w+)", ranks_text)
+        self.assertTrue(declared)
+        for name in declared:
+            self.assertIn(name, report)
+
+    def test_self_check_catches_unused_rank(self):
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            (root / "src/util").mkdir(parents=True)
+            (root / "src/util/lock_ranks.h").write_text(LOCK_RANKS)
+            (root / "src/serve").mkdir(parents=True)
+            (root / "src/serve/one.h").write_text("""\
+#pragma once
+#include "util/lock_ranks.h"
+namespace fedml::serve {
+class One {
+  util::Mutex m_{util::lock_rank::kLow, "One::m_"};
+};
+}
+""")
+            analysis = fedcheck.Analysis(root)
+            analysis.load()
+            errors = analysis.self_check()
+            self.assertTrue(any("kMid" in e for e in errors), errors)
+
+
+class JsonOutputTest(unittest.TestCase):
+    def test_json_findings_match_schema(self):
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            (root / "src/util").mkdir(parents=True)
+            (root / "src/util/lock_ranks.h").write_text(LOCK_RANKS)
+            (root / "src/serve").mkdir(parents=True)
+            (root / "src/serve/m.h").write_text(
+                "#pragma once\nnamespace f { std::mutex m; }\n"
+            )
+            out = root / "findings.json"
+            rc = fedcheck.run(["--root", str(root), "--json", str(out)])
+            self.assertEqual(rc, 1)
+            doc = json.loads(out.read_text())
+            self.assertEqual(doc["tool"], "fedcheck")
+            self.assertEqual(doc["version"], 1)
+            self.assertIsInstance(doc["files_scanned"], int)
+            self.assertGreater(doc["files_scanned"], 0)
+            self.assertIsInstance(doc["findings"], list)
+            self.assertTrue(doc["findings"])
+            for f in doc["findings"]:
+                self.assertEqual(
+                    sorted(f), ["file", "line", "message", "rule"]
+                )
+                self.assertIsInstance(f["file"], str)
+                self.assertIsInstance(f["line"], int)
+                self.assertGreaterEqual(f["line"], 1)
+                self.assertIsInstance(f["rule"], str)
+                self.assertIsInstance(f["message"], str)
+                self.assertTrue(f["message"])
+
+    def test_clean_tree_exits_zero(self):
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            (root / "src/util").mkdir(parents=True)
+            (root / "src/util/lock_ranks.h").write_text(LOCK_RANKS)
+            # The fixture ranks are unused; --self-check would complain, but
+            # the finding passes must not.
+            rc = fedcheck.run(["--root", str(root)])
+            self.assertEqual(rc, 0)
+
+
+class ChangedOnlyTest(unittest.TestCase):
+    """--changed-only against a real temp git repo: committed findings are
+    filtered out, working-tree findings still fire, and an empty changeset
+    short-circuits without scanning anything."""
+
+    @staticmethod
+    def _init_repo(root: pathlib.Path) -> None:
+        def git(*args: str) -> None:
+            subprocess.run(
+                ["git", "-C", str(root), "-c", "user.email=t@test",
+                 "-c", "user.name=t", *args],
+                check=True, capture_output=True,
+            )
+
+        subprocess.run(
+            ["git", "init", "-q", "-b", "main", str(root)],
+            check=True, capture_output=True,
+        )
+        git("add", "-A")
+        git("commit", "-qm", "seed")
+
+    @staticmethod
+    def _run(args: list[str]) -> tuple[int, str, str]:
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            rc = fedcheck.run(args)
+        return rc, out.getvalue(), err.getvalue()
+
+    def test_committed_finding_filtered_and_empty_set_short_circuits(self):
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            (root / "src/util").mkdir(parents=True)
+            (root / "src/util/lock_ranks.h").write_text(LOCK_RANKS)
+            (root / "src/serve").mkdir(parents=True)
+            (root / "src/serve/m.h").write_text(
+                "#pragma once\nnamespace f { std::mutex m; }\n"
+            )
+            self._init_repo(root)
+
+            # Full run still reports the committed violation...
+            rc, _, _ = self._run(["--root", str(root)])
+            self.assertEqual(rc, 1)
+
+            # ...but --changed-only filters it: nothing changed since the
+            # merge base, so the fast path exits 0 with files_scanned == 0.
+            out_json = root / "out.json"
+            rc, out, _ = self._run(
+                ["--root", str(root), "--changed-only", "--json",
+                 str(out_json)]
+            )
+            self.assertEqual(rc, 0)
+            self.assertIn("no scanned files changed", out)
+            self.assertEqual(json.loads(out_json.read_text())["files_scanned"], 0)
+
+    def test_working_tree_finding_still_fires(self):
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            (root / "src/util").mkdir(parents=True)
+            (root / "src/util/lock_ranks.h").write_text(LOCK_RANKS)
+            self._init_repo(root)
+            (root / "src/serve").mkdir(parents=True)
+            (root / "src/serve/fresh.h").write_text(
+                "#pragma once\nnamespace f { std::mutex m; }\n"
+            )
+            rc, _, err = self._run(["--root", str(root), "--changed-only"])
+            self.assertEqual(rc, 1)
+            self.assertIn("src/serve/fresh.h", err)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=1)

@@ -61,12 +61,12 @@ CommTotals Platform::run(const LocalStep& step, const AggregateHook& hook) {
 
   util::ThreadPool pool(config_.threads);
   CommTotals totals;
-  // The synchronous path shares the sim::Transport abstraction with the
+  // The synchronous path shares the fed::Transport abstraction with the
   // event-driven sim::AsyncPlatform; the default IdealTransport reproduces
   // the historical CommModel accounting exactly.
-  std::shared_ptr<sim::Transport> transport = config_.transport;
+  std::shared_ptr<Transport> transport = config_.transport;
   if (!transport)
-    transport = std::make_shared<sim::IdealTransport>(config_.comm);
+    transport = std::make_shared<IdealTransport>(config_.comm);
   const std::size_t payload = nn::serialized_size_bytes(global_);
   const bool full_participation =
       config_.participation >= 1.0 && config_.upload_failure_prob == 0.0;

@@ -6,9 +6,9 @@
 
 #include "fed/comm.h"
 #include "fed/node.h"
+#include "fed/transport.h"
 #include "nn/params.h"
 #include "obs/telemetry.h"
-#include "sim/transport.h"
 #include "util/mutex.h"
 
 namespace fedml::fed {
@@ -47,12 +47,12 @@ class Platform {
     /// communication accounting. Empty = lossless full-precision upload.
     UplinkCodec uplink_codec;
     /// Data path used for the per-round time accounting. Null (the default)
-    /// means a zero-latency `sim::IdealTransport` over `comm`, which
+    /// means a zero-latency `fed::IdealTransport` over `comm`, which
     /// reproduces the historical synchronous accounting bit-for-bit; inject
     /// e.g. a `sim::NetworkTransport` to price rounds on heterogeneous
     /// links. The synchronous schedule itself never reorders — only the
     /// simulated seconds change.
-    std::shared_ptr<sim::Transport> transport;
+    std::shared_ptr<Transport> transport;
     /// Optional telemetry: a `fed.round` span per aggregation block with
     /// `fed.node` child spans per participant, plus fed.platform.* counters
     /// and round/node timing histograms. Null = off (one branch per site);

@@ -4,7 +4,7 @@
 
 #include "fed/comm.h"
 
-namespace fedml::sim {
+namespace fedml::fed {
 
 /// Abstraction of the platform↔edge data path. Both execution modes speak
 /// through it: the synchronous `fed::Platform` charges one uplink and one
@@ -12,6 +12,10 @@ namespace fedml::sim {
 /// `sim::AsyncPlatform` additionally asks for per-message propagation
 /// latency and delivery outcomes. Implementations may be stateful (jitter
 /// and loss consume RNG draws), which is why most methods are non-const.
+///
+/// Lives in fed/ (not sim/) because the synchronous platform is the
+/// lowest layer that consumes it; sim/ implements richer transports
+/// (`sim::NetworkTransport`) on top without fed/ ever including upward.
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -43,13 +47,13 @@ class Transport {
 /// same order).
 class IdealTransport final : public Transport {
  public:
-  explicit IdealTransport(const fed::CommModel& comm) : comm_(comm) {}
+  explicit IdealTransport(const CommModel& comm) : comm_(comm) {}
 
   double uplink_seconds(std::size_t, double bytes) override {
-    return fed::CommModel::transfer_seconds(bytes, comm_.uplink_mbps);
+    return CommModel::transfer_seconds(bytes, comm_.uplink_mbps);
   }
   double downlink_seconds(std::size_t, double bytes) override {
-    return fed::CommModel::transfer_seconds(bytes, comm_.downlink_mbps);
+    return CommModel::transfer_seconds(bytes, comm_.downlink_mbps);
   }
   double uplink_latency_seconds(std::size_t) override { return 0.0; }
   double downlink_latency_seconds(std::size_t) override { return 0.0; }
@@ -58,10 +62,10 @@ class IdealTransport final : public Transport {
   }
   bool uplink_delivered(std::size_t) override { return true; }
 
-  [[nodiscard]] const fed::CommModel& comm() const { return comm_; }
+  [[nodiscard]] const CommModel& comm() const { return comm_; }
 
  private:
-  fed::CommModel comm_;
+  CommModel comm_;
 };
 
-}  // namespace fedml::sim
+}  // namespace fedml::fed

@@ -13,7 +13,7 @@
 namespace fedml::net {
 
 /// Observed-communication recorder: the real-network counterpart of the
-/// accounting `sim::Transport` does analytically. Both `PlatformServer` and
+/// accounting `fed::Transport` does analytically. Both `PlatformServer` and
 /// `NodeClient` feed every frame they move through one of these, so a real
 /// run emits the same `fed::CommTotals` a simulated run would for the same
 /// payload sizes — sim-vs-real lands in one comparable CSV.

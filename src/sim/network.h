@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "fed/comm.h"
-#include "sim/transport.h"
+#include "fed/transport.h"
 #include "util/rng.h"
 
 namespace fedml::sim {
@@ -33,12 +33,12 @@ struct NetworkConfig {
   double loss_prob = 0.0;        ///< per-message uplink loss probability
 };
 
-/// Heterogeneous multi-link `Transport`: one `LinkModel` per node, drawn
-/// deterministically from an RNG stream at construction. With a
+/// Heterogeneous multi-link `fed::Transport`: one `LinkModel` per node,
+/// drawn deterministically from an RNG stream at construction. With a
 /// default-constructed `NetworkConfig` every link equals the nominal
 /// `CommModel` and the behaviour (though not the latency bookkeeping — this
 /// transport is meant for the event-driven path) matches `IdealTransport`.
-class NetworkTransport final : public Transport {
+class NetworkTransport final : public fed::Transport {
  public:
   NetworkTransport(const fed::CommModel& nominal, const NetworkConfig& config,
                    std::size_t num_nodes, util::Rng rng);

@@ -2,7 +2,7 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
+#include <condition_variable>  // lint: allow(raw-mutex) — this IS the wrapper
 #include <mutex>  // lint: allow(raw-mutex) — this IS the wrapper
 #include <thread>
 

@@ -255,7 +255,7 @@ TEST(Platform, CertainUploadFailureKeepsGlobalUnchanged) {
 }
 
 TEST(Platform, InjectedTransportChangesOnlyTheClock) {
-  const auto run_with = [](std::shared_ptr<sim::Transport> transport) {
+  const auto run_with = [](std::shared_ptr<fed::Transport> transport) {
     Platform::Config cfg;
     cfg.total_iterations = 10;
     cfg.local_steps = 5;

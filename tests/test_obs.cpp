@@ -293,7 +293,7 @@ TEST(Trace, SpanSinceBackdatesToStopwatchStart) {
   obs::Tracer tracer;
   obs::Tracer::ClockScope scope(tracer, clock);
   clock->set(10.0);
-  util::Stopwatch watch;  // lint: allow(stopwatch) — wall-time source under test
+  util::Stopwatch watch;
   {
     auto span = tracer.span_at("phase", 4.0);
     clock->set(11.0);
@@ -462,7 +462,7 @@ TEST(Export, MetricsTableHasOneRowPerMetric) {
 // Stopwatch laps (satellite of this layer: lap() feeds per-phase metrics).
 
 TEST(Stopwatch, LapReturnsSegmentsThatSumToTotal) {
-  util::Stopwatch watch;  // lint: allow(stopwatch) — the unit under test
+  util::Stopwatch watch;
   const double lap1 = watch.lap();
   const double lap2 = watch.lap();
   const double total = watch.seconds();

@@ -6,11 +6,11 @@
 #include "data/synthetic.h"
 #include "fed/comm.h"
 #include "fed/node.h"
+#include "fed/transport.h"
 #include "sim/async_platform.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/network.h"
-#include "sim/transport.h"
 #include "tensor/tensor.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -122,7 +122,7 @@ TEST(IdealTransport, MatchesAnalyticalCommModel) {
   comm.uplink_mbps = 8.0;
   comm.downlink_mbps = 16.0;
   comm.per_round_overhead_s = 0.25;
-  IdealTransport t(comm);
+  fed::IdealTransport t(comm);
   EXPECT_DOUBLE_EQ(t.uplink_seconds(3, 1e6),
                    fed::CommModel::transfer_seconds(1e6, 8.0));
   EXPECT_DOUBLE_EQ(t.downlink_seconds(0, 1e6),
@@ -146,7 +146,7 @@ TEST(CommModel, TransferSecondsRejectsDegenerateLinks) {
 TEST(NetworkTransport, DefaultConfigEqualsNominalLinks) {
   fed::CommModel comm;
   NetworkTransport net(comm, NetworkConfig{}, 4, util::Rng(1));
-  IdealTransport ideal(comm);
+  fed::IdealTransport ideal(comm);
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_DOUBLE_EQ(net.link(i).uplink_mbps, comm.uplink_mbps);
     EXPECT_DOUBLE_EQ(net.link(i).downlink_mbps, comm.downlink_mbps);
