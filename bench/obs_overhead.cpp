@@ -1,0 +1,139 @@
+// Observability overhead micro-benchmark: what does the telemetry stack
+// cost a training run?
+//
+// One fixed FedML workload (Synthetic(0.5,0.5), softmax regression) is
+// trained repeatedly in three modes, interleaved so clock drift hits all
+// modes equally:
+//
+//   off     — no obs::Telemetry attached; spans are inactive no-ops.
+//   on      — telemetry attached, Chrome-trace + metrics-CSV exporters
+//             written after every run.
+//   uplink  — `on` plus the full fleet path: the run's ProcessTelemetry
+//             snapshot is encoded as a kTelemetry frame, decoded, absorbed
+//             into an obs::FleetCollector, and the merged fleet trace +
+//             per-round CSV are written.
+//
+// Reports median wall time per mode and the percentage overhead of `on`
+// and `uplink` over `off` — the budget the observability work must stay
+// inside (≤ 2% median for `uplink`, checked by eye / trend tooling via
+// BENCH_obs_overhead.json).
+//
+// `--smoke` shrinks reps and iterations for CI; `--csv=<path>` dumps the
+// table; `--json-dir=<dir>` relocates the BENCH json artifact.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/frame.h"
+#include "obs/fleet.h"
+#include "obs/histogram.h"
+#include "obs/telemetry.h"
+#include "util/serialize.h"
+
+namespace {
+
+using namespace fedml;
+
+enum class Mode { kOff, kOn, kUplink };
+
+double run_once(const bench::Experiment& e, std::size_t iterations,
+                std::size_t local_steps, Mode mode,
+                const std::string& out_prefix) {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Telemetry telemetry;
+  core::FedMLConfig cfg;
+  cfg.alpha = 0.01;
+  cfg.beta = 0.01;
+  cfg.total_iterations = iterations;
+  cfg.local_steps = local_steps;
+  if (mode != Mode::kOff) cfg.telemetry = &telemetry;
+  const auto result = core::train_fedml(*e.model, e.sources, e.theta0, cfg);
+  FEDML_CHECK(std::isfinite(result.history.back().global_loss),
+              "bench workload diverged");
+  if (mode != Mode::kOff) {
+    telemetry.write_chrome_trace_file(out_prefix + "_trace.json");
+    telemetry.write_metrics_csv_file(out_prefix + "_metrics.csv");
+  }
+  if (mode == Mode::kUplink) {
+    // The distributed push, minus the TCP hop: serialize the snapshot as a
+    // kTelemetry frame, parse it back off the "wire", merge per-origin,
+    // export the fleet view.
+    obs::ProcessTelemetry snap;
+    snap.pid = 1;
+    snap.role = "bench";
+    snap.spans = telemetry.tracer.snapshot();
+    snap.metrics = telemetry.metrics.snapshot();
+    util::ByteWriter w;
+    net::encode_frame(net::encode_telemetry({std::move(snap)}), w);
+    obs::FleetCollector collector;
+    collector.absorb(
+        net::decode_telemetry(net::decode_frame(w.bytes())).telemetry);
+    const auto fleet = collector.snapshot();
+    obs::write_fleet_chrome_trace_file(out_prefix + "_fleet.json", fleet);
+    obs::write_fleet_csv_file(out_prefix + "_fleet.csv", fleet);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool smoke = cli.get_flag("smoke");
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 20));
+  const auto iterations = static_cast<std::size_t>(
+      cli.get_int("iterations", smoke ? 60 : 400));
+  const auto reps =
+      static_cast<std::size_t>(cli.get_int("reps", smoke ? 3 : 7));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::string csv = cli.get_string("csv", "");
+  const std::string json_dir = cli.get_string("json-dir", ".");
+  cli.finish();
+
+  const auto e = bench::synthetic_experiment(0.5, 0.5, nodes, 5, seed);
+  const std::size_t local_steps = 10;
+
+  // Warm-up (allocators, page cache for the exporter files), unmeasured.
+  run_once(e, iterations, local_steps, Mode::kUplink, "obs_overhead_warm");
+
+  std::vector<double> off_ms, on_ms, uplink_ms;
+  for (std::size_t r = 0; r < reps; ++r) {
+    off_ms.push_back(
+        run_once(e, iterations, local_steps, Mode::kOff, "obs_overhead"));
+    on_ms.push_back(
+        run_once(e, iterations, local_steps, Mode::kOn, "obs_overhead"));
+    uplink_ms.push_back(
+        run_once(e, iterations, local_steps, Mode::kUplink, "obs_overhead"));
+  }
+
+  const double off = obs::exact_percentile(off_ms, 0.50);
+  const double on = obs::exact_percentile(on_ms, 0.50);
+  const double uplink = obs::exact_percentile(uplink_ms, 0.50);
+  const double on_pct = (on / off - 1.0) * 100.0;
+  const double uplink_pct = (uplink / off - 1.0) * 100.0;
+
+  util::Table t({"mode", "median ms", "p95 ms", "overhead %"});
+  t.add_row({"telemetry off", off, obs::exact_percentile(off_ms, 0.95), 0.0});
+  t.add_row({"telemetry on", on, obs::exact_percentile(on_ms, 0.95), on_pct});
+  t.add_row({"on + uplink", uplink, obs::exact_percentile(uplink_ms, 0.95),
+             uplink_pct});
+  bench::emit(t,
+              "Observability overhead — FedML training wall time by "
+              "telemetry mode (" +
+                  std::to_string(reps) + " reps)",
+              csv);
+
+  bench::write_bench_json("obs_overhead",
+                          {{"off_ms_median", off},
+                           {"on_ms_median", on},
+                           {"uplink_ms_median", uplink},
+                           {"on_overhead_pct", on_pct},
+                           {"uplink_overhead_pct", uplink_pct}},
+                          json_dir);
+  return 0;
+}

@@ -38,6 +38,9 @@
 #include "nn/module.h"
 #include "nn/optimizer.h"
 #include "nn/params.h"
+#include "obs/fleet.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -57,7 +60,57 @@ struct Options {
   std::uint16_t port = 0;
   std::size_t node_index = 0;
   net::WireCodec codec = net::WireCodec::kNone;
+  /// Fleet observability: when set, every process runs a seeded tracer and
+  /// pushes its telemetry up the aggregation tree; the top process merges
+  /// the fleet view. Self-tests force this on (forked children inherit it).
+  bool fleet_telemetry = false;
+  std::string fleet_trace_out;  ///< merged Chrome-trace JSON path ("" = off)
+  std::string fleet_csv_out;    ///< per-round fleet CSV path ("" = off)
+  std::string flight_out;       ///< flight-recorder JSONL path ("" = off)
 };
+
+/// Per-process span/trace id stream: unique across the fleet (distinct tag
+/// per role/index) yet a pure function of --seed, so reruns produce the
+/// same ids. Tags: 1 = platform/root, 0x10+k = leaf k, 0x100+i = node i.
+std::uint64_t id_seed(const Options& opt, std::uint64_t tag) {
+  return (opt.seed << 16) ^ tag;
+}
+
+/// Arm the crash/fault flight recorder for this process (children forked
+/// later inherit the armed state and handlers).
+void arm_flight_recorder(const Options& opt) {
+  if (opt.flight_out.empty()) return;
+  obs::FlightRecorder::instance().enable(opt.flight_out);
+  obs::FlightRecorder::install_signal_dump();
+}
+
+/// This process's telemetry as a ProcessTelemetry snapshot.
+obs::ProcessTelemetry own_telemetry(const obs::Telemetry& tel,
+                                    std::string role) {
+  obs::ProcessTelemetry snap;
+  snap.pid = static_cast<std::uint64_t>(::getpid());
+  snap.role = std::move(role);
+  snap.spans = tel.tracer.snapshot();
+  snap.metrics = tel.metrics.snapshot();
+  return snap;
+}
+
+/// Write the merged fleet artifacts (trace JSON / round CSV) if requested.
+void write_fleet_artifacts(const Options& opt,
+                           const obs::FleetCollector& collector) {
+  const auto fleet = collector.snapshot();
+  if (!opt.fleet_trace_out.empty()) {
+    obs::write_fleet_chrome_trace_file(opt.fleet_trace_out, fleet);
+    std::cerr << "fleet trace (" << fleet.size() << " origins) -> "
+              << opt.fleet_trace_out << "\n";
+  }
+  if (!opt.fleet_csv_out.empty()) {
+    obs::write_fleet_csv_file(opt.fleet_csv_out, fleet);
+    std::cerr << "fleet round CSV -> " << opt.fleet_csv_out << "\n";
+  }
+  if (!opt.flight_out.empty())
+    obs::FlightRecorder::instance().dump("run_complete");
+}
 
 /// Everything a process derives from the seed alone — identical in the
 /// platform, every node process, and the in-process reference.
@@ -114,6 +167,13 @@ int run_platform(const Experiment& exp, const Options& opt, bool quiet) {
   cfg.rounds = opt.rounds;
   cfg.quorum = 0;  // whole fleet: lockstep rounds
   cfg.join_timeout_s = 60.0;
+  obs::Telemetry tel;
+  obs::FleetCollector collector;
+  if (opt.fleet_telemetry) {
+    tel.tracer.seed_ids(id_seed(opt, 1));
+    cfg.telemetry = &tel;
+    cfg.collector = &collector;
+  }
   net::PlatformServer server(cfg);
   if (!quiet)
     std::cerr << "[platform] listening on 127.0.0.1:" << server.port()
@@ -137,6 +197,10 @@ int run_platform(const Experiment& exp, const Options& opt, bool quiet) {
     t.add_row({std::string("global_meta_loss"), loss});
     t.print(std::cout, "distributed platform");
   }
+  if (opt.fleet_telemetry) {
+    collector.absorb(own_telemetry(tel, "platform"));
+    write_fleet_artifacts(opt, collector);
+  }
   return 0;
 }
 
@@ -148,6 +212,13 @@ int run_node(Experiment& exp, const Options& opt) {
   cfg.local_steps = opt.local_steps;
   cfg.max_rounds = opt.rounds;
   cfg.codec = opt.codec;
+  obs::Telemetry tel;
+  if (opt.fleet_telemetry) {
+    tel.tracer.seed_ids(id_seed(opt, 0x100 + opt.node_index));
+    cfg.telemetry = &tel;
+    cfg.push_telemetry = true;
+    cfg.telemetry_role = "node" + std::to_string(opt.node_index);
+  }
   net::NodeClient client(cfg);
   fed::EdgeNode& node = exp.nodes[opt.node_index];
   const auto totals = client.run(node, make_local_step(exp, opt));
@@ -209,7 +280,12 @@ bool reap_children(const std::vector<pid_t>& children, int deadline_s = 30) {
 
 /// Fork one process per node, run the platform in this process, and check
 /// the distributed run against the in-process synchronous reference.
-int run_self_test(const Options& opt) {
+int run_self_test(Options opt) {
+  // Self-tests always exercise the fleet observability path (the wire
+  // envelopes and telemetry uplink must not perturb the ledger); forked
+  // node children inherit the flag and push their snapshots here.
+  opt.fleet_telemetry = true;
+  arm_flight_recorder(opt);
   const Experiment exp = build_experiment(opt);
 
   // In-process reference: fed::Platform on a COPY of the fleet (the
@@ -233,6 +309,11 @@ int run_self_test(const Options& opt) {
   scfg.rounds = opt.rounds;
   scfg.quorum = 0;  // lockstep
   scfg.join_timeout_s = 60.0;
+  obs::Telemetry tel;
+  tel.tracer.seed_ids(id_seed(opt, 1));
+  obs::FleetCollector collector;
+  scfg.telemetry = &tel;
+  scfg.collector = &collector;
   net::PlatformServer server(scfg);
 
   std::vector<pid_t> children;
@@ -277,6 +358,8 @@ int run_self_test(const Options& opt) {
   if (!ledger_ok) std::cerr << "FAIL: communication ledger diverged\n";
   if (!model_ok) std::cerr << "FAIL: final models diverged\n";
   if (!fleet_ok) std::cerr << "FAIL: fleet incomplete or shed\n";
+  collector.absorb(own_telemetry(tel, "platform"));
+  write_fleet_artifacts(opt, collector);
   const bool ok = children_ok && ledger_ok && model_ok && fleet_ok;
   std::cout << (ok ? "SELF-TEST PASS" : "SELF-TEST FAIL") << "\n";
   return ok ? 0 : 1;
@@ -302,6 +385,8 @@ struct LeafReport {
                                    std::uint16_t root_port,
                                    std::uint64_t shard, int report_fd) {
   LeafReport report;
+  obs::Telemetry tel;
+  obs::FleetCollector collector;
   try {
     const std::size_t per_shard = opt.nodes / 2;
     net::LeafPlatform::Config cfg;
@@ -311,6 +396,15 @@ struct LeafReport {
     cfg.fleet.join_timeout_s = 60.0;
     cfg.root_port = root_port;
     cfg.shard_id = shard;
+    if (opt.fleet_telemetry) {
+      // One tracer serves both tiers of this process; the leaf forwards
+      // its own snapshot plus everything its shard's nodes pushed.
+      tel.tracer.seed_ids(id_seed(opt, 0x10 + shard));
+      cfg.telemetry = &tel;
+      cfg.fleet.telemetry = &tel;
+      cfg.collector = &collector;
+      cfg.telemetry_role = "leaf" + std::to_string(shard);
+    }
     net::LeafPlatform leaf(cfg);
 
     // Contiguous half-shards: shard k owns nodes [k·n/2, (k+1)·n/2) — the
@@ -346,7 +440,13 @@ struct LeafReport {
 int run_self_test_tree(const Options& opt) {
   FEDML_CHECK(opt.nodes >= 2 && opt.nodes % 2 == 0,
               "--self-test-tree needs an even node count");
+  arm_flight_recorder(opt);
   const Experiment exp = build_experiment(opt);
+  // The TREE run carries fleet telemetry (root merges root + leaves +
+  // every node); the flat reference stays bare — its ledger is the
+  // baseline the instrumented tree must match byte for byte.
+  Options tree_opt = opt;
+  tree_opt.fleet_telemetry = true;
 
   // Flat reference: the plain distributed run (1 platform, N node procs).
   net::PlatformServer::Config fcfg;
@@ -368,6 +468,11 @@ int run_self_test_tree(const Options& opt) {
   rcfg.leaves = 2;
   rcfg.rounds = opt.rounds;
   rcfg.join_timeout_s = 60.0;
+  obs::Telemetry tel;
+  tel.tracer.seed_ids(id_seed(opt, 1));
+  obs::FleetCollector collector;
+  rcfg.telemetry = &tel;
+  rcfg.collector = &collector;
   net::RootAggregator root(rcfg);
   std::vector<pid_t> leaf_pids;
   int report_fds[2] = {-1, -1};
@@ -378,7 +483,7 @@ int run_self_test_tree(const Options& opt) {
     FEDML_CHECK(pid >= 0, "fork failed");
     if (pid == 0) {
       ::close(pipe_fds[0]);
-      run_leaf_process(opt, root.port(), shard, pipe_fds[1]);
+      run_leaf_process(tree_opt, root.port(), shard, pipe_fds[1]);
     }
     ::close(pipe_fds[1]);
     report_fds[shard] = pipe_fds[0];
@@ -437,6 +542,8 @@ int run_self_test_tree(const Options& opt) {
               << ")\n";
   if (!ledger_ok) std::cerr << "FAIL: edge-tier comm ledger diverged\n";
   if (!root_ok) std::cerr << "FAIL: root fleet incomplete or shed\n";
+  collector.absorb(own_telemetry(tel, "root"));
+  write_fleet_artifacts(opt, collector);
   const bool ok =
       children_ok && reports_ok && model_ok && ledger_ok && root_ok;
   std::cout << (ok ? "TREE SELF-TEST PASS" : "TREE SELF-TEST FAIL") << "\n";
@@ -460,6 +567,10 @@ int main(int argc, char** argv) {
   opt.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
   opt.node_index = static_cast<std::size_t>(cli.get_int("node", 0));
   const std::string codec = cli.get_string("codec", "none");
+  opt.fleet_telemetry = cli.get_flag("fleet-telemetry");
+  opt.fleet_trace_out = cli.get_string("fleet-trace-out", "");
+  opt.fleet_csv_out = cli.get_string("fleet-csv-out", "");
+  opt.flight_out = cli.get_string("flight-out", "");
   cli.finish();
 
   if (codec == "int8") {
@@ -474,17 +585,22 @@ int main(int argc, char** argv) {
     if (self_test) return run_self_test(opt);
     if (self_test_tree) return run_self_test_tree(opt);
     if (role == "platform") {
+      arm_flight_recorder(opt);
       const Experiment exp = build_experiment(opt);
       return run_platform(exp, opt, /*quiet=*/false);
     }
     if (role == "node") {
+      arm_flight_recorder(opt);
       Experiment exp = build_experiment(opt);
       return run_node(exp, opt);
     }
     std::cerr << "usage: distributed_fedml --self-test | --self-test-tree | "
                  "--role platform|node [--port P] [--node I]\n"
                  "       shared: --nodes N --rounds R --local-steps T0 "
-                 "--seed S --codec none|int8|topk\n";
+                 "--seed S --codec none|int8|topk\n"
+                 "       observability: [--fleet-telemetry] "
+                 "[--fleet-trace-out F] [--fleet-csv-out F] "
+                 "[--flight-out F]\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "distributed_fedml: " << e.what() << "\n";

@@ -1,18 +1,37 @@
 #!/usr/bin/env python3
-"""Validate a telemetry JSONL export (CI smoke step).
+"""Validate telemetry artifacts (CI smoke step). Stdlib only.
 
-Checks the file `obs::write_jsonl` produces — stdlib only, no dependencies:
+Three modes:
 
-  schema      every line is a JSON object with a known "type"
-              (span | counter | gauge | histogram) and that type's
-              required fields, with sane value types.
-  spans       end_s >= start_s >= 0 for every span; `sim.round` spans
-              (the aggregation timeline on track 0) must tile the run with
-              monotonically non-decreasing start times.
-  liveness    the run actually trained: the sim.platform.rounds counter is
-              present and nonzero, and at least one span was recorded.
+  check_telemetry.py <telemetry.jsonl>
+      The single-process `obs::write_jsonl` export:
+      schema      every line is a JSON object with a known "type"
+                  (span | counter | gauge | histogram) and that type's
+                  required fields, with sane value types.
+      spans       end_s >= start_s >= 0 for every span; `sim.round` spans
+                  (the aggregation timeline on track 0) must tile the run
+                  with monotonically non-decreasing start times.
+      liveness    the run actually trained: the sim.platform.rounds counter
+                  is present and nonzero, and at least one span recorded.
 
-Usage: check_telemetry.py <telemetry.jsonl>
+  check_telemetry.py --fleet <fleet_trace.json> [--csv <fleet.csv>]
+      The merged Chrome trace `obs::write_fleet_chrome_trace_file` emits
+      from a distributed run:
+      tracks      every pid with events has a process_name metadata record.
+      trace       at least one trace_id spans >= 3 distinct pids, with
+                  fed.round spans from >= 2 pids and >= 1 net.rpc span —
+                  the root's round genuinely crossed process boundaries.
+      flows       every "s"/"f" pair is well formed: cat fedml.flow, "f"
+                  carries bp:"e", each flow id appears exactly once as "s"
+                  and once as "f", on known pids.
+      With --csv, also checks the per-round fleet CSV header and row count.
+
+  check_telemetry.py --recorder <flight.jsonl>
+      The crash-dump JSONL `obs::FlightRecorder::dump` appends: each dump
+      block starts with a flight_header (pid, reason, dropped) followed by
+      flight events with monotonically increasing seq, a known kind, and
+      integer payload words.
+
 Exit status: 0 valid, 1 invalid, 2 usage/internal error.
 """
 
@@ -108,15 +127,192 @@ def validate(path: str) -> list[str]:
     return problems
 
 
+FLEET_CSV_HEADER = (
+    "role,pid,trace,round,start_s,duration_s,wire_bytes,bytes_up,"
+    "bytes_down,nodes_shed,rpc_p50_ms,rpc_p95_ms"
+)
+
+
+def _event_number(ev: dict, field: str, i: int) -> float:
+    value = ev.get(field)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(i, f"event field '{field}' must be a number, got {value!r}")
+    return float(value)
+
+
+def validate_fleet(path: str, csv_path: str | None) -> list[str]:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ValueError("fleet trace must be an object with a traceEvents list")
+
+    roles: dict[int, str] = {}  # pid -> process_name
+    event_pids: set[int] = set()
+    # trace_id -> {pid -> set of span names on that trace}
+    traces: dict[int, dict[int, set[str]]] = {}
+    flow_s: dict[int, int] = {}  # flow id -> producer pid
+    flow_f: dict[int, int] = {}  # flow id -> consumer pid
+    for i, ev in enumerate(doc["traceEvents"], 1):
+        if not isinstance(ev, dict):
+            fail(i, "trace event is not an object")
+        ph = ev.get("ph")
+        pid = ev.get("pid")
+        if not isinstance(pid, int):
+            fail(i, f"event pid must be an integer, got {pid!r}")
+        if ph == "M":
+            if ev.get("name") != "process_name":
+                fail(i, f"unexpected metadata event {ev.get('name')!r}")
+            name = ev.get("args", {}).get("name")
+            if not isinstance(name, str) or not name:
+                fail(i, "process_name args.name must be a non-empty string")
+            roles[pid] = name
+        elif ph == "X":
+            event_pids.add(pid)
+            if not isinstance(ev.get("name"), str):
+                fail(i, "span event name must be a string")
+            for field in ("ts", "dur"):
+                if _event_number(ev, field, i) < 0.0:
+                    fail(i, f"span {field} is negative")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("id"), int):
+                fail(i, "span event needs integer args.id")
+            trace = args.get("trace")
+            if trace is not None:
+                if not isinstance(trace, int) or trace == 0:
+                    fail(i, f"args.trace must be a nonzero integer, got {trace!r}")
+                traces.setdefault(trace, {}).setdefault(pid, set()).add(ev["name"])
+        elif ph in ("s", "f"):
+            event_pids.add(pid)
+            if ev.get("cat") != "fedml.flow":
+                fail(i, f"flow event cat must be 'fedml.flow', got {ev.get('cat')!r}")
+            flow_id = ev.get("id")
+            if not isinstance(flow_id, int):
+                fail(i, "flow event needs an integer id")
+            side = flow_s if ph == "s" else flow_f
+            if flow_id in side:
+                fail(i, f"flow id {flow_id} appears twice as '{ph}'")
+            if ph == "f" and ev.get("bp") != "e":
+                fail(i, "flow finish must bind to enclosing slice (bp:'e')")
+            side[flow_id] = pid
+        else:
+            fail(i, f"unknown event phase {ph!r}")
+
+    problems = []
+    for pid in sorted(event_pids - roles.keys()):
+        problems.append(f"pid {pid} has events but no process_name metadata")
+    if set(flow_s) != set(flow_f):
+        lone = set(flow_s) ^ set(flow_f)
+        problems.append(f"unpaired flow ids: {sorted(lone)[:5]}")
+    for flow_id, consumer_pid in flow_f.items():
+        if flow_s.get(flow_id) == consumer_pid:
+            problems.append(f"flow id {flow_id} never leaves pid {consumer_pid}")
+    known = roles.keys() | event_pids
+    for side, name in ((flow_s, "s"), (flow_f, "f")):
+        for flow_id, pid in side.items():
+            if pid not in known:
+                problems.append(f"flow '{name}' id {flow_id} on unknown pid {pid}")
+
+    # The headline property: one trace crossed the whole tree.
+    best = max(traces.values(), key=len, default={})
+    if len(best) < 3:
+        problems.append(
+            f"no trace_id spans >= 3 pids (best covers {len(best)})"
+        )
+    else:
+        round_pids = sum(1 for names in best.values() if "fed.round" in names)
+        rpc_spans = sum(1 for names in best.values() if "net.rpc" in names)
+        if round_pids < 2:
+            problems.append(
+                f"best trace has fed.round spans from {round_pids} pids, need >= 2"
+            )
+        if rpc_spans < 1:
+            problems.append("best trace carries no net.rpc span")
+    if not flow_f:
+        problems.append("no cross-process flow arrows emitted")
+
+    if csv_path is not None:
+        with open(csv_path, encoding="utf-8") as f:
+            lines = [line.rstrip("\n") for line in f if line.strip()]
+        if not lines or lines[0] != FLEET_CSV_HEADER:
+            problems.append(
+                f"fleet csv header mismatch: got {lines[0] if lines else '<empty>'!r}"
+            )
+        elif len(lines) < 2:
+            problems.append("fleet csv has a header but no rounds")
+    return problems
+
+
+def validate_recorder(path: str) -> list[str]:
+    headers = 0
+    events = 0
+    last_seq = None  # reset at each flight_header (one dump block each)
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(lineno, f"invalid JSON: {e}")
+            kind = obj.get("type")
+            if kind == "flight_header":
+                headers += 1
+                last_seq = None
+                if not isinstance(obj.get("pid"), int) or obj["pid"] <= 0:
+                    fail(lineno, "flight_header pid must be a positive integer")
+                if not isinstance(obj.get("reason"), str) or not obj["reason"]:
+                    fail(lineno, "flight_header reason must be a non-empty string")
+                dropped = obj.get("dropped")
+                if not isinstance(dropped, int) or dropped < 0:
+                    fail(lineno, "flight_header dropped must be an integer >= 0")
+            elif kind == "flight":
+                if headers == 0:
+                    fail(lineno, "flight event before any flight_header")
+                events += 1
+                seq = obj.get("seq")
+                if not isinstance(seq, int) or seq < 0:
+                    fail(lineno, "flight seq must be an integer >= 0")
+                if last_seq is not None and seq <= last_seq:
+                    fail(lineno, f"flight seq {seq} not after {last_seq}")
+                last_seq = seq
+                if obj.get("kind") not in (1, 2, 3, 4):
+                    fail(lineno, f"unknown flight kind {obj.get('kind')!r}")
+                if not isinstance(obj.get("name"), str) or not obj["name"]:
+                    fail(lineno, "flight name must be a non-empty string")
+                for field in ("a", "b"):
+                    if not isinstance(obj.get(field), int):
+                        fail(lineno, f"flight field '{field}' must be an integer")
+            else:
+                fail(lineno, f"unknown record type {kind!r}")
+    problems = []
+    if headers == 0:
+        problems.append("no flight_header record")
+    if events == 0:
+        problems.append("no flight events recorded")
+    return problems
+
+
 def main() -> int:
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    path = sys.argv[1]
+    argv = sys.argv[1:]
     try:
-        problems = validate(path)
+        if len(argv) == 1 and not argv[0].startswith("--"):
+            path, problems = argv[0], validate(argv[0])
+        elif argv and argv[0] == "--fleet" and len(argv) in (2, 4):
+            csv_path = None
+            if len(argv) == 4:
+                if argv[2] != "--csv":
+                    print(__doc__, file=sys.stderr)
+                    return 2
+                csv_path = argv[3]
+            path, problems = argv[1], validate_fleet(argv[1], csv_path)
+        elif argv and argv[0] == "--recorder" and len(argv) == 2:
+            path, problems = argv[1], validate_recorder(argv[1])
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
     except ValueError as e:
-        print(f"check_telemetry: {path}: {e}", file=sys.stderr)
+        print(f"check_telemetry: {argv[-1]}: {e}", file=sys.stderr)
         return 1
     except OSError as e:
         print(f"check_telemetry: {e}", file=sys.stderr)

@@ -62,18 +62,32 @@ fi
 # vs the flat fleet. Hard timeouts guard CI against a hung socket — a
 # wedged fleet must fail the build, not stall it.
 echo "==> distributed"
+# The tree self-test also exports the merged fleet trace, per-round fleet
+# CSV, and flight-recorder dump; they are schema-checked below.
+fleet_trace="$smoke_dir/fleet-tree-trace.json"
+fleet_csv="$smoke_dir/fleet-tree.csv"
+flight_log="$smoke_dir/flight-tree.jsonl"
+rm -f "$flight_log"
 if command -v timeout >/dev/null 2>&1; then
   timeout 180 "$smoke_dir/examples/distributed_fedml" --self-test
-  timeout 180 "$smoke_dir/examples/distributed_fedml" --self-test-tree
+  timeout 180 "$smoke_dir/examples/distributed_fedml" --self-test-tree \
+    --fleet-trace-out="$fleet_trace" --fleet-csv-out="$fleet_csv" \
+    --flight-out="$flight_log"
 else
   "$smoke_dir/examples/distributed_fedml" --self-test
-  "$smoke_dir/examples/distributed_fedml" --self-test-tree
+  "$smoke_dir/examples/distributed_fedml" --self-test-tree \
+    --fleet-trace-out="$fleet_trace" --fleet-csv-out="$fleet_csv" \
+    --flight-out="$flight_log"
 fi
+python3 scripts/check_telemetry.py --fleet "$fleet_trace" --csv "$fleet_csv"
+python3 scripts/check_telemetry.py --recorder "$flight_log"
 (cd "$smoke_dir" && bench/net_roundtrip --smoke) >/dev/null
 if command -v timeout >/dev/null 2>&1; then
   (cd "$smoke_dir" && timeout 300 bench/net_fleet_scale --smoke) >/dev/null
+  (cd "$smoke_dir" && timeout 300 bench/obs_overhead --smoke) >/dev/null
 else
   (cd "$smoke_dir" && bench/net_fleet_scale --smoke) >/dev/null
+  (cd "$smoke_dir" && bench/obs_overhead --smoke) >/dev/null
 fi
 
 # Every bench smoke above wrote a BENCH_<name>.json summary into the build

@@ -41,7 +41,10 @@ Whole-program passes (library code under src/):
 
 Single-file rules ported from lint.py onto the tokenizer (same names, same
 scopes): raw-mutex, determinism, no-cout, naked-new, raw-socket, stopwatch,
-std-hash-key, pragma-once.
+std-hash-key, pragma-once. Plus span-literal (src/ only): the name argument
+of `.span(...)` / `.span_root(...)` / `.span_remote(...)` / `.counter(...)`
+/ `.gauge(...)` / `.histogram(...)` must contain a string literal — the
+telemetry vocabulary stays statically greppable and fleet-mergeable.
 
 Waivers: a violation is waived on its own line with a trailing
 `// lint: allow(<rule>[, <rule>...])` comment — part of the diff, therefore
@@ -130,6 +133,15 @@ RAW_MUTEX_TYPES = {
 RAW_MUTEX_HEADERS = {"mutex", "condition_variable", "shared_mutex"}
 
 STD_HASH_KEY_NAMES = {"Key", "signature", "version", "uint64_t"}
+
+# Telemetry naming: the first argument of these member calls is a span or
+# metric name. It must contain a string literal (a plain literal, or a
+# conditional choosing between literals) — a name built at runtime breaks
+# the exporters' stable schema, fleet-side merging by name, and grep-ability
+# of the telemetry vocabulary.
+SPAN_NAME_METHODS = {
+    "span", "span_root", "span_remote", "counter", "gauge", "histogram",
+}
 
 # C++ keywords that look like calls when followed by '(' — not call sites.
 NOT_A_CALL = {
@@ -1923,6 +1935,41 @@ class Analysis:
                         "obs::TraceSpan / obs::ScopedTimer so the timing "
                         "also reaches telemetry",
                     )
+            elif t.text in SPAN_NAME_METHODS:
+                if (
+                    prev is not None
+                    and prev.text in (".", "->")
+                    and nxt is not None
+                    and nxt.text == "("
+                ):
+                    depth = 1
+                    has_literal = False
+                    has_concat = False
+                    j = i + 2
+                    limit = min(n, j + 80)
+                    while j < limit and depth > 0:
+                        tt = code[j]
+                        if tt.text in ("(", "[", "{"):
+                            depth += 1
+                        elif tt.text in (")", "]", "}"):
+                            depth -= 1
+                        elif depth == 1 and tt.text == ",":
+                            break
+                        elif depth == 1 and tt.text == "+":
+                            # "prefix." + suffix still builds the name at
+                            # runtime — the literal does not redeem it.
+                            has_concat = True
+                        elif tt.kind in ("str", "rawstr"):
+                            has_literal = True
+                        j += 1
+                    if not has_literal or has_concat:
+                        self.report(
+                            rel, t.line, "span-literal",
+                            f".{t.text}(...) span/metric name must be a "
+                            "string literal — runtime-built names break the "
+                            "exporters' stable schema and fleet-side "
+                            "merging by name",
+                        )
             elif (
                 t.text in RAW_SOCKET_SYSCALLS
                 and prev is not None

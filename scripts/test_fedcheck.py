@@ -350,6 +350,27 @@ class PortedRulesTest(unittest.TestCase):
         a = analyze({"src/net/s.cpp": "int f() { return ::socket(0, 0, 0); }\n"})
         self.assertNotIn(("raw-socket", "src/net/s.cpp"), fired(a))
 
+    def test_span_literal_runtime_name_fires(self):
+        a = analyze({"src/serve/t.cpp": (
+            "void f(T* tel, const std::string& name) {\n"
+            "  auto s = tel->tracer.span(name);\n"
+            "  tel->metrics.counter(name + \".hits\").add();\n"
+            "}\n"
+        )})
+        self.assertIn(("span-literal", "src/serve/t.cpp"), fired(a))
+
+    def test_span_literal_string_names_are_silent(self):
+        a = analyze({"src/serve/t.cpp": (
+            "void f(T* tel, bool hit) {\n"
+            "  auto s = tel->tracer.span(\"serve.request\");\n"
+            "  auto r = tel->tracer.span_root(\"fed.round\");\n"
+            "  tel->metrics.counter(hit ? \"c.hits\" : \"c.misses\").add();\n"
+            "  tel->metrics.histogram(\n"
+            "      \"serve.ms\", {.bounds = {1.0, 2.0}}).record(1.0);\n"
+            "}\n"
+        )})
+        self.assertNotIn(("span-literal", "src/serve/t.cpp"), fired(a))
+
 
 class WaiverTest(unittest.TestCase):
     def test_waiver_suppresses_and_round_trips(self):

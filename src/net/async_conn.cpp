@@ -135,20 +135,21 @@ void AsyncConn::consume(std::size_t n) {
     if (payload_have_ < pending_header_.payload_size) return;
   }
 
-  Frame frame{pending_header_.type, pending_header_.codec,
-              std::move(payload_)};
+  std::vector<std::uint8_t> raw = std::move(payload_);
   payload_ = {};
   payload_have_ = 0;
   in_payload_ = false;
+  const std::size_t wire_bytes = kHeaderBytes + raw.size();
+  Frame frame;
   try {
-    verify_payload(pending_header_, frame.payload);
+    frame = assemble_frame(pending_header_, std::move(raw));
   } catch (const util::Error& e) {
     fail(false, e.what());
     return;
   }
   if (measured_ != nullptr)
     measured_->record_frame(frame.type, accounting_payload_bytes(frame),
-                            kHeaderBytes + frame.payload.size());
+                            wire_bytes);
   if (on_frame_) on_frame_(std::move(frame));
 }
 

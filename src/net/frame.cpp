@@ -10,7 +10,7 @@ namespace {
 
 bool known_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MessageType::kHello) &&
-         t <= static_cast<std::uint8_t>(MessageType::kShardAggregate);
+         t <= static_cast<std::uint8_t>(MessageType::kTelemetry);
 }
 
 bool known_codec(std::uint8_t c) {
@@ -25,15 +25,29 @@ Frame make_frame(MessageType type, util::ByteWriter&& payload,
 }  // namespace
 
 void encode_frame(const Frame& frame, util::ByteWriter& w) {
+  const bool enveloped = frame.trace_id != 0 || frame.parent_span != 0;
   w.write_u32(kMagic);
-  w.write_u32(kProtocolVersion);
+  // Envelope-free frames stay on the v1 wire format byte for byte: old
+  // peers parse them, and telemetry-off traffic is identical to the
+  // pre-envelope protocol (what the self-tests' wire ledgers pin).
+  w.write_u32(enveloped ? kProtocolVersion : kMinProtocolVersion);
   w.write_u8(static_cast<std::uint8_t>(frame.type));
   w.write_u8(static_cast<std::uint8_t>(frame.codec));
+  w.write_u8(enveloped ? static_cast<std::uint8_t>(kTraceEnvelopeBytes) : 0);
   w.write_u8(0);  // reserved
-  w.write_u8(0);  // reserved
-  w.write_u64(util::fnv1a(frame.payload.data(), frame.payload.size()));
-  w.write_u64(frame.payload.size());
-  w.write_bytes(frame.payload.data(), frame.payload.size());
+  if (!enveloped) {
+    w.write_u64(util::fnv1a(frame.payload.data(), frame.payload.size()));
+    w.write_u64(frame.payload.size());
+    w.write_bytes(frame.payload.data(), frame.payload.size());
+    return;
+  }
+  util::ByteWriter region;
+  region.write_u64(frame.trace_id);
+  region.write_u64(frame.parent_span);
+  region.write_bytes(frame.payload.data(), frame.payload.size());
+  w.write_u64(util::fnv1a(region.bytes().data(), region.size()));
+  w.write_u64(region.size());
+  w.write_bytes(region.bytes().data(), region.size());
 }
 
 FrameHeader decode_frame_header(const std::uint8_t* data) {
@@ -41,22 +55,29 @@ FrameHeader decode_frame_header(const std::uint8_t* data) {
   util::ByteReader r(header);
   FEDML_CHECK(r.read_u32() == kMagic, "bad frame magic (not a FedML peer?)");
   const auto version = r.read_u32();
-  FEDML_CHECK(version == kProtocolVersion,
+  FEDML_CHECK(version >= kMinProtocolVersion && version <= kProtocolVersion,
               "unsupported protocol version " + std::to_string(version));
   const auto type = r.read_u8();
   FEDML_CHECK(known_type(type),
               "unknown message type " + std::to_string(type));
   const auto codec = r.read_u8();
   FEDML_CHECK(known_codec(codec), "unknown codec " + std::to_string(codec));
+  const auto envelope = r.read_u8();
   r.read_u8();  // reserved
-  r.read_u8();  // reserved
+  FEDML_CHECK(envelope == 0 || envelope == kTraceEnvelopeBytes,
+              "unknown frame envelope size " + std::to_string(envelope));
+  FEDML_CHECK(envelope == 0 || version >= 2,
+              "trace envelope on a v1 frame");
   FrameHeader h;
   h.type = static_cast<MessageType>(type);
   h.codec = static_cast<WireCodec>(codec);
+  h.envelope_size = envelope;
   h.checksum = r.read_u64();
   h.payload_size = r.read_u64();
   FEDML_CHECK(h.payload_size <= kMaxPayloadBytes,
               "frame payload size exceeds limit");
+  FEDML_CHECK(h.payload_size >= h.envelope_size,
+              "frame payload smaller than its envelope");
   return h;
 }
 
@@ -68,15 +89,29 @@ void verify_payload(const FrameHeader& header,
               "frame checksum mismatch (payload corrupted in transit)");
 }
 
+Frame assemble_frame(const FrameHeader& header, std::vector<std::uint8_t> raw) {
+  verify_payload(header, raw);
+  Frame frame;
+  frame.type = header.type;
+  frame.codec = header.codec;
+  if (header.envelope_size == 0) {
+    frame.payload = std::move(raw);
+    return frame;
+  }
+  util::ByteReader r(raw);
+  frame.trace_id = r.read_u64();
+  frame.parent_span = r.read_u64();
+  frame.payload.assign(raw.begin() + header.envelope_size, raw.end());
+  return frame;
+}
+
 Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
   FEDML_CHECK(bytes.size() >= kHeaderBytes, "truncated frame header");
   const FrameHeader header = decode_frame_header(bytes.data());
   FEDML_CHECK(bytes.size() == kHeaderBytes + header.payload_size,
               "frame length does not match header payload size");
-  std::vector<std::uint8_t> payload(bytes.begin() + kHeaderBytes,
-                                    bytes.end());
-  verify_payload(header, payload);
-  return Frame{header.type, header.codec, std::move(payload)};
+  std::vector<std::uint8_t> raw(bytes.begin() + kHeaderBytes, bytes.end());
+  return assemble_frame(header, std::move(raw));
 }
 
 Frame encode_hello(const HelloBody& body) {
@@ -213,6 +248,124 @@ ShardAggregateBody decode_shard_aggregate(const Frame& frame) {
   body.mass = r.read_f64();
   body.params = nn::deserialize(r);
   FEDML_CHECK(r.exhausted(), "trailing bytes in ShardAggregate payload");
+  return body;
+}
+
+Frame encode_telemetry(const TelemetryBody& body) {
+  const obs::ProcessTelemetry& tel = body.telemetry;
+  util::ByteWriter w;
+  w.write_u64(tel.pid);
+  w.write_string(tel.role);
+  w.write_u64(tel.spans.size());
+  for (const auto& s : tel.spans) {
+    w.write_u64(s.id);
+    w.write_u64(s.parent);
+    w.write_u64(s.trace_id);
+    w.write_u64(s.remote_parent);
+    w.write_string(s.name);
+    w.write_f64(s.start_s);
+    w.write_f64(s.end_s);
+    w.write_u32(s.track);
+    w.write_u64(s.args.size());
+    for (const auto& [key, value] : s.args) {
+      w.write_string(key);
+      w.write_f64(value);
+    }
+  }
+  w.write_u64(tel.metrics.counters.size());
+  for (const auto& [name, value] : tel.metrics.counters) {
+    w.write_string(name);
+    w.write_u64(value);
+  }
+  w.write_u64(tel.metrics.gauges.size());
+  for (const auto& [name, value] : tel.metrics.gauges) {
+    w.write_string(name);
+    w.write_f64(value);
+  }
+  w.write_u64(tel.metrics.histograms.size());
+  for (const auto& [name, h] : tel.metrics.histograms) {
+    w.write_string(name);
+    w.write_u64(h.count);
+    w.write_f64(h.sum);
+    w.write_f64(h.min);
+    w.write_f64(h.max);
+    w.write_f64(h.mean);
+    w.write_f64(h.p50);
+    w.write_f64(h.p95);
+    w.write_f64(h.p99);
+    w.write_f64_span(h.bounds.data(), h.bounds.size());
+    w.write_u64(h.counts.size());
+    for (const auto c : h.counts) w.write_u64(c);
+    w.write_f64_span(h.samples.data(), h.samples.size());
+  }
+  return make_frame(MessageType::kTelemetry, std::move(w));
+}
+
+TelemetryBody decode_telemetry(const Frame& frame) {
+  FEDML_CHECK(frame.type == MessageType::kTelemetry,
+              "expected a Telemetry frame");
+  util::ByteReader r(frame.payload);
+  TelemetryBody body;
+  obs::ProcessTelemetry& tel = body.telemetry;
+  tel.pid = r.read_u64();
+  tel.role = r.read_string();
+  const auto span_count = r.read_u64();
+  tel.spans.reserve(span_count);
+  for (std::uint64_t i = 0; i < span_count; ++i) {
+    obs::SpanRecord s;
+    s.id = r.read_u64();
+    s.parent = r.read_u64();
+    s.trace_id = r.read_u64();
+    s.remote_parent = r.read_u64();
+    s.name = r.read_string();
+    s.start_s = r.read_f64();
+    s.end_s = r.read_f64();
+    s.track = r.read_u32();
+    const auto arg_count = r.read_u64();
+    s.args.reserve(arg_count);
+    for (std::uint64_t a = 0; a < arg_count; ++a) {
+      std::string key = r.read_string();
+      const double value = r.read_f64();
+      s.args.emplace_back(std::move(key), value);
+    }
+    tel.spans.push_back(std::move(s));
+  }
+  const auto counter_count = r.read_u64();
+  tel.metrics.counters.reserve(counter_count);
+  for (std::uint64_t i = 0; i < counter_count; ++i) {
+    std::string name = r.read_string();
+    const auto value = r.read_u64();
+    tel.metrics.counters.emplace_back(std::move(name), value);
+  }
+  const auto gauge_count = r.read_u64();
+  tel.metrics.gauges.reserve(gauge_count);
+  for (std::uint64_t i = 0; i < gauge_count; ++i) {
+    std::string name = r.read_string();
+    const double value = r.read_f64();
+    tel.metrics.gauges.emplace_back(std::move(name), value);
+  }
+  const auto histogram_count = r.read_u64();
+  tel.metrics.histograms.reserve(histogram_count);
+  for (std::uint64_t i = 0; i < histogram_count; ++i) {
+    std::string name = r.read_string();
+    obs::Histogram::Snapshot h;
+    h.count = r.read_u64();
+    h.sum = r.read_f64();
+    h.min = r.read_f64();
+    h.max = r.read_f64();
+    h.mean = r.read_f64();
+    h.p50 = r.read_f64();
+    h.p95 = r.read_f64();
+    h.p99 = r.read_f64();
+    h.bounds = r.read_f64_vector();
+    const auto bucket_count = r.read_u64();
+    h.counts.reserve(bucket_count);
+    for (std::uint64_t b = 0; b < bucket_count; ++b)
+      h.counts.push_back(r.read_u64());
+    h.samples = r.read_f64_vector();
+    tel.metrics.histograms.emplace_back(std::move(name), std::move(h));
+  }
+  FEDML_CHECK(r.exhausted(), "trailing bytes in Telemetry payload");
   return body;
 }
 

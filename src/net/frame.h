@@ -5,14 +5,23 @@
 
 #include "fed/compression.h"
 #include "nn/params.h"
+#include "obs/fleet.h"
+#include "obs/trace.h"
 #include "util/serialize.h"
 
 namespace fedml::net {
 
-/// Wire protocol version. Bump on any incompatible header or payload-schema
-/// change; peers reject frames from a different major version outright
-/// (a federation is deployed as one artifact, so no negotiation).
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Wire protocol version. Version 2 adds the optional trace-context
+/// envelope (see `encode_frame`); receivers accept {1, 2} so v1 peers keep
+/// interoperating — a frame with no envelope is encoded as byte-identical
+/// v1, which is also what pins the self-tests' wire-byte ledgers. Bump on
+/// any incompatible header or payload-schema change; peers reject frames
+/// from an unknown version outright (a federation is deployed as one
+/// artifact, so no negotiation).
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// Oldest protocol version a receiver still parses.
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 /// Frame magic, "FDML" big-endianly mnemonic. First field on the wire: a
 /// peer that is not speaking this protocol fails fast with a clear error
@@ -20,8 +29,18 @@ inline constexpr std::uint32_t kProtocolVersion = 1;
 inline constexpr std::uint32_t kMagic = 0x46444D4C;
 
 /// Fixed frame header size: magic(4) + version(4) + type(1) + codec(1) +
-/// reserved(2) + fnv1a checksum(8) + payload size(8).
+/// envelope size(1) + reserved(1) + fnv1a checksum(8) + payload size(8).
+/// (The envelope-size byte was the first reserved byte in v1, whose
+/// encoders always wrote 0 — exactly the "no envelope" encoding.)
 inline constexpr std::size_t kHeaderBytes = 28;
+
+/// Byte length of the optional trace-context envelope that v2 frames may
+/// carry at the FRONT of the checksummed payload region:
+/// trace_id(8) + parent_span(8). The header's `payload_size` and checksum
+/// cover envelope + payload, so corruption detection is unchanged; the
+/// decoded `Frame::payload` has the envelope stripped, which keeps every
+/// body schema and the sim-comparable accounting byte-for-byte intact.
+inline constexpr std::size_t kTraceEnvelopeBytes = 16;
 
 /// Upper bound a receiver imposes on payload_size before allocating. Far
 /// above any real model here (fig-scale models are ~50 KB) but small enough
@@ -40,6 +59,11 @@ enum class MessageType : std::uint8_t {
   /// root's sum-then-divide merge bit-identical to a flat merge of the
   /// whole fleet — W·(S/W) ≠ S in floating point.
   kShardAggregate = 6,
+  /// node/leaf → its platform: cumulative `obs::ProcessTelemetry` snapshot
+  /// (spans + metrics), pushed periodically and at shutdown so the root can
+  /// assemble the fleet-wide trace. Free in the sim-comparable accounting
+  /// ledger (observability must not perturb the comm figures).
+  kTelemetry = 7,
 };
 
 /// Uplink payload encoding, mirrored from `fed::compression`: the codec
@@ -51,22 +75,40 @@ enum class WireCodec : std::uint8_t {
   kTopK = 2,  ///< fed::sparsify_topk
 };
 
-/// One decoded frame: type, codec, verified payload.
+/// One decoded frame: type, codec, verified payload, and the (optional)
+/// trace-context envelope. `trace_id`/`parent_span` are 0 when the frame
+/// carried no envelope; `payload` never includes the envelope bytes.
 struct Frame {
   MessageType type = MessageType::kHello;
   WireCodec codec = WireCodec::kNone;
   std::vector<std::uint8_t> payload;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
+  /// Stamp an outbound frame with a span's propagation context.
+  void set_context(const obs::TraceContext& ctx) {
+    trace_id = ctx.trace_id;
+    parent_span = ctx.span_id;
+  }
+  [[nodiscard]] obs::TraceContext context() const {
+    return obs::TraceContext{trace_id, parent_span};
+  }
 };
 
-/// Append `frame` (header + payload) to `w` in wire order.
+/// Append `frame` (header + payload) to `w` in wire order. A frame without
+/// trace context encodes as protocol v1, byte-identical to the pre-envelope
+/// wire format; one with context encodes as v2 with the 16-byte envelope
+/// prepended inside the checksummed region.
 void encode_frame(const Frame& frame, util::ByteWriter& w);
 
 /// Parsed + validated fixed header; payload follows on the wire.
+/// `payload_size` counts envelope + payload (the checksummed region).
 struct FrameHeader {
   MessageType type = MessageType::kHello;
   WireCodec codec = WireCodec::kNone;
   std::uint64_t checksum = 0;
   std::uint64_t payload_size = 0;
+  std::uint8_t envelope_size = 0;  ///< 0 or kTraceEnvelopeBytes
 };
 
 /// Decode and validate exactly `kHeaderBytes` of header. Throws util::Error
@@ -74,10 +116,18 @@ struct FrameHeader {
 /// `kMaxPayloadBytes`.
 FrameHeader decode_frame_header(const std::uint8_t* data);
 
-/// Verify the payload against the header checksum (throws on mismatch —
-/// the corruption-rejection path the tests exercise byte by byte).
+/// Verify the raw checksummed region (envelope + payload) against the
+/// header checksum (throws on mismatch — the corruption-rejection path the
+/// tests exercise byte by byte).
 void verify_payload(const FrameHeader& header,
                     const std::vector<std::uint8_t>& payload);
+
+/// Verify `raw` (the header's full checksummed region) and assemble the
+/// decoded frame: the trace envelope, when present, is split off into
+/// `Frame::trace_id`/`parent_span` and `Frame::payload` gets the rest.
+/// Both streaming receive paths (MessageConn, AsyncConn) and the
+/// whole-buffer `decode_frame` funnel through this.
+Frame assemble_frame(const FrameHeader& header, std::vector<std::uint8_t> raw);
 
 /// Whole-buffer decode (header + payload + trailing-garbage check); the
 /// unit-test entry point. The streaming path in MessageConn uses
@@ -144,6 +194,15 @@ ShutdownBody decode_shutdown(const Frame& frame);
 
 Frame encode_shard_aggregate(const ShardAggregateBody& body);
 ShardAggregateBody decode_shard_aggregate(const Frame& frame);
+
+/// kTelemetry payload: one process's cumulative telemetry (identity, full
+/// span list, metrics snapshot including retained histogram samples).
+struct TelemetryBody {
+  obs::ProcessTelemetry telemetry;
+};
+
+Frame encode_telemetry(const TelemetryBody& body);
+TelemetryBody decode_telemetry(const Frame& frame);
 
 /// Bytes of `frame` the simulators would charge to CommTotals: the
 /// parameter blob for kUpdate (post-codec, exactly `fed::Platform`'s

@@ -1,5 +1,7 @@
 #include "net/hierarchy.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <utility>
 
@@ -23,9 +25,13 @@ PlatformServer::Config LeafPlatform::fleet_config(const Config& config,
               "uplink timeouts must be positive");
   PlatformServer::Config fleet = config.fleet;
   fleet.delegate = [self](std::uint64_t round,
-                          PlatformServer::DiscountedBatch batch) {
-    return self->relay_round(round, std::move(batch));
+                          PlatformServer::DiscountedBatch batch,
+                          obs::TraceSpan& round_span) {
+    return self->relay_round(round, std::move(batch), round_span);
   };
+  // The shard's nodes push their telemetry into the leaf's collector; the
+  // leaf forwards the lot to the root after the fleet rounds finish.
+  fleet.collector = config.collector;
   return fleet;
 }
 
@@ -35,7 +41,8 @@ LeafPlatform::LeafPlatform(Config config)
       server_(fleet_config(config_, this)) {}
 
 ModelBody LeafPlatform::relay_round(std::uint64_t round,
-                                    PlatformServer::DiscountedBatch batch) {
+                                    PlatformServer::DiscountedBatch batch,
+                                    obs::TraceSpan& round_span) {
   // Runs on server_'s driver thread — which is the thread run() sits on,
   // so the blocking uplink never touches the fleet's reactor.
   FEDML_CHECK(!batch.terms.empty(),
@@ -51,11 +58,17 @@ ModelBody LeafPlatform::relay_round(std::uint64_t round,
   // leaf that normalized here would break bit-identity with a flat fleet
   // (W·(S/W) ≠ S in floating point).
   agg.params = nn::pairwise_sum(batch.terms, /*requires_grad=*/false);
-  uplink_->send(encode_shard_aggregate(agg), config_.io_timeout_s);
+  Frame up = encode_shard_aggregate(agg);
+  up.set_context(round_span.context());
+  uplink_->send(up, config_.io_timeout_s);
   while (true) {
     const Frame frame = uplink_->recv(config_.io_timeout_s);
     if (frame.type == MessageType::kModel) {
       rounds_relayed_ += 1;
+      // The root's model carries ITS round span's context: adopt it so
+      // this leaf's round span — and the broadcast the server stamps with
+      // it — joins the root's fed.round trace instead of its own.
+      round_span.adopt_remote(frame.context());
       return decode_model(frame);
     }
     if (frame.type == MessageType::kShutdown)
@@ -85,6 +98,29 @@ LeafPlatform::Totals LeafPlatform::run(
   Totals totals;
   totals.fleet = server_.run(hook);
   totals.rounds_relayed = rounds_relayed_;
+
+  // Forward telemetry up the tree: this leaf's own snapshot first, then
+  // every origin its collector gathered (the nodes pushed theirs during
+  // server_.run()'s linger). The root's collector lingers on this uplink
+  // connection the same way, so these land even after its Shutdown.
+  if (config_.collector != nullptr && config_.telemetry != nullptr) {
+    try {
+      obs::ProcessTelemetry own;
+      own.pid = config_.telemetry_pid != 0
+                    ? config_.telemetry_pid
+                    : static_cast<std::uint64_t>(::getpid());
+      own.role = config_.telemetry_role;
+      own.spans = config_.telemetry->tracer.snapshot();
+      own.metrics = config_.telemetry->metrics.snapshot();
+      uplink_->send(encode_telemetry({std::move(own)}), config_.io_timeout_s);
+      for (auto& origin : config_.collector->snapshot())
+        uplink_->send(encode_telemetry({std::move(origin)}),
+                      config_.io_timeout_s);
+    } catch (const util::Error& e) {
+      FEDML_LOG(kWarning) << "net: leaf " << config_.shard_id
+                          << " telemetry forward failed: " << e.what();
+    }
+  }
 
   // Linger for the root's Shutdown so its farewell write lands cleanly;
   // a root that already hung up is fine too.
@@ -119,6 +155,7 @@ PlatformServer::Config root_server_config(const RootAggregator::Config& c) {
   server.handshake_timeout_s = c.handshake_timeout_s;
   server.accept_shard_aggregates = true;
   server.telemetry = c.telemetry;
+  server.collector = c.collector;
   return server;
 }
 

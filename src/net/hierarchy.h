@@ -51,6 +51,17 @@ class LeafPlatform {
     double io_timeout_s = 30.0;       ///< per-frame uplink deadline
     Backoff::Config backoff;
     obs::Telemetry* telemetry = nullptr;  ///< uplink ledger (may be null)
+    /// This shard's telemetry sink (may be null). Installed as the fleet
+    /// server's collector, so the shard's nodes can push their snapshots;
+    /// after the fleet rounds finish the leaf forwards its OWN snapshot
+    /// plus every collected origin up to the root, one kTelemetry frame
+    /// each. Requires `telemetry` for the leaf's own snapshot.
+    obs::FleetCollector* collector = nullptr;
+    std::string telemetry_role = "leaf";  ///< ProcessTelemetry origin label
+    /// Origin id for this leaf's own snapshot; 0 → getpid(). Override when
+    /// root/leaves share one process (threads), where getpid() would make
+    /// their snapshots clobber each other in the root's collector.
+    std::uint64_t telemetry_pid = 0;
   };
 
   struct Totals {
@@ -75,7 +86,8 @@ class LeafPlatform {
   static PlatformServer::Config fleet_config(const Config& config,
                                              LeafPlatform* self);
   ModelBody relay_round(std::uint64_t round,
-                        PlatformServer::DiscountedBatch batch);
+                        PlatformServer::DiscountedBatch batch,
+                        obs::TraceSpan& round_span);
 
   Config config_;
   MeasuredTransport uplink_measured_;
@@ -101,6 +113,9 @@ class RootAggregator {
     double io_timeout_s = 30.0;
     double handshake_timeout_s = 5.0;
     obs::Telemetry* telemetry = nullptr;
+    /// Fleet-wide telemetry sink: absorbs the kTelemetry pushes that leaves
+    /// forward (their own snapshots plus their nodes'). May be null.
+    obs::FleetCollector* collector = nullptr;
   };
 
   explicit RootAggregator(Config config);

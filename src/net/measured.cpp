@@ -1,6 +1,21 @@
 #include "net/measured.h"
 
+#include "obs/flight_recorder.h"
+
 namespace fedml::net {
+
+namespace {
+
+/// Flight-recorder breadcrumb (no-op unless the process armed the
+/// recorder): transport-level events are exactly what a shed-peer
+/// post-mortem needs to see last.
+void flight_note(obs::FlightRecorder::EventKind kind, const char* name,
+                 std::uint64_t a, std::uint64_t b) {
+  auto& recorder = obs::FlightRecorder::instance();
+  if (recorder.enabled()) recorder.note(kind, name, a, b);
+}
+
+}  // namespace
 
 MeasuredTransport::MeasuredTransport(obs::Telemetry* telemetry) {
   if (telemetry == nullptr) return;
@@ -13,14 +28,18 @@ MeasuredTransport::MeasuredTransport(obs::Telemetry* telemetry) {
   timeouts_ = &m.counter("net.timeouts");
   sheds_ = &m.counter("net.nodes_shed");
   rounds_ = &m.counter("net.rounds");
+  // Samples retained (capped by Histogram::Config::max_retained) so the
+  // telemetry uplink ships exact straggler percentiles to the root.
   rpc_ms_ = &m.histogram("net.rpc_ms", {.bounds = obs::Histogram::
                                             exponential_bounds(0.1, 2.0, 16),
-                                        .retain_samples = false});
+                                        .retain_samples = true});
 }
 
 void MeasuredTransport::record_frame(MessageType type,
                                      std::size_t payload_bytes,
                                      std::size_t wire_bytes) {
+  flight_note(obs::FlightRecorder::EventKind::kFrame, "net.frame",
+              static_cast<std::uint64_t>(type), wire_bytes);
   if (wire_bytes_ != nullptr) {
     wire_bytes_->add(wire_bytes);
     frames_sent_or_recv_->add();
@@ -44,14 +63,18 @@ void MeasuredTransport::record_rpc_seconds(double seconds) {
 }
 
 void MeasuredTransport::record_retry() {
+  flight_note(obs::FlightRecorder::EventKind::kCounter, "net.retries", 1, 0);
   if (retries_ != nullptr) retries_->add();
 }
 
 void MeasuredTransport::record_timeout() {
+  flight_note(obs::FlightRecorder::EventKind::kCounter, "net.timeouts", 1, 0);
   if (timeouts_ != nullptr) timeouts_->add();
 }
 
 void MeasuredTransport::record_shed() {
+  flight_note(obs::FlightRecorder::EventKind::kCounter, "net.nodes_shed", 1,
+              0);
   if (sheds_ != nullptr) sheds_->add();
   util::LockGuard lock(mutex_);
   totals_.uploads_dropped += 1;

@@ -108,13 +108,13 @@ Frame MessageConn::recv(double timeout_s) {
   std::uint8_t header_bytes[kHeaderBytes];
   read_exact(header_bytes, kHeaderBytes, deadline, /*at_boundary=*/true);
   const FrameHeader header = decode_frame_header(header_bytes);
-  std::vector<std::uint8_t> payload(header.payload_size);
-  read_exact(payload.data(), payload.size(), deadline, /*at_boundary=*/false);
-  verify_payload(header, payload);
-  Frame frame{header.type, header.codec, std::move(payload)};
+  std::vector<std::uint8_t> raw(header.payload_size);
+  read_exact(raw.data(), raw.size(), deadline, /*at_boundary=*/false);
+  const std::size_t wire_bytes = kHeaderBytes + raw.size();
+  Frame frame = assemble_frame(header, std::move(raw));
   if (measured_ != nullptr)
     measured_->record_frame(frame.type, accounting_payload_bytes(frame),
-                            kHeaderBytes + frame.payload.size());
+                            wire_bytes);
   return frame;
 }
 

@@ -1,10 +1,13 @@
 #include "net/node_client.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "nn/params.h"
+#include "obs/flight_recorder.h"
 #include "util/error.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -69,8 +72,13 @@ NodeClient::Totals NodeClient::run(fed::EdgeNode& node,
     const bool budget_left =
         config_.max_rounds == 0 || base_round < config_.max_rounds;
     try {
+      // Each rpc span JOINS the round trace whose model this node trains
+      // against — the broadcast that delivered it carried the platform's
+      // round context in its frame envelope (empty before the first stamped
+      // broadcast, in which case this is a plain local span).
       obs::TraceSpan rpc;
-      if (tel_ != nullptr) rpc = tel_->tracer.span("net.rpc");
+      if (tel_ != nullptr) rpc = tel_->tracer.span_remote("net.rpc",
+                                                          upstream_ctx_);
       const double rpc_start = now_s();
       if (budget_left) {
         for (std::size_t i = 0; i < config_.local_steps; ++i) {
@@ -78,15 +86,17 @@ NodeClient::Totals NodeClient::run(fed::EdgeNode& node,
           step(node, t);
         }
         totals.iterations = t;
-        conn_->send(encode_update({node.id, base_round, t, node.params, 0},
-                                  config_.codec, config_.topk_fraction),
-                    config_.io_timeout_s);
+        Frame update = encode_update({node.id, base_round, t, node.params, 0},
+                                     config_.codec, config_.topk_fraction);
+        update.set_context(rpc.context());
+        conn_->send(update, config_.io_timeout_s);
       }
       // Await the next broadcast; drain whatever is queued and keep only
       // the freshest model (a slow node may find several rounds waiting).
       Frame frame = conn_->recv(config_.io_timeout_s);
       bool adopted = false;
       ModelBody latest;
+      obs::TraceContext latest_ctx;
       while (true) {
         if (frame.type == MessageType::kShutdown) {
           totals.final_round = decode_shutdown(frame).rounds_completed;
@@ -96,6 +106,7 @@ NodeClient::Totals NodeClient::run(fed::EdgeNode& node,
         if (frame.type == MessageType::kModel ||
             frame.type == MessageType::kWelcome) {
           latest = decode_model(frame);
+          latest_ctx = frame.context();
           adopted = true;
         }
         if (!conn_->readable(0.0)) break;
@@ -104,6 +115,7 @@ NodeClient::Totals NodeClient::run(fed::EdgeNode& node,
       if (adopted) {
         node.params = nn::clone_leaves(latest.params);
         base_round = latest.round;
+        upstream_ctx_ = latest_ctx;
         totals.rounds_adopted += 1;
         measured_.record_rpc_seconds(now_s() - rpc_start);
       }
@@ -130,13 +142,32 @@ NodeClient::Totals NodeClient::run(fed::EdgeNode& node,
       // Torn frame, checksum mismatch, bad magic: the stream is unusable
       // but the platform may be healthy (it might simply have shed us).
       // Rejoin through the same backoff path; only a streak of consecutive
-      // protocol errors with no clean exchange in between is fatal.
+      // protocol errors with no clean exchange in between is fatal. Either
+      // way the recent-event ring is the post-mortem — dump it now.
+      auto& recorder = obs::FlightRecorder::instance();
+      if (recorder.enabled()) recorder.dump("protocol_violation");
       if (++protocol_errors >= kMaxProtocolErrorStreak) throw;
       FEDML_LOG(kWarning) << "net: node " << node.id << " protocol error ("
                           << e.what() << "); rejoining";
       if (conn_) conn_->shutdown();
       totals.reconnects += 1;
       base_round = join(node, backoff);
+    }
+  }
+  // Final telemetry push, after Shutdown but before hanging up: the
+  // platform's collector lingers on this connection exactly long enough
+  // for the frame to land (see PlatformServer::Config::collector).
+  if (conn_ && config_.push_telemetry && tel_ != nullptr) {
+    try {
+      obs::ProcessTelemetry snap;
+      snap.pid = static_cast<std::uint64_t>(::getpid());
+      snap.role = config_.telemetry_role;
+      snap.spans = tel_->tracer.snapshot();
+      snap.metrics = tel_->metrics.snapshot();
+      conn_->send(encode_telemetry({std::move(snap)}), config_.io_timeout_s);
+    } catch (const util::Error& e) {
+      FEDML_LOG(kWarning) << "net: node " << node.id
+                          << " telemetry push failed: " << e.what();
     }
   }
   if (conn_) conn_->shutdown();

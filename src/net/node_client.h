@@ -51,6 +51,12 @@ class NodeClient {
     Backoff::Config backoff;
     std::uint64_t backoff_seed = 0x6a17;  ///< jitter stream seed
     obs::Telemetry* telemetry = nullptr;  ///< null = off; must outlive run()
+    /// Uplink this process's telemetry (full span list + metrics snapshot)
+    /// as one kTelemetry frame after Shutdown arrives, right before
+    /// disconnecting. Needs `telemetry`; the platform absorbs it only when
+    /// it runs with an obs::FleetCollector, and ignores it otherwise.
+    bool push_telemetry = false;
+    std::string telemetry_role = "node";  ///< ProcessTelemetry origin label
   };
 
   struct Totals {
@@ -82,6 +88,9 @@ class NodeClient {
   MeasuredTransport measured_;
   obs::Telemetry* tel_ = nullptr;
   std::unique_ptr<MessageConn> conn_;
+  /// Trace context of the freshest adopted broadcast: each rpc span joins
+  /// the round trace that PRODUCED the model it is training against.
+  obs::TraceContext upstream_ctx_;
 };
 
 }  // namespace fedml::net

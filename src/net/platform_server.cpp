@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "util/error.h"
 #include "util/log.h"
 #include "util/serialize.h"
@@ -177,6 +178,10 @@ void PlatformServer::on_peer_close(AsyncConn* key, bool /*clean*/,
     measured_.record_shed();
     FEDML_LOG(kWarning) << "net: shed node " << node_id << " (" << reason
                         << ")";
+    // A shed mid-run is exactly the moment the recent-event ring is worth
+    // keeping: dump it before the evidence scrolls away.
+    auto& recorder = obs::FlightRecorder::instance();
+    if (recorder.enabled()) recorder.dump("peer_shed");
   }
   cv_.notify_all();
 }
@@ -229,7 +234,23 @@ void PlatformServer::handle_hello(AsyncConn* key, const Frame& frame) {
 
 void PlatformServer::on_peer_frame(AsyncConn* key, Frame&& frame) {
   auto it = conns_.find(key);
-  if (it == conns_.end() || loop_stopping_) return;
+  if (it == conns_.end()) return;
+  if (frame.type == MessageType::kTelemetry) {
+    // Telemetry pushes are accepted even mid-teardown — the linger window
+    // (see Config::collector) exists exactly so a node's final snapshot
+    // still lands after its Shutdown — and are never charged to the comm
+    // ledger (accounting_payload_bytes is 0 for kTelemetry).
+    if (config_.collector != nullptr) {
+      try {
+        TelemetryBody body = decode_telemetry(frame);
+        config_.collector->absorb(std::move(body.telemetry));
+      } catch (const util::Error& e) {
+        FEDML_LOG(kWarning) << "net: bad telemetry dropped: " << e.what();
+      }
+    }
+    return;
+  }
+  if (loop_stopping_) return;
   if (!it->second.joined) {
     handle_hello(key, frame);
     return;
@@ -290,8 +311,13 @@ void PlatformServer::begin_teardown() {
       continue;
     }
     it->second.io->send_wire(wire, MessageType::kShutdown, 0);
-    auto again = conns_.find(key);
-    if (again != conns_.end()) again->second.io->close_when_drained();
+    if (config_.collector == nullptr) {
+      auto again = conns_.find(key);
+      if (again != conns_.end()) again->second.io->close_when_drained();
+    }
+    // Collector mode LINGERS instead: the conn stays readable so the
+    // peer's final kTelemetry push (sent after it sees this Shutdown)
+    // lands; the peer's own hangup — or the drain window — retires it.
   }
   teardown_ticks_left_ = std::max<std::size_t>(
       1, static_cast<std::size_t>(
@@ -307,8 +333,9 @@ void PlatformServer::teardown_sweep() {
   for (AsyncConn* key : keys) {
     auto it = conns_.find(key);
     if (it == conns_.end()) continue;
-    if (out_of_time || !it->second.io->open() || it->second.io->drained())
-      retire(key);
+    const bool drained_done =
+        config_.collector == nullptr && it->second.io->drained();
+    if (out_of_time || !it->second.io->open() || drained_done) retire(key);
   }
   if (conns_.empty()) {
     reactor_.stop();
@@ -394,12 +421,15 @@ void PlatformServer::merge(DiscountedBatch batch) {
   round_ += 1;
 }
 
-void PlatformServer::broadcast_model() {
+void PlatformServer::broadcast_model(const obs::TraceContext& ctx) {
   Frame frame;
   {
     util::LockGuard lock(mutex_);
     frame = encode_model(MessageType::kModel, {round_, global_});
   }
+  // Invalid ctx (telemetry off) leaves the frame envelope-free — the wire
+  // bytes then match protocol v1 exactly.
+  frame.set_context(ctx);
   auto wire = encode_wire(frame);
   const std::size_t accounting = accounting_payload_bytes(frame);
   // One encode, every peer shares the buffer; a peer whose send fails is
@@ -477,14 +507,19 @@ PlatformServer::Totals PlatformServer::run(const AggregateHook& hook) {
         round = round_;
       }
 
+      // A fresh trace id per round: every frame this round stamps (the
+      // model broadcast, a leaf's shard uplink) carries it, so the whole
+      // fleet's work for round R threads into ONE fed.round trace.
       obs::TraceSpan round_span;
       if (tel_ != nullptr) {
-        round_span = tel_->tracer.span("net.round");
+        round_span = tel_->tracer.span_root("fed.round");
+        round_span.arg("round", static_cast<double>(round));
         round_span.arg("merged", static_cast<double>(batch.size()));
         round_span.arg("by_quorum", by_quorum ? 1.0 : 0.0);
       }
       DiscountedBatch discounted =
           discount_batch(std::move(batch), round, config_.staleness_exponent);
+      round_span.arg("stale", static_cast<double>(discounted.stale));
       {
         util::LockGuard lock(mutex_);
         totals_.stale_updates += discounted.stale;
@@ -496,7 +531,10 @@ PlatformServer::Totals PlatformServer::run(const AggregateHook& hook) {
       }
       if (config_.delegate) {
         // Hierarchy leaf: the round result comes from the root aggregator.
-        ModelBody next = config_.delegate(round, std::move(discounted));
+        // The delegate adopts the root's trace context onto round_span, so
+        // the context broadcast below belongs to the ROOT's round trace.
+        ModelBody next =
+            config_.delegate(round, std::move(discounted), round_span);
         util::LockGuard lock(mutex_);
         FEDML_CHECK(next.round > round_,
                     "round delegate must advance the round");
@@ -506,7 +544,7 @@ PlatformServer::Totals PlatformServer::run(const AggregateHook& hook) {
         merge(std::move(discounted));
       }
       measured_.record_aggregation();
-      broadcast_model();
+      broadcast_model(round_span.context());
       std::uint64_t new_round = 0;
       {
         util::LockGuard lock(mutex_);

@@ -12,7 +12,9 @@
 #include "net/reactor.h"
 #include "net/socket.h"
 #include "nn/params.h"
+#include "obs/fleet.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/annotations.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
@@ -77,9 +79,12 @@ class PlatformServer {
   /// Leaf-mode hook: called on the driver thread INSTEAD of the internal
   /// merge, with the discounted batch; returns the model (and round) to
   /// broadcast to the fleet. `net::LeafPlatform` uses it to uplink the
-  /// shard sum to the root and relay the root's model down.
-  using RoundDelegate =
-      std::function<ModelBody(std::uint64_t round, DiscountedBatch batch)>;
+  /// shard sum to the root and relay the root's model down. `round_span`
+  /// is this round's (possibly inactive) trace span: the leaf adopts the
+  /// root's remote trace context onto it when the root's model arrives, so
+  /// one fed.round trace threads root → leaves → nodes.
+  using RoundDelegate = std::function<ModelBody(
+      std::uint64_t round, DiscountedBatch batch, obs::TraceSpan& round_span)>;
 
   struct Config {
     std::uint16_t port = 0;        ///< 0 → ephemeral (see `port()`)
@@ -110,6 +115,13 @@ class PlatformServer {
     /// Leaf mode: replace the internal merge (see RoundDelegate).
     RoundDelegate delegate;
     obs::Telemetry* telemetry = nullptr;  ///< null = off; must outlive run()
+    /// Fleet telemetry sink (null = uplink off). When set, kTelemetry
+    /// frames from peers are decoded and absorbed per-origin, and teardown
+    /// LINGERS: the farewell Shutdown is sent but connections stay readable
+    /// until the peer hangs up or the drain window expires, so each node's
+    /// final telemetry push (sent after it sees the last broadcast) still
+    /// lands. Must outlive run().
+    obs::FleetCollector* collector = nullptr;
   };
 
   /// Counters of one serve run; `comm` follows the simulator's ledger (see
@@ -183,7 +195,10 @@ class PlatformServer {
 
   // Driver-thread round pipeline.
   void merge(DiscountedBatch batch);
-  void broadcast_model();
+  /// Broadcast the current global model, stamping every kModel frame with
+  /// `ctx` (the round span's trace context) so downstream peers can join
+  /// the round's trace.
+  void broadcast_model(const obs::TraceContext& ctx);
   [[nodiscard]] std::size_t effective_quorum_locked() const
       FEDML_REQUIRES(mutex_);
 

@@ -90,6 +90,10 @@ void write_chrome_trace(std::ostream& os,
        << ",\"dur\":" << json_number((s.end_s - s.start_s) * 1e6)
        << ",\"args\":{\"id\":" << s.id;
     if (s.parent != 0) os << ",\"parent\":" << s.parent;
+    // Fleet fields only appear in distributed traces, so the sim/golden
+    // byte streams are untouched.
+    if (s.trace_id != 0) os << ",\"trace\":" << s.trace_id;
+    if (s.remote_parent != 0) os << ",\"remote_parent\":" << s.remote_parent;
     if (!s.args.empty()) {
       os << ',';
       write_args(os, s.args);
@@ -112,7 +116,10 @@ void write_jsonl(std::ostream& os, const std::vector<SpanRecord>& spans,
     os << "{\"type\":\"span\",\"id\":" << s.id << ",\"parent\":" << s.parent
        << ",\"name\":\"" << json_escape(s.name) << "\",\"track\":" << s.track
        << ",\"start_s\":" << json_number(s.start_s)
-       << ",\"end_s\":" << json_number(s.end_s) << ",\"args\":{";
+       << ",\"end_s\":" << json_number(s.end_s);
+    if (s.trace_id != 0) os << ",\"trace\":" << s.trace_id;
+    if (s.remote_parent != 0) os << ",\"remote_parent\":" << s.remote_parent;
+    os << ",\"args\":{";
     write_args(os, s.args);
     os << "}}\n";
   }

@@ -1,0 +1,195 @@
+#include "obs/fleet.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/export.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace fedml::obs {
+
+namespace {
+
+using detail::json_escape;
+using detail::json_number;
+
+const Histogram::Snapshot* find_histogram(const ProcessTelemetry& tel,
+                                          const std::string& name) {
+  for (const auto& [n, h] : tel.metrics.histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t find_counter(const ProcessTelemetry& tel,
+                           const std::string& name) {
+  for (const auto& [n, v] : tel.metrics.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double find_arg(const SpanRecord& span, const char* key, double fallback) {
+  for (const auto& [k, v] : span.args) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+void FleetCollector::absorb(ProcessTelemetry telemetry) {
+  util::LockGuard lock(mutex_);
+  by_pid_[telemetry.pid] = std::move(telemetry);
+}
+
+std::vector<ProcessTelemetry> FleetCollector::snapshot() const {
+  util::LockGuard lock(mutex_);
+  std::vector<ProcessTelemetry> out;
+  out.reserve(by_pid_.size());
+  for (const auto& [pid, tel] : by_pid_) out.push_back(tel);
+  return out;
+}
+
+std::size_t FleetCollector::origin_count() const {
+  util::LockGuard lock(mutex_);
+  return by_pid_.size();
+}
+
+Histogram::Snapshot merged_fleet_histogram(
+    const std::vector<ProcessTelemetry>& fleet, const std::string& name) {
+  const Histogram::Snapshot* first = nullptr;
+  for (const auto& tel : fleet) {
+    if ((first = find_histogram(tel, name)) != nullptr) break;
+  }
+  if (first == nullptr) return Histogram::Snapshot{};
+  Histogram::Config config;
+  config.bounds = first->bounds;
+  config.retain_samples = true;
+  Histogram merged(config);
+  for (const auto& tel : fleet) {
+    if (const auto* h = find_histogram(tel, name)) merged.merge(*h);
+  }
+  return merged.snapshot();
+}
+
+std::uint64_t summed_fleet_counter(const std::vector<ProcessTelemetry>& fleet,
+                                   const std::string& name) {
+  std::uint64_t total = 0;
+  for (const auto& tel : fleet) total += find_counter(tel, name);
+  return total;
+}
+
+void write_fleet_chrome_trace(std::ostream& os,
+                              const std::vector<ProcessTelemetry>& fleet) {
+  // Span-id -> owning process, for resolving remote parents. Ids are
+  // 64-bit seeded draws in distributed runs, so collisions across origins
+  // are not a practical concern; a duplicate keeps the first owner.
+  struct Owner {
+    const ProcessTelemetry* tel;
+    const SpanRecord* span;
+  };
+  std::unordered_map<SpanId, Owner> owners;
+  for (const auto& tel : fleet) {
+    for (const auto& span : tel.spans) {
+      owners.emplace(span.id, Owner{&tel, &span});
+    }
+  }
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&os, &first]() -> std::ostream& {
+    if (!first) os << ",";
+    first = false;
+    return os << "\n";
+  };
+  for (const auto& tel : fleet) {
+    emit() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << tel.pid
+           << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(tel.role)
+           << "\"}}";
+  }
+  for (const auto& tel : fleet) {
+    for (const auto& s : tel.spans) {
+      emit() << "{\"name\":\"" << json_escape(s.name)
+             << "\",\"cat\":\"fedml\",\"ph\":\"X\",\"pid\":" << tel.pid
+             << ",\"tid\":" << s.track
+             << ",\"ts\":" << json_number(s.start_s * 1e6)
+             << ",\"dur\":" << json_number((s.end_s - s.start_s) * 1e6)
+             << ",\"args\":{\"id\":" << s.id;
+      if (s.parent != 0) os << ",\"parent\":" << s.parent;
+      if (s.trace_id != 0) os << ",\"trace\":" << s.trace_id;
+      if (s.remote_parent != 0) os << ",\"remote_parent\":" << s.remote_parent;
+      if (!s.args.empty()) {
+        for (const auto& [key, value] : s.args) {
+          os << ",\"" << json_escape(key) << "\":" << json_number(value);
+        }
+      }
+      os << "}}";
+    }
+  }
+  // Cross-process flow arrows: producer span end -> consumer span start.
+  // Flow id = the consumer span's id (unique), so every id appears exactly
+  // once as "s" and once as "f".
+  for (const auto& tel : fleet) {
+    for (const auto& s : tel.spans) {
+      if (s.remote_parent == 0) continue;
+      const auto it = owners.find(s.remote_parent);
+      if (it == owners.end()) continue;
+      const Owner& producer = it->second;
+      emit() << "{\"name\":\"" << json_escape(s.name)
+             << "\",\"cat\":\"fedml.flow\",\"ph\":\"s\",\"id\":" << s.id
+             << ",\"pid\":" << producer.tel->pid
+             << ",\"tid\":" << producer.span->track
+             << ",\"ts\":" << json_number(producer.span->end_s * 1e6) << "}";
+      emit() << "{\"name\":\"" << json_escape(s.name)
+             << "\",\"cat\":\"fedml.flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":"
+             << s.id << ",\"pid\":" << tel.pid << ",\"tid\":" << s.track
+             << ",\"ts\":" << json_number(s.start_s * 1e6) << "}";
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_fleet_chrome_trace_file(
+    const std::string& path, const std::vector<ProcessTelemetry>& fleet) {
+  std::ofstream out(path);
+  FEDML_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  write_fleet_chrome_trace(out, fleet);
+  FEDML_CHECK(out.good(), "failed writing fleet trace to '" + path + "'");
+}
+
+void write_fleet_csv_file(const std::string& path,
+                          const std::vector<ProcessTelemetry>& fleet) {
+  util::Table t({"role", "pid", "trace", "round", "start_s", "duration_s",
+                 "wire_bytes", "bytes_up", "bytes_down", "nodes_shed",
+                 "rpc_p50_ms", "rpc_p95_ms"});
+  for (const auto& tel : fleet) {
+    const auto* rpc = find_histogram(tel, "net.rpc_ms");
+    const double p50 = rpc == nullptr ? 0.0 : rpc->p50;
+    const double p95 = rpc == nullptr ? 0.0 : rpc->p95;
+    const auto wire = static_cast<std::int64_t>(
+        find_counter(tel, "net.wire_bytes"));
+    const auto up = static_cast<std::int64_t>(
+        find_counter(tel, "net.bytes_up"));
+    const auto down = static_cast<std::int64_t>(
+        find_counter(tel, "net.bytes_down"));
+    const auto shed = static_cast<std::int64_t>(
+        find_counter(tel, "net.nodes_shed"));
+    for (const auto& s : tel.spans) {
+      if (s.name != "fed.round") continue;
+      // trace_id as a string: full 64 bits don't fit the table's int64.
+      t.add_row({tel.role, static_cast<std::int64_t>(tel.pid),
+                 std::to_string(s.trace_id),
+                 static_cast<std::int64_t>(find_arg(s, "round", -1.0)),
+                 s.start_s, s.end_s - s.start_s, wire, up, down, shed, p50,
+                 p95});
+    }
+  }
+  t.write_csv_file(path);
+}
+
+}  // namespace fedml::obs

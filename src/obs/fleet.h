@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/annotations.h"
+#include "util/lock_ranks.h"
+#include "util/mutex.h"
+
+namespace fedml::obs {
+
+/// One process's telemetry as shipped over the uplink: identity plus the
+/// full span list and metrics snapshot. Lives in obs/ (below net/ in the
+/// layer DAG) so the wire layer can serialize it without obs depending on
+/// frames.
+struct ProcessTelemetry {
+  std::uint64_t pid = 0;
+  /// Human-readable origin ("root", "leaf0", "node3", ...); becomes the
+  /// process_name track label in the merged trace.
+  std::string role;
+  std::vector<SpanRecord> spans;
+  MetricsSnapshot metrics;
+};
+
+/// Thread-safe per-origin telemetry sink. The root aggregator (and each
+/// leaf, for its own fleet) absorbs `kTelemetry` frames into one of these
+/// on the reactor thread; `snapshot()` hands the merged fleet view to the
+/// exporters after the run. Absorbing the same pid twice replaces the
+/// older snapshot — uplinks are cumulative, not incremental.
+class FleetCollector {
+ public:
+  void absorb(ProcessTelemetry telemetry);
+
+  /// All origins, ordered by pid (deterministic export order).
+  [[nodiscard]] std::vector<ProcessTelemetry> snapshot() const;
+
+  [[nodiscard]] std::size_t origin_count() const;
+
+ private:
+  mutable util::Mutex mutex_{util::lock_rank::kObsFleet,
+                             "obs::FleetCollector::mutex_"};
+  std::map<std::uint64_t, ProcessTelemetry> by_pid_ FEDML_GUARDED_BY(mutex_);
+};
+
+/// Merge every origin's snapshot of the named histogram into one fleet
+/// histogram (bounds must agree across origins — `Histogram::merge`
+/// throws otherwise). Returns a zero histogram when no origin has it.
+Histogram::Snapshot merged_fleet_histogram(
+    const std::vector<ProcessTelemetry>& fleet, const std::string& name);
+
+/// Sum of the named counter across origins (0 when absent everywhere).
+std::uint64_t summed_fleet_counter(const std::vector<ProcessTelemetry>& fleet,
+                                   const std::string& name);
+
+/// Merged Chrome-trace JSON for the whole fleet: per-process pid/tid tracks
+/// (with process_name metadata from `role`), every span as an X event, and
+/// a cross-process flow arrow ("s" at the producer span's end, "f" at the
+/// consumer span's start, cat "fedml.flow") for every span whose
+/// remote_parent resolves to a span in another origin. Flow ids are the
+/// consumer span's id, so each id appears exactly once as "s" and once as
+/// "f". Timestamps are per-process wall clocks (epoch = that process's
+/// tracer construction), so tracks are NOT time-aligned across pids — the
+/// flow arrows, not the x axis, carry the cross-process ordering.
+void write_fleet_chrome_trace(std::ostream& os,
+                              const std::vector<ProcessTelemetry>& fleet);
+void write_fleet_chrome_trace_file(const std::string& path,
+                                   const std::vector<ProcessTelemetry>& fleet);
+
+/// Per-round fleet CSV: one row per `fed.round` span per origin (round
+/// number and duration from the span), joined with that origin's run-total
+/// wire accounting and straggler percentiles (net.rpc_ms p50/p95) and shed
+/// count. Written via util::Table so it matches the repo's CSV dialect.
+void write_fleet_csv_file(const std::string& path,
+                          const std::vector<ProcessTelemetry>& fleet);
+
+}  // namespace fedml::obs

@@ -1,0 +1,194 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace fedml::obs {
+
+namespace {
+
+/// write(2) a NUL-terminated buffer, retrying on EINTR / short writes.
+/// Async-signal-safe.
+void write_all(int fd, const char* buf, std::size_t len) noexcept {
+  std::size_t done = 0;
+  while (done < len) {
+    const ::ssize_t n = ::write(fd, buf + done, len - done);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // best-effort: a failing dump must not crash the crasher
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// Append `v` in decimal to `out` (capacity-checked by the caller's sizing).
+char* format_u64(char* out, std::uint64_t v) noexcept {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) *out++ = tmp[--n];
+  return out;
+}
+
+char* append_str(char* out, const char* s) noexcept {
+  while (*s != '\0') *out++ = *s++;
+  return out;
+}
+
+/// Append `s`, keeping only JSON-inert printable ASCII (everything else
+/// becomes '_') so no escaping pass is needed in the signal path.
+char* append_sanitized(char* out, const char* s) noexcept {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    const bool inert = c >= 0x20 && c < 0x7f && c != '"' && c != '\\';
+    *out++ = inert ? c : '_';
+  }
+  return out;
+}
+
+void signal_dump_handler(int signo) {
+  // Reason strings must be literals: pick per-signal without formatting.
+  const char* reason = "signal";
+  switch (signo) {
+    case SIGSEGV: reason = "SIGSEGV"; break;
+    case SIGABRT: reason = "SIGABRT"; break;
+    case SIGBUS: reason = "SIGBUS"; break;
+    case SIGFPE: reason = "SIGFPE"; break;
+    case SIGILL: reason = "SIGILL"; break;
+    case SIGTERM: reason = "SIGTERM"; break;
+    default: break;
+  }
+  FlightRecorder::instance().dump(reason);
+  if (signo == SIGTERM) ::_exit(128 + SIGTERM);
+  // Fatal signals: restore the default disposition and re-raise so the
+  // process still dies with the original signal (core dumps intact).
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::enable(const std::string& dump_path) {
+  const std::size_t n = dump_path.size() < sizeof(path_) - 1
+                            ? dump_path.size()
+                            : sizeof(path_) - 1;
+  std::memcpy(path_, dump_path.data(), n);
+  path_[n] = '\0';
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::note(EventKind kind, const char* name, std::uint64_t a,
+                          std::uint64_t b) {
+  if (!enabled()) return;
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (kSlots - 1)];
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.kind.store(static_cast<std::uint64_t>(kind), std::memory_order_relaxed);
+  // First 23 bytes of the name, NUL-padded, packed little-endian into the
+  // three atomic words.
+  const std::size_t len = ::strnlen(name, kNameWords * 8 - 1);
+  for (std::size_t w = 0; w < kNameWords; ++w) {
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::size_t at = w * 8 + i;
+      const char c = at < len ? name[at] : '\0';
+      word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+              << (8 * i);
+    }
+    slot.name[w].store(word, std::memory_order_relaxed);
+  }
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+void FlightRecorder::dump(const char* reason) noexcept {
+  if (!enabled()) return;
+  const int fd = ::open(path_, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t lo = head > kSlots ? head - kSlots : 0;
+
+  // Worst-case line: fixed text + 23-byte name + four 20-digit integers.
+  char line[256];
+  std::uint64_t dropped = lo;  // overwritten-before-dump events
+  std::uint64_t emitted = 0;
+
+  // First pass: count torn slots so the header's `dropped` is complete.
+  for (std::uint64_t t = lo; t < head; ++t) {
+    const Slot& slot = slots_[t & (kSlots - 1)];
+    if (slot.seq.load(std::memory_order_acquire) != 2 * t + 2) ++dropped;
+  }
+
+  char* p = line;
+  p = append_str(p, "{\"type\":\"flight_header\",\"pid\":");
+  p = format_u64(p, static_cast<std::uint64_t>(::getpid()));
+  p = append_str(p, ",\"reason\":\"");
+  p = append_sanitized(p, reason);
+  p = append_str(p, "\",\"dropped\":");
+  p = format_u64(p, dropped);
+  p = append_str(p, "}\n");
+  write_all(fd, line, static_cast<std::size_t>(p - line));
+
+  for (std::uint64_t t = lo; t < head; ++t) {
+    Slot& slot = slots_[t & (kSlots - 1)];
+    if (slot.seq.load(std::memory_order_acquire) != 2 * t + 2) continue;
+    const std::uint64_t kind = slot.kind.load(std::memory_order_relaxed);
+    char name[kNameWords * 8 + 1];
+    for (std::size_t w = 0; w < kNameWords; ++w) {
+      const std::uint64_t word = slot.name[w].load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < 8; ++i) {
+        name[w * 8 + i] = static_cast<char>((word >> (8 * i)) & 0xff);
+      }
+    }
+    name[kNameWords * 8] = '\0';
+    const std::uint64_t a = slot.a.load(std::memory_order_relaxed);
+    const std::uint64_t b = slot.b.load(std::memory_order_relaxed);
+    if (slot.seq.load(std::memory_order_acquire) != 2 * t + 2) continue;
+
+    p = line;
+    p = append_str(p, "{\"type\":\"flight\",\"seq\":");
+    p = format_u64(p, t);
+    p = append_str(p, ",\"kind\":");
+    p = format_u64(p, kind);
+    p = append_str(p, ",\"name\":\"");
+    p = append_sanitized(p, name);
+    p = append_str(p, "\",\"a\":");
+    p = format_u64(p, a);
+    p = append_str(p, ",\"b\":");
+    p = format_u64(p, b);
+    p = append_str(p, "}\n");
+    write_all(fd, line, static_cast<std::size_t>(p - line));
+    ++emitted;
+  }
+  static_cast<void>(emitted);
+  ::close(fd);  // lint: allow(raw-socket) async-signal-safe dump owns its fd
+}
+
+void FlightRecorder::install_signal_dump() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &signal_dump_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+  ::sigaction(SIGFPE, &sa, nullptr);
+  ::sigaction(SIGILL, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace fedml::obs

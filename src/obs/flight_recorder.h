@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fedml::obs {
+
+/// Process-wide crash/fault flight recorder: a fixed-size lock-free ring of
+/// the most recent span / counter / frame events, dumped as JSONL when
+/// something goes wrong (crash signal, SIGTERM, protocol violation, peer
+/// shed) so post-mortems have the last ~1k events leading up to the fault.
+///
+/// Disabled by default; `enable(path)` arms it (distributed example
+/// processes arm it at startup). When disabled, `note()` is one relaxed
+/// load and a branch — cheap enough to leave compiled into the tracer and
+/// transport hot paths.
+///
+/// Concurrency: writers claim a slot with one fetch_add on a global ticket
+/// counter and publish through a per-slot seqlock; every slot field is a
+/// relaxed/release atomic, so concurrent writers and a dumping reader are
+/// data-race-free (TSan-clean). A reader that observes a torn slot (writer
+/// mid-flight or lapped) counts it as dropped instead of emitting garbage.
+///
+/// `dump()` is async-signal-safe once enabled: it uses only open(2),
+/// write(2), close(2) and manual integer formatting — no allocation, no
+/// locks, no stdio — so the crash-signal handlers installed by
+/// `install_signal_dump()` may call it directly.
+class FlightRecorder {
+ public:
+  /// Event taxonomy; exported as the integer `kind` field.
+  enum class EventKind : std::uint64_t {
+    kSpan = 1,     ///< a = span id, b = duration in microseconds
+    kFrame = 2,    ///< a = frame type, b = wire bytes
+    kCounter = 3,  ///< a = counter value after the bump, b = 0
+    kMark = 4,     ///< freeform milestone; a, b caller-defined
+  };
+
+  static FlightRecorder& instance();
+
+  /// Arm the recorder and set the JSONL dump path. Not signal-safe; call
+  /// once at process startup before installing signal handlers.
+  void enable(const std::string& dump_path);
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Append one event (lock-free, wait-free per writer). `name` is
+  /// truncated to 23 bytes. No-op while disabled.
+  void note(EventKind kind, const char* name, std::uint64_t a,
+            std::uint64_t b);
+
+  /// Append the ring's surviving events to the dump path as JSONL: one
+  /// `{"type":"flight_header","pid":…,"reason":"…","dropped":…}` line, then
+  /// `{"type":"flight","seq":…,"kind":…,"name":"…","a":…,"b":…}` lines in
+  /// ticket order. Async-signal-safe; silently returns when disabled.
+  /// `reason` must be a NUL-terminated literal (not inspected beyond that).
+  void dump(const char* reason) noexcept;
+
+  /// Install dump-then-default handlers for the fatal signals (SIGSEGV,
+  /// SIGABRT, SIGBUS, SIGFPE, SIGILL) and a dump-then-exit handler for
+  /// SIGTERM. Call after `enable()`.
+  static void install_signal_dump();
+
+  /// Events accepted since enable (monotone ticket counter).
+  [[nodiscard]] std::uint64_t accepted() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kSlots = 1024;  ///< power of two
+  static constexpr std::size_t kNameWords = 3; ///< 24 bytes, NUL-padded
+
+ private:
+  FlightRecorder() = default;
+
+  struct Slot {
+    /// Seqlock: 2*ticket+1 while the writer is mid-flight, 2*ticket+2 once
+    /// published; a reader re-checks after copying the payload.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> kind{0};
+    std::atomic<std::uint64_t> name[kNameWords] = {};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> head_{0};
+  Slot slots_[kSlots];
+  /// Dump path, fixed at enable() time so dump() never allocates.
+  char path_[256] = {};
+};
+
+}  // namespace fedml::obs

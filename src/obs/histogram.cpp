@@ -43,7 +43,10 @@ std::vector<double> Histogram::exponential_bounds(double first, double factor,
 
 Histogram::Histogram(Config config)
     : bounds_(std::move(config.bounds)),
-      retain_samples_(config.retain_samples) {
+      retain_samples_(config.retain_samples),
+      max_retained_(config.max_retained) {
+  FEDML_CHECK(!retain_samples_ || max_retained_ > 0,
+              "retain_samples needs a positive max_retained cap");
   if (bounds_.empty()) {
     // Default coverage: 1 µs .. ~5.5e8 in whatever unit the caller records
     // (spans three timing regimes: µs-scale ops, ms latencies, long runs).
@@ -67,7 +70,19 @@ void Histogram::record(double value) {
   }
   count_ += 1;
   sum_ += value;
-  if (retain_samples_) samples_.push_back(value);
+  if (retain_samples_) {
+    // Algorithm R: exact up to the cap, then a uniform reservoir over all
+    // `seen_` offered samples. The fixed-seed Rng keeps the kept set a pure
+    // function of the record sequence.
+    seen_ += 1;
+    if (samples_.size() < max_retained_) {
+      samples_.push_back(value);
+    } else {
+      const auto j = static_cast<std::uint64_t>(reservoir_rng_.uniform_int(
+          0, static_cast<std::int64_t>(seen_) - 1));
+      if (j < max_retained_) samples_[static_cast<std::size_t>(j)] = value;
+    }
+  }
 }
 
 double Histogram::mean() const {
@@ -113,7 +128,33 @@ Histogram::Snapshot Histogram::snapshot() const {
   s.p99 = percentile(0.99);
   s.bounds = bounds_;
   s.counts = counts_;
+  s.samples = samples_;
   return s;
+}
+
+void Histogram::merge(const Snapshot& other) {
+  FEDML_CHECK(other.bounds == bounds_,
+              "histogram merge requires identical bucket bounds");
+  FEDML_CHECK(other.counts.size() == counts_.size(),
+              "histogram merge requires identical bucket count");
+  if (other.count == 0) return;
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts[b];
+  if (count_ == 0) {
+    min_ = other.min;
+    max_ = other.max;
+  } else {
+    min_ = std::min(min_, other.min);
+    max_ = std::max(max_, other.max);
+  }
+  count_ += other.count;
+  sum_ += other.sum;
+  if (retain_samples_) {
+    // Append, don't reservoir: each origin capped its own set, so the
+    // merged set is bounded by origins × cap and exact percentiles over
+    // everything that arrived are worth the memory.
+    samples_.insert(samples_.end(), other.samples.begin(), other.samples.end());
+    seen_ += other.count;
+  }
 }
 
 }  // namespace fedml::obs

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/rng.h"
+
 namespace fedml::obs {
 
 /// q-th quantile (q in [0,1], nearest-rank) of `samples`; 0 when empty.
@@ -36,6 +38,12 @@ class Histogram {
     /// Keep raw samples for exact percentiles (O(n) memory — bounded use
     /// only, e.g. per-run serving latencies).
     bool retain_samples = false;
+    /// Hard cap on retained samples. Up to the cap every sample is kept and
+    /// percentiles are exact; past it the retained set degrades to a
+    /// uniform reservoir (Algorithm R on a fixed-seed util::Rng, so the
+    /// kept set is a pure function of the record sequence) and percentiles
+    /// become unbiased estimates. Keeps week-long fleet runs O(cap).
+    std::size_t max_retained = 4096;
   };
 
   /// `count` bounds at first, first*factor, first*factor^2, ...
@@ -55,6 +63,10 @@ class Histogram {
     double p99 = 0.0;
     std::vector<double> bounds;
     std::vector<std::uint64_t> counts;
+    /// Retained samples (empty unless the source retains them). Rides the
+    /// telemetry uplink so the fleet registry can report exact percentiles
+    /// over per-origin-capped sample sets.
+    std::vector<double> samples;
   };
 
   Histogram() : Histogram(Config{}) {}
@@ -74,11 +86,22 @@ class Histogram {
 
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Fold another histogram's snapshot into this one (the root's fleet
+  /// registry merging per-origin telemetry). Bucket layouts must match
+  /// exactly — merging histograms with different bounds throws, because
+  /// adding counts bucket-by-bucket would silently misbin. Retained samples
+  /// are appended verbatim: each origin already capped its own set, so a
+  /// fleet merge holds at most origins × cap samples.
+  void merge(const Snapshot& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (overflow last)
   bool retain_samples_ = false;
+  std::size_t max_retained_ = 0;
   std::vector<double> samples_;
+  std::uint64_t seen_ = 0;  ///< reservoir denominator: samples offered so far
+  util::Rng reservoir_rng_{0x0b5'beef};
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;

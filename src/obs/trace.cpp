@@ -2,26 +2,34 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "util/error.h"
 
 namespace fedml::obs {
 
 namespace {
 
-/// Per-thread stack of open RAII spans (tracer, id) — the implicit-parent
-/// chain. thread_local so nesting needs no lock and cannot race.
-thread_local std::vector<std::pair<const Tracer*, SpanId>> t_open_spans;
+/// Per-thread stack of open RAII spans — the implicit-parent chain.
+/// thread_local so nesting needs no lock and cannot race. Carries the open
+/// span's trace_id so implicitly nested children stay in the same trace.
+struct OpenSpan {
+  const Tracer* tracer = nullptr;
+  SpanId id = 0;
+  std::uint64_t trace_id = 0;
+};
 
-SpanId innermost_open(const Tracer* tracer) {
+thread_local std::vector<OpenSpan> t_open_spans;
+
+OpenSpan innermost_open(const Tracer* tracer) {
   for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
-    if (it->first == tracer) return it->second;
+    if (it->tracer == tracer) return *it;
   }
-  return 0;
+  return OpenSpan{};
 }
 
 void pop_open(const Tracer* tracer, SpanId id) {
   for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
-    if (it->first == tracer && it->second == id) {
+    if (it->tracer == tracer && it->id == id) {
       t_open_spans.erase(std::next(it).base());
       return;
     }
@@ -47,6 +55,12 @@ TraceSpan& TraceSpan::operator=(TraceSpan&& other) noexcept {
 
 void TraceSpan::arg(std::string key, double value) {
   if (tracer_ != nullptr) rec_.args.emplace_back(std::move(key), value);
+}
+
+void TraceSpan::adopt_remote(const TraceContext& ctx) {
+  if (tracer_ == nullptr || !ctx.valid()) return;
+  rec_.trace_id = ctx.trace_id;
+  rec_.remote_parent = ctx.span_id;
 }
 
 void TraceSpan::end() {
@@ -81,51 +95,96 @@ double Tracer::now_s() const {
   return c->now_s();
 }
 
+void Tracer::seed_ids(std::uint64_t seed) {
+  util::LockGuard lock(mutex_);
+  id_rng_ = std::make_unique<util::Rng>(seed);
+}
+
 TraceSpan Tracer::span(std::string name) {
-  return begin(std::move(name), 0, /*implicit_parent=*/true, 0.0,
-               /*has_start=*/false);
+  return begin(std::move(name), BeginOptions{});
 }
 
 TraceSpan Tracer::span(std::string name, SpanId parent) {
-  return begin(std::move(name), parent, /*implicit_parent=*/false, 0.0,
-               /*has_start=*/false);
+  BeginOptions opts;
+  opts.parent = parent;
+  opts.implicit_parent = false;
+  return begin(std::move(name), opts);
+}
+
+TraceSpan Tracer::span_root(std::string name) {
+  BeginOptions opts;
+  opts.fresh_trace = true;
+  return begin(std::move(name), opts);
+}
+
+TraceSpan Tracer::span_remote(std::string name, const TraceContext& ctx) {
+  if (!ctx.valid()) return span(std::move(name));
+  BeginOptions opts;
+  opts.implicit_parent = false;
+  opts.trace_id = ctx.trace_id;
+  opts.remote_parent = ctx.span_id;
+  return begin(std::move(name), opts);
 }
 
 TraceSpan Tracer::span_at(std::string name, double start_s) {
-  return begin(std::move(name), 0, /*implicit_parent=*/true, start_s,
-               /*has_start=*/true);
+  BeginOptions opts;
+  opts.start_s = start_s;
+  opts.has_start = true;
+  return begin(std::move(name), opts);
 }
 
 TraceSpan Tracer::span_since(std::string name, const util::Stopwatch& watch) {
   const double elapsed = watch.seconds();
-  return begin(std::move(name), 0, /*implicit_parent=*/true,
-               now_s() - elapsed, /*has_start=*/true);
+  BeginOptions opts;
+  opts.start_s = now_s() - elapsed;
+  opts.has_start = true;
+  return begin(std::move(name), opts);
 }
 
-TraceSpan Tracer::begin(std::string name, SpanId parent, bool implicit_parent,
-                        double start_s, bool has_start) {
+TraceSpan Tracer::begin(std::string name, BeginOptions opts) {
   SpanRecord rec;
   rec.name = std::move(name);
-  rec.parent = implicit_parent ? innermost_open(this) : parent;
+  rec.trace_id = opts.trace_id;
+  rec.remote_parent = opts.remote_parent;
+  if (opts.implicit_parent) {
+    const OpenSpan enclosing = innermost_open(this);
+    rec.parent = enclosing.id;
+    if (rec.trace_id == 0 && !opts.fresh_trace) rec.trace_id = enclosing.trace_id;
+  } else {
+    rec.parent = opts.parent;
+  }
   {
     util::LockGuard lock(mutex_);
-    rec.id = next_id_++;
-    rec.start_s = has_start ? start_s : clock_->now_s();
+    rec.id = alloc_id();
+    if (opts.fresh_trace) rec.trace_id = alloc_id();
+    rec.start_s = opts.has_start ? opts.start_s : clock_->now_s();
     rec.track = track_for_current_thread();
   }
-  t_open_spans.emplace_back(this, rec.id);
+  t_open_spans.push_back(OpenSpan{this, rec.id, rec.trace_id});
   return TraceSpan(this, std::move(rec));
+}
+
+std::uint64_t Tracer::alloc_id() {
+  if (id_rng_ == nullptr) return next_id_++;
+  std::uint64_t id = 0;
+  while (id == 0) id = id_rng_->engine()();
+  return id;
 }
 
 void Tracer::finish(SpanRecord rec) {
   util::LockGuard lock(mutex_);
   rec.end_s = clock_->now_s();
+  auto& recorder = FlightRecorder::instance();
+  if (recorder.enabled()) {
+    recorder.note(FlightRecorder::EventKind::kSpan, rec.name.c_str(), rec.id,
+                  static_cast<std::uint64_t>((rec.end_s - rec.start_s) * 1e6));
+  }
   spans_.push_back(std::move(rec));
 }
 
 SpanId Tracer::record(SpanRecord rec) {
   util::LockGuard lock(mutex_);
-  if (rec.id == 0) rec.id = next_id_++;
+  if (rec.id == 0) rec.id = alloc_id();
   const SpanId id = rec.id;
   spans_.push_back(std::move(rec));
   return id;

@@ -12,6 +12,7 @@
 #include "util/annotations.h"
 #include "util/lock_ranks.h"
 #include "util/mutex.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace fedml::obs {
@@ -19,6 +20,15 @@ namespace fedml::obs {
 class Tracer;
 
 using SpanId = std::uint64_t;  ///< 1-based; 0 means "no span / no parent"
+
+/// Dapper-style propagation pair: a 64-bit trace id shared by every span of
+/// one logical operation (fleet-wide), plus the span under which remote work
+/// should parent itself. Both 0 = "no context" — the single-process default.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  SpanId span_id = 0;
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
 
 /// One finished span: a named [start, end] interval on a track, optionally
 /// parented to an enclosing span and annotated with numeric args.
@@ -32,6 +42,13 @@ struct SpanRecord {
   /// first-use order; explicit `Tracer::record` calls choose their own
   /// (the simulator uses node index + 1, round markers track 0).
   std::uint32_t track = 0;
+  /// Fleet trace membership (0 in single-process traces). Implicitly nested
+  /// spans inherit the innermost open span's trace_id.
+  std::uint64_t trace_id = 0;
+  /// Span id of a parent living in ANOTHER process (0 = none). Local
+  /// `parent` and `remote_parent` are disjoint: a span adopted from the
+  /// wire has remote_parent set and parent 0.
+  SpanId remote_parent = 0;
   std::vector<std::pair<std::string, double>> args;
 };
 
@@ -60,6 +77,19 @@ class TraceSpan {
 
   [[nodiscard]] bool active() const { return tracer_ != nullptr; }
   [[nodiscard]] SpanId id() const { return rec_.id; }
+
+  /// Propagation context for stamping outbound frames: {trace_id, this
+  /// span's id}. Meaningful while the span is active.
+  [[nodiscard]] TraceContext context() const {
+    return TraceContext{rec_.trace_id, rec_.id};
+  }
+
+  /// Join an already-open span to a remote trace: adopt the sender's trace
+  /// id and record its span as this span's cross-process parent. The leaf
+  /// platform's round span calls this when the root's model (carrying the
+  /// root round's context) arrives mid-round. No-op when inactive or when
+  /// `ctx` is empty.
+  void adopt_remote(const TraceContext& ctx);
 
   /// Seconds elapsed since the span started (0 when inactive) — lets call
   /// sites feed the same interval into a histogram without a second timer.
@@ -91,11 +121,27 @@ class Tracer {
   void set_clock(std::shared_ptr<const Clock> clock);
   [[nodiscard]] double now_s() const;
 
+  /// Switch id assignment from the sequential counter to 64-bit draws from
+  /// a seeded util::Rng. Distributed processes call this once at startup
+  /// (seed mixed with the process role/index) so span ids are unique across
+  /// the fleet yet deterministic per seed; single-process and sim-mode
+  /// tracers keep the sequential default, which pins their exports
+  /// byte-identical per seed.
+  void seed_ids(std::uint64_t seed);
+
   /// Start a span now; parent = the calling thread's innermost open span.
   TraceSpan span(std::string name);
   /// Start a span now under an explicit parent (cross-thread nesting: pool
   /// workers parent their spans to the driver's round span by id).
   TraceSpan span(std::string name, SpanId parent);
+  /// Start a span that OPENS a new trace: a fresh nonzero trace_id is
+  /// assigned (implicit local parenting still applies). The root
+  /// aggregator's per-round span is the canonical caller.
+  TraceSpan span_root(std::string name);
+  /// Start a span that JOINS a remote trace: trace_id and cross-process
+  /// parent come from `ctx` (a frame envelope); no local parent. Falls back
+  /// to plain `span()` when `ctx` is empty.
+  TraceSpan span_remote(std::string name, const TraceContext& ctx);
   /// Start a span with a backdated start time (same-thread implicit parent).
   TraceSpan span_at(std::string name, double start_s);
   /// Span covering `watch`'s elapsed time so far: the one-line migration for
@@ -132,18 +178,30 @@ class Tracer {
  private:
   friend class TraceSpan;
 
-  TraceSpan begin(std::string name, SpanId parent, bool implicit_parent,
-                  double start_s, bool has_start);
+  struct BeginOptions {
+    SpanId parent = 0;
+    bool implicit_parent = true;
+    double start_s = 0.0;
+    bool has_start = false;
+    std::uint64_t trace_id = 0;
+    SpanId remote_parent = 0;
+    bool fresh_trace = false;
+  };
+  TraceSpan begin(std::string name, BeginOptions opts);
   /// Called by TraceSpan::end — stamps end_s under the lock so the span
   /// list's end times are monotone in append order per clock.
   void finish(SpanRecord rec);
   std::uint32_t track_for_current_thread() FEDML_REQUIRES(mutex_);
+  /// Next span/trace id: sequential by default, a nonzero 64-bit draw once
+  /// `seed_ids` has been called.
+  std::uint64_t alloc_id() FEDML_REQUIRES(mutex_);
 
   mutable util::Mutex mutex_{util::lock_rank::kObsCollector,
                              "obs::Tracer::mutex_"};
   std::shared_ptr<const Clock> clock_ FEDML_GUARDED_BY(mutex_);
   std::vector<SpanRecord> spans_ FEDML_GUARDED_BY(mutex_);
   SpanId next_id_ FEDML_GUARDED_BY(mutex_) = 1;
+  std::unique_ptr<util::Rng> id_rng_ FEDML_GUARDED_BY(mutex_);
   std::map<std::thread::id, std::uint32_t> tracks_ FEDML_GUARDED_BY(mutex_);
 };
 

@@ -51,6 +51,12 @@ inline constexpr int kNetMeasure = 41;  ///< net::MeasuredTransport::mutex_
 inline constexpr int kObsRegistry = 42; ///< obs::MetricsRegistry::mutex_ (any
                                         ///< layer may create/look up a metric
                                         ///< handle while holding its own lock)
+inline constexpr int kObsFleet = 43;    ///< obs::FleetCollector::mutex_ (the
+                                        ///< root's per-origin telemetry sink;
+                                        ///< absorbed on the reactor thread,
+                                        ///< may snapshot obs buffers while
+                                        ///< held, so it sits just above the
+                                        ///< registry and below the buffers)
 inline constexpr int kObsCollector = 44;///< obs::SharedHistogram / obs::Tracer
                                         ///< buffers (recording is near-leaf:
                                         ///< only the log may nest inside)

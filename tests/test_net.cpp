@@ -213,6 +213,143 @@ TEST(Frame, HeaderViolationsRejected) {
   EXPECT_THROW(decode_frame({0x01, 0x02}), util::Error);  // truncated header
 }
 
+TEST(Frame, NoContextEncodesAsProtocolV1Bytes) {
+  // Observability-off traffic must stay on the v1 wire format byte for
+  // byte — that's what keeps old peers parsing and the self-tests' wire
+  // ledgers pinned.
+  Frame f = encode_hello({7, 0.25});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  const std::vector<std::uint8_t> wire = w.bytes();
+  EXPECT_EQ(wire[4], 1u);   // version low byte (little-endian u32)
+  EXPECT_EQ(wire[5], 0u);
+  EXPECT_EQ(wire[10], 0u);  // envelope_size
+  const Frame g = decode_frame(wire);
+  EXPECT_EQ(g.trace_id, 0u);
+  EXPECT_EQ(g.parent_span, 0u);
+}
+
+TEST(Frame, TraceEnvelopeRoundTripStripsCleanlyFromPayload) {
+  const nn::ParamList params = patterned_params(13);
+  const Frame plain = encode_model(MessageType::kModel, {5, params});
+  util::ByteWriter pw;
+  encode_frame(plain, pw);
+
+  Frame stamped = encode_model(MessageType::kModel, {5, params});
+  stamped.set_context({0x0123456789abcdefull, 0xfedcba9876543210ull});
+  util::ByteWriter sw;
+  encode_frame(stamped, sw);
+  const std::vector<std::uint8_t> wire = sw.bytes();
+
+  EXPECT_EQ(wire.size(), pw.size() + kTraceEnvelopeBytes);
+  EXPECT_EQ(wire[4], 2u);  // version
+  EXPECT_EQ(wire[10], kTraceEnvelopeBytes);
+
+  const Frame g = decode_frame(wire);
+  EXPECT_EQ(g.trace_id, 0x0123456789abcdefull);
+  EXPECT_EQ(g.parent_span, 0xfedcba9876543210ull);
+  // The decoded payload has the envelope stripped, so every body schema —
+  // and the sim-comparable accounting — is untouched by the context.
+  EXPECT_EQ(g.payload, decode_frame(pw.bytes()).payload);
+  EXPECT_EQ(accounting_payload_bytes(g), accounting_payload_bytes(plain));
+  const ModelBody body = decode_model(g);
+  EXPECT_EQ(body.round, 5u);
+  for (std::size_t k = 0; k < params.size(); ++k)
+    EXPECT_EQ(tensor::max_abs_diff(body.params[k].value(),
+                                   params[k].value()),
+              0.0);
+}
+
+TEST(Frame, EnvelopeOnV1FrameRejected) {
+  Frame f = encode_hello({7, 0.25});
+  f.set_context({1, 2});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  std::vector<std::uint8_t> wire = w.bytes();
+  wire[4] = 1;  // claim v1 while carrying an envelope
+  EXPECT_THROW(decode_frame(wire), util::Error);
+}
+
+TEST(Frame, ChecksumCoversEnvelopeBytes) {
+  Frame f = encode_hello({7, 0.25});
+  f.set_context({0xaaaabbbbccccddddull, 0x1111222233334444ull});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  const std::vector<std::uint8_t> wire = w.bytes();
+  for (std::size_t i = kHeaderBytes; i < kHeaderBytes + kTraceEnvelopeBytes;
+       ++i) {
+    std::vector<std::uint8_t> corrupted = wire;
+    corrupted[i] ^= 0x5a;
+    EXPECT_THROW(decode_frame(corrupted), util::Error) << "byte " << i;
+  }
+}
+
+TEST(Frame, TelemetryBodyRoundTripAndRidesFreeInAccounting) {
+  obs::ProcessTelemetry tel;
+  tel.pid = 4242;
+  tel.role = "leaf1";
+  obs::SpanRecord span;
+  span.id = 11;
+  span.parent = 0;
+  span.name = "fed.round";
+  span.start_s = 0.5;
+  span.end_s = 1.25;
+  span.track = 3;
+  span.trace_id = 0xdeadbeefcafef00dull;
+  span.remote_parent = 99;
+  span.args = {{"round", 2.0}, {"merged", 4.0}};
+  tel.spans.push_back(span);
+  tel.metrics.counters = {{"net.wire_bytes", 123456}};
+  tel.metrics.gauges = {{"fed.loss", 0.75}};
+  obs::Histogram::Snapshot h;
+  h.count = 3;
+  h.sum = 6.0;
+  h.min = 1.0;
+  h.max = 3.0;
+  h.mean = 2.0;
+  h.p50 = 2.0;
+  h.p95 = 3.0;
+  h.p99 = 3.0;
+  h.bounds = {1.0, 10.0};
+  h.counts = {2, 1, 0};
+  h.samples = {1.0, 2.0, 3.0};
+  tel.metrics.histograms = {{"net.rpc_ms", h}};
+
+  const Frame f = encode_telemetry({tel});
+  util::ByteWriter w;
+  encode_frame(f, w);
+  const Frame g = decode_frame(w.bytes());
+  EXPECT_EQ(g.type, MessageType::kTelemetry);
+  // Telemetry must not perturb the sim-comparable comm figures.
+  EXPECT_EQ(accounting_payload_bytes(g), 0u);
+
+  const obs::ProcessTelemetry back = decode_telemetry(g).telemetry;
+  EXPECT_EQ(back.pid, 4242u);
+  EXPECT_EQ(back.role, "leaf1");
+  ASSERT_EQ(back.spans.size(), 1u);
+  EXPECT_EQ(back.spans[0].id, 11u);
+  EXPECT_EQ(back.spans[0].name, "fed.round");
+  EXPECT_DOUBLE_EQ(back.spans[0].start_s, 0.5);
+  EXPECT_DOUBLE_EQ(back.spans[0].end_s, 1.25);
+  EXPECT_EQ(back.spans[0].track, 3u);
+  EXPECT_EQ(back.spans[0].trace_id, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(back.spans[0].remote_parent, 99u);
+  ASSERT_EQ(back.spans[0].args.size(), 2u);
+  EXPECT_EQ(back.spans[0].args[1].first, "merged");
+  EXPECT_DOUBLE_EQ(back.spans[0].args[1].second, 4.0);
+  ASSERT_EQ(back.metrics.counters.size(), 1u);
+  EXPECT_EQ(back.metrics.counters[0].second, 123456u);
+  ASSERT_EQ(back.metrics.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.metrics.gauges[0].second, 0.75);
+  ASSERT_EQ(back.metrics.histograms.size(), 1u);
+  const auto& hb = back.metrics.histograms[0].second;
+  EXPECT_EQ(hb.count, 3u);
+  EXPECT_DOUBLE_EQ(hb.sum, 6.0);
+  EXPECT_EQ(hb.bounds, h.bounds);
+  EXPECT_EQ(hb.counts, h.counts);
+  EXPECT_EQ(hb.samples, h.samples);
+}
+
 // ----------------------------------------------------------- deadlines ----
 
 TEST(Deadline, ZeroBudgetIsBornExpired) {

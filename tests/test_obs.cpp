@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <sstream>
@@ -16,10 +18,13 @@
 
 #include "obs/clock.h"
 #include "obs/export.h"
+#include "obs/fleet.h"
+#include "obs/flight_recorder.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "util/error.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -469,6 +474,292 @@ TEST(Stopwatch, LapReturnsSegmentsThatSumToTotal) {
   EXPECT_GE(lap1, 0.0);
   EXPECT_GE(lap2, 0.0);
   EXPECT_GE(total, lap1 + lap2);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram merge + reservoir cap (fleet telemetry uplink).
+
+TEST(HistogramMerge, MismatchedBucketsThrow) {
+  obs::Histogram a({.bounds = {1.0, 2.0}});
+  obs::Histogram b({.bounds = {1.0, 3.0}});
+  b.record(0.5);
+  EXPECT_THROW(a.merge(b.snapshot()), util::Error);
+}
+
+TEST(HistogramMerge, MergedPercentilesMatchConcatenatedSamples) {
+  const obs::Histogram::Config cfg{.bounds = {1.0, 10.0, 100.0},
+                                   .retain_samples = true};
+  obs::Histogram mine(cfg);
+  obs::Histogram theirs(cfg);
+  std::vector<double> all;
+  for (int i = 0; i < 40; ++i) {
+    const double v = 0.5 + i * 3.25;
+    (i % 2 == 0 ? mine : theirs).record(v);
+    all.push_back(v);
+  }
+  mine.merge(theirs.snapshot());
+  const auto merged = mine.snapshot();
+  EXPECT_EQ(merged.count, 40u);
+  EXPECT_DOUBLE_EQ(merged.min, 0.5);
+  EXPECT_DOUBLE_EQ(merged.max, 0.5 + 39 * 3.25);
+  EXPECT_EQ(merged.samples.size(), all.size());
+  EXPECT_DOUBLE_EQ(merged.p50, obs::exact_percentile(all, 0.50));
+  EXPECT_DOUBLE_EQ(merged.p95, obs::exact_percentile(all, 0.95));
+  // Bucket counts add too (the non-retaining estimate stays usable).
+  std::uint64_t total = 0;
+  for (const auto c : merged.counts) total += c;
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(HistogramMerge, EmptyOtherIsANoOpAndIntoEmptyAdoptsRange) {
+  const obs::Histogram::Config cfg{.bounds = {1.0, 2.0}};
+  obs::Histogram a(cfg);
+  obs::Histogram empty(cfg);
+  a.record(1.5);
+  a.merge(empty.snapshot());
+  EXPECT_EQ(a.snapshot().count, 1u);
+
+  obs::Histogram fresh(cfg);
+  fresh.merge(a.snapshot());
+  const auto s = fresh.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 1.5);
+  EXPECT_DOUBLE_EQ(s.max, 1.5);
+}
+
+TEST(Histogram, ReservoirCapsRetainedSamplesGracefully) {
+  obs::Histogram h({.bounds = {1e6},  // everything in one bucket
+                    .retain_samples = true,
+                    .max_retained = 64});
+  constexpr int kN = 10'000;
+  for (int i = 1; i <= kN; ++i) h.record(static_cast<double>(i));
+  const auto s = h.snapshot();
+  // Memory stays bounded while count/sum/extremes stay exact...
+  EXPECT_EQ(s.samples.size(), 64u);
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kN));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(kN));
+  // ...and percentiles degrade gracefully: every kept sample is a real
+  // observation, and a uniform reservoir's median stays in the bulk of the
+  // distribution rather than collapsing to the newest values.
+  for (const double v : s.samples) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, static_cast<double>(kN));
+  }
+  EXPECT_GT(s.p50, kN * 0.1);
+  EXPECT_LT(s.p50, kN * 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-context propagation (seeded ids, fresh traces, remote adoption).
+
+TEST(Trace, SeededIdsAreDeterministicPerSeedAndNonzero) {
+  auto ids_for = [](std::uint64_t seed) {
+    obs::Tracer tracer;
+    tracer.seed_ids(seed);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i) {
+      auto span = tracer.span("x");
+      ids.push_back(span.id());
+    }
+    return ids;
+  };
+  const auto a = ids_for(7);
+  const auto b = ids_for(7);
+  const auto c = ids_for(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (const auto id : a) EXPECT_NE(id, 0u);
+}
+
+TEST(Trace, SpanRootOpensFreshTraceThatChildrenInherit) {
+  obs::Tracer tracer;
+  std::uint64_t trace = 0;
+  {
+    auto root = tracer.span_root("fed.round");
+    trace = root.context().trace_id;
+    EXPECT_NE(trace, 0u);
+    auto child = tracer.span("net.rpc");
+    EXPECT_EQ(child.context().trace_id, trace);
+  }
+  // A second root opens a DIFFERENT trace.
+  auto next = tracer.span_root("fed.round");
+  EXPECT_NE(next.context().trace_id, trace);
+  EXPECT_NE(next.context().trace_id, 0u);
+}
+
+TEST(Trace, SpanRemoteJoinsContextWithRemoteParentOnly) {
+  obs::Tracer tracer;
+  const obs::TraceContext ctx{0xfeed, 0xbeef};
+  { auto span = tracer.span_remote("net.rpc", ctx); }
+  // Empty context falls back to a plain local span.
+  { auto span = tracer.span_remote("net.rpc", obs::TraceContext{}); }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, 0xfeedu);
+  EXPECT_EQ(spans[0].remote_parent, 0xbeefu);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].trace_id, 0u);
+  EXPECT_EQ(spans[1].remote_parent, 0u);
+}
+
+TEST(Trace, AdoptRemoteRetagsAnOpenSpan) {
+  obs::Tracer tracer;
+  auto span = tracer.span_root("fed.round");
+  const auto own_trace = span.context().trace_id;
+  span.adopt_remote({0xabba, 0x1dea});
+  EXPECT_EQ(span.context().trace_id, 0xabbau);
+  EXPECT_NE(span.context().trace_id, own_trace);
+  span.adopt_remote(obs::TraceContext{});  // empty ctx: no-op
+  EXPECT_EQ(span.context().trace_id, 0xabbau);
+  span.end();
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 0xabbau);
+  EXPECT_EQ(spans[0].remote_parent, 0x1deau);
+}
+
+TEST(Export, TraceFieldsEmittedOnlyWhenNonzero) {
+  std::vector<obs::SpanRecord> spans(2);
+  spans[0].id = 1;
+  spans[0].name = "plain";
+  spans[1].id = 2;
+  spans[1].name = "fleet";
+  spans[1].trace_id = 77;
+  spans[1].remote_parent = 5;
+  std::ostringstream os;
+  obs::write_chrome_trace(os, spans);
+  const auto out = os.str();
+  EXPECT_EQ(out.find("\"trace\":77"), out.rfind("\"trace\":"));
+  EXPECT_NE(out.find("\"trace\":77"), std::string::npos);
+  EXPECT_NE(out.find("\"remote_parent\":5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet merge + exporters.
+
+obs::ProcessTelemetry fake_origin(std::uint64_t pid, std::string role) {
+  obs::ProcessTelemetry tel;
+  tel.pid = pid;
+  tel.role = std::move(role);
+  return tel;
+}
+
+TEST(Fleet, CollectorReplacesByPidAndOrdersSnapshot) {
+  obs::FleetCollector collector;
+  collector.absorb(fake_origin(30, "node1"));
+  collector.absorb(fake_origin(10, "root"));
+  auto update = fake_origin(30, "node1");
+  update.metrics.counters.emplace_back("net.wire_bytes", 5u);
+  collector.absorb(std::move(update));
+  EXPECT_EQ(collector.origin_count(), 2u);
+  const auto fleet = collector.snapshot();
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[0].pid, 10u);
+  EXPECT_EQ(fleet[1].pid, 30u);
+  ASSERT_EQ(fleet[1].metrics.counters.size(), 1u);  // newest snapshot won
+  EXPECT_EQ(obs::summed_fleet_counter(fleet, "net.wire_bytes"), 5u);
+}
+
+TEST(Fleet, ChromeTraceEmitsFlowPairAcrossProcesses) {
+  auto producer = fake_origin(100, "root");
+  obs::SpanRecord round;
+  round.id = 11;
+  round.trace_id = 999;
+  round.name = "fed.round";
+  round.start_s = 0.0;
+  round.end_s = 1.0;
+  producer.spans.push_back(round);
+
+  auto consumer = fake_origin(200, "node0");
+  obs::SpanRecord rpc;
+  rpc.id = 21;
+  rpc.trace_id = 999;
+  rpc.remote_parent = 11;  // parented to the root's round span
+  rpc.name = "net.rpc";
+  rpc.start_s = 0.4;
+  rpc.end_s = 0.9;
+  consumer.spans.push_back(rpc);
+
+  std::ostringstream os;
+  obs::write_fleet_chrome_trace(os, {producer, consumer});
+  const auto out = os.str();
+  EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"root\""), std::string::npos);
+  EXPECT_NE(out.find("\"node0\""), std::string::npos);
+  // Exactly one flow pair, keyed by the CONSUMER span's id: "s" leaves the
+  // producer's pid, "f" lands on the consumer's.
+  EXPECT_NE(out.find("\"ph\":\"s\",\"id\":21,\"pid\":100"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":21,\"pid\":200"),
+            std::string::npos);
+  // A remote_parent that resolves NOWHERE must not fabricate an arrow.
+  EXPECT_EQ(out.find("\"id\":11,\"pid\":200"), std::string::npos);
+}
+
+TEST(Fleet, MergedHistogramSpansOrigins) {
+  const obs::Histogram::Config cfg{.bounds = {1.0, 10.0},
+                                   .retain_samples = true};
+  auto a = fake_origin(1, "node0");
+  auto b = fake_origin(2, "node1");
+  obs::Histogram ha(cfg);
+  ha.record(0.5);
+  obs::Histogram hb(cfg);
+  hb.record(20.0);
+  a.metrics.histograms.emplace_back("net.rpc_ms", ha.snapshot());
+  b.metrics.histograms.emplace_back("net.rpc_ms", hb.snapshot());
+  const auto merged = obs::merged_fleet_histogram({a, b}, "net.rpc_ms");
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_DOUBLE_EQ(merged.min, 0.5);
+  EXPECT_DOUBLE_EQ(merged.max, 20.0);
+  EXPECT_EQ(obs::merged_fleet_histogram({a, b}, "missing").count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder (process-wide singleton: one test covers the lifecycle;
+// the tsan preset exercises the seqlock under the concurrent writers here).
+
+TEST(FlightRecorder, RingSurvivesConcurrentWritersAndDumpsJsonl) {
+  auto& rec = obs::FlightRecorder::instance();
+  if (!rec.enabled()) {  // disabled: note() must be a cheap no-op
+    rec.note(obs::FlightRecorder::EventKind::kMark, "ignored", 1, 2);
+    EXPECT_EQ(rec.accepted(), 0u);
+  }
+
+  const std::string path = ::testing::TempDir() + "fedml_flight_test.jsonl";
+  std::remove(path.c_str());
+  rec.enable(path);
+  ASSERT_TRUE(rec.enabled());
+  const std::uint64_t before = rec.accepted();
+  rec.note(obs::FlightRecorder::EventKind::kFrame, "net.frame", 3, 44);
+  // 4 writers × 2000 events laps the 1024-slot ring several times over;
+  // every claim must still be accepted and the dump must stay well-formed.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&rec] {
+      for (int i = 0; i < 2000; ++i)
+        rec.note(obs::FlightRecorder::EventKind::kCounter, "spin",
+                 static_cast<std::uint64_t>(i), 0);
+    });
+  for (auto& w : writers) w.join();
+  EXPECT_GE(rec.accepted(), before + 1 + 4 * 2000);
+
+  rec.dump("unit_test");
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"type\":\"flight_header\""), std::string::npos);
+  EXPECT_NE(line.find("\"reason\":\"unit_test\""), std::string::npos);
+  std::size_t events = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("{\"type\":\"flight\",\"seq\":", 0), 0u) << line;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '}');
+    events += 1;
+  }
+  EXPECT_GT(events, 0u);
+  EXPECT_LE(events, obs::FlightRecorder::kSlots);
+  std::remove(path.c_str());
 }
 
 }  // namespace
