@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/meta.h"
+#include "micro_common.h"
 #include "nn/loss.h"
 #include "nn/module.h"
 #include "nn/params.h"
@@ -95,4 +96,6 @@ BENCHMARK(BM_MlpMetaGradientSecondOrder);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return fedml::bench::micro_main(argc, argv, "micro_autodiff");
+}

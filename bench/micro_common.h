@@ -1,0 +1,81 @@
+#pragma once
+
+// Adapter between the google-benchmark microbenchmarks and the tracked
+// BENCH_<name>.json artifacts that every other bench binary emits via
+// bench::write_bench_json. BENCHMARK_MAIN() owns main() outright and offers
+// no hook to observe results, so the micro benches use micro_main() instead:
+// it runs the standard console reporter wrapped in a capture layer, then
+// writes one `<benchmark name>_ms` metric per run.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace fedml::bench {
+
+/// Console reporter that additionally records each benchmark's
+/// per-iteration real time in milliseconds. Aggregate rows (min/median/…,
+/// only present with --benchmark_repetitions) and errored runs are skipped —
+/// the JSON carries one number per benchmark instance, matching the rows of
+/// the console table.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& r : runs) {
+      if (r.error_occurred || r.run_type != Run::RT_Iteration) continue;
+      const double ms = r.iterations == 0
+                            ? 0.0
+                            : r.real_accumulated_time /
+                                  static_cast<double>(r.iterations) * 1e3;
+      metrics_.emplace_back(sanitize(r.benchmark_name()) + "_ms", ms);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const BenchMetrics& metrics() const { return metrics_; }
+
+ private:
+  /// "BM_Matmul/16" → "BM_Matmul_16": metric keys stay shell- and
+  /// spreadsheet-friendly (check_bench.py only requires non-empty strings,
+  /// but downstream trend tooling splits on '/').
+  static std::string sanitize(const std::string& name) {
+    std::string out = name;
+    for (auto& ch : out)
+      if (ch == '/' || ch == ':' || ch == ' ') ch = '_';
+    return out;
+  }
+
+  BenchMetrics metrics_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN(): runs the registered benchmarks
+/// with google-benchmark's usual CLI handling, then writes
+/// `<json_dir>/BENCH_<name>.json`. `--json-dir=<dir>` is consumed here;
+/// every other flag passes through to google-benchmark untouched.
+inline int micro_main(int argc, char** argv, const std::string& name) {
+  std::string json_dir = ".";
+  std::vector<char*> pass;
+  pass.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--json-dir=";
+    if (arg.rfind(prefix, 0) == 0) {
+      json_dir = arg.substr(prefix.size());
+    } else {
+      pass.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(pass.size());
+  benchmark::Initialize(&pass_argc, pass.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, pass.data())) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  write_bench_json(name, reporter.metrics(), json_dir);
+  return 0;
+}
+
+}  // namespace fedml::bench

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -74,4 +75,6 @@ BENCHMARK(BM_ArgmaxRows);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return fedml::bench::micro_main(argc, argv, "micro_tensor");
+}

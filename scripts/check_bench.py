@@ -18,8 +18,25 @@ tracked numbers into garbage:
   * `metrics` is a non-empty object mapping non-empty string keys to finite
     numbers (booleans and NaN/Inf are rejected — JSON NaN never parses here)
 
+Compare mode gates performance against the tracked baseline:
+
+    check_bench.py --compare FRESH TRACKED [--threshold 0.2]
+
+Both files are schema-checked first, then every metric present in *both*
+is compared (metrics unique to one side are skipped — smoke sweeps are a
+subset of the tracked full run):
+
+  * keys ending in `_ms` regress when fresh > tracked * (1 + threshold)
+  * keys containing `speedup` regress when fresh < tracked / (1 + threshold)
+  * other shared keys (counters like `hardware_threads`) are informational
+
+`hardware_threads` is compared first: when it differs the run is on
+different hardware, so absolute `_ms` comparisons are skipped with a
+warning and only the dimensionless `speedup` ratios gate.
+
 Usage: check_bench.py BENCH_foo.json [BENCH_bar.json ...]
-Exit status: 0 all valid, 1 violations, 2 usage/internal error.
+       check_bench.py --compare FRESH TRACKED [--threshold X]
+Exit status: 0 all valid, 1 violations/regressions, 2 usage/internal error.
 """
 
 from __future__ import annotations
@@ -74,10 +91,92 @@ def check(path: pathlib.Path, errors: list[str]) -> None:
             err(f"metric {key!r} must be finite, got {value!r}")
 
 
+def compare(fresh_path: pathlib.Path, tracked_path: pathlib.Path,
+            threshold: float) -> int:
+    errors: list[str] = []
+    check(fresh_path, errors)
+    check(tracked_path, errors)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+
+    fresh = json.loads(fresh_path.read_text(encoding="utf-8"))["metrics"]
+    tracked = json.loads(tracked_path.read_text(encoding="utf-8"))["metrics"]
+    shared = sorted(set(fresh) & set(tracked))
+
+    compare_ms = True
+    if fresh.get("hardware_threads") != tracked.get("hardware_threads"):
+        print(
+            "check_bench: WARNING hardware_threads "
+            f"{fresh.get('hardware_threads')} != "
+            f"{tracked.get('hardware_threads')}: different hardware, "
+            "skipping absolute _ms comparisons",
+            file=sys.stderr,
+        )
+        compare_ms = False
+
+    regressions: list[str] = []
+    compared = 0
+    for key in shared:
+        f, t = fresh[key], tracked[key]
+        if key.endswith("_ms"):
+            if not compare_ms:
+                continue
+            compared += 1
+            if t > 0 and f > t * (1.0 + threshold):
+                regressions.append(
+                    f"{key}: {f:.4g} ms vs tracked {t:.4g} ms "
+                    f"(+{(f / t - 1) * 100:.0f}%, limit +{threshold * 100:.0f}%)"
+                )
+        elif "speedup" in key:
+            compared += 1
+            if f < t / (1.0 + threshold):
+                limit = (1.0 - 1.0 / (1.0 + threshold)) * 100
+                regressions.append(
+                    f"{key}: {f:.3g}x vs tracked {t:.3g}x "
+                    f"(-{(1 - f / t) * 100:.0f}%, limit -{limit:.0f}%)"
+                )
+    skipped = (len(fresh) - len(shared), len(tracked) - len(shared))
+
+    if regressions:
+        print(
+            f"check_bench: {len(regressions)} regression(s) vs "
+            f"{tracked_path}", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(
+        f"check_bench: compare OK ({compared} metric(s) within "
+        f"{threshold * 100:.0f}% of {tracked_path}; "
+        f"{skipped[0]} fresh-only / {skipped[1]} tracked-only skipped)")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
+    if argv[1] == "--compare":
+        rest = argv[2:]
+        threshold = 0.2
+        if "--threshold" in rest:
+            i = rest.index("--threshold")
+            if i + 1 >= len(rest):
+                print("check_bench: --threshold needs a value", file=sys.stderr)
+                return 2
+            try:
+                threshold = float(rest[i + 1])
+            except ValueError:
+                print(f"check_bench: bad threshold {rest[i + 1]!r}",
+                      file=sys.stderr)
+                return 2
+            del rest[i : i + 2]
+        if len(rest) != 2:
+            print("check_bench: --compare takes exactly FRESH and TRACKED",
+                  file=sys.stderr)
+            return 2
+        return compare(pathlib.Path(rest[0]), pathlib.Path(rest[1]), threshold)
     errors: list[str] = []
     for arg in argv[1:]:
         check(pathlib.Path(arg), errors)

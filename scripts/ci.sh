@@ -90,6 +90,24 @@ else
   (cd "$smoke_dir" && bench/obs_overhead --smoke) >/dev/null
 fi
 
+# Kernel-subsystem perf gate: the meta_step smoke sweep re-measures the
+# compat/fast dispatch on this machine and compares against the tracked
+# baseline (bench/results/BENCH_meta_step.json). Only metrics present in
+# both runs gate; the threshold is wide because smoke mode uses few reps on
+# a possibly loaded machine — a real regression (e.g. the fast path losing
+# its vectorized kernels) shows up as a 2–4x multiple, far past any margin.
+echo "==> kern perf"
+(cd "$smoke_dir" && bench/meta_step --smoke --json-dir=.) >/dev/null
+python3 scripts/check_bench.py --compare \
+  "$smoke_dir/BENCH_meta_step.json" bench/results/BENCH_meta_step.json \
+  --threshold 0.5
+# Microbenchmarks emit the same JSON artifact; a short run here keeps their
+# schema (and the reporter adapter in bench/micro_common.h) exercised.
+(cd "$smoke_dir" && bench/micro_tensor --benchmark_min_time=0.02 \
+  --json-dir=.) >/dev/null
+(cd "$smoke_dir" && bench/micro_autodiff --benchmark_min_time=0.02 \
+  --json-dir=.) >/dev/null
+
 # Every bench smoke above wrote a BENCH_<name>.json summary into the build
 # dir; validate the schema (and the tracked full-run results in bench/).
 echo "==> bench json"

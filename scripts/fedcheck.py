@@ -96,10 +96,14 @@ DEFAULT_ROOT = pathlib.Path(__file__).resolve().parent.parent
 # embeds the partial order without adding false constraints in practice
 # (nothing below them includes them). Drawn in DESIGN.md.
 LAYER_ORDER = [
-    "util", "tensor", "autodiff", "nn", "data", "theory", "obs",
+    "util", "kern", "tensor", "autodiff", "nn", "data", "theory", "obs",
     "fed", "sim", "robust", "core", "serve", "net", "rec",
 ]
 LAYER_INDEX = {name: i for i, name in enumerate(LAYER_ORDER)}
+
+# Layers allowed to hold raw numeric kernels; everything else must route
+# hot loops through kern:: (see pass_kern_dispatch).
+KERN_DISPATCH_EXEMPT_PREFIXES = ("src/kern/", "src/tensor/")
 
 # Scopes for the ported single-file rules (unchanged from lint.py).
 STOPWATCH_ALLOWED_PREFIXES = ("src/util/", "src/obs/")
@@ -1909,7 +1913,15 @@ class Analysis:
                         "library code must log via util::log",
                     )
             elif t.text == "new":
-                if prev is None or prev.text not in (".", "->", "::"):
+                # `#include <new>` lexes as `# include < new >` — the header
+                # name is not an expression.
+                include_header = (
+                    prev is not None and prev.text == "<"
+                    and pv2 is not None and pv2.text == "include"
+                )
+                if include_header:
+                    pass
+                elif prev is None or prev.text not in (".", "->", "::"):
                     self.report(
                         rel, t.line, "naked-new",
                         "naked new — use std::make_unique/std::make_shared "
@@ -1990,6 +2002,111 @@ class Analysis:
     # Stale waivers
     # ======================================================================
 
+    def pass_kern_dispatch(self) -> None:
+        """Numeric hot loops belong in src/kern/ (or src/tensor/, which is
+        the dispatch layer above it). Everywhere else in src/, two shapes
+        are banned:
+
+          * counted `for` loops nested >= 3 deep whose innermost body does
+            arithmetic — the classic hand-rolled kernel. Range-for and
+            loops over containers don't count; only C-style counted loops
+            (two top-level `;` in the header) contribute to the nesting.
+          * `Tensor::data()[i]` indexing — element access that bypasses
+            both `operator()`/`flat()` bounds discipline and the kern
+            kernels. Pointer *arithmetic* on byte buffers
+            (`buf.data() + n` for memcpy/IO spans) stays legal; only
+            subscripting fires.
+
+        Zero sites are grandfathered; genuine exceptions carry a
+        `// lint: allow(kern-dispatch)` waiver with a comment saying why.
+        """
+        arith = {"+", "-", "*", "/", "+=", "-=", "*=", "/="}
+        for rel, sf in sorted(self.files.items()):
+            if not rel.startswith("src/"):
+                continue
+            if rel.startswith(KERN_DISPATCH_EXEMPT_PREFIXES):
+                continue
+            code = sf.code
+            n = len(code)
+            for i in range(n - 4):
+                if (
+                    code[i].text == "."
+                    and code[i + 1].text == "data"
+                    and code[i + 2].text == "("
+                    and code[i + 3].text == ")"
+                    and code[i + 4].text == "["
+                ):
+                    self.report(
+                        rel, code[i].line, "kern-dispatch",
+                        "raw .data()[...] element access — use operator()/"
+                        "flat() or route the loop through a kern:: kernel",
+                    )
+            # Counted-for nesting tracker. Each frame is a live counted
+            # loop: (braced_body, brace_depth_at_entry, line).
+            frames: list[tuple[bool, int, int]] = []
+            reported: set[int] = set()
+            brace_depth = 0
+            paren_depth = 0
+            i = 0
+            while i < n:
+                t = code[i]
+                tt = t.text
+                if t.kind == "id" and tt == "for" and i + 1 < n \
+                        and code[i + 1].text == "(":
+                    j = i + 2
+                    depth = 1
+                    semis = 0
+                    colon = False
+                    while j < n and depth > 0:
+                        x = code[j].text
+                        if x == "(":
+                            depth += 1
+                        elif x == ")":
+                            depth -= 1
+                        elif depth == 1 and x == ";":
+                            semis += 1
+                        elif depth == 1 and x == ":":
+                            colon = True
+                        j += 1
+                    if semis >= 2 and not colon:
+                        braced = j < n and code[j].text == "{"
+                        frames.append((braced, brace_depth, t.line))
+                    # Skip the header: it is paren-balanced, and its ++/</
+                    # init arithmetic must not count as body arithmetic.
+                    i = j
+                    continue
+                if tt == "{":
+                    brace_depth += 1
+                elif tt == "}":
+                    brace_depth -= 1
+                    while frames and frames[-1][0] \
+                            and frames[-1][1] == brace_depth:
+                        frames.pop()
+                        # A braced loop may itself be the single-statement
+                        # body of unbraced outer loops at the same depth.
+                        while frames and not frames[-1][0] \
+                                and frames[-1][1] == brace_depth:
+                            frames.pop()
+                elif tt == "(":
+                    paren_depth += 1
+                elif tt == ")":
+                    paren_depth -= 1
+                elif tt == ";" and paren_depth == 0:
+                    while frames and not frames[-1][0] \
+                            and frames[-1][1] == brace_depth:
+                        frames.pop()
+                if len(frames) >= 3 and t.kind == "punct" and tt in arith:
+                    line = frames[2][2]  # the depth-3 `for`
+                    if line not in reported:
+                        reported.add(line)
+                        self.report(
+                            rel, line, "kern-dispatch",
+                            "triple-nested counted loop doing arithmetic — "
+                            "move the kernel into src/kern/ and dispatch "
+                            "through it",
+                        )
+                i += 1
+
     def pass_stale_waivers(self) -> None:
         for rel, sf in self.files.items():
             for line, rules in sorted(sf.waivers.items()):
@@ -2060,6 +2177,7 @@ class Analysis:
         self.pass_guarded_by()
         self.pass_layer_dag()
         self.pass_reactor_blocking()
+        self.pass_kern_dispatch()
         self.pass_stale_waivers()
 
     def self_check_report(self) -> str:

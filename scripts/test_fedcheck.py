@@ -372,6 +372,92 @@ class PortedRulesTest(unittest.TestCase):
         self.assertNotIn(("span-literal", "src/serve/t.cpp"), fired(a))
 
 
+class KernDispatchTest(unittest.TestCase):
+    TRIPLE_LOOP = (
+        "void f(double* c, const double* a, const double* b, int n) {\n"
+        "  for (int i = 0; i < n; ++i)\n"
+        "    for (int j = 0; j < n; ++j)\n"
+        "      for (int k = 0; k < n; ++k)\n"
+        "        c[i * n + j] += a[i * n + k] * b[k * n + j];\n"
+        "}\n"
+    )
+
+    def test_triple_counted_loop_fires(self):
+        a = analyze({"src/serve/g.cpp": self.TRIPLE_LOOP})
+        self.assertIn(("kern-dispatch", "src/serve/g.cpp"), fired(a))
+
+    def test_triple_loop_in_kern_is_silent(self):
+        a = analyze({"src/kern/g.cpp": self.TRIPLE_LOOP})
+        self.assertNotIn(("kern-dispatch", "src/kern/g.cpp"), fired(a))
+
+    def test_triple_loop_in_tensor_is_silent(self):
+        a = analyze({"src/tensor/g.cpp": self.TRIPLE_LOOP})
+        self.assertNotIn(("kern-dispatch", "src/tensor/g.cpp"), fired(a))
+
+    def test_double_loop_is_silent(self):
+        a = analyze({"src/serve/g.cpp": (
+            "void f(double* c, const double* a, int n) {\n"
+            "  for (int i = 0; i < n; ++i)\n"
+            "    for (int j = 0; j < n; ++j)\n"
+            "      c[i * n + j] = a[j * n + i];\n"
+            "}\n"
+        )})
+        self.assertNotIn(("kern-dispatch", "src/serve/g.cpp"), fired(a))
+
+    def test_range_for_does_not_count_toward_nesting(self):
+        a = analyze({"src/serve/g.cpp": (
+            "void f(std::vector<Row>& rows, int n) {\n"
+            "  for (auto& row : rows)\n"
+            "    for (int j = 0; j < n; ++j)\n"
+            "      for (int k = 0; k < n; ++k)\n"
+            "        row.v[j] += row.w[k];\n"
+            "}\n"
+        )})
+        self.assertNotIn(("kern-dispatch", "src/serve/g.cpp"), fired(a))
+
+    def test_braced_triple_loop_fires_and_scope_pops(self):
+        a = analyze({"src/serve/g.cpp": (
+            "void f(double* c, const double* a, const double* b, int n) {\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    for (int j = 0; j < n; ++j) {\n"
+            "      for (int k = 0; k < n; ++k) {\n"
+            "        c[i] += a[k] * b[j];\n"
+            "      }\n"
+            "    }\n"
+            "  }\n"
+            "  int after = 1 + 2;\n"  # outside all loops: must not fire again
+            "}\n"
+        )})
+        self.assertEqual(
+            1,
+            sum(1 for f in a.findings
+                if f.rule == "kern-dispatch" and f.rel == "src/serve/g.cpp"),
+        )
+
+    def test_data_indexing_fires(self):
+        a = analyze({"src/serve/d.cpp": (
+            "double f(const tensor::Tensor& t) { return t.data()[3]; }\n"
+        )})
+        self.assertIn(("kern-dispatch", "src/serve/d.cpp"), fired(a))
+
+    def test_data_pointer_span_is_silent(self):
+        a = analyze({"src/serve/d.cpp": (
+            "void f(const std::vector<std::uint8_t>& b, void* dst) {\n"
+            "  std::memcpy(dst, b.data() + 4, b.size() - 4);\n"
+            "}\n"
+        )})
+        self.assertNotIn(("kern-dispatch", "src/serve/d.cpp"), fired(a))
+
+    def test_waivable(self):
+        a = analyze({"src/serve/d.cpp": (
+            "double f(const tensor::Tensor& t) {\n"
+            "  return t.data()[3];  // lint: allow(kern-dispatch) why\n"
+            "}\n"
+        )})
+        self.assertNotIn(("kern-dispatch", "src/serve/d.cpp"), fired(a))
+        self.assertNotIn(("stale-waiver", "src/serve/d.cpp"), fired(a))
+
+
 class WaiverTest(unittest.TestCase):
     def test_waiver_suppresses_and_round_trips(self):
         a = analyze({"src/serve/m.h": (

@@ -4,11 +4,34 @@
 #include <cmath>
 #include <utility>
 
+#include "kern/conv.h"
+#include "kern/elementwise.h"
+#include "kern/kern.h"
 #include "util/error.h"
 
 namespace fedml::autodiff::ops {
 
 using tensor::Tensor;
+
+namespace {
+
+/// Elementwise forward through the kern template — same scalar expression
+/// as the historical Tensor::map call, minus the per-element std::function
+/// indirection, so results are bit-identical in both modes.
+template <typename F>
+Tensor ew(const Tensor& a, F f) {
+  Tensor out(a.rows(), a.cols());
+  kern::ew_unary(a.size(), a.data(), out.data(), f);
+  return out;
+}
+
+/// Ops that pick between the historical backward graph (kCompat) and a
+/// fused/transpose-free one (kFast) sample the mode once, at graph build
+/// time, and capture it — a graph built under one mode replays identically
+/// even if the global mode changes before backward runs.
+bool fast_mode() { return kern::mode() == kern::Mode::kFast; }
+
+}  // namespace
 
 Var constant(Tensor t) { return Var(std::move(t), /*requires_grad=*/false); }
 
@@ -19,59 +42,77 @@ Var ones_like(const Tensor& t) {
 Var add(const Var& a, const Var& b) {
   FEDML_CHECK(a.value().same_shape(b.value()), "add: shape mismatch");
   return make_op(a.value() + b.value(),
-                 {{a, [](const Var& g) { return g; }},
-                  {b, [](const Var& g) { return g; }}});
+                 a, [](const Var& g) { return g; },
+                 b, [](const Var& g) { return g; });
 }
 
 Var sub(const Var& a, const Var& b) {
   FEDML_CHECK(a.value().same_shape(b.value()), "sub: shape mismatch");
   return make_op(a.value() - b.value(),
-                 {{a, [](const Var& g) { return g; }},
-                  {b, [](const Var& g) { return neg(g); }}});
+                 a, [](const Var& g) { return g; },
+                 b, [](const Var& g) { return neg(g); });
 }
 
 Var neg(const Var& a) {
-  return make_op(-a.value(), {{a, [](const Var& g) { return neg(g); }}});
+  return make_op(-a.value(), a, [](const Var& g) { return neg(g); });
 }
 
 Var mul(const Var& a, const Var& b) {
   FEDML_CHECK(a.value().same_shape(b.value()), "mul: shape mismatch");
   return make_op(tensor::hadamard(a.value(), b.value()),
-                 {{a, [b](const Var& g) { return mul(g, b); }},
-                  {b, [a](const Var& g) { return mul(g, a); }}});
+                 a, [b](const Var& g) { return mul(g, b); },
+                 b, [a](const Var& g) { return mul(g, a); });
 }
 
 Var smul(const Var& a, double s) {
-  return make_op(a.value() * s, {{a, [s](const Var& g) { return smul(g, s); }}});
+  return make_op(a.value() * s, a, [s](const Var& g) { return smul(g, s); });
 }
 
 Var reciprocal(const Var& a) {
-  return make_op(a.value().map([](double x) { return 1.0 / x; }),
-                 {{a, [a](const Var& g) {
-                     // d(1/a) = -1/a^2 — recomputed so double-backward is exact.
-                     const Var r = reciprocal(a);
-                     return neg(mul(g, mul(r, r)));
-                   }}});
+  return make_op(ew(a.value(), [](double x) { return 1.0 / x; }),
+                 a, [a](const Var& g) {
+                   // d(1/a) = -1/a^2 — recomputed so double-backward is exact.
+                   const Var r = reciprocal(a);
+                   return neg(mul(g, mul(r, r)));
+                 });
 }
 
 Var div(const Var& a, const Var& b) { return mul(a, reciprocal(b)); }
 
 Var matmul(const Var& a, const Var& b) {
-  return make_op(
-      tensor::matmul(a.value(), b.value()),
-      {{a, [b](const Var& g) { return matmul(g, transpose(b)); }},
-       {b, [a](const Var& g) { return matmul(transpose(a), g); }}});
+  if (fast_mode()) {
+    // Transpose-free backward: dA = G·Bᵀ and dB = Aᵀ·G read B and A in
+    // their natural layout instead of materializing transposed copies.
+    return make_op(tensor::matmul(a.value(), b.value()),
+                   a, [b](const Var& g) { return matmul_nt(g, b); },
+                   b, [a](const Var& g) { return matmul_tn(a, g); });
+  }
+  return make_op(tensor::matmul(a.value(), b.value()),
+                 a, [b](const Var& g) { return matmul(g, transpose(b)); },
+                 b, [a](const Var& g) { return matmul(transpose(a), g); });
+}
+
+Var matmul_nt(const Var& a, const Var& b) {
+  return make_op(tensor::matmul_nt(a.value(), b.value()),
+                 a, [b](const Var& g) { return matmul(g, b); },
+                 b, [a](const Var& g) { return matmul_tn(g, a); });
+}
+
+Var matmul_tn(const Var& a, const Var& b) {
+  return make_op(tensor::matmul_tn(a.value(), b.value()),
+                 a, [b](const Var& g) { return matmul_nt(b, g); },
+                 b, [a](const Var& g) { return matmul(a, g); });
 }
 
 Var transpose(const Var& a) {
   return make_op(tensor::transpose(a.value()),
-                 {{a, [](const Var& g) { return transpose(g); }}});
+                 a, [](const Var& g) { return transpose(g); });
 }
 
 Var sum(const Var& a) {
   const std::size_t r = a.rows(), c = a.cols();
   return make_op(Tensor::scalar(tensor::sum(a.value())),
-                 {{a, [r, c](const Var& g) { return expand(g, r, c); }}});
+                 a, [r, c](const Var& g) { return expand(g, r, c); });
 }
 
 Var mean(const Var& a) {
@@ -81,27 +122,29 @@ Var mean(const Var& a) {
 Var expand(const Var& a, std::size_t rows, std::size_t cols) {
   FEDML_CHECK(a.rows() == 1 && a.cols() == 1, "expand: input must be 1x1");
   return make_op(Tensor::full(rows, cols, a.value().item()),
-                 {{a, [](const Var& g) { return sum(g); }}});
+                 a, [](const Var& g) { return sum(g); });
 }
 
 Var row_sums(const Var& a) {
   const std::size_t c = a.cols();
   return make_op(tensor::row_sums(a.value()),
-                 {{a, [c](const Var& g) { return expand_cols(g, c); }}});
+                 a, [c](const Var& g) { return expand_cols(g, c); });
 }
 
 Var col_sums(const Var& a) {
   const std::size_t r = a.rows();
   return make_op(tensor::col_sums(a.value()),
-                 {{a, [r](const Var& g) { return expand_rows(g, r); }}});
+                 a, [r](const Var& g) { return expand_rows(g, r); });
 }
 
 Var expand_cols(const Var& a, std::size_t cols) {
   FEDML_CHECK(a.cols() == 1, "expand_cols: input must be Rx1");
   Tensor out(a.rows(), cols);
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < cols; ++j) out(i, j) = a.value()(i, 0);
-  return make_op(std::move(out), {{a, [](const Var& g) { return row_sums(g); }}});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double v = a.value()(i, 0);
+    for (std::size_t j = 0; j < cols; ++j) out(i, j) = v;
+  }
+  return make_op(std::move(out), a, [](const Var& g) { return row_sums(g); });
 }
 
 Var expand_rows(const Var& a, std::size_t rows) {
@@ -109,7 +152,7 @@ Var expand_rows(const Var& a, std::size_t rows) {
   Tensor out(rows, a.cols());
   for (std::size_t i = 0; i < rows; ++i)
     for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = a.value()(0, j);
-  return make_op(std::move(out), {{a, [](const Var& g) { return col_sums(g); }}});
+  return make_op(std::move(out), a, [](const Var& g) { return col_sums(g); });
 }
 
 Var add_rowvec(const Var& a, const Var& v) {
@@ -125,77 +168,124 @@ Var mul_colvec(const Var& a, const Var& v) {
 }
 
 Var exp(const Var& a) {
-  return make_op(a.value().map([](double x) { return std::exp(x); }),
-                 {{a, [a](const Var& g) { return mul(g, exp(a)); }}});
+  return make_op(ew(a.value(), [](double x) { return std::exp(x); }),
+                 a, [a](const Var& g) { return mul(g, exp(a)); });
 }
 
 Var log(const Var& a) {
-  return make_op(a.value().map([](double x) { return std::log(x); }),
-                 {{a, [a](const Var& g) { return mul(g, reciprocal(a)); }}});
+  return make_op(ew(a.value(), [](double x) { return std::log(x); }),
+                 a, [a](const Var& g) { return mul(g, reciprocal(a)); });
 }
 
 Var relu(const Var& a) {
   // The 0/1 mask is locally constant, so capturing it as a constant is exact
   // almost everywhere (ReLU has zero curvature away from the kink).
-  Tensor mask = a.value().map([](double x) { return x > 0.0 ? 1.0 : 0.0; });
+  Tensor mask = ew(a.value(), [](double x) { return x > 0.0 ? 1.0 : 0.0; });
   Tensor out = tensor::hadamard(a.value(), mask);
-  return make_op(std::move(out), {{a, [mask](const Var& g) {
-                                     return mul(g, constant(mask));
-                                   }}});
+  return make_op(std::move(out), a, [mask](const Var& g) {
+    return mul(g, constant(mask));
+  });
 }
 
 Var sigmoid(const Var& a) {
-  const auto sig = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
-  return make_op(a.value().map(sig), {{a, [a](const Var& g) {
-                   const Var s = sigmoid(a);
-                   const Var one = constant(
-                       Tensor::ones(a.rows(), a.cols()));
-                   return mul(g, mul(s, sub(one, s)));
-                 }}});
+  Tensor out(a.rows(), a.cols());
+  kern::sigmoid(a.value().size(), a.value().data(), out.data());
+  if (fast_mode()) {
+    // One fused vjp node instead of the four-node ones/sub/mul/mul chain.
+    // The sigmoid is recomputed inside the closure (capturing the output
+    // Var would cycle the graph); identical policy to the compat path.
+    return make_op(std::move(out), a, [a](const Var& g) {
+      return sigmoid_vjp(g, sigmoid(a));
+    });
+  }
+  return make_op(std::move(out), a, [a](const Var& g) {
+    const Var s = sigmoid(a);
+    const Var one = constant(Tensor::ones(a.rows(), a.cols()));
+    return mul(g, mul(s, sub(one, s)));
+  });
 }
 
 Var tanh(const Var& a) {
-  return make_op(a.value().map([](double x) { return std::tanh(x); }),
-                 {{a, [a](const Var& g) {
-                     const Var t = tanh(a);
-                     const Var one = constant(Tensor::ones(a.rows(), a.cols()));
-                     return mul(g, sub(one, mul(t, t)));
-                   }}});
+  Tensor out = ew(a.value(), [](double x) { return std::tanh(x); });
+  if (fast_mode()) {
+    return make_op(std::move(out), a, [a](const Var& g) {
+      return tanh_vjp(g, tanh(a));
+    });
+  }
+  return make_op(std::move(out), a, [a](const Var& g) {
+    const Var t = tanh(a);
+    const Var one = constant(Tensor::ones(a.rows(), a.cols()));
+    return mul(g, sub(one, mul(t, t)));
+  });
 }
 
 Var square(const Var& a) { return mul(a, a); }
 
 Var abs(const Var& a) {
   // The sign mask is locally constant (zero curvature away from 0).
-  Tensor sign = a.value().map(
-      [](double x) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
+  Tensor sign = ew(a.value(),
+                   [](double x) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
   Tensor out = tensor::hadamard(a.value(), sign);
-  return make_op(std::move(out), {{a, [sign](const Var& g) {
-                                     return mul(g, constant(sign));
-                                   }}});
+  return make_op(std::move(out), a, [sign](const Var& g) {
+    return mul(g, constant(sign));
+  });
 }
 
 Var pow_scalar(const Var& a, double p) {
-  return make_op(a.value().map([p](double x) { return std::pow(x, p); }),
-                 {{a, [a, p](const Var& g) {
-                     // d(x^p)/dx = p·x^(p−1) — recomputed for exact
-                     // higher-order derivatives.
-                     return mul(g, smul(pow_scalar(a, p - 1.0), p));
-                   }}});
+  return make_op(ew(a.value(), [p](double x) { return std::pow(x, p); }),
+                 a, [a, p](const Var& g) {
+                   // d(x^p)/dx = p·x^(p−1) — recomputed for exact
+                   // higher-order derivatives.
+                   return mul(g, smul(pow_scalar(a, p - 1.0), p));
+                 });
 }
 
 Var clamp(const Var& a, double lo, double hi) {
   FEDML_CHECK(lo <= hi, "clamp: lo must not exceed hi");
-  Tensor mask = a.value().map(
-      [lo, hi](double x) { return (x > lo && x < hi) ? 1.0 : 0.0; });
-  Tensor out = a.value().map(
-      [lo, hi](double x) { return std::clamp(x, lo, hi); });
-  return make_op(std::move(out), {{a, [mask](const Var& g) {
-                                     return mul(g, constant(mask));
-                                   }}});
+  Tensor mask = ew(a.value(),
+                   [lo, hi](double x) { return (x > lo && x < hi) ? 1.0 : 0.0; });
+  Tensor out = ew(a.value(),
+                  [lo, hi](double x) { return std::clamp(x, lo, hi); });
+  return make_op(std::move(out), a, [mask](const Var& g) {
+    return mul(g, constant(mask));
+  });
 }
 
 Var sqrt(const Var& a) { return pow_scalar(a, 0.5); }
+
+// ---- fused chains ----------------------------------------------------------
+
+Var scale_add(const Var& a, const Var& b, double s) {
+  FEDML_CHECK(a.value().same_shape(b.value()), "scale_add: shape mismatch");
+  return make_op(tensor::scale_add(a.value(), b.value(), s),
+                 a, [](const Var& g) { return g; },
+                 b, [s](const Var& g) { return smul(g, s); });
+}
+
+Var sigmoid_vjp(const Var& g, const Var& s) {
+  FEDML_CHECK(g.value().same_shape(s.value()), "sigmoid_vjp: shape mismatch");
+  Tensor out(g.rows(), g.cols());
+  kern::sigmoid_mul(out.size(), g.value().data(), s.value().data(), out.data());
+  return make_op(std::move(out),
+                 g, [s](const Var& G) { return sigmoid_vjp(G, s); },
+                 s, [g, s](const Var& G) {
+                   // ∂(g·s·(1−s))/∂s = g·(1−2s).
+                   const Var one = constant(Tensor::ones(s.rows(), s.cols()));
+                   return mul(mul(G, g), scale_add(one, s, -2.0));
+                 });
+}
+
+Var tanh_vjp(const Var& g, const Var& t) {
+  FEDML_CHECK(g.value().same_shape(t.value()), "tanh_vjp: shape mismatch");
+  Tensor out(g.rows(), g.cols());
+  kern::tanh_mul(out.size(), g.value().data(), t.value().data(), out.data());
+  return make_op(std::move(out),
+                 g, [t](const Var& G) { return tanh_vjp(G, t); },
+                 t, [g, t](const Var& G) {
+                   // ∂(g·(1−t²))/∂t = −2·g·t.
+                   return mul(mul(G, g), smul(t, -2.0));
+                 });
+}
 
 Var concat_rows(const Var& a, const Var& b) {
   FEDML_CHECK(a.cols() == b.cols(), "concat_rows: column mismatch");
@@ -206,8 +296,8 @@ Var concat_rows(const Var& a, const Var& b) {
   for (std::size_t i = 0; i < rb; ++i)
     for (std::size_t j = 0; j < c; ++j) out(ra + i, j) = b.value()(i, j);
   return make_op(std::move(out),
-                 {{a, [ra](const Var& g) { return slice_rows(g, 0, ra); }},
-                  {b, [ra, rb](const Var& g) { return slice_rows(g, ra, rb); }}});
+                 a, [ra](const Var& g) { return slice_rows(g, 0, ra); },
+                 b, [ra, rb](const Var& g) { return slice_rows(g, ra, rb); });
 }
 
 Var slice_rows(const Var& a, std::size_t begin, std::size_t count) {
@@ -217,66 +307,41 @@ Var slice_rows(const Var& a, std::size_t begin, std::size_t count) {
   for (std::size_t i = 0; i < count; ++i)
     for (std::size_t j = 0; j < c; ++j) out(i, j) = a.value()(begin + i, j);
   return make_op(
-      std::move(out),
-      {{a, [begin, count, total, c](const Var& g) {
-          // Scatter the slice gradient back into a zero tensor: build as
-          // zeros ⊕ g ⊕ zeros via concat so the backward stays differentiable.
-          Var acc = g;
-          if (begin > 0) {
-            acc = concat_rows(constant(Tensor::zeros(begin, c)), acc);
-          }
-          const std::size_t tail = total - begin - count;
-          if (tail > 0) {
-            acc = concat_rows(acc, constant(Tensor::zeros(tail, c)));
-          }
-          return acc;
-        }}});
+      std::move(out), a, [begin, count, total, c](const Var& g) {
+        // Scatter the slice gradient back into a zero tensor: build as
+        // zeros ⊕ g ⊕ zeros via concat so the backward stays differentiable.
+        Var acc = g;
+        if (begin > 0) {
+          acc = concat_rows(constant(Tensor::zeros(begin, c)), acc);
+        }
+        const std::size_t tail = total - begin - count;
+        if (tail > 0) {
+          acc = concat_rows(acc, constant(Tensor::zeros(tail, c)));
+        }
+        return acc;
+      });
 }
 
-namespace {
-
-/// Raw valid-correlation kernel shared by the conv ops.
-Tensor conv_forward(const Tensor& x, const Tensor& kernel, std::size_t h,
-                    std::size_t w) {
+Var conv2d_valid(const Var& x, const Var& kernel, std::size_t h, std::size_t w) {
   const std::size_t k = kernel.rows();
   FEDML_CHECK(kernel.cols() == k, "conv kernel must be square");
   FEDML_CHECK(k >= 1 && k <= h && k <= w, "conv kernel larger than image");
   FEDML_CHECK(x.cols() == h * w, "conv input width must equal h*w");
   const std::size_t oh = h - k + 1, ow = w - k + 1;
-  Tensor out(x.rows(), oh * ow);
-  for (std::size_t b = 0; b < x.rows(); ++b) {
-    for (std::size_t i = 0; i < oh; ++i) {
-      for (std::size_t j = 0; j < ow; ++j) {
-        double s = 0.0;
-        for (std::size_t p = 0; p < k; ++p)
-          for (std::size_t q = 0; q < k; ++q)
-            s += x(b, (i + p) * w + (j + q)) * kernel(p, q);
-        out(b, i * ow + j) = s;
-      }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-Var conv2d_valid(const Var& x, const Var& kernel, std::size_t h, std::size_t w) {
-  const std::size_t k = kernel.rows();
-  Tensor value = conv_forward(x.value(), kernel.value(), h, w);
-  const std::size_t oh = h - k + 1, ow = w - k + 1;
+  Tensor value(x.rows(), oh * ow);
+  kern::conv_valid(x.rows(), h, w, k, x.value().data(), kernel.value().data(),
+                   value.data());
   return make_op(
       std::move(value),
-      {{x,
-        [kernel, h, w, oh, ow, k](const Var& g) {
-          // dx = valid-corr(pad(g, k−1), flip(K)) — the standard
-          // transposed-convolution identity; differentiable throughout.
-          const Var padded = pad2d(g, oh, ow, k - 1);
-          return conv2d_valid(padded, flip_matrix(kernel), oh + 2 * (k - 1),
-                              ow + 2 * (k - 1));
-        }},
-       {kernel, [x, h, w](const Var& g) {
-          return conv2d_kernel_grad(x, g, h, w);
-        }}});
+      x,
+      [kernel, h, w, oh, ow, k](const Var& g) {
+        // dx = valid-corr(pad(g, k−1), flip(K)) — the standard
+        // transposed-convolution identity; differentiable throughout.
+        const Var padded = pad2d(g, oh, ow, k - 1);
+        return conv2d_valid(padded, flip_matrix(kernel), oh + 2 * (k - 1),
+                            ow + 2 * (k - 1));
+      },
+      kernel, [x, h, w](const Var& g) { return conv2d_kernel_grad(x, g, h, w); });
 }
 
 Var conv2d_kernel_grad(const Var& x, const Var& g, std::size_t h, std::size_t w) {
@@ -295,38 +360,27 @@ Var conv2d_kernel_grad(const Var& x, const Var& g, std::size_t h, std::size_t w)
   FEDML_CHECK(k != 0, "conv kernel grad: inconsistent geometry");
 
   Tensor out(k, k);
-  for (std::size_t p = 0; p < k; ++p) {
-    for (std::size_t q = 0; q < k; ++q) {
-      double s = 0.0;
-      for (std::size_t b = 0; b < x.rows(); ++b)
-        for (std::size_t i = 0; i < oh; ++i)
-          for (std::size_t j = 0; j < ow; ++j)
-            s += x.value()(b, (i + p) * w + (j + q)) * g.value()(b, i * ow + j);
-      out(p, q) = s;
-    }
-  }
+  kern::conv_kernel_grad(x.rows(), h, w, k, x.value().data(), g.value().data(),
+                         out.data());
   return make_op(
       std::move(out),
-      {{x,
-        [g, oh, ow, k](const Var& s) {
-          const Var padded = pad2d(g, oh, ow, k - 1);
-          return conv2d_valid(padded, flip_matrix(s), oh + 2 * (k - 1),
-                              ow + 2 * (k - 1));
-        }},
-       {g, [x, h, w](const Var& s) { return conv2d_valid(x, s, h, w); }}});
+      x,
+      [g, oh, ow, k](const Var& s) {
+        const Var padded = pad2d(g, oh, ow, k - 1);
+        return conv2d_valid(padded, flip_matrix(s), oh + 2 * (k - 1),
+                            ow + 2 * (k - 1));
+      },
+      g, [x, h, w](const Var& s) { return conv2d_valid(x, s, h, w); });
 }
 
 Var pad2d(const Var& x, std::size_t h, std::size_t w, std::size_t pad) {
   FEDML_CHECK(x.cols() == h * w, "pad2d: input width must equal h*w");
   const std::size_t ph = h + 2 * pad, pw = w + 2 * pad;
   Tensor out(x.rows(), ph * pw);
-  for (std::size_t b = 0; b < x.rows(); ++b)
-    for (std::size_t i = 0; i < h; ++i)
-      for (std::size_t j = 0; j < w; ++j)
-        out(b, (i + pad) * pw + (j + pad)) = x.value()(b, i * w + j);
-  return make_op(std::move(out), {{x, [ph, pw, pad](const Var& g) {
-                                     return crop2d(g, ph, pw, pad);
-                                   }}});
+  kern::pad2d(x.rows(), h, w, pad, x.value().data(), out.data());
+  return make_op(std::move(out), x, [ph, pw, pad](const Var& g) {
+    return crop2d(g, ph, pw, pad);
+  });
 }
 
 Var crop2d(const Var& x, std::size_t h, std::size_t w, std::size_t pad) {
@@ -334,25 +388,19 @@ Var crop2d(const Var& x, std::size_t h, std::size_t w, std::size_t pad) {
   FEDML_CHECK(2 * pad < h && 2 * pad < w, "crop2d: pad too large");
   const std::size_t ch = h - 2 * pad, cw = w - 2 * pad;
   Tensor out(x.rows(), ch * cw);
-  for (std::size_t b = 0; b < x.rows(); ++b)
-    for (std::size_t i = 0; i < ch; ++i)
-      for (std::size_t j = 0; j < cw; ++j)
-        out(b, i * cw + j) = x.value()(b, (i + pad) * w + (j + pad));
-  return make_op(std::move(out), {{x, [ch, cw, pad](const Var& g) {
-                                     return pad2d(g, ch, cw, pad);
-                                   }}});
+  kern::crop2d(x.rows(), h, w, pad, x.value().data(), out.data());
+  return make_op(std::move(out), x, [ch, cw, pad](const Var& g) {
+    return pad2d(g, ch, cw, pad);
+  });
 }
 
 Var flip2d(const Var& x, std::size_t h, std::size_t w) {
   FEDML_CHECK(x.cols() == h * w, "flip2d: input width must equal h*w");
   Tensor out(x.rows(), h * w);
-  for (std::size_t b = 0; b < x.rows(); ++b)
-    for (std::size_t i = 0; i < h; ++i)
-      for (std::size_t j = 0; j < w; ++j)
-        out(b, i * w + j) = x.value()(b, (h - 1 - i) * w + (w - 1 - j));
-  return make_op(std::move(out), {{x, [h, w](const Var& g) {
-                                     return flip2d(g, h, w);
-                                   }}});
+  kern::flip2d(x.rows(), h, w, x.value().data(), out.data());
+  return make_op(std::move(out), x, [h, w](const Var& g) {
+    return flip2d(g, h, w);
+  });
 }
 
 Var concat_cols(const Var& a, const Var& b) {
@@ -364,8 +412,8 @@ Var concat_cols(const Var& a, const Var& b) {
     for (std::size_t j = 0; j < cb; ++j) out(i, ca + j) = b.value()(i, j);
   }
   return make_op(std::move(out),
-                 {{a, [ca](const Var& g) { return slice_cols(g, 0, ca); }},
-                  {b, [ca, cb](const Var& g) { return slice_cols(g, ca, cb); }}});
+                 a, [ca](const Var& g) { return slice_cols(g, 0, ca); },
+                 b, [ca, cb](const Var& g) { return slice_cols(g, ca, cb); });
 }
 
 Var slice_cols(const Var& a, std::size_t begin, std::size_t count) {
@@ -375,25 +423,21 @@ Var slice_cols(const Var& a, std::size_t begin, std::size_t count) {
   for (std::size_t i = 0; i < r; ++i)
     for (std::size_t j = 0; j < count; ++j) out(i, j) = a.value()(i, begin + j);
   return make_op(
-      std::move(out),
-      {{a, [begin, count, total, r](const Var& g) {
-          Var acc = g;
-          if (begin > 0)
-            acc = concat_cols(constant(Tensor::zeros(r, begin)), acc);
-          const std::size_t tail = total - begin - count;
-          if (tail > 0) acc = concat_cols(acc, constant(Tensor::zeros(r, tail)));
-          return acc;
-        }}});
+      std::move(out), a, [begin, count, total, r](const Var& g) {
+        Var acc = g;
+        if (begin > 0)
+          acc = concat_cols(constant(Tensor::zeros(r, begin)), acc);
+        const std::size_t tail = total - begin - count;
+        if (tail > 0) acc = concat_cols(acc, constant(Tensor::zeros(r, tail)));
+        return acc;
+      });
 }
 
 Var flip_matrix(const Var& a) {
   const std::size_t r = a.rows(), c = a.cols();
   Tensor out(r, c);
-  for (std::size_t i = 0; i < r; ++i)
-    for (std::size_t j = 0; j < c; ++j)
-      out(i, j) = a.value()(r - 1 - i, c - 1 - j);
-  return make_op(std::move(out),
-                 {{a, [](const Var& g) { return flip_matrix(g); }}});
+  kern::flip_matrix(r, c, a.value().data(), out.data());
+  return make_op(std::move(out), a, [](const Var& g) { return flip_matrix(g); });
 }
 
 Var l1_norm(const Var& a) { return sum(abs(a)); }
@@ -413,34 +457,33 @@ Var gather_cols(const Var& a, std::vector<std::size_t> index) {
   // order of argument evaluation within make_op(...) is unspecified.
   Tensor value = tensor::gather_cols(a.value(), index);
   return make_op(std::move(value),
-                 {{a, [index = std::move(index), c](const Var& g) {
-                     return scatter_cols(g, index, c);
-                   }}});
+                 a, [index = std::move(index), c](const Var& g) {
+                   return scatter_cols(g, index, c);
+                 });
 }
 
 Var scatter_cols(const Var& v, std::vector<std::size_t> index, std::size_t cols) {
   Tensor value = tensor::scatter_cols(v.value(), index, cols);
-  return make_op(std::move(value), {{v, [index = std::move(index)](const Var& g) {
-                                       return gather_cols(g, index);
-                                     }}});
+  return make_op(std::move(value), v, [index = std::move(index)](const Var& g) {
+    return gather_cols(g, index);
+  });
 }
 
 Var gather_rows(const Var& a, std::vector<std::size_t> index) {
   const std::size_t r = a.rows();
   Tensor value = tensor::gather_rows(a.value(), index);
   return make_op(std::move(value),
-                 {{a, [index = std::move(index), r](const Var& g) {
-                     return scatter_add_rows(g, index, r);
-                   }}});
+                 a, [index = std::move(index), r](const Var& g) {
+                   return scatter_add_rows(g, index, r);
+                 });
 }
 
 Var scatter_add_rows(const Var& v, std::vector<std::size_t> index,
                      std::size_t rows) {
   Tensor value = tensor::scatter_add_rows(v.value(), index, rows);
-  return make_op(std::move(value),
-                 {{v, [index = std::move(index)](const Var& g) {
-                     return gather_rows(g, index);
-                   }}});
+  return make_op(std::move(value), v, [index = std::move(index)](const Var& g) {
+    return gather_rows(g, index);
+  });
 }
 
 Var dot(const Var& a, const Var& b) { return sum(mul(a, b)); }

@@ -27,6 +27,12 @@ Var div(const Var& a, const Var& b);
 
 // ---- linear algebra --------------------------------------------------------
 Var matmul(const Var& a, const Var& b);
+/// a · bᵀ as one op (a: m×k, b: n×k). The kFast matmul backward builds this
+/// instead of materializing transpose(b); closed under differentiation with
+/// matmul and matmul_tn, so every derivative order stays exact.
+Var matmul_nt(const Var& a, const Var& b);
+/// aᵀ · b as one op (a: k×m, b: k×n).
+Var matmul_tn(const Var& a, const Var& b);
 Var transpose(const Var& a);
 
 // ---- reductions / broadcasts ------------------------------------------------
@@ -111,6 +117,18 @@ Var slice_rows(const Var& a, std::size_t begin, std::size_t count);
 Var concat_cols(const Var& a, const Var& b);
 /// Columns [begin, begin+count) as an R×count tensor.
 Var slice_cols(const Var& a, std::size_t begin, std::size_t count);
+
+// ---- fused chains --------------------------------------------------------------
+/// a + s·b in one op — the SGD inner-step chain sub(a, smul(b, −s)). Linear
+/// in both parents, hence exact to every derivative order; the kFast
+/// sgd_step_graph builds this instead of a two-node chain.
+Var scale_add(const Var& a, const Var& b, double s);
+/// g ⊙ s ⊙ (1 − s) in one op: the sigmoid backward chain, with s the
+/// sigmoid output. Self-similar backward (the g edge is another
+/// sigmoid_vjp), exact to every order.
+Var sigmoid_vjp(const Var& g, const Var& s);
+/// g ⊙ (1 − t²) in one op: the tanh backward chain, t = tanh output.
+Var tanh_vjp(const Var& g, const Var& t);
 
 // ---- composites ---------------------------------------------------------------
 /// Frobenius inner product as 1×1.

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "autodiff/ops.h"
+#include "kern/arena.h"
 #include "util/error.h"
 
 namespace fedml::autodiff {
@@ -14,10 +15,20 @@ std::uint64_t next_node_id() {
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
+
+NodePtr alloc_node() {
+  if (kern::ArenaPtr arena = kern::current_arena()) {
+    // Control block + Node in one arena bump; the allocator copy inside the
+    // control block holds the arena reference that keeps storage alive.
+    return std::allocate_shared<Node>(
+        kern::ArenaAllocator<Node>(std::move(arena)));
+  }
+  return std::make_shared<Node>();
+}
 }  // namespace detail
 
 Var::Var(tensor::Tensor value, bool requires_grad) {
-  auto n = std::make_shared<detail::Node>();
+  auto n = detail::alloc_node();
   n->value = std::move(value);
   n->requires_grad = requires_grad;
   n->id = detail::next_node_id();
@@ -31,16 +42,43 @@ const tensor::Tensor& Var::value() const {
 
 Var Var::detach() const { return Var(value(), /*requires_grad=*/false); }
 
-Var make_op(tensor::Tensor value,
-            std::vector<std::pair<Var, std::function<Var(const Var&)>>> parents) {
-  auto n = std::make_shared<detail::Node>();
+namespace {
+
+detail::NodePtr op_node(tensor::Tensor value) {
+  auto n = detail::alloc_node();
   n->value = std::move(value);
   n->id = detail::next_node_id();
+  return n;
+}
+
+void attach_edge(detail::Node& n, const Var& parent, BackwardFn backward) {
+  FEDML_CHECK(parent.defined(), "op parent is an empty Var");
+  if (!parent.requires_grad()) return;
+  n.requires_grad = true;
+  n.edges.push_back({parent.node(), std::move(backward)});
+}
+
+}  // namespace
+
+Var make_op(tensor::Tensor value, const Var& a, BackwardFn back_a) {
+  auto n = op_node(std::move(value));
+  attach_edge(*n, a, std::move(back_a));
+  return Var(std::move(n));
+}
+
+Var make_op(tensor::Tensor value, const Var& a, BackwardFn back_a, const Var& b,
+            BackwardFn back_b) {
+  auto n = op_node(std::move(value));
+  attach_edge(*n, a, std::move(back_a));
+  attach_edge(*n, b, std::move(back_b));
+  return Var(std::move(n));
+}
+
+Var make_op(tensor::Tensor value,
+            std::vector<std::pair<Var, std::function<Var(const Var&)>>> parents) {
+  auto n = op_node(std::move(value));
   for (auto& [parent, backward] : parents) {
-    FEDML_CHECK(parent.defined(), "op parent is an empty Var");
-    if (!parent.requires_grad()) continue;
-    n->requires_grad = true;
-    n->edges.push_back({parent.node(), std::move(backward)});
+    attach_edge(*n, parent, BackwardFn(std::move(backward)));
   }
   return Var(std::move(n));
 }

@@ -3,13 +3,21 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "kern/small_func.h"
+#include "kern/small_vec.h"
 #include "tensor/tensor.h"
 
 namespace fedml::autodiff {
 
 class Var;
+
+/// Type-erased backward closure. SmallFunc keeps typical captures (a Var or
+/// two, an index vector) inline instead of paying std::function's heap
+/// allocation per tape edge.
+using BackwardFn = kern::SmallFunc<Var(const Var&)>;
 
 namespace detail {
 
@@ -17,21 +25,34 @@ namespace detail {
 /// `edges[k].backward` maps the gradient flowing into this node to the
 /// gradient contribution for parent k — and is itself written with
 /// differentiable ops, which is what makes grad-of-grad exact.
+///
+/// Nodes live either on the plain heap or — inside a kern::Episode — in a
+/// bump arena, chosen by make_op/Var at creation. Arena nodes keep their
+/// arena alive through the allocator stored in the shared_ptr control
+/// block, so an escaping Var can never outlive its storage (see
+/// kern/arena.h for the full lifetime contract).
 struct Node {
   tensor::Tensor value;
   bool requires_grad = false;
   std::uint64_t id = 0;  ///< creation order; parents always have smaller ids
 
   struct Edge {
+    Edge(std::shared_ptr<Node> p, BackwardFn b)
+        : parent(std::move(p)), backward(std::move(b)) {}
     std::shared_ptr<Node> parent;
-    std::function<Var(const Var&)> backward;
+    BackwardFn backward;
   };
-  std::vector<Edge> edges;
+  /// Two inline slots: every op in ops.h has at most two parents; wider
+  /// custom ops spill to the heap.
+  kern::SmallVec<Edge, 2> edges;
 };
 
 using NodePtr = std::shared_ptr<Node>;
 
 std::uint64_t next_node_id();
+
+/// Fresh node from the current episode's arena, or the heap outside one.
+NodePtr alloc_node();
 
 }  // namespace detail
 
@@ -69,10 +90,15 @@ class Var {
   detail::NodePtr node_;
 };
 
-/// Construct the output of an op: `value` is the forward result, `parents`
-/// pairs each parent Var with the closure computing its gradient
-/// contribution from the output gradient. Parents that do not require grad
-/// are skipped, so dead graph branches are never built.
+/// Construct the output of an op: `value` is the forward result, each parent
+/// Var is paired with the closure computing its gradient contribution from
+/// the output gradient. Parents that do not require grad are skipped, so
+/// dead graph branches are never built. The one- and two-parent overloads
+/// cover every op this library defines without building a parents vector.
+Var make_op(tensor::Tensor value, const Var& a, BackwardFn back_a);
+Var make_op(tensor::Tensor value, const Var& a, BackwardFn back_a, const Var& b,
+            BackwardFn back_b);
+/// Generic arity (custom ops, tests).
 Var make_op(tensor::Tensor value,
             std::vector<std::pair<Var, std::function<Var(const Var&)>>> parents);
 

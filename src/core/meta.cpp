@@ -1,6 +1,7 @@
 #include "core/meta.h"
 
 #include "autodiff/ops.h"
+#include "kern/arena.h"
 #include "nn/loss.h"
 #include "nn/params.h"
 #include "util/error.h"
@@ -19,10 +20,21 @@ Var batch_loss(const nn::Module& model, const nn::ParamList& params,
   return nn::softmax_cross_entropy(model.forward(params, x), d.y);
 }
 
+/// Close the episode, then re-materialize `vars` as plain heap leaves. Run
+/// before returning from an Episode scope so results do not pin the arena
+/// (an escaping arena-backed Var keeps the whole block alive and blocks
+/// arena reuse for the next episode).
+nn::ParamList escape_episode(kern::Episode& ep, const nn::ParamList& vars,
+                             bool requires_grad = false) {
+  ep.close();
+  return nn::clone_leaves(vars, requires_grad);
+}
+
 }  // namespace
 
 double empirical_loss(const nn::Module& model, const nn::ParamList& theta,
                       const data::Dataset& d) {
+  kern::Episode ep;  // tape nodes come from a pooled bump arena
   const nn::ParamList frozen = nn::clone_leaves(theta, /*requires_grad=*/false);
   return batch_loss(model, frozen, d).item();
 }
@@ -30,6 +42,7 @@ double empirical_loss(const nn::Module& model, const nn::ParamList& theta,
 double empirical_accuracy(const nn::Module& model, const nn::ParamList& theta,
                           const data::Dataset& d) {
   FEDML_CHECK(d.size() > 0, "accuracy over empty dataset");
+  kern::Episode ep;
   const nn::ParamList frozen = nn::clone_leaves(theta, /*requires_grad=*/false);
   const Var logits = model.forward(frozen, ops::constant(d.x));
   return nn::accuracy(logits.value(), d.y);
@@ -37,10 +50,11 @@ double empirical_accuracy(const nn::Module& model, const nn::ParamList& theta,
 
 nn::ParamList loss_gradient(const nn::Module& model, const nn::ParamList& theta,
                             const data::Dataset& d) {
+  kern::Episode ep;
   const nn::ParamList leaves = nn::clone_leaves(theta, /*requires_grad=*/true);
   const Var loss = batch_loss(model, leaves, d);
   auto grads = autodiff::grad(loss, {leaves.begin(), leaves.end()});
-  return grads;
+  return escape_episode(ep, grads);
 }
 
 nn::ParamList meta_gradient(const nn::Module& model, const nn::ParamList& theta,
@@ -48,6 +62,7 @@ nn::ParamList meta_gradient(const nn::Module& model, const nn::ParamList& theta,
                             const std::vector<const data::Dataset*>& test_sets,
                             double alpha, MetaOrder order) {
   FEDML_CHECK(!test_sets.empty(), "meta_gradient: no test sets");
+  kern::Episode ep;
   nn::ParamList leaves = nn::clone_leaves(theta, /*requires_grad=*/true);
 
   // Inner step on D_train; keep the graph for the second-order term.
@@ -66,7 +81,8 @@ nn::ParamList meta_gradient(const nn::Module& model, const nn::ParamList& theta,
     const Var l = batch_loss(model, phi, *ts);
     outer = outer.defined() ? ops::add(outer, l) : l;
   }
-  return autodiff::grad(outer, {leaves.begin(), leaves.end()});
+  auto meta_grads = autodiff::grad(outer, {leaves.begin(), leaves.end()});
+  return escape_episode(ep, meta_grads);
 }
 
 nn::ParamList meta_gradient(const nn::Module& model, const nn::ParamList& theta,
@@ -81,6 +97,7 @@ nn::ParamList meta_gradient_multistep(
     double alpha, std::size_t inner_steps, MetaOrder order) {
   FEDML_CHECK(!test_sets.empty(), "meta_gradient_multistep: no test sets");
   FEDML_CHECK(inner_steps >= 1, "meta_gradient_multistep: need >= 1 inner step");
+  kern::Episode ep;
   nn::ParamList leaves = nn::clone_leaves(theta, /*requires_grad=*/true);
 
   nn::ParamList current = leaves;
@@ -100,7 +117,8 @@ nn::ParamList meta_gradient_multistep(
     const Var l = batch_loss(model, current, *ts);
     outer = outer.defined() ? ops::add(outer, l) : l;
   }
-  return autodiff::grad(outer, {leaves.begin(), leaves.end()});
+  auto meta_grads = autodiff::grad(outer, {leaves.begin(), leaves.end()});
+  return escape_episode(ep, meta_grads);
 }
 
 double meta_loss_multistep(const nn::Module& model, const nn::ParamList& theta,
@@ -118,12 +136,13 @@ double meta_loss(const nn::Module& model, const nn::ParamList& theta,
 
 nn::ParamList adapt(const nn::Module& model, const nn::ParamList& theta,
                     const data::Dataset& d, double alpha, std::size_t steps) {
+  kern::Episode ep;
   nn::ParamList params = nn::clone_leaves(theta, /*requires_grad=*/false);
   for (std::size_t s = 0; s < steps; ++s) {
     const nn::ParamList g = loss_gradient(model, params, d);
     params = nn::sgd_step_leaf(params, g, alpha);
   }
-  return params;
+  return escape_episode(ep, params);
 }
 
 }  // namespace fedml::core

@@ -25,7 +25,7 @@ Tensor gaussian_bumps(std::size_t side, util::Rng& rng, int bumps,
     double amp = rng.uniform(amp_lo, amp_hi);
     if (signed_amp && rng.uniform() < 0.5) amp = -amp;
     for (std::size_t r = 0; r < side; ++r) {
-      for (std::size_t c = 0; c < side; ++c) {
+      for (std::size_t c = 0; c < side; ++c) {  // lint: allow(kern-dispatch) — one-shot synthetic-image generation, not meta-step hot path
         const double dx = (static_cast<double>(c) - cx) / w;
         const double dy = (static_cast<double>(r) - cy) / w;
         img(0, r * side + c) += amp * std::exp(-0.5 * (dx * dx + dy * dy));
@@ -101,7 +101,7 @@ FederatedDataset make_mnist_like(const MnistLikeConfig& config) {
     for (std::size_t s = 0; s < n; ++s) {
       const std::size_t cls = (rng.uniform() < 0.5) ? c1 : c2;
       const Tensor& proto = node_proto[cls];
-      for (std::size_t j = 0; j < dim; ++j) {
+      for (std::size_t j = 0; j < dim; ++j) {  // lint: allow(kern-dispatch) — one-shot dataset synthesis, not meta-step hot path
         const double v = contrast * proto(0, j) + shift +
                          rng.normal(0.0, config.pixel_noise);
         ds.x(s, j) = std::clamp(v, 0.0, 1.0);

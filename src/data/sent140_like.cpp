@@ -53,16 +53,16 @@ FederatedDataset make_sent140_like(const Sent140LikeConfig& config) {
       const double sign = (y == 1) ? 1.0 : -1.0;
       double maxlogit = -1e300;
       std::vector<double> logits(config.vocab);
-      for (std::size_t v = 0; v < config.vocab; ++v) {
+      for (std::size_t v = 0; v < config.vocab; ++v) {  // lint: allow(kern-dispatch) — one-shot vocabulary-logit synthesis, not meta-step hot path
         logits[v] = style[v] + sign * (score[v] + drift[v]) * config.temperature;
         maxlogit = std::max(maxlogit, logits[v]);
       }
       double z = 0.0;
-      for (std::size_t v = 0; v < config.vocab; ++v) {
+      for (std::size_t v = 0; v < config.vocab; ++v) {  // lint: allow(kern-dispatch) — one-shot CDF build at dataset creation
         z += std::exp(logits[v] - maxlogit);
         cdf[static_cast<std::size_t>(y)][v] = z;
       }
-      for (std::size_t v = 0; v < config.vocab; ++v)
+      for (std::size_t v = 0; v < config.vocab; ++v)  // lint: allow(kern-dispatch) — one-shot CDF normalization at dataset creation
         cdf[static_cast<std::size_t>(y)][v] /= z;
     }
     const auto sample_token = [&](std::size_t y) {

@@ -60,7 +60,7 @@ FederatedDataset make_synthetic(const SyntheticConfig& config) {
       // y = argmax(Wx + b); softmax is monotone so the argmax is identical.
       std::size_t best = 0;
       double best_score = -1e300;
-      for (std::size_t r = 0; r < c; ++r) {
+      for (std::size_t r = 0; r < c; ++r) {  // lint: allow(kern-dispatch) — one-shot label synthesis, not meta-step hot path
         double score = b(r, 0);
         for (std::size_t k = 0; k < d; ++k) score += w(r, k) * ds.x(s, k);
         if (score > best_score) {

@@ -23,15 +23,14 @@ CompressedBlob quantize_int8(const nn::ParamList& params) {
   for (const auto& p : params) {
     const Tensor& t = p.value();
     double absmax = 0.0;
-    for (std::size_t i = 0; i < t.size(); ++i)
-      absmax = std::max(absmax, std::abs(t.data()[i]));
+    for (const double x : t.flat()) absmax = std::max(absmax, std::abs(x));
     const double scale = absmax > 0.0 ? absmax / 127.0 : 1.0;
     w.write_u64(t.rows());
     w.write_u64(t.cols());
     w.write_f64(scale);
-    for (std::size_t i = 0; i < t.size(); ++i) {
+    for (const double x : t.flat()) {
       const auto q = static_cast<std::int8_t>(
-          std::lround(std::clamp(t.data()[i] / scale, -127.0, 127.0)));
+          std::lround(std::clamp(x / scale, -127.0, 127.0)));
       w.write_u8(static_cast<std::uint8_t>(q));
     }
   }
@@ -48,12 +47,13 @@ nn::ParamList dequantize_int8(const CompressedBlob& blob) {
     const auto rows = r.read_u64();
     const auto cols = r.read_u64();
     const double scale = r.read_f64();
-    Tensor t(rows, cols);
-    for (std::size_t i = 0; i < t.size(); ++i) {
+    std::vector<double> values(rows * cols);
+    for (double& v : values) {
       const auto q = static_cast<std::int8_t>(r.read_u8());
-      t.data()[i] = static_cast<double>(q) * scale;
+      v = static_cast<double>(q) * scale;
     }
-    out.emplace_back(std::move(t), /*requires_grad=*/true);
+    out.emplace_back(Tensor(rows, cols, std::move(values)),
+                     /*requires_grad=*/true);
   }
   return out;
 }
@@ -69,7 +69,7 @@ CompressedBlob sparsify_topk(const nn::ParamList& params, double fraction) {
 
   // Magnitude threshold for the top `keep` entries.
   std::vector<double> mags(total);
-  for (std::size_t i = 0; i < total; ++i) mags[i] = std::abs(flat.data()[i]);
+  for (std::size_t i = 0; i < total; ++i) mags[i] = std::abs(flat.flat()[i]);
   std::nth_element(mags.begin(),
                    mags.begin() + static_cast<std::ptrdiff_t>(keep - 1),
                    mags.end(), std::greater<>());
@@ -87,7 +87,8 @@ CompressedBlob sparsify_topk(const nn::ParamList& params, double fraction) {
   std::vector<std::pair<std::uint64_t, double>> entries;
   entries.reserve(keep);
   for (std::size_t i = 0; i < total && entries.size() < keep; ++i) {
-    if (std::abs(flat.data()[i]) >= threshold) entries.emplace_back(i, flat.data()[i]);
+    const double x = flat.flat()[i];
+    if (std::abs(x) >= threshold) entries.emplace_back(i, x);
   }
   w.write_u64(entries.size());
   for (const auto& [index, value] : entries) {
@@ -123,8 +124,7 @@ double int8_error_bound(const nn::ParamList& params) {
   double bound = 0.0;
   for (const auto& p : params) {
     double absmax = 0.0;
-    for (std::size_t i = 0; i < p.value().size(); ++i)
-      absmax = std::max(absmax, std::abs(p.value().data()[i]));
+    for (const double x : p.value().flat()) absmax = std::max(absmax, std::abs(x));
     bound = std::max(bound, absmax / 254.0);
   }
   return bound;

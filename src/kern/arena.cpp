@@ -1,0 +1,111 @@
+#include "kern/arena.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fedml::kern {
+
+Arena::Arena(std::size_t first_block_bytes) {
+  push_block(std::max<std::size_t>(first_block_bytes, 64));
+}
+
+Arena::~Arena() = default;
+
+void Arena::push_block(std::size_t at_least) {
+  std::size_t size = blocks_.empty() ? at_least : blocks_.back().size * 2;
+  size = std::max(size, at_least);
+  blocks_.push_back({std::make_unique<unsigned char[]>(size), size});
+  reserved_ += size;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  FEDML_DCHECK(align != 0 && (align & (align - 1)) == 0,
+               "arena alignment must be a power of two");
+  for (;;) {
+    Block& b = blocks_[current_];
+    // Align the absolute address, not the block-relative offset: operator
+    // new[] only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ for the block
+    // base, so over-aligned requests must account for where the base sits.
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t aligned =
+        (base + offset_ + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1);
+    const std::size_t end = static_cast<std::size_t>(aligned - base) + bytes;
+    if (end <= b.size) {
+      offset_ = end;
+      in_use_ += bytes;
+      ++allocs_;
+      return reinterpret_cast<void*>(aligned);
+    }
+    // Current block exhausted: advance to the next pooled block or grow.
+    if (current_ + 1 == blocks_.size()) push_block(bytes + align);
+    ++current_;
+    offset_ = 0;
+  }
+}
+
+void Arena::reset() noexcept {
+  current_ = 0;
+  offset_ = 0;
+  in_use_ = 0;
+}
+
+namespace {
+
+struct ThreadArenaState {
+  ArenaPtr current;             ///< arena for new nodes, null = heap
+  std::vector<ArenaPtr> pool;   ///< parked arenas awaiting reuse
+  EpisodeStats stats;
+};
+
+ThreadArenaState& tls_state() {
+  thread_local ThreadArenaState state;
+  return state;
+}
+
+constexpr std::size_t kMaxPooledArenas = 2;
+
+}  // namespace
+
+ArenaPtr current_arena() noexcept { return tls_state().current; }
+
+EpisodeStats episode_stats() noexcept { return tls_state().stats; }
+
+Episode::Episode() {
+  auto& st = tls_state();
+  ++st.stats.episodes;
+  // Reuse a parked arena iff its previous graph has fully died (the pool
+  // holds the only reference); otherwise it is still backing live Vars and
+  // must not be bump-reset.
+  for (auto& parked : st.pool) {
+    if (parked.use_count() == 1) {
+      arena_ = std::move(parked);
+      std::swap(parked, st.pool.back());
+      st.pool.pop_back();
+      arena_->reset();
+      ++st.stats.arenas_reused;
+      break;
+    }
+  }
+  if (!arena_) {
+    arena_ = std::make_shared<Arena>();
+    ++st.stats.arenas_created;
+  }
+  prev_ = std::exchange(st.current, arena_);
+}
+
+void Episode::close() noexcept {
+  if (closed_) return;
+  closed_ = true;
+  tls_state().current = std::move(prev_);
+}
+
+Episode::~Episode() {
+  close();
+  auto& st = tls_state();
+  if (st.pool.size() < kMaxPooledArenas) {
+    st.pool.push_back(std::move(arena_));
+  }
+  // Else: drop our reference; the arena dies once its last node does.
+}
+
+}  // namespace fedml::kern

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fedml::kern {
+
+/// Bump allocator for autodiff tape nodes. One arena backs one
+/// forward/backward episode; allocation is a pointer bump, deallocation is a
+/// no-op, and the whole block list is recycled at once when the episode's
+/// graph dies. Single-threaded by design: each episode (and therefore each
+/// arena) lives on exactly one thread at a time.
+///
+/// Lifetime contract (the part that makes this safe rather than fast-but-
+/// scary): nodes are created through `std::allocate_shared` with an
+/// ArenaAllocator, and the shared_ptr control block stores a copy of that
+/// allocator — which holds a shared_ptr<Arena>. Any Var escaping its episode
+/// therefore keeps the arena (and so its own storage) alive by construction;
+/// there is no way to hold a node after its backing memory is released. The
+/// wholesale "free" happens when the last node of the graph drops the last
+/// arena reference, or — the common path — when Episode returns the
+/// still-live arena to the thread-local pool for bump-reset reuse.
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = kDefaultFirstBlock);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` with `align` (power of two). Grows by doubling
+  /// block sizes when the current block is exhausted.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Reset the bump pointer to the start of the first block, keeping every
+  /// block for reuse. Only legal when nothing allocated from this arena is
+  /// still alive — Episode enforces that by resetting only uniquely-owned
+  /// pooled arenas.
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept { return reserved_; }
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+  /// Total allocations served since construction (never reset — lets tests
+  /// distinguish a recycled arena from a fresh one).
+  [[nodiscard]] std::uint64_t lifetime_allocs() const noexcept { return allocs_; }
+
+  static constexpr std::size_t kDefaultFirstBlock = 64 * 1024;
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size = 0;
+  };
+
+  void push_block(std::size_t at_least);
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;   ///< index of the block being bumped
+  std::size_t offset_ = 0;    ///< bump offset within blocks_[current_]
+  std::size_t in_use_ = 0;
+  std::size_t reserved_ = 0;
+  std::uint64_t allocs_ = 0;
+};
+
+using ArenaPtr = std::shared_ptr<Arena>;
+
+/// The arena new allocations on this thread should come from, or null for
+/// plain heap. Installed/removed by Episode.
+ArenaPtr current_arena() noexcept;
+
+/// std-compatible allocator handing out arena memory — or heap memory when
+/// constructed without an arena. Copies share the arena reference, which is
+/// exactly what keeps escaping nodes safe (see Arena).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(ArenaPtr arena) noexcept : arena_(std::move(arena)) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) noexcept : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_) return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+    // Allocator primitive: raw storage, no object lifetime to manage here.
+    return static_cast<T*>(::operator new(  // lint: allow(naked-new)
+        bytes, std::align_val_t(alignof(T))));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (!arena_)
+      ::operator delete(p, std::align_val_t(alignof(T)));  // lint: allow(naked-new)
+    // Arena memory: no-op; the block list is recycled wholesale.
+  }
+
+  [[nodiscard]] const ArenaPtr& arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_.get() == o.arena().get();
+  }
+
+ private:
+  ArenaPtr arena_;
+};
+
+/// RAII scope marking one forward/backward episode: installs a thread-local
+/// arena on construction and removes it on destruction (including unwind, so
+/// a throwing episode releases its arena like any other). Arenas are pooled
+/// per thread: a finished episode parks its arena, and the next episode
+/// bump-resets and reuses it once the previous graph has fully died —
+/// steady-state meta-training allocates no node memory from the heap at all.
+///
+/// Episodes nest (an outer episode's arena is restored when the inner one
+/// ends), and `close()` ends the scope early: callers deactivate the
+/// episode, then clone escaping results to plain heap leaves.
+class Episode {
+ public:
+  Episode();
+  ~Episode();
+
+  Episode(const Episode&) = delete;
+  Episode& operator=(const Episode&) = delete;
+
+  /// Uninstall this episode's arena now (idempotent). Subsequent node
+  /// allocations on this thread go to the enclosing scope (heap, usually).
+  void close() noexcept;
+
+  /// The arena backing this episode (valid until destruction).
+  [[nodiscard]] const ArenaPtr& arena() const noexcept { return arena_; }
+
+ private:
+  ArenaPtr arena_;
+  ArenaPtr prev_;
+  bool closed_ = false;
+};
+
+/// Episode-pool observability for tests and benches.
+struct EpisodeStats {
+  std::uint64_t episodes = 0;       ///< episodes constructed on this thread
+  std::uint64_t arenas_created = 0; ///< fresh arenas (pool misses)
+  std::uint64_t arenas_reused = 0;  ///< bump-reset reuses (pool hits)
+};
+EpisodeStats episode_stats() noexcept;
+
+}  // namespace fedml::kern

@@ -1,0 +1,86 @@
+#include "kern/conv.h"
+
+#include <cstring>
+
+namespace fedml::kern {
+
+void conv_valid(std::size_t batch, std::size_t h, std::size_t w, std::size_t k,
+                const double* __restrict x, const double* __restrict kernel,
+                double* __restrict out) {
+  const std::size_t oh = h - k + 1, ow = w - k + 1;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* __restrict img = x + b * (h * w);
+    double* __restrict orow = out + b * (oh * ow);
+    for (std::size_t i = 0; i < oh; ++i) {
+      for (std::size_t j = 0; j < ow; ++j) {
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p)
+          for (std::size_t q = 0; q < k; ++q)
+            s += img[(i + p) * w + (j + q)] * kernel[p * k + q];
+        orow[i * ow + j] = s;
+      }
+    }
+  }
+}
+
+void conv_kernel_grad(std::size_t batch, std::size_t h, std::size_t w,
+                      std::size_t k, const double* __restrict x,
+                      const double* __restrict g, double* __restrict out) {
+  const std::size_t oh = h - k + 1, ow = w - k + 1;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t q = 0; q < k; ++q) {
+      double s = 0.0;
+      for (std::size_t b = 0; b < batch; ++b) {
+        const double* __restrict img = x + b * (h * w);
+        const double* __restrict grow = g + b * (oh * ow);
+        for (std::size_t i = 0; i < oh; ++i)
+          for (std::size_t j = 0; j < ow; ++j)
+            s += img[(i + p) * w + (j + q)] * grow[i * ow + j];
+      }
+      out[p * k + q] = s;
+    }
+  }
+}
+
+void pad2d(std::size_t batch, std::size_t h, std::size_t w, std::size_t pad,
+           const double* __restrict x, double* __restrict out) {
+  const std::size_t pw = w + 2 * pad;
+  const std::size_t ph = h + 2 * pad;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* __restrict img = x + b * (h * w);
+    double* __restrict orow = out + b * (ph * pw);
+    for (std::size_t i = 0; i < h; ++i)
+      std::memcpy(orow + (i + pad) * pw + pad, img + i * w, w * sizeof(double));
+  }
+}
+
+void crop2d(std::size_t batch, std::size_t h, std::size_t w, std::size_t pad,
+            const double* __restrict x, double* __restrict out) {
+  const std::size_t ch = h - 2 * pad, cw = w - 2 * pad;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* __restrict img = x + b * (h * w);
+    double* __restrict orow = out + b * (ch * cw);
+    for (std::size_t i = 0; i < ch; ++i)
+      std::memcpy(orow + i * cw, img + (i + pad) * w + pad, cw * sizeof(double));
+  }
+}
+
+void flip2d(std::size_t batch, std::size_t h, std::size_t w,
+            const double* __restrict x, double* __restrict out) {
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* __restrict img = x + b * (h * w);
+    double* __restrict orow = out + b * (h * w);
+    for (std::size_t i = 0; i < h; ++i)
+      for (std::size_t j = 0; j < w; ++j)
+        orow[i * w + j] = img[(h - 1 - i) * w + (w - 1 - j)];
+  }
+}
+
+void flip_matrix(std::size_t r, std::size_t c, const double* __restrict in,
+                 double* __restrict out) {
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j)
+      out[i * c + j] = in[(r - 1 - i) * c + (c - 1 - j)];
+}
+
+}  // namespace fedml::kern

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+
+namespace fedml::kern {
+
+// Single-channel 2-D convolution kernels over batches of flattened h×w
+// images (row-major, one image per row). Loop order matches the historical
+// autodiff/ops.cpp loops exactly — conv results are bit-identical in both
+// modes; these moved here so the hot numeric loops live in one layer.
+
+/// Valid correlation: out[b, i·ow+j] = Σ_{p,q} x[b,(i+p)·w+j+q]·kernel[p,q],
+/// oh = h−k+1, ow = w−k+1. `out` must be zeroed (batch × oh·ow).
+void conv_valid(std::size_t batch, std::size_t h, std::size_t w, std::size_t k,
+                const double* x, const double* kernel, double* out);
+
+/// Kernel gradient: out[p,q] = Σ_b Σ_{i,j} x[b,(i+p)·w+j+q] · g[b,i·ow+j]
+/// into a zeroed k×k buffer.
+void conv_kernel_grad(std::size_t batch, std::size_t h, std::size_t w,
+                      std::size_t k, const double* x, const double* g,
+                      double* out);
+
+/// Zero-pad each h×w image by `pad` on every side into a zeroed
+/// batch × (h+2p)(w+2p) buffer.
+void pad2d(std::size_t batch, std::size_t h, std::size_t w, std::size_t pad,
+           const double* x, double* out);
+
+/// Crop `pad` from every side of each h×w image (inverse of pad2d).
+void crop2d(std::size_t batch, std::size_t h, std::size_t w, std::size_t pad,
+            const double* x, double* out);
+
+/// Rotate each h×w image by 180°.
+void flip2d(std::size_t batch, std::size_t h, std::size_t w, const double* x,
+            double* out);
+
+/// Rotate an r×c matrix by 180°.
+void flip_matrix(std::size_t r, std::size_t c, const double* in, double* out);
+
+}  // namespace fedml::kern

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace fedml::kern {
+
+// Elementwise kernels over raw contiguous buffers. These replace
+// Tensor::map's per-element std::function indirect call with an inlined
+// functor loop — same scalar expressions, so results are bit-identical in
+// both dispatch modes, and every kernel tolerates full aliasing (out may
+// equal any input; loops are strictly elementwise forward passes). That
+// aliasing contract is why these signatures carry no __restrict — the
+// autovectorizer versions the loop on a runtime overlap check instead.
+//
+// The fused chains at the bottom exist for the tape: one fused op node in
+// place of three or four elementwise nodes means one output buffer, one
+// loop, and one backward edge instead of a chain. Each fused kernel computes
+// the same per-element expression (same association) as the chain it
+// replaces.
+
+template <typename F>
+inline void ew_unary(std::size_t n, const double* x,
+                     double* out, F f) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = f(x[i]);
+}
+
+template <typename F>
+inline void ew_binary(std::size_t n, const double* x,
+                      const double* y, double* out, F f) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = f(x[i], y[i]);
+}
+
+// -- linear fusions (exact to every derivative order) ------------------------
+
+/// out = x + s·y — the SGD inner-step chain sub(p, smul(g, lr)) as one
+/// kernel with s = −lr. Bit-identical to the two-op chain: IEEE-754
+/// guarantees (−s)·y = −(s·y) and x + (−t) = x − t exactly.
+inline void scale_add(std::size_t n, const double* x,
+                      const double* y, double s,
+                      double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] + s * y[i];
+}
+
+/// y += s·x (in-place axpy).
+inline void axpy(std::size_t n, double s, const double* x,
+                 double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += s * x[i];
+}
+
+// -- nonlinear forwards ------------------------------------------------------
+
+inline void sigmoid(std::size_t n, const double* x,
+                    double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = 1.0 / (1.0 + std::exp(-x[i]));
+}
+
+// -- fused backward (VJP) chains ---------------------------------------------
+
+/// out = g ⊙ s ⊙ (1 − s): the sigmoid backward chain mul(g, mul(s,
+/// sub(1, s))) in one pass. Same association as the chain: g·(s·(1−s)).
+inline void sigmoid_mul(std::size_t n, const double* g,
+                        const double* s, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = g[i] * (s[i] * (1.0 - s[i]));
+}
+
+/// out = g ⊙ (1 − t²): the tanh backward chain mul(g, sub(1, mul(t, t))).
+inline void tanh_mul(std::size_t n, const double* g,
+                     const double* t, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = g[i] * (1.0 - t[i] * t[i]);
+}
+
+/// out = a ⊙ b ⊙ c (three-way Hadamard, associated (a·b)·c).
+inline void mul3(std::size_t n, const double* a,
+                 const double* b, const double* c,
+                 double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = (a[i] * b[i]) * c[i];
+}
+
+// -- optimizer fusions -------------------------------------------------------
+
+/// state = state·decay + x, the SGD momentum accumulation.
+inline void decay_add(std::size_t n, double decay, const double* x,
+                      double* state) {
+  for (std::size_t i = 0; i < n; ++i) state[i] = state[i] * decay + x[i];
+}
+
+/// state = state·decay + x·(1 − decay), the Adam EMA update, same
+/// association as the tensor-temporary chain it replaces.
+inline void ema_update(std::size_t n, double decay, const double* x,
+                       double* state) {
+  for (std::size_t i = 0; i < n; ++i)
+    state[i] = state[i] * decay + x[i] * (1.0 - decay);
+}
+
+/// Second-moment EMA: state = state·decay + x²·(1 − decay).
+inline void ema_update_sq(std::size_t n, double decay,
+                          const double* x,
+                          double* state) {
+  for (std::size_t i = 0; i < n; ++i)
+    state[i] = state[i] * decay + (x[i] * x[i]) * (1.0 - decay);
+}
+
+/// out = p − lr·(m/bc1) / (√(v/bc2) + eps): the bias-corrected Adam step,
+/// per-element expression unchanged from the historical loop.
+inline void adam_step(std::size_t n, const double* p,
+                      const double* m, const double* v,
+                      double bc1, double bc2, double lr, double eps,
+                      double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mhat = m[i] / bc1;
+    const double vhat = v[i] / bc2;
+    out[i] = p[i] - lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+}  // namespace fedml::kern

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+namespace fedml::kern {
+
+// Row gather/scatter kernels backing nn::embedding lookups and their
+// adjoints. Index validation stays in the tensor layer (these are trusted
+// inner loops); rows are contiguous in row-major storage, so gathers are
+// straight memcpys and scatter-add is one axpy-shaped pass per row. Both
+// directions visit indices in order, so results are bit-identical across
+// modes (scatter-add accumulation order == index order, as before).
+
+/// out[i,:] = src[index[i],:] for i in [0, index.size()); rows of width
+/// `cols`.
+inline void gather_rows(const double* __restrict src,
+                        const std::vector<std::size_t>& index,
+                        std::size_t cols, double* __restrict out) {
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    std::memcpy(out + i * cols, src + index[i] * cols, cols * sizeof(double));
+  }
+}
+
+/// out[index[i],:] += v[i,:] — repeated indices accumulate in index order.
+inline void scatter_add_rows(const double* __restrict v,
+                             const std::vector<std::size_t>& index,
+                             std::size_t cols, double* out) {
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    const double* __restrict vrow = v + i * cols;
+    double* orow = out + index[i] * cols;
+    for (std::size_t j = 0; j < cols; ++j) orow[j] += vrow[j];
+  }
+}
+
+/// out[i] = a[i, index[i]] over an R×C row-major buffer.
+inline void gather_cols(const double* __restrict a,
+                        const std::vector<std::size_t>& index, std::size_t cols,
+                        double* __restrict out) {
+  for (std::size_t i = 0; i < index.size(); ++i) out[i] = a[i * cols + index[i]];
+}
+
+/// out[i, index[i]] = v[i] into a zeroed R×C row-major buffer.
+inline void scatter_cols(const double* __restrict v,
+                         const std::vector<std::size_t>& index, std::size_t cols,
+                         double* __restrict out) {
+  for (std::size_t i = 0; i < index.size(); ++i) out[i * cols + index[i]] = v[i];
+}
+
+}  // namespace fedml::kern

@@ -1,0 +1,54 @@
+#include "kern/gemm.h"
+
+namespace fedml::kern {
+
+namespace {
+
+/// Compat path: byte-for-byte the historical tensor::matmul loop. The
+/// aik==0 skip is part of the contract — it changes signed-zero/NaN results
+/// and, on the sparse MNIST-like inputs, the observed summation sequence.
+///
+/// This TU deliberately stays on the project-default codegen flags: the
+/// bit-identity contract covers not just the source loop but the baseline
+/// ISA it has always been compiled for (no FMA contraction, no wider
+/// vectors changing the reduction). The kFast kernels live in gemm_fast.cpp,
+/// which the build may compile with -march=native.
+void gemm_compat(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                 const double* b, double* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a[i * k + kk];
+      if (aik == 0.0) continue;
+      const double* brow = b + kk * n;
+      double* orow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, const double* a,
+          const double* b, double* c, Mode mode) {
+  if (m == 0 || n == 0 || k == 0) return;  // out stays zero
+  if (mode == Mode::kCompat) {
+    gemm_compat(m, n, k, a, b, c);
+  } else {
+    detail::gemm_fast(m, n, k, a, b, c);
+  }
+}
+
+void transpose(std::size_t m, std::size_t n, const double* __restrict in,
+               double* __restrict out) {
+  constexpr std::size_t kBlock = 32;
+  for (std::size_t ib = 0; ib < m; ib += kBlock) {
+    const std::size_t ie = ib + kBlock < m ? ib + kBlock : m;
+    for (std::size_t jb = 0; jb < n; jb += kBlock) {
+      const std::size_t je = jb + kBlock < n ? jb + kBlock : n;
+      for (std::size_t i = ib; i < ie; ++i)
+        for (std::size_t j = jb; j < je; ++j) out[j * m + i] = in[i * n + j];
+    }
+  }
+}
+
+}  // namespace fedml::kern

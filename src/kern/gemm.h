@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+
+#include "kern/kern.h"
+
+namespace fedml::kern {
+
+// Dense double-precision matrix kernels over raw row-major buffers. All
+// output buffers must be zero-initialized by the caller (Tensor's default)
+// and must not alias the inputs. `mode` picks the dispatch:
+//
+//  - kCompat: the exact pre-kern loop — ikj order with the aik==0 row skip —
+//    bit-identical to the historical tensor::matmul, summation order and
+//    signed-zero behavior included.
+//  - kFast: 4-row-unrolled ikj with __restrict and (for large k·n) a packed
+//    B panel so the autovectorizer gets clean contiguous streams. Per-output
+//    k-accumulation stays in increasing-k order, but no bit guarantee is
+//    made against kCompat (the zero-skip changes signed-zero/NaN edge
+//    cases), and the parallel policy may split rows across threads.
+
+/// c[m×n] += a[m×k] · b[k×n].
+void gemm(std::size_t m, std::size_t n, std::size_t k, const double* a,
+          const double* b, double* c, Mode mode);
+
+/// c[m×n] += a[m×k] · b[n×k]ᵀ — the backward-pass dA = G·Bᵀ shape, computed
+/// directly from B's natural layout (no transposed copy is materialized).
+/// Row-dot kernel: both operands stream contiguously. kFast only by
+/// construction (the compat graph never builds this op).
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             const double* b, double* c);
+
+/// c[m×n] += a[k×m]ᵀ · b[k×n] — the backward-pass dB = Aᵀ·G shape as a
+/// sequence of rank-1 updates, again with no transposed copy.
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             const double* b, double* c);
+
+/// out[n×m] = in[m×n]ᵀ (blocked copy).
+void transpose(std::size_t m, std::size_t n, const double* in, double* out);
+
+namespace detail {
+/// The kFast gemm body, defined in gemm_fast.cpp so the build can compile it
+/// with a raised ISA floor (see that file). Call kern::gemm with kFast
+/// instead of this directly.
+void gemm_fast(std::size_t m, std::size_t n, std::size_t k, const double* a,
+               const double* b, double* c);
+}  // namespace detail
+
+}  // namespace fedml::kern

@@ -1,0 +1,287 @@
+// kFast-only matrix kernels, split into their own translation unit so the
+// build can raise the ISA floor here (-march=native, FMA contraction; see
+// src/kern/CMakeLists.txt) without touching the compat path: kCompat's
+// bit-identity contract requires the baseline codegen the historical loops
+// were compiled with, while these kernels promise only numerical
+// equivalence and may re-associate or fuse freely.
+//
+// Two implementations per kernel:
+//
+//  - An AVX-512 register-tile path (compiled in when the raised ISA floor
+//    exposes __AVX512F__): a block of R output rows × NV vector columns is
+//    held in zmm accumulators across the entire k reduction and stored once.
+//    Profiling the second-order meta-gradient showed the portable loops
+//    bound by re-loading and re-storing C rows every k iteration; the
+//    explicit tile removes that traffic (the equivalent stack-array
+//    formulation was measured and lost — GCC spills the tile — hence
+//    intrinsics).
+//  - A portable fallback with 4-row unrolling and __restrict streams for
+//    builds without AVX-512 (or with FEDML_KERN_NATIVE=OFF).
+//
+// Both paths keep each output's k-accumulation in increasing-k order; only
+// vector-lane blocking and FMA contraction distinguish their rounding from
+// the compat loop.
+
+#include "kern/gemm.h"
+
+#include <vector>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace fedml::kern {
+
+namespace {
+
+#if defined(__AVX512F__)
+
+constexpr std::size_t kVec = 8;       ///< doubles per zmm register
+constexpr std::size_t kMaxCols = 24;  ///< columns per j-block (3 vectors)
+
+/// R×(NV·8) register tile: acc[r][v] accumulates row r of C across the whole
+/// k loop. The A element feeding row r at step kk sits at
+/// a[r·a_rstride + kk·a_kstride] — (a_rstride=k, a_kstride=1) walks rows of
+/// a dense m×k A (gemm), (a_rstride=1, a_kstride=m) walks columns of a k×m
+/// A (gemm_tn) — so one tile serves both kernels. The last column vector is
+/// masked to the j-block's true width.
+template <int R, int NV>
+inline void mm_tile(std::size_t k, const double* __restrict a,
+                    std::size_t a_rstride, std::size_t a_kstride,
+                    const double* __restrict b, std::size_t ldb,
+                    double* __restrict c, std::size_t ldc, __mmask8 tail) {
+  __m512d acc[R][NV];
+  for (int r = 0; r < R; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm512_setzero_pd();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const double* brow = b + kk * ldb;
+    __m512d bv[NV];
+    for (int v = 0; v < NV - 1; ++v) bv[v] = _mm512_loadu_pd(brow + kVec * v);
+    bv[NV - 1] = _mm512_maskz_loadu_pd(tail, brow + kVec * (NV - 1));
+    const double* ak = a + kk * a_kstride;
+    for (int r = 0; r < R; ++r) {
+      const __m512d av = _mm512_set1_pd(ak[std::size_t(r) * a_rstride]);
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm512_fmadd_pd(av, bv[v], acc[r][v]);
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    double* crow = c + std::size_t(r) * ldc;
+    for (int v = 0; v < NV - 1; ++v) {
+      const __m512d old = _mm512_loadu_pd(crow + kVec * v);
+      _mm512_storeu_pd(crow + kVec * v, _mm512_add_pd(old, acc[r][v]));
+    }
+    const __m512d old = _mm512_maskz_loadu_pd(tail, crow + kVec * (NV - 1));
+    _mm512_mask_storeu_pd(crow + kVec * (NV - 1), tail,
+                          _mm512_add_pd(old, acc[r][NV - 1]));
+  }
+}
+
+/// Sweep rows [i_begin, i_end) of one j-block, tallest tiles first. NV≤2
+/// blocks afford 12-row tiles (26 live zmm registers of the 32); NV=3
+/// sticks to 8 rows.
+template <int NV>
+void mm_sweep(std::size_t i_begin, std::size_t i_end, std::size_t k,
+              const double* __restrict a, std::size_t a_rstride,
+              std::size_t a_kstride, const double* __restrict b,
+              std::size_t ldb, double* __restrict c, std::size_t ldc,
+              __mmask8 tail) {
+  constexpr int R = NV <= 2 ? 12 : 8;
+  std::size_t i = i_begin;
+  for (; i + R <= i_end; i += R)
+    mm_tile<R, NV>(k, a + i * a_rstride, a_rstride, a_kstride, b, ldb,
+                   c + i * ldc, ldc, tail);
+  for (; i + 4 <= i_end; i += 4)
+    mm_tile<4, NV>(k, a + i * a_rstride, a_rstride, a_kstride, b, ldb,
+                   c + i * ldc, ldc, tail);
+  for (; i < i_end; ++i)
+    mm_tile<1, NV>(k, a + i * a_rstride, a_rstride, a_kstride, b, ldb,
+                   c + i * ldc, ldc, tail);
+}
+
+/// Shared driver: C[i, jb:jb+jw] += Σ_k A(i, kk) · B[kk, jb:jb+jw] over
+/// column blocks of up to kMaxCols, with A indexed through the stride pair.
+void mm_blocked(std::size_t i_begin, std::size_t i_end, std::size_t n,
+                std::size_t k, const double* __restrict a,
+                std::size_t a_rstride, std::size_t a_kstride,
+                const double* __restrict b, double* __restrict c) {
+  for (std::size_t jb = 0; jb < n; jb += kMaxCols) {
+    const std::size_t jw = n - jb < kMaxCols ? n - jb : kMaxCols;
+    const std::size_t nv = (jw + kVec - 1) / kVec;
+    const unsigned rem = static_cast<unsigned>(jw % kVec);
+    const __mmask8 tail = rem ? static_cast<__mmask8>((1u << rem) - 1)
+                              : static_cast<__mmask8>(0xFF);
+    switch (nv) {
+      case 1:
+        mm_sweep<1>(i_begin, i_end, k, a, a_rstride, a_kstride, b + jb, n,
+                    c + jb, n, tail);
+        break;
+      case 2:
+        mm_sweep<2>(i_begin, i_end, k, a, a_rstride, a_kstride, b + jb, n,
+                    c + jb, n, tail);
+        break;
+      default:
+        mm_sweep<3>(i_begin, i_end, k, a, a_rstride, a_kstride, b + jb, n,
+                    c + jb, n, tail);
+        break;
+    }
+  }
+}
+
+#else  // !__AVX512F__
+
+/// Portable fast path: 4 output rows per sweep of B. Within one output
+/// element the k-sum still runs in increasing-k order; the win over compat
+/// is branch removal, 4× reuse of each B row, and __restrict streams the
+/// autovectorizer can work with. The all-zero skip keeps the sparse-input
+/// advantage of the compat loop at 1/4 the branch rate.
+void gemm_rows_fast(std::size_t i_begin, std::size_t i_end, std::size_t n,
+                    std::size_t k, const double* __restrict a,
+                    const double* __restrict b, double* __restrict c) {
+  std::size_t i = i_begin;
+  for (; i + 4 <= i_end; i += 4) {
+    const double* __restrict a0 = a + (i + 0) * k;
+    const double* __restrict a1 = a + (i + 1) * k;
+    const double* __restrict a2 = a + (i + 2) * k;
+    const double* __restrict a3 = a + (i + 3) * k;
+    double* __restrict c0 = c + (i + 0) * n;
+    double* __restrict c1 = c + (i + 1) * n;
+    double* __restrict c2 = c + (i + 2) * n;
+    double* __restrict c3 = c + (i + 3) * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+      const double* __restrict brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double bj = brow[j];
+        c0[j] += v0 * bj;
+        c1[j] += v1 * bj;
+        c2[j] += v2 * bj;
+        c3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < i_end; ++i) {
+    const double* __restrict ai = a + i * k;
+    double* __restrict ci = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double v = ai[kk];
+      if (v == 0.0) continue;
+      const double* __restrict brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += v * brow[j];
+    }
+  }
+}
+
+/// Panel width above which the portable fast path copies the K-block of B
+/// into a contiguous scratch buffer. Packing pays once per i-block sweep,
+/// so it needs enough row reuse (m) and enough panel area to amortize the
+/// copy.
+constexpr std::size_t kPackMinRows = 8;
+constexpr std::size_t kPackMinArea = 64 * 1024;
+
+/// Output columns per stack-accumulator block in the portable gemm_tn.
+constexpr std::size_t kTile = 16;
+
+#endif  // __AVX512F__
+
+}  // namespace
+
+void detail::gemm_fast(std::size_t m, std::size_t n, std::size_t k,
+                       const double* __restrict a, const double* __restrict b,
+                       double* __restrict c) {
+#if defined(__AVX512F__)
+  parallel_rows(m, n * k, [&](std::size_t begin, std::size_t end) {
+    mm_blocked(begin, end, n, k, a, /*a_rstride=*/k, /*a_kstride=*/1, b, c);
+  });
+#else
+  // B-panel packing: when the panel is large and reused across enough rows,
+  // copy it once into dense scratch so every i-sweep streams one contiguous
+  // buffer (better prefetch, no k-strided TLB walk). B is already row-major
+  // contiguous per row, so the copy is a straight memcpy-shaped loop.
+  if (m >= kPackMinRows && k * n >= kPackMinArea) {
+    thread_local std::vector<double> panel;
+    panel.assign(b, b + k * n);
+    const double* __restrict pb = panel.data();
+    parallel_rows(m, n * k, [&](std::size_t begin, std::size_t end) {
+      gemm_rows_fast(begin, end, n, k, a, pb, c);
+    });
+    return;
+  }
+  parallel_rows(m, n * k, [&](std::size_t begin, std::size_t end) {
+    gemm_rows_fast(begin, end, n, k, a, b, c);
+  });
+#endif
+}
+
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k,
+             const double* __restrict a, const double* __restrict b,
+             double* __restrict c) {
+  if (m == 0 || n == 0 || k == 0) return;
+  parallel_rows(m, n * k, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* __restrict ai = a + i * k;
+      double* __restrict ci = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* __restrict bj = b + j * k;
+        // Four independent accumulators so the reduction vectorizes without
+        // -ffast-math; this is a kFast-only kernel, so the re-association
+        // is fair game.
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        std::size_t kk = 0;
+        for (; kk + 4 <= k; kk += 4) {
+          s0 += ai[kk + 0] * bj[kk + 0];
+          s1 += ai[kk + 1] * bj[kk + 1];
+          s2 += ai[kk + 2] * bj[kk + 2];
+          s3 += ai[kk + 3] * bj[kk + 3];
+        }
+        double s = (s0 + s1) + (s2 + s3);
+        for (; kk < k; ++kk) s += ai[kk] * bj[kk];
+        ci[j] += s;
+      }
+    }
+  });
+}
+
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k,
+             const double* __restrict a, const double* __restrict b,
+             double* __restrict c) {
+  if (m == 0 || n == 0 || k == 0) return;
+  // c[i·n + j] += Σ_k a[k·m + i] · b[k·n + j]: the same reduction as gemm
+  // with A walked column-wise. This is the dW = Xᵀ·G hot shape of the
+  // meta-gradient backward pass — by profile the single most expensive
+  // kernel in a second-order meta step, which is why it shares the register
+  // tile instead of the rank-1 form (rank-1 re-reads and re-writes all of C
+  // k times).
+  parallel_rows(m, n * k, [&](std::size_t begin, std::size_t end) {
+#if defined(__AVX512F__)
+    mm_blocked(begin, end, n, k, a, /*a_rstride=*/1, /*a_kstride=*/m, b, c);
+#else
+    for (std::size_t i = begin; i < end; ++i) {
+      double* __restrict ci = c + i * n;
+      std::size_t j = 0;
+      for (; j + kTile <= n; j += kTile) {
+        double acc[kTile]{};
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const double v = a[kk * m + i];
+          const double* __restrict brow = b + kk * n + j;
+          for (std::size_t jj = 0; jj < kTile; ++jj) acc[jj] += v * brow[jj];
+        }
+        for (std::size_t jj = 0; jj < kTile; ++jj) ci[j + jj] += acc[jj];
+      }
+      if (j < n) {
+        const std::size_t jw = n - j;
+        double acc[kTile]{};
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const double v = a[kk * m + i];
+          const double* __restrict brow = b + kk * n + j;
+          for (std::size_t jj = 0; jj < jw; ++jj) acc[jj] += v * brow[jj];
+        }
+        for (std::size_t jj = 0; jj < jw; ++jj) ci[j + jj] += acc[jj];
+      }
+    }
+#endif
+  });
+}
+
+}  // namespace fedml::kern

@@ -1,0 +1,67 @@
+#include "kern/kern.h"
+
+#include <atomic>
+
+#include "util/thread_pool.h"
+
+namespace fedml::kern {
+
+namespace {
+
+std::atomic<int> g_mode{static_cast<int>(Mode::kCompat)};
+
+// ParallelPolicy is two words; a seqlock would be overkill for a value set
+// once at startup. Store the fields in separate atomics instead.
+std::atomic<util::ThreadPool*> g_pool{nullptr};
+std::atomic<std::size_t> g_grain{16 * 1024};
+
+}  // namespace
+
+Mode mode() noexcept {
+  return static_cast<Mode>(g_mode.load(std::memory_order_relaxed));
+}
+
+void set_mode(Mode m) noexcept {
+  g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+ParallelPolicy parallel_policy() noexcept {
+  return {g_pool.load(std::memory_order_acquire),
+          g_grain.load(std::memory_order_relaxed)};
+}
+
+void set_parallel_policy(ParallelPolicy p) noexcept {
+  g_grain.store(p.grain, std::memory_order_relaxed);
+  g_pool.store(p.pool, std::memory_order_release);
+}
+
+std::size_t grain_rows(std::size_t rows, std::size_t row_cost) noexcept {
+  const ParallelPolicy p = parallel_policy();
+  if (p.pool == nullptr || rows == 0) return rows;
+  if (row_cost == 0) row_cost = 1;
+  const std::size_t rows_per_grain = (p.grain + row_cost - 1) / row_cost;
+  if (rows_per_grain >= rows) return rows;  // whole job under one grain
+  return rows_per_grain == 0 ? 1 : rows_per_grain;
+}
+
+void parallel_rows(std::size_t rows, std::size_t row_cost,
+                   const std::function<void(std::size_t, std::size_t)>& body) {
+  if (rows == 0) return;
+  const std::size_t block = grain_rows(rows, row_cost);
+  util::ThreadPool* pool = parallel_policy().pool;
+  if (pool == nullptr || block >= rows) {
+    body(0, rows);
+    return;
+  }
+  const std::size_t blocks = (rows + block - 1) / block;
+  pool->parallel_for(
+      blocks,
+      [&](std::size_t b) {
+        const std::size_t begin = b * block;
+        const std::size_t end = begin + block < rows ? begin + block : rows;
+        body(begin, end);
+      },
+      /*min_grain=*/1);
+}
+
+}  // namespace fedml::kern

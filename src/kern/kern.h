@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace fedml::util {
+class ThreadPool;
+}
+
+namespace fedml::kern {
+
+/// Dispatch mode for every kernel in this subsystem.
+///
+///  - kCompat reproduces the pre-kern loops bit for bit: identical summation
+///    order, identical zero-skip branches, identical autodiff graph shapes.
+///    It is the process-wide default, so fig2b output and the sim/net
+///    bit-identity suites stay byte-identical with no call-site changes.
+///  - kFast uses blocked/unrolled kernels and fused autodiff ops. Values are
+///    numerically equivalent (same expressions, possibly re-associated) but
+///    carry no bit-for-bit guarantee against kCompat.
+enum class Mode : int { kCompat = 0, kFast = 1 };
+
+/// Process-wide mode. Intended to be set once at startup (benches/serving
+/// set kFast); kernels load it relaxed on their hot path. Ops that build
+/// backward closures sample the mode at graph-construction time so a graph
+/// built under one mode replays consistently even if the mode later flips.
+Mode mode() noexcept;
+void set_mode(Mode m) noexcept;
+
+/// RAII mode override for tests and benches. Not thread-scoped: the mode is
+/// process-wide, so scopes must not overlap across threads.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m) : prev_(mode()) { set_mode(m); }
+  ~ScopedMode() { set_mode(prev_); }
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode prev_;
+};
+
+/// How kernels split batch-row loops across a thread pool. The pool is
+/// borrowed, never owned, and defaults to null (serial): kernels frequently
+/// run *inside* pool workers (per-node training in a federated round), and
+/// a nested parallel_for on the same pool deadlocks once every worker blocks
+/// on its own queue. Opting in is therefore an explicit top-level decision.
+struct ParallelPolicy {
+  util::ThreadPool* pool = nullptr;
+  /// Minimum work units (fused-loop iterations, see grain_rows) per task;
+  /// below this, dispatch overhead beats the parallelism.
+  std::size_t grain = 16 * 1024;
+};
+
+/// Process-wide policy. Same single-writer contract as set_mode.
+ParallelPolicy parallel_policy() noexcept;
+void set_parallel_policy(ParallelPolicy p) noexcept;
+
+/// Grain-size heuristic: number of rows per task such that each task gets at
+/// least `policy.grain` inner iterations of a `row_cost`-wide row body.
+/// Returns `rows` (one serial block) when no pool is set or the total work
+/// is below one grain.
+std::size_t grain_rows(std::size_t rows, std::size_t row_cost) noexcept;
+
+/// Split [0, rows) into grain_rows-sized blocks and run body(begin, end) on
+/// each through the policy pool — or once, inline, with no pool dispatch,
+/// when the heuristic says the work is too small. `row_cost` approximates
+/// inner iterations per row (e.g. n for an elementwise row, n*k for a gemm
+/// row). Blocks are disjoint, so the body may write rows without locking.
+void parallel_rows(std::size_t rows, std::size_t row_cost,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace fedml::kern

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/error.h"
+
+namespace fedml::kern {
+
+/// Move-only callable wrapper with a larger inline buffer than
+/// std::function. libstdc++'s std::function only stores trivially-copyable
+/// captures up to two words inline, so every autodiff backward closure
+/// (capturing Vars — shared_ptrs — or index vectors) costs a heap
+/// allocation per tape edge. SmallFunc keeps captures up to `BufBytes`
+/// inline (nothrow-movable required) and falls back to the heap above that.
+template <typename Sig, std::size_t BufBytes = 64>
+class SmallFunc;
+
+template <typename R, typename... Args, std::size_t BufBytes>
+class SmallFunc<R(Args...), BufBytes> {
+ public:
+  SmallFunc() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunc> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunc(F&& f) {  // NOLINT(google-explicit-constructor) — mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= BufBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+      };
+      manage_ = [](void* dst, void* src) noexcept {
+        if (dst != nullptr) {  // move src -> dst
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        }
+        static_cast<Fn*>(src)->~Fn();
+      };
+    } else {
+      // Type-erased spill storage owned by this object; freed in
+      // destroy_heap_. A unique_ptr cannot cross the void* erasure.
+      heap_ = new Fn(std::forward<F>(f));  // lint: allow(naked-new)
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+      };
+      manage_ = nullptr;  // heap mode: moves swap the pointer, destroy deletes
+      destroy_heap_ = [](void* p) noexcept {
+        delete static_cast<Fn*>(p);  // lint: allow(naked-new)
+      };
+    }
+  }
+
+  SmallFunc(SmallFunc&& o) noexcept { move_from(o); }
+
+  SmallFunc& operator=(SmallFunc&& o) noexcept {
+    if (this != &o) {
+      release();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  SmallFunc(const SmallFunc&) = delete;
+  SmallFunc& operator=(const SmallFunc&) = delete;
+
+  ~SmallFunc() { release(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    FEDML_CHECK(invoke_ != nullptr, "call of empty SmallFunc");
+    void* target = manage_ != nullptr
+                       ? static_cast<void*>(&storage_)
+                       : heap_;
+    return invoke_(target, std::forward<Args>(args)...);
+  }
+
+  /// True when the callable lives in the inline buffer (test hook).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return invoke_ != nullptr && manage_ != nullptr;
+  }
+
+ private:
+  void move_from(SmallFunc& o) noexcept {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    destroy_heap_ = o.destroy_heap_;
+    if (o.invoke_ != nullptr) {
+      if (o.manage_ != nullptr) {
+        o.manage_(&storage_, &o.storage_);  // move + destroy source
+      } else {
+        heap_ = o.heap_;
+      }
+    }
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+    o.destroy_heap_ = nullptr;
+  }
+
+  void release() noexcept {
+    if (invoke_ == nullptr) return;
+    if (manage_ != nullptr) {
+      manage_(nullptr, &storage_);
+    } else {
+      destroy_heap_(heap_);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    destroy_heap_ = nullptr;
+  }
+
+  R (*invoke_)(void*, Args&&...) = nullptr;
+  /// Inline mode: move/destroy the buffered callable. Null in heap mode.
+  void (*manage_)(void* dst, void* src) noexcept = nullptr;
+  void (*destroy_heap_)(void*) noexcept = nullptr;
+  union {
+    mutable unsigned char storage_[BufBytes];
+    void* heap_;
+    std::max_align_t align_;  ///< forces max alignment for the buffer
+  };
+};
+
+}  // namespace fedml::kern

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/error.h"
+
+namespace fedml::kern {
+
+/// Tiny move-only vector with N inline slots and heap spill. Autodiff tape
+/// nodes have at most two parents in every op this library defines, so
+/// SmallVec<Edge, 2> removes the per-node std::vector allocation while still
+/// accepting the rare wider custom op (tests exercise the spill path).
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "SmallVec requires nothrow-movable elements");
+
+ public:
+  SmallVec() noexcept = default;
+
+  SmallVec(SmallVec&& o) noexcept { move_from(o); }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      clear();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  ~SmallVec() { clear(); }
+
+  void push_back(T value) {
+    if (size_ == capacity_) grow();
+    ::new (static_cast<void*>(data_ + size_)) T(std::move(value));
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool spilled() const noexcept { return heap_ != nullptr; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+    if (heap_ != nullptr) {
+      // Raw-storage container primitive; elements were destroyed above.
+      ::operator delete(heap_, std::align_val_t(alignof(T)));  // lint: allow(naked-new)
+      heap_ = nullptr;
+      data_ = inline_data();
+      capacity_ = N;
+    }
+  }
+
+ private:
+  T* inline_data() noexcept { return std::launder(reinterpret_cast<T*>(inline_)); }
+
+  void grow() {
+    const std::size_t cap = capacity_ * 2;
+    T* fresh = static_cast<T*>(        // raw spill buffer; freed in clear()
+        ::operator new(cap * sizeof(T),  // lint: allow(naked-new)
+                       std::align_val_t(alignof(T))));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (heap_ != nullptr) {
+      ::operator delete(heap_, std::align_val_t(alignof(T)));  // lint: allow(naked-new)
+    }
+    heap_ = fresh;
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  void move_from(SmallVec& o) noexcept {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      data_ = o.data_;
+      size_ = o.size_;
+      capacity_ = o.capacity_;
+      o.heap_ = nullptr;
+      o.data_ = o.inline_data();
+      o.size_ = 0;
+      o.capacity_ = N;
+    } else {
+      for (std::size_t i = 0; i < o.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(o.data_[i]));
+        o.data_[i].~T();
+      }
+      size_ = o.size_;
+      o.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+  T* heap_ = nullptr;
+};
+
+}  // namespace fedml::kern

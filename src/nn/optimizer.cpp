@@ -1,7 +1,9 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <utility>
 
+#include "kern/elementwise.h"
 #include "nn/params.h"
 #include "util/error.h"
 
@@ -28,8 +30,11 @@ ParamList Sgd::step(const ParamList& params, const ParamList& grads) {
   ParamList next;
   next.reserve(params.size());
   for (std::size_t k = 0; k < params.size(); ++k) {
-    velocity_[k] = velocity_[k] * momentum_ + grads[k].value();
-    next.emplace_back(params[k].value() + velocity_[k] * -lr_,
+    // In-place fused updates; each per-element expression is identical to
+    // the tensor-temporary chain it replaced, so results are bit-for-bit.
+    kern::decay_add(velocity_[k].size(), momentum_, grads[k].value().data(),
+                    velocity_[k].data());
+    next.emplace_back(tensor::scale_add(params[k].value(), velocity_[k], -lr_),
                       /*requires_grad=*/true);
   }
   return next;
@@ -71,17 +76,12 @@ ParamList Adam::step(const ParamList& params, const ParamList& grads) {
   next.reserve(params.size());
   for (std::size_t k = 0; k < params.size(); ++k) {
     const Tensor& g = grads[k].value();
-    m_[k] = m_[k] * beta1_ + g * (1.0 - beta1_);
-    v_[k] = v_[k] * beta2_ + tensor::hadamard(g, g) * (1.0 - beta2_);
-    Tensor update(g.rows(), g.cols());
-    for (std::size_t i = 0; i < g.rows(); ++i) {
-      for (std::size_t j = 0; j < g.cols(); ++j) {
-        const double mhat = m_[k](i, j) / bc1;
-        const double vhat = v_[k](i, j) / bc2;
-        update(i, j) = lr_ * mhat / (std::sqrt(vhat) + epsilon_);
-      }
-    }
-    next.emplace_back(params[k].value() - update, /*requires_grad=*/true);
+    kern::ema_update(g.size(), beta1_, g.data(), m_[k].data());
+    kern::ema_update_sq(g.size(), beta2_, g.data(), v_[k].data());
+    Tensor stepped(g.rows(), g.cols());
+    kern::adam_step(g.size(), params[k].value().data(), m_[k].data(),
+                    v_[k].data(), bc1, bc2, lr_, epsilon_, stepped.data());
+    next.emplace_back(std::move(stepped), /*requires_grad=*/true);
   }
   return next;
 }

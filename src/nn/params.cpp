@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "autodiff/ops.h"
+#include "kern/kern.h"
 #include "util/error.h"
 
 namespace fedml::nn {
@@ -33,7 +34,10 @@ ParamList add_scaled(const ParamList& a, const ParamList& b, double s,
   ParamList out;
   out.reserve(a.size());
   for (std::size_t k = 0; k < a.size(); ++k) {
-    out.emplace_back(a[k].value() + b[k].value() * s, requires_grad);
+    // One pass, bit-identical to a + b*s: x + s·y evaluates the same scalar
+    // expression the two-temporary chain did.
+    out.emplace_back(tensor::scale_add(a[k].value(), b[k].value(), s),
+                     requires_grad);
   }
   return out;
 }
@@ -145,7 +149,8 @@ ParamList unflatten(const Tensor& flat, const std::vector<ParamShape>& shapes,
   for (const auto& s : shapes) {
     const std::size_t n = s.rows * s.cols;
     FEDML_CHECK(pos + n <= flat.size(), "unflatten: buffer too small");
-    std::vector<double> chunk(flat.data() + pos, flat.data() + pos + n);
+    const auto begin = flat.flat().begin() + static_cast<std::ptrdiff_t>(pos);
+    std::vector<double> chunk(begin, begin + static_cast<std::ptrdiff_t>(n));
     out.emplace_back(Tensor(s.rows, s.cols, std::move(chunk)), requires_grad);
     pos += n;
   }
@@ -157,8 +162,17 @@ ParamList sgd_step_graph(const ParamList& params, const ParamList& grads, double
   FEDML_CHECK(params.size() == grads.size(), "sgd_step_graph: arity mismatch");
   ParamList out;
   out.reserve(params.size());
+  // Mode sampled once at graph-build time. The fused node computes
+  // p + (−lr)·g, bit-identical to sub(p, smul(g, lr)) — (−s)·y = −(s·y) and
+  // x + (−t) = x − t are exact in IEEE — but the graph shape differs (one
+  // node instead of two), so compat keeps the historical chain.
+  const bool fast = kern::mode() == kern::Mode::kFast;
   for (std::size_t k = 0; k < params.size(); ++k) {
-    out.push_back(ops::sub(params[k], ops::smul(grads[k], lr)));
+    if (fast) {
+      out.push_back(ops::scale_add(params[k], grads[k], -lr));
+    } else {
+      out.push_back(ops::sub(params[k], ops::smul(grads[k], lr)));
+    }
   }
   return out;
 }

@@ -149,7 +149,7 @@ void FlightRecorder::dump(const char* reason) noexcept {
     char name[kNameWords * 8 + 1];
     for (std::size_t w = 0; w < kNameWords; ++w) {
       const std::uint64_t word = slot.name[w].load(std::memory_order_relaxed);
-      for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t i = 0; i < 8; ++i) {  // lint: allow(kern-dispatch) — crash-dump byte unpacking, no tensor math
         name[w * 8 + i] = static_cast<char>((word >> (8 * i)) & 0xff);
       }
     }

@@ -5,6 +5,10 @@
 #include <limits>
 #include <ostream>
 
+#include "kern/elementwise.h"
+#include "kern/gather.h"
+#include "kern/gemm.h"
+#include "kern/kern.h"
 #include "util/rng.h"
 
 namespace fedml::tensor {
@@ -85,14 +89,18 @@ Tensor& Tensor::operator*=(double s) {
 }
 
 Tensor operator+(const Tensor& a, const Tensor& b) {
-  Tensor out = a;
-  out += b;
+  FEDML_CHECK(a.same_shape(b), "shape mismatch in +");
+  Tensor out(a.rows(), a.cols());
+  kern::ew_binary(a.size(), a.data(), b.data(), out.data(),
+                  [](double x, double y) { return x + y; });
   return out;
 }
 
 Tensor operator-(const Tensor& a, const Tensor& b) {
-  Tensor out = a;
-  out -= b;
+  FEDML_CHECK(a.same_shape(b), "shape mismatch in -");
+  Tensor out(a.rows(), a.cols());
+  kern::ew_binary(a.size(), a.data(), b.data(), out.data(),
+                  [](double x, double y) { return x - y; });
   return out;
 }
 
@@ -116,30 +124,38 @@ Tensor operator*(const Tensor& a, double s) {
 
 Tensor operator*(double s, const Tensor& a) { return a * s; }
 
+Tensor scale_add(const Tensor& a, const Tensor& b, double s) {
+  FEDML_CHECK(a.same_shape(b), "shape mismatch in scale_add");
+  Tensor out(a.rows(), a.cols());
+  kern::scale_add(a.size(), a.data(), b.data(), s, out.data());
+  return out;
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   FEDML_CHECK(a.cols() == b.rows(), "matmul inner dimensions must agree");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Tensor out(m, n);
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double* po = out.data();
-  // ikj loop order: streams through b and out rows — cache friendly.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double aik = pa[i * k + kk];
-      if (aik == 0.0) continue;
-      const double* brow = pb + kk * n;
-      double* orow = po + i * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  Tensor out(a.rows(), b.cols());
+  kern::gemm(a.rows(), b.cols(), a.cols(), a.data(), b.data(), out.data(),
+             kern::mode());
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  FEDML_CHECK(a.cols() == b.cols(), "matmul_nt inner dimensions must agree");
+  Tensor out(a.rows(), b.rows());
+  kern::gemm_nt(a.rows(), b.rows(), a.cols(), a.data(), b.data(), out.data());
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  FEDML_CHECK(a.rows() == b.rows(), "matmul_tn inner dimensions must agree");
+  Tensor out(a.cols(), b.cols());
+  kern::gemm_tn(a.cols(), b.cols(), a.rows(), a.data(), b.data(), out.data());
   return out;
 }
 
 Tensor transpose(const Tensor& a) {
   Tensor out(a.cols(), a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  kern::transpose(a.rows(), a.cols(), a.data(), out.data());
   return out;
 }
 
@@ -222,11 +238,10 @@ Tensor mul_colvec(const Tensor& a, const Tensor& v) {
 
 Tensor gather_cols(const Tensor& a, const std::vector<std::size_t>& index) {
   FEDML_CHECK(index.size() == a.rows(), "gather_cols needs one index per row");
+  for (const std::size_t ix : index)
+    FEDML_CHECK(ix < a.cols(), "gather_cols index out of range");
   Tensor out(a.rows(), 1);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    FEDML_CHECK(index[i] < a.cols(), "gather_cols index out of range");
-    out(i, 0) = a(i, index[i]);
-  }
+  kern::gather_cols(a.data(), index, a.cols(), out.data());
   return out;
 }
 
@@ -234,20 +249,18 @@ Tensor scatter_cols(const Tensor& v, const std::vector<std::size_t>& index,
                     std::size_t cols) {
   FEDML_CHECK(v.cols() == 1, "scatter_cols expects an Rx1 tensor");
   FEDML_CHECK(index.size() == v.rows(), "scatter_cols needs one index per row");
+  for (const std::size_t ix : index)
+    FEDML_CHECK(ix < cols, "scatter_cols index out of range");
   Tensor out(v.rows(), cols);
-  for (std::size_t i = 0; i < v.rows(); ++i) {
-    FEDML_CHECK(index[i] < cols, "scatter_cols index out of range");
-    out(i, index[i]) = v(i, 0);
-  }
+  kern::scatter_cols(v.data(), index, cols, out.data());
   return out;
 }
 
 Tensor gather_rows(const Tensor& a, const std::vector<std::size_t>& index) {
+  for (const std::size_t ix : index)
+    FEDML_CHECK(ix < a.rows(), "gather_rows index out of range");
   Tensor out(index.size(), a.cols());
-  for (std::size_t i = 0; i < index.size(); ++i) {
-    FEDML_CHECK(index[i] < a.rows(), "gather_rows index out of range");
-    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = a(index[i], j);
-  }
+  kern::gather_rows(a.data(), index, a.cols(), out.data());
   return out;
 }
 
@@ -255,11 +268,10 @@ Tensor scatter_add_rows(const Tensor& v, const std::vector<std::size_t>& index,
                         std::size_t rows) {
   FEDML_CHECK(index.size() == v.rows(),
               "scatter_add_rows needs one index per row");
+  for (const std::size_t ix : index)
+    FEDML_CHECK(ix < rows, "scatter_add_rows index out of range");
   Tensor out(rows, v.cols());
-  for (std::size_t i = 0; i < v.rows(); ++i) {
-    FEDML_CHECK(index[i] < rows, "scatter_add_rows index out of range");
-    for (std::size_t j = 0; j < v.cols(); ++j) out(index[i], j) += v(i, j);
-  }
+  kern::scatter_add_rows(v.data(), index, v.cols(), out.data());
   return out;
 }
 

@@ -95,10 +95,18 @@ Tensor operator-(const Tensor& a);
 Tensor hadamard(const Tensor& a, const Tensor& b);
 Tensor operator*(const Tensor& a, double s);
 Tensor operator*(double s, const Tensor& a);
+/// Fused a + s·b in one pass — bit-identical to `a + b * s`.
+Tensor scale_add(const Tensor& a, const Tensor& b, double s);
 
 // ---- linear algebra --------------------------------------------------------
-/// Matrix product (a.cols must equal b.rows).
+/// Matrix product (a.cols must equal b.rows). Dispatches through kern::gemm:
+/// bit-identical to the historical loop under kern::Mode::kCompat, blocked/
+/// unrolled under kFast.
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// a · bᵀ without materializing the transpose (a: m×k, b: n×k → m×n).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// aᵀ · b without materializing the transpose (a: k×m, b: k×n → m×n).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
 Tensor transpose(const Tensor& a);
 /// Frobenius inner product sum_ij a_ij b_ij.
 double dot(const Tensor& a, const Tensor& b);

@@ -38,8 +38,14 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t min_grain) {
   if (n == 0) return;
+  if (n < min_grain) {
+    // Serial fallback: run on the caller, bypassing the queue entirely.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   // Chunked dispatch: ~4 blocks per worker balances load (uneven per-index
   // cost) without allocating one task + future per index for large n.
   const std::size_t chunks = std::min(n, 4 * workers_.size());

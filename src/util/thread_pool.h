@@ -46,7 +46,12 @@ class ThreadPool {
   /// allocate n tasks/futures; within a chunk indices run in order, and an
   /// exception skips the rest of its own chunk only. Exceptions from tasks
   /// are rethrown (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  ///
+  /// When `n < min_grain` the loop runs inline on the calling thread with no
+  /// task dispatch at all — no lock, no queue traffic, no futures — so small
+  /// inner-loop batches don't pay pool overhead just because a pool exists.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    std::size_t min_grain = 1);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
